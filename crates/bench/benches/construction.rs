@@ -1,0 +1,35 @@
+//! Bench: building `Q_d(f)` (vertex generation + induced adjacency).
+//!
+//! Supports experiment E-T1 by quantifying the cost of the classification's
+//! inner loop across `d` and factor shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fibcube_core::Qdf;
+use fibcube_words::word;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qdf_construction");
+    group.sample_size(20);
+    for d in [8usize, 12, 16] {
+        for fs in ["11", "110", "11010"] {
+            group.bench_with_input(
+                BenchmarkId::new(fs, d),
+                &(d, fs),
+                |b, &(d, fs)| {
+                    let f = word(fs);
+                    b.iter(|| std::hint::black_box(Qdf::new(d, f).order()))
+                },
+            );
+        }
+    }
+    // The full hypercube (worst case: nothing filtered).
+    for d in [10usize, 14] {
+        group.bench_with_input(BenchmarkId::new("hypercube", d), &d, |b, &d| {
+            b.iter(|| std::hint::black_box(Qdf::hypercube(d).size()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench: counting invariants (experiments E-R1…E-R5) — the
+//! automaton-product DP vs materialising the graph, showing the crossover
+//! that makes the DP the only viable route for large `d`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fibcube_core::Qdf;
+use fibcube_enum::{count_edges, count_squares, count_vertices};
+use fibcube_words::word;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counting");
+    group.sample_size(20);
+    let f = word("110");
+    for d in [10usize, 14, 18] {
+        group.bench_with_input(BenchmarkId::new("dp_edges", d), &d, |b, &d| {
+            b.iter(|| std::hint::black_box(count_edges(&f, d)))
+        });
+        group.bench_with_input(BenchmarkId::new("graph_edges", d), &d, |b, &d| {
+            b.iter(|| std::hint::black_box(Qdf::new(d, f).size()))
+        });
+    }
+    // DP-only regime.
+    for d in [100usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("dp_edges_large", d), &d, |b, &d| {
+            b.iter(|| std::hint::black_box(count_edges(&f, d)))
+        });
+        group.bench_with_input(BenchmarkId::new("dp_squares_large", d), &d, |b, &d| {
+            b.iter(|| std::hint::black_box(count_squares(&f, d)))
+        });
+        group.bench_with_input(BenchmarkId::new("dp_vertices_large", d), &d, |b, &d| {
+            b.iter(|| std::hint::black_box(count_vertices(&f, d)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Bench: f-dimension machinery (experiment E-P3) — partial-cube
+//! recognition, the Prop 7.1 constructive bound, and the exact embedding
+//! search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fibcube_graph::generators;
+use fibcube_isometry::{dim_f_exact, dim_f_upper, isometric_dimension};
+use fibcube_words::word;
+
+fn bench_fdim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fdim");
+    group.sample_size(10);
+    let f = word("11");
+    let c6 = generators::cycle(6);
+    let grid = generators::grid(3, 3);
+    let gamma6 = fibcube_core::Qdf::fibonacci(6);
+    group.bench_function("idim_gamma6", |b| {
+        b.iter(|| assert_eq!(isometric_dimension(gamma6.graph()), Some(6)))
+    });
+    group.bench_function("upper_c6", |b| {
+        b.iter(|| std::hint::black_box(dim_f_upper(&c6, &f).unwrap().dimension))
+    });
+    group.bench_function("exact_c6", |b| {
+        b.iter(|| std::hint::black_box(dim_f_exact(&c6, &f, 5)))
+    });
+    group.bench_function("exact_grid3x3", |b| {
+        b.iter(|| std::hint::black_box(dim_f_exact(&grid, &f, 7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fdim);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Bench: the isometry decision `Q_d(f) ↪? Q_d` — the paper's "computer
+//! check" instrument (experiments E-T1/E-T1b) — parallel fast path vs the
+//! serial reference, on embeddable (worst-case: no early exit) and
+//! non-embeddable (early exit) inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fibcube_core::isometry_check::{
+    is_isometric, is_isometric_local, is_isometric_reference,
+};
+use fibcube_core::Qdf;
+use fibcube_words::word;
+
+fn bench_isometry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isometry_check");
+    group.sample_size(10);
+    // Embeddable inputs: the checker must scan everything. Ablation:
+    // parallel bounded-BFS vs the O(n²·d) local interval criterion vs the
+    // serial all-pairs reference.
+    for (fs, d) in [("11", 12), ("11010", 11), ("1010", 11)] {
+        let g = Qdf::new(d, word(fs));
+        group.bench_with_input(
+            BenchmarkId::new("parallel_yes", format!("{fs}/d{d}")),
+            &g,
+            |b, g| b.iter(|| assert!(is_isometric(g))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("local_yes", format!("{fs}/d{d}")),
+            &g,
+            |b, g| b.iter(|| assert!(is_isometric_local(g))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("serial_yes", format!("{fs}/d{d}")),
+            &g,
+            |b, g| b.iter(|| assert!(is_isometric_reference(g))),
+        );
+    }
+    // Non-embeddable: early exit pays off.
+    for (fs, d) in [("101", 8), ("1100", 9)] {
+        let g = Qdf::new(d, word(fs));
+        group.bench_with_input(
+            BenchmarkId::new("parallel_no", format!("{fs}/d{d}")),
+            &g,
+            |b, g| b.iter(|| assert!(!is_isometric(g))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_isometry);
+criterion_main!(benches);

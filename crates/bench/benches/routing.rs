@@ -1,0 +1,37 @@
+//! Bench: distributed route computation (experiment E-N2) — canonical-path
+//! routing on the Fibonacci cube vs e-cube on the hypercube vs ring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fibcube_network::{FibonacciNet, Hypercube, Ring, Topology};
+
+fn all_pairs_routes(t: &dyn Topology) -> usize {
+    let n = t.len() as u32;
+    let mut hops = 0usize;
+    for s in 0..n {
+        for d in 0..n {
+            hops += t.route(s, d).len() - 1;
+        }
+    }
+    hops
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_all_pairs");
+    group.sample_size(10);
+    let gamma = FibonacciNet::classical(10); // 144 nodes
+    let q = Hypercube::new(7); // 128 nodes
+    let ring = Ring::new(144);
+    group.bench_function(BenchmarkId::new("fibonacci", gamma.name()), |b| {
+        b.iter(|| std::hint::black_box(all_pairs_routes(&gamma)))
+    });
+    group.bench_function(BenchmarkId::new("hypercube", q.name()), |b| {
+        b.iter(|| std::hint::black_box(all_pairs_routes(&q)))
+    });
+    group.bench_function(BenchmarkId::new("ring", ring.name()), |b| {
+        b.iter(|| std::hint::black_box(all_pairs_routes(&ring)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench: the store-and-forward simulator (experiment E-N4) — simulated
+//! cycles per second across topologies under uniform load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fibcube_network::{simulate, traffic, FibonacciNet, Hypercube, Mesh, Topology};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    let topos: Vec<Box<dyn Topology>> = vec![
+        Box::new(FibonacciNet::classical(10)),
+        Box::new(Hypercube::new(7)),
+        Box::new(Mesh::new(12, 12)),
+    ];
+    for t in &topos {
+        let pkts = traffic::uniform(t.len(), 5_000, 1_000, 11);
+        group.bench_function(BenchmarkId::new("uniform5k", t.name()), |b| {
+            b.iter(|| {
+                let s = simulate(t.as_ref(), &pkts, 1_000_000);
+                assert_eq!(s.delivered, s.offered);
+                std::hint::black_box(s.mean_latency)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Experimental evidence for **Conjecture 8.1**: if `Q_d(f) ↪ Q_d` then
+//! `Q_d(ff) ↪ Q_d`.
+//!
+//! `cargo run --release -p fibcube-bench --bin conjecture [max_len] [d_max]`
+
+use fibcube_bench::header;
+use fibcube_core::classify::conjecture_8_1_evidence;
+
+fn main() {
+    let max_len: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let d_max: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+
+    header(&format!(
+        "Conjecture 8.1 — premise factors with |f| ≤ {max_len}, tested through d ≤ {d_max}"
+    ));
+    println!("{:<10} {:<20} {}", "f", "ff", "Q_d(ff) ↪ Q_d for all tested d?");
+    let evidence = conjecture_8_1_evidence(max_len, d_max);
+    let mut counterexamples = 0;
+    for (f, ff, holds) in &evidence {
+        if !holds {
+            counterexamples += 1;
+        }
+        println!(
+            "{:<10} {:<20} {}",
+            f.to_string(),
+            ff.to_string(),
+            if *holds { "✓ holds" } else { "✗ COUNTEREXAMPLE" }
+        );
+    }
+    println!(
+        "\n{} premise factor(s) tested, {} counterexample(s).",
+        evidence.len(),
+        counterexamples
+    );
+    if counterexamples == 0 {
+        println!("The conjecture survives this sweep.");
+    }
+}

@@ -1,0 +1,78 @@
+//! Regenerates Section 7 (isometric dimension vs `f`-dimension, the
+//! Prop 7.1 sandwich) and Section 8 (the Winkler example: `Q_d(101)` is in
+//! no hypercube; Problem 8.3 probes).
+//!
+//! `cargo run --release -p fibcube-bench --bin dimension_tables`
+
+use fibcube_bench::header;
+use fibcube_core::Qdf;
+use fibcube_graph::generators;
+use fibcube_isometry::{
+    dim_f_exact, dim_f_upper, is_partial_cube, isometric_dimension, section8_example,
+    verify_ladder,
+};
+use fibcube_words::word;
+
+fn main() {
+    header("Section 7 — idim(G) ≤ dim_f(G) ≤ 3·idim(G) − 2 (f = 11)");
+    println!(
+        "{:<10} {:>5} {:>8} {:>14} {:>10}",
+        "graph", "idim", "dim_11", "Prop 7.1 UB", "sandwich"
+    );
+    let f = word("11");
+    let samples: Vec<(&str, fibcube_graph::CsrGraph)> = vec![
+        ("P2", generators::path(2)),
+        ("P5", generators::path(5)),
+        ("C4", generators::cycle(4)),
+        ("C6", generators::cycle(6)),
+        ("C8", generators::cycle(8)),
+        ("K1,3", generators::star(4)),
+        ("K1,5", generators::star(6)),
+        ("Q3", generators::hypercube(3)),
+        ("grid3x3", generators::grid(3, 3)),
+        ("tree#1", generators::random_tree(8, 1)),
+        ("tree#2", generators::random_tree(9, 42)),
+    ];
+    for (name, g) in &samples {
+        let idim = isometric_dimension(g).expect("samples are partial cubes");
+        let ub = dim_f_upper(g, &f).unwrap().dimension;
+        let exact = dim_f_exact(g, &f, ub).expect("embeds within Prop 7.1 bound");
+        let ok = idim <= exact && exact <= ub && ub <= (3 * idim).saturating_sub(2).max(idim);
+        println!("{name:<10} {idim:>5} {exact:>8} {ub:>14} {:>10}", if ok { "✓" } else { "✗" });
+        assert!(ok);
+    }
+
+    header("Section 8 — Q_d(101) is an isometric subgraph of NO hypercube");
+    println!(
+        "{:>2} {:>9} {:>9} {:>8} {:>14} {:>13}",
+        "d", "e Θ f", "e Θ* f", "ladder", "partial cube?", "|V(Q_d(101))|"
+    );
+    for d in 4..=8usize {
+        let ex = section8_example(d);
+        let ladder_ok = verify_ladder(&ex);
+        println!(
+            "{d:>2} {:>9} {:>9} {:>8} {:>14} {:>13}",
+            ex.e_theta_f,
+            ex.e_theta_star_f,
+            format!("{}✓", ex.ladder.len()),
+            if ex.is_partial_cube { "YES?!" } else { "no" },
+            Qdf::new(d, word("101")).order()
+        );
+        assert!(!ex.e_theta_f && ex.e_theta_star_f && ladder_ok && !ex.is_partial_cube);
+    }
+
+    header("Problem 8.3 probes — non-embeddable Q_d(f): in any Q_d'?");
+    for (d, fs) in
+        [(4usize, "101"), (5, "101"), (6, "101"), (5, "1101"), (5, "1001"), (7, "1100"), (7, "10110")]
+    {
+        let g = Qdf::new(d, word(fs));
+        let own = fibcube_core::is_isometric(&g);
+        let any = is_partial_cube(g.graph());
+        println!(
+            "Q_{d}({fs}): isometric in Q_{d}: {own:<5} — partial cube (some Q_d'): {any}"
+        );
+        assert!(!own && !any, "evidence for a negative answer to Problem 8.3");
+    }
+    println!("\nAll probed non-embeddable cases embed in no hypercube whatsoever,");
+    println!("supporting the paper's expectation on Problem 8.3.");
+}

@@ -1,0 +1,87 @@
+//! Regenerates **Figure 1** (`Q_4(101)`) and **Figure 2** (`Γ_5 = Q_5(11)`
+//! confronted with `Q_4(110)`): vertex/edge inventories, the invariants the
+//! captions rely on, and DOT renderings (written to `target/figures/`).
+//!
+//! `cargo run --release -p fibcube-bench --bin figures`
+
+use fibcube_bench::header;
+use fibcube_core::Qdf;
+use fibcube_words::word;
+
+fn describe(g: &Qdf, name: &str) {
+    println!(
+        "{name}: |V| = {}, |E| = {}, |S| = {}, max degree = {}, diameter = {:?}",
+        g.order(),
+        g.size(),
+        g.squares(),
+        g.max_degree(),
+        g.diameter().unwrap_or(0)
+    );
+}
+
+fn main() {
+    header("Figure 1 — the generalized Fibonacci cube Q_4(101)");
+    let q4_101 = Qdf::new(4, word("101"));
+    describe(&q4_101, "Q_4(101)");
+    println!("vertices: {}", join(q4_101.labels()));
+    println!(
+        "removed from Q_4: {}",
+        join(&fibcube_words::Word::all(4)
+            .filter(|w| !q4_101.contains(w))
+            .collect::<Vec<_>>())
+    );
+
+    header("Figure 2 — Γ_5 = Q_5(11) vs the 110-Fibonacci cube Q_4(110)");
+    let gamma5 = Qdf::new(5, word("11"));
+    let h4 = Qdf::new(4, word("110"));
+    describe(&gamma5, "Q_5(11) ");
+    describe(&h4, "Q_4(110)");
+    println!("\ncaption identities:");
+    println!(
+        "  |V(Q_4(110))| = |V(Γ_5)| − 1: {} = {} − 1  {}",
+        h4.order(),
+        gamma5.order(),
+        check(h4.order() == gamma5.order() - 1)
+    );
+    println!(
+        "  |E(Q_4(110))| = |E(Γ_5)| − 1: {} = {} − 1  {}",
+        h4.size(),
+        gamma5.size(),
+        check(h4.size() == gamma5.size() - 1)
+    );
+    println!(
+        "  |S(Q_4(110))| = |S(Γ_5)|:     {} = {}      {}",
+        h4.squares(),
+        gamma5.squares(),
+        check(h4.squares() == gamma5.squares())
+    );
+    println!(
+        "  diam/Δ: Γ_5 → {}/{}, Q_4(110) → {}/{}  (d+1 vs d, Prop 6.1)",
+        gamma5.diameter().unwrap(),
+        gamma5.max_degree(),
+        h4.diameter().unwrap(),
+        h4.max_degree()
+    );
+
+    // DOT output.
+    let dir = std::path::Path::new("target/figures");
+    std::fs::create_dir_all(dir).expect("create target/figures");
+    for (g, file) in [(&q4_101, "fig1_q4_101.dot"), (&gamma5, "fig2_gamma5.dot"), (&h4, "fig2_q4_110.dot")]
+    {
+        let path = dir.join(file);
+        std::fs::write(&path, g.to_dot(file.trim_end_matches(".dot"))).expect("write DOT");
+        println!("wrote {}", path.display());
+    }
+}
+
+fn join(ws: &[fibcube_words::Word]) -> String {
+    ws.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(" ")
+}
+
+fn check(b: bool) -> &'static str {
+    if b {
+        "✓"
+    } else {
+        "✗"
+    }
+}

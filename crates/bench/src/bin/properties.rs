@@ -1,0 +1,79 @@
+//! Regenerates the Section 6 structural claims: Proposition 6.1 (maximum
+//! degree and diameter of embeddable `Q_d(f)` both equal `d`) and
+//! Proposition 6.4 (median closedness ⟺ `|f| = 2`), with the proof's
+//! explicit violating triples.
+//!
+//! `cargo run --release -p fibcube-bench --bin properties [d_max]`
+
+use fibcube_bench::header;
+use fibcube_core::properties::{
+    degree_diameter, is_median_closed, median_violation, verify_median_violation,
+};
+use fibcube_core::{qdf_isometric, Qdf};
+use fibcube_words::families;
+
+fn main() {
+    let d_max: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(9);
+
+    header("Proposition 6.1 — max degree = diameter = d for embeddable f");
+    println!("{:<8} {:>3} {:>10} {:>9}  verdict", "f", "d", "max deg", "diameter");
+    for f in families::canonical_factors_up_to(5) {
+        let fs = f.to_string();
+        if fs == "1" || fs == "10" {
+            continue; // excluded trivial cases (K_1 and paths)
+        }
+        for d in 2..=d_max {
+            if !qdf_isometric(d, f) {
+                continue;
+            }
+            let g = Qdf::new(d, f);
+            let dd = degree_diameter(&g);
+            let ok = dd.max_degree == d && dd.diameter == d as u32;
+            if d == d_max || !ok {
+                println!(
+                    "{:<8} {:>3} {:>10} {:>9}  {}",
+                    fs,
+                    d,
+                    dd.max_degree,
+                    dd.diameter,
+                    if ok { "✓" } else { "✗" }
+                );
+            }
+            assert!(ok, "Prop 6.1 fails for f={fs}, d={d}?!");
+        }
+    }
+
+    header("Proposition 6.4 — median closedness");
+    println!("|f| = 2 (paths and Fibonacci cubes): median closed");
+    for fs in ["11", "00", "10", "01"] {
+        let f: fibcube_words::Word = fs.parse().unwrap();
+        let closed = (2..=7).all(|d| is_median_closed(&Qdf::new(d, f)));
+        println!("  f = {fs}: median closed for d ≤ 7: {closed}");
+        assert!(closed);
+    }
+    println!("\n|f| ≥ 3: never median closed (the proof's triple in action)");
+    println!("{:<8} {:>3}  triple (x, y, z) → median m ∉ V", "f", "d");
+    for f in families::canonical_factors_of_length(3)
+        .into_iter()
+        .chain(families::canonical_factors_of_length(4))
+        .chain(families::canonical_factors_of_length(5))
+    {
+        let d = f.len() + 2;
+        let g = Qdf::new(d, f);
+        assert!(!is_median_closed(&g), "f={f}");
+        let v = median_violation(&f, d);
+        assert!(verify_median_violation(&g, &v), "f={f}");
+        println!(
+            "{:<8} {:>3}  ({}, {}, {}) → {}",
+            f.to_string(),
+            d,
+            v.triple[0],
+            v.triple[1],
+            v.triple[2],
+            v.median
+        );
+    }
+    println!("\nProposition 6.4 verified: the only median closed generalized");
+    println!("Fibonacci cubes are the paths Q_d(10)/Q_d(01) and the Fibonacci");
+    println!("cubes Q_d(11)/Q_d(00).");
+}

@@ -1,0 +1,76 @@
+//! Regenerates **Table 1** of the paper (classification of embeddability
+//! of generalized Fibonacci cubes with forbidden factors of length ≤ 5)
+//! plus the four explicit computer checks it reports.
+//!
+//! `cargo run --release -p fibcube-bench --bin table1 [d_max]`
+
+use fibcube_bench::{embeds, header};
+use fibcube_core::classify::{table1, Observed};
+use fibcube_core::qdf_isometric;
+use fibcube_core::theorems::table1_expected;
+use fibcube_words::word;
+
+fn main() {
+    let d_max: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+
+    header(&format!("Table 1 — Q_d(f) ↪ Q_d for |f| ≤ 5, computed up to d = {d_max}"));
+    println!("{:<8} {:<3} {}", "factor", "", "per-d verdicts (d = 1..)");
+    let expected = table1_expected();
+    let mut mismatches = 0;
+    for row in table1(5, d_max) {
+        let verdicts: String = row
+            .cells
+            .iter()
+            .map(|c| format!("{:>2}", embeds(c.computed)))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let summary = match row.observed {
+            Observed::AllEmbeddable => "all d".to_string(),
+            Observed::Threshold(t) => format!("d ≤ {t}"),
+            Observed::Irregular => "IRREGULAR".to_string(),
+        };
+        let (_, class, src) = expected
+            .iter()
+            .find(|(s, _, _)| *s == row.factor.to_string())
+            .expect("factor in paper table");
+        let ok = fibcube_core::classify::row_matches(&row, *class);
+        if !ok {
+            mismatches += 1;
+        }
+        println!(
+            "{:<8} {:<2} {}   → {:<8} [{}] {}",
+            row.factor.to_string(),
+            if ok { "✓" } else { "✗" },
+            verdicts,
+            summary,
+            src,
+            if ok { "" } else { "** MISMATCH **" },
+        );
+    }
+
+    header("The paper's explicit computer checks");
+    for (d, fs, expect) in [
+        (6usize, "1100", true),
+        (6, "10110", true),
+        (6, "10101", true),
+        (7, "10101", true),
+        (7, "1100", false),
+        (7, "10110", false),
+        (8, "10101", false),
+    ] {
+        let got = qdf_isometric(d, word(fs));
+        println!(
+            "Q_{d}({fs}) {} Q_{d}   (paper: {})   {}",
+            embeds(got),
+            embeds(expect),
+            if got == expect { "✓" } else { "✗" }
+        );
+        assert_eq!(got, expect);
+    }
+
+    println!(
+        "\nresult: {} mismatching classes{}",
+        mismatches,
+        if mismatches == 0 { " — Table 1 reproduced exactly." } else { "!" }
+    );
+}

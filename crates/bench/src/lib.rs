@@ -1,0 +1,42 @@
+//! # fibcube-bench
+//!
+//! The benchmark harness: criterion benches (`benches/`) measuring the
+//! reproduction's computational instruments, and table regenerators
+//! (`src/bin/`) that reprint every table and figure of the paper next to
+//! freshly computed values:
+//!
+//! | binary | paper item |
+//! |---|---|
+//! | `table1` | Table 1 (+ the four explicit computer checks) |
+//! | `figures` | Figure 1 (`Q_4(101)`) and Figure 2 (`Γ_5` vs `Q_4(110)`), with DOT output |
+//! | `series` | equations (1)–(6), Propositions 6.2/6.3, the `Γ_{d+1}` identities |
+//! | `series_isometry` | the Section 3–4 series theorems swept over parameters |
+//! | `properties` | Propositions 6.1 and 6.4 |
+//! | `dimension_tables` | Section 7 (`idim`/`dim_f`) and Section 8 (Winkler example) |
+//! | `conjecture` | Conjecture 8.1 evidence |
+//! | `network_tables` | the `[ICPP93]` interconnection evaluation (E-N1…E-N6) |
+//!
+//! Run any of them with `cargo run --release -p fibcube-bench --bin <name>`.
+
+/// Prints a ruled header line for the table regenerators.
+pub fn header(title: &str) {
+    println!("\n== {title} ==\n");
+}
+
+/// Formats a boolean as the paper's ↪ / ↪̸ notation.
+pub fn embeds(b: bool) -> &'static str {
+    if b {
+        "↪"
+    } else {
+        "↪̸"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn embeds_symbols() {
+        assert_eq!(super::embeds(true), "↪");
+        assert_eq!(super::embeds(false), "↪̸");
+    }
+}

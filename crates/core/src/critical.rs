@@ -1,0 +1,246 @@
+//! p-critical words (Lemma 2.4) — the paper's non-embeddability tool.
+//!
+//! Vertices `b, c ∈ Q_d(f)` with `d_{Q_d}(b,c) = p ≥ 2` are *p-critical*
+//! when all neighbors of `b` inside the hypercube interval `I_{Q_d}(b,c)`
+//! are missing from `Q_d(f)`, or all such neighbors of `c` are. Lemma 2.4:
+//! the existence of p-critical words forces `Q_d(f) ↪̸ Q_d`, because every
+//! geodesic would have to leave the interval.
+//!
+//! This module provides the definitional check, a brute-force finder, and
+//! the explicit constructions from the proofs of Propositions 3.2, 4.1, 4.2
+//! and Theorem 3.3.
+
+use fibcube_words::families;
+use fibcube_words::word::Word;
+
+use crate::qdf::Qdf;
+
+/// Are `b, c` p-critical words for `g = Q_d(f)` (any `p ≥ 2`)?
+pub fn are_critical(g: &Qdf, b: &Word, c: &Word) -> bool {
+    if !g.contains(b) || !g.contains(c) {
+        return false;
+    }
+    let p = b.hamming(c);
+    if p < 2 {
+        return false;
+    }
+    // Neighbors of b inside I_{Q_d}(b,c) are exactly b + e_i over differing
+    // positions i; symmetrically for c.
+    let diff = b.differing_positions(c);
+    let b_blocked = diff.iter().all(|&i| !g.contains(&b.flip(i)));
+    let c_blocked = diff.iter().all(|&i| !g.contains(&c.flip(i)));
+    b_blocked || c_blocked
+}
+
+/// Finds some pair of p-critical words with `hamming = p`, brute force over
+/// all vertex pairs. `None` when no such pair exists.
+pub fn find_critical(g: &Qdf, p: u32) -> Option<(Word, Word)> {
+    let labels = g.labels();
+    for (i, b) in labels.iter().enumerate() {
+        for c in labels.iter().skip(i + 1) {
+            if b.hamming(c) == p && are_critical(g, b, c) {
+                return Some((*b, *c));
+            }
+        }
+    }
+    None
+}
+
+/// Prepends `1^k` to both words — the paper's device for extending critical
+/// pairs to larger `d` ("attaching an appropriate number of 1's to the
+/// front"). The caller must ensure the prefix cannot create new occurrences
+/// of `f`; all factors used in the constructions below satisfy this.
+fn pad_front_ones(b: Word, c: Word, d: usize) -> (Word, Word) {
+    let k = d - b.len();
+    (Word::ones(k).concat(&b), Word::ones(k).concat(&c))
+}
+
+/// Proposition 3.2's 2-critical pair for `f = 1^r 0^s 1^t` and
+/// `d ≥ r + s + t + 1`:
+/// `b = 1^r 1 0^{s−1} 1 1^t`, `c = 1^r 0 0^{s−1} 0 1^t` (then pad with 1s).
+pub fn critical_pair_prop32(r: usize, s: usize, t: usize, d: usize) -> (Word, Word) {
+    assert!(r >= 1 && s >= 1 && t >= 1);
+    assert!(d >= r + s + t + 1, "needs d ≥ r+s+t+1");
+    let b = Word::ones(r + 1)
+        .concat(&Word::zeros(s - 1))
+        .concat(&Word::ones(t + 1));
+    let c = Word::ones(r)
+        .concat(&Word::zeros(s + 1))
+        .concat(&Word::ones(t));
+    pad_front_ones(b, c, d)
+}
+
+/// Theorem 3.3, Case 1 (`r = s = 2`, `f = 1100`): the 3-critical pair for
+/// `d ≥ 7`: `b = 1^2 10 1 0^2`, `c = 1^2 01 0 0^2` (then pad with 1s).
+pub fn critical_pair_thm33_case1(d: usize) -> (Word, Word) {
+    assert!(d >= 7, "needs d ≥ 7");
+    let b: Word = "1110100".parse().unwrap();
+    let c: Word = "1101000".parse().unwrap();
+    pad_front_ones(b, c, d)
+}
+
+/// Theorem 3.3, Case 2 (`r > 2` or `s > 2`, `f = 1^r 0^s`): the 2-critical
+/// pair for `d ≥ 2r + 2s − 2`:
+/// `b = 1^r 0^{s−2} 10 1^{r−2} 0^s`, `c = 1^r 0^{s−2} 01 1^{r−2} 0^s`.
+pub fn critical_pair_thm33_case2(r: usize, s: usize, d: usize) -> (Word, Word) {
+    assert!(r >= 2 && s >= 2 && (r > 2 || s > 2));
+    assert!(d >= 2 * r + 2 * s - 2, "needs d ≥ 2r+2s−2");
+    let mid_b: Word = "10".parse().unwrap();
+    let mid_c: Word = "01".parse().unwrap();
+    let make = |mid: &Word| {
+        Word::ones(r)
+            .concat(&Word::zeros(s - 2))
+            .concat(mid)
+            .concat(&Word::ones(r - 2))
+            .concat(&Word::zeros(s))
+    };
+    pad_front_ones(make(&mid_b), make(&mid_c), d)
+}
+
+/// Theorem 3.3(ii) tail case (`r = 2`, `s ≥ 4`, `s + 4 < d ≤ 2s + 1`):
+/// with `k = d − s − 4` the 2-critical pair is
+/// `b = 1^2 0^k 10 0^s`, `c = 1^2 0^k 01 0^s` (already of length `d`).
+pub fn critical_pair_thm33_r2(s: usize, d: usize) -> (Word, Word) {
+    assert!(s >= 4 && d > s + 4, "needs s ≥ 4 and d > s+4");
+    let k = d - s - 4;
+    assert!(k <= s - 3, "paper's construction needs k ≤ s−3 (d ≤ 2s+1)");
+    let b = Word::ones(2)
+        .concat(&Word::zeros(k))
+        .concat(&"10".parse::<Word>().unwrap())
+        .concat(&Word::zeros(s));
+    let c = Word::ones(2)
+        .concat(&Word::zeros(k))
+        .concat(&"01".parse::<Word>().unwrap())
+        .concat(&Word::zeros(s));
+    (b, c)
+}
+
+/// Proposition 4.1's 2-critical pair for `f = (10)^s 1`, `s ≥ 2`, `d ≥ 4s`:
+/// `b = (10)^{s−1} 100 (10)^{s−1} 1`, `c = (10)^{s−1} 111 (10)^{s−1} 1`.
+pub fn critical_pair_prop41(s: usize, d: usize) -> (Word, Word) {
+    assert!(s >= 2, "s = 1 is Proposition 3.2 (f = 101)");
+    assert!(d >= 4 * s, "needs d ≥ 4s");
+    let wing = families::ten_power(s - 1);
+    let tail = wing.concat(&"1".parse::<Word>().unwrap());
+    let b = wing.concat(&"100".parse::<Word>().unwrap()).concat(&tail);
+    let c = wing.concat(&"111".parse::<Word>().unwrap()).concat(&tail);
+    pad_front_ones(b, c, d)
+}
+
+/// Proposition 4.2's 2-critical pair for `f = (10)^r 1 (10)^s`,
+/// `d ≥ 2r + 2s + 3`:
+/// `b = (10)^r 100 (10)^s`, `c = (10)^r 111 (10)^s`.
+pub fn critical_pair_prop42(r: usize, s: usize, d: usize) -> (Word, Word) {
+    assert!(r >= 1 && s >= 1);
+    assert!(d >= 2 * r + 2 * s + 3, "needs d ≥ 2r+2s+3");
+    let b = families::ten_power(r)
+        .concat(&"100".parse::<Word>().unwrap())
+        .concat(&families::ten_power(s));
+    let c = families::ten_power(r)
+        .concat(&"111".parse::<Word>().unwrap())
+        .concat(&families::ten_power(s));
+    pad_front_ones(b, c, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isometry_check::is_isometric;
+    use fibcube_words::word;
+
+    fn assert_critical(f: Word, d: usize, pair: (Word, Word), expected_p: u32) {
+        let g = Qdf::new(d, f);
+        let (b, c) = pair;
+        assert_eq!(b.len(), d, "b has length d");
+        assert_eq!(c.len(), d, "c has length d");
+        assert_eq!(b.hamming(&c), expected_p, "pair at Hamming distance p");
+        assert!(g.contains(&b), "b = {b} must avoid f = {f}");
+        assert!(g.contains(&c), "c = {c} must avoid f = {f}");
+        assert!(are_critical(&g, &b, &c), "pair must be critical for f={f}, d={d}");
+        assert!(!is_isometric(&g), "Lemma 2.4: criticality forces non-isometry");
+    }
+
+    #[test]
+    fn prop32_pairs_are_critical() {
+        for (r, s, t) in [(1, 1, 1), (2, 1, 1), (1, 2, 1), (1, 1, 2), (2, 2, 2)] {
+            let f = families::ones_zeros_ones(r, s, t);
+            for extra in 0..=2 {
+                let d = r + s + t + 1 + extra;
+                assert_critical(f, d, critical_pair_prop32(r, s, t, d), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn thm33_case1_pairs_are_3_critical() {
+        let f = word("1100");
+        for d in 7..=9 {
+            assert_critical(f, d, critical_pair_thm33_case1(d), 3);
+        }
+    }
+
+    #[test]
+    fn thm33_case2_pairs_are_critical() {
+        for (r, s) in [(3, 2), (2, 3), (3, 3), (4, 2), (2, 4)] {
+            let f = families::ones_zeros(r, s);
+            for extra in 0..=1 {
+                let d = 2 * r + 2 * s - 2 + extra;
+                assert_critical(f, d, critical_pair_thm33_case2(r, s, d), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn thm33_r2_gap_pairs_are_critical() {
+        // r = 2, s = 4: f = 110000, threshold s+4 = 8; for d = 9..=2s+1 the
+        // k-construction applies.
+        for (s, d) in [(4usize, 9usize), (5, 10), (5, 11), (6, 11)] {
+            let f = families::ones_zeros(2, s);
+            assert_critical(f, d, critical_pair_thm33_r2(s, d), 2);
+        }
+    }
+
+    #[test]
+    fn prop41_pairs_are_critical() {
+        for s in 2..=3usize {
+            let f = families::ten_power_one(s);
+            for extra in 0..=1 {
+                let d = 4 * s + extra;
+                assert_critical(f, d, critical_pair_prop41(s, d), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn prop42_pairs_are_critical() {
+        for (r, s) in [(1, 1), (1, 2), (2, 1), (2, 2)] {
+            let f = families::ten_r_one_ten_s(r, s);
+            for extra in 0..=1 {
+                let d = 2 * r + 2 * s + 3 + extra;
+                assert_critical(f, d, critical_pair_prop42(r, s, d), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn finder_locates_critical_pairs() {
+        // Q_4(101) has a 2-critical pair (Prop 3.2 with r=s=t=1).
+        let g = Qdf::new(4, word("101"));
+        let (b, c) = find_critical(&g, 2).expect("2-critical pair exists");
+        assert!(are_critical(&g, &b, &c));
+        // Isometric cubes have no critical pairs at any p ≤ d.
+        let gamma = Qdf::fibonacci(6);
+        for p in 2..=6 {
+            assert_eq!(find_critical(&gamma, p), None, "p={p}");
+        }
+    }
+
+    #[test]
+    fn criticality_needs_membership_and_distance() {
+        let g = Qdf::new(4, word("101"));
+        // Distance 1 pairs are never critical.
+        assert!(!are_critical(&g, &word("0000"), &word("0001")));
+        // Non-vertices are never critical.
+        assert!(!are_critical(&g, &word("1010"), &word("0000")));
+    }
+}

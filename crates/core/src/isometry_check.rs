@@ -1,0 +1,260 @@
+//! Deciding `Q_d(f) ↪ Q_d` — is the generalized Fibonacci cube an
+//! *isometric* subgraph of its hypercube?
+//!
+//! `Q_d(f)` is an induced subgraph of `Q_d`, so `d_{Q_d(f)}(b,c) ≥
+//! d_{Q_d}(b,c) = H(b,c)` always; isometry asks for equality on every pair.
+//! The checker runs one (bounded) BFS per source vertex and compares against
+//! Hamming distances, parallelised over sources with a global early-exit
+//! flag. This is the "computer check" instrument behind Table 1 (the paper
+//! reports such checks for `Q_6(1100)`, `Q_6(10110)`, `Q_6(10101)`,
+//! `Q_7(10101)`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use fibcube_graph::bfs::{bfs_bounded_into, BfsScratch, INFINITY};
+use fibcube_graph::parallel::{num_threads, par_map_threads};
+use fibcube_words::word::Word;
+
+use crate::qdf::Qdf;
+
+/// A witness that `Q_d(f)` is **not** isometric in `Q_d`: a vertex pair
+/// whose graph distance exceeds its Hamming distance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// First endpoint.
+    pub b: Word,
+    /// Second endpoint.
+    pub c: Word,
+    /// Hamming distance `d_{Q_d}(b, c)`.
+    pub hamming: u32,
+    /// Distance inside `Q_d(f)` (`u32::MAX` when disconnected).
+    pub graph_distance: u32,
+}
+
+/// Is `g = Q_d(f)` an isometric subgraph of `Q_d`?
+///
+/// `O(|V| · (|V| + |E|))` worst case, parallel over BFS sources, with an
+/// early exit as soon as any violation is seen.
+pub fn is_isometric(g: &Qdf) -> bool {
+    let n = g.order();
+    if n <= 1 {
+        return true;
+    }
+    let d = g.d() as u32;
+    let labels = g.labels();
+    let graph = g.graph();
+    let found = AtomicBool::new(false);
+    // One BFS per source; sources processed in parallel blocks.
+    let threads = num_threads();
+    let flags = par_map_threads(n, threads, |s| {
+        if found.load(Ordering::Relaxed) {
+            return true; // someone already found a violation; value unused
+        }
+        let mut dist = vec![INFINITY; n];
+        let mut scratch = BfsScratch::new(n);
+        bfs_bounded_into(graph, s as u32, d, &mut dist, &mut scratch);
+        let ws = labels[s];
+        for (v, &dv) in dist.iter().enumerate() {
+            if dv != ws.hamming(&labels[v]) {
+                found.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    });
+    let _ = flags;
+    !found.load(Ordering::Relaxed)
+}
+
+/// All violating pairs (up to `limit`, unordered pairs reported once, in
+/// lexicographic source order). Empty ⟺ isometric.
+pub fn violations(g: &Qdf, limit: usize) -> Vec<Violation> {
+    let n = g.order();
+    let d = g.d() as u32;
+    let labels = g.labels();
+    let graph = g.graph();
+    let mut out = Vec::new();
+    let mut dist = vec![INFINITY; n];
+    let mut scratch = BfsScratch::new(n);
+    for s in 0..n {
+        bfs_bounded_into(graph, s as u32, d, &mut dist, &mut scratch);
+        let ws = labels[s];
+        for v in s + 1..n {
+            let dv = dist[v];
+            let h = ws.hamming(&labels[v]);
+            if dv != h {
+                out.push(Violation { b: ws, c: labels[v], hamming: h, graph_distance: dv });
+                if out.len() >= limit {
+                    return out;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Convenience: build `Q_d(f)` and test isometry.
+pub fn qdf_isometric(d: usize, f: Word) -> bool {
+    is_isometric(&Qdf::new(d, f))
+}
+
+/// The **local interval criterion**: an induced subgraph `H ≤ Q_d` with
+/// vertex set `V` is isometric in `Q_d` **iff** for every pair `b ≠ c ∈ V`
+/// some neighbor of `b` inside the hypercube interval `I(b, c)` (i.e. some
+/// `b + e_i` with `i` a differing position) belongs to `V`.
+///
+/// *Sufficiency*: induct on the Hamming distance — the witnessing neighbor
+/// is one step closer. *Necessity*: the first step of a geodesic must
+/// decrease the Hamming distance. This is exactly the contrapositive of the
+/// p-critical-word obstruction (Lemma 2.4) made into a decision procedure.
+///
+/// Runs in `O(|V|² · d)` bit operations with **no BFS at all** — an
+/// ablation alternative to [`is_isometric`] (see `benches/isometry.rs`).
+pub fn is_isometric_local(g: &Qdf) -> bool {
+    induced_is_isometric_local(g.labels())
+}
+
+/// [`is_isometric_local`] over a raw sorted label set (the induced
+/// subgraph of the hypercube it spans). Labels must be sorted, unique and
+/// of equal length.
+pub fn induced_is_isometric_local(labels: &[Word]) -> bool {
+    let n = labels.len();
+    if n <= 1 {
+        return true;
+    }
+    let d = labels[0].len();
+    let member = |w: &Word| labels.binary_search(w).is_ok();
+    let threads = num_threads();
+    fibcube_graph::parallel::par_all(n, threads, |bi| {
+        let b = labels[bi];
+        'pairs: for c in labels.iter() {
+            if *c == b {
+                continue;
+            }
+            for i in 1..=d {
+                if b.at(i) != c.at(i) && member(&b.flip(i)) {
+                    continue 'pairs;
+                }
+            }
+            return false; // b is "blocked" towards c: a critical-style pair
+        }
+        true
+    })
+}
+
+/// Reference implementation (serial, exact distances) used to validate the
+/// parallel/bounded fast path in tests.
+pub fn is_isometric_reference(g: &Qdf) -> bool {
+    let n = g.order();
+    let labels = g.labels();
+    let rows = fibcube_graph::bfs::distance_matrix(g.graph());
+    for s in 0..n {
+        for v in s + 1..n {
+            if rows[s][v] != labels[s].hamming(&labels[v]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fibcube_words::word;
+
+    #[test]
+    fn fibonacci_cubes_are_isometric() {
+        // Γ_d ↪ Q_d (Proposition 3.1 with s = 2).
+        for d in 0..=10 {
+            assert!(qdf_isometric(d, word("11")), "d={d}");
+        }
+    }
+
+    #[test]
+    fn q4_101_is_isometric_but_q5_101_is_not() {
+        // Proposition 3.2 (r=s=t=1): Q_d(101) ↪̸ Q_d exactly when d ≥ 4.
+        assert!(qdf_isometric(3, word("101")));
+        assert!(!qdf_isometric(4, word("101")));
+        assert!(!qdf_isometric(5, word("101")));
+    }
+
+    #[test]
+    fn paper_computer_checks() {
+        // Table 1's explicit computer checks.
+        assert!(qdf_isometric(6, word("1100")), "Q_6(1100) ↪ Q_6");
+        assert!(!qdf_isometric(7, word("1100")), "Q_7(1100) ↪̸ Q_7");
+        assert!(qdf_isometric(6, word("10110")), "Q_6(10110) ↪ Q_6");
+        assert!(qdf_isometric(6, word("10101")), "Q_6(10101) ↪ Q_6");
+        assert!(qdf_isometric(7, word("10101")), "Q_7(10101) ↪ Q_7");
+    }
+
+    #[test]
+    fn lemma_2_1_short_dimensions_always_embed() {
+        // d ≤ |f| ⟹ Q_d(f) ↪ Q_d.
+        for fbits in 0..16u64 {
+            let f = Word::from_raw(fbits, 4);
+            for d in 0..=4usize {
+                assert!(qdf_isometric(d, f), "f={f} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn violations_are_real_and_reported() {
+        let g = Qdf::new(4, word("101"));
+        let v = violations(&g, 10);
+        assert!(!v.is_empty());
+        for viol in &v {
+            assert!(viol.graph_distance > viol.hamming);
+            assert_eq!(g.distance(&viol.b, &viol.c), viol.graph_distance);
+            assert_eq!(viol.b.hamming(&viol.c), viol.hamming);
+        }
+        // The proof's 2-critical pair 1x10y1 shape: check hamming-2 pair exists.
+        assert!(v.iter().any(|viol| viol.hamming == 2));
+        // Isometric graph ⇒ no violations.
+        assert!(violations(&Qdf::fibonacci(6), 10).is_empty());
+    }
+
+    #[test]
+    fn fast_path_matches_reference() {
+        for (d, f) in [(6, "1100"), (7, "1100"), (5, "101"), (6, "110"), (7, "11010")] {
+            let g = Qdf::new(d, word(f));
+            assert_eq!(is_isometric(&g), is_isometric_reference(&g), "d={d} f={f}");
+        }
+    }
+
+    #[test]
+    fn trivial_graphs_isometric() {
+        assert!(qdf_isometric(0, word("1")));
+        assert!(qdf_isometric(5, word("1"))); // single vertex 00000
+        assert!(qdf_isometric(1, word("0")));
+    }
+
+    #[test]
+    fn local_criterion_agrees_with_bfs_checker() {
+        // Exhaustive over all factors of length 3 and 4, d ≤ 8.
+        for m in 3..=4usize {
+            for bits in 0..(1u64 << m) {
+                let f = Word::from_raw(bits, m);
+                for d in 1..=8usize {
+                    let g = Qdf::new(d, f);
+                    assert_eq!(
+                        is_isometric_local(&g),
+                        is_isometric(&g),
+                        "f={f} d={d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_criterion_on_paper_checks() {
+        assert!(is_isometric_local(&Qdf::new(6, word("1100"))));
+        assert!(!is_isometric_local(&Qdf::new(7, word("1100"))));
+        assert!(is_isometric_local(&Qdf::new(7, word("10101"))));
+        assert!(!is_isometric_local(&Qdf::new(8, word("10101"))));
+        assert!(is_isometric_local(&Qdf::fibonacci(9)));
+    }
+}

@@ -1,0 +1,39 @@
+//! # fibcube-core
+//!
+//! The paper's primary object: the generalized Fibonacci cube `Q_d(f)` —
+//! the subgraph of the hypercube `Q_d` induced by binary strings avoiding a
+//! forbidden factor `f` (Ilić–Klavžar–Rho, *Generalized Fibonacci cubes*,
+//! Discrete Mathematics 312 (2012) 2–11) — together with the paper's
+//! isometric-embedding theory as executable code:
+//!
+//! * [`Qdf`] — construction of `Q_d(f)` with label ↔ index translation;
+//! * [`isometry_check`] — the parallel decision procedure for
+//!   `Q_d(f) ↪ Q_d` (the "computer check" instrument behind Table 1);
+//! * [`critical`] — p-critical words (Lemma 2.4) with the explicit pairs
+//!   from every non-embeddability proof;
+//! * [`theorems`] — the embeddability oracle (Props 3.1/3.2/4.1/4.2/5.1,
+//!   Thms 3.3/4.3/4.4, Lemma 2.1, symmetry reduction);
+//! * [`classify`] — regenerates Table 1 and probes Conjecture 8.1;
+//! * [`properties`] — Propositions 6.1 (degree/diameter) and 6.4 (median
+//!   closedness).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod critical;
+pub mod isometry_check;
+pub mod lucas;
+pub mod properties;
+pub mod qdf;
+pub mod theorems;
+
+pub use classify::{classify_factor, table1, Observed, Row};
+pub use critical::{are_critical, find_critical};
+pub use isometry_check::{
+    is_isometric, is_isometric_local, qdf_isometric, violations, Violation,
+};
+pub use lucas::{lucas_number, CircularQdf};
+pub use properties::{degree_diameter, is_median_closed, median_violation};
+pub use qdf::{induced_hypercube_subgraph, Qdf};
+pub use theorems::{predict, predict_paper, EmbedClass, Prediction};

@@ -1,0 +1,223 @@
+//! Circular forbidden factors and Lucas cubes — the natural companion
+//! family (extension feature; the paper's reference list touches it via
+//! the observability and median literature [4, 12]).
+//!
+//! The *circular* generalized Fibonacci cube `Q_d^c(f)` keeps the strings
+//! that avoid `f` **cyclically** (no occurrence in any rotation). For
+//! `f = 11` this is the classical **Lucas cube** `Λ_d`, whose order is the
+//! Lucas number `L_d`, and which — like `Γ_d` — is an isometric subgraph
+//! of `Q_d`.
+
+use fibcube_graph::csr::CsrGraph;
+use fibcube_words::word::Word;
+
+use crate::qdf::induced_hypercube_subgraph;
+
+/// A generalized Fibonacci cube with a *circularly* forbidden factor.
+#[derive(Clone, Debug)]
+pub struct CircularQdf {
+    d: usize,
+    factor: Word,
+    vertices: Vec<Word>,
+    graph: CsrGraph,
+}
+
+/// Does `f` occur in the **periodic extension** `w^∞ = www…`?
+///
+/// This is the Lucas-cube convention: for `d = 1` the string `1` *does*
+/// contain `11` cyclically (`Λ_1 = {0}`, `|Λ_1| = L_1 = 1`). Occurrences
+/// are windows of length `|f|` starting within the first period; `w` is
+/// repeated often enough for the window to fit. The empty word's periodic
+/// extension is empty, so it contains nothing.
+///
+/// # Panics
+///
+/// Panics when the required repetition exceeds the 63-bit word capacity.
+pub fn occurs_cyclically(f: &Word, w: &Word) -> bool {
+    let d = w.len();
+    let m = f.len();
+    if m == 0 {
+        return true;
+    }
+    if d == 0 {
+        return false;
+    }
+    // Enough periods that every window starting in 1..=d fits.
+    let reps = m.div_ceil(d) + 1;
+    assert!(reps * d <= fibcube_words::MAX_LEN, "periodic extension too long");
+    let repeated = w.power(reps);
+    (1..=d).any(|start| repeated.slice(start, start + m - 1) == *f)
+}
+
+impl CircularQdf {
+    /// Builds `Q_d^c(f)`: the subgraph of `Q_d` induced by strings avoiding
+    /// `f` in every rotation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `f` is empty or `2d > MAX_LEN` (the doubled word must
+    /// fit in a `u64`).
+    pub fn new(d: usize, factor: Word) -> CircularQdf {
+        assert!(!factor.is_empty(), "forbidden factor must be non-empty");
+        assert!(2 * d <= fibcube_words::MAX_LEN, "2d must fit in a word");
+        let vertices: Vec<Word> =
+            Word::all(d).filter(|w| !occurs_cyclically(&factor, w)).collect();
+        let graph = induced_hypercube_subgraph(d, &vertices);
+        CircularQdf { d, factor, vertices, graph }
+    }
+
+    /// The Lucas cube `Λ_d = Q_d^c(11)`.
+    pub fn lucas(d: usize) -> CircularQdf {
+        CircularQdf::new(d, Word::ones(2))
+    }
+
+    /// String length `d`.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The circularly forbidden factor.
+    pub fn factor(&self) -> Word {
+        self.factor
+    }
+
+    /// Number of vertices.
+    pub fn order(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn size(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Sorted vertex labels.
+    pub fn labels(&self) -> &[Word] {
+        &self.vertices
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Is `w` a vertex?
+    pub fn contains(&self, w: &Word) -> bool {
+        w.len() == self.d && self.vertices.binary_search(w).is_ok()
+    }
+
+    /// Is this cube an isometric subgraph of `Q_d`? (Lucas cubes always
+    /// are; general circular factors need not be.)
+    pub fn is_isometric(&self) -> bool {
+        crate::isometry_check::induced_is_isometric_local(&self.vertices)
+    }
+}
+
+/// The Lucas number `L_i` (`L_0 = 2, L_1 = 1, L_i = L_{i−1} + L_{i−2}`).
+pub fn lucas_number(i: usize) -> u128 {
+    let (mut a, mut b) = (2u128, 1u128);
+    if i == 0 {
+        return 2;
+    }
+    for _ in 1..i {
+        let next = a.checked_add(b).expect("Lucas overflow");
+        a = b;
+        b = next;
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fibcube_words::word;
+
+    #[test]
+    fn lucas_numbers() {
+        let expected = [2u128, 1, 3, 4, 7, 11, 18, 29, 47, 76, 123];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(lucas_number(i), e, "i={i}");
+        }
+    }
+
+    #[test]
+    fn lucas_cube_orders_are_lucas_numbers() {
+        for d in 1..=12usize {
+            assert_eq!(CircularQdf::lucas(d).order() as u128, lucas_number(d), "d={d}");
+        }
+    }
+
+    #[test]
+    fn cyclic_occurrence() {
+        // 11 occurs cyclically in 10…01 (wraparound).
+        assert!(occurs_cyclically(&word("11"), &word("1001")));
+        assert!(!occurs_cyclically(&word("11"), &word("1010")));
+        assert!(occurs_cyclically(&word("11"), &word("0110")));
+        // Factor longer than the word wraps around multiple periods:
+        // (11)^∞ = 111… contains 111; (10)^∞ does not.
+        assert!(occurs_cyclically(&word("111"), &word("11")));
+        assert!(!occurs_cyclically(&word("111"), &word("10")));
+        // Λ_1 convention: 1^∞ contains 11.
+        assert!(occurs_cyclically(&word("11"), &word("1")));
+        // Whole word occurrence.
+        assert!(occurs_cyclically(&word("101"), &word("101")));
+        // Rotated whole-word occurrence: 110 is a rotation of 011.
+        assert!(occurs_cyclically(&word("110"), &word("011")));
+    }
+
+    #[test]
+    fn lucas_cube_is_isometric_in_hypercube() {
+        // Λ_d ↪ Q_d (classical result) — verified computationally.
+        for d in 1..=10usize {
+            assert!(CircularQdf::lucas(d).is_isometric(), "Λ_{d}");
+        }
+    }
+
+    #[test]
+    fn lucas_cube_subset_of_fibonacci_cube() {
+        // Λ_d ⊆ Γ_d: the cyclic condition strengthens the linear one.
+        for d in 2..=9usize {
+            let lucas = CircularQdf::lucas(d);
+            let gamma = crate::qdf::Qdf::fibonacci(d);
+            for w in lucas.labels() {
+                assert!(gamma.contains(w), "d={d} w={w}");
+            }
+            assert!(lucas.order() <= gamma.order());
+        }
+    }
+
+    #[test]
+    fn lucas_small_structures() {
+        // Λ_4: the 7 cyclically-11-free strings of length 4.
+        let l4 = CircularQdf::lucas(4);
+        let expected = ["0000", "0001", "0010", "0100", "0101", "1000", "1010"];
+        let got: Vec<String> = l4.labels().iter().map(|w| w.to_string()).collect();
+        assert_eq!(got, expected);
+        assert_eq!(l4.size(), 8);
+        // 1001 has a cyclic 11 (wraparound) and is excluded.
+        assert!(!l4.contains(&word("1001")));
+    }
+
+    #[test]
+    fn circular_101_cube() {
+        // Q_4^c(101): cyclic 101-free strings of length 4.
+        let g = CircularQdf::new(4, word("101"));
+        // 0101 contains 101 linearly; 1010 contains it cyclically (rotate).
+        assert!(!g.contains(&word("0101")));
+        assert!(!g.contains(&word("1010")));
+        assert!(g.contains(&word("0000")));
+        assert!(g.contains(&word("1111")));
+        assert!(g.order() < 16);
+    }
+
+    #[test]
+    fn lemma_2_2_analogue_for_circular() {
+        // Complement symmetry survives the circular setting.
+        for d in 2..=8usize {
+            let a = CircularQdf::new(d, word("110"));
+            let b = CircularQdf::new(d, word("001"));
+            assert_eq!(a.order(), b.order(), "d={d}");
+            assert_eq!(a.size(), b.size(), "d={d}");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Structural properties of generalized Fibonacci cubes (Section 6):
+//! Proposition 6.1 (maximum degree and diameter) and Proposition 6.4
+//! (median closedness).
+
+use fibcube_graph::median::hypercube_median;
+use fibcube_words::word::Word;
+
+use crate::qdf::Qdf;
+
+/// Proposition 6.1 data: for embeddable `f ∉ {ε, 0, 1, 01, 10}` and
+/// `Q_d(f) ↪ Q_d`, both the maximum degree and the diameter equal `d`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DegreeDiameter {
+    /// Maximum vertex degree of `Q_d(f)`.
+    pub max_degree: usize,
+    /// Diameter of `Q_d(f)`.
+    pub diameter: u32,
+}
+
+/// Computes the pair checked by Proposition 6.1.
+pub fn degree_diameter(g: &Qdf) -> DegreeDiameter {
+    DegreeDiameter {
+        max_degree: g.max_degree(),
+        diameter: g.diameter().unwrap_or(0),
+    }
+}
+
+/// Is `Q_d(f)` median closed in `Q_d`? The `Q_d`-median of three labels is
+/// their bitwise majority; closedness asks that it stays in the vertex set
+/// for every vertex triple. `O(n³)` — for the small `d` of the experiments.
+pub fn is_median_closed(g: &Qdf) -> bool {
+    let labels = g.labels();
+    let n = labels.len();
+    for i in 0..n {
+        for j in i + 1..n {
+            for k in j + 1..n {
+                let m = hypercube_median(labels[i].bits(), labels[j].bits(), labels[k].bits());
+                let mw = Word::from_raw(m, g.d());
+                if !g.contains(&mw) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// A triple of `Q_d(f)`-vertices whose `Q_d`-median escapes `Q_d(f)`,
+/// witnessing failure of median closedness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MedianViolation {
+    /// The triple (pairwise at Hamming distance 2).
+    pub triple: [Word; 3],
+    /// Their hypercube median — contains `f`, hence not a vertex.
+    pub median: Word,
+}
+
+/// The explicit construction from the proof of Proposition 6.4, valid for
+/// `|f| ≥ 3` and `d ≥ |f|`: with `g = f_{|f|}`, pad `m = f · ḡ^{d−|f|}` and
+/// take `x, y, z = m + e₁, m + e₂, m + e₃`. Each stays in `Q_d(f)` (any
+/// occurrence window crossing position `|f|` would have to end in `ḡ ≠ g`),
+/// while their unique median `m` contains `f` as a prefix.
+pub fn median_violation(f: &Word, d: usize) -> MedianViolation {
+    assert!(f.len() >= 3, "construction needs |f| ≥ 3");
+    assert!(d >= f.len(), "needs d ≥ |f|");
+    let g_bit = f.at(f.len());
+    let pad = if g_bit == 1 { Word::zeros(d - f.len()) } else { Word::ones(d - f.len()) };
+    let m = f.concat(&pad);
+    MedianViolation { triple: [m.flip(1), m.flip(2), m.flip(3)], median: m }
+}
+
+/// Checks a [`MedianViolation`] against an actual graph: the triple must be
+/// vertices, pairwise at Hamming distance 2, and the median must be absent.
+pub fn verify_median_violation(g: &Qdf, v: &MedianViolation) -> bool {
+    let [x, y, z] = &v.triple;
+    g.contains(x)
+        && g.contains(y)
+        && g.contains(z)
+        && x.hamming(y) == 2
+        && x.hamming(z) == 2
+        && y.hamming(z) == 2
+        && hypercube_median(x.bits(), y.bits(), z.bits()) == v.median.bits()
+        && !g.contains(&v.median)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fibcube_words::word;
+
+    #[test]
+    fn prop_6_1_degree_and_diameter_equal_d() {
+        // Embeddable cases with |f| ≥ 2, f ∉ {10, 01}.
+        for (d, f) in [(6, "11"), (7, "111"), (6, "110"), (6, "1100"), (7, "1010"), (8, "11010")] {
+            let g = Qdf::new(d, word(f));
+            let dd = degree_diameter(&g);
+            assert_eq!(dd.max_degree, d, "f={f}");
+            assert_eq!(dd.diameter, d as u32, "f={f}");
+        }
+    }
+
+    #[test]
+    fn prop_6_1_excluded_cases_differ() {
+        // f = 10 gives a path: max degree 2 ≠ d.
+        let p = Qdf::new(5, word("10"));
+        assert_eq!(degree_diameter(&p), DegreeDiameter { max_degree: 2, diameter: 5 });
+        // f = 1 gives K_1.
+        let k1 = Qdf::new(5, word("1"));
+        assert_eq!(degree_diameter(&k1), DegreeDiameter { max_degree: 0, diameter: 0 });
+    }
+
+    #[test]
+    fn fibonacci_cubes_and_paths_are_median_closed() {
+        for d in 1..=7 {
+            assert!(is_median_closed(&Qdf::new(d, word("11"))), "Γ_{d}");
+            assert!(is_median_closed(&Qdf::new(d, word("00"))), "Q_{d}(00)");
+            assert!(is_median_closed(&Qdf::new(d, word("10"))), "path d={d}");
+            assert!(is_median_closed(&Qdf::new(d, word("01"))), "path d={d}");
+        }
+    }
+
+    #[test]
+    fn prop_6_4_longer_factors_not_median_closed() {
+        for f in ["110", "101", "111", "1100", "1010", "11010"] {
+            let f = word(f);
+            for d in f.len()..=f.len() + 2 {
+                let g = Qdf::new(d, f);
+                assert!(!is_median_closed(&g), "f={f} d={d}");
+                let v = median_violation(&f, d);
+                assert!(verify_median_violation(&g, &v), "f={f} d={d} {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn violation_construction_details() {
+        // f = 110, d = 5: g = 0, pad = 11, m = 11011.
+        let v = median_violation(&word("110"), 5);
+        assert_eq!(v.median, word("11011"));
+        assert_eq!(v.triple, [word("01011"), word("10011"), word("11111")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "|f| ≥ 3")]
+    fn short_factor_rejected() {
+        median_violation(&word("11"), 5);
+    }
+}

@@ -1,0 +1,304 @@
+//! The generalized Fibonacci cube `Q_d(f)` (Section 2 of the paper):
+//! the subgraph of the hypercube `Q_d` induced by the binary strings of
+//! length `d` that do not contain the forbidden factor `f`.
+
+use fibcube_graph::csr::{CsrGraph, GraphBuilder};
+use fibcube_words::automaton::FactorAutomaton;
+use fibcube_words::word::Word;
+
+/// A materialised generalized Fibonacci cube.
+///
+/// Vertices carry their binary-string labels ([`Word`]s, stored sorted so
+/// label ↔ index translation is a binary search); the induced adjacency
+/// (labels at Hamming distance 1) is precomputed in CSR form.
+///
+/// # Examples
+///
+/// ```
+/// use fibcube_core::Qdf;
+/// use fibcube_words::word;
+///
+/// // The Fibonacci cube Γ_4 = Q_4(11) has F_6 = 8 vertices.
+/// let g = Qdf::new(4, word("11"));
+/// assert_eq!(g.order(), 8);
+/// assert_eq!(g.size(), 10);
+/// assert!(g.contains(&word("1010")));
+/// assert!(!g.contains(&word("0110")));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Qdf {
+    d: usize,
+    factor: Word,
+    vertices: Vec<Word>,
+    graph: CsrGraph,
+}
+
+impl Qdf {
+    /// Builds `Q_d(f)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `f` is empty or `d` exceeds [`fibcube_words::MAX_LEN`].
+    pub fn new(d: usize, factor: Word) -> Qdf {
+        let automaton = FactorAutomaton::new(factor);
+        let vertices = automaton.free_words(d);
+        let graph = induced_hypercube_subgraph(d, &vertices);
+        Qdf { d, factor, vertices, graph }
+    }
+
+    /// The Fibonacci cube `Γ_d = Q_d(11)`.
+    pub fn fibonacci(d: usize) -> Qdf {
+        Qdf::new(d, Word::ones(2))
+    }
+
+    /// The full hypercube `Q_d`, realised as `Q_d(f)` with `|f| = d + 1`
+    /// (no string of length `d` can contain it).
+    pub fn hypercube(d: usize) -> Qdf {
+        assert!(d + 1 <= fibcube_words::MAX_LEN, "dimension too large");
+        Qdf::new(d, Word::ones(d + 1))
+    }
+
+    /// The string dimension `d` (not the graph diameter).
+    #[inline]
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The forbidden factor `f`.
+    #[inline]
+    pub fn factor(&self) -> Word {
+        self.factor
+    }
+
+    /// Number of vertices `|V(Q_d(f))|`.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges `|E(Q_d(f))|`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// The vertex labels, sorted lexicographically; index `i` in the
+    /// underlying [`CsrGraph`] is `labels()[i]`.
+    #[inline]
+    pub fn labels(&self) -> &[Word] {
+        &self.vertices
+    }
+
+    /// The underlying CSR graph.
+    #[inline]
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Label of vertex `i`.
+    #[inline]
+    pub fn label(&self, i: u32) -> Word {
+        self.vertices[i as usize]
+    }
+
+    /// Index of the vertex with label `w`, if present.
+    #[inline]
+    pub fn index_of(&self, w: &Word) -> Option<u32> {
+        self.vertices.binary_search(w).ok().map(|i| i as u32)
+    }
+
+    /// Is `w` a vertex of `Q_d(f)`?
+    #[inline]
+    pub fn contains(&self, w: &Word) -> bool {
+        w.len() == self.d && self.index_of(w).is_some()
+    }
+
+    /// Graph distance between two labels (`u32::MAX` when disconnected).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either label is not a vertex.
+    pub fn distance(&self, b: &Word, c: &Word) -> u32 {
+        let bi = self.index_of(b).expect("b must be a vertex");
+        let ci = self.index_of(c).expect("c must be a vertex");
+        fibcube_graph::bfs::distance(&self.graph, bi, ci)
+    }
+
+    /// Number of squares (4-cycles), `|S(Q_d(f))|`.
+    pub fn squares(&self) -> u64 {
+        fibcube_graph::cycles::count_squares(&self.graph)
+    }
+
+    /// Maximum vertex degree.
+    pub fn max_degree(&self) -> usize {
+        self.graph.max_degree()
+    }
+
+    /// Diameter (largest within-component distance); `None` when empty.
+    pub fn diameter(&self) -> Option<u32> {
+        fibcube_graph::distance::diameter(&self.graph)
+    }
+
+    /// Is the graph connected?
+    pub fn is_connected(&self) -> bool {
+        fibcube_graph::distance::is_connected(&self.graph)
+    }
+
+    /// DOT rendering with binary-string labels (Figures 1 and 2).
+    pub fn to_dot(&self, name: &str) -> String {
+        fibcube_graph::dot::to_dot(&self.graph, name, |u| self.label(u).to_string())
+    }
+}
+
+/// Builds the subgraph of `Q_d` induced by `labels` (which must be sorted
+/// and duplicate-free): vertices at Hamming distance 1 are joined.
+///
+/// `O(|V| · d · log |V|)` — each vertex probes its `d` potential cube
+/// neighbors by binary search.
+pub fn induced_hypercube_subgraph(d: usize, labels: &[Word]) -> CsrGraph {
+    debug_assert!(labels.windows(2).all(|w| w[0] < w[1]), "labels must be sorted unique");
+    let mut builder = GraphBuilder::new(labels.len());
+    for (i, w) in labels.iter().enumerate() {
+        for pos in 1..=d {
+            let neighbor = w.flip(pos);
+            // Add each edge once: only towards lexicographically larger labels.
+            if neighbor > *w {
+                if let Ok(j) = labels.binary_search(&neighbor) {
+                    builder.add_edge(i as u32, j as u32);
+                }
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fibcube_words::word;
+
+    #[test]
+    fn fibonacci_cube_orders() {
+        // |V(Γ_d)| = F_{d+2}.
+        let expected = [1usize, 2, 3, 5, 8, 13, 21, 34, 55];
+        for (d, &e) in expected.iter().enumerate() {
+            assert_eq!(Qdf::fibonacci(d).order(), e, "d={d}");
+        }
+    }
+
+    #[test]
+    fn fibonacci_cube_sizes() {
+        // |E(Γ_d)| for d = 0..: 0, 1, 2, 5, 10, 20, 38, 71 (OEIS A001629 shifted).
+        let expected = [0usize, 1, 2, 5, 10, 20, 38, 71];
+        for (d, &e) in expected.iter().enumerate() {
+            assert_eq!(Qdf::fibonacci(d).size(), e, "d={d}");
+        }
+    }
+
+    #[test]
+    fn hypercube_realisation() {
+        let q4 = Qdf::hypercube(4);
+        assert_eq!(q4.order(), 16);
+        assert_eq!(q4.size(), 32);
+        assert_eq!(q4.max_degree(), 4);
+        assert_eq!(q4.diameter(), Some(4));
+    }
+
+    #[test]
+    fn figure1_q4_101() {
+        // Fig. 1 of the paper: Q_4(101) — Q_4 minus {0101, 1010, 1011, 1101}.
+        let g = Qdf::new(4, word("101"));
+        assert_eq!(g.order(), 12);
+        for w in ["0101", "1010", "1011", "1101"] {
+            assert!(!g.contains(&word(w)), "{w} should be removed");
+        }
+        for w in ["0000", "1111", "1100", "0011", "1001", "0110"] {
+            assert!(g.contains(&word(w)), "{w} should remain");
+        }
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn adjacency_is_hamming_one() {
+        let g = Qdf::new(6, word("110"));
+        for (u, v) in g.graph().edges() {
+            assert_eq!(g.label(u).hamming(&g.label(v)), 1);
+        }
+        // And non-edges at Hamming distance 1 don't exist: count check.
+        let mut expected_edges = 0;
+        for (i, a) in g.labels().iter().enumerate() {
+            for b in g.labels().iter().skip(i + 1) {
+                if a.hamming(b) == 1 {
+                    expected_edges += 1;
+                }
+            }
+        }
+        assert_eq!(g.size(), expected_edges);
+    }
+
+    #[test]
+    fn label_index_roundtrip() {
+        let g = Qdf::new(7, word("101"));
+        for i in 0..g.order() as u32 {
+            let w = g.label(i);
+            assert_eq!(g.index_of(&w), Some(i));
+            assert!(g.contains(&w));
+        }
+        assert_eq!(g.index_of(&word("0101010")), None);
+        assert!(!g.contains(&word("01010"))); // wrong length
+    }
+
+    #[test]
+    fn degenerate_factors() {
+        // f = 1: only 0^d remains.
+        let g = Qdf::new(5, word("1"));
+        assert_eq!(g.order(), 1);
+        assert_eq!(g.size(), 0);
+        // f = 10: the path P_{d+1} (Theorem 3.3(i) base case).
+        let p = Qdf::new(5, word("10"));
+        assert_eq!(p.order(), 6);
+        assert_eq!(p.size(), 5);
+        assert_eq!(p.diameter(), Some(5));
+        assert_eq!(p.max_degree(), 2);
+    }
+
+    #[test]
+    fn d_zero_and_small() {
+        let g = Qdf::new(0, word("11"));
+        assert_eq!(g.order(), 1); // the empty word
+        assert_eq!(g.size(), 0);
+        let g1 = Qdf::new(1, word("11"));
+        assert_eq!(g1.order(), 2);
+        assert_eq!(g1.size(), 1);
+    }
+
+    #[test]
+    fn lemma_2_2_complement_isomorphism() {
+        // Q_d(f) ≅ Q_d(f̄) via b ↦ b̄ — verify the explicit map.
+        for (d, f) in [(6, "110"), (5, "101"), (7, "1100")] {
+            let f: Word = f.parse().unwrap();
+            let g = Qdf::new(d, f);
+            let h = Qdf::new(d, f.complement());
+            assert_eq!(g.order(), h.order());
+            assert_eq!(g.size(), h.size());
+            let map: Vec<u32> = (0..g.order() as u32)
+                .map(|i| h.index_of(&g.label(i).complement()).expect("image exists"))
+                .collect();
+            assert!(fibcube_graph::iso::verify_isomorphism(g.graph(), h.graph(), &map));
+        }
+    }
+
+    #[test]
+    fn lemma_2_3_reversal_isomorphism() {
+        // Q_d(f) ≅ Q_d(fᴿ) via b ↦ bᴿ — verify the explicit map.
+        for (d, f) in [(6, "110"), (6, "1101"), (7, "10010")] {
+            let f: Word = f.parse().unwrap();
+            let g = Qdf::new(d, f);
+            let h = Qdf::new(d, f.reverse());
+            let map: Vec<u32> = (0..g.order() as u32)
+                .map(|i| h.index_of(&g.label(i).reverse()).expect("image exists"))
+                .collect();
+            assert!(fibcube_graph::iso::verify_isomorphism(g.graph(), h.graph(), &map));
+        }
+    }
+}

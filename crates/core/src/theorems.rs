@@ -1,0 +1,320 @@
+//! The paper's embeddability results as an executable oracle.
+//!
+//! [`predict`] returns the answer to "`Q_d(f) ↪ Q_d`?" together with its
+//! provenance whenever some result of the paper (Lemma 2.1, Propositions
+//! 3.1/3.2/4.1/4.2/5.1, Theorems 3.3/4.3/4.4 — applied up to the
+//! complement/reversal symmetries of Lemmas 2.2–2.3) decides it, and `None`
+//! on the (large-`|f|`) cases the paper leaves open. [`predict_paper`]
+//! additionally folds in the paper's explicit computer checks, which close
+//! every string of length ≤ 5 (Table 1).
+
+use fibcube_words::blocks;
+use fibcube_words::families::symmetry_class;
+use fibcube_words::word::Word;
+
+/// A decided embeddability question with its source in the paper.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Prediction {
+    /// Does `Q_d(f) ↪ Q_d` hold?
+    pub embeddable: bool,
+    /// Which result decides it (e.g. `"Theorem 3.3(ii)"`).
+    pub source: &'static str,
+}
+
+impl Prediction {
+    fn yes(source: &'static str) -> Option<Prediction> {
+        Some(Prediction { embeddable: true, source })
+    }
+    fn no(source: &'static str) -> Option<Prediction> {
+        Some(Prediction { embeddable: false, source })
+    }
+}
+
+/// Applies the paper's *theorems* to decide `Q_d(f) ↪ Q_d`.
+///
+/// Tries every member of the symmetry class of `f` (Lemmas 2.2–2.3 make
+/// them equivalent). Returns `None` where the theorems are silent.
+pub fn predict(f: &Word, d: usize) -> Option<Prediction> {
+    assert!(!f.is_empty(), "forbidden factor must be non-empty");
+    // Lemma 2.1 needs no symmetry reduction.
+    if d <= f.len() {
+        return Prediction::yes("Lemma 2.1");
+    }
+    for g in symmetry_class(f) {
+        if let Some(p) = predict_oriented(&g, d) {
+            return Some(p);
+        }
+    }
+    None
+}
+
+/// The oracle for one fixed orientation of `f` (no symmetry applied).
+fn predict_oriented(f: &Word, d: usize) -> Option<Prediction> {
+    // Proposition 3.1: f = 1^s.
+    if blocks::as_all_ones(f).is_some() {
+        return Prediction::yes("Proposition 3.1");
+    }
+    // Theorem 3.3: f = 1^r 0^s.
+    if let Some((r, s)) = blocks::as_ones_zeros(f) {
+        if s == 1 {
+            return Prediction::yes("Theorem 3.3(i)");
+        }
+        if r == 2 {
+            // (ii): embeddable iff d ≤ s + 4 (subsumes r = s = 2: d ≤ 6).
+            return if d <= s + 4 {
+                Prediction::yes("Theorem 3.3(ii)")
+            } else {
+                Prediction::no("Theorem 3.3(ii)")
+            };
+        }
+        if r >= 3 && s >= 3 {
+            return if d <= 2 * r + 2 * s - 3 {
+                Prediction::yes("Theorem 3.3(iii)")
+            } else {
+                Prediction::no("Theorem 3.3(iii)")
+            };
+        }
+        // r ≥ 3, s = 2 is handled via the symmetry class (≅ 1^2 0^r).
+        return None;
+    }
+    // Proposition 3.2: f = 1^r 0^s 1^t; together with Lemma 2.1 (handled
+    // by the caller) this decides every d.
+    if blocks::as_ones_zeros_ones(f).is_some() {
+        return Prediction::no("Proposition 3.2");
+    }
+    // Theorem 4.4: f = (10)^s.
+    if blocks::as_alternating_10(f).is_some() {
+        return Prediction::yes("Theorem 4.4");
+    }
+    // Proposition 5.1: f = 11010 (checked before 1^s01^s0 shapes — it is
+    // not of that shape, but keep the specific case explicit).
+    if f.to_string() == "11010" {
+        return Prediction::yes("Proposition 5.1");
+    }
+    // Theorem 4.3: f = 1^s 0 1^s 0 with s ≥ 2 ((10)^2 is Theorem 4.4).
+    if let Some(s) = blocks::as_ones_zero_twice(f) {
+        if s >= 2 {
+            return Prediction::yes("Theorem 4.3");
+        }
+    }
+    // Proposition 4.1: f = (10)^s 1, non-embeddable for d ≥ 4s
+    // (s = 1 is f = 101, already decided by Proposition 3.2).
+    if let Some(s) = blocks::as_alternating_10_then_1(f) {
+        if d >= 4 * s {
+            return Prediction::no("Proposition 4.1");
+        }
+        return None; // the gap |f| < d < 4s is open in general
+    }
+    // Proposition 4.2: f = (10)^r 1 (10)^s, non-embeddable for d ≥ 2r+2s+3.
+    if let Some((r, s)) = blocks::as_10r_1_10s(f) {
+        if d >= 2 * r + 2 * s + 3 {
+            return Prediction::no("Proposition 4.2");
+        }
+        return None; // only d = 2r+2s+2 remains; open in general
+    }
+    None
+}
+
+/// [`predict`] plus the paper's explicit computer checks (Table 1):
+/// `Q_6(10110)`, `Q_6(10101)`, `Q_7(10101)` are isometric. This closes the
+/// classification for every `f` with `|f| ≤ 5`.
+pub fn predict_paper(f: &Word, d: usize) -> Option<Prediction> {
+    if let Some(p) = predict(f, d) {
+        return Some(p);
+    }
+    for g in symmetry_class(f) {
+        let s = g.to_string();
+        if s == "10110" && d == 6 {
+            return Prediction::yes("computer check (Table 1)");
+        }
+        if s == "10101" && (d == 6 || d == 7) {
+            return Prediction::yes("computer check (Table 1)");
+        }
+    }
+    None
+}
+
+/// The classification shape the experiments report for a fixed `f`:
+/// either embeddable for every `d`, or exactly up to a threshold.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EmbedClass {
+    /// `Q_d(f) ↪ Q_d` for all `d ≥ 1`.
+    Always,
+    /// `Q_d(f) ↪ Q_d` exactly when `d ≤ threshold`.
+    UpTo(usize),
+}
+
+/// The paper's classification of every `|f| ≤ 5` class representative
+/// (Table 1), as data. Strings are the canonical (lexicographically
+/// greatest) representatives produced by
+/// [`fibcube_words::families::canonical_representative`].
+pub fn table1_expected() -> Vec<(&'static str, EmbedClass, &'static str)> {
+    use EmbedClass::*;
+    vec![
+        ("1", Always, "Proposition 3.1"),
+        ("11", Always, "Proposition 3.1"),
+        ("10", Always, "Theorem 3.3(i)"),
+        ("111", Always, "Proposition 3.1"),
+        ("110", Always, "Theorem 3.3(i)"),
+        ("101", UpTo(3), "Proposition 3.2 + Lemma 2.1"),
+        ("1111", Always, "Proposition 3.1"),
+        ("1110", Always, "Theorem 3.3(i)"),
+        ("1101", UpTo(4), "Proposition 3.2 + Lemma 2.1"),
+        ("1100", UpTo(6), "Theorem 3.3(ii)"),
+        ("1010", Always, "Theorem 4.4"),
+        ("1001", UpTo(4), "Proposition 3.2 + Lemma 2.1"),
+        ("11111", Always, "Proposition 3.1"),
+        ("11110", Always, "Theorem 3.3(i)"),
+        ("11101", UpTo(5), "Proposition 3.2 + Lemma 2.1"),
+        ("11100", UpTo(7), "Theorem 3.3(ii)"),
+        ("11011", UpTo(5), "Proposition 3.2 + Lemma 2.1"),
+        ("11010", Always, "Proposition 5.1"),
+        ("11001", UpTo(5), "Proposition 3.2 + Lemma 2.1"),
+        ("10110", UpTo(6), "computer check + Proposition 4.2"),
+        ("10101", UpTo(7), "computer check + Proposition 4.1"),
+        ("10001", UpTo(5), "Proposition 3.2 + Lemma 2.1"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fibcube_words::families;
+    use fibcube_words::word;
+
+    fn p(f: &str, d: usize) -> Option<bool> {
+        predict(&word(f), d).map(|p| p.embeddable)
+    }
+
+    #[test]
+    fn lemma_2_1_short_d() {
+        assert_eq!(p("10110", 5), Some(true));
+        assert_eq!(p("11111", 3), Some(true));
+    }
+
+    #[test]
+    fn proposition_3_1_all_ones() {
+        for s in 1..=5 {
+            for d in 1..=12 {
+                let f = Word::ones(s);
+                assert!(predict(&f, d).unwrap().embeddable, "s={s} d={d}");
+                // And the complement 0^s via symmetry:
+                assert!(predict(&f.complement(), d).unwrap().embeddable);
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_3_3_thresholds() {
+        // (i): 1^r 0 always embeds (and symmetric forms).
+        for d in 1..=12 {
+            assert_eq!(p("10", d), Some(true));
+            assert_eq!(p("110", d), Some(true));
+            assert_eq!(p("0111", d), Some(true)); // reverse-complement of 1110 …
+        }
+        // (ii): 1100 ⇒ d ≤ 6; 11000 ⇒ d ≤ 7; 110000 ⇒ d ≤ 8.
+        assert_eq!(p("1100", 6), Some(true));
+        assert_eq!(p("1100", 7), Some(false));
+        assert_eq!(p("11000", 7), Some(true));
+        assert_eq!(p("11000", 8), Some(false));
+        assert_eq!(p("110000", 8), Some(true));
+        assert_eq!(p("110000", 9), Some(false));
+        // r ≥ 3, s = 2 via symmetry: 11100 ≅ 00111 ≅ 11000-shape ⇒ d ≤ 3+4.
+        assert_eq!(p("11100", 7), Some(true));
+        assert_eq!(p("11100", 8), Some(false));
+        // (iii): 111000 ⇒ d ≤ 2·3+2·3−3 = 9.
+        assert_eq!(p("111000", 9), Some(true));
+        assert_eq!(p("111000", 10), Some(false));
+    }
+
+    #[test]
+    fn proposition_3_2_three_blocks() {
+        assert_eq!(p("101", 3), Some(true)); // Lemma 2.1
+        assert_eq!(p("101", 4), Some(false));
+        assert_eq!(p("1101", 5), Some(false));
+        assert_eq!(p("11011", 6), Some(false));
+        assert_eq!(p("10001", 8), Some(false));
+        // Complement form: 0^r 1^s 0^t.
+        assert_eq!(p("010", 4), Some(false));
+        assert_eq!(p("00100", 6), Some(false));
+    }
+
+    #[test]
+    fn theorems_4_3_and_4_4_always_embed() {
+        for d in 1..=14 {
+            assert_eq!(p("1010", d), Some(true), "(10)^2, d={d}");
+            assert_eq!(p("101010", d), Some(true), "(10)^3, d={d}");
+            assert_eq!(p("110110", d), Some(true), "1^2 0 1^2 0, d={d}");
+            assert_eq!(p("11101110", d), Some(true), "1^3 0 1^3 0, d={d}");
+        }
+    }
+
+    #[test]
+    fn proposition_5_1_11010() {
+        for d in 1..=14 {
+            assert_eq!(p("11010", d), Some(true), "d={d}");
+            // Symmetric forms decide too.
+            assert_eq!(p("01011", d), Some(true), "reverse, d={d}");
+            assert_eq!(p("00101", d), Some(true), "complement, d={d}");
+        }
+    }
+
+    #[test]
+    fn propositions_4_1_4_2_nonembeddable_tails() {
+        // (10)^2 1 = 10101: no for d ≥ 8; gap 6..7 undecided by theorems.
+        assert_eq!(p("10101", 8), Some(false));
+        assert_eq!(p("10101", 20), Some(false));
+        assert_eq!(p("10101", 6), None);
+        assert_eq!(p("10101", 7), None);
+        // (10) 1 (10) = 10110: no for d ≥ 7; gap d = 6.
+        assert_eq!(p("10110", 7), Some(false));
+        assert_eq!(p("10110", 6), None);
+        // Computer checks close the gaps:
+        assert!(predict_paper(&word("10101"), 6).unwrap().embeddable);
+        assert!(predict_paper(&word("10101"), 7).unwrap().embeddable);
+        assert!(predict_paper(&word("10110"), 6).unwrap().embeddable);
+    }
+
+    #[test]
+    fn paper_oracle_closes_table1() {
+        // predict_paper decides every |f| ≤ 5 and every d ≤ 15.
+        for f in families::canonical_factors_up_to(5) {
+            for d in 1..=15 {
+                assert!(
+                    predict_paper(&f, d).is_some(),
+                    "paper oracle must decide f={f}, d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table1_expected_matches_oracle() {
+        for (fs, class, _src) in table1_expected() {
+            let f = word(fs);
+            for d in 1..=15usize {
+                let expected = match class {
+                    EmbedClass::Always => true,
+                    EmbedClass::UpTo(t) => d <= t,
+                };
+                let predicted = predict_paper(&f, d)
+                    .unwrap_or_else(|| panic!("undecided f={fs} d={d}"))
+                    .embeddable;
+                assert_eq!(predicted, expected, "f={fs} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn provenance_strings() {
+        assert_eq!(predict(&word("11"), 9).unwrap().source, "Proposition 3.1");
+        assert_eq!(predict(&word("1100"), 9).unwrap().source, "Theorem 3.3(ii)");
+        assert_eq!(predict(&word("101"), 2).unwrap().source, "Lemma 2.1");
+        assert_eq!(
+            predict_paper(&word("10110"), 6).unwrap().source,
+            "computer check (Table 1)"
+        );
+    }
+
+    use fibcube_words::word::Word;
+}

@@ -1,0 +1,217 @@
+//! The paper's Section 6 enumeration results as executable formulas:
+//! recurrences (1)–(3) for `G_d = Q_d(111)`, recurrences (4)–(6) for
+//! `H_d = Q_d(110)`, the identity `|V(H_d)| = F_{d+3} − 1`, and the closed
+//! forms of Propositions 6.2 and 6.3.
+//!
+//! **Note on Proposition 6.3.** The published display is typographically
+//! garbled (the fraction bars of `−3(d+1)/25` are lost in every electronic
+//! copy we have). The reading implemented here,
+//! `|S(H_d)| = −(3(d+1)/25)·F_{d+2} + ((d+1)²/10 + 3(d+1)/50 − 1/25)·F_{d+1}`,
+//! reproduces the recurrence (6) values `0, 0, 1, 3, 9, 22, 51, 111, …`
+//! exactly for every `d` we test (see `prop_6_3_matches_recurrence`), so it
+//! is the intended statement.
+
+use fibcube_words::zeckendorf::fibonacci;
+
+/// Vertex/edge/square triple for one dimension.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Invariants {
+    /// `|V|`.
+    pub vertices: u128,
+    /// `|E|`.
+    pub edges: u128,
+    /// `|S|` (4-cycles).
+    pub squares: u128,
+}
+
+/// Equations (1)–(3): the invariants of `G_d = Q_d(111)` for `d = 0..count`,
+/// from the recurrences
+/// `|V(G_d)| = |V(G_{d−1})| + |V(G_{d−2})| + |V(G_{d−3})|`,
+/// `|E(G_d)| = |E(G_{d−1})| + |E(G_{d−2})| + |E(G_{d−3})| + |V(G_{d−2})| + 2|V(G_{d−3})|`,
+/// `|S(G_d)| = |S(G_{d−1})| + |S(G_{d−2})| + |S(G_{d−3})| + |E(G_{d−2})| + 2|E(G_{d−3})| + |V(G_{d−3})|`,
+/// with starts `|V| = 1, 2, 4`, `|E| = 0, 1, 4`, `|S| = 0, 0, 1`.
+pub fn q111_series(count: usize) -> Vec<Invariants> {
+    let mut out: Vec<Invariants> = Vec::with_capacity(count);
+    for d in 0..count {
+        let inv = match d {
+            0 => Invariants { vertices: 1, edges: 0, squares: 0 },
+            1 => Invariants { vertices: 2, edges: 1, squares: 0 },
+            2 => Invariants { vertices: 4, edges: 4, squares: 1 },
+            _ => {
+                let (a, b, c) = (out[d - 1], out[d - 2], out[d - 3]);
+                Invariants {
+                    vertices: a.vertices + b.vertices + c.vertices,
+                    edges: a.edges + b.edges + c.edges + b.vertices + 2 * c.vertices,
+                    squares: a.squares
+                        + b.squares
+                        + c.squares
+                        + b.edges
+                        + 2 * c.edges
+                        + c.vertices,
+                }
+            }
+        };
+        out.push(inv);
+    }
+    out
+}
+
+/// Equations (4)–(6): the invariants of `H_d = Q_d(110)` for `d = 0..count`,
+/// from
+/// `|V(H_d)| = |V(H_{d−1})| + |V(H_{d−2})| + 1`,
+/// `|E(H_d)| = |E(H_{d−1})| + |E(H_{d−2})| + |V(H_{d−2})| + 2`,
+/// `|S(H_d)| = |S(H_{d−1})| + |S(H_{d−2})| + |E(H_{d−2})| + 1`,
+/// with starts `|V| = 1, 2`, `|E| = 0, 1`, `|S| = 0, 0`.
+pub fn q110_series(count: usize) -> Vec<Invariants> {
+    let mut out: Vec<Invariants> = Vec::with_capacity(count);
+    for d in 0..count {
+        let inv = match d {
+            0 => Invariants { vertices: 1, edges: 0, squares: 0 },
+            1 => Invariants { vertices: 2, edges: 1, squares: 0 },
+            _ => {
+                let (a, b) = (out[d - 1], out[d - 2]);
+                Invariants {
+                    vertices: a.vertices + b.vertices + 1,
+                    edges: a.edges + b.edges + b.vertices + 2,
+                    squares: a.squares + b.squares + b.edges + 1,
+                }
+            }
+        };
+        out.push(inv);
+    }
+    out
+}
+
+/// `|V(H_d)| = F_{d+3} − 1` (proved by induction right before Prop 6.2).
+pub fn q110_vertices_closed(d: usize) -> u128 {
+    fibonacci(d + 3) - 1
+}
+
+/// Proposition 6.2: `|E(H_d)| = −1 + Σ_{i=1}^{d+1} F_i · F_{d+2−i}`.
+pub fn prop_6_2_edges(d: usize) -> u128 {
+    let sum: u128 = (1..=d + 1).map(|i| fibonacci(i) * fibonacci(d + 2 - i)).sum();
+    sum - 1
+}
+
+/// The `[12, Corollary 4]` consequence quoted after Prop 6.2:
+/// `|E(H_d)| = −1 + ((d+1)·F_{d+2} + 2(d+2)·F_{d+1}) / 5`.
+///
+/// # Panics
+///
+/// Panics if the division is not exact (it always is — asserted).
+pub fn prop_6_2_edges_corollary_form(d: usize) -> u128 {
+    let num = (d as u128 + 1) * fibonacci(d + 2) + 2 * (d as u128 + 2) * fibonacci(d + 1);
+    assert_eq!(num % 5, 0, "corollary numerator must be divisible by 5");
+    num / 5 - 1
+}
+
+/// Proposition 6.3 (see the module note on the reading):
+/// `|S(H_d)| = (−6(d+1)·F_{d+2} + (5(d+1)² + 3(d+1) − 2)·F_{d+1}) / 50`.
+///
+/// (Multiply the displayed rational coefficients by 50 to clear
+/// denominators: `−3/25 → −6/50`, `1/10 → 5/50`, `3/50`, `1/25 → 2/50`.)
+///
+/// # Panics
+///
+/// Panics if the division is not exact (it always is — asserted).
+pub fn prop_6_3_squares(d: usize) -> u128 {
+    let dp1 = d as i128 + 1;
+    let f2 = fibonacci(d + 2) as i128;
+    let f1 = fibonacci(d + 1) as i128;
+    let num = -6 * dp1 * f2 + (5 * dp1 * dp1 + 3 * dp1 - 2) * f1;
+    assert!(num >= 0, "square count cannot be negative");
+    assert_eq!(num % 50, 0, "Prop 6.3 numerator must be divisible by 50");
+    (num / 50) as u128
+}
+
+/// The Section 6/8 cross-identities between `H_d = Q_d(110)` and the
+/// Fibonacci cube `Γ_{d+1} = Q_{d+1}(11)`:
+/// `|V(H_d)| = |V(Γ_{d+1})| − 1`, `|E(H_d)| = |E(Γ_{d+1})| − 1`,
+/// `|S(H_d)| = |S(Γ_{d+1})|`. Returns the paired invariants for inspection.
+pub fn q110_vs_fibonacci(d: usize) -> (Invariants, Invariants) {
+    let f110: fibcube_words::word::Word = "110".parse().unwrap();
+    let f11: fibcube_words::word::Word = "11".parse().unwrap();
+    let h = Invariants {
+        vertices: crate::counts::count_vertices(&f110, d),
+        edges: crate::counts::count_edges(&f110, d),
+        squares: crate::counts::count_squares(&f110, d),
+    };
+    let gamma = Invariants {
+        vertices: crate::counts::count_vertices(&f11, d + 1),
+        edges: crate::counts::count_edges(&f11, d + 1),
+        squares: crate::counts::count_squares(&f11, d + 1),
+    };
+    (h, gamma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fibcube_words::word;
+
+    #[test]
+    fn q111_matches_automaton_counts() {
+        let series = q111_series(13);
+        let f = word("111");
+        for (d, inv) in series.iter().enumerate() {
+            assert_eq!(inv.vertices, crate::counts::count_vertices(&f, d), "V d={d}");
+            assert_eq!(inv.edges, crate::counts::count_edges(&f, d), "E d={d}");
+            assert_eq!(inv.squares, crate::counts::count_squares(&f, d), "S d={d}");
+        }
+    }
+
+    #[test]
+    fn q110_matches_automaton_counts() {
+        let series = q110_series(14);
+        let f = word("110");
+        for (d, inv) in series.iter().enumerate() {
+            assert_eq!(inv.vertices, crate::counts::count_vertices(&f, d), "V d={d}");
+            assert_eq!(inv.edges, crate::counts::count_edges(&f, d), "E d={d}");
+            assert_eq!(inv.squares, crate::counts::count_squares(&f, d), "S d={d}");
+        }
+    }
+
+    #[test]
+    fn vertices_closed_form() {
+        for (d, inv) in q110_series(40).iter().enumerate() {
+            assert_eq!(inv.vertices, q110_vertices_closed(d), "d={d}");
+        }
+    }
+
+    #[test]
+    fn prop_6_2_both_forms_agree_with_recurrence() {
+        for (d, inv) in q110_series(60).iter().enumerate() {
+            assert_eq!(inv.edges, prop_6_2_edges(d), "sum form d={d}");
+            assert_eq!(inv.edges, prop_6_2_edges_corollary_form(d), "corollary form d={d}");
+        }
+    }
+
+    #[test]
+    fn prop_6_3_matches_recurrence() {
+        for (d, inv) in q110_series(60).iter().enumerate() {
+            assert_eq!(inv.squares, prop_6_3_squares(d), "d={d}");
+        }
+    }
+
+    #[test]
+    fn paper_example_values() {
+        // Spot values derived by hand from the recurrences.
+        let s = q110_series(8);
+        assert_eq!(s[4].squares, 9);
+        assert_eq!(s[5].squares, 22);
+        assert_eq!(s[6].squares, 51);
+        assert_eq!(s[7].squares, 111);
+        assert_eq!(s[3].edges, 9);
+        assert_eq!(s[4].edges, 19);
+    }
+
+    #[test]
+    fn q110_fibonacci_identities() {
+        for d in 0..=14 {
+            let (h, gamma) = q110_vs_fibonacci(d);
+            assert_eq!(h.vertices, gamma.vertices - 1, "V d={d}");
+            assert_eq!(h.edges, gamma.edges - 1, "E d={d}");
+            assert_eq!(h.squares, gamma.squares, "S d={d}");
+        }
+    }
+}

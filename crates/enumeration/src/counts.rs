@@ -1,0 +1,349 @@
+//! Counting vertices, edges and squares of `Q_d(f)` **without building the
+//! graph**, by dynamic programming over products of the factor-avoidance
+//! automaton.
+//!
+//! * vertices — one automaton walk (`O(d·m)`);
+//! * edges — pairs of words differing in exactly one position: a shared
+//!   prefix (one state), a divergence, and a shared suffix read by a *pair*
+//!   of states (`O(d·m²)` after an `O(d·m²)` table);
+//! * squares — pairs of words differing in exactly two positions span a
+//!   4-cycle of `Q_d` whose four corners must all avoid `f`: prefix, first
+//!   divergence (state pair), middle (pair), second divergence (state
+//!   *quadruple*), suffix (quadruple) — `O(d²·m² + d·m⁴)`.
+//!
+//! These scale to `d` in the thousands and are cross-validated against
+//! brute-force graph counts in the tests, powering experiments E-R1…E-R5
+//! far beyond what the materialised graphs allow.
+
+use fibcube_words::automaton::FactorAutomaton;
+use fibcube_words::word::Word;
+
+/// `|V(Q_d(f))|`.
+pub fn count_vertices(f: &Word, d: usize) -> u128 {
+    FactorAutomaton::new(*f).count_free(d)
+}
+
+/// Prefix table: `p[i][s]` = number of `f`-free words of length `i` driving
+/// the automaton into (live) state `s`.
+fn prefix_table(aut: &FactorAutomaton, d: usize) -> Vec<Vec<u128>> {
+    let m = aut.dead_state();
+    let mut table = vec![vec![0u128; m]; d + 1];
+    table[0][0] = 1;
+    for i in 1..=d {
+        for s in 0..m {
+            if table[i - 1][s] == 0 {
+                continue;
+            }
+            let v = table[i - 1][s];
+            for b in 0..2u8 {
+                let t = aut.step(s, b);
+                if t != m {
+                    table[i][t] += v;
+                }
+            }
+        }
+    }
+    table
+}
+
+/// Pair-suffix table: `t[j][s·m + u]` = number of ways to read `j` further
+/// (shared) bits from the state pair `(s, u)` with **both** runs staying
+/// alive.
+fn pair_suffix_table(aut: &FactorAutomaton, d: usize) -> Vec<Vec<u128>> {
+    let m = aut.dead_state();
+    let mut table = vec![vec![0u128; m * m]; d + 1];
+    for e in table[0].iter_mut() {
+        *e = 1;
+    }
+    for j in 1..=d {
+        for s in 0..m {
+            for u in 0..m {
+                let mut acc = 0u128;
+                for b in 0..2u8 {
+                    let (s2, u2) = (aut.step(s, b), aut.step(u, b));
+                    if s2 != m && u2 != m {
+                        acc += table[j - 1][s2 * m + u2];
+                    }
+                }
+                table[j][s * m + u] = acc;
+            }
+        }
+    }
+    table
+}
+
+/// Quadruple-suffix table: `t[j][((w·m + x)·m + y)·m + z]` = ways to read
+/// `j` shared bits keeping all four runs alive.
+fn quad_suffix_table(aut: &FactorAutomaton, d: usize) -> Vec<Vec<u128>> {
+    let m = aut.dead_state();
+    let size = m * m * m * m;
+    let mut table = vec![vec![0u128; size]; d + 1];
+    for e in table[0].iter_mut() {
+        *e = 1;
+    }
+    for j in 1..=d {
+        for idx in 0..size {
+            let (w, rest) = (idx / (m * m * m), idx % (m * m * m));
+            let (x, rest) = (rest / (m * m), rest % (m * m));
+            let (y, z) = (rest / m, rest % m);
+            let mut acc = 0u128;
+            for b in 0..2u8 {
+                let (w2, x2, y2, z2) =
+                    (aut.step(w, b), aut.step(x, b), aut.step(y, b), aut.step(z, b));
+                if w2 != m && x2 != m && y2 != m && z2 != m {
+                    acc += table[j - 1][((w2 * m + x2) * m + y2) * m + z2];
+                }
+            }
+            table[j][idx] = acc;
+        }
+    }
+    table
+}
+
+/// `|E(Q_d(f))|` — edges join `f`-free words at Hamming distance 1.
+pub fn count_edges(f: &Word, d: usize) -> u128 {
+    let aut = FactorAutomaton::new(*f);
+    let m = aut.dead_state();
+    let prefix = prefix_table(&aut, d);
+    let pair = pair_suffix_table(&aut, d);
+    let mut total = 0u128;
+    for i in 1..=d {
+        for s in 0..m {
+            let w = prefix[i - 1][s];
+            if w == 0 {
+                continue;
+            }
+            let (s0, s1) = (aut.step(s, 0), aut.step(s, 1));
+            if s0 != m && s1 != m {
+                total += w * pair[d - i][s0 * m + s1];
+            }
+        }
+    }
+    total
+}
+
+/// `|S(Q_d(f))|` — squares (4-cycles). Every square of `Q_d` is determined
+/// by a word pair differing in exactly two positions `i < j`; it survives in
+/// `Q_d(f)` iff all four corner words avoid `f`.
+pub fn count_squares(f: &Word, d: usize) -> u128 {
+    let aut = FactorAutomaton::new(*f);
+    let m = aut.dead_state();
+    let prefix = prefix_table(&aut, d);
+    let quad = quad_suffix_table(&aut, d);
+    let mut total = 0u128;
+    // For each first divergence position i: evolve the pair-state
+    // distribution through the middle, branching at each later position j.
+    let mut middle = vec![0u128; m * m];
+    for i in 1..=d {
+        // Initialise the pair distribution just after position i.
+        middle.iter_mut().for_each(|x| *x = 0);
+        for s in 0..m {
+            let w = prefix[i - 1][s];
+            if w == 0 {
+                continue;
+            }
+            let (s0, s1) = (aut.step(s, 0), aut.step(s, 1));
+            if s0 != m && s1 != m {
+                middle[s0 * m + s1] += w;
+            }
+        }
+        for j in i + 1..=d {
+            // Branch at position j: pair (a, b) → quadruple (a0, a1, b0, b1).
+            for a in 0..m {
+                for b in 0..m {
+                    let w = middle[a * m + b];
+                    if w == 0 {
+                        continue;
+                    }
+                    let (a0, a1) = (aut.step(a, 0), aut.step(a, 1));
+                    let (b0, b1) = (aut.step(b, 0), aut.step(b, 1));
+                    if a0 != m && a1 != m && b0 != m && b1 != m {
+                        total += w * quad[d - j][((a0 * m + a1) * m + b0) * m + b1];
+                    }
+                }
+            }
+            // Advance the middle distribution one (shared) bit.
+            if j < d {
+                let mut next = vec![0u128; m * m];
+                for a in 0..m {
+                    for b in 0..m {
+                        let w = middle[a * m + b];
+                        if w == 0 {
+                            continue;
+                        }
+                        for bit in 0..2u8 {
+                            let (a2, b2) = (aut.step(a, bit), aut.step(b, bit));
+                            if a2 != m && b2 != m {
+                                next[a2 * m + b2] += w;
+                            }
+                        }
+                    }
+                }
+                middle = next;
+            }
+        }
+    }
+    total
+}
+
+/// The three invariants at once (sharing nothing; convenience for sweeps).
+pub fn count_all(f: &Word, d: usize) -> (u128, u128, u128) {
+    (count_vertices(f, d), count_edges(f, d), count_squares(f, d))
+}
+
+/// Weight distribution: `out[w]` = number of `f`-free words of length `d`
+/// with exactly `w` ones (the rank generating function of `Q_d(f)`; for
+/// `Γ_d` these are the binomials `C(d−w+1, w)`).
+pub fn count_by_weight(f: &Word, d: usize) -> Vec<u128> {
+    let aut = FactorAutomaton::new(*f);
+    let m = aut.dead_state();
+    // dp[s][w] over prefixes.
+    let mut dp = vec![vec![0u128; d + 1]; m];
+    dp[0][0] = 1;
+    for _ in 0..d {
+        let mut next = vec![vec![0u128; d + 1]; m];
+        for s in 0..m {
+            for w in 0..=d {
+                let v = dp[s][w];
+                if v == 0 {
+                    continue;
+                }
+                for b in 0..2u8 {
+                    let t = aut.step(s, b);
+                    if t != m {
+                        next[t][w + b as usize] += v;
+                    }
+                }
+            }
+        }
+        dp = next;
+    }
+    (0..=d)
+        .map(|w| (0..m).map(|s| dp[s][w]).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fibcube_core::Qdf;
+    use fibcube_words::word;
+
+    #[test]
+    fn matches_brute_force_small() {
+        for f in ["11", "110", "111", "101", "1100", "1010", "11010"] {
+            let fw = word(f);
+            for d in 0..=9usize {
+                let g = Qdf::new(d, fw);
+                assert_eq!(count_vertices(&fw, d), g.order() as u128, "V f={f} d={d}");
+                assert_eq!(count_edges(&fw, d), g.size() as u128, "E f={f} d={d}");
+                assert_eq!(count_squares(&fw, d), g.squares() as u128, "S f={f} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_hypercube_when_factor_long() {
+        // |f| > d ⇒ Q_d: V = 2^d, E = d·2^{d−1}, S = C(d,2)·2^{d−2}.
+        let f = word("111111");
+        for d in 0..=5usize {
+            assert_eq!(count_vertices(&f, d), 1u128 << d);
+            assert_eq!(count_edges(&f, d), (d as u128) << d.saturating_sub(1));
+            let expected_squares =
+                if d >= 2 { ((d * (d - 1) / 2) as u128) << (d - 2) } else { 0 };
+            assert_eq!(count_squares(&f, d), expected_squares, "d={d}");
+        }
+    }
+
+    #[test]
+    fn fibonacci_series() {
+        let f = word("11");
+        // V: F_{d+2}; E: 0,1,2,5,10,20,38,71; S: 0,0,0,1,3,8,20,…
+        let v: Vec<u128> = (0..=8).map(|d| count_vertices(&f, d)).collect();
+        assert_eq!(v, vec![1, 2, 3, 5, 8, 13, 21, 34, 55]);
+        let e: Vec<u128> = (0..=7).map(|d| count_edges(&f, d)).collect();
+        assert_eq!(e, vec![0, 1, 2, 5, 10, 20, 38, 71]);
+    }
+
+    #[test]
+    fn q110_series_match_paper_recurrences() {
+        // Equations (4)–(6) starting values and a few steps:
+        // V: 1,2,4,7,12,20,33; E: 0,1,4,9,19,37,…; S: 0,0,1,3,9,22,51,111.
+        let f = word("110");
+        let v: Vec<u128> = (0..=6).map(|d| count_vertices(&f, d)).collect();
+        assert_eq!(v, vec![1, 2, 4, 7, 12, 20, 33]);
+        let e: Vec<u128> = (0..=5).map(|d| count_edges(&f, d)).collect();
+        assert_eq!(e, vec![0, 1, 4, 9, 19, 37]);
+        let s: Vec<u128> = (0..=7).map(|d| count_squares(&f, d)).collect();
+        assert_eq!(s, vec![0, 0, 1, 3, 9, 22, 51, 111]);
+    }
+
+    #[test]
+    fn q111_series_match_paper_recurrences() {
+        // Equations (1)–(3) starting values:
+        // V: 1,2,4,7,13,24,44; E: 0,1,4,11? — compute E by recurrence (2):
+        // E3 = E2+E1+E0+V1+2V0 = 4+1+0+2+2 = 9; E4 = 9+4+1+4+4 = 22.
+        let f = word("111");
+        let v: Vec<u128> = (0..=6).map(|d| count_vertices(&f, d)).collect();
+        assert_eq!(v, vec![1, 2, 4, 7, 13, 24, 44]);
+        let e: Vec<u128> = (0..=4).map(|d| count_edges(&f, d)).collect();
+        assert_eq!(e, vec![0, 1, 4, 9, 22]);
+    }
+
+    #[test]
+    fn weight_distribution_fibonacci_binomials() {
+        // Γ_d: the number of weight-w vertices is C(d−w+1, w).
+        let f = word("11");
+        let choose = |n: usize, k: usize| -> u128 {
+            if k > n {
+                return 0;
+            }
+            let mut acc = 1u128;
+            for i in 0..k {
+                acc = acc * (n - i) as u128 / (i + 1) as u128;
+            }
+            acc
+        };
+        for d in 0..=14usize {
+            let dist = count_by_weight(&f, d);
+            assert_eq!(dist.len(), d + 1);
+            for (w, &c) in dist.iter().enumerate() {
+                assert_eq!(c, choose(d - w + 1, w), "d={d} w={w}");
+            }
+            assert_eq!(dist.iter().sum::<u128>(), count_vertices(&f, d));
+        }
+    }
+
+    #[test]
+    fn weight_distribution_matches_enumeration() {
+        for fs in ["110", "101", "1010"] {
+            let f = word(fs);
+            for d in 0..=10usize {
+                let dist = count_by_weight(&f, d);
+                let aut = fibcube_words::FactorAutomaton::new(f);
+                let mut brute = vec![0u128; d + 1];
+                for w in aut.free_words(d) {
+                    brute[w.weight() as usize] += 1;
+                }
+                assert_eq!(dist, brute, "f={fs} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn large_d_does_not_overflow_quickly() {
+        // d = 180 for f = 11: F_182 still fits in u128 (overflow is at 187).
+        let f = word("11");
+        let v = count_vertices(&f, 180);
+        assert_eq!(v, fibcube_words::zeckendorf::fibonacci(182));
+        // Edges for moderate d stay consistent with the identity
+        // E(Γ_d) = E(Γ_{d−1}) + E(Γ_{d−2}) + V(Γ_{d−2}).
+        for d in 2..=60usize {
+            assert_eq!(
+                count_edges(&f, d),
+                count_edges(&f, d - 1) + count_edges(&f, d - 2) + count_vertices(&f, d - 2),
+                "d={d}"
+            );
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # fibcube-enum
+//!
+//! The enumerative engine behind Section 6 of Ilić–Klavžar–Rho:
+//!
+//! * [`counts`] — vertices/edges/squares of `Q_d(f)` for **any** `f` by
+//!   dynamic programming over products of the avoidance automaton, no graph
+//!   materialisation (`d` in the thousands);
+//! * [`closed_forms`] — the paper's recurrences (1)–(6), the identity
+//!   `|V(Q_d(110))| = F_{d+3} − 1`, and Propositions 6.2/6.3;
+//! * [`recurrence`] — the generic linear-recurrence evaluator;
+//! * [`transfer`] — modular transfer-matrix counting (`d` up to 10^18)
+//!   and language growth constants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod closed_forms;
+pub mod counts;
+pub mod recurrence;
+pub mod transfer;
+
+pub use closed_forms::{
+    prop_6_2_edges, prop_6_2_edges_corollary_form, prop_6_3_squares, q110_series,
+    q110_vertices_closed, q111_series, Invariants,
+};
+pub use counts::{count_all, count_by_weight, count_edges, count_squares, count_vertices};
+pub use recurrence::LinearRecurrence;
+pub use transfer::{count_vertices_mod, growth_constant, transfer_matrix, ModMatrix};

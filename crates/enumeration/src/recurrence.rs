@@ -1,0 +1,123 @@
+//! Linear recurrences with constant inhomogeneous term — the shape of the
+//! paper's equations (1)–(6):
+//! `x_d = Σ_i c_i · x_{d−i} + k`.
+
+/// A linear recurrence `x_d = Σ_{i=1}^{order} coeffs[i−1] · x_{d−i} + constant`
+/// with explicit initial values `x_0, …, x_{order−1}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinearRecurrence {
+    coeffs: Vec<i128>,
+    initial: Vec<i128>,
+    constant: i128,
+}
+
+impl LinearRecurrence {
+    /// Creates a recurrence; `initial.len()` must equal `coeffs.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lengths disagree or the order is zero.
+    pub fn new(coeffs: Vec<i128>, initial: Vec<i128>, constant: i128) -> LinearRecurrence {
+        assert!(!coeffs.is_empty(), "order must be positive");
+        assert_eq!(coeffs.len(), initial.len(), "need one initial value per coefficient");
+        LinearRecurrence { coeffs, initial, constant }
+    }
+
+    /// A homogeneous recurrence (`constant = 0`).
+    pub fn homogeneous(coeffs: Vec<i128>, initial: Vec<i128>) -> LinearRecurrence {
+        LinearRecurrence::new(coeffs, initial, 0)
+    }
+
+    /// The order (number of back-references).
+    pub fn order(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// The term `x_n` (overflow-checked).
+    pub fn term(&self, n: usize) -> i128 {
+        self.terms(n + 1)[n]
+    }
+
+    /// The first `count` terms `x_0, …, x_{count−1}`.
+    pub fn terms(&self, count: usize) -> Vec<i128> {
+        let k = self.order();
+        let mut out = Vec::with_capacity(count);
+        for n in 0..count {
+            let x = if n < k {
+                self.initial[n]
+            } else {
+                let mut acc = self.constant;
+                for (i, &c) in self.coeffs.iter().enumerate() {
+                    acc = acc
+                        .checked_add(c.checked_mul(out[n - 1 - i]).expect("recurrence overflow"))
+                        .expect("recurrence overflow");
+                }
+                acc
+            };
+            out.push(x);
+        }
+        out
+    }
+}
+
+/// Fibonacci as a recurrence (`F_1 = F_2 = 1` indexing: `term(n) = F_n`).
+pub fn fibonacci_recurrence() -> LinearRecurrence {
+    LinearRecurrence::homogeneous(vec![1, 1], vec![0, 1])
+}
+
+/// k-bonacci (`x_d = x_{d−1} + ⋯ + x_{d−k}`) with `x_0 = ⋯ = x_{k−2} = 0`,
+/// `x_{k−1} = 1` — shifts of the counting sequences for `Q_d(1^k)`.
+pub fn kbonacci_recurrence(k: usize) -> LinearRecurrence {
+    assert!(k >= 2);
+    let mut initial = vec![0i128; k];
+    initial[k - 1] = 1;
+    LinearRecurrence::homogeneous(vec![1; k], initial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fibonacci_terms() {
+        let fib = fibonacci_recurrence();
+        assert_eq!(fib.terms(11), vec![0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55]);
+        assert_eq!(fib.term(20), 6765);
+    }
+
+    #[test]
+    fn inhomogeneous_term() {
+        // x_d = x_{d−1} + x_{d−2} + 1, x_0 = 1, x_1 = 2 — equation (4):
+        // |V(H_d)| = F_{d+3} − 1: 1, 2, 4, 7, 12, 20, 33, …
+        let v = LinearRecurrence::new(vec![1, 1], vec![1, 2], 1);
+        assert_eq!(v.terms(8), vec![1, 2, 4, 7, 12, 20, 33, 54]);
+    }
+
+    #[test]
+    fn tribonacci() {
+        let t = kbonacci_recurrence(3);
+        assert_eq!(t.terms(10), vec![0, 0, 1, 1, 2, 4, 7, 13, 24, 44]);
+    }
+
+    #[test]
+    fn matches_words_crate_kbonacci() {
+        // The words-crate indexing starts the k-bonacci sequence at
+        // F^(k)_1 = 1, which corresponds to recurrence term i + k − 2.
+        for k in 2..=5 {
+            let r = kbonacci_recurrence(k);
+            for i in 1..=25usize {
+                assert_eq!(
+                    r.term(i + k - 2) as u128,
+                    fibcube_words::zeckendorf::kbonacci(k, i),
+                    "k={k} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one initial value")]
+    fn mismatched_lengths_rejected() {
+        LinearRecurrence::new(vec![1, 1], vec![0], 0);
+    }
+}

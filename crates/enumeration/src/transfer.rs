@@ -1,0 +1,219 @@
+//! Transfer-matrix counting: `|V(Q_d(f))| mod m` for astronomically large
+//! `d` via `O(k³ log d)` matrix exponentiation over the avoidance
+//! automaton's live states (`k = |f|`).
+//!
+//! The linear DP in [`crate::counts`] is exact (u128) but `O(d)`; the
+//! matrix power trades exactness for reach — `d = 10^18` in microseconds —
+//! which is how one probes the growth constants (the dominant eigenvalue of
+//! the transfer matrix is the "capacity" of the factor-avoiding language).
+
+use fibcube_words::automaton::FactorAutomaton;
+use fibcube_words::word::Word;
+
+/// A dense `k × k` matrix over `Z_m` (row-major).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModMatrix {
+    k: usize,
+    modulus: u64,
+    data: Vec<u64>,
+}
+
+impl ModMatrix {
+    /// The zero matrix.
+    pub fn zero(k: usize, modulus: u64) -> ModMatrix {
+        assert!(modulus > 1, "modulus must exceed 1");
+        assert!(modulus <= u32::MAX as u64 + 1, "modulus must fit 32 bits to avoid overflow");
+        ModMatrix { k, modulus, data: vec![0; k * k] }
+    }
+
+    /// The identity.
+    pub fn identity(k: usize, modulus: u64) -> ModMatrix {
+        let mut m = ModMatrix::zero(k, modulus);
+        for i in 0..k {
+            m.data[i * k + i] = 1;
+        }
+        m
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> u64 {
+        self.data[i * self.k + j]
+    }
+
+    /// Entry mutator (reduced mod `m`).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: u64) {
+        self.data[i * self.k + j] = v % self.modulus;
+    }
+
+    /// Matrix product over `Z_m`.
+    pub fn mul(&self, other: &ModMatrix) -> ModMatrix {
+        assert_eq!(self.k, other.k);
+        assert_eq!(self.modulus, other.modulus);
+        let k = self.k;
+        let mut out = ModMatrix::zero(k, self.modulus);
+        for i in 0..k {
+            for l in 0..k {
+                let a = self.get(i, l);
+                if a == 0 {
+                    continue;
+                }
+                for j in 0..k {
+                    let cur = out.data[i * k + j];
+                    out.data[i * k + j] =
+                        (cur + a * other.get(l, j)) % self.modulus;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix power by repeated squaring.
+    pub fn pow(&self, mut e: u64) -> ModMatrix {
+        let mut base = self.clone();
+        let mut acc = ModMatrix::identity(self.k, self.modulus);
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(&base);
+            }
+            base = base.mul(&base);
+            e >>= 1;
+        }
+        acc
+    }
+}
+
+/// The transfer matrix of `f`'s avoidance automaton over its live states:
+/// `T[s][t]` = number of bits `b ∈ {0,1}` with `δ(s, b) = t`.
+pub fn transfer_matrix(f: &Word, modulus: u64) -> ModMatrix {
+    let aut = FactorAutomaton::new(*f);
+    let k = aut.dead_state();
+    let mut t = ModMatrix::zero(k, modulus);
+    for s in 0..k {
+        for b in 0..2u8 {
+            let to = aut.step(s, b);
+            if to != k {
+                let cur = t.get(s, to);
+                t.set(s, to, cur + 1);
+            }
+        }
+    }
+    t
+}
+
+/// `|V(Q_d(f))| mod m` in `O(|f|³ log d)`.
+pub fn count_vertices_mod(f: &Word, d: u64, modulus: u64) -> u64 {
+    let t = transfer_matrix(f, modulus);
+    let td = t.pow(d);
+    // Start state 0; sum over all live end states.
+    (0..t.k).map(|j| td.get(0, j)).fold(0u64, |a, b| (a + b) % modulus)
+}
+
+/// Growth constant of the `f`-avoiding language: the dominant eigenvalue
+/// of the transfer matrix, estimated by power iteration over `f64`.
+/// (`Γ`: the golden ratio φ ≈ 1.618; `Q_d(1^k)` tends to 2 as `k → ∞`.)
+pub fn growth_constant(f: &Word) -> f64 {
+    let aut = FactorAutomaton::new(*f);
+    let k = aut.dead_state();
+    let mut v = vec![1.0f64; k];
+    let mut lambda = 0.0;
+    for _ in 0..200 {
+        let mut next = vec![0.0f64; k];
+        for s in 0..k {
+            for b in 0..2u8 {
+                let to = aut.step(s, b);
+                if to != k {
+                    next[to] += v[s];
+                }
+            }
+        }
+        let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return 0.0;
+        }
+        for x in next.iter_mut() {
+            *x /= norm;
+        }
+        lambda = norm;
+        v = next;
+    }
+    lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counts::count_vertices;
+    use fibcube_words::word;
+
+    #[test]
+    fn matrix_power_matches_linear_dp() {
+        for fs in ["11", "110", "101", "1100", "11010"] {
+            let f = word(fs);
+            let modulus = 1_000_000_007u64;
+            for d in 0..=40u64 {
+                let exact = count_vertices(&f, d as usize) % modulus as u128;
+                assert_eq!(
+                    count_vertices_mod(&f, d, modulus) as u128,
+                    exact,
+                    "f={fs} d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn astronomically_large_d() {
+        // d = 10^18 — impossible for the linear DP, instant here.
+        let f = word("11");
+        let m = 998_244_353u64;
+        let v = count_vertices_mod(&f, 1_000_000_000_000_000_000, m);
+        assert!(v < m);
+        // Pisano-style sanity: the sequence mod m is eventually periodic;
+        // check consistency with the recurrence at reachable offsets:
+        // V(d) = V(d−1) + V(d−2) for d ≥ 2 (Fibonacci shift).
+        let d = 1_000_000u64;
+        let (a, b, c) = (
+            count_vertices_mod(&f, d - 2, m),
+            count_vertices_mod(&f, d - 1, m),
+            count_vertices_mod(&f, d, m),
+        );
+        assert_eq!((a + b) % m, c);
+    }
+
+    #[test]
+    fn matrix_algebra() {
+        let id = ModMatrix::identity(3, 97);
+        assert_eq!(id.mul(&id), id);
+        assert_eq!(id.pow(10), id);
+        let mut m = ModMatrix::zero(2, 97);
+        m.set(0, 0, 1);
+        m.set(0, 1, 1);
+        m.set(1, 0, 1);
+        // Fibonacci matrix: entries of m^n are Fibonacci numbers mod 97.
+        let m10 = m.pow(10);
+        assert_eq!(m10.get(0, 0), 89); // F_11 = 89 (< 97)
+        assert_eq!(m10.get(0, 1), 55); // F_10
+    }
+
+    #[test]
+    fn growth_constants() {
+        // Γ: golden ratio; Q(1^3): tribonacci constant; Q(10): constant 1.
+        let phi = (1.0 + 5.0f64.sqrt()) / 2.0;
+        assert!((growth_constant(&word("11")) - phi).abs() < 1e-9);
+        assert!((growth_constant(&word("111")) - 1.839_286_755_2).abs() < 1e-6);
+        // f = 10 gives the polynomial language 0*1* (defective eigenvalue 1):
+        // power iteration converges only at rate O(1/iters) there.
+        assert!((growth_constant(&word("10")) - 1.0).abs() < 0.02);
+        // Longer factors → closer to 2.
+        assert!(growth_constant(&word("11111")) > growth_constant(&word("111")));
+        assert!(growth_constant(&word("11111")) < 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must exceed 1")]
+    fn bad_modulus_rejected() {
+        ModMatrix::zero(2, 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! Breadth-first search primitives.
+//!
+//! Distances are `u32`; unreachable vertices get [`INFINITY`]. The hot path
+//! reuses caller-provided scratch buffers so all-pairs sweeps allocate
+//! nothing per source (perf-book guidance on reusing collections).
+
+use crate::csr::CsrGraph;
+
+/// Distance value for unreachable vertices.
+pub const INFINITY: u32 = u32::MAX;
+
+/// Scratch space for repeated BFS runs from different sources.
+#[derive(Clone, Debug)]
+pub struct BfsScratch {
+    queue: Vec<u32>,
+}
+
+impl BfsScratch {
+    /// Scratch sized for a graph with `n` vertices.
+    pub fn new(n: usize) -> BfsScratch {
+        BfsScratch { queue: Vec::with_capacity(n) }
+    }
+}
+
+/// Single-source BFS: fills `dist` (length `n`) with hop distances from
+/// `source`, using `scratch` for the frontier queue. Returns the eccentricity
+/// of `source` within its component (the largest finite distance).
+pub fn bfs_into(g: &CsrGraph, source: u32, dist: &mut [u32], scratch: &mut BfsScratch) -> u32 {
+    debug_assert_eq!(dist.len(), g.num_vertices());
+    dist.fill(INFINITY);
+    scratch.queue.clear();
+    dist[source as usize] = 0;
+    scratch.queue.push(source);
+    let mut head = 0usize;
+    let mut ecc = 0u32;
+    while head < scratch.queue.len() {
+        let u = scratch.queue[head];
+        head += 1;
+        let du = dist[u as usize];
+        ecc = ecc.max(du);
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == INFINITY {
+                dist[v as usize] = du + 1;
+                scratch.queue.push(v);
+            }
+        }
+    }
+    ecc
+}
+
+/// Single-source BFS returning a fresh distance vector.
+pub fn bfs_distances(g: &CsrGraph, source: u32) -> Vec<u32> {
+    let mut dist = vec![INFINITY; g.num_vertices()];
+    let mut scratch = BfsScratch::new(g.num_vertices());
+    bfs_into(g, source, &mut dist, &mut scratch);
+    dist
+}
+
+/// BFS truncated at `limit`: vertices farther than `limit` keep [`INFINITY`].
+/// Used by the isometry checker, which only cares about distances up to the
+/// Hamming distance bound.
+pub fn bfs_bounded_into(
+    g: &CsrGraph,
+    source: u32,
+    limit: u32,
+    dist: &mut [u32],
+    scratch: &mut BfsScratch,
+) {
+    debug_assert_eq!(dist.len(), g.num_vertices());
+    dist.fill(INFINITY);
+    scratch.queue.clear();
+    dist[source as usize] = 0;
+    scratch.queue.push(source);
+    let mut head = 0usize;
+    while head < scratch.queue.len() {
+        let u = scratch.queue[head];
+        head += 1;
+        let du = dist[u as usize];
+        if du == limit {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == INFINITY {
+                dist[v as usize] = du + 1;
+                scratch.queue.push(v);
+            }
+        }
+    }
+}
+
+/// Full distance matrix (row per source). `O(n·(n+m))` — intended for the
+/// small graphs of the classification experiments; use
+/// [`crate::parallel::parallel_distance_matrix`] for larger instances.
+pub fn distance_matrix(g: &CsrGraph) -> Vec<Vec<u32>> {
+    let n = g.num_vertices();
+    let mut scratch = BfsScratch::new(n);
+    let mut rows = Vec::with_capacity(n);
+    for s in 0..n as u32 {
+        let mut row = vec![INFINITY; n];
+        bfs_into(g, s, &mut row, &mut scratch);
+        rows.push(row);
+    }
+    rows
+}
+
+/// Shortest-path distance between two vertices (or [`INFINITY`]).
+pub fn distance(g: &CsrGraph, u: u32, v: u32) -> u32 {
+    if u == v {
+        return 0;
+    }
+    // Early-exit BFS.
+    let n = g.num_vertices();
+    let mut dist = vec![INFINITY; n];
+    let mut scratch = BfsScratch::new(n);
+    dist[u as usize] = 0;
+    scratch.queue.push(u);
+    let mut head = 0;
+    while head < scratch.queue.len() {
+        let x = scratch.queue[head];
+        head += 1;
+        for &y in g.neighbors(x) {
+            if dist[y as usize] == INFINITY {
+                dist[y as usize] = dist[x as usize] + 1;
+                if y == v {
+                    return dist[y as usize];
+                }
+                scratch.queue.push(y);
+            }
+        }
+    }
+    INFINITY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> CsrGraph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn path_distances() {
+        let g = path_graph(6);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(distance(&g, 1, 4), 3);
+    }
+
+    #[test]
+    fn disconnected_infinity() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], INFINITY);
+        assert_eq!(distance(&g, 0, 3), INFINITY);
+    }
+
+    #[test]
+    fn bounded_bfs_truncates() {
+        let g = path_graph(8);
+        let mut dist = vec![0u32; 8];
+        let mut scratch = BfsScratch::new(8);
+        bfs_bounded_into(&g, 0, 3, &mut dist, &mut scratch);
+        assert_eq!(&dist[..4], &[0, 1, 2, 3]);
+        assert!(dist[4..].iter().all(|&x| x == INFINITY));
+    }
+
+    #[test]
+    fn bfs_returns_eccentricity() {
+        let g = path_graph(7);
+        let mut dist = vec![0u32; 7];
+        let mut scratch = BfsScratch::new(7);
+        assert_eq!(bfs_into(&g, 3, &mut dist, &mut scratch), 3);
+        assert_eq!(bfs_into(&g, 0, &mut dist, &mut scratch), 6);
+    }
+
+    #[test]
+    fn matrix_symmetric() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let m = distance_matrix(&g);
+        for i in 0..5 {
+            assert_eq!(m[i][i], 0);
+            for j in 0..5 {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+    }
+}

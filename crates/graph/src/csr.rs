@@ -1,0 +1,203 @@
+//! Compressed sparse row (CSR) storage for undirected graphs.
+//!
+//! All heavier machinery (BFS, diameters, medians, the `Q_d(f)` construction
+//! in `fibcube-core`) runs on this flat, cache-friendly representation, per
+//! the HPC guidance: one `Vec<u32>` of concatenated adjacency lists plus an
+//! offset array, no per-vertex allocations.
+
+/// An undirected graph in CSR form. Vertices are `0..n` as `u32`.
+///
+/// The structure is immutable after construction — build with
+/// [`GraphBuilder`] or [`CsrGraph::from_edges`].
+///
+/// # Examples
+///
+/// ```
+/// use fibcube_graph::CsrGraph;
+///
+/// let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// assert_eq!(g.num_vertices(), 4);
+/// assert_eq!(g.num_edges(), 4);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert_eq!(g.degree(1), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds from an explicit undirected edge list over vertices `0..n`.
+    /// Each edge should appear once; duplicates and self-loops are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints, self-loops, or duplicate edges.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+        let mut builder = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            builder.add_edge(u, v);
+        }
+        builder.build()
+    }
+
+    /// The empty graph on `n` vertices.
+    pub fn empty(n: usize) -> CsrGraph {
+        CsrGraph { offsets: vec![0; n + 1], targets: Vec::new() }
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Neighbors of `u`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: u32) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Maximum degree, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as u32).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Is `{u, v}` an edge? `O(log deg)` via binary search.
+    #[inline]
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all edges as ordered pairs `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_vertices() as u32).flat_map(move |u| {
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Degree sequence, descending.
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        let mut ds: Vec<usize> =
+            (0..self.num_vertices() as u32).map(|u| self.degree(u)).collect();
+        ds.sort_unstable_by(|a, b| b.cmp(a));
+        ds
+    }
+}
+
+/// Incremental builder producing a [`CsrGraph`].
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    adjacency: Vec<Vec<u32>>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` vertices with no edges yet.
+    pub fn new(n: usize) -> GraphBuilder {
+        assert!(n <= u32::MAX as usize - 1, "vertex count too large for u32 ids");
+        GraphBuilder { n, adjacency: vec![Vec::new(); n] }
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints, self-loops, or duplicate edges.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        assert!((u as usize) < self.n && (v as usize) < self.n, "edge ({u},{v}) out of range");
+        assert_ne!(u, v, "self-loop at vertex {u}");
+        debug_assert!(
+            !self.adjacency[u as usize].contains(&v),
+            "duplicate edge ({u},{v})"
+        );
+        self.adjacency[u as usize].push(v);
+        self.adjacency[v as usize].push(u);
+    }
+
+    /// Finalizes into CSR form (neighbor lists sorted).
+    pub fn build(mut self) -> CsrGraph {
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        offsets.push(0u32);
+        let total: usize = self.adjacency.iter().map(Vec::len).sum();
+        let mut targets = Vec::with_capacity(total);
+        for list in self.adjacency.iter_mut() {
+            list.sort_unstable();
+            targets.extend_from_slice(list);
+            offsets.push(targets.len() as u32);
+        }
+        CsrGraph { offsets, targets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_graph() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 5);
+        for u in 0..5u32 {
+            assert_eq!(g.degree(u), 2);
+        }
+        assert!(g.has_edge(4, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree_sequence(), vec![2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(3);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.neighbors(0), &[] as &[u32]);
+        let g0 = CsrGraph::empty(0);
+        assert_eq!(g0.num_vertices(), 0);
+        assert_eq!(g0.max_degree(), 0);
+    }
+
+    #[test]
+    fn edges_iterator_each_edge_once() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (2, 3)]);
+        let es: Vec<(u32, u32)> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (0, 3), (2, 3)]);
+        assert_eq!(es.len(), g.num_edges());
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = CsrGraph::from_edges(4, &[(3, 0), (1, 0), (0, 2)]);
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        CsrGraph::from_edges(2, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        CsrGraph::from_edges(2, &[(0, 5)]);
+    }
+}

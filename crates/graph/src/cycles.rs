@@ -1,0 +1,123 @@
+//! Counting 4-cycles ("squares", the set `S(G)` of Section 6).
+//!
+//! In the paper `S(G_d)` counts the squares of `Q_d(111)` and `S(H_d)` those
+//! of `Q_d(110)`; equations (3) and (6) give their recurrences. We count by
+//! the wedge/codegree method: every 4-cycle has exactly two diagonals, and a
+//! pair `{a, b}` with `c` common neighbors is the diagonal of `C(c, 2)`
+//! squares, so `|S(G)| = ½ Σ_{a<b} C(codeg(a,b), 2)`.
+
+use std::collections::HashMap;
+
+use crate::csr::CsrGraph;
+
+/// Number of 4-cycles in `g`.
+///
+/// Runs in `O(Σ_v deg(v)²)` time and `O(#wedge-pairs)` space — fine for
+/// hypercube-like graphs whose degrees are at most `d`.
+pub fn count_squares(g: &CsrGraph) -> u64 {
+    let mut codeg: HashMap<(u32, u32), u32> = HashMap::new();
+    for v in 0..g.num_vertices() as u32 {
+        let nb = g.neighbors(v);
+        for (i, &a) in nb.iter().enumerate() {
+            for &b in &nb[i + 1..] {
+                // a < b holds because neighbor lists are sorted.
+                *codeg.entry((a, b)).or_insert(0) += 1;
+            }
+        }
+    }
+    let twice: u64 = codeg
+        .values()
+        .map(|&c| {
+            let c = c as u64;
+            c * (c - 1) / 2
+        })
+        .sum();
+    debug_assert_eq!(twice % 2, 0, "each square must be counted exactly twice");
+    twice / 2
+}
+
+/// Lists all 4-cycles, each once, as `[a, x, b, y]` in cyclic order
+/// `a–x–b–y–a` with `a` the smallest vertex and `x < y`. Intended for tests
+/// and small instances.
+pub fn enumerate_squares(g: &CsrGraph) -> Vec<[u32; 4]> {
+    let n = g.num_vertices() as u32;
+    let mut out = Vec::new();
+    // A 4-cycle a–x–b–y–a: fix a = min vertex; its cycle-neighbors {x, y}
+    // are then unique, ordered x < y; b is the opposite corner.
+    for a in 0..n {
+        let nb = g.neighbors(a);
+        for (i, &x) in nb.iter().enumerate() {
+            for &y in &nb[i + 1..] {
+                if x <= a || y <= a {
+                    continue;
+                }
+                for &b in g.neighbors(x) {
+                    if b > a && b != y && g.has_edge(y, b) {
+                        out.push([a, x, b, y]);
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hypercube(d: usize) -> CsrGraph {
+        let n = 1usize << d;
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for i in 0..d {
+                let v = u ^ (1 << i);
+                if u < v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn square_counts_of_hypercubes() {
+        // |S(Q_d)| = C(d,2) · 2^{d−2}: Q2→1, Q3→6, Q4→24, Q5→80.
+        assert_eq!(count_squares(&hypercube(2)), 1);
+        assert_eq!(count_squares(&hypercube(3)), 6);
+        assert_eq!(count_squares(&hypercube(4)), 24);
+        assert_eq!(count_squares(&hypercube(5)), 80);
+    }
+
+    #[test]
+    fn no_squares_in_trees_and_odd_cycles() {
+        let path = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(count_squares(&path), 0);
+        let c5 = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(count_squares(&c5), 0);
+    }
+
+    #[test]
+    fn single_square() {
+        let c4 = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(count_squares(&c4), 1);
+        assert_eq!(enumerate_squares(&c4), vec![[0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn k4_has_three_squares() {
+        let k4 = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        // K4 contains three 4-cycles (each omitting one perfect matching).
+        assert_eq!(count_squares(&k4), 3);
+        assert_eq!(enumerate_squares(&k4).len(), 3);
+    }
+
+    #[test]
+    fn enumeration_matches_count() {
+        for d in 2..=4 {
+            let g = hypercube(d);
+            assert_eq!(enumerate_squares(&g).len() as u64, count_squares(&g), "d={d}");
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Distance invariants: eccentricities, diameter, radius, average distance,
+//! and the interval `I_G(u, v)` of Section 2.
+
+use crate::bfs::{bfs_distances, bfs_into, BfsScratch, INFINITY};
+use crate::csr::CsrGraph;
+use crate::parallel::parallel_eccentricities;
+
+/// Diameter (largest finite eccentricity). Returns `None` for an empty
+/// graph and [`INFINITY`]-free semantics: a disconnected graph reports the
+/// largest *within-component* distance together with `connected = false`
+/// via [`is_connected`].
+pub fn diameter(g: &CsrGraph) -> Option<u32> {
+    let ecc = parallel_eccentricities(g);
+    ecc.into_iter().max()
+}
+
+/// Radius (smallest eccentricity).
+pub fn radius(g: &CsrGraph) -> Option<u32> {
+    let ecc = parallel_eccentricities(g);
+    ecc.into_iter().min()
+}
+
+/// Is the graph connected? (The empty graph counts as connected.)
+pub fn is_connected(g: &CsrGraph) -> bool {
+    let n = g.num_vertices();
+    if n == 0 {
+        return true;
+    }
+    bfs_distances(g, 0).iter().all(|&d| d != INFINITY)
+}
+
+/// Number of connected components.
+pub fn component_count(g: &CsrGraph) -> usize {
+    let n = g.num_vertices();
+    let mut seen = vec![false; n];
+    let mut scratch = BfsScratch::new(n);
+    let mut dist = vec![INFINITY; n];
+    let mut count = 0;
+    for s in 0..n as u32 {
+        if seen[s as usize] {
+            continue;
+        }
+        count += 1;
+        bfs_into(g, s, &mut dist, &mut scratch);
+        for v in 0..n {
+            if dist[v] != INFINITY {
+                seen[v] = true;
+            }
+        }
+    }
+    count
+}
+
+/// Mean pairwise distance over connected ordered pairs (`u ≠ v`).
+///
+/// For interconnection networks this is the expected hop count of uniform
+/// random traffic.
+pub fn average_distance(g: &CsrGraph) -> f64 {
+    let n = g.num_vertices();
+    if n < 2 {
+        return 0.0;
+    }
+    let rows = crate::parallel::parallel_distance_matrix(g);
+    let mut sum = 0u64;
+    let mut pairs = 0u64;
+    for row in &rows {
+        for &d in row.iter() {
+            if d != 0 && d != INFINITY {
+                sum += d as u64;
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        sum as f64 / pairs as f64
+    }
+}
+
+/// The Wiener index `W(G) = Σ_{u<v} d(u, v)` (a classic distance invariant
+/// of the Fibonacci-cube literature). Disconnected pairs are ignored.
+pub fn wiener_index(g: &CsrGraph) -> u64 {
+    let rows = crate::parallel::parallel_distance_matrix(g);
+    let mut sum = 0u64;
+    for (u, row) in rows.iter().enumerate() {
+        for &d in row.iter().skip(u + 1) {
+            if d != INFINITY {
+                sum += d as u64;
+            }
+        }
+    }
+    sum
+}
+
+/// The interval `I_G(u, v)`: all vertices on shortest `u,v`-paths, i.e.
+/// `{ x : d(u,x) + d(x,v) = d(u,v) }`. Empty when `u, v` are disconnected.
+pub fn interval(g: &CsrGraph, u: u32, v: u32) -> Vec<u32> {
+    let du = bfs_distances(g, u);
+    let dv = bfs_distances(g, v);
+    let duv = du[v as usize];
+    if duv == INFINITY {
+        return Vec::new();
+    }
+    (0..g.num_vertices() as u32)
+        .filter(|&x| {
+            du[x as usize] != INFINITY
+                && dv[x as usize] != INFINITY
+                && du[x as usize] + dv[x as usize] == duv
+        })
+        .collect()
+}
+
+/// Distance histogram: `hist[k]` = number of unordered pairs at distance `k`
+/// (index 0 counts vertices, i.e. `n`). Infinite distances are dropped.
+pub fn distance_histogram(g: &CsrGraph) -> Vec<u64> {
+    let rows = crate::parallel::parallel_distance_matrix(g);
+    let mut hist = Vec::new();
+    for (u, row) in rows.iter().enumerate() {
+        for (v, &d) in row.iter().enumerate() {
+            if v < u || d == INFINITY {
+                continue;
+            }
+            let d = d as usize;
+            if hist.len() <= d {
+                hist.resize(d + 1, 0);
+            }
+            hist[d] += 1;
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> CsrGraph {
+        let edges: Vec<(u32, u32)> =
+            (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn cycle_invariants() {
+        let g = cycle(8);
+        assert_eq!(diameter(&g), Some(4));
+        assert_eq!(radius(&g), Some(4));
+        assert!(is_connected(&g));
+        assert_eq!(component_count(&g), 1);
+    }
+
+    #[test]
+    fn average_distance_of_c4() {
+        // C4: each vertex sees distances 1,1,2 ⇒ mean 4/3.
+        let g = cycle(4);
+        let avg = average_distance(&g);
+        assert!((avg - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_in_cycle() {
+        let g = cycle(6);
+        // Antipodal pair: both halves lie on geodesics ⇒ whole cycle.
+        let mut iv = interval(&g, 0, 3);
+        iv.sort_unstable();
+        assert_eq!(iv, vec![0, 1, 2, 3, 4, 5]);
+        // Adjacent pair: just the endpoints.
+        assert_eq!(interval(&g, 0, 1), vec![0, 1]);
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (2, 3)]);
+        assert!(!is_connected(&g));
+        assert_eq!(component_count(&g), 3);
+        assert_eq!(interval(&g, 0, 2), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn histogram_of_path() {
+        // P4 (3 edges): distances 1×3, 2×2, 3×1.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(distance_histogram(&g), vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn wiener_indices() {
+        // W(P_n) = n(n²−1)/6; W(C_{2k}) = k³.
+        for n in 2..=9usize {
+            let g = CsrGraph::from_edges(
+                n,
+                &(1..n as u32).map(|i| (i - 1, i)).collect::<Vec<_>>(),
+            );
+            assert_eq!(wiener_index(&g) as usize, n * (n * n - 1) / 6, "P_{n}");
+        }
+        for k in 2..=5usize {
+            assert_eq!(wiener_index(&cycle(2 * k)) as usize, k * k * k, "C_{}", 2 * k);
+        }
+        // Disconnected pairs are skipped.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(wiener_index(&g), 2);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(diameter(&CsrGraph::empty(0)), None);
+        assert_eq!(diameter(&CsrGraph::empty(1)), Some(0));
+        assert!(is_connected(&CsrGraph::empty(0)));
+        assert_eq!(average_distance(&CsrGraph::empty(1)), 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! GraphViz DOT export — used to regenerate the paper's Figures 1 and 2.
+
+use std::fmt::Write as _;
+
+use crate::csr::CsrGraph;
+
+/// Renders `g` in DOT format. `label` yields the node caption for each
+/// vertex (e.g. its binary string in `Q_d(f)` figures).
+pub fn to_dot<F>(g: &CsrGraph, graph_name: &str, label: F) -> String
+where
+    F: Fn(u32) -> String,
+{
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {graph_name} {{");
+    let _ = writeln!(out, "  node [shape=circle fontsize=10];");
+    for u in 0..g.num_vertices() as u32 {
+        let _ = writeln!(out, "  v{u} [label=\"{}\"];", label(u));
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  v{u} -- v{v};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// DOT with plain numeric labels.
+pub fn to_dot_plain(g: &CsrGraph, graph_name: &str) -> String {
+    to_dot(g, graph_name, |u| u.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_edges_and_labels() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let dot = to_dot(&g, "p3", |u| format!("n{u}"));
+        assert!(dot.starts_with("graph p3 {"));
+        assert!(dot.contains("v0 [label=\"n0\"]"));
+        assert!(dot.contains("v0 -- v1;"));
+        assert!(dot.contains("v1 -- v2;"));
+        assert!(!dot.contains("v0 -- v2"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn plain_labels() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        let dot = to_dot_plain(&g, "k2");
+        assert!(dot.contains("v1 [label=\"1\"]"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Standard graph generators used as baselines and test fixtures:
+//! paths, cycles, stars, complete/complete-bipartite, grids, hypercubes,
+//! random trees and Erdős–Rényi graphs (seeded, for property tests).
+
+use crate::csr::CsrGraph;
+
+/// Path `P_n` on `n` vertices (`n − 1` edges).
+pub fn path(n: usize) -> CsrGraph {
+    let edges: Vec<(u32, u32)> =
+        (1..n as u32).map(|i| (i - 1, i)).collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Cycle `C_n` (`n ≥ 3`).
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3, "cycle needs ≥ 3 vertices");
+    let edges: Vec<(u32, u32)> =
+        (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Star `K_{1,n−1}` with center 0.
+pub fn star(n: usize) -> CsrGraph {
+    assert!(n >= 1);
+    let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (0, i)).collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        for v in u + 1..n as u32 {
+            edges.push((u, v));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Complete bipartite `K_{a,b}` (left part `0..a`).
+pub fn complete_bipartite(a: usize, b: usize) -> CsrGraph {
+    let mut edges = Vec::new();
+    for u in 0..a as u32 {
+        for v in 0..b as u32 {
+            edges.push((u, a as u32 + v));
+        }
+    }
+    CsrGraph::from_edges(a + b, &edges)
+}
+
+/// `w × h` grid graph (Cartesian product of two paths).
+pub fn grid(w: usize, h: usize) -> CsrGraph {
+    let id = |x: usize, y: usize| (y * w + x) as u32;
+    let mut edges = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                edges.push((id(x, y), id(x + 1, y)));
+            }
+            if y + 1 < h {
+                edges.push((id(x, y), id(x, y + 1)));
+            }
+        }
+    }
+    CsrGraph::from_edges(w * h, &edges)
+}
+
+/// Hypercube `Q_d`; vertex `u`'s label is `u` itself.
+pub fn hypercube(d: usize) -> CsrGraph {
+    assert!(d < 30, "hypercube dimension too large to materialise");
+    let n = 1usize << d;
+    let mut edges = Vec::with_capacity(n * d / 2);
+    for u in 0..n as u32 {
+        for i in 0..d {
+            let v = u ^ (1u32 << i);
+            if u < v {
+                edges.push((u, v));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Uniform random labelled tree on `n` vertices from a Prüfer sequence
+/// drawn with the splitmix64 generator seeded by `seed` (deterministic,
+/// dependency-free — keeps proptest shrinking reproducible).
+pub fn random_tree(n: usize, seed: u64) -> CsrGraph {
+    if n <= 1 {
+        return CsrGraph::empty(n);
+    }
+    if n == 2 {
+        return CsrGraph::from_edges(2, &[(0, 1)]);
+    }
+    let mut state = seed;
+    let mut prufer = Vec::with_capacity(n - 2);
+    for _ in 0..n - 2 {
+        prufer.push((splitmix64(&mut state) % n as u64) as u32);
+    }
+    let mut degree = vec![1u32; n];
+    for &p in &prufer {
+        degree[p as usize] += 1;
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    // Standard Prüfer decoding with a scan pointer + leaf override.
+    let mut ptr = 0usize;
+    while degree[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr as u32;
+    for &p in &prufer {
+        edges.push((leaf, p));
+        degree[p as usize] -= 1;
+        if degree[p as usize] == 1 && (p as usize) < ptr {
+            leaf = p;
+        } else {
+            ptr += 1;
+            while degree[ptr] != 1 {
+                ptr += 1;
+            }
+            leaf = ptr as u32;
+        }
+    }
+    edges.push((leaf, (n - 1) as u32));
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Erdős–Rényi `G(n, p)` with a deterministic splitmix64 stream.
+pub fn random_graph(n: usize, p: f64, seed: u64) -> CsrGraph {
+    let mut state = seed;
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        for v in u + 1..n as u32 {
+            let r = splitmix64(&mut state) as f64 / u64::MAX as f64;
+            if r < p {
+                edges.push((u, v));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// splitmix64 step — tiny deterministic PRNG for fixtures.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{diameter, is_connected};
+    use crate::properties::{is_bipartite, is_regular};
+
+    #[test]
+    fn generator_sizes() {
+        assert_eq!(path(6).num_edges(), 5);
+        assert_eq!(cycle(6).num_edges(), 6);
+        assert_eq!(star(7).num_edges(), 6);
+        assert_eq!(complete(5).num_edges(), 10);
+        assert_eq!(complete_bipartite(2, 3).num_edges(), 6);
+        assert_eq!(grid(3, 4).num_edges(), 17);
+        assert_eq!(hypercube(4).num_edges(), 32);
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let q4 = hypercube(4);
+        assert!(is_regular(&q4, 4));
+        assert!(is_bipartite(&q4));
+        assert_eq!(diameter(&q4), Some(4));
+        // Adjacency ⟺ labels at Hamming distance 1.
+        for (u, v) in q4.edges() {
+            assert_eq!((u ^ v).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn random_trees_are_trees() {
+        for seed in 0..50u64 {
+            for n in [1usize, 2, 3, 7, 20, 57] {
+                let t = random_tree(n, seed);
+                assert_eq!(t.num_edges(), n.saturating_sub(1), "n={n} seed={seed}");
+                assert!(is_connected(&t), "n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_graph_determinism_and_density() {
+        let a = random_graph(40, 0.3, 7);
+        let b = random_graph(40, 0.3, 7);
+        assert_eq!(a, b);
+        let c = random_graph(40, 0.3, 8);
+        assert_ne!(a, c);
+        assert_eq!(random_graph(30, 0.0, 1).num_edges(), 0);
+        assert_eq!(random_graph(10, 1.0, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn grid_is_bipartite_with_correct_diameter() {
+        let g = grid(4, 6);
+        assert!(is_bipartite(&g));
+        assert_eq!(diameter(&g), Some(3 + 5));
+    }
+}

@@ -1,0 +1,183 @@
+//! Graph isomorphism for small instances (backtracking with degree and
+//! neighborhood pruning).
+//!
+//! Used to verify Lemma 2.2 (`Q_d(f) ≅ Q_d(f̄)`) and Lemma 2.3
+//! (`Q_d(f) ≅ Q_d(f^R)`) computationally, and to validate explicitly
+//! constructed isomorphisms. This is a simple VF2-flavoured search — fully
+//! adequate for the ≤ few-thousand-vertex graphs in the experiments, not a
+//! general-purpose nauty replacement.
+
+use crate::csr::CsrGraph;
+
+/// Attempts to find an isomorphism `g → h`; returns the vertex mapping
+/// (`map[u] = image of u`) or `None`.
+pub fn find_isomorphism(g: &CsrGraph, h: &CsrGraph) -> Option<Vec<u32>> {
+    let n = g.num_vertices();
+    if n != h.num_vertices() || g.num_edges() != h.num_edges() {
+        return None;
+    }
+    if crate::properties::degree_histogram(g) != crate::properties::degree_histogram(h) {
+        return None;
+    }
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    // Order g's vertices by connectivity to already-mapped vertices
+    // (simple static order: descending degree, which keeps the branching
+    // factor low at the top of the tree).
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&u| std::cmp::Reverse(g.degree(u)));
+
+    let mut map = vec![u32::MAX; n]; // g -> h
+    let mut used = vec![false; n]; // h vertices already used
+    if backtrack(g, h, &order, 0, &mut map, &mut used) {
+        Some(map)
+    } else {
+        None
+    }
+}
+
+fn backtrack(
+    g: &CsrGraph,
+    h: &CsrGraph,
+    order: &[u32],
+    depth: usize,
+    map: &mut Vec<u32>,
+    used: &mut Vec<bool>,
+) -> bool {
+    if depth == order.len() {
+        return true;
+    }
+    let u = order[depth];
+    let du = g.degree(u);
+    'candidates: for v in 0..h.num_vertices() as u32 {
+        if used[v as usize] || h.degree(v) != du {
+            continue;
+        }
+        // Consistency: every already-mapped neighbor of u must map to a
+        // neighbor of v, and every mapped non-neighbor to a non-neighbor.
+        for w in 0..g.num_vertices() as u32 {
+            let mw = map[w as usize];
+            if mw == u32::MAX {
+                continue;
+            }
+            if g.has_edge(u, w) != h.has_edge(v, mw) {
+                continue 'candidates;
+            }
+        }
+        map[u as usize] = v;
+        used[v as usize] = true;
+        if backtrack(g, h, order, depth + 1, map, used) {
+            return true;
+        }
+        map[u as usize] = u32::MAX;
+        used[v as usize] = false;
+    }
+    false
+}
+
+/// Are `g` and `h` isomorphic?
+pub fn are_isomorphic(g: &CsrGraph, h: &CsrGraph) -> bool {
+    find_isomorphism(g, h).is_some()
+}
+
+/// Verifies that `map` is an isomorphism `g → h`: a bijection with
+/// `u ~ w ⟺ map[u] ~ map[w]`.
+pub fn verify_isomorphism(g: &CsrGraph, h: &CsrGraph, map: &[u32]) -> bool {
+    let n = g.num_vertices();
+    if map.len() != n || h.num_vertices() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &v in map {
+        if v as usize >= n || seen[v as usize] {
+            return false;
+        }
+        seen[v as usize] = true;
+    }
+    for u in 0..n as u32 {
+        for w in 0..n as u32 {
+            if u < w && g.has_edge(u, w) != h.has_edge(map[u as usize], map[w as usize]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> CsrGraph {
+        CsrGraph::from_edges(n, &(0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn cycles_isomorphic_to_relabeled_cycles() {
+        let g = cycle(6);
+        // C6 with a scrambled labelling.
+        let h = CsrGraph::from_edges(6, &[(3, 5), (5, 1), (1, 0), (0, 4), (4, 2), (2, 3)]);
+        let map = find_isomorphism(&g, &h).expect("isomorphic");
+        assert!(verify_isomorphism(&g, &h, &map));
+    }
+
+    #[test]
+    fn non_isomorphic_same_degree_sequence() {
+        // C6 vs 2×C3: both 2-regular on 6 vertices.
+        let g = cycle(6);
+        let h = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        assert!(!are_isomorphic(&g, &h));
+    }
+
+    #[test]
+    fn different_sizes_rejected() {
+        assert!(!are_isomorphic(&cycle(5), &cycle(6)));
+        let p3 = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let k3 = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(!are_isomorphic(&p3, &k3));
+    }
+
+    #[test]
+    fn empty_and_trivial() {
+        assert!(are_isomorphic(&CsrGraph::empty(0), &CsrGraph::empty(0)));
+        assert!(are_isomorphic(&CsrGraph::empty(3), &CsrGraph::empty(3)));
+        assert!(!are_isomorphic(&CsrGraph::empty(3), &CsrGraph::empty(2)));
+    }
+
+    #[test]
+    fn verify_rejects_non_bijection() {
+        let g = cycle(4);
+        assert!(!verify_isomorphism(&g, &g, &[0, 0, 1, 2]));
+        assert!(!verify_isomorphism(&g, &g, &[0, 1, 2]));
+        assert!(verify_isomorphism(&g, &g, &[0, 1, 2, 3]));
+        // Rotation is an automorphism of C4.
+        assert!(verify_isomorphism(&g, &g, &[1, 2, 3, 0]));
+        // Swapping two adjacent vertices only is not.
+        assert!(!verify_isomorphism(&g, &g, &[1, 0, 2, 3]));
+    }
+
+    #[test]
+    fn petersen_vs_random_cubic() {
+        // Petersen graph is 3-regular, 10 vertices, girth 5.
+        let petersen = CsrGraph::from_edges(
+            10,
+            &[
+                (0, 1), (1, 2), (2, 3), (3, 4), (4, 0), // outer C5
+                (5, 7), (7, 9), (9, 6), (6, 8), (8, 5), // inner pentagram
+                (0, 5), (1, 6), (2, 7), (3, 8), (4, 9), // spokes
+            ],
+        );
+        // The 3-prism × something … use the 5-prism (C5 × K2): 3-regular,
+        // girth 4 ⇒ not isomorphic to Petersen.
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            edges.push((i, (i + 1) % 5));
+            edges.push((i + 5, (i + 1) % 5 + 5));
+            edges.push((i, i + 5));
+        }
+        let prism = CsrGraph::from_edges(10, &edges);
+        assert!(!are_isomorphic(&petersen, &prism));
+        assert!(are_isomorphic(&petersen, &petersen));
+    }
+}

@@ -1,0 +1,32 @@
+//! # fibcube-graph
+//!
+//! The graph substrate for the generalized-Fibonacci-cube reproduction:
+//! a flat CSR representation plus the distance, cycle, median and
+//! isomorphism machinery the paper's experiments need, with hand-rolled
+//! crossbeam-based data parallelism (the approved dependency set contains no
+//! rayon).
+//!
+//! Everything here is generic graph theory — the `Q_d(f)` specifics live in
+//! `fibcube-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod csr;
+pub mod cycles;
+pub mod distance;
+pub mod dot;
+pub mod generators;
+pub mod iso;
+pub mod median;
+pub mod parallel;
+pub mod properties;
+
+pub use bfs::{bfs_distances, distance_matrix, INFINITY};
+pub use csr::{CsrGraph, GraphBuilder};
+pub use cycles::count_squares;
+pub use distance::{average_distance, diameter, interval, is_connected, radius, wiener_index};
+pub use iso::{are_isomorphic, find_isomorphism};
+pub use median::{hypercube_median, is_median_graph, median, median_set};
+pub use properties::{bipartition, is_bipartite};

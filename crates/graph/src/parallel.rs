@@ -1,0 +1,214 @@
+//! Hand-rolled data-parallel helpers on `crossbeam::scope`.
+//!
+//! The approved dependency list has no rayon, so this module provides the
+//! small slice of it we need: dynamically load-balanced `par_map` /
+//! `par_any` over an index range, built from scoped threads, an atomic
+//! work-stealing counter and a mutex-protected result sink (cf. *Rust
+//! Atomics and Locks*, ch. 1–2). All closures run on borrowed data — no
+//! `Arc`, no `'static` bounds.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::bfs::{bfs_into, BfsScratch};
+use crate::csr::CsrGraph;
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, capped at 16 (diminishing returns for our graph sizes).
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+}
+
+/// Size of the index blocks handed to workers by the stealing counter.
+const BLOCK: usize = 64;
+
+/// Applies `f` to every index in `0..n` on `threads` workers and collects
+/// the results in index order.
+///
+/// Dynamic load balancing: workers repeatedly grab `BLOCK`-sized chunks from
+/// an atomic counter, so skewed per-index costs (e.g. BFS from high- vs
+/// low-eccentricity sources) do not idle the pool.
+pub fn par_map_threads<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n.div_ceil(1)).min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let counter = AtomicUsize::new(0);
+    let sink: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::new());
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let start = counter.fetch_add(BLOCK, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + BLOCK).min(n);
+                let chunk: Vec<T> = (start..end).map(&f).collect();
+                sink.lock().push((start, chunk));
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    let mut chunks = sink.into_inner();
+    chunks.sort_unstable_by_key(|(start, _)| *start);
+    let mut out = Vec::with_capacity(n);
+    for (_, chunk) in chunks {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// [`par_map_threads`] with the default thread count.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_threads(n, num_threads(), f)
+}
+
+/// Does `f(i)` hold for **some** `i in 0..n`? Early-exits across all workers
+/// through a shared flag as soon as a witness is found.
+pub fn par_any<F>(n: usize, threads: usize, f: F) -> bool
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    if n == 0 {
+        return false;
+    }
+    let threads = threads.clamp(1, n);
+    if threads <= 1 {
+        return (0..n).any(f);
+    }
+    let counter = AtomicUsize::new(0);
+    let found = AtomicBool::new(false);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                while !found.load(Ordering::Relaxed) {
+                    let start = counter.fetch_add(BLOCK, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + BLOCK).min(n);
+                    for i in start..end {
+                        if f(i) {
+                            found.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                        if found.load(Ordering::Relaxed) {
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    found.load(Ordering::Relaxed)
+}
+
+/// Does `f(i)` hold for **every** `i in 0..n`? Early-exits on the first
+/// counterexample.
+pub fn par_all<F>(n: usize, threads: usize, f: F) -> bool
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    !par_any(n, threads, |i| !f(i))
+}
+
+/// Full distance matrix with one BFS per source, parallel over sources.
+pub fn parallel_distance_matrix(g: &CsrGraph) -> Vec<Vec<u32>> {
+    let n = g.num_vertices();
+    par_map(n, |s| {
+        let mut row = vec![crate::bfs::INFINITY; n];
+        let mut scratch = BfsScratch::new(n);
+        bfs_into(g, s as u32, &mut row, &mut scratch);
+        row
+    })
+}
+
+/// Eccentricity of every vertex (largest finite BFS distance), parallel.
+pub fn parallel_eccentricities(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    par_map(n, |s| {
+        let mut row = vec![crate::bfs::INFINITY; n];
+        let mut scratch = BfsScratch::new(n);
+        bfs_into(g, s as u32, &mut row, &mut scratch)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::distance_matrix;
+
+    fn grid(w: usize, h: usize) -> CsrGraph {
+        let id = |x: usize, y: usize| (y * w + x) as u32;
+        let mut edges = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    edges.push((id(x, y), id(x + 1, y)));
+                }
+                if y + 1 < h {
+                    edges.push((id(x, y), id(x, y + 1)));
+                }
+            }
+        }
+        CsrGraph::from_edges(w * h, &edges)
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map_threads(1000, 8, |i| i * i);
+        assert_eq!(out.len(), 1000);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        assert_eq!(par_map_threads(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_threads(1, 4, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn par_any_finds_witness() {
+        assert!(par_any(10_000, 8, |i| i == 9_999));
+        assert!(!par_any(10_000, 8, |_| false));
+        assert!(par_any(1, 8, |_| true));
+        assert!(!par_any(0, 8, |_| true));
+    }
+
+    #[test]
+    fn par_all_finds_counterexample() {
+        assert!(par_all(10_000, 8, |i| i < 10_000));
+        assert!(!par_all(10_000, 8, |i| i != 5_000));
+    }
+
+    #[test]
+    fn parallel_matrix_matches_serial() {
+        let g = grid(9, 7);
+        assert_eq!(parallel_distance_matrix(&g), distance_matrix(&g));
+    }
+
+    #[test]
+    fn eccentricities_of_grid() {
+        let g = grid(5, 4);
+        let ecc = parallel_eccentricities(&g);
+        // Corner of a 5×4 grid: (5−1)+(4−1) = 7; center-most: 4.
+        assert_eq!(ecc[0], 7);
+        assert_eq!(*ecc.iter().max().unwrap(), 7);
+        assert_eq!(*ecc.iter().min().unwrap(), 4);
+    }
+}

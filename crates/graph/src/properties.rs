@@ -1,0 +1,126 @@
+//! Basic structural predicates: bipartiteness, regularity, vertex
+//! transitivity helpers used across the experiments.
+
+use crate::bfs::INFINITY;
+use crate::csr::CsrGraph;
+
+/// Two-colors the graph if bipartite; returns the side of every vertex, or
+/// `None` when an odd cycle exists. Disconnected graphs are colored
+/// component-wise.
+pub fn bipartition(g: &CsrGraph) -> Option<Vec<u8>> {
+    let n = g.num_vertices();
+    let mut color = vec![u8::MAX; n];
+    let mut queue = Vec::with_capacity(n);
+    for s in 0..n as u32 {
+        if color[s as usize] != u8::MAX {
+            continue;
+        }
+        color[s as usize] = 0;
+        queue.clear();
+        queue.push(s);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            let cu = color[u as usize];
+            for &v in g.neighbors(u) {
+                if color[v as usize] == u8::MAX {
+                    color[v as usize] = 1 - cu;
+                    queue.push(v);
+                } else if color[v as usize] == cu {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(color)
+}
+
+/// Is the graph bipartite?
+pub fn is_bipartite(g: &CsrGraph) -> bool {
+    bipartition(g).is_some()
+}
+
+/// Is every vertex of degree `k`?
+pub fn is_regular(g: &CsrGraph, k: usize) -> bool {
+    (0..g.num_vertices() as u32).all(|u| g.degree(u) == k)
+}
+
+/// Girth-4-free check helper: does the graph contain a triangle?
+/// (Bipartite graphs never do; used as a cross-check.)
+pub fn has_triangle(g: &CsrGraph) -> bool {
+    for u in 0..g.num_vertices() as u32 {
+        let nb = g.neighbors(u);
+        for (i, &a) in nb.iter().enumerate() {
+            for &b in &nb[i + 1..] {
+                if g.has_edge(a, b) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Vertices sorted by (degree, id) — a cheap invariant for quick
+/// isomorphism rejection.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<(usize, usize)> {
+    let mut hist = std::collections::BTreeMap::new();
+    for u in 0..g.num_vertices() as u32 {
+        *hist.entry(g.degree(u)).or_insert(0usize) += 1;
+    }
+    hist.into_iter().collect()
+}
+
+/// Are all pairwise distances finite and equal between the two distance
+/// matrices? Utility for comparing a subgraph metric with a host metric.
+pub fn same_metric(a: &[Vec<u32>], b: &[Vec<u32>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| ra == rb)
+        && a.iter().flatten().all(|&d| d != INFINITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_cycles_bipartite_odd_not() {
+        let c4 = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let c5 = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert!(is_bipartite(&c4));
+        assert!(!is_bipartite(&c5));
+        let col = bipartition(&c4).unwrap();
+        assert_eq!(col[0], col[2]);
+        assert_ne!(col[0], col[1]);
+    }
+
+    #[test]
+    fn disconnected_bipartition() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (2, 3), (3, 4)]);
+        assert!(is_bipartite(&g));
+    }
+
+    #[test]
+    fn regularity() {
+        let c4 = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(is_regular(&c4, 2));
+        assert!(!is_regular(&c4, 3));
+        let p3 = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(!is_regular(&p3, 2));
+    }
+
+    #[test]
+    fn triangle_detection() {
+        let k3 = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(has_triangle(&k3));
+        let c4 = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(!has_triangle(&c4));
+    }
+
+    #[test]
+    fn degree_histogram_of_star() {
+        let star = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(degree_histogram(&star), vec![(1, 3), (3, 1)]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # fibcube-isometry
+//!
+//! Partial-cube theory for the generalized-Fibonacci-cube reproduction
+//! (Sections 7–8 of Ilić–Klavžar–Rho):
+//!
+//! * [`theta`] — the Djoković–Winkler relation Θ and its closure Θ*;
+//! * [`partial_cube`] — recognition + canonical hypercube embedding, and
+//!   the isometric dimension `idim`;
+//! * [`fdim`] — the `f`-dimension: Proposition 7.1's constructive padding
+//!   bound and an exact backtracking search for small graphs;
+//! * [`winkler`] — the Section 8 example (`Q_d(101)` lies isometrically in
+//!   no hypercube), ladder and all;
+//! * [`unionfind`] — the disjoint-set substrate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fdim;
+pub mod partial_cube;
+pub mod theta;
+pub mod unionfind;
+pub mod winkler;
+
+pub use fdim::{dim_f_exact, dim_f_upper, find_isometric_embedding, PadMode};
+pub use partial_cube::{analyze, is_partial_cube, isometric_dimension, PartialCubeResult};
+pub use theta::Theta;
+pub use winkler::{section8_example, verify_ladder, Section8Example};

@@ -1,0 +1,197 @@
+//! Partial-cube recognition and the canonical hypercube embedding.
+//!
+//! A *partial cube* is a graph isometrically embeddable into some hypercube;
+//! the smallest such dimension is the isometric dimension `idim` (Section 7),
+//! equal to the number of Θ*-classes. Recognition here follows the classic
+//! Djoković–Winkler route: the graph must be connected and bipartite; build
+//! the candidate labelling from the Θ*-classes (each class is a coordinate,
+//! the side of every vertex decided by distance parity to a representative
+//! edge) and accept iff that labelling is isometric.
+
+use fibcube_graph::csr::CsrGraph;
+
+use crate::theta::Theta;
+
+/// Vertex labels over `k` coordinates, stored as chunked bitsets so
+/// `idim > 64` still works.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CubeLabeling {
+    /// Number of coordinates (= number of Θ*-classes).
+    pub dimension: usize,
+    /// Per-vertex label, `ceil(dimension / 64)` chunks each.
+    pub labels: Vec<Vec<u64>>,
+}
+
+impl CubeLabeling {
+    /// Hamming distance between the labels of vertices `u` and `v`.
+    pub fn hamming(&self, u: usize, v: usize) -> u32 {
+        self.labels[u]
+            .iter()
+            .zip(&self.labels[v])
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// The label of `u` as a `u64` (panics when `dimension > 64`).
+    pub fn label64(&self, u: usize) -> u64 {
+        assert!(self.dimension <= 64, "label does not fit in u64");
+        self.labels[u].first().copied().unwrap_or(0)
+    }
+}
+
+/// Outcome of [`analyze`]: either a certified embedding or the reason the
+/// graph is not a partial cube.
+#[derive(Clone, Debug)]
+pub enum PartialCubeResult {
+    /// The graph is a partial cube; the canonical labelling certifies it.
+    Yes(CubeLabeling),
+    /// Not a partial cube, with a human-readable obstruction.
+    No(&'static str),
+}
+
+impl PartialCubeResult {
+    /// `true` for [`PartialCubeResult::Yes`].
+    pub fn is_partial_cube(&self) -> bool {
+        matches!(self, PartialCubeResult::Yes(_))
+    }
+}
+
+/// Recognises whether `g` is a partial cube and, if so, produces the
+/// canonical isometric hypercube embedding.
+pub fn analyze(g: &CsrGraph) -> PartialCubeResult {
+    let n = g.num_vertices();
+    if n == 0 {
+        return PartialCubeResult::No("empty graph");
+    }
+    if !fibcube_graph::distance::is_connected(g) {
+        return PartialCubeResult::No("disconnected");
+    }
+    if fibcube_graph::properties::bipartition(g).is_none() {
+        return PartialCubeResult::No("not bipartite");
+    }
+    if n == 1 {
+        return PartialCubeResult::Yes(CubeLabeling { dimension: 0, labels: vec![vec![]] });
+    }
+    let theta = Theta::new(g);
+    let classes = theta.theta_star_classes();
+    let k = classes.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+    // Representative edge per class.
+    let mut rep = vec![usize::MAX; k];
+    for (e, &c) in classes.iter().enumerate() {
+        if rep[c as usize] == usize::MAX {
+            rep[c as usize] = e;
+        }
+    }
+    // Labelling: coordinate c of vertex v is 0 when v is closer to rep-edge
+    // endpoint a than to b (bipartiteness guarantees a strict side).
+    let dist = fibcube_graph::parallel::parallel_distance_matrix(g);
+    let chunks = k.div_ceil(64);
+    let mut labels = vec![vec![0u64; chunks]; n];
+    for (c, &e) in rep.iter().enumerate() {
+        let (a, b) = theta.edges()[e];
+        for (v, lab) in labels.iter_mut().enumerate() {
+            let da = dist[a as usize][v];
+            let db = dist[b as usize][v];
+            debug_assert_ne!(da, db, "bipartite graphs have no ties across an edge");
+            if db < da {
+                lab[c / 64] |= 1u64 << (c % 64);
+            }
+        }
+    }
+    let labeling = CubeLabeling { dimension: k, labels };
+    // Accept iff the labelling is an isometry.
+    for u in 0..n {
+        for v in u + 1..n {
+            if labeling.hamming(u, v) != dist[u][v] {
+                return PartialCubeResult::No("Θ*-labelling is not isometric");
+            }
+        }
+    }
+    PartialCubeResult::Yes(labeling)
+}
+
+/// Is `g` isometrically embeddable into some hypercube?
+pub fn is_partial_cube(g: &CsrGraph) -> bool {
+    analyze(g).is_partial_cube()
+}
+
+/// The isometric dimension `idim(g)`: number of Θ*-classes when `g` is a
+/// partial cube, `None` otherwise (the paper writes `idim(G) = ∞`).
+pub fn isometric_dimension(g: &CsrGraph) -> Option<usize> {
+    match analyze(g) {
+        PartialCubeResult::Yes(l) => Some(l.dimension),
+        PartialCubeResult::No(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fibcube_core::Qdf;
+    use fibcube_graph::generators::{complete_bipartite, cycle, grid, hypercube, path, star};
+    use fibcube_words::word;
+
+    #[test]
+    fn classic_partial_cubes() {
+        assert_eq!(isometric_dimension(&path(6)), Some(5));
+        assert_eq!(isometric_dimension(&cycle(6)), Some(3));
+        assert_eq!(isometric_dimension(&cycle(4)), Some(2));
+        assert_eq!(isometric_dimension(&hypercube(4)), Some(4));
+        assert_eq!(isometric_dimension(&star(4)), Some(3));
+        assert_eq!(isometric_dimension(&grid(3, 4)), Some(2 + 3));
+        assert_eq!(isometric_dimension(&path(1)), Some(0));
+    }
+
+    #[test]
+    fn classic_non_partial_cubes() {
+        assert!(!is_partial_cube(&cycle(5)));
+        assert!(!is_partial_cube(&complete_bipartite(2, 3)));
+        assert!(!is_partial_cube(&fibcube_graph::generators::complete(4)));
+        let disconnected = fibcube_graph::csr::CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!is_partial_cube(&disconnected));
+    }
+
+    #[test]
+    fn labelling_is_certified_embedding() {
+        let g = cycle(6);
+        match analyze(&g) {
+            PartialCubeResult::Yes(lab) => {
+                assert_eq!(lab.dimension, 3);
+                let dist = fibcube_graph::distance_matrix(&g);
+                for u in 0..6 {
+                    for v in 0..6 {
+                        assert_eq!(lab.hamming(u, v), dist[u][v]);
+                    }
+                }
+            }
+            PartialCubeResult::No(r) => panic!("C6 is a partial cube: {r}"),
+        }
+    }
+
+    #[test]
+    fn embeddable_qdf_are_partial_cubes_with_idim_d() {
+        // When Q_d(f) ↪ Q_d and Q_d(f) uses every coordinate, idim = d.
+        for (d, f) in [(5, "11"), (5, "110"), (6, "1100"), (6, "1010")] {
+            let g = Qdf::new(d, word(f));
+            assert_eq!(isometric_dimension(g.graph()), Some(d), "f={f}");
+        }
+    }
+
+    #[test]
+    fn q4_101_is_not_a_partial_cube() {
+        // Section 8: Q_d(101), d ≥ 4, embeds isometrically in NO hypercube.
+        for d in 4..=6 {
+            let g = Qdf::new(d, word("101"));
+            assert!(!is_partial_cube(g.graph()), "d={d}");
+        }
+        // While Q_3(101) = Q_3 minus a vertex is one.
+        let g3 = Qdf::new(3, word("101"));
+        assert!(is_partial_cube(g3.graph()));
+    }
+
+    #[test]
+    fn single_vertex_dimension_zero() {
+        let g = fibcube_graph::csr::CsrGraph::empty(1);
+        assert_eq!(isometric_dimension(&g), Some(0));
+    }
+}

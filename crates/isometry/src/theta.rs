@@ -1,0 +1,168 @@
+//! The Djoković–Winkler relation Θ and its transitive closure Θ*
+//! (Section 8 of the paper uses both, via Winkler's theorem).
+//!
+//! For edges `e = uv` and `e' = xy` of a connected graph,
+//! `e Θ e' ⟺ d(u,x) + d(v,y) ≠ d(u,y) + d(v,x)`.
+//! Θ is reflexive and symmetric; on partial cubes it is also transitive and
+//! its classes are exactly the "parallel" edge classes cut by each
+//! hypercube coordinate.
+
+use fibcube_graph::csr::CsrGraph;
+use fibcube_graph::parallel::parallel_distance_matrix;
+
+use crate::unionfind::UnionFind;
+
+/// Precomputed Θ machinery for one graph: edge list + distance matrix.
+#[derive(Clone, Debug)]
+pub struct Theta {
+    edges: Vec<(u32, u32)>,
+    dist: Vec<Vec<u32>>,
+}
+
+impl Theta {
+    /// Builds the Θ context (one all-pairs BFS).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `g` is disconnected — Θ theory assumes connectivity.
+    pub fn new(g: &CsrGraph) -> Theta {
+        assert!(
+            fibcube_graph::distance::is_connected(g),
+            "Θ relation requires a connected graph"
+        );
+        Theta { edges: g.edges().collect(), dist: parallel_distance_matrix(g) }
+    }
+
+    /// The edge list this context indexes (order defines edge ids).
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Index of edge `{u, v}` in the context's edge list.
+    pub fn edge_id(&self, u: u32, v: u32) -> Option<usize> {
+        let key = (u.min(v), u.max(v));
+        self.edges.iter().position(|&e| e == key)
+    }
+
+    /// `e Θ e'` for edge indices `i, j`.
+    pub fn related(&self, i: usize, j: usize) -> bool {
+        let (u, v) = self.edges[i];
+        let (x, y) = self.edges[j];
+        let d = |a: u32, b: u32| self.dist[a as usize][b as usize];
+        d(u, x) + d(v, y) != d(u, y) + d(v, x)
+    }
+
+    /// Θ*-classes: transitive closure of Θ via union–find. Returns the dense
+    /// class index of every edge.
+    pub fn theta_star_classes(&self) -> Vec<u32> {
+        let m = self.edges.len();
+        let mut uf = UnionFind::new(m);
+        for i in 0..m {
+            for j in i + 1..m {
+                if self.related(i, j) {
+                    uf.union(i as u32, j as u32);
+                }
+            }
+        }
+        uf.class_indices()
+    }
+
+    /// Number of Θ*-classes.
+    pub fn theta_star_count(&self) -> usize {
+        let classes = self.theta_star_classes();
+        classes.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0)
+    }
+
+    /// Is Θ transitive on this graph (i.e. Θ = Θ*)? By Winkler's theorem a
+    /// connected **bipartite** graph is a partial cube exactly when this
+    /// holds.
+    pub fn theta_is_transitive(&self) -> bool {
+        let m = self.edges.len();
+        // Check: i Θ j ∧ j Θ k ⟹ i Θ k. O(m³) — experiment-scale graphs.
+        let related: Vec<Vec<bool>> = (0..m)
+            .map(|i| (0..m).map(|j| i == j || self.related(i, j)).collect())
+            .collect();
+        for i in 0..m {
+            for j in 0..m {
+                if !related[i][j] {
+                    continue;
+                }
+                for k in 0..m {
+                    if related[j][k] && !related[i][k] {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fibcube_graph::generators::{cycle, hypercube, path};
+
+    #[test]
+    fn theta_classes_of_hypercube_are_directions() {
+        // Q_3: 12 edges in 3 classes (one per coordinate), Θ transitive.
+        let g = hypercube(3);
+        let t = Theta::new(&g);
+        assert_eq!(t.theta_star_count(), 3);
+        assert!(t.theta_is_transitive());
+        // Every pair of parallel edges (same xor-direction) is Θ-related.
+        let classes = t.theta_star_classes();
+        for (i, &(u, v)) in t.edges().iter().enumerate() {
+            for (j, &(x, y)) in t.edges().iter().enumerate() {
+                let same_dir = (u ^ v) == (x ^ y);
+                assert_eq!(classes[i] == classes[j], same_dir, "edges {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn theta_classes_of_path_and_even_cycle() {
+        // P_n: every edge its own class (n−1 classes).
+        let p = path(5);
+        let t = Theta::new(&p);
+        assert_eq!(t.theta_star_count(), 4);
+        assert!(t.theta_is_transitive());
+        // C_6: opposite edges pair up ⇒ 3 classes.
+        let c = cycle(6);
+        let t = Theta::new(&c);
+        assert_eq!(t.theta_star_count(), 3);
+        assert!(t.theta_is_transitive());
+    }
+
+    #[test]
+    fn odd_cycle_theta_star_collapses() {
+        // C_5: Θ* is a single class (odd cycles are not partial cubes).
+        let c = cycle(5);
+        let t = Theta::new(&c);
+        assert_eq!(t.theta_star_count(), 1);
+    }
+
+    #[test]
+    fn complete_bipartite_k23_not_transitive() {
+        // K_{2,3} is bipartite but not a partial cube: Θ ≠ Θ*.
+        let g = fibcube_graph::generators::complete_bipartite(2, 3);
+        let t = Theta::new(&g);
+        assert!(!t.theta_is_transitive());
+    }
+
+    #[test]
+    fn edge_id_lookup() {
+        let g = path(4);
+        let t = Theta::new(&g);
+        assert_eq!(t.edge_id(1, 0), Some(0));
+        assert_eq!(t.edge_id(2, 3), Some(2));
+        assert_eq!(t.edge_id(0, 3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_rejected() {
+        let g = fibcube_graph::csr::CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        Theta::new(&g);
+    }
+}

@@ -1,0 +1,114 @@
+//! Disjoint-set forest (union by rank + path halving) — the engine behind
+//! the Θ* transitive closure.
+
+/// A union–find structure over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n], components: n }
+    }
+
+    /// Representative of `x`'s set (path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` when they were
+    /// distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Are `a` and `b` in the same set?
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Canonical class index (0-based, dense) for every element.
+    pub fn class_indices(&mut self) -> Vec<u32> {
+        let n = self.parent.len();
+        let mut map = std::collections::HashMap::new();
+        let mut out = Vec::with_capacity(n);
+        for x in 0..n as u32 {
+            let r = self.find(x);
+            let next = map.len() as u32;
+            let idx = *map.entry(r).or_insert(next);
+            out.push(idx);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(6);
+        assert_eq!(uf.component_count(), 6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0));
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(0, 2));
+        assert!(uf.union(1, 3));
+        assert!(uf.same(0, 2));
+        assert_eq!(uf.component_count(), 3);
+    }
+
+    #[test]
+    fn class_indices_dense() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 4);
+        uf.union(1, 2);
+        let idx = uf.class_indices();
+        assert_eq!(idx.len(), 5);
+        assert_eq!(idx[0], idx[4]);
+        assert_eq!(idx[1], idx[2]);
+        assert_ne!(idx[0], idx[1]);
+        assert_ne!(idx[3], idx[0]);
+        assert!(idx.iter().all(|&i| i < 3));
+    }
+
+    #[test]
+    fn chain_of_unions() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert!(uf.same(0, 99));
+    }
+}

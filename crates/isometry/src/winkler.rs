@@ -1,0 +1,182 @@
+//! The Section 8 worked example: `Q_d(101)`, `d ≥ 4`, is an isometric
+//! subgraph of **no** hypercube.
+//!
+//! The paper exhibits edges `e = uv`, `f = xy` of `Q_d(101)` with
+//! `u = 1^{d−3}000`, `v = 1^{d−3}001`, `x = 1^{d−3}110`, `y = 1^{d−3}111`,
+//! shows `e` is *not* in relation Θ with `f`, yet connects them by a ladder
+//! (a chain of squares), so `e Θ* f`. By Winkler's theorem a connected
+//! bipartite graph is a partial cube iff Θ = Θ*, hence `Q_d(101)` is not a
+//! partial cube — answering Problem 8.3 negatively for this family.
+
+use fibcube_core::qdf::Qdf;
+use fibcube_words::word::Word;
+
+use crate::theta::Theta;
+
+/// Everything the Section 8 example computes, reproduced.
+#[derive(Clone, Debug)]
+pub struct Section8Example {
+    /// The dimension `d ≥ 4`.
+    pub d: usize,
+    /// Edge `e = (u, v) = (1^{d−3}000, 1^{d−3}001)`.
+    pub e: (Word, Word),
+    /// Edge `f = (x, y) = (1^{d−3}110, 1^{d−3}111)`.
+    pub f: (Word, Word),
+    /// Is `e Θ f`? (The paper shows **no**.)
+    pub e_theta_f: bool,
+    /// Is `e Θ* f`? (The paper shows **yes**, via the ladder.)
+    pub e_theta_star_f: bool,
+    /// The ladder rungs from `f` to `e`: consecutive rungs are opposite
+    /// edges of a square, hence Θ-related.
+    pub ladder: Vec<(Word, Word)>,
+    /// Winkler verdict: is `Q_d(101)` a partial cube?
+    pub is_partial_cube: bool,
+}
+
+/// Builds the paper's ladder of rungs (top, bottom):
+/// tops `1^d → 01^{d−1} → ⋯ → 0^{d−1}1 → 10^{d−2}1 → ⋯ → 1^{d−3}001`,
+/// bottoms the same prefixes ending in `0`. Each vertex avoids `101`.
+pub fn section8_ladder(d: usize) -> Vec<(Word, Word)> {
+    assert!(d >= 4, "the example needs d ≥ 4");
+    let mut rungs = Vec::new();
+    // Phase 1: prefix 0^k 1^{d−1−k}, k = 0..=d−1.
+    for k in 0..=d - 1 {
+        let prefix = Word::zeros(k).concat(&Word::ones(d - 1 - k));
+        rungs.push((prefix.concat(&Word::ones(1)), prefix.concat(&Word::zeros(1))));
+    }
+    // Phase 2: prefix 1^j 0^{d−1−j}, j = 1..=d−3.
+    for j in 1..=d - 3 {
+        let prefix = Word::ones(j).concat(&Word::zeros(d - 1 - j));
+        rungs.push((prefix.concat(&Word::ones(1)), prefix.concat(&Word::zeros(1))));
+    }
+    rungs
+}
+
+/// Reproduces the full Section 8 computation for a given `d ≥ 4`.
+pub fn section8_example(d: usize) -> Section8Example {
+    assert!(d >= 4, "the example needs d ≥ 4");
+    let f101: Word = "101".parse().unwrap();
+    let g = Qdf::new(d, f101);
+    let ones = |k: usize| Word::ones(k);
+    let u = ones(d - 3).concat(&Word::zeros(3));
+    let v = ones(d - 3).concat(&"001".parse::<Word>().unwrap());
+    let x = ones(d - 3).concat(&"110".parse::<Word>().unwrap());
+    let y = ones(d - 3).concat(&"111".parse::<Word>().unwrap());
+    let theta = Theta::new(g.graph());
+    let eid = theta
+        .edge_id(g.index_of(&u).expect("u ∈ V"), g.index_of(&v).expect("v ∈ V"))
+        .expect("e is an edge");
+    let fid = theta
+        .edge_id(g.index_of(&x).expect("x ∈ V"), g.index_of(&y).expect("y ∈ V"))
+        .expect("f is an edge");
+    let e_theta_f = theta.related(eid, fid);
+    let classes = theta.theta_star_classes();
+    let e_theta_star_f = classes[eid] == classes[fid];
+    let ladder = section8_ladder(d);
+    let is_partial_cube = crate::partial_cube::is_partial_cube(g.graph());
+    Section8Example {
+        d,
+        e: (u, v),
+        f: (x, y),
+        e_theta_f,
+        e_theta_star_f,
+        ladder,
+        is_partial_cube,
+    }
+}
+
+/// Verifies that a ladder is valid inside `Q_d(101)`: every rung is an edge,
+/// consecutive rungs form squares (so consecutive rungs are Θ-related), and
+/// the first/last rungs are the example's `f` and `e`.
+pub fn verify_ladder(example: &Section8Example) -> bool {
+    let g = Qdf::new(example.d, "101".parse().unwrap());
+    let theta = Theta::new(g.graph());
+    let rungs = &example.ladder;
+    if rungs.is_empty() {
+        return false;
+    }
+    // Endpoints: first rung = f (as {x,y}), last rung = e (as {u,v}).
+    let as_set = |(a, b): &(Word, Word)| {
+        let mut s = [*a, *b];
+        s.sort();
+        s
+    };
+    let first_ok = as_set(&rungs[0]) == as_set(&example.f);
+    let last_ok = as_set(rungs.last().unwrap()) == as_set(&example.e);
+    if !first_ok || !last_ok {
+        return false;
+    }
+    for (top, bottom) in rungs {
+        if !g.contains(top) || !g.contains(bottom) || top.hamming(bottom) != 1 {
+            return false;
+        }
+    }
+    for pair in rungs.windows(2) {
+        let (t0, b0) = &pair[0];
+        let (t1, b1) = &pair[1];
+        // Square: tops adjacent, bottoms adjacent (same flipped position).
+        if t0.hamming(t1) != 1 || b0.hamming(b1) != 1 {
+            return false;
+        }
+        // And consecutive rungs must indeed be Θ-related.
+        let id0 = theta
+            .edge_id(g.index_of(t0).unwrap(), g.index_of(b0).unwrap())
+            .expect("rung is an edge");
+        let id1 = theta
+            .edge_id(g.index_of(t1).unwrap(), g.index_of(b1).unwrap())
+            .expect("rung is an edge");
+        if !theta.related(id0, id1) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section8_reproduced_for_small_d() {
+        for d in 4..=6 {
+            let ex = section8_example(d);
+            assert!(!ex.e_theta_f, "d={d}: e Θ f must fail");
+            assert!(ex.e_theta_star_f, "d={d}: e Θ* f must hold");
+            assert!(!ex.is_partial_cube, "d={d}: Winkler ⇒ not a partial cube");
+            assert!(verify_ladder(&ex), "d={d}: the paper's ladder must verify");
+        }
+    }
+
+    #[test]
+    fn ladder_shape_matches_paper() {
+        // d = 4: tops 1111, 0111, 0011, 0001, 1001; bottoms same with last 0.
+        let rungs = section8_ladder(4);
+        let tops: Vec<String> = rungs.iter().map(|(t, _)| t.to_string()).collect();
+        let bottoms: Vec<String> = rungs.iter().map(|(_, b)| b.to_string()).collect();
+        assert_eq!(tops, vec!["1111", "0111", "0011", "0001", "1001"]);
+        assert_eq!(bottoms, vec!["1110", "0110", "0010", "0000", "1000"]);
+    }
+
+    #[test]
+    fn ladder_vertices_avoid_101() {
+        for d in 4..=8 {
+            let f: Word = "101".parse().unwrap();
+            for (t, b) in section8_ladder(d) {
+                assert!(!fibcube_words::is_factor(&f, &t), "top {t}");
+                assert!(!fibcube_words::is_factor(&f, &b), "bottom {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_detour_from_paper() {
+        // The paper: d_{Q_d(101)}(v, y) ≠ 2 — the geodesic has length 4 via
+        // 1^{d−3}001 → 1^{d−3}000 → 1^{d−3}100 → 1^{d−3}110 → 1^{d−3}111.
+        let d = 5;
+        let g = Qdf::new(d, "101".parse().unwrap());
+        let v: Word = "11001".parse().unwrap();
+        let y: Word = "11111".parse().unwrap();
+        assert_eq!(v.hamming(&y), 2);
+        assert_eq!(g.distance(&v, &y), 4);
+    }
+}

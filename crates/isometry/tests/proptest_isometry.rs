@@ -1,0 +1,72 @@
+//! Property-based tests for the partial-cube machinery: random trees and
+//! random subcubes keep the recognizer, Θ*, and the dimension bounds
+//! honest.
+
+use fibcube_graph::generators::{random_graph, random_tree};
+use fibcube_isometry::partial_cube::{analyze, PartialCubeResult};
+use fibcube_isometry::{dim_f_exact, dim_f_upper, is_partial_cube, isometric_dimension};
+use fibcube_words::word;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn trees_are_partial_cubes_with_idim_edges(n in 1usize..=14, seed in 0u64..5000) {
+        let t = random_tree(n, seed);
+        // A tree's Θ*-classes are its individual edges: idim = n − 1.
+        prop_assert_eq!(isometric_dimension(&t), Some(n.saturating_sub(1)));
+    }
+
+    #[test]
+    fn tree_fdim_sandwich(n in 2usize..=8, seed in 0u64..2000) {
+        let t = random_tree(n, seed);
+        let f = word("11");
+        let idim = n - 1;
+        let ub = dim_f_upper(&t, &f).expect("trees are partial cubes");
+        prop_assert_eq!(ub.idim, idim);
+        prop_assert!(ub.dimension <= (2 * idim).saturating_sub(1).max(1));
+        let exact = dim_f_exact(&t, &f, ub.dimension).expect("embeds by Prop 7.1");
+        prop_assert!(idim <= exact && exact <= ub.dimension);
+    }
+
+    #[test]
+    fn recognizer_labelling_is_isometric_when_yes(n in 2usize..=18, seed in 0u64..3000, p in 10u32..60) {
+        let g = random_graph(n, p as f64 / 100.0, seed);
+        if !fibcube_graph::distance::is_connected(&g) {
+            return Ok(());
+        }
+        match analyze(&g) {
+            PartialCubeResult::Yes(lab) => {
+                let dist = fibcube_graph::distance_matrix(&g);
+                for u in 0..n {
+                    for v in 0..n {
+                        prop_assert_eq!(lab.hamming(u, v), dist[u][v]);
+                    }
+                }
+            }
+            PartialCubeResult::No(_) => {
+                // Cross-check: non-bipartite graphs must be rejected.
+                if fibcube_graph::properties::bipartition(&g).is_none() {
+                    prop_assert!(!is_partial_cube(&g));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subcube_samples_recognized(d in 1usize..=6, fbits in 0u64..8) {
+        // Q_d(f) for |f| = 3: recognizer verdict must match the direct
+        // isometry check *when connected* (isometric in Q_d ⟹ partial cube).
+        let f = fibcube_words::Word::from_raw(fbits, 3);
+        let g = fibcube_core::Qdf::new(d, f);
+        if fibcube_core::is_isometric(&g) {
+            prop_assert!(is_partial_cube(g.graph()), "f={} d={}", f, d);
+            prop_assert_eq!(
+                isometric_dimension(g.graph()).map(|k| k <= d),
+                Some(true),
+                "idim ≤ d"
+            );
+        }
+    }
+}

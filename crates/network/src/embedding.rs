@@ -1,0 +1,165 @@
+//! Guest-graph embeddings into Fibonacci cubes — Hsu's argument that the
+//! topology can *host* the classic structures (rings, paths, hypercubes)
+//! with small dilation.
+//!
+//! * paths/rings: a Hamiltonian path hosts `P_n` at dilation 1; a
+//!   Hamiltonian cycle (when the bipartition is balanced) hosts `C_n` at
+//!   dilation 1, else the path-closure gives a near-ring;
+//! * hypercubes: interleaving a `0` between address bits maps `Q_k`
+//!   isometrically (dilation 1!) into `Γ_{2k−1}` — the same padding that
+//!   powers Proposition 7.1 of the 2012 paper.
+
+use fibcube_graph::csr::CsrGraph;
+use fibcube_words::word::Word;
+
+use crate::hamilton::{hamiltonian_cycle, hamiltonian_path, HamiltonResult};
+use crate::topology::{FibonacciNet, Topology};
+
+/// An embedding of a guest graph into a host network: `image[v]` is the
+/// host node for guest vertex `v`.
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    /// Host node per guest vertex.
+    pub image: Vec<u32>,
+    /// Maximum host distance across guest edges.
+    pub dilation: u32,
+    /// Guest order.
+    pub guest_order: usize,
+}
+
+/// Measures the dilation of an explicit embedding.
+pub fn measure_dilation(guest: &CsrGraph, host: &CsrGraph, image: &[u32]) -> u32 {
+    let dist = fibcube_graph::parallel::parallel_distance_matrix(host);
+    guest
+        .edges()
+        .map(|(u, v)| dist[image[u as usize] as usize][image[v as usize] as usize])
+        .max()
+        .unwrap_or(0)
+}
+
+/// Embeds the path `P_n` (`n` = host order) into `Γ_d` along a Hamiltonian
+/// path — dilation 1. Returns `None` if the search fails (it never does for
+/// the Fibonacci cubes in the tested range).
+pub fn embed_path(net: &FibonacciNet) -> Option<Embedding> {
+    match hamiltonian_path(net.graph()) {
+        HamiltonResult::Found(order) => Some(Embedding {
+            image: order,
+            dilation: 1,
+            guest_order: net.len(),
+        }),
+        _ => None,
+    }
+}
+
+/// Embeds the ring `C_n` into `Γ_d`: dilation 1 when a Hamiltonian cycle
+/// exists; otherwise closes a Hamiltonian path with one long chord and
+/// reports the true dilation.
+pub fn embed_ring(net: &FibonacciNet) -> Option<Embedding> {
+    if let HamiltonResult::Found(cycle) = hamiltonian_cycle(net.graph()) {
+        return Some(Embedding { image: cycle, dilation: 1, guest_order: net.len() });
+    }
+    let path = match hamiltonian_path(net.graph()) {
+        HamiltonResult::Found(p) => p,
+        _ => return None,
+    };
+    // Close the path: the dilation is the distance between its endpoints.
+    let closing = fibcube_graph::bfs::distance(
+        net.graph(),
+        *path.first().expect("non-empty"),
+        *path.last().expect("non-empty"),
+    );
+    Some(Embedding { image: path, dilation: closing.max(1), guest_order: net.len() })
+}
+
+/// The interleaving map `b₁b₂…b_k ↦ b₁0b₂0…0b_k`: embeds the hypercube
+/// `Q_k` **isometrically** into the Fibonacci cube `Γ_{2k−1}` (the image
+/// avoids `11`, and inserting constant zeros preserves Hamming distances).
+/// Returns the embedding into the standard [`FibonacciNet`] node numbering.
+///
+/// # Panics
+///
+/// Panics if `k = 0` or `2k − 1` exceeds the word capacity.
+pub fn embed_hypercube(k: usize) -> (FibonacciNet, Embedding) {
+    assert!(k >= 1, "hypercube dimension must be positive");
+    let d = 2 * k - 1;
+    let net = FibonacciNet::classical(d);
+    let image: Vec<u32> = (0..1u64 << k)
+        .map(|label| {
+            let mut w = Word::EMPTY;
+            for i in (0..k).rev() {
+                // Interleave from the most significant guest bit.
+                w = w.concat(&Word::from_raw((label >> i) & 1, 1));
+                if i > 0 {
+                    w = w.concat(&Word::zeros(1));
+                }
+            }
+            net.node_of(&w).expect("interleaved address avoids 11")
+        })
+        .collect();
+    let guest = fibcube_graph::generators::hypercube(k);
+    let dilation = measure_dilation(&guest, net.graph(), &image);
+    (net, Embedding { image, dilation, guest_order: 1 << k })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use fibcube_graph::generators;
+
+    #[test]
+    fn path_embeddings_dilation_one() {
+        for d in 2..=8usize {
+            let net = FibonacciNet::classical(d);
+            let e = embed_path(&net).expect("Γ_d has a Hamiltonian path");
+            assert_eq!(e.image.len(), net.len());
+            let guest = generators::path(net.len());
+            assert_eq!(measure_dilation(&guest, net.graph(), &e.image), 1, "d={d}");
+        }
+    }
+
+    #[test]
+    fn ring_embeddings_small_dilation() {
+        for d in 3..=8usize {
+            let net = FibonacciNet::classical(d);
+            let e = embed_ring(&net).expect("ring embedding exists");
+            let guest = generators::cycle(net.len());
+            let measured = measure_dilation(&guest, net.graph(), &e.image);
+            assert_eq!(measured, e.dilation, "d={d}");
+            // Either a true Hamiltonian cycle or a short closure.
+            assert!(e.dilation <= d as u32, "d={d}: dilation {}", e.dilation);
+        }
+    }
+
+    #[test]
+    fn hypercube_embeds_isometrically() {
+        for k in 1..=5usize {
+            let (net, e) = embed_hypercube(k);
+            assert_eq!(net.d(), 2 * k - 1);
+            assert_eq!(e.guest_order, 1 << k);
+            assert_eq!(e.dilation, 1, "k={k}: the interleaving is isometric");
+            // Stronger: ALL pairwise distances are preserved.
+            let guest = generators::hypercube(k);
+            let gd = fibcube_graph::distance_matrix(&guest);
+            let hd = fibcube_graph::distance_matrix(net.graph());
+            for u in 0..guest.num_vertices() {
+                for v in 0..guest.num_vertices() {
+                    assert_eq!(
+                        gd[u][v],
+                        hd[e.image[u] as usize][e.image[v] as usize],
+                        "k={k} pair ({u},{v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn images_are_injective() {
+        let (_, e) = embed_hypercube(4);
+        let mut seen = std::collections::HashSet::new();
+        for &i in &e.image {
+            assert!(seen.insert(i), "duplicate image {i}");
+        }
+    }
+}

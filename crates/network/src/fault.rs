@@ -1,0 +1,190 @@
+//! Fault tolerance experiments: knock out random nodes and measure what
+//! survives — connectivity of the healthy part and the dilation of
+//! rerouted paths (cf. Gregor, *Recursive fault-tolerance of Fibonacci
+//! cubes in hypercubes*, and the robustness claims of the 1993 line).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use fibcube_graph::bfs::INFINITY;
+use fibcube_graph::csr::{CsrGraph, GraphBuilder};
+
+use crate::topology::Topology;
+
+/// Outcome of one fault-injection trial.
+#[derive(Clone, Debug)]
+pub struct FaultTrial {
+    /// Failed node ids.
+    pub failed: Vec<u32>,
+    /// Number of connected components among surviving nodes.
+    pub surviving_components: usize,
+    /// Fraction of surviving ordered pairs that remain mutually reachable.
+    pub reachable_pair_fraction: f64,
+    /// Mean ratio (rerouted distance / original distance) over surviving
+    /// reachable pairs that were connected before.
+    pub mean_dilation: f64,
+}
+
+/// The subgraph induced by the healthy nodes, with an id map back to the
+/// original network (`new id → old id`).
+pub fn healthy_subgraph(g: &CsrGraph, failed: &[u32]) -> (CsrGraph, Vec<u32>) {
+    let n = g.num_vertices();
+    let mut dead = vec![false; n];
+    for &f in failed {
+        dead[f as usize] = true;
+    }
+    let survivors: Vec<u32> = (0..n as u32).filter(|&v| !dead[v as usize]).collect();
+    let mut new_id = vec![u32::MAX; n];
+    for (i, &v) in survivors.iter().enumerate() {
+        new_id[v as usize] = i as u32;
+    }
+    let mut builder = GraphBuilder::new(survivors.len());
+    for &v in &survivors {
+        for &w in g.neighbors(v) {
+            if !dead[w as usize] && v < w {
+                builder.add_edge(new_id[v as usize], new_id[w as usize]);
+            }
+        }
+    }
+    (builder.build(), survivors)
+}
+
+/// Runs one fault trial: fail `faults` random distinct nodes (seeded).
+pub fn fault_trial(t: &dyn Topology, faults: usize, seed: u64) -> FaultTrial {
+    let n = t.len();
+    assert!(faults < n, "cannot fail every node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    ids.shuffle(&mut rng);
+    let failed: Vec<u32> = ids[..faults].to_vec();
+    let (healthy, survivors) = healthy_subgraph(t.graph(), &failed);
+    let components = fibcube_graph::distance::component_count(&healthy);
+    let before = fibcube_graph::parallel::parallel_distance_matrix(t.graph());
+    let after = fibcube_graph::parallel::parallel_distance_matrix(&healthy);
+    let m = survivors.len();
+    let mut reachable = 0u64;
+    let mut pairs = 0u64;
+    let mut dilation_sum = 0.0f64;
+    let mut dilation_count = 0u64;
+    for i in 0..m {
+        for j in 0..m {
+            if i == j {
+                continue;
+            }
+            pairs += 1;
+            let d_after = after[i][j];
+            if d_after != INFINITY {
+                reachable += 1;
+                let d_before = before[survivors[i] as usize][survivors[j] as usize];
+                if d_before != 0 && d_before != INFINITY {
+                    dilation_sum += d_after as f64 / d_before as f64;
+                    dilation_count += 1;
+                }
+            }
+        }
+    }
+    FaultTrial {
+        failed,
+        surviving_components: components,
+        reachable_pair_fraction: if pairs > 0 { reachable as f64 / pairs as f64 } else { 1.0 },
+        mean_dilation: if dilation_count > 0 { dilation_sum / dilation_count as f64 } else { 1.0 },
+    }
+}
+
+/// Sweep: average reachable-pair fraction over `trials` seeds for each
+/// fault count in `fault_counts`. Returns `(faults, mean_fraction,
+/// mean_dilation)` rows.
+pub fn fault_sweep(
+    t: &dyn Topology,
+    fault_counts: &[usize],
+    trials: u64,
+) -> Vec<(usize, f64, f64)> {
+    fault_counts
+        .iter()
+        .map(|&k| {
+            let mut frac = 0.0;
+            let mut dil = 0.0;
+            for s in 0..trials {
+                let tr = fault_trial(t, k, s * 7919 + k as u64);
+                frac += tr.reachable_pair_fraction;
+                dil += tr.mean_dilation;
+            }
+            (k, frac / trials as f64, dil / trials as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{FibonacciNet, Hypercube, Ring};
+
+    #[test]
+    fn no_faults_changes_nothing() {
+        let q = Hypercube::new(4);
+        let tr = fault_trial(&q, 0, 1);
+        assert_eq!(tr.surviving_components, 1);
+        assert_eq!(tr.reachable_pair_fraction, 1.0);
+        assert_eq!(tr.mean_dilation, 1.0);
+    }
+
+    #[test]
+    fn healthy_subgraph_structure() {
+        let q = Hypercube::new(3);
+        let (h, survivors) = healthy_subgraph(q.graph(), &[0]);
+        assert_eq!(h.num_vertices(), 7);
+        assert_eq!(survivors.len(), 7);
+        // Q3 minus a vertex loses exactly its 3 incident edges.
+        assert_eq!(h.num_edges(), 12 - 3);
+    }
+
+    #[test]
+    fn single_fault_keeps_hypercube_connected() {
+        // Q_d is d-connected: one failure never disconnects (d ≥ 2).
+        for seed in 0..10 {
+            let q = Hypercube::new(4);
+            let tr = fault_trial(&q, 1, seed);
+            assert_eq!(tr.surviving_components, 1, "seed={seed}");
+            assert_eq!(tr.reachable_pair_fraction, 1.0);
+            assert!(tr.mean_dilation >= 1.0);
+        }
+    }
+
+    #[test]
+    fn fibonacci_cube_degrades_gracefully() {
+        let net = FibonacciNet::classical(8); // 55 nodes
+        let rows = fault_sweep(&net, &[0, 1, 4], 5);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].1, 1.0);
+        // More faults never improve mean reachability.
+        assert!(rows[0].1 >= rows[1].1);
+        assert!(rows[1].1 >= rows[2].1 - 1e-9);
+        // Γ_8 survives a single fault overwhelmingly: > 90% pairs reachable.
+        assert!(rows[1].1 > 0.90, "{}", rows[1].1);
+    }
+
+    #[test]
+    fn ring_splits_after_two_faults() {
+        // Two failures cut a ring into ≤ 2 arcs; with random placement some
+        // seeds must produce 2 components among survivors.
+        let r = Ring::new(16);
+        let mut saw_split = false;
+        for seed in 0..20 {
+            let tr = fault_trial(&r, 2, seed);
+            assert!(tr.surviving_components <= 2);
+            if tr.surviving_components == 2 {
+                saw_split = true;
+            }
+        }
+        assert!(saw_split, "some seed must split the ring");
+    }
+
+    #[test]
+    fn dilation_grows_with_detours() {
+        // Failing a cut-ish vertex of Γ_5 forces longer reroutes.
+        let net = FibonacciNet::classical(5);
+        let tr = fault_trial(&net, 2, 3);
+        assert!(tr.mean_dilation >= 1.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Hamiltonicity of generalized Fibonacci cubes.
+//!
+//! Liu–Hsu–Chung (*Generalized Fibonacci cubes are mostly Hamiltonian*,
+//! J. Graph Theory 18 (1994)) show `Q_d(1^k)` has a Hamiltonian path for
+//! every `d` and is Hamiltonian (has a Hamiltonian cycle) except for a thin
+//! family of parities; Zagaglia Salvi studies even cycle lengths. We
+//! provide an exact backtracking search (degree-sorted, prune on
+//! disconnection) adequate for the experiment sizes, plus the bipartite
+//! balance obstruction for quick "no" answers.
+
+use fibcube_graph::csr::CsrGraph;
+
+/// Hard cap on backtracking steps so adversarial inputs cannot hang tests.
+const STEP_BUDGET: u64 = 50_000_000;
+
+/// Searches for a Hamiltonian path; returns the vertex order if found,
+/// `None` if none exists (or the step budget is exhausted — distinguished
+/// by [`HamiltonResult`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HamiltonResult {
+    /// A witness order of all vertices.
+    Found(Vec<u32>),
+    /// Exhaustive search proved none exists.
+    None,
+    /// Step budget exhausted before resolution.
+    Unknown,
+}
+
+impl HamiltonResult {
+    /// `true` for [`HamiltonResult::Found`].
+    pub fn is_found(&self) -> bool {
+        matches!(self, HamiltonResult::Found(_))
+    }
+}
+
+/// Bipartite balance bound: a Hamiltonian *path* in a bipartite graph needs
+/// `|count(side0) − count(side1)| ≤ 1`; a Hamiltonian *cycle* needs exact
+/// balance. Returns `(path_possible, cycle_possible)` from parity alone.
+pub fn bipartite_obstruction(g: &CsrGraph) -> (bool, bool) {
+    match fibcube_graph::properties::bipartition(g) {
+        Some(colors) => {
+            let ones = colors.iter().filter(|&&c| c == 1).count();
+            let zeros = colors.len() - ones;
+            let diff = ones.abs_diff(zeros);
+            (diff <= 1, diff == 0)
+        }
+        None => (true, true), // non-bipartite: parity is silent
+    }
+}
+
+/// Exact Hamiltonian path search from any start.
+pub fn hamiltonian_path(g: &CsrGraph) -> HamiltonResult {
+    let n = g.num_vertices();
+    if n == 0 {
+        return HamiltonResult::None;
+    }
+    if n == 1 {
+        return HamiltonResult::Found(vec![0]);
+    }
+    if !fibcube_graph::distance::is_connected(g) {
+        return HamiltonResult::None;
+    }
+    let (path_ok, _) = bipartite_obstruction(g);
+    if !path_ok {
+        return HamiltonResult::None;
+    }
+    let mut budget = STEP_BUDGET;
+    // Try starts in increasing degree order (endpoints are often the
+    // constrained vertices).
+    let mut starts: Vec<u32> = (0..n as u32).collect();
+    starts.sort_unstable_by_key(|&u| g.degree(u));
+    for start in starts {
+        let mut visited = vec![false; n];
+        let mut path = Vec::with_capacity(n);
+        visited[start as usize] = true;
+        path.push(start);
+        if extend(g, &mut path, &mut visited, false, &mut budget) {
+            return HamiltonResult::Found(path);
+        }
+        if budget == 0 {
+            return HamiltonResult::Unknown;
+        }
+    }
+    HamiltonResult::None
+}
+
+/// Exact Hamiltonian cycle search.
+pub fn hamiltonian_cycle(g: &CsrGraph) -> HamiltonResult {
+    let n = g.num_vertices();
+    if n < 3 {
+        return HamiltonResult::None;
+    }
+    if !fibcube_graph::distance::is_connected(g) {
+        return HamiltonResult::None;
+    }
+    let (_, cycle_ok) = bipartite_obstruction(g);
+    if !cycle_ok {
+        return HamiltonResult::None;
+    }
+    let mut budget = STEP_BUDGET;
+    // Cycles may start anywhere: fix vertex 0.
+    let mut visited = vec![false; n];
+    let mut path = vec![0u32];
+    visited[0] = true;
+    if extend(g, &mut path, &mut visited, true, &mut budget) {
+        return HamiltonResult::Found(path);
+    }
+    if budget == 0 {
+        HamiltonResult::Unknown
+    } else {
+        HamiltonResult::None
+    }
+}
+
+fn extend(
+    g: &CsrGraph,
+    path: &mut Vec<u32>,
+    visited: &mut Vec<bool>,
+    cycle: bool,
+    budget: &mut u64,
+) -> bool {
+    if *budget == 0 {
+        return false;
+    }
+    *budget -= 1;
+    let n = g.num_vertices();
+    if path.len() == n {
+        return !cycle || g.has_edge(*path.last().unwrap(), path[0]);
+    }
+    let cur = *path.last().unwrap();
+    // Warnsdorff: try neighbors with fewest unvisited continuations first.
+    let mut nexts: Vec<(usize, u32)> = g
+        .neighbors(cur)
+        .iter()
+        .copied()
+        .filter(|&v| !visited[v as usize])
+        .map(|v| {
+            let onward =
+                g.neighbors(v).iter().filter(|&&w| !visited[w as usize]).count();
+            (onward, v)
+        })
+        .collect();
+    nexts.sort_unstable();
+    for (_, v) in nexts {
+        // Degree-1 cut: if some unvisited vertex (other than a future
+        // endpoint) would be stranded with zero unvisited neighbors, prune.
+        visited[v as usize] = true;
+        path.push(v);
+        if extend(g, path, visited, cycle, budget) {
+            return true;
+        }
+        path.pop();
+        visited[v as usize] = false;
+        if *budget == 0 {
+            return false;
+        }
+    }
+    false
+}
+
+/// Verifies a Hamiltonian path/cycle witness.
+pub fn verify_hamiltonian(g: &CsrGraph, order: &[u32], cycle: bool) -> bool {
+    let n = g.num_vertices();
+    if order.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &v in order {
+        if v as usize >= n || seen[v as usize] {
+            return false;
+        }
+        seen[v as usize] = true;
+    }
+    for pair in order.windows(2) {
+        if !g.has_edge(pair[0], pair[1]) {
+            return false;
+        }
+    }
+    !cycle || n >= 3 && g.has_edge(order[n - 1], order[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{FibonacciNet, Topology};
+
+    #[test]
+    fn fibonacci_cubes_have_hamiltonian_paths() {
+        // Liu–Hsu–Chung: Q_d(1^k) always has a Hamiltonian path.
+        for (d, k) in [(2, 2), (3, 2), (4, 2), (5, 2), (6, 2), (7, 2), (4, 3), (5, 3), (6, 3)] {
+            let net = FibonacciNet::new(d, k);
+            match hamiltonian_path(net.graph()) {
+                HamiltonResult::Found(p) => {
+                    assert!(verify_hamiltonian(net.graph(), &p, false), "d={d} k={k}")
+                }
+                other => panic!("d={d} k={k}: expected path, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_cycle_existence_follows_balance() {
+        // Γ_d has a Hamiltonian cycle iff its bipartition is balanced;
+        // the parity obstruction decides the small cases.
+        for d in 3..=7usize {
+            let net = FibonacciNet::classical(d);
+            let (_, balanced) = bipartite_obstruction(net.graph());
+            let res = hamiltonian_cycle(net.graph());
+            match res {
+                HamiltonResult::Found(c) => {
+                    assert!(balanced, "d={d}: cycle without balance?!");
+                    assert!(verify_hamiltonian(net.graph(), &c, true), "d={d}");
+                }
+                HamiltonResult::None => {
+                    assert!(!balanced, "d={d}: balanced but claimed non-Hamiltonian");
+                }
+                HamiltonResult::Unknown => panic!("budget must suffice at d={d}"),
+            }
+        }
+    }
+
+    #[test]
+    fn small_classics() {
+        let c6 = fibcube_graph::generators::cycle(6);
+        assert!(hamiltonian_path(&c6).is_found());
+        assert!(hamiltonian_cycle(&c6).is_found());
+        let p5 = fibcube_graph::generators::path(5);
+        assert!(hamiltonian_path(&p5).is_found());
+        assert_eq!(hamiltonian_cycle(&p5), HamiltonResult::None);
+        let star = fibcube_graph::generators::star(5);
+        assert_eq!(hamiltonian_path(&star), HamiltonResult::None);
+    }
+
+    #[test]
+    fn verify_rejects_bad_witnesses() {
+        let c4 = fibcube_graph::generators::cycle(4);
+        assert!(verify_hamiltonian(&c4, &[0, 1, 2, 3], true));
+        assert!(!verify_hamiltonian(&c4, &[0, 2, 1, 3], true));
+        assert!(!verify_hamiltonian(&c4, &[0, 1, 2], true));
+        assert!(!verify_hamiltonian(&c4, &[0, 1, 1, 3], true));
+    }
+
+    #[test]
+    fn balance_obstruction_values() {
+        // Γ_4: 8 vertices, weights 0..2 ⇒ sides by parity of weight:
+        // even-weight {0000,0101,1001,1010,…}: count 5? compute directly.
+        let net = FibonacciNet::classical(4);
+        let (path_ok, cycle_ok) = bipartite_obstruction(net.graph());
+        let labels = net.labels();
+        let odd = labels.iter().filter(|w| w.weight() % 2 == 1).count();
+        let even = labels.len() - odd;
+        assert_eq!(path_ok, odd.abs_diff(even) <= 1);
+        assert_eq!(cycle_ok, odd.abs_diff(even) == 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # fibcube-network
+//!
+//! The interconnection-network reading of "Generalized Fibonacci Cubes"
+//! (the ICPP'93 Hsu–Liu–Chung lineage, which the 2012 Discrete Mathematics
+//! paper cites as its own motivation [10, 11, 15]): `Q_d(1^k)` as a
+//! processor network with Zeckendorf addressing, plus the machinery to
+//! evaluate it against the classic baselines:
+//!
+//! * [`topology`] — `Q_d(1^k)`, hypercube, ring, mesh, each with its
+//!   distributed shortest-path router (canonical-path routing on the
+//!   Fibonacci cubes, justified by Proposition 3.1's argument);
+//! * [`simulator`] — synchronous store-and-forward packet simulation with
+//!   latency/throughput statistics;
+//! * [`traffic`] — seeded workload generators (uniform, hot-spot,
+//!   complement permutation, all-to-all);
+//! * [`broadcast`] — one-to-all broadcast in the all-port and one-port
+//!   models;
+//! * [`metrics`] — the static figure-of-merit table (degree, diameter,
+//!   average distance, cost);
+//! * [`hamilton`] — Hamiltonian paths/cycles ("mostly Hamiltonian");
+//! * [`embedding`] — hosting paths/rings/hypercubes in Fibonacci cubes
+//!   with measured dilation (`Q_k ↪ Γ_{2k−1}` isometrically);
+//! * [`fault`] — node-failure injection, survivability and dilation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broadcast;
+pub mod embedding;
+pub mod fault;
+pub mod hamilton;
+pub mod metrics;
+pub mod simulator;
+pub mod topology;
+pub mod traffic;
+
+pub use broadcast::{broadcast_all_port, broadcast_one_port, BroadcastSchedule};
+pub use embedding::{embed_hypercube, embed_path, embed_ring, Embedding};
+pub use fault::{fault_sweep, fault_trial, FaultTrial};
+pub use hamilton::{hamiltonian_cycle, hamiltonian_path, HamiltonResult};
+pub use metrics::{metrics, TopologyMetrics};
+pub use simulator::{simulate, SimStats};
+pub use topology::{FibonacciNet, Hypercube, Mesh, Ring, Topology};
+pub use traffic::Packet;

@@ -1,0 +1,101 @@
+//! Static topology metrics — the comparison table of the 1993-era
+//! interconnection papers: order, size, degree, diameter, average distance,
+//! and the degree×diameter "cost".
+
+use crate::topology::Topology;
+
+/// Static figures of merit for one topology.
+#[derive(Clone, Debug)]
+pub struct TopologyMetrics {
+    /// Topology display name.
+    pub name: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of links.
+    pub links: usize,
+    /// Minimum node degree.
+    pub min_degree: usize,
+    /// Maximum node degree.
+    pub max_degree: usize,
+    /// Diameter.
+    pub diameter: u32,
+    /// Mean pairwise hop distance.
+    pub average_distance: f64,
+    /// The classic cost measure `max_degree × diameter`.
+    pub cost: usize,
+}
+
+/// Computes the full metric row for a topology.
+pub fn metrics(t: &dyn Topology) -> TopologyMetrics {
+    let g = t.graph();
+    let n = g.num_vertices();
+    let degrees: Vec<usize> = (0..n as u32).map(|u| g.degree(u)).collect();
+    let diameter = fibcube_graph::distance::diameter(g).unwrap_or(0);
+    TopologyMetrics {
+        name: t.name(),
+        nodes: n,
+        links: g.num_edges(),
+        min_degree: degrees.iter().copied().min().unwrap_or(0),
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        diameter,
+        average_distance: fibcube_graph::distance::average_distance(g),
+        cost: degrees.iter().copied().max().unwrap_or(0) * diameter as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{FibonacciNet, Hypercube, Mesh, Ring};
+
+    #[test]
+    fn hypercube_metrics() {
+        let m = metrics(&Hypercube::new(4));
+        assert_eq!(m.nodes, 16);
+        assert_eq!(m.links, 32);
+        assert_eq!(m.min_degree, 4);
+        assert_eq!(m.max_degree, 4);
+        assert_eq!(m.diameter, 4);
+        assert_eq!(m.cost, 16);
+    }
+
+    #[test]
+    fn fibonacci_cube_beats_hypercube_on_degree() {
+        // Hsu's selling point: Γ_d has max degree d but *fewer* links per
+        // node on average, and diameter d, with order between 2^{d/2} and
+        // 2^d — a sparser near-hypercube.
+        let gamma = metrics(&FibonacciNet::classical(8));
+        let q = metrics(&Hypercube::new(6)); // comparable order: 64 vs 55
+        assert_eq!(gamma.nodes, 55);
+        assert_eq!(q.nodes, 64);
+        assert!(gamma.min_degree < q.min_degree, "sparser at the bottom");
+        assert_eq!(gamma.diameter, 8);
+        // Links per node favour the Fibonacci cube.
+        let gamma_lpn = gamma.links as f64 / gamma.nodes as f64;
+        let q_lpn = q.links as f64 / q.nodes as f64;
+        assert!(gamma_lpn < q_lpn, "{gamma_lpn} vs {q_lpn}");
+    }
+
+    #[test]
+    fn ring_and_mesh_metrics() {
+        let r = metrics(&Ring::new(10));
+        assert_eq!(r.diameter, 5);
+        assert_eq!(r.max_degree, 2);
+        assert_eq!(r.cost, 10);
+        let m = metrics(&Mesh::new(4, 4));
+        assert_eq!(m.diameter, 6);
+        assert_eq!(m.max_degree, 4);
+    }
+
+    #[test]
+    fn average_distance_ordering() {
+        // On comparable orders: Q (densest) < Γ < Mesh < Ring.
+        let q = metrics(&Hypercube::new(5)).average_distance; // 32 nodes
+        let g = metrics(&FibonacciNet::classical(7)).average_distance; // 34
+        let m = metrics(&Mesh::new(6, 6)).average_distance; // 36
+        let r = metrics(&Ring::new(33)).average_distance; // 33
+        assert!(q < g, "hypercube {q} < fibonacci {g}");
+        assert!(g < m, "fibonacci {g} < mesh {m}");
+        assert!(m < r, "mesh {m} < ring {r}");
+    }
+}

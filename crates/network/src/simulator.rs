@@ -1,0 +1,235 @@
+//! Synchronous store-and-forward network simulator.
+//!
+//! Model: time advances in cycles. Every node has one FIFO output queue per
+//! neighbor (virtual-channel-free store-and-forward); each directed link
+//! moves at most one packet per cycle. Arriving packets are re-enqueued
+//! toward their next hop (computed by the topology's distributed router) or
+//! retired with their latency recorded. The model is deliberately simple —
+//! the experiments compare *topologies under identical rules*, which is the
+//! shape of the 1993-era evaluations.
+
+use std::collections::VecDeque;
+
+use crate::topology::Topology;
+use crate::traffic::Packet;
+
+/// Aggregate results of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimStats {
+    /// Packets handed to the simulator.
+    pub offered: usize,
+    /// Packets delivered before the cycle cap.
+    pub delivered: usize,
+    /// Cycle at which the last packet was delivered (0 when none).
+    pub makespan: u64,
+    /// Mean end-to-end latency (inject → arrival) of delivered packets.
+    pub mean_latency: f64,
+    /// Latency histogram: `hist[l]` = packets delivered with latency `l`.
+    pub latency_histogram: Vec<u64>,
+    /// 99th-percentile latency.
+    pub p99_latency: u64,
+    /// Total packet-hops transmitted (link utilisation numerator).
+    pub total_hops: u64,
+    /// Delivered packets per cycle (throughput).
+    pub throughput: f64,
+}
+
+#[derive(Clone, Debug)]
+struct InFlight {
+    dst: u32,
+    inject_time: u64,
+}
+
+/// Runs the synchronous store-and-forward simulation.
+///
+/// `max_cycles` caps the run so that pathological configurations terminate;
+/// undelivered packets are reported via `offered − delivered` (the
+/// simulator never deadlocks logically — progressive routers always move
+/// packets closer — but finite time can truncate).
+pub fn simulate(topology: &dyn Topology, packets: &[Packet], max_cycles: u64) -> SimStats {
+    let n = topology.len();
+    // Per-node, per-neighbor-slot FIFO queues of (packet, queued_since).
+    let graph = topology.graph();
+    let mut queues: Vec<Vec<VecDeque<InFlight>>> =
+        (0..n).map(|u| vec![VecDeque::new(); graph.degree(u as u32)]).collect();
+    // Injection list sorted by time.
+    let mut inj: Vec<&Packet> = packets.iter().collect();
+    inj.sort_by_key(|p| p.inject_time);
+    let mut next_inject = 0usize;
+
+    let slot_of = |u: u32, v: u32| -> usize {
+        graph
+            .neighbors(u)
+            .binary_search(&v)
+            .expect("next_hop must return a neighbor")
+    };
+
+    let mut delivered = 0usize;
+    let mut total_latency = 0u64;
+    let mut hist: Vec<u64> = Vec::new();
+    let mut total_hops = 0u64;
+    let mut makespan = 0u64;
+    let mut in_flight = 0usize;
+
+    let mut cycle: u64 = 0;
+    while cycle < max_cycles {
+        // Inject everything due this cycle.
+        while next_inject < inj.len() && inj[next_inject].inject_time <= cycle {
+            let p = inj[next_inject];
+            next_inject += 1;
+            if p.src == p.dst {
+                // Degenerate: counts as instantly delivered.
+                delivered += 1;
+                bump(&mut hist, 0);
+                continue;
+            }
+            let hop = topology.next_hop(p.src, p.dst).expect("src ≠ dst");
+            queues[p.src as usize][slot_of(p.src, hop)]
+                .push_back(InFlight { dst: p.dst, inject_time: p.inject_time });
+            in_flight += 1;
+        }
+        if in_flight == 0 && next_inject >= inj.len() {
+            break;
+        }
+        // Each directed link forwards one packet.
+        let mut arrivals: Vec<(u32, InFlight)> = Vec::new();
+        for u in 0..n as u32 {
+            for (slot, &v) in graph.neighbors(u).iter().enumerate() {
+                if let Some(pkt) = queues[u as usize][slot].pop_front() {
+                    arrivals.push((v, pkt));
+                    total_hops += 1;
+                }
+            }
+        }
+        // Process arrivals (at cycle+1 boundary).
+        let now = cycle + 1;
+        for (node, pkt) in arrivals {
+            if node == pkt.dst {
+                delivered += 1;
+                in_flight -= 1;
+                let lat = now - pkt.inject_time;
+                total_latency += lat;
+                bump(&mut hist, lat);
+                makespan = makespan.max(now);
+            } else {
+                let hop = topology.next_hop(node, pkt.dst).expect("progressive");
+                queues[node as usize][slot_of(node, hop)].push_back(pkt);
+            }
+        }
+        cycle += 1;
+    }
+
+    let mean_latency =
+        if delivered > 0 { total_latency as f64 / delivered as f64 } else { 0.0 };
+    let p99 = percentile(&hist, 0.99);
+    let throughput =
+        if makespan > 0 { delivered as f64 / makespan as f64 } else { delivered as f64 };
+    SimStats {
+        offered: packets.len(),
+        delivered,
+        makespan,
+        mean_latency,
+        latency_histogram: hist,
+        p99_latency: p99,
+        total_hops,
+        throughput,
+    }
+}
+
+fn bump(hist: &mut Vec<u64>, lat: u64) {
+    let lat = lat as usize;
+    if hist.len() <= lat {
+        hist.resize(lat + 1, 0);
+    }
+    hist[lat] += 1;
+}
+
+fn percentile(hist: &[u64], q: f64) -> u64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let target = ((total as f64) * q).ceil() as u64;
+    let mut acc = 0u64;
+    for (lat, &c) in hist.iter().enumerate() {
+        acc += c;
+        if acc >= target {
+            return lat as u64;
+        }
+    }
+    hist.len() as u64 - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{FibonacciNet, Hypercube, Ring};
+    use crate::traffic::{all_to_all, uniform};
+
+    #[test]
+    fn single_packet_latency_is_distance() {
+        let q = Hypercube::new(4);
+        let pkts = vec![Packet { src: 0b0000, dst: 0b1111, inject_time: 0 }];
+        let stats = simulate(&q, &pkts, 1000);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.mean_latency, 4.0);
+        assert_eq!(stats.total_hops, 4);
+        assert_eq!(stats.makespan, 4);
+    }
+
+    #[test]
+    fn all_packets_delivered_uniform() {
+        for topo in [&FibonacciNet::classical(8) as &dyn Topology, &Hypercube::new(5), &Ring::new(21)]
+        {
+            let pkts = uniform(topo.len(), 300, 100, 42);
+            let stats = simulate(topo, &pkts, 50_000);
+            assert_eq!(stats.delivered, stats.offered, "{}", topo.name());
+            assert!(stats.mean_latency >= 1.0);
+            assert!(stats.p99_latency as f64 >= stats.mean_latency.floor());
+        }
+    }
+
+    #[test]
+    fn contention_raises_latency_above_distance() {
+        // Many packets into one node: queueing must show up.
+        let q = Hypercube::new(3);
+        let pkts: Vec<Packet> =
+            (1..8).map(|s| Packet { src: s, dst: 0, inject_time: 0 }).collect();
+        let stats = simulate(&q, &pkts, 1000);
+        assert_eq!(stats.delivered, 7);
+        // Node 0 has 3 in-links; 7 packets need ≥ ⌈7/3⌉ = 3 cycles.
+        assert!(stats.makespan >= 3);
+    }
+
+    #[test]
+    fn zero_time_cap_delivers_nothing() {
+        let q = Hypercube::new(3);
+        let pkts = vec![Packet { src: 0, dst: 7, inject_time: 0 }];
+        let stats = simulate(&q, &pkts, 0);
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.offered, 1);
+    }
+
+    #[test]
+    fn all_to_all_mean_latency_at_least_average_distance() {
+        let net = FibonacciNet::classical(6);
+        let pkts = all_to_all(net.len());
+        let stats = simulate(&net, &pkts, 100_000);
+        assert_eq!(stats.delivered, stats.offered);
+        let avg_dist = fibcube_graph::distance::average_distance(net.graph());
+        assert!(
+            stats.mean_latency + 1e-9 >= avg_dist,
+            "latency {} < average distance {avg_dist}",
+            stats.mean_latency
+        );
+    }
+
+    #[test]
+    fn self_addressed_packets_count_as_delivered() {
+        let q = Hypercube::new(2);
+        let pkts = vec![Packet { src: 1, dst: 1, inject_time: 5 }];
+        let stats = simulate(&q, &pkts, 100);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.mean_latency, 0.0);
+    }
+}

@@ -1,0 +1,373 @@
+//! Interconnection-network topologies.
+//!
+//! The ICPP-1993 lineage (Hsu; Hsu–Liu; Liu–Hsu–Chung) studies `Q_d(1^k)`
+//! — which it calls the *generalized Fibonacci cube of order k* — as an
+//! interconnection network: nodes are addressed by (k-)Zeckendorf codes, so
+//! a machine with `N` processors uses the first `N` codes, and links follow
+//! the induced hypercube adjacency. We implement that network plus the
+//! classic baselines it is compared against (binary hypercube, ring, mesh).
+
+use fibcube_graph::csr::CsrGraph;
+use fibcube_words::automaton::FactorAutomaton;
+use fibcube_words::word::Word;
+
+/// A static interconnection topology: a node set with materialised links
+/// and a (distributed) routing rule.
+pub trait Topology {
+    /// Human-readable name (`"Γ_8"`, `"Q_6"`, `"Ring_64"`, …).
+    fn name(&self) -> String;
+
+    /// Number of nodes.
+    fn len(&self) -> usize;
+
+    /// `true` when the network has no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The underlying undirected link graph.
+    fn graph(&self) -> &CsrGraph;
+
+    /// One routing step: the neighbor to forward to on the way from `cur`
+    /// to `dst`, or `None` when `cur == dst`.
+    ///
+    /// Implementations must be *progressive*: the returned hop strictly
+    /// decreases the distance to `dst`, so routes are shortest paths and
+    /// livelock-free.
+    fn next_hop(&self, cur: u32, dst: u32) -> Option<u32>;
+
+    /// Full route from `src` to `dst` (inclusive of both endpoints).
+    fn route(&self, src: u32, dst: u32) -> Vec<u32> {
+        let mut path = vec![src];
+        let mut cur = src;
+        // A progressive router terminates within diameter ≤ n steps.
+        for _ in 0..=self.len() {
+            match self.next_hop(cur, dst) {
+                Some(next) => {
+                    cur = next;
+                    path.push(cur);
+                }
+                None => return path,
+            }
+        }
+        panic!("router did not converge from {src} to {dst} in {}", self.name());
+    }
+}
+
+/// The binary hypercube `Q_d` with e-cube (dimension-ordered) routing —
+/// the classic deadlock-free scheme.
+#[derive(Clone, Debug)]
+pub struct Hypercube {
+    d: usize,
+    graph: CsrGraph,
+}
+
+impl Hypercube {
+    /// Builds `Q_d`.
+    pub fn new(d: usize) -> Hypercube {
+        Hypercube { d, graph: fibcube_graph::generators::hypercube(d) }
+    }
+
+    /// The dimension `d`.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+}
+
+impl Topology for Hypercube {
+    fn name(&self) -> String {
+        format!("Q_{}", self.d)
+    }
+
+    fn len(&self) -> usize {
+        1 << self.d
+    }
+
+    fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    fn next_hop(&self, cur: u32, dst: u32) -> Option<u32> {
+        let diff = cur ^ dst;
+        if diff == 0 {
+            return None;
+        }
+        // e-cube: correct the lowest differing dimension first.
+        let bit = diff & diff.wrapping_neg();
+        Some(cur ^ bit)
+    }
+}
+
+/// The generalized Fibonacci cube `Q_d(1^k)` as a network: node `i` is the
+/// `i`-th `1^k`-free word in lexicographic order (= its k-Zeckendorf code).
+///
+/// Routing is *canonical-path* routing: flip the leftmost `1 → 0`
+/// correction first, else the leftmost `0 → 1`. The Proposition 3.1
+/// argument shows every intermediate address stays `1^k`-free, so the rule
+/// is a distributed shortest-path router (it needs only `cur` and `dst`).
+#[derive(Clone, Debug)]
+pub struct FibonacciNet {
+    d: usize,
+    k: usize,
+    labels: Vec<Word>,
+    graph: CsrGraph,
+}
+
+impl FibonacciNet {
+    /// Builds `Q_d(1^k)`; `k = 2` is the classical Fibonacci cube `Γ_d`.
+    pub fn new(d: usize, k: usize) -> FibonacciNet {
+        assert!(k >= 2, "order must be ≥ 2");
+        let labels = FactorAutomaton::new(Word::ones(k)).free_words(d);
+        let graph = fibcube_core::induced_hypercube_subgraph(d, &labels);
+        FibonacciNet { d, k, labels, graph }
+    }
+
+    /// The classical Fibonacci cube `Γ_d`.
+    pub fn classical(d: usize) -> FibonacciNet {
+        FibonacciNet::new(d, 2)
+    }
+
+    /// String length `d`.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Forbidden-run order `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Node addresses (sorted Zeckendorf indicator words).
+    pub fn labels(&self) -> &[Word] {
+        &self.labels
+    }
+
+    /// Address of node `i`.
+    pub fn label(&self, i: u32) -> Word {
+        self.labels[i as usize]
+    }
+
+    /// Node id of an address.
+    pub fn node_of(&self, w: &Word) -> Option<u32> {
+        self.labels.binary_search(w).ok().map(|i| i as u32)
+    }
+}
+
+impl Topology for FibonacciNet {
+    fn name(&self) -> String {
+        if self.k == 2 {
+            format!("Γ_{}", self.d)
+        } else {
+            format!("Q_{}(1^{})", self.d, self.k)
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    fn next_hop(&self, cur: u32, dst: u32) -> Option<u32> {
+        if cur == dst {
+            return None;
+        }
+        let c = self.labels[cur as usize];
+        let t = self.labels[dst as usize];
+        // Canonical-path rule: leftmost 1→0 correction first …
+        for i in 1..=self.d {
+            if c.at(i) == 1 && t.at(i) == 0 {
+                let next = c.flip(i);
+                return Some(self.node_of(&next).expect("1→0 flips stay 1^k-free"));
+            }
+        }
+        // … then leftmost 0→1 (Prop 3.1's argument keeps these 1^k-free).
+        for i in 1..=self.d {
+            if c.at(i) == 0 && t.at(i) == 1 {
+                let next = c.flip(i);
+                return Some(
+                    self.node_of(&next)
+                        .expect("canonical 0→1 flips stay 1^k-free (Prop 3.1)"),
+                );
+            }
+        }
+        unreachable!("cur ≠ dst must differ somewhere")
+    }
+}
+
+/// A bidirectional ring with clockwise/counter-clockwise shortest routing.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    n: usize,
+    graph: CsrGraph,
+}
+
+impl Ring {
+    /// Builds the `n`-cycle (`n ≥ 3`).
+    pub fn new(n: usize) -> Ring {
+        Ring { n, graph: fibcube_graph::generators::cycle(n) }
+    }
+}
+
+impl Topology for Ring {
+    fn name(&self) -> String {
+        format!("Ring_{}", self.n)
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    fn next_hop(&self, cur: u32, dst: u32) -> Option<u32> {
+        if cur == dst {
+            return None;
+        }
+        let n = self.n as u32;
+        let forward = (dst + n - cur) % n;
+        Some(if forward <= n - forward { (cur + 1) % n } else { (cur + n - 1) % n })
+    }
+}
+
+/// A `w × h` mesh with X-then-Y dimension-ordered routing.
+#[derive(Clone, Debug)]
+pub struct Mesh {
+    w: usize,
+    h: usize,
+    graph: CsrGraph,
+}
+
+impl Mesh {
+    /// Builds the `w × h` grid.
+    pub fn new(w: usize, h: usize) -> Mesh {
+        Mesh { w, h, graph: fibcube_graph::generators::grid(w, h) }
+    }
+}
+
+impl Topology for Mesh {
+    fn name(&self) -> String {
+        format!("Mesh_{}x{}", self.w, self.h)
+    }
+
+    fn len(&self) -> usize {
+        self.w * self.h
+    }
+
+    fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    fn next_hop(&self, cur: u32, dst: u32) -> Option<u32> {
+        if cur == dst {
+            return None;
+        }
+        let w = self.w as u32;
+        let (cx, cy) = (cur % w, cur / w);
+        let (dx, dy) = (dst % w, dst / w);
+        // X first, then Y.
+        if cx < dx {
+            Some(cur + 1)
+        } else if cx > dx {
+            Some(cur - 1)
+        } else if cy < dy {
+            Some(cur + w)
+        } else {
+            Some(cur - w)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fibcube_graph::bfs::distance_matrix;
+
+    fn routes_are_shortest(t: &dyn Topology) {
+        let dist = distance_matrix(t.graph());
+        let n = t.len();
+        for s in 0..n as u32 {
+            for d in 0..n as u32 {
+                let route = t.route(s, d);
+                assert_eq!(
+                    route.len() as u32 - 1,
+                    dist[s as usize][d as usize],
+                    "{}: route {s}→{d} not shortest",
+                    t.name()
+                );
+                // Route edges must exist.
+                for hop in route.windows(2) {
+                    assert!(t.graph().has_edge(hop[0], hop[1]), "{}", t.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_routing_shortest() {
+        routes_are_shortest(&Hypercube::new(4));
+    }
+
+    #[test]
+    fn fibonacci_routing_shortest() {
+        routes_are_shortest(&FibonacciNet::classical(7));
+        routes_are_shortest(&FibonacciNet::new(6, 3));
+    }
+
+    #[test]
+    fn ring_and_mesh_routing_shortest() {
+        routes_are_shortest(&Ring::new(9));
+        routes_are_shortest(&Ring::new(10));
+        routes_are_shortest(&Mesh::new(4, 3));
+    }
+
+    #[test]
+    fn fibonacci_orders_are_kbonacci() {
+        // |Q_d(1^k)| follows the k-bonacci counting sequence.
+        for k in 2..=4usize {
+            for d in 0..=12usize {
+                let net = FibonacciNet::new(d, k);
+                assert_eq!(
+                    net.len() as u128,
+                    fibcube_words::zeckendorf::count_k_free(k, d),
+                    "k={k} d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_route_stays_in_network() {
+        // The key Prop 3.1 property: intermediate addresses avoid 1^k.
+        let net = FibonacciNet::classical(9);
+        let ones = Word::ones(2);
+        for s in (0..net.len() as u32).step_by(7) {
+            for d in (0..net.len() as u32).step_by(5) {
+                for &node in &net.route(s, d) {
+                    assert!(!fibcube_words::is_factor(&ones, &net.label(node)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_ecube_is_monotone_in_dimensions() {
+        let q = Hypercube::new(5);
+        let route = q.route(0b00000, 0b10101);
+        // e-cube fixes ascending bit positions: 0 → 1 → 5 → 21.
+        assert_eq!(route, vec![0b00000, 0b00001, 0b00101, 0b10101]);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Hypercube::new(3).name(), "Q_3");
+        assert_eq!(FibonacciNet::classical(5).name(), "Γ_5");
+        assert_eq!(FibonacciNet::new(5, 3).name(), "Q_5(1^3)");
+        assert_eq!(Ring::new(8).name(), "Ring_8");
+        assert_eq!(Mesh::new(2, 3).name(), "Mesh_2x3");
+    }
+}

@@ -1,0 +1,122 @@
+//! Workload generators for the network simulator (seeded, reproducible).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One message to deliver.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Source node.
+    pub src: u32,
+    /// Destination node.
+    pub dst: u32,
+    /// Cycle at which the packet enters the source's injection queue.
+    pub inject_time: u64,
+}
+
+/// Uniform random traffic: `count` packets, sources and destinations drawn
+/// uniformly (src ≠ dst), injection times uniform in `0..window`.
+pub fn uniform(n: usize, count: usize, window: u64, seed: u64) -> Vec<Packet> {
+    assert!(n >= 2, "need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let src = rng.gen_range(0..n) as u32;
+            let mut dst = rng.gen_range(0..n) as u32;
+            while dst == src {
+                dst = rng.gen_range(0..n) as u32;
+            }
+            let inject_time = if window == 0 { 0 } else { rng.gen_range(0..window) };
+            Packet { src, dst, inject_time }
+        })
+        .collect()
+}
+
+/// Hot-spot traffic: like [`uniform`], but a `hot_fraction` of packets aim
+/// at a single hot node (node 0) — the classic contention stressor.
+pub fn hot_spot(
+    n: usize,
+    count: usize,
+    window: u64,
+    hot_fraction: f64,
+    seed: u64,
+) -> Vec<Packet> {
+    assert!((0.0..=1.0).contains(&hot_fraction));
+    let mut packets = uniform(n, count, window, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9);
+    for p in packets.iter_mut() {
+        if rng.gen_bool(hot_fraction) && p.src != 0 {
+            p.dst = 0;
+        }
+    }
+    packets
+}
+
+/// Complement permutation: node `i` sends to node `n − 1 − i` (the
+/// rank-complement — on hypercubes with in-order ranks this is the classic
+/// bit-complement pattern, the worst case for dimension-ordered routing).
+pub fn complement_permutation(n: usize, window: u64) -> Vec<Packet> {
+    (0..n)
+        .filter(|&i| n - 1 - i != i)
+        .map(|i| Packet {
+            src: i as u32,
+            dst: (n - 1 - i) as u32,
+            inject_time: (i as u64) % window.max(1),
+        })
+        .collect()
+}
+
+/// All-to-all: every ordered pair once (quadratic — small nets only).
+pub fn all_to_all(n: usize) -> Vec<Packet> {
+    let mut packets = Vec::with_capacity(n * (n - 1));
+    for s in 0..n as u32 {
+        for d in 0..n as u32 {
+            if s != d {
+                packets.push(Packet { src: s, dst: d, inject_time: 0 });
+            }
+        }
+    }
+    packets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_deterministic_and_valid() {
+        let a = uniform(10, 100, 50, 7);
+        let b = uniform(10, 100, 50, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, uniform(10, 100, 50, 8));
+        for p in &a {
+            assert_ne!(p.src, p.dst);
+            assert!(p.src < 10 && p.dst < 10);
+            assert!(p.inject_time < 50);
+        }
+    }
+
+    #[test]
+    fn hot_spot_skews_to_node_zero() {
+        let packets = hot_spot(16, 1000, 100, 0.5, 3);
+        let to_zero = packets.iter().filter(|p| p.dst == 0).count();
+        assert!(to_zero > 300, "hot-spot should dominate: {to_zero}");
+        assert!(packets.iter().all(|p| p.src != p.dst));
+    }
+
+    #[test]
+    fn complement_covers_everyone_once() {
+        let packets = complement_permutation(8, 1);
+        assert_eq!(packets.len(), 8);
+        for p in &packets {
+            assert_eq!(p.dst, 7 - p.src);
+        }
+        // Odd n: the middle node maps to itself and is skipped.
+        assert_eq!(complement_permutation(7, 1).len(), 6);
+    }
+
+    #[test]
+    fn all_to_all_count() {
+        assert_eq!(all_to_all(5).len(), 20);
+    }
+}

@@ -1,0 +1,213 @@
+//! Block decomposition of binary words.
+//!
+//! A *block* is a non-extendable run of contiguous equal digits (Section 2).
+//! The paper's classification theorems are phrased in terms of the block
+//! structure of the forbidden factor `f` — one block (`1^s`), two blocks
+//! (`1^r 0^s`), three blocks (`1^r 0^s 1^t`), alternating (`(10)^s`) — so we
+//! expose both the decomposition and the shape predicates.
+
+use crate::word::Word;
+
+/// One maximal run: the repeated `bit` and its `len ≥ 1`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// The repeated digit, `0` or `1`.
+    pub bit: u8,
+    /// Run length (≥ 1).
+    pub len: usize,
+}
+
+/// Decomposes `w` into its maximal blocks, left to right.
+///
+/// # Examples
+///
+/// ```
+/// use fibcube_words::{word, blocks::{blocks, Block}};
+///
+/// assert_eq!(
+///     blocks(&word("110100")),
+///     vec![
+///         Block { bit: 1, len: 2 },
+///         Block { bit: 0, len: 1 },
+///         Block { bit: 1, len: 1 },
+///         Block { bit: 0, len: 2 },
+///     ]
+/// );
+/// ```
+pub fn blocks(w: &Word) -> Vec<Block> {
+    let mut out = Vec::new();
+    let mut i = 1usize;
+    while i <= w.len() {
+        let bit = w.at(i);
+        let mut j = i;
+        while j < w.len() && w.at(j + 1) == bit {
+            j += 1;
+        }
+        out.push(Block { bit, len: j - i + 1 });
+        i = j + 1;
+    }
+    out
+}
+
+/// Number of blocks of `w`.
+pub fn block_count(w: &Word) -> usize {
+    blocks(w).len()
+}
+
+/// `w = 1^s` for some `s ≥ 1`? Returns `s`.
+pub fn as_all_ones(w: &Word) -> Option<usize> {
+    match blocks(w).as_slice() {
+        [Block { bit: 1, len }] => Some(*len),
+        _ => None,
+    }
+}
+
+/// `w = 1^r 0^s`? Returns `(r, s)`.
+pub fn as_ones_zeros(w: &Word) -> Option<(usize, usize)> {
+    match blocks(w).as_slice() {
+        [Block { bit: 1, len: r }, Block { bit: 0, len: s }] => Some((*r, *s)),
+        _ => None,
+    }
+}
+
+/// `w = 1^r 0^s 1^t`? Returns `(r, s, t)`.
+pub fn as_ones_zeros_ones(w: &Word) -> Option<(usize, usize, usize)> {
+    match blocks(w).as_slice() {
+        [Block { bit: 1, len: r }, Block { bit: 0, len: s }, Block { bit: 1, len: t }] => {
+            Some((*r, *s, *t))
+        }
+        _ => None,
+    }
+}
+
+/// `w = (10)^s` for some `s ≥ 1`? Returns `s`.
+pub fn as_alternating_10(w: &Word) -> Option<usize> {
+    if w.is_empty() || w.len() % 2 != 0 {
+        return None;
+    }
+    let bl = blocks(w);
+    if bl.iter().all(|b| b.len == 1) && w.at(1) == 1 && w.at(w.len()) == 0 {
+        Some(w.len() / 2)
+    } else {
+        None
+    }
+}
+
+/// `w = (10)^s 1` for some `s ≥ 1`? Returns `s`.
+pub fn as_alternating_10_then_1(w: &Word) -> Option<usize> {
+    if w.len() < 3 || w.len() % 2 == 0 {
+        return None;
+    }
+    let bl = blocks(w);
+    if bl.iter().all(|b| b.len == 1) && w.at(1) == 1 {
+        Some(w.len() / 2)
+    } else {
+        None
+    }
+}
+
+/// `w = 1^s 0 1^s 0` for some `s ≥ 1` (Theorem 4.3's family)? Returns `s`.
+pub fn as_ones_zero_twice(w: &Word) -> Option<usize> {
+    match blocks(w).as_slice() {
+        [Block { bit: 1, len: s1 }, Block { bit: 0, len: 1 }, Block { bit: 1, len: s2 }, Block { bit: 0, len: 1 }]
+            if s1 == s2 =>
+        {
+            Some(*s1)
+        }
+        _ => None,
+    }
+}
+
+/// `w = (10)^r 1 (10)^s` for some `r, s ≥ 1` (Proposition 4.2's family)?
+/// Returns `(r, s)`.
+///
+/// Such a word has odd length `2r + 2s + 1`, alternates except for a single
+/// `11` at positions `2r, 2r+1`. Equivalently it is `(10)^r · 1 · (10)^s`.
+pub fn as_10r_1_10s(w: &Word) -> Option<(usize, usize)> {
+    let n = w.len();
+    if n < 5 || n % 2 == 0 {
+        return None;
+    }
+    for r in 1..=(n - 3) / 2 {
+        let s = (n - 1 - 2 * r) / 2;
+        if s < 1 {
+            break;
+        }
+        let candidate = crate::families::ten_power(r)
+            .concat(&crate::word::word("1"))
+            .concat(&crate::families::ten_power(s));
+        if candidate == *w {
+            return Some((r, s));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::word;
+
+    #[test]
+    fn block_decomposition() {
+        assert_eq!(blocks(&Word::EMPTY), vec![]);
+        assert_eq!(blocks(&word("1")), vec![Block { bit: 1, len: 1 }]);
+        assert_eq!(
+            blocks(&word("0001")),
+            vec![Block { bit: 0, len: 3 }, Block { bit: 1, len: 1 }]
+        );
+        assert_eq!(block_count(&word("101010")), 6);
+        assert_eq!(block_count(&word("111000")), 2);
+    }
+
+    #[test]
+    fn blocks_reassemble() {
+        for b in 0..256u64 {
+            let w = Word::from_raw(b, 8);
+            let mut rebuilt = Word::EMPTY;
+            for blk in blocks(&w) {
+                let piece = if blk.bit == 1 { Word::ones(blk.len) } else { Word::zeros(blk.len) };
+                rebuilt = rebuilt.concat(&piece);
+            }
+            assert_eq!(rebuilt, w);
+        }
+    }
+
+    #[test]
+    fn shape_predicates() {
+        assert_eq!(as_all_ones(&word("111")), Some(3));
+        assert_eq!(as_all_ones(&word("110")), None);
+        assert_eq!(as_ones_zeros(&word("1100")), Some((2, 2)));
+        assert_eq!(as_ones_zeros(&word("0011")), None);
+        assert_eq!(as_ones_zeros_ones(&word("11011")), Some((2, 1, 2)));
+        assert_eq!(as_ones_zeros_ones(&word("1100")), None);
+    }
+
+    #[test]
+    fn alternating_predicates() {
+        assert_eq!(as_alternating_10(&word("10")), Some(1));
+        assert_eq!(as_alternating_10(&word("1010")), Some(2));
+        assert_eq!(as_alternating_10(&word("0101")), None);
+        assert_eq!(as_alternating_10(&word("101")), None);
+        assert_eq!(as_alternating_10_then_1(&word("101")), Some(1));
+        assert_eq!(as_alternating_10_then_1(&word("10101")), Some(2));
+        assert_eq!(as_alternating_10_then_1(&word("10110")), None);
+    }
+
+    #[test]
+    fn ones_zero_twice_predicate() {
+        assert_eq!(as_ones_zero_twice(&word("1010")), Some(1));
+        assert_eq!(as_ones_zero_twice(&word("110110")), Some(2));
+        assert_eq!(as_ones_zero_twice(&word("11011100")), None);
+        assert_eq!(as_ones_zero_twice(&word("110100")), None);
+    }
+
+    #[test]
+    fn ten_r_one_ten_s_predicate() {
+        assert_eq!(as_10r_1_10s(&word("10110")), Some((1, 1)));
+        assert_eq!(as_10r_1_10s(&word("1011010")), Some((1, 2)));
+        assert_eq!(as_10r_1_10s(&word("1010110")), Some((2, 1)));
+        assert_eq!(as_10r_1_10s(&word("10101")), None); // that's (10)^2 1
+        assert_eq!(as_10r_1_10s(&word("11010")), None);
+    }
+}

@@ -1,0 +1,130 @@
+//! Canonical `b,c`-paths in the hypercube (Section 2 of the paper).
+//!
+//! Given vertices `b, c` of `Q_d`, the *canonical path* first flips, in
+//! ascending position order, every bit where `b` has `1` and `c` has `0`
+//! (dropping `1 → 0`), and then every bit where `b` has `0` and `c` has `1`
+//! (`0 → 1`). Its length is the Hamming distance, so it is a shortest path.
+//! Proposition 3.1 rests on the observation that for `f = 1^s` the canonical
+//! path never creates a new occurrence of `f`.
+
+use crate::word::Word;
+
+/// The canonical `b,c`-path, including both endpoints.
+///
+/// # Panics
+///
+/// Panics when `b` and `c` have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use fibcube_words::{word, canonical::canonical_path};
+///
+/// let p = canonical_path(&word("110"), &word("011"));
+/// assert_eq!(p, vec![word("110"), word("010"), word("011")]);
+/// ```
+pub fn canonical_path(b: &Word, c: &Word) -> Vec<Word> {
+    assert_eq!(b.len(), c.len(), "canonical path requires equal lengths");
+    let mut path = Vec::with_capacity(b.hamming(c) as usize + 1);
+    let mut cur = *b;
+    path.push(cur);
+    for i in 1..=b.len() {
+        if b.at(i) == 1 && c.at(i) == 0 {
+            cur = cur.flip(i);
+            path.push(cur);
+        }
+    }
+    for i in 1..=b.len() {
+        if b.at(i) == 0 && c.at(i) == 1 {
+            cur = cur.flip(i);
+            path.push(cur);
+        }
+    }
+    path
+}
+
+/// Checks that `path` is a path in `Q_d`: consecutive entries at Hamming
+/// distance exactly 1 and all entries of equal length.
+pub fn is_cube_path(path: &[Word]) -> bool {
+    path.windows(2).all(|p| p[0].len() == p[1].len() && p[0].hamming(&p[1]) == 1)
+}
+
+/// Checks that `path` is a *shortest* `b,c`-path in `Q_d`
+/// (a geodesic: length equals the Hamming distance of its endpoints).
+pub fn is_geodesic(path: &[Word]) -> bool {
+    match (path.first(), path.last()) {
+        (Some(b), Some(c)) => {
+            is_cube_path(path) && path.len() == b.hamming(c) as usize + 1
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::avoids;
+    use crate::word::word;
+
+    #[test]
+    fn canonical_path_is_geodesic() {
+        for b in 0..64u64 {
+            for c in 0..64u64 {
+                let (b, c) = (Word::from_raw(b, 6), Word::from_raw(c, 6));
+                let p = canonical_path(&b, &c);
+                assert!(is_geodesic(&p), "b={b} c={c}");
+                assert_eq!(p[0], b);
+                assert_eq!(*p.last().unwrap(), c);
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_path_trivial() {
+        let b = word("1010");
+        let p = canonical_path(&b, &b);
+        assert_eq!(p, vec![b]);
+        assert!(is_geodesic(&p));
+    }
+
+    #[test]
+    fn ones_first_ordering() {
+        // From 101 to 011: position 1 (1→0) is flipped before position 2 (0→1).
+        let p = canonical_path(&word("101"), &word("011"));
+        assert_eq!(p, vec![word("101"), word("001"), word("011")]);
+    }
+
+    #[test]
+    fn proposition_3_1_canonical_paths_avoid_ones_runs() {
+        // The engine of Proposition 3.1: if b and c avoid 1^s, every vertex of
+        // the canonical b,c-path avoids 1^s. Exhaustive check for d=8, s=2,3.
+        for s in 2..=3usize {
+            let f = Word::ones(s);
+            for bb in 0..256u64 {
+                let b = Word::from_raw(bb, 8);
+                if !avoids(&b, &f) {
+                    continue;
+                }
+                for cb in 0..256u64 {
+                    let c = Word::from_raw(cb, 8);
+                    if !avoids(&c, &f) {
+                        continue;
+                    }
+                    for v in canonical_path(&b, &c) {
+                        assert!(avoids(&v, &f), "s={s} b={b} c={c} v={v}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn is_geodesic_rejects_non_paths() {
+        assert!(!is_geodesic(&[]));
+        assert!(!is_geodesic(&[word("00"), word("11")]));
+        // A valid path that is longer than the Hamming distance is no geodesic.
+        let detour = vec![word("00"), word("01"), word("00"), word("10")];
+        assert!(is_cube_path(&detour));
+        assert!(!is_geodesic(&detour));
+    }
+}

@@ -1,0 +1,132 @@
+//! Autocorrelation polynomials and the Guibas–Odlyzko generating function.
+//!
+//! The *autocorrelation set* of `f` contains every shift `k` at which `f`
+//! overlaps itself (`f` and a copy slid `k` places agree on the overlap);
+//! its indicator polynomial `c(x) = Σ x^k` controls how occurrences of `f`
+//! cluster. Guibas–Odlyzko (1981): over a binary alphabet the number
+//! `a_d` of length-`d` strings avoiding `f` has generating function
+//!
+//! ```text
+//!   Σ_d a_d x^d  =  c(x) / ( x^m + (1 − 2x) · c(x) ),    m = |f|.
+//! ```
+//!
+//! This is a **third, independent** route to `|V(Q_d(f))|` — no automaton,
+//! no graph — used in the tests to cross-validate the other two. It also
+//! explains a subtlety of the paper's family sizes: `|V|` depends on `f`
+//! only through `|f|` *and its overlap structure*, not its digits.
+
+use crate::word::Word;
+
+/// The autocorrelation shifts of `f`: all `k ∈ [0, |f|)` such that the
+/// suffix of `f` starting at position `k + 1` equals the prefix of length
+/// `|f| − k` (shift 0 is always present).
+pub fn autocorrelation(f: &Word) -> Vec<usize> {
+    let m = f.len();
+    assert!(m >= 1, "autocorrelation needs a non-empty word");
+    (0..m)
+        .filter(|&k| f.suffix(m - k) == f.prefix(m - k))
+        .collect()
+}
+
+/// The correlation polynomial `c(x) = Σ_{k ∈ autocorrelation} x^k` as a
+/// coefficient vector (`c[k] = 1` iff `k` is a correlation shift).
+pub fn correlation_polynomial(f: &Word) -> Vec<i128> {
+    let m = f.len();
+    let mut c = vec![0i128; m];
+    for k in autocorrelation(f) {
+        c[k] = 1;
+    }
+    c
+}
+
+/// The first `count` coefficients of the Guibas–Odlyzko generating function
+/// — `a_d = ` number of binary strings of length `d` avoiding `f`.
+///
+/// Computed by the power-series division `num(x) / den(x)` with
+/// `num = c(x)` and `den = x^m + (1 − 2x)·c(x)`:
+/// `a_d = (num_d − Σ_{j=1..d} den_j · a_{d−j}) / den_0`.
+pub fn avoiding_counts(f: &Word, count: usize) -> Vec<i128> {
+    let m = f.len();
+    let c = correlation_polynomial(f);
+    // den = x^m + (1 − 2x)·c(x): degree ≤ m.
+    let mut den = vec![0i128; m + 1];
+    den[m] += 1;
+    for (k, &ck) in c.iter().enumerate() {
+        den[k] += ck;
+        den[k + 1] -= 2 * ck;
+    }
+    debug_assert_eq!(den[0], 1, "c(0) = 1 always (shift 0)");
+    let mut a = Vec::with_capacity(count);
+    for d in 0..count {
+        let mut acc = if d < m { c[d] } else { 0 };
+        for j in 1..=d.min(m) {
+            acc -= den[j] * a[d - j];
+        }
+        a.push(acc);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::FactorAutomaton;
+    use crate::word::word;
+
+    #[test]
+    fn autocorrelation_shifts() {
+        // 11 overlaps itself at shifts 0 and 1; 10 only at 0.
+        assert_eq!(autocorrelation(&word("11")), vec![0, 1]);
+        assert_eq!(autocorrelation(&word("10")), vec![0]);
+        // 101 overlaps at 0 and 2; 1010 at 0 and 2.
+        assert_eq!(autocorrelation(&word("101")), vec![0, 2]);
+        assert_eq!(autocorrelation(&word("1010")), vec![0, 2]);
+        // 110 has no non-trivial overlap.
+        assert_eq!(autocorrelation(&word("110")), vec![0]);
+        // 1^4: every shift.
+        assert_eq!(autocorrelation(&word("1111")), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn correlation_polynomial_coefficients() {
+        assert_eq!(correlation_polynomial(&word("11")), vec![1, 1]);
+        assert_eq!(correlation_polynomial(&word("110")), vec![1, 0, 0]);
+        assert_eq!(correlation_polynomial(&word("101")), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn guibas_odlyzko_matches_automaton_exhaustively() {
+        // Third-method cross-check: every factor of length 1..=6.
+        for m in 1..=6usize {
+            for bits in 0..(1u64 << m) {
+                let f = Word::from_raw(bits, m);
+                let aut = FactorAutomaton::new(f);
+                let gf = avoiding_counts(&f, 16);
+                for (d, &a) in gf.iter().enumerate() {
+                    assert!(a >= 0);
+                    assert_eq!(a as u128, aut.count_free(d), "f={f} d={d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fibonacci_series_from_the_generating_function() {
+        // f = 11: the GF reproduces F_{d+2}.
+        let gf = avoiding_counts(&word("11"), 12);
+        assert_eq!(gf, vec![1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233]);
+    }
+
+    #[test]
+    fn counts_depend_on_overlap_structure_not_digits() {
+        // 110 and 100 share the trivial correlation ⇒ identical counts;
+        // 101 (self-overlapping) differs from both.
+        let a110 = avoiding_counts(&word("110"), 14);
+        let a100 = avoiding_counts(&word("100"), 14);
+        let a101 = avoiding_counts(&word("101"), 14);
+        assert_eq!(a110, a100);
+        assert_ne!(a110, a101);
+        // And 111 (fully self-overlapping) differs again.
+        assert_ne!(avoiding_counts(&word("111"), 14), a110);
+    }
+}

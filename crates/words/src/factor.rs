@@ -1,0 +1,169 @@
+//! Factor (contiguous-substring) queries on [`Word`]s.
+//!
+//! A word `v` is a *factor* of `b = uvw` (Section 2 of the paper). These
+//! routines are the naive sliding-window reference implementations; the
+//! [`crate::automaton`] module provides the streaming/counting machinery and
+//! is cross-validated against these in tests.
+
+use crate::word::{mask, Word};
+
+/// Does `factor` occur in `text` as a contiguous substring?
+///
+/// The empty word is a factor of every word. Runs in `O(d)` word operations
+/// via a sliding mask.
+///
+/// # Examples
+///
+/// ```
+/// use fibcube_words::{word, is_factor};
+///
+/// assert!(is_factor(&word("11"), &word("0110")));
+/// assert!(!is_factor(&word("11"), &word("0101")));
+/// ```
+pub fn is_factor(factor: &Word, text: &Word) -> bool {
+    first_occurrence(factor, text).is_some()
+}
+
+/// Position (1-based index of the first character) of the leftmost occurrence
+/// of `factor` in `text`, or `None`.
+pub fn first_occurrence(factor: &Word, text: &Word) -> Option<usize> {
+    let m = factor.len();
+    let d = text.len();
+    if m == 0 {
+        return Some(1);
+    }
+    if m > d {
+        return None;
+    }
+    let fm = mask(m);
+    let fbits = factor.bits();
+    // Occurrence starting at position i (1-based) occupies bits
+    // [d − i − m + 1, d − i] of the big-endian pattern.
+    (1..=d - m + 1).find(|&i| (text.bits() >> (d - i + 1 - m)) & fm == fbits)
+}
+
+/// All occurrence positions (1-based, ascending) of `factor` in `text`,
+/// including overlapping ones.
+pub fn occurrences(factor: &Word, text: &Word) -> Vec<usize> {
+    let m = factor.len();
+    let d = text.len();
+    if m == 0 {
+        return (1..=d + 1).collect();
+    }
+    if m > d {
+        return Vec::new();
+    }
+    let fm = mask(m);
+    let fbits = factor.bits();
+    (1..=d - m + 1)
+        .filter(|&i| (text.bits() >> (d - i + 1 - m)) & fm == fbits)
+        .collect()
+}
+
+/// Number of (possibly overlapping) occurrences of `factor` in `text`.
+pub fn count_occurrences(factor: &Word, text: &Word) -> usize {
+    occurrences(factor, text).len()
+}
+
+/// `true` when `text` avoids `factor` — i.e. `text ∈ V(Q_d(f))` for
+/// `f = factor`, `d = text.len()`.
+#[inline]
+pub fn avoids(text: &Word, factor: &Word) -> bool {
+    !is_factor(factor, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::word;
+
+    #[test]
+    fn empty_factor_everywhere() {
+        assert!(is_factor(&Word::EMPTY, &word("101")));
+        assert!(is_factor(&Word::EMPTY, &Word::EMPTY));
+        assert_eq!(occurrences(&Word::EMPTY, &word("101")), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn longer_factor_never_occurs() {
+        assert!(!is_factor(&word("1010"), &word("101")));
+        assert_eq!(first_occurrence(&word("1010"), &word("101")), None);
+    }
+
+    #[test]
+    fn finds_leftmost() {
+        assert_eq!(first_occurrence(&word("11"), &word("011011")), Some(2));
+        assert_eq!(first_occurrence(&word("101"), &word("010100")), Some(2));
+        assert_eq!(first_occurrence(&word("00"), &word("1111")), None);
+    }
+
+    #[test]
+    fn overlapping_occurrences_counted() {
+        // 111 contains 11 at positions 1 and 2.
+        assert_eq!(occurrences(&word("11"), &word("111")), vec![1, 2]);
+        // 10101 contains 101 at positions 1 and 3 (overlap at position 3).
+        assert_eq!(occurrences(&word("101"), &word("10101")), vec![1, 3]);
+        assert_eq!(count_occurrences(&word("101"), &word("10101")), 2);
+    }
+
+    #[test]
+    fn whole_word_is_its_own_factor() {
+        let w = word("110010");
+        assert_eq!(occurrences(&w, &w), vec![1]);
+    }
+
+    #[test]
+    fn factor_reversal_duality() {
+        // f occurs in b  ⟺  fᴿ occurs in bᴿ (Lemma 2.3's engine).
+        for fb in 0..8u64 {
+            let f = Word::from_raw(fb, 3);
+            for tb in 0..64u64 {
+                let t = Word::from_raw(tb, 6);
+                assert_eq!(
+                    is_factor(&f, &t),
+                    is_factor(&f.reverse(), &t.reverse()),
+                    "f={f} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn factor_complement_duality() {
+        // f occurs in b  ⟺  f̄ occurs in b̄ (Lemma 2.2's engine).
+        for fb in 0..8u64 {
+            let f = Word::from_raw(fb, 3);
+            for tb in 0..64u64 {
+                let t = Word::from_raw(tb, 6);
+                assert_eq!(
+                    is_factor(&f, &t),
+                    is_factor(&f.complement(), &t.complement()),
+                    "f={f} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn avoids_is_negation() {
+        assert!(avoids(&word("0101"), &word("11")));
+        assert!(!avoids(&word("0110"), &word("11")));
+    }
+
+    #[test]
+    fn naive_string_cross_check() {
+        // Exhaustive cross-check against std string matching for d ≤ 8, |f| ≤ 4.
+        for m in 1..=4usize {
+            for fb in 0..(1u64 << m) {
+                let f = Word::from_raw(fb, m);
+                let fs = f.to_string();
+                for d in 0..=8usize {
+                    for tb in 0..(1u64 << d) {
+                        let t = Word::from_raw(tb, d);
+                        assert_eq!(t.to_string().contains(&fs), is_factor(&f, &t));
+                    }
+                }
+            }
+        }
+    }
+}

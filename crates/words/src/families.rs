@@ -1,0 +1,146 @@
+//! Constructors for the forbidden-factor families appearing in the paper,
+//! and the complement/reversal symmetry reduction (Lemmas 2.2 and 2.3).
+
+use crate::word::{word, Word};
+
+/// `1^s` (Proposition 3.1).
+pub fn ones_run(s: usize) -> Word {
+    Word::ones(s)
+}
+
+/// `0^s`.
+pub fn zeros_run(s: usize) -> Word {
+    Word::zeros(s)
+}
+
+/// `1^r 0^s` (Theorem 3.3).
+pub fn ones_zeros(r: usize, s: usize) -> Word {
+    Word::ones(r).concat(&Word::zeros(s))
+}
+
+/// `1^r 0^s 1^t` (Proposition 3.2).
+pub fn ones_zeros_ones(r: usize, s: usize, t: usize) -> Word {
+    Word::ones(r).concat(&Word::zeros(s)).concat(&Word::ones(t))
+}
+
+/// `(10)^s` (Theorem 4.4).
+pub fn ten_power(s: usize) -> Word {
+    word("10").power(s)
+}
+
+/// `(10)^s 1` (Proposition 4.1).
+pub fn ten_power_one(s: usize) -> Word {
+    ten_power(s).concat(&word("1"))
+}
+
+/// `(10)^r 1 (10)^s` (Proposition 4.2).
+pub fn ten_r_one_ten_s(r: usize, s: usize) -> Word {
+    ten_power(r).concat(&word("1")).concat(&ten_power(s))
+}
+
+/// `1^s 0 1^s 0` (Theorem 4.3).
+pub fn ones_zero_twice(s: usize) -> Word {
+    let half = Word::ones(s).concat(&Word::zeros(1));
+    half.concat(&half)
+}
+
+/// The four strings equivalent to `f` under the graph isomorphisms of
+/// Lemmas 2.2 and 2.3: `f`, `f̄`, `fᴿ`, `f̄ᴿ`. `Q_d(g)` for every `g` in the
+/// class is isomorphic to `Q_d(f)`.
+pub fn symmetry_class(f: &Word) -> [Word; 4] {
+    [*f, f.complement(), f.reverse(), f.complement().reverse()]
+}
+
+/// The canonical representative of the symmetry class — the lexicographically
+/// greatest member (this convention makes `1`-heavy strings like `11`, `110`,
+/// `1100` the representatives, matching the paper's Table 1 labels).
+pub fn canonical_representative(f: &Word) -> Word {
+    *symmetry_class(f).iter().max().expect("class is non-empty")
+}
+
+/// All canonical representatives of length exactly `n`, in the paper's
+/// Table 1 ordering (descending lexicographic).
+pub fn canonical_factors_of_length(n: usize) -> Vec<Word> {
+    let mut reps: Vec<Word> = Word::all(n)
+        .filter(|w| canonical_representative(w) == *w)
+        .collect();
+    reps.sort_unstable_by(|a, b| b.cmp(a));
+    reps
+}
+
+/// All canonical representatives with `1 ≤ |f| ≤ max_len` (Table 1 scope is
+/// `max_len = 5`).
+pub fn canonical_factors_up_to(max_len: usize) -> Vec<Word> {
+    (1..=max_len).flat_map(canonical_factors_of_length).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_constructors() {
+        assert_eq!(ones_run(3), word("111"));
+        assert_eq!(ones_zeros(2, 3), word("11000"));
+        assert_eq!(ones_zeros_ones(1, 2, 1), word("1001"));
+        assert_eq!(ten_power(3), word("101010"));
+        assert_eq!(ten_power_one(2), word("10101"));
+        assert_eq!(ten_r_one_ten_s(1, 1), word("10110"));
+        assert_eq!(ones_zero_twice(2), word("110110"));
+    }
+
+    #[test]
+    fn symmetry_class_closure() {
+        let f = word("110");
+        let class = symmetry_class(&f);
+        assert!(class.contains(&word("110")));
+        assert!(class.contains(&word("001")));
+        assert!(class.contains(&word("011")));
+        assert!(class.contains(&word("100")));
+    }
+
+    #[test]
+    fn canonical_is_idempotent_and_class_invariant() {
+        for bits in 0..32u64 {
+            let f = Word::from_raw(bits, 5);
+            let rep = canonical_representative(&f);
+            assert_eq!(canonical_representative(&rep), rep);
+            for g in symmetry_class(&f) {
+                assert_eq!(canonical_representative(&g), rep, "f={f} g={g}");
+            }
+        }
+    }
+
+    #[test]
+    fn table1_representatives() {
+        // The paper's Table 1 lists these canonical classes per length.
+        let to_strings =
+            |v: Vec<Word>| v.iter().map(Word::to_string).collect::<Vec<_>>();
+        assert_eq!(to_strings(canonical_factors_of_length(1)), ["1"]);
+        assert_eq!(to_strings(canonical_factors_of_length(2)), ["11", "10"]);
+        assert_eq!(to_strings(canonical_factors_of_length(3)), ["111", "110", "101"]);
+        assert_eq!(
+            to_strings(canonical_factors_of_length(4)),
+            ["1111", "1110", "1101", "1100", "1010", "1001"]
+        );
+        // Length 5: paper lists 11111, 11110, 11100, 11001, 11101, 11011,
+        // 10001, 10110, 10101, 11010 — ten classes (our order is descending).
+        let l5 = to_strings(canonical_factors_of_length(5));
+        assert_eq!(l5.len(), 10);
+        for f in
+            ["11111", "11110", "11101", "11100", "11011", "11010", "11001", "10110", "10101", "10001"]
+        {
+            assert!(l5.contains(&f.to_string()), "missing {f}");
+        }
+    }
+
+    #[test]
+    fn class_count_matches_burnside() {
+        // Sanity: the number of classes of length-n strings under the group
+        // {id, complement, reverse, complement∘reverse} (Burnside):
+        // n=4: (16 + 0 + 4 + 4)/4 = 6;  n=5: (32 + 0 + 8 + 0)/4 = 10.
+        assert_eq!(canonical_factors_of_length(4).len(), 6);
+        assert_eq!(canonical_factors_of_length(5).len(), 10);
+        assert_eq!(canonical_factors_up_to(5).len(), 1 + 2 + 3 + 6 + 10);
+    }
+}

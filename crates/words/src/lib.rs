@@ -1,0 +1,39 @@
+//! # fibcube-words
+//!
+//! Binary-word algebra underlying the generalized Fibonacci cubes `Q_d(f)`
+//! of Ilić, Klavžar and Rho (*Generalized Fibonacci cubes*, Discrete
+//! Mathematics 312 (2012) 2–11).
+//!
+//! The crate provides:
+//!
+//! * [`Word`] — binary strings `b₁…b_d` (d ≤ 63) packed in a `u64`, with the
+//!   paper's vocabulary: complement `b̄`, reverse `bᴿ`, bit flips `b + e_i`,
+//!   factors, blocks;
+//! * [`FactorAutomaton`] — KMP avoidance automaton: membership in
+//!   `V(Q_d(f))`, counting, lexicographic generation, rank/unrank;
+//! * [`blocks`] — block decompositions and the shape predicates used by the
+//!   classification theorems;
+//! * [`families`] — constructors for the forbidden-factor families
+//!   (`1^s`, `1^r 0^s`, `(10)^s`, …) and the complement/reversal symmetry
+//!   reduction of Lemmas 2.2–2.3;
+//! * [`canonical`] — canonical (geodesic) `b,c`-paths in the hypercube;
+//! * [`correlation`] — autocorrelation polynomials and the Guibas–Odlyzko
+//!   generating function (an automaton-free counting cross-check);
+//! * [`zeckendorf`] — Fibonacci/k-bonacci numeration codecs used as the node
+//!   addressing scheme of the interconnection-network layer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod automaton;
+pub mod blocks;
+pub mod correlation;
+pub mod canonical;
+pub mod factor;
+pub mod families;
+pub mod word;
+pub mod zeckendorf;
+
+pub use automaton::FactorAutomaton;
+pub use factor::{avoids, count_occurrences, first_occurrence, is_factor, occurrences};
+pub use word::{word, Word, WordError, MAX_LEN};

@@ -1,0 +1,441 @@
+//! The [`Word`] type: a binary string `b₁b₂…b_d` packed into a `u64`.
+//!
+//! Positions are **1-based** to match the paper's notation (`e_i` flips the
+//! i-th bit). Internally the word is stored *big-endian*: `b₁` occupies bit
+//! `d−1` and `b_d` occupies bit `0`. Consequently the numeric order of the
+//! underlying `u64` coincides with the lexicographic order of the strings,
+//! which the enumeration and ranking machinery relies on.
+
+use core::fmt;
+use core::str::FromStr;
+
+/// Maximum supported word length.
+///
+/// Words are packed into a `u64`; we cap at 63 so that `(1 << len) − 1`
+/// never overflows and a sentinel bit remains available.
+pub const MAX_LEN: usize = 63;
+
+/// A binary string of length at most [`MAX_LEN`], packed into a `u64`.
+///
+/// `Word` is `Copy` and totally ordered; ordering is lexicographic on the
+/// string (equal-length words compare like their bit patterns, shorter words
+/// compare by `(len, bits)`).
+///
+/// # Examples
+///
+/// ```
+/// use fibcube_words::Word;
+///
+/// let w: Word = "1101".parse().unwrap();
+/// assert_eq!(w.len(), 4);
+/// assert_eq!(w.at(1), 1);
+/// assert_eq!(w.at(3), 0);
+/// assert_eq!(w.to_string(), "1101");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Word {
+    len: u8,
+    bits: u64,
+}
+
+/// Errors arising when constructing or parsing a [`Word`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WordError {
+    /// Requested length exceeds [`MAX_LEN`].
+    TooLong(usize),
+    /// A character other than `'0'`/`'1'` was encountered while parsing.
+    BadChar(char),
+    /// Bits outside the low `len` positions were set.
+    ExcessBits,
+}
+
+impl fmt::Display for WordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WordError::TooLong(n) => write!(f, "word length {n} exceeds maximum {MAX_LEN}"),
+            WordError::BadChar(c) => write!(f, "invalid binary character {c:?}"),
+            WordError::ExcessBits => write!(f, "bit pattern wider than declared length"),
+        }
+    }
+}
+
+impl std::error::Error for WordError {}
+
+impl Word {
+    /// The empty word (length 0).
+    pub const EMPTY: Word = Word { len: 0, bits: 0 };
+
+    /// Creates a word of length `len` from a big-endian bit pattern
+    /// (`b₁` = most significant of the low `len` bits).
+    ///
+    /// Returns an error if `len > MAX_LEN` or `bits` has bits set above
+    /// position `len − 1`.
+    pub fn new(bits: u64, len: usize) -> Result<Word, WordError> {
+        if len > MAX_LEN {
+            return Err(WordError::TooLong(len));
+        }
+        if len < 64 && bits >> len != 0 {
+            return Err(WordError::ExcessBits);
+        }
+        Ok(Word { len: len as u8, bits })
+    }
+
+    /// Creates a word without validation.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when the invariants of [`Word::new`] are violated.
+    #[inline]
+    pub fn from_raw(bits: u64, len: usize) -> Word {
+        debug_assert!(len <= MAX_LEN);
+        debug_assert!(len == 64 || bits >> len == 0);
+        Word { len: len as u8, bits }
+    }
+
+    /// The all-zero word `0^d`.
+    #[inline]
+    pub fn zeros(len: usize) -> Word {
+        assert!(len <= MAX_LEN, "word length {len} exceeds {MAX_LEN}");
+        Word { len: len as u8, bits: 0 }
+    }
+
+    /// The all-one word `1^d`.
+    #[inline]
+    pub fn ones(len: usize) -> Word {
+        assert!(len <= MAX_LEN, "word length {len} exceeds {MAX_LEN}");
+        Word { len: len as u8, bits: mask(len) }
+    }
+
+    /// Length `d` of the word.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` when the word has length zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The underlying big-endian bit pattern.
+    #[inline]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// The i-th character, **1-based** as in the paper (`i ∈ 1..=d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn at(&self, i: usize) -> u8 {
+        assert!(i >= 1 && i <= self.len(), "position {i} out of 1..={}", self.len());
+        ((self.bits >> (self.len() - i)) & 1) as u8
+    }
+
+    /// The word `b + e_i`: the i-th bit reversed (1-based), all others kept.
+    #[inline]
+    pub fn flip(&self, i: usize) -> Word {
+        assert!(i >= 1 && i <= self.len(), "position {i} out of 1..={}", self.len());
+        Word { len: self.len, bits: self.bits ^ (1u64 << (self.len() - i)) }
+    }
+
+    /// Bitwise sum modulo 2 with another word of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths differ.
+    #[inline]
+    pub fn xor(&self, other: &Word) -> Word {
+        assert_eq!(self.len, other.len, "xor requires equal lengths");
+        Word { len: self.len, bits: self.bits ^ other.bits }
+    }
+
+    /// The binary complement `b̄` (every bit reversed).
+    #[inline]
+    pub fn complement(&self) -> Word {
+        Word { len: self.len, bits: !self.bits & mask(self.len()) }
+    }
+
+    /// The reverse `bᴿ = b_d b_{d−1} … b₁`.
+    #[inline]
+    pub fn reverse(&self) -> Word {
+        if self.len == 0 {
+            return *self;
+        }
+        Word { len: self.len, bits: self.bits.reverse_bits() >> (64 - self.len()) }
+    }
+
+    /// Number of `1`s (the Hamming weight).
+    #[inline]
+    pub fn weight(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Hamming distance to `other` — the hypercube distance `d_{Q_d}(b, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths differ.
+    #[inline]
+    pub fn hamming(&self, other: &Word) -> u32 {
+        assert_eq!(self.len, other.len, "hamming requires equal lengths");
+        (self.bits ^ other.bits).count_ones()
+    }
+
+    /// Concatenation `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the combined length exceeds [`MAX_LEN`].
+    pub fn concat(&self, other: &Word) -> Word {
+        let len = self.len() + other.len();
+        assert!(len <= MAX_LEN, "concatenated length {len} exceeds {MAX_LEN}");
+        Word { len: len as u8, bits: (self.bits << other.len()) | other.bits }
+    }
+
+    /// `self` repeated `n` times.
+    pub fn power(&self, n: usize) -> Word {
+        let mut out = Word::EMPTY;
+        for _ in 0..n {
+            out = out.concat(self);
+        }
+        out
+    }
+
+    /// The factor `b_i … b_j` (1-based, inclusive). Empty when `i > j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range leaves `1..=d`.
+    pub fn slice(&self, i: usize, j: usize) -> Word {
+        if i > j {
+            return Word::EMPTY;
+        }
+        assert!(i >= 1 && j <= self.len(), "slice {i}..={j} out of 1..={}", self.len());
+        let w = j - i + 1;
+        Word { len: w as u8, bits: (self.bits >> (self.len() - j)) & mask(w) }
+    }
+
+    /// Prefix of length `n` (`n ≤ d`).
+    #[inline]
+    pub fn prefix(&self, n: usize) -> Word {
+        self.slice(1, n)
+    }
+
+    /// Suffix of length `n` (`n ≤ d`).
+    #[inline]
+    pub fn suffix(&self, n: usize) -> Word {
+        self.slice(self.len() - n + 1, self.len())
+    }
+
+    /// Positions (1-based, ascending) where the bit is `1`.
+    pub fn support(&self) -> Vec<usize> {
+        (1..=self.len()).filter(|&i| self.at(i) == 1).collect()
+    }
+
+    /// Positions (1-based, ascending) where `self` and `other` differ.
+    pub fn differing_positions(&self, other: &Word) -> Vec<usize> {
+        assert_eq!(self.len, other.len, "differing_positions requires equal lengths");
+        (1..=self.len()).filter(|&i| self.at(i) != other.at(i)).collect()
+    }
+
+    /// Iterator over the characters `b₁, b₂, …, b_d`.
+    pub fn iter_bits(&self) -> impl DoubleEndedIterator<Item = u8> + ExactSizeIterator + '_ {
+        (1..self.len() + 1).map(move |i| self.at(i))
+    }
+
+    /// All `2^d` words of length `d` in lexicographic order.
+    pub fn all(len: usize) -> impl Iterator<Item = Word> {
+        assert!(len <= MAX_LEN, "word length {len} exceeds {MAX_LEN}");
+        (0..(1u64 << len)).map(move |bits| Word::from_raw(bits, len))
+    }
+}
+
+#[inline]
+pub(crate) fn mask(len: usize) -> u64 {
+    debug_assert!(len <= MAX_LEN);
+    (1u64 << len) - 1
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "ε");
+        }
+        for i in 1..=self.len() {
+            write!(f, "{}", self.at(i))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Word({self})")
+    }
+}
+
+impl FromStr for Word {
+    type Err = WordError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "ε" {
+            return Ok(Word::EMPTY);
+        }
+        if s.len() > MAX_LEN {
+            return Err(WordError::TooLong(s.len()));
+        }
+        let mut bits = 0u64;
+        let mut len = 0usize;
+        for c in s.chars() {
+            let b = match c {
+                '0' => 0,
+                '1' => 1,
+                _ => return Err(WordError::BadChar(c)),
+            };
+            bits = (bits << 1) | b;
+            len += 1;
+        }
+        Word::new(bits, len)
+    }
+}
+
+/// Convenience constructor used pervasively in tests and examples:
+/// `word("1101")` parses the literal, panicking on malformed input.
+///
+/// # Panics
+///
+/// Panics when `s` is not a binary string of length ≤ [`MAX_LEN`].
+pub fn word(s: &str) -> Word {
+    s.parse().unwrap_or_else(|e| panic!("invalid word literal {s:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["", "0", "1", "01", "10", "1101", "0000", "101010101"] {
+            let w: Word = s.parse().unwrap();
+            assert_eq!(w.to_string(), if s.is_empty() { "ε" } else { s });
+            assert_eq!(w.len(), s.len());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!("10x1".parse::<Word>(), Err(WordError::BadChar('x')));
+        let long = "1".repeat(MAX_LEN + 1);
+        assert!(matches!(long.parse::<Word>(), Err(WordError::TooLong(_))));
+    }
+
+    #[test]
+    fn new_validates() {
+        assert!(Word::new(0b111, 3).is_ok());
+        assert_eq!(Word::new(0b1000, 3), Err(WordError::ExcessBits));
+        assert!(matches!(Word::new(0, MAX_LEN + 1), Err(WordError::TooLong(_))));
+    }
+
+    #[test]
+    fn positions_are_one_based_bigendian() {
+        let w = word("1101");
+        assert_eq!(w.at(1), 1);
+        assert_eq!(w.at(2), 1);
+        assert_eq!(w.at(3), 0);
+        assert_eq!(w.at(4), 1);
+        assert_eq!(w.bits(), 0b1101);
+    }
+
+    #[test]
+    fn lexicographic_order_matches_numeric() {
+        let mut words: Vec<Word> = Word::all(4).collect();
+        let mut strings: Vec<String> = words.iter().map(|w| w.to_string()).collect();
+        words.sort();
+        strings.sort();
+        assert_eq!(words.iter().map(|w| w.to_string()).collect::<Vec<_>>(), strings);
+    }
+
+    #[test]
+    fn flip_is_e_i_addition() {
+        let w = word("10110");
+        assert_eq!(w.flip(1), word("00110"));
+        assert_eq!(w.flip(5), word("10111"));
+        assert_eq!(w.flip(3).flip(3), w);
+    }
+
+    #[test]
+    fn complement_involution() {
+        let w = word("110010");
+        assert_eq!(w.complement(), word("001101"));
+        assert_eq!(w.complement().complement(), w);
+    }
+
+    #[test]
+    fn reverse_matches_definition() {
+        let w = word("110010");
+        assert_eq!(w.reverse(), word("010011"));
+        assert_eq!(w.reverse().reverse(), w);
+        assert_eq!(Word::EMPTY.reverse(), Word::EMPTY);
+        assert_eq!(word("1").reverse(), word("1"));
+    }
+
+    #[test]
+    fn hamming_and_weight() {
+        assert_eq!(word("1100").hamming(&word("1010")), 2);
+        assert_eq!(word("1111").weight(), 4);
+        assert_eq!(word("0000").weight(), 0);
+        assert_eq!(word("10110").support(), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn concat_and_power() {
+        assert_eq!(word("10").concat(&word("110")), word("10110"));
+        assert_eq!(word("10").power(3), word("101010"));
+        assert_eq!(word("10").power(0), Word::EMPTY);
+        assert_eq!(Word::EMPTY.concat(&word("1")), word("1"));
+    }
+
+    #[test]
+    fn slice_prefix_suffix() {
+        let w = word("110100");
+        assert_eq!(w.slice(2, 4), word("101"));
+        assert_eq!(w.prefix(3), word("110"));
+        assert_eq!(w.suffix(2), word("00"));
+        assert_eq!(w.slice(4, 3), Word::EMPTY);
+        assert_eq!(w.slice(1, 6), w);
+    }
+
+    #[test]
+    fn differing_positions_matches_xor() {
+        let b = word("110100");
+        let c = word("100110");
+        assert_eq!(b.differing_positions(&c), vec![2, 5]);
+        assert_eq!(b.xor(&c).support(), vec![2, 5]);
+        assert_eq!(b.hamming(&c), 2);
+    }
+
+    #[test]
+    fn all_words_enumerated() {
+        assert_eq!(Word::all(0).count(), 1);
+        assert_eq!(Word::all(5).count(), 32);
+        let set: std::collections::HashSet<Word> = Word::all(5).collect();
+        assert_eq!(set.len(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn at_out_of_range_panics() {
+        word("101").at(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn hamming_length_mismatch_panics() {
+        word("101").hamming(&word("10"));
+    }
+}

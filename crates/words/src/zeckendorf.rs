@@ -1,0 +1,268 @@
+//! Zeckendorf (Fibonacci-base) and order-k generalized Zeckendorf codecs.
+//!
+//! The classical Zeckendorf theorem writes every `n ≥ 0` uniquely as a sum of
+//! non-consecutive Fibonacci numbers; reading the indicator string of the
+//! summands gives a bijection between `{0, …, F_{d+2}−1}` and the `11`-free
+//! words of length `d` — exactly the vertex set of the Fibonacci cube `Γ_d`.
+//! Hsu's interconnection papers use this as the *node addressing scheme*.
+//!
+//! The order-k generalization (sums of k-bonacci numbers with no `k`
+//! consecutive indicators) addresses the nodes of `Q_d(1^k)`.
+
+use crate::word::{Word, MAX_LEN};
+
+/// Fibonacci numbers with the paper's indexing: `F₁ = F₂ = 1`, `F₃ = 2`, …
+///
+/// Returns `F_i` for `i ≥ 0` (`F₀ = 0`).
+///
+/// # Panics
+///
+/// Panics on overflow past `u128` (first at `i = 187`).
+pub fn fibonacci(i: usize) -> u128 {
+    let (mut a, mut b) = (0u128, 1u128); // F_0, F_1
+    for _ in 0..i {
+        let next = a.checked_add(b).expect("Fibonacci overflow past u128");
+        a = b;
+        b = next;
+    }
+    a
+}
+
+/// Order-k Fibonacci (k-bonacci) sequence value `F^(k)_i` defined by
+/// `F^(k)_i = 0` for `i ≤ 0`, `F^(k)_1 = 1`, and
+/// `F^(k)_i = Σ_{j=1}^{k} F^(k)_{i−j}`.
+///
+/// For `k = 2` this reproduces [`fibonacci`].
+pub fn kbonacci(k: usize, i: usize) -> u128 {
+    assert!(k >= 2, "order must be ≥ 2");
+    if i == 0 {
+        return 0;
+    }
+    let mut window = vec![0u128; k];
+    window[k - 1] = 1; // F_1
+    if i == 1 {
+        return 1;
+    }
+    let mut last = 1u128;
+    for _ in 2..=i {
+        let next = window
+            .iter()
+            .fold(0u128, |acc, &x| acc.checked_add(x).expect("k-bonacci overflow"));
+        window.rotate_left(1);
+        window[k - 1] = next;
+        last = next;
+    }
+    last
+}
+
+/// Encodes `n` as the length-`d` Zeckendorf indicator word — an `11`-free
+/// word `b₁…b_d` with `n = Σ b_i · F_{d+2−i}` where position `i` carries
+/// weight `F_{d+2-i}` (so `b₁` weighs `F_{d+1}` … `b_d` weighs `F₂`).
+///
+/// This enumerates `V(Γ_d)`; returns `None` when `n ≥ F_{d+2}`.
+///
+/// Note: the *indicator-string* encoding is what matters for the graphs, and
+/// the greedy algorithm guarantees no two consecutive `1`s.
+pub fn zeckendorf_encode(n: u128, d: usize) -> Option<Word> {
+    kzeckendorf_encode(2, n, d)
+}
+
+/// Decodes a Zeckendorf indicator word back to its integer.
+///
+/// Returns `None` when the word contains `11` (not a valid Zeckendorf form).
+pub fn zeckendorf_decode(w: &Word) -> Option<u128> {
+    kzeckendorf_decode(2, w)
+}
+
+/// Order-k Zeckendorf encoding: a length-`d` word avoiding `1^k` with
+/// `n = Σ b_i · F^(k)_{d+1−i}` … with the *greedy* normal form, which is
+/// exactly the `1^k`-free condition plus a carry constraint.
+///
+/// We use the counting-based unranking (position weights = number of
+/// completions), which gives the clean bijection
+/// `{0, …, |V(Q_d(1^k))|−1} ↔ V(Q_d(1^k))` in **lexicographic order**:
+/// setting `b_i = 1` is chosen when `n` exceeds the count of words with
+/// `b_i = 0` given the prefix. For `k = 2` this coincides with classical
+/// Zeckendorf because `#{11-free words of length d} = F_{d+2}`.
+pub fn kzeckendorf_encode(k: usize, n: u128, d: usize) -> Option<Word> {
+    assert!(k >= 2, "order must be ≥ 2");
+    assert!(d <= MAX_LEN, "length {d} exceeds {MAX_LEN}");
+    // counts[j] = number of 1^k-free words of length j = F^(k)_{j+?}: compute
+    // directly by the recurrence on "free words": T(j) = Σ_{i=1}^{k} T(j−i)
+    // with T(0)=1 and T(j) counting words of length j with < k trailing ones
+    // … simplest correct approach: DP on (length, run of trailing ones).
+    let table = run_dp(k, d);
+    let total = table[d][0];
+    if n >= total {
+        return None;
+    }
+    let mut r = n;
+    let mut bits = 0u64;
+    let mut run = 0usize; // current run of consecutive 1s ending at position i−1
+    for i in 1..=d {
+        // Words remaining if we place 0 here: run resets.
+        let zero_cnt = table[d - i][0];
+        if r < zero_cnt {
+            bits <<= 1;
+            run = 0;
+        } else {
+            r -= zero_cnt;
+            bits = (bits << 1) | 1;
+            run += 1;
+            if run >= k {
+                return None; // cannot happen for valid r
+            }
+        }
+        let _ = i;
+    }
+    Some(Word::from_raw(bits, d))
+}
+
+/// Inverse of [`kzeckendorf_encode`]; `None` when `w` contains `1^k`.
+pub fn kzeckendorf_decode(k: usize, w: &Word) -> Option<u128> {
+    assert!(k >= 2, "order must be ≥ 2");
+    let d = w.len();
+    let table = run_dp(k, d);
+    let mut n = 0u128;
+    let mut run = 0usize;
+    for i in 1..=d {
+        if w.at(i) == 1 {
+            n += table[d - i][0]; // all words with 0 at this position come first
+            run += 1;
+            if run >= k {
+                return None;
+            }
+        } else {
+            run = 0;
+        }
+    }
+    Some(n)
+}
+
+/// `table[j][r]` = number of ways to append `j` letters after a context whose
+/// maximal run of trailing ones has length `r`, never reaching `k` ones.
+fn run_dp(k: usize, d: usize) -> Vec<Vec<u128>> {
+    let mut table = vec![vec![0u128; k]; d + 1];
+    for r in 0..k {
+        table[0][r] = 1;
+    }
+    for j in 1..=d {
+        for r in 0..k {
+            // place 0: run resets; place 1: run+1 must stay < k.
+            let mut acc = table[j - 1][0];
+            if r + 1 < k {
+                acc += table[j - 1][r + 1];
+            }
+            table[j][r] = acc;
+        }
+    }
+    table
+}
+
+/// Number of `1^k`-free words of length `d` — `|V(Q_d(1^k))|` — via the run
+/// DP (equals `F^(k)` shifted: for k = 2 it is `F_{d+2}`).
+pub fn count_k_free(k: usize, d: usize) -> u128 {
+    run_dp(k, d)[d][0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::FactorAutomaton;
+    use crate::word::word;
+
+    #[test]
+    fn fibonacci_values() {
+        let expected = [0u128, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(fibonacci(i), e, "i={i}");
+        }
+    }
+
+    #[test]
+    fn kbonacci_reduces_to_fibonacci() {
+        for i in 0..30 {
+            assert_eq!(kbonacci(2, i), fibonacci(i), "i={i}");
+        }
+    }
+
+    #[test]
+    fn tribonacci_values() {
+        // F^(3): 0, 1, 1, 2, 4, 7, 13, 24, 44, 81 (with F^(3)_2 = 1, F^(3)_3 = 2).
+        let expected = [0u128, 1, 1, 2, 4, 7, 13, 24, 44, 81];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(kbonacci(3, i), e, "i={i}");
+        }
+    }
+
+    #[test]
+    fn count_free_matches_automaton() {
+        for k in 2..=4usize {
+            let aut = FactorAutomaton::new(Word::ones(k));
+            for d in 0..=20usize {
+                assert_eq!(count_k_free(k, d), aut.count_free(d), "k={k} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_bijection() {
+        for k in 2..=4usize {
+            for d in 0..=12usize {
+                let total = count_k_free(k, d);
+                let mut seen = std::collections::HashSet::new();
+                for n in 0..total {
+                    let w = kzeckendorf_encode(k, n, d).expect("in range");
+                    assert!(!crate::factor::is_factor(&Word::ones(k), &w), "k={k} w={w}");
+                    assert_eq!(kzeckendorf_decode(k, &w), Some(n), "k={k} d={d} n={n}");
+                    assert!(seen.insert(w), "duplicate encoding for n={n}");
+                }
+                assert_eq!(kzeckendorf_encode(k, total, d), None);
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_is_lexicographic() {
+        // n < m ⟺ encode(n) < encode(m) (lexicographic = numeric order).
+        let d = 10;
+        let total = count_k_free(2, d);
+        let words: Vec<Word> =
+            (0..total).map(|n| zeckendorf_encode(n, d).unwrap()).collect();
+        assert!(words.windows(2).all(|p| p[0] < p[1]));
+    }
+
+    #[test]
+    fn agrees_with_automaton_unrank() {
+        // The Zeckendorf codec must match the generic automaton unranking.
+        let aut = FactorAutomaton::new(word("11"));
+        for d in 0..=11usize {
+            for n in 0..count_k_free(2, d) {
+                assert_eq!(zeckendorf_encode(n, d), aut.unrank(n, d), "d={d} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_invalid() {
+        assert_eq!(zeckendorf_decode(&word("0110")), None);
+        assert_eq!(kzeckendorf_decode(3, &word("01110")), None);
+        assert!(kzeckendorf_decode(3, &word("0110")).is_some());
+    }
+
+    #[test]
+    fn classical_zeckendorf_weights() {
+        // For the classical codec, position i carries weight F_{d+2-i}:
+        // placing a 1 at position i skips the F_{(d-i)+2} words with 0 there.
+        // Verify the arithmetic reading for several d.
+        for d in 0..=10usize {
+            for n in 0..count_k_free(2, d) {
+                let w = zeckendorf_encode(n, d).unwrap();
+                let weighted: u128 = (1..=d)
+                    .map(|i| w.at(i) as u128 * fibonacci(d + 2 - i))
+                    .sum();
+                assert_eq!(weighted, n, "w={w}");
+            }
+        }
+    }
+}

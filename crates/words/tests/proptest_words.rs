@@ -1,0 +1,140 @@
+//! Property-based tests for the word algebra.
+
+use fibcube_words::automaton::FactorAutomaton;
+use fibcube_words::blocks::{block_count, blocks};
+use fibcube_words::canonical::{canonical_path, is_geodesic};
+use fibcube_words::factor::{avoids, is_factor};
+use fibcube_words::families::{canonical_representative, symmetry_class};
+use fibcube_words::word::Word;
+use fibcube_words::zeckendorf::{count_k_free, kzeckendorf_decode, kzeckendorf_encode};
+use proptest::prelude::*;
+
+/// Strategy: a word of length `0..=max_len`.
+fn arb_word(max_len: usize) -> impl Strategy<Value = Word> {
+    (0..=max_len).prop_flat_map(|len| {
+        let hi = if len == 0 { 1u64 } else { 1u64 << len };
+        (0..hi).prop_map(move |bits| Word::from_raw(bits, len))
+    })
+}
+
+/// Strategy: a non-empty word of length `1..=max_len`.
+fn arb_factor(max_len: usize) -> impl Strategy<Value = Word> {
+    (1..=max_len).prop_flat_map(|len| {
+        (0..(1u64 << len)).prop_map(move |bits| Word::from_raw(bits, len))
+    })
+}
+
+proptest! {
+    #[test]
+    fn complement_is_involution(w in arb_word(24)) {
+        prop_assert_eq!(w.complement().complement(), w);
+    }
+
+    #[test]
+    fn reverse_is_involution(w in arb_word(24)) {
+        prop_assert_eq!(w.reverse().reverse(), w);
+    }
+
+    #[test]
+    fn reverse_complement_commute(w in arb_word(24)) {
+        prop_assert_eq!(w.reverse().complement(), w.complement().reverse());
+    }
+
+    #[test]
+    fn display_parse_roundtrip(w in arb_word(24)) {
+        let s = w.to_string();
+        let back: Word = s.parse().unwrap();
+        prop_assert_eq!(back, w);
+    }
+
+    #[test]
+    fn weight_plus_complement_weight_is_len(w in arb_word(24)) {
+        prop_assert_eq!((w.weight() + w.complement().weight()) as usize, w.len());
+    }
+
+    #[test]
+    fn hamming_is_metric(a in arb_word(16), bbits in 0u64..65536, cbits in 0u64..65536) {
+        let b = Word::from_raw(bbits & ((1u64 << a.len().max(1)) - 1) & mask_of(a.len()), a.len());
+        let c = Word::from_raw(cbits & mask_of(a.len()), a.len());
+        prop_assert_eq!(a.hamming(&b), b.hamming(&a));
+        prop_assert!(a.hamming(&c) <= a.hamming(&b) + b.hamming(&c));
+        prop_assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn factor_duality(f in arb_factor(6), t in arb_word(16)) {
+        prop_assert_eq!(is_factor(&f, &t), is_factor(&f.complement(), &t.complement()));
+        prop_assert_eq!(is_factor(&f, &t), is_factor(&f.reverse(), &t.reverse()));
+    }
+
+    #[test]
+    fn automaton_agrees_with_naive(f in arb_factor(6), t in arb_word(18)) {
+        let aut = FactorAutomaton::new(f);
+        prop_assert_eq!(aut.accepts(&t), avoids(&t, &f));
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip(f in arb_factor(5), t in arb_word(14)) {
+        let aut = FactorAutomaton::new(f);
+        if let Some(r) = aut.rank(&t) {
+            prop_assert_eq!(aut.unrank(r, t.len()), Some(t));
+        }
+    }
+
+    #[test]
+    fn blocks_alternate_and_cover(w in arb_word(24)) {
+        let bl = blocks(&w);
+        let total: usize = bl.iter().map(|b| b.len).sum();
+        prop_assert_eq!(total, w.len());
+        for pair in bl.windows(2) {
+            prop_assert_ne!(pair[0].bit, pair[1].bit);
+        }
+        prop_assert!(bl.iter().all(|b| b.len >= 1));
+    }
+
+    #[test]
+    fn block_count_invariant_under_reversal(w in arb_word(24)) {
+        prop_assert_eq!(block_count(&w), block_count(&w.reverse()));
+        prop_assert_eq!(block_count(&w), block_count(&w.complement()));
+    }
+
+    #[test]
+    fn canonical_path_geodesic(b in arb_word(20), cbits in 0u64..(1 << 20)) {
+        let c = Word::from_raw(cbits & mask_of(b.len()), b.len());
+        let p = canonical_path(&b, &c);
+        prop_assert!(is_geodesic(&p));
+    }
+
+    #[test]
+    fn canonical_representative_is_class_max(f in arb_factor(8)) {
+        let rep = canonical_representative(&f);
+        for g in symmetry_class(&f) {
+            prop_assert!(g <= rep);
+            prop_assert_eq!(canonical_representative(&g), rep);
+        }
+    }
+
+    #[test]
+    fn kzeckendorf_bijection(k in 2usize..=4, d in 0usize..=14, seed in 0u64..10_000) {
+        let total = count_k_free(k, d);
+        let n = (seed as u128) % total.max(1);
+        let w = kzeckendorf_encode(k, n, d).unwrap();
+        prop_assert!(avoids(&w, &Word::ones(k)));
+        prop_assert_eq!(kzeckendorf_decode(k, &w), Some(n));
+    }
+
+    #[test]
+    fn concat_slice_inverse(a in arb_word(12), b in arb_word(12)) {
+        let joined = a.concat(&b);
+        prop_assert_eq!(joined.prefix(a.len()), a);
+        prop_assert_eq!(joined.suffix(b.len()), b);
+    }
+}
+
+fn mask_of(len: usize) -> u64 {
+    if len == 0 {
+        0
+    } else {
+        (1u64 << len) - 1
+    }
+}

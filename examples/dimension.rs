@@ -1,0 +1,75 @@
+//! Section 7/8: isometric dimension, f-dimension, and the Winkler-theorem
+//! example showing `Q_d(101)` embeds isometrically in no hypercube.
+//!
+//! Run with `cargo run --release --example dimension`.
+
+use fibcube::graph::generators;
+use fibcube::isometry::{dim_f_exact, dim_f_upper, isometric_dimension, section8_example};
+use fibcube::prelude::*;
+
+fn main() {
+    println!("== f-dimension (f = 11): idim ≤ dim_f ≤ 3·idim − 2 (Prop 7.1) ==\n");
+    println!(
+        "{:<10} {:>6} {:>10} {:>18}",
+        "graph", "idim", "dim_11", "Prop 7.1 bound"
+    );
+    let samples: Vec<(&str, fibcube::graph::CsrGraph)> = vec![
+        ("P2", generators::path(2)),
+        ("P4", generators::path(4)),
+        ("P6", generators::path(6)),
+        ("C4", generators::cycle(4)),
+        ("C6", generators::cycle(6)),
+        ("K1,3", generators::star(4)),
+        ("K1,4", generators::star(5)),
+        ("Q2", generators::hypercube(2)),
+        ("Q3", generators::hypercube(3)),
+        ("3x3 grid", generators::grid(3, 3)),
+    ];
+    let f = word("11");
+    for (name, g) in &samples {
+        let idim = isometric_dimension(g).expect("all samples are partial cubes");
+        let exact = dim_f_exact(g, &f, 3 * idim.max(1) + 1);
+        let upper = dim_f_upper(g, &f).map(|u| u.dimension);
+        println!(
+            "{:<10} {:>6} {:>10} {:>18}",
+            name,
+            idim,
+            exact.map(|e| e.to_string()).unwrap_or("?".into()),
+            upper.map(|u| u.to_string()).unwrap_or("∞".into()),
+        );
+        if let (Some(e), Some(u)) = (exact, upper) {
+            assert!(idim <= e && e <= u, "Prop 7.1 bounds violated for {name}");
+        }
+    }
+
+    println!("\n== Section 8: Q_d(101) is isometric in NO hypercube ==\n");
+    for d in 4..=7 {
+        let ex = section8_example(d);
+        println!(
+            "d = {d}: e = ({}, {}), f = ({}, {})",
+            ex.e.0, ex.e.1, ex.f.0, ex.f.1
+        );
+        println!(
+            "       e Θ f: {:<5}  e Θ* f: {:<5}  (ladder of {} rungs verifies Θ*)",
+            ex.e_theta_f,
+            ex.e_theta_star_f,
+            ex.ladder.len()
+        );
+        println!(
+            "       Winkler ⇒ partial cube? {}",
+            if ex.is_partial_cube { "YES (?!)" } else { "no — embeds in no hypercube" }
+        );
+        assert!(!ex.e_theta_f && ex.e_theta_star_f && !ex.is_partial_cube);
+    }
+
+    println!("\n== Problem 8.3 probes: are non-embeddable Q_d(f) partial cubes at all? ==\n");
+    for (d, fs) in [(4usize, "101"), (5, "101"), (5, "1101"), (7, "1100"), (5, "1001")] {
+        let fw = word(fs);
+        let g = Qdf::new(d, fw);
+        let iso_own = is_isometric(&g);
+        let pc = fibcube::isometry::is_partial_cube(g.graph());
+        println!(
+            "Q_{d}({fs}): isometric in Q_{d}: {iso_own:<5}  isometric in some Q_d': {pc}"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Extension: circular forbidden factors and Lucas cubes `Λ_d`.
+//!
+//! The Lucas cube is the "cyclic sibling" of the Fibonacci cube: strings
+//! avoiding `11` in every rotation. `|Λ_d| = L_d` (Lucas numbers), and
+//! `Λ_d ↪ Q_d` like its linear cousin. The same construction works for any
+//! circularly forbidden factor.
+//!
+//! Run with `cargo run --release --example lucas`.
+
+use fibcube::core::{lucas_number, CircularQdf, Qdf};
+use fibcube::words::word;
+
+fn main() {
+    println!("== Lucas cubes Λ_d = Q_d^c(11) vs Fibonacci cubes Γ_d ==\n");
+    println!(
+        "{:>3} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "d", "|V(Λ_d)|", "L_d", "|V(Γ_d)|", "Λ_d ↪ Q_d?", "Λ ⊆ Γ?"
+    );
+    for d in 1..=12usize {
+        let lucas = CircularQdf::lucas(d);
+        let gamma = Qdf::fibonacci(d);
+        let subset = lucas.labels().iter().all(|w| gamma.contains(w));
+        println!(
+            "{d:>3} {:>10} {:>10} {:>10} {:>12} {:>12}",
+            lucas.order(),
+            lucas_number(d),
+            gamma.order(),
+            lucas.is_isometric(),
+            subset
+        );
+        assert_eq!(lucas.order() as u128, lucas_number(d));
+        assert!(lucas.is_isometric());
+        assert!(subset);
+    }
+
+    println!("\n== circular versions of other forbidden factors ==\n");
+    println!("{:>8} {:>3} {:>10} {:>10} {:>14}", "f", "d", "|Q_d^c(f)|", "|Q_d(f)|", "circ ↪ Q_d?");
+    for (fs, d) in [("101", 6), ("110", 7), ("111", 8), ("1010", 8)] {
+        let f = word(fs);
+        let circ = CircularQdf::new(d, f);
+        let lin = Qdf::new(d, f);
+        println!(
+            "{:>8} {:>3} {:>10} {:>10} {:>14}",
+            fs,
+            d,
+            circ.order(),
+            lin.order(),
+            circ.is_isometric()
+        );
+    }
+    println!("\n(Unlike the linear case, circular avoidance is rotation-invariant,");
+    println!("so these graphs inherit a cyclic symmetry the paper's cubes lack.)");
+}

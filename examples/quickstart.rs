@@ -1,0 +1,60 @@
+//! Quickstart: build generalized Fibonacci cubes, inspect them, test
+//! isometry, and ask the paper's theorems for their verdict.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use fibcube::prelude::*;
+
+fn main() {
+    println!("== fibcube quickstart ==\n");
+
+    // The classical Fibonacci cube Γ_8 = Q_8(11).
+    let gamma = Qdf::fibonacci(8);
+    println!(
+        "Γ_8 = Q_8(11): {} vertices (F_10), {} edges, diameter {:?}, max degree {}",
+        gamma.order(),
+        gamma.size(),
+        gamma.diameter(),
+        gamma.max_degree()
+    );
+    println!("  isometric in Q_8? {}\n", is_isometric(&gamma));
+
+    // An arbitrary forbidden factor.
+    let f = word("1101");
+    for d in 3..=7 {
+        let g = Qdf::new(d, f);
+        let verdict = is_isometric(&g);
+        let predicted = predict_paper(&f, d)
+            .map(|p| format!("{} ({})", p.embeddable, p.source))
+            .unwrap_or_else(|| "open".into());
+        println!(
+            "Q_{d}(1101): |V| = {:>3}  |E| = {:>3}  isometric: {:5}  paper says: {predicted}",
+            g.order(),
+            g.size(),
+            verdict,
+        );
+    }
+
+    // Counting without building the graph: Q_500(110).
+    let f110 = word("110");
+    println!(
+        "\n|V(Q_90(110))| = {} (= F_93 − 1, no graph materialised)",
+        count_vertices(&f110, 90)
+    );
+    println!("|E(Q_90(110))| = {}", count_edges(&f110, 90));
+    println!("|S(Q_90(110))| = {}", count_squares(&f110, 90));
+
+    // Route a message on the Fibonacci-cube network.
+    let net = FibonacciNet::classical(10);
+    let route = net.route(3, (net.len() - 2) as u32);
+    println!(
+        "\nΓ_10 network: {} nodes; route 3 → {}: {} hops",
+        net.len(),
+        net.len() - 2,
+        route.len() - 1
+    );
+    for n in &route {
+        print!(" {}", net.label(*n));
+    }
+    println!();
+}

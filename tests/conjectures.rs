@@ -1,0 +1,103 @@
+//! Experiment E-X1: computational evidence for the paper's Conjecture 8.1
+//! (`Q_d(f) ↪ Q_d ⇒ Q_d(ff) ↪ Q_d`) and sweeps of the Section 3–4 series
+//! theorems beyond the explicit Table 1 range (experiment E-P6).
+
+use fibcube::core::classify::conjecture_8_1_evidence;
+use fibcube::prelude::*;
+use fibcube::words::families;
+
+#[test]
+fn conjecture_8_1_holds_on_small_factors() {
+    // For every always-embeddable f with |f| ≤ 3, the doubled factor ff is
+    // also embeddable throughout the tested range.
+    let evidence = conjecture_8_1_evidence(3, 9);
+    assert!(!evidence.is_empty());
+    for (f, ff, holds) in &evidence {
+        assert!(
+            holds,
+            "counterexample to Conjecture 8.1?! f={f}, ff={ff}"
+        );
+    }
+    // The premise-satisfying factors at |f| ≤ 3 are exactly
+    // 1, 11, 10, 111, 110 (101 fails the premise at d = 4).
+    let premise: Vec<String> = evidence.iter().map(|(f, _, _)| f.to_string()).collect();
+    assert_eq!(premise, vec!["1", "11", "10", "111", "110"]);
+}
+
+#[test]
+fn theorem_3_3_sweep_beyond_table1() {
+    // (ii): f = 1^2 0^s embeds iff d ≤ s + 4 — check s = 2..4 computationally.
+    for s in 2..=4usize {
+        let f = families::ones_zeros(2, s);
+        for d in 1..=s + 6 {
+            assert_eq!(qdf_isometric(d, f), d <= s + 4, "f={f} d={d}");
+        }
+    }
+    // (iii): f = 1^3 0^3 embeds iff d ≤ 9.
+    let f = families::ones_zeros(3, 3);
+    for d in 1..=11usize {
+        assert_eq!(qdf_isometric(d, f), d <= 9, "d={d}");
+    }
+}
+
+#[test]
+fn proposition_3_2_sweep() {
+    // f = 1^r 0^s 1^t never embeds past d = r+s+t.
+    for (r, s, t) in [(1, 1, 1), (2, 1, 1), (1, 2, 1), (1, 1, 2), (2, 2, 1), (1, 3, 1)] {
+        let f = families::ones_zeros_ones(r, s, t);
+        let len = r + s + t;
+        for d in 1..=len + 3 {
+            assert_eq!(qdf_isometric(d, f), d <= len, "f={f} d={d}");
+        }
+    }
+}
+
+#[test]
+fn theorems_4_3_4_4_sweep() {
+    // 1^s 0 1^s 0 and (10)^s embed for every tested d.
+    for f in [
+        families::ones_zero_twice(2), // 110110
+        families::ones_zero_twice(3), // 11101110 (d ≤ 10 keeps this fast)
+        families::ten_power(2),
+        families::ten_power(3),
+    ] {
+        for d in 1..=10usize {
+            assert!(qdf_isometric(d, f), "f={f} d={d}");
+        }
+    }
+}
+
+#[test]
+fn propositions_4_1_4_2_sweep() {
+    // (10)^2 1 = 10101: embeds iff d ≤ 7 (checks + Prop 4.1).
+    let f = families::ten_power_one(2);
+    for d in 1..=9usize {
+        assert_eq!(qdf_isometric(d, f), d <= 7, "d={d}");
+    }
+    // (10) 1 (10) = 10110: embeds iff d ≤ 6.
+    let f = families::ten_r_one_ten_s(1, 1);
+    for d in 1..=8usize {
+        assert_eq!(qdf_isometric(d, f), d <= 6, "d={d}");
+    }
+}
+
+#[test]
+fn proposition_5_1_sweep() {
+    // 11010 embeds at least through d = 11 (the proposition says: all d).
+    let f = word("11010");
+    for d in 1..=11usize {
+        assert!(qdf_isometric(d, f), "d={d}");
+    }
+}
+
+#[test]
+fn conjecture_8_1_spot_checks_on_doubles() {
+    // Direct doubles beyond the generic evidence: 1010 → 10101010 and
+    // 11 → 1111 stay embeddable; also 110110 (= (110)²) from Theorem 4.3.
+    for (fs, dmax) in [("1111", 10), ("10101010", 10), ("110110", 10)] {
+        let f = word(fs);
+        for d in 1..=dmax {
+            assert!(qdf_isometric(d, f), "f={fs} d={d}");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Experiments E-P3, E-P4, E-X2: Section 7 dimensions and the Section 8
+//! Winkler example, across crates.
+
+use fibcube::graph::generators;
+use fibcube::isometry::{
+    dim_f_exact, dim_f_upper, is_partial_cube, isometric_dimension, section8_example,
+    verify_ladder,
+};
+use fibcube::prelude::*;
+
+#[test]
+fn prop_7_1_sandwich_on_sample_graphs() {
+    let f = word("11");
+    let samples = vec![
+        generators::path(2),
+        generators::path(5),
+        generators::cycle(4),
+        generators::cycle(6),
+        generators::star(4),
+        generators::hypercube(3),
+        generators::grid(2, 3),
+    ];
+    for g in &samples {
+        let idim = isometric_dimension(g).expect("sample is a partial cube");
+        let upper = dim_f_upper(g, &f).unwrap().dimension;
+        let exact = dim_f_exact(g, &f, upper).expect("must embed within the upper bound");
+        assert!(idim <= exact && exact <= upper);
+        assert!(upper <= (3 * idim).saturating_sub(2).max(idim));
+    }
+}
+
+#[test]
+fn fdim_for_other_admissible_factors() {
+    // f = 110 and f = 1010 are admissible (always embeddable) too.
+    let p4 = generators::path(4);
+    for fs in ["110", "1010"] {
+        let f = word(fs);
+        let upper = dim_f_upper(&p4, &f).unwrap();
+        let exact = dim_f_exact(&p4, &f, upper.dimension).unwrap();
+        assert!(exact <= upper.dimension, "f={fs}");
+        // P4 is a "staircase" — it already sits inside Q_3(f) for both.
+        assert_eq!(exact, 3, "f={fs}");
+    }
+}
+
+#[test]
+fn dim_f_of_qdf_itself() {
+    // Q_d(f) embeds into itself: dim_f(Q_d(f)) ≤ d; and ≥ idim = d.
+    let g = Qdf::fibonacci(4);
+    assert_eq!(isometric_dimension(g.graph()), Some(4));
+    assert_eq!(dim_f_exact(g.graph(), &word("11"), 6), Some(4));
+}
+
+#[test]
+fn section_8_example_full() {
+    for d in 4..=6 {
+        let ex = section8_example(d);
+        assert!(!ex.e_theta_f);
+        assert!(ex.e_theta_star_f);
+        assert!(!ex.is_partial_cube);
+        assert!(verify_ladder(&ex));
+        assert_eq!(ex.ladder.len(), d + (d - 3)); // phase 1: d rungs; phase 2: d−3.
+    }
+}
+
+#[test]
+fn non_embeddable_examples_are_not_partial_cubes() {
+    // Problem 8.3 evidence: the small non-embeddable Q_d(f) are not
+    // isometric in ANY hypercube (not just Q_d).
+    for (d, fs) in [(4, "101"), (5, "101"), (5, "1101"), (5, "1001"), (7, "1100")] {
+        let g = Qdf::new(d, word(fs));
+        assert!(!is_isometric(&g), "premise: Q_{d}({fs}) not isometric in Q_{d}");
+        assert!(!is_partial_cube(g.graph()), "Q_{d}({fs}) in no hypercube");
+    }
+}
+
+#[test]
+fn embeddable_graphs_remain_partial_cubes() {
+    // Contrast: embeddable ones are partial cubes with idim = d.
+    for (d, fs) in [(6, "1100"), (6, "10110"), (7, "10101"), (8, "11010")] {
+        let g = Qdf::new(d, word(fs));
+        assert!(is_isometric(&g));
+        assert_eq!(isometric_dimension(g.graph()), Some(d));
+    }
+}
+
+#[test]
+fn theta_transitivity_detects_partial_cubes() {
+    use fibcube::isometry::Theta;
+    // Winkler: connected bipartite ∧ Θ transitive ⟺ partial cube.
+    let yes = generators::cycle(6);
+    assert!(Theta::new(&yes).theta_is_transitive());
+    let no = Qdf::new(4, word("101"));
+    assert!(!Theta::new(no.graph()).theta_is_transitive());
+}

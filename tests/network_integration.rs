@@ -1,0 +1,143 @@
+//! Experiments E-N1…E-N6: the interconnection-network layer end to end.
+
+use fibcube::network::broadcast::{broadcast_all_port, broadcast_one_port, verify_schedule};
+use fibcube::network::fault::fault_sweep;
+use fibcube::network::hamilton::{hamiltonian_path, verify_hamiltonian, HamiltonResult};
+use fibcube::network::metrics::metrics;
+use fibcube::network::traffic;
+use fibcube::network::Mesh;
+use fibcube::prelude::*;
+
+#[test]
+fn orders_follow_kbonacci_and_zeckendorf_addressing_roundtrips() {
+    for k in 2..=4usize {
+        for d in 1..=11usize {
+            let net = FibonacciNet::new(d, k);
+            assert_eq!(
+                net.len() as u128,
+                fibcube::words::zeckendorf::count_k_free(k, d),
+                "order k={k} d={d}"
+            );
+            // Node i ↔ k-Zeckendorf code i.
+            for i in 0..net.len() as u32 {
+                let w = net.label(i);
+                assert_eq!(
+                    fibcube::words::zeckendorf::kzeckendorf_decode(k, &w),
+                    Some(i as u128),
+                    "address of node {i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn distributed_routing_is_bfs_shortest_on_all_topologies() {
+    let topos: Vec<Box<dyn Topology>> = vec![
+        Box::new(FibonacciNet::classical(8)),
+        Box::new(FibonacciNet::new(7, 3)),
+        Box::new(Hypercube::new(5)),
+        Box::new(fibcube::network::Ring::new(11)),
+        Box::new(Mesh::new(5, 4)),
+    ];
+    for t in &topos {
+        let dist = fibcube::graph::distance_matrix(t.graph());
+        for s in 0..t.len() as u32 {
+            for d in 0..t.len() as u32 {
+                let route = t.route(s, d);
+                assert_eq!(
+                    route.len() as u32 - 1,
+                    dist[s as usize][d as usize],
+                    "{} {s}→{d}",
+                    t.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn simulator_delivers_everything_on_every_topology() {
+    let topos: Vec<Box<dyn Topology>> = vec![
+        Box::new(FibonacciNet::classical(9)),
+        Box::new(Hypercube::new(6)),
+        Box::new(Mesh::new(8, 8)),
+    ];
+    for t in &topos {
+        for (name, pkts) in [
+            ("uniform", traffic::uniform(t.len(), 1500, 300, 99)),
+            ("hotspot", traffic::hot_spot(t.len(), 800, 300, 0.25, 5)),
+            ("complement", traffic::complement_permutation(t.len(), 10)),
+        ] {
+            let stats = simulate(t.as_ref(), &pkts, 500_000);
+            assert_eq!(stats.delivered, stats.offered, "{} {name}", t.name());
+            assert!(stats.mean_latency >= 1.0, "{} {name}", t.name());
+        }
+    }
+}
+
+#[test]
+fn latency_ordering_matches_topology_quality() {
+    // Uniform traffic: hypercube ≤ fibonacci < mesh < ring (comparable n).
+    let gamma = FibonacciNet::classical(8); // 55
+    let q = Hypercube::new(6); // 64
+    let mesh = Mesh::new(7, 8); // 56
+    let ring = fibcube::network::Ring::new(55);
+    let lat = |t: &dyn Topology| {
+        let pkts = traffic::uniform(t.len(), 1200, 600, 4242);
+        simulate(t, &pkts, 500_000).mean_latency
+    };
+    let (lg, lq, lm, lr) = (lat(&gamma), lat(&q), lat(&mesh), lat(&ring));
+    assert!(lq <= lg + 0.5, "hypercube {lq} ≲ fibonacci {lg}");
+    assert!(lg < lm, "fibonacci {lg} < mesh {lm}");
+    assert!(lm < lr, "mesh {lm} < ring {lr}");
+}
+
+#[test]
+fn broadcast_bounds_hold() {
+    let net = FibonacciNet::classical(8);
+    let zero = net.node_of(&fibcube::words::Word::zeros(8)).unwrap();
+    let ap = broadcast_all_port(&net, zero);
+    assert!(verify_schedule(&net, &ap, false));
+    assert_eq!(ap.rounds, 4, "ecc(0^8) = ⌈8/2⌉");
+    let op = broadcast_one_port(&net, zero);
+    assert!(verify_schedule(&net, &op, true));
+    let floor = (net.len() as f64).log2().ceil() as u32;
+    assert!(op.rounds >= floor && op.rounds <= 8 + 2);
+}
+
+#[test]
+fn fibonacci_cubes_have_hamiltonian_paths_through_d8() {
+    for d in 1..=8usize {
+        let net = FibonacciNet::classical(d);
+        match hamiltonian_path(net.graph()) {
+            HamiltonResult::Found(p) => {
+                assert!(verify_hamiltonian(net.graph(), &p, false), "d={d}")
+            }
+            other => panic!("Γ_{d} must have a Hamiltonian path, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn metrics_shape_vs_hypercube() {
+    // E-N1's qualitative claims on the metric table.
+    let gamma = metrics(&FibonacciNet::classical(8));
+    let q = metrics(&Hypercube::new(6));
+    assert!(gamma.nodes < q.nodes);
+    assert!((gamma.links as f64 / gamma.nodes as f64) < (q.links as f64 / q.nodes as f64));
+    assert!(gamma.average_distance < 1.25 * q.average_distance);
+    assert_eq!(gamma.diameter, 8);
+}
+
+#[test]
+fn fault_tolerance_shape() {
+    // Cubes degrade gracefully; rings shatter.
+    let gamma = FibonacciNet::classical(8);
+    let ring = fibcube::network::Ring::new(55);
+    let g_rows = fault_sweep(&gamma, &[2, 5], 6);
+    let r_rows = fault_sweep(&ring, &[2, 5], 6);
+    assert!(g_rows[0].1 > r_rows[0].1, "Γ beats ring at k=2");
+    assert!(g_rows[1].1 > r_rows[1].1, "Γ beats ring at k=5");
+    assert!(g_rows[1].1 > 0.9, "Γ_8 keeps >90% pairs after 5 faults");
+}

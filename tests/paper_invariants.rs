@@ -1,0 +1,128 @@
+//! Experiments E-F1, E-F2, E-R1…E-R5, E-P1, E-P2: the figures and the
+//! Section 6 numerology, end to end across crates.
+
+use fibcube::enumeration::{
+    prop_6_2_edges, prop_6_2_edges_corollary_form, prop_6_3_squares, q110_series, q111_series,
+};
+use fibcube::prelude::*;
+use fibcube::words::families;
+
+#[test]
+fn figure_1_q4_101() {
+    // Fig. 1: Q_4(101) has 12 vertices (16 − 4 strings containing 101).
+    let g = Qdf::new(4, word("101"));
+    assert_eq!(g.order(), 12);
+    // Q4 has 32 edges; the 4 removed vertices carry 14 distinct edges
+    // (4 × deg 4 = 16 incidences, two of them internal: 0101–1101, 1010–1011).
+    assert_eq!(g.size(), 18);
+    assert!(g.is_connected());
+    // Its DOT export names all 12 vertices by their strings.
+    let dot = g.to_dot("q4_101");
+    assert_eq!(dot.matches("label").count(), 12);
+    for s in ["0000", "1111", "1100"] {
+        assert!(dot.contains(&format!("label=\"{s}\"")));
+    }
+    for s in ["0101", "1010", "1011", "1101"] {
+        assert!(!dot.contains(&format!("label=\"{s}\"")), "{s} was removed");
+    }
+}
+
+#[test]
+fn figure_2_gamma5_vs_q4_110() {
+    // Fig. 2 confronts Γ_5 = Q_5(11) with Q_4(110).
+    let gamma5 = Qdf::new(5, word("11"));
+    let h4 = Qdf::new(4, word("110"));
+    assert_eq!(gamma5.order(), 13); // F_7
+    assert_eq!(h4.order(), 12); // F_7 − 1
+    assert_eq!(h4.size(), gamma5.size() - 1);
+    assert_eq!(h4.squares(), gamma5.squares());
+    // Prop 6.1 contrast: diameters and max degrees are d and d+1.
+    assert_eq!(gamma5.diameter(), Some(5));
+    assert_eq!(gamma5.max_degree(), 5);
+    assert_eq!(h4.diameter(), Some(4));
+    assert_eq!(h4.max_degree(), 4);
+}
+
+#[test]
+fn recurrences_match_graphs_to_d_11() {
+    let g111 = q111_series(12);
+    let g110 = q110_series(12);
+    for d in 0..=11usize {
+        let g = Qdf::new(d, word("111"));
+        assert_eq!(g111[d].vertices, g.order() as u128, "V(G_{d})");
+        assert_eq!(g111[d].edges, g.size() as u128, "E(G_{d})");
+        assert_eq!(g111[d].squares, g.squares() as u128, "S(G_{d})");
+        let h = Qdf::new(d, word("110"));
+        assert_eq!(g110[d].vertices, h.order() as u128, "V(H_{d})");
+        assert_eq!(g110[d].edges, h.size() as u128, "E(H_{d})");
+        assert_eq!(g110[d].squares, h.squares() as u128, "S(H_{d})");
+    }
+}
+
+#[test]
+fn closed_forms_match_brute_force() {
+    for d in 0..=11usize {
+        let h = Qdf::new(d, word("110"));
+        assert_eq!(prop_6_2_edges(d), h.size() as u128);
+        assert_eq!(prop_6_2_edges_corollary_form(d), h.size() as u128);
+        assert_eq!(prop_6_3_squares(d), h.squares() as u128);
+    }
+}
+
+#[test]
+fn prop_6_1_for_every_embeddable_table1_factor() {
+    // max degree = diameter = d whenever Q_d(f) ↪ Q_d, f ∉ {1, 10, 01}.
+    for f in families::canonical_factors_up_to(4) {
+        let fs = f.to_string();
+        if fs == "1" || fs == "10" {
+            continue; // the proposition's excluded trivial cases
+        }
+        for d in 2..=8usize {
+            if !qdf_isometric(d, f) {
+                continue;
+            }
+            let g = Qdf::new(d, f);
+            assert_eq!(g.max_degree(), d, "f={f} d={d}");
+            assert_eq!(g.diameter(), Some(d as u32), "f={f} d={d}");
+        }
+    }
+}
+
+#[test]
+fn prop_6_4_median_closed_iff_length_two() {
+    use fibcube::core::properties::{
+        is_median_closed, median_violation, verify_median_violation,
+    };
+    // |f| = 2: paths and Fibonacci cubes are median closed.
+    for fs in ["11", "00", "10", "01"] {
+        for d in 2..=7usize {
+            assert!(is_median_closed(&Qdf::new(d, word(fs))), "f={fs} d={d}");
+        }
+    }
+    // |f| ≥ 3: never median closed once d ≥ |f|; the proof's triple shows it.
+    for f in families::canonical_factors_of_length(3)
+        .into_iter()
+        .chain(families::canonical_factors_of_length(4))
+    {
+        for d in f.len()..=f.len() + 2 {
+            let g = Qdf::new(d, f);
+            assert!(!is_median_closed(&g), "f={f} d={d}");
+            let v = median_violation(&f, d);
+            assert!(verify_median_violation(&g, &v), "f={f} d={d}");
+        }
+    }
+}
+
+#[test]
+fn counting_engine_agrees_with_graphs_for_random_factors() {
+    // Automaton-product counting vs materialised graphs, all |f| = 4, d ≤ 8.
+    for bits in 0..16u64 {
+        let f = fibcube::words::Word::from_raw(bits, 4);
+        for d in 0..=8usize {
+            let g = Qdf::new(d, f);
+            assert_eq!(count_vertices(&f, d), g.order() as u128, "V f={f} d={d}");
+            assert_eq!(count_edges(&f, d), g.size() as u128, "E f={f} d={d}");
+            assert_eq!(count_squares(&f, d), g.squares() as u128, "S f={f} d={d}");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Experiment E-T1/E-T1b end-to-end: the full Table 1 classification,
+//! every canonical factor of length ≤ 5, brute force vs the paper.
+
+use fibcube::core::classify::{classify_factor, row_matches};
+use fibcube::core::theorems::{predict_paper, table1_expected};
+use fibcube::prelude::*;
+use fibcube::words::families;
+
+/// d range large enough to witness every threshold in the table
+/// (the latest transitions are at d = 7 → 8 for 11100 and 10101).
+const D_MAX: usize = 9;
+
+#[test]
+fn table1_reproduced_in_full() {
+    let expected = table1_expected();
+    assert_eq!(expected.len(), families::canonical_factors_up_to(5).len());
+    for (fs, class, _src) in &expected {
+        let f = word(fs);
+        let row = classify_factor(&f, D_MAX);
+        assert!(
+            row_matches(&row, *class),
+            "factor {fs}: observed {:?}, paper says {:?}",
+            row.observed,
+            class
+        );
+    }
+}
+
+#[test]
+fn oracle_never_contradicts_computation() {
+    for f in families::canonical_factors_up_to(5) {
+        for d in 1..=D_MAX {
+            if let Some(p) = predict_paper(&f, d) {
+                assert_eq!(
+                    p.embeddable,
+                    qdf_isometric(d, f),
+                    "f={f} d={d} source={}",
+                    p.source
+                );
+            } else {
+                panic!("paper oracle must decide all |f| ≤ 5 (f={f}, d={d})");
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_computer_checks_reproduced() {
+    // The four checks the paper reports running by computer.
+    assert!(qdf_isometric(6, word("1100")));
+    assert!(qdf_isometric(6, word("10110")));
+    assert!(qdf_isometric(6, word("10101")));
+    assert!(qdf_isometric(7, word("10101")));
+    // And the boundary cases right after each threshold.
+    assert!(!qdf_isometric(7, word("1100")));
+    assert!(!qdf_isometric(7, word("10110")));
+    assert!(!qdf_isometric(8, word("10101")));
+}
+
+#[test]
+fn symmetry_classes_share_classification() {
+    // Lemmas 2.2–2.3 in action: every member of a symmetry class embeds or
+    // not in lockstep. Spot-check the non-trivial classes.
+    for fs in ["1100", "101", "11010", "10110"] {
+        let f = word(fs);
+        for g in families::symmetry_class(&f) {
+            for d in 1..=7usize {
+                assert_eq!(
+                    qdf_isometric(d, f),
+                    qdf_isometric(d, g),
+                    "f={f} g={g} d={d}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn isometric_subgraphs_have_hypercube_metric() {
+    // When Q_d(f) ↪ Q_d, its metric is the Hamming metric — double-check
+    // through the independent partial-cube recognizer.
+    for (d, fs) in [(6, "11"), (6, "1100"), (7, "1010"), (7, "11010")] {
+        let g = Qdf::new(d, word(fs));
+        assert!(is_isometric(&g));
+        assert!(
+            fibcube::isometry::is_partial_cube(g.graph()),
+            "isometric in Q_d ⇒ partial cube (f={fs})"
+        );
+        assert_eq!(fibcube::isometry::isometric_dimension(g.graph()), Some(d));
+    }
+}
