@@ -12,14 +12,10 @@ fn bench_construction(c: &mut Criterion) {
     group.sample_size(20);
     for d in [8usize, 12, 16] {
         for fs in ["11", "110", "11010"] {
-            group.bench_with_input(
-                BenchmarkId::new(fs, d),
-                &(d, fs),
-                |b, &(d, fs)| {
-                    let f = word(fs);
-                    b.iter(|| std::hint::black_box(Qdf::new(d, f).order()))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(fs, d), &(d, fs), |b, &(d, fs)| {
+                let f = word(fs);
+                b.iter(|| std::hint::black_box(Qdf::new(d, f).order()))
+            });
         }
     }
     // The full hypercube (worst case: nothing filtered).

@@ -4,9 +4,7 @@
 //! non-embeddable (early exit) inputs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fibcube_core::isometry_check::{
-    is_isometric, is_isometric_local, is_isometric_reference,
-};
+use fibcube_core::isometry_check::{is_isometric, is_isometric_local, is_isometric_reference};
 use fibcube_core::Qdf;
 use fibcube_words::word;
 

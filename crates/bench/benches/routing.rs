@@ -1,7 +1,9 @@
-//! Bench: distributed route computation (experiment E-N2) — canonical-path
-//! routing on the Fibonacci cube vs e-cube on the hypercube vs ring.
+//! Bench: distributed route computation (experiment E-N2) — the split-out
+//! routers (precomputed canonical-path, e-cube, adaptive minimal) against
+//! the seed's scan-per-hop `Topology::next_hop` rules.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fibcube_network::router::{AdaptiveMinimal, CanonicalRouter, NoLoad, Router};
 use fibcube_network::{FibonacciNet, Hypercube, Ring, Topology};
 
 fn all_pairs_routes(t: &dyn Topology) -> usize {
@@ -9,7 +11,22 @@ fn all_pairs_routes(t: &dyn Topology) -> usize {
     let mut hops = 0usize;
     for s in 0..n {
         for d in 0..n {
-            hops += t.route(s, d).len() - 1;
+            hops += t.route(s, d).expect("routing converges").len() - 1;
+        }
+    }
+    hops
+}
+
+fn all_pairs_router_hops(t: &dyn Topology, r: &dyn Router) -> usize {
+    let n = t.len() as u32;
+    let mut hops = 0usize;
+    for s in 0..n {
+        for d in 0..n {
+            let mut cur = s;
+            while let Some(next) = r.next_hop(cur, d, &NoLoad) {
+                cur = next;
+                hops += 1;
+            }
         }
     }
     hops
@@ -33,5 +50,29 @@ fn bench_routing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_routing);
+fn bench_routers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_policies");
+    group.sample_size(10);
+    let gamma = FibonacciNet::classical(12); // 377 nodes
+    let canonical = CanonicalRouter::for_net(&gamma);
+    let expected = all_pairs_router_hops(&gamma, &canonical);
+    group.bench_function(BenchmarkId::new("canonical_table", gamma.name()), |b| {
+        b.iter(|| {
+            assert_eq!(all_pairs_router_hops(&gamma, &canonical), expected);
+        })
+    });
+    group.bench_function(BenchmarkId::new("canonical_scan", gamma.name()), |b| {
+        // The seed's per-hop label scan + binary search, via next_hop.
+        b.iter(|| std::hint::black_box(all_pairs_routes(&gamma)))
+    });
+    group.bench_function(BenchmarkId::new("adaptive", gamma.name()), |b| {
+        let adaptive = AdaptiveMinimal::new(&gamma);
+        b.iter(|| {
+            assert_eq!(all_pairs_router_hops(&gamma, &adaptive), expected);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing, bench_routers);
 criterion_main!(benches);

@@ -1,8 +1,11 @@
-//! Bench: the store-and-forward simulator (experiment E-N4) — simulated
-//! cycles per second across topologies under uniform load.
+//! Bench: the store-and-forward simulator (experiment E-N4) — the
+//! active-set engine vs the seed's full-scan reference engine across
+//! topologies under uniform load, plus one large-scale sweep-shaped run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fibcube_network::{simulate, traffic, FibonacciNet, Hypercube, Mesh, Topology};
+use fibcube_network::{
+    simulate, simulate_reference, simulate_with, traffic, FibonacciNet, Hypercube, Mesh, Topology,
+};
 
 fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
@@ -14,9 +17,16 @@ fn bench_simulator(c: &mut Criterion) {
     ];
     for t in &topos {
         let pkts = traffic::uniform(t.len(), 5_000, 1_000, 11);
-        group.bench_function(BenchmarkId::new("uniform5k", t.name()), |b| {
+        group.bench_function(BenchmarkId::new("active_set", t.name()), |b| {
             b.iter(|| {
                 let s = simulate(t.as_ref(), &pkts, 1_000_000);
+                assert_eq!(s.delivered, s.offered);
+                std::hint::black_box(s.mean_latency)
+            })
+        });
+        group.bench_function(BenchmarkId::new("reference", t.name()), |b| {
+            b.iter(|| {
+                let s = simulate_reference(t.as_ref(), &pkts, 1_000_000);
                 assert_eq!(s.delivered, s.offered);
                 std::hint::black_box(s.mean_latency)
             })
@@ -25,5 +35,24 @@ fn bench_simulator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulator);
+fn bench_simulator_large(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_large");
+    group.sample_size(10);
+    // The acceptance-scale pair: Γ_16 (2584 nodes) vs Q_11 (2048 nodes).
+    let gamma = FibonacciNet::classical(16);
+    let q = Hypercube::new(11);
+    for t in [&gamma as &dyn Topology, &q] {
+        let pkts = traffic::bernoulli(t.len(), 0.05, 400, 3);
+        group.bench_function(BenchmarkId::new("bernoulli_0.05", t.name()), |b| {
+            b.iter(|| {
+                let s = simulate_with(t, &*t.router(), &pkts, 100_000);
+                assert_eq!(s.delivered, s.offered);
+                std::hint::black_box(s.mean_latency)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_simulator_large);
 criterion_main!(benches);

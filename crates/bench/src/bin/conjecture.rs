@@ -7,13 +7,19 @@ use fibcube_bench::header;
 use fibcube_core::classify::conjecture_8_1_evidence;
 
 fn main() {
-    let max_len: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
-    let d_max: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let max_len: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let d_max: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
 
     header(&format!(
         "Conjecture 8.1 — premise factors with |f| ≤ {max_len}, tested through d ≤ {d_max}"
     ));
-    println!("{:<10} {:<20} {}", "f", "ff", "Q_d(ff) ↪ Q_d for all tested d?");
+    println!("{:<10} {:<20} Q_d(ff) ↪ Q_d for all tested d?", "f", "ff");
     let evidence = conjecture_8_1_evidence(max_len, d_max);
     let mut counterexamples = 0;
     for (f, ff, holds) in &evidence {
@@ -24,7 +30,11 @@ fn main() {
             "{:<10} {:<20} {}",
             f.to_string(),
             ff.to_string(),
-            if *holds { "✓ holds" } else { "✗ COUNTEREXAMPLE" }
+            if *holds {
+                "✓ holds"
+            } else {
+                "✗ COUNTEREXAMPLE"
+            }
         );
     }
     println!(

@@ -8,8 +8,7 @@ use fibcube_bench::header;
 use fibcube_core::Qdf;
 use fibcube_graph::generators;
 use fibcube_isometry::{
-    dim_f_exact, dim_f_upper, is_partial_cube, isometric_dimension, section8_example,
-    verify_ladder,
+    dim_f_exact, dim_f_upper, is_partial_cube, isometric_dimension, section8_example, verify_ladder,
 };
 use fibcube_words::word;
 
@@ -38,7 +37,10 @@ fn main() {
         let ub = dim_f_upper(g, &f).unwrap().dimension;
         let exact = dim_f_exact(g, &f, ub).expect("embeds within Prop 7.1 bound");
         let ok = idim <= exact && exact <= ub && ub <= (3 * idim).saturating_sub(2).max(idim);
-        println!("{name:<10} {idim:>5} {exact:>8} {ub:>14} {:>10}", if ok { "✓" } else { "✗" });
+        println!(
+            "{name:<10} {idim:>5} {exact:>8} {ub:>14} {:>10}",
+            if ok { "✓" } else { "✗" }
+        );
         assert!(ok);
     }
 
@@ -62,16 +64,23 @@ fn main() {
     }
 
     header("Problem 8.3 probes — non-embeddable Q_d(f): in any Q_d'?");
-    for (d, fs) in
-        [(4usize, "101"), (5, "101"), (6, "101"), (5, "1101"), (5, "1001"), (7, "1100"), (7, "10110")]
-    {
+    for (d, fs) in [
+        (4usize, "101"),
+        (5, "101"),
+        (6, "101"),
+        (5, "1101"),
+        (5, "1001"),
+        (7, "1100"),
+        (7, "10110"),
+    ] {
         let g = Qdf::new(d, word(fs));
         let own = fibcube_core::is_isometric(&g);
         let any = is_partial_cube(g.graph());
-        println!(
-            "Q_{d}({fs}): isometric in Q_{d}: {own:<5} — partial cube (some Q_d'): {any}"
+        println!("Q_{d}({fs}): isometric in Q_{d}: {own:<5} — partial cube (some Q_d'): {any}");
+        assert!(
+            !own && !any,
+            "evidence for a negative answer to Problem 8.3"
         );
-        assert!(!own && !any, "evidence for a negative answer to Problem 8.3");
     }
     println!("\nAll probed non-embeddable cases embed in no hypercube whatsoever,");
     println!("supporting the paper's expectation on Problem 8.3.");

@@ -26,9 +26,11 @@ fn main() {
     println!("vertices: {}", join(q4_101.labels()));
     println!(
         "removed from Q_4: {}",
-        join(&fibcube_words::Word::all(4)
-            .filter(|w| !q4_101.contains(w))
-            .collect::<Vec<_>>())
+        join(
+            &fibcube_words::Word::all(4)
+                .filter(|w| !q4_101.contains(w))
+                .collect::<Vec<_>>()
+        )
     );
 
     header("Figure 2 — Γ_5 = Q_5(11) vs the 110-Fibonacci cube Q_4(110)");
@@ -66,8 +68,11 @@ fn main() {
     // DOT output.
     let dir = std::path::Path::new("target/figures");
     std::fs::create_dir_all(dir).expect("create target/figures");
-    for (g, file) in [(&q4_101, "fig1_q4_101.dot"), (&gamma5, "fig2_gamma5.dot"), (&h4, "fig2_q4_110.dot")]
-    {
+    for (g, file) in [
+        (&q4_101, "fig1_q4_101.dot"),
+        (&gamma5, "fig2_gamma5.dot"),
+        (&h4, "fig2_q4_110.dot"),
+    ] {
         let path = dir.join(file);
         std::fs::write(&path, g.to_dot(file.trim_end_matches(".dot"))).expect("write DOT");
         println!("wrote {}", path.display());
@@ -75,7 +80,10 @@ fn main() {
 }
 
 fn join(ws: &[fibcube_words::Word]) -> String {
-    ws.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(" ")
+    ws.iter()
+        .map(|w| w.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 fn check(b: bool) -> &'static str {

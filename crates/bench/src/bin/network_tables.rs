@@ -58,7 +58,7 @@ fn main() {
         for s in 0..t.len() as u32 {
             for d in 0..t.len() as u32 {
                 assert_eq!(
-                    t.route(s, d).len() as u32 - 1,
+                    t.route(s, d).expect("routing converges").len() as u32 - 1,
                     dist[s as usize][d as usize]
                 );
                 checked += 1;
@@ -76,7 +76,13 @@ fn main() {
         let ap = broadcast_all_port(*t, 0);
         let op = broadcast_one_port(*t, 0);
         let floor = (t.len() as f64).log2().ceil() as u32;
-        println!("{:<10} {:>14} {:>14} {:>10}", t.name(), ap.rounds, op.rounds, floor);
+        println!(
+            "{:<10} {:>14} {:>14} {:>10}",
+            t.name(),
+            ap.rounds,
+            op.rounds,
+            floor
+        );
     }
 
     header("E-N4 — simulated traffic (uniform / hot-spot, 2000 packets)");
@@ -115,7 +121,10 @@ fn main() {
     }
 
     header("E-N6 — fault tolerance (reachable-pair fraction, 8 trials)");
-    println!("{:<10} {:>8} {:>8} {:>8} {:>8}", "network", "k=1", "k=2", "k=5", "k=8");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "network", "k=1", "k=2", "k=5", "k=8"
+    );
     for t in &topos {
         let rows = fault_sweep(*t, &[1, 2, 5, 8], 8);
         println!(

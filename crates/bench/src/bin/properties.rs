@@ -13,10 +13,16 @@ use fibcube_core::{qdf_isometric, Qdf};
 use fibcube_words::families;
 
 fn main() {
-    let d_max: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(9);
+    let d_max: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9);
 
     header("Proposition 6.1 — max degree = diameter = d for embeddable f");
-    println!("{:<8} {:>3} {:>10} {:>9}  verdict", "f", "d", "max deg", "diameter");
+    println!(
+        "{:<8} {:>3} {:>10} {:>9}  verdict",
+        "f", "d", "max deg", "diameter"
+    );
     for f in families::canonical_factors_up_to(5) {
         let fs = f.to_string();
         if fs == "1" || fs == "10" {

@@ -8,20 +8,26 @@
 
 use fibcube_bench::header;
 use fibcube_core::Qdf;
+use fibcube_enum::{count_edges, count_squares, count_vertices};
 use fibcube_enum::{
     prop_6_2_edges, prop_6_2_edges_corollary_form, prop_6_3_squares, q110_series,
     q110_vertices_closed, q111_series,
 };
-use fibcube_enum::{count_edges, count_squares, count_vertices};
 use fibcube_words::word;
 
 const GRAPH_LIMIT: usize = 13;
 
 fn main() {
-    let d_max: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24);
+    let d_max: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
 
     header("Equations (1)–(3): G_d = Q_d(111)");
-    println!("{:>3} {:>16} {:>16} {:>16}  checks", "d", "|V|", "|E|", "|S|");
+    println!(
+        "{:>3} {:>16} {:>16} {:>16}  checks",
+        "d", "|V|", "|E|", "|S|"
+    );
     let f111 = word("111");
     for (d, inv) in q111_series(d_max + 1).iter().enumerate() {
         let dp = (
@@ -53,7 +59,11 @@ fn main() {
     for (d, inv) in q110_series(d_max + 1).iter().enumerate() {
         assert_eq!(inv.vertices, q110_vertices_closed(d), "V closed form");
         assert_eq!(inv.edges, prop_6_2_edges(d), "Prop 6.2 sum form");
-        assert_eq!(inv.edges, prop_6_2_edges_corollary_form(d), "Prop 6.2 corollary");
+        assert_eq!(
+            inv.edges,
+            prop_6_2_edges_corollary_form(d),
+            "Prop 6.2 corollary"
+        );
         assert_eq!(inv.squares, prop_6_3_squares(d), "Prop 6.3");
         assert_eq!(inv.vertices, count_vertices(&f110, d));
         assert_eq!(inv.edges, count_edges(&f110, d));

@@ -16,18 +16,31 @@ fn main() {
     header("Proposition 3.1 — Q_d(1^s) ↪ Q_d for all d");
     for s in 1..=4usize {
         let f = families::ones_run(s);
-        let all: Vec<String> =
-            (1..=10).map(|d| embeds(qdf_isometric(d, f)).to_string()).collect();
+        let all: Vec<String> = (1..=10)
+            .map(|d| embeds(qdf_isometric(d, f)).to_string())
+            .collect();
         println!("f = 1^{s}:  d=1..10: {}", all.join(" "));
         assert!((1..=10).all(|d| qdf_isometric(d, f)));
     }
 
     header("Theorem 3.3 — two blocks 1^r 0^s");
-    println!("{:<10} {:<24} {}", "f", "threshold (theory)", "computed verdicts d=1..12");
-    for (r, s) in [(1usize, 1usize), (2, 1), (2, 2), (2, 3), (2, 4), (3, 3), (3, 2)] {
+    println!(
+        "{:<10} {:<24} computed verdicts d=1..12",
+        "f", "threshold (theory)"
+    );
+    for (r, s) in [
+        (1usize, 1usize),
+        (2, 1),
+        (2, 2),
+        (2, 3),
+        (2, 4),
+        (3, 3),
+        (3, 2),
+    ] {
         let f = families::ones_zeros(r, s);
-        let verdicts: Vec<String> =
-            (1..=12).map(|d| embeds(qdf_isometric(d, f)).to_string()).collect();
+        let verdicts: Vec<String> = (1..=12)
+            .map(|d| embeds(qdf_isometric(d, f)).to_string())
+            .collect();
         let theory = (1..=12)
             .map(|d| predict(&f, d).map(|p| p.embeddable))
             .collect::<Vec<_>>();
@@ -62,7 +75,10 @@ fn main() {
     {
         let (b, c) = critical_pair_thm33_case1(7);
         let g = Qdf::new(7, families::ones_zeros(2, 2));
-        println!("1100, d=7 (Case 1): 3-critical pair ({b}, {c}): {}", are_critical(&g, &b, &c));
+        println!(
+            "1100, d=7 (Case 1): 3-critical pair ({b}, {c}): {}",
+            are_critical(&g, &b, &c)
+        );
         assert!(are_critical(&g, &b, &c));
     }
     for (r, s) in [(3usize, 2usize), (2, 3), (3, 3)] {

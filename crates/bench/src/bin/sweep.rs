@@ -1,0 +1,199 @@
+//! The high-throughput sweep experiment: Γ_16 (2584 nodes) vs Q_11
+//! (2048 nodes) under the active-set engine.
+//!
+//! 1. Fixed-load uniform benchmark per topology, timed under both the new
+//!    engine and the seed's full-scan reference engine (the acceptance
+//!    speedup figure);
+//! 2. an injection-rate ladder producing latency-vs-load and
+//!    saturation-throughput curves per topology and router;
+//! 3. `BENCH_sim.json` in the working directory, seeding the performance
+//!    trajectory with throughput / mean / p99 latency per topology at the
+//!    fixed load plus the measured speedups.
+//!
+//! `cargo run --release -p fibcube-bench --bin sweep`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fibcube_bench::header;
+use fibcube_network::router::{AdaptiveMinimal, CanonicalRouter, EcubeRouter};
+use fibcube_network::sweep::{
+    injection_sweep, rate_ladder, saturation_point, SweepConfig, SweepCurve,
+};
+use fibcube_network::{
+    simulate, simulate_reference, traffic, FibonacciNet, Hypercube, Mesh, SimStats, Topology,
+};
+
+struct FixedLoadRow {
+    topology: String,
+    nodes: usize,
+    stats: SimStats,
+    engine_ms: f64,
+    reference_ms: f64,
+}
+
+impl FixedLoadRow {
+    fn speedup(&self) -> f64 {
+        self.reference_ms / self.engine_ms.max(1e-9)
+    }
+}
+
+fn fixed_load(t: &dyn Topology, packets: usize, window: u64) -> FixedLoadRow {
+    let pkts = traffic::uniform(t.len(), packets, window, 2026);
+    let cap = 4_000_000;
+
+    let start = Instant::now();
+    let stats = simulate(t, &pkts, cap);
+    let engine_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(stats.delivered, stats.offered, "{} must drain", t.name());
+
+    let start = Instant::now();
+    let reference = simulate_reference(t, &pkts, cap);
+    let reference_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(reference.delivered, stats.delivered);
+    assert_eq!(reference.total_hops, stats.total_hops, "engines must agree");
+
+    FixedLoadRow {
+        topology: t.name(),
+        nodes: t.len(),
+        stats,
+        engine_ms,
+        reference_ms,
+    }
+}
+
+fn print_curve(curve: &SweepCurve) {
+    println!(
+        "\n{} · router {} · {} nodes",
+        curve.topology, curve.router, curve.nodes
+    );
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "rate", "offered", "delivered", "accepted", "mean lat", "p99 lat"
+    );
+    for p in &curve.points {
+        println!(
+            "{:>8.3} {:>10.0} {:>10.0} {:>10.4} {:>10.2} {:>9.1}",
+            p.rate, p.offered, p.delivered, p.accepted_rate, p.mean_latency, p.p99_latency
+        );
+    }
+    match saturation_point(curve, 0.95) {
+        Some(p) => println!(
+            "  saturation: rate {:.3} accepted {:.4} pkt/node/cycle (95% delivery)",
+            p.rate, p.accepted_rate
+        ),
+        None => println!("  saturated below the lightest rung"),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    header("E-S1 — fixed-load uniform benchmark (5000 packets, window 1000)");
+    let gamma16 = FibonacciNet::classical(16);
+    let q11 = Hypercube::new(11);
+    let mesh = Mesh::new(51, 51);
+    println!(
+        "{:<10} {:>6} {:>10} {:>9} {:>8} {:>10} {:>12} {:>8}",
+        "network", "nodes", "thruput", "mean lat", "p99", "engine ms", "seed-eng ms", "speedup"
+    );
+    let mut rows = Vec::new();
+    for t in [&gamma16 as &dyn Topology, &q11, &mesh] {
+        let row = fixed_load(t, 5_000, 1_000);
+        println!(
+            "{:<10} {:>6} {:>10.3} {:>9.2} {:>8} {:>10.1} {:>12.1} {:>7.1}×",
+            row.topology,
+            row.nodes,
+            row.stats.throughput,
+            row.stats.mean_latency,
+            row.stats.p99_latency,
+            row.engine_ms,
+            row.reference_ms,
+            row.speedup()
+        );
+        rows.push(row);
+    }
+    // The acceptance pair is the cubes (Γ_16 vs Q_11); the mesh row is
+    // context — its long makespan keeps most nodes busy most cycles, so
+    // the active-set win there is real but smaller.
+    let min_speedup = rows[..2]
+        .iter()
+        .map(FixedLoadRow::speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!("\nminimum cube-pair speedup over the seed engine: {min_speedup:.1}× (target ≥ 5×)");
+
+    header("E-S2 — injection-rate ladders (saturation sweeps)");
+    let rates = rate_ladder(0.32, 8);
+    let config = SweepConfig {
+        inject_cycles: 250,
+        drain_cycles: 2_500,
+        seeds: vec![1, 2],
+    };
+    let canonical = CanonicalRouter::for_net(&gamma16);
+    let curves = vec![
+        injection_sweep(&gamma16, &canonical, &rates, &config),
+        injection_sweep(&gamma16, &AdaptiveMinimal::new(&gamma16), &rates, &config),
+        injection_sweep(&q11, &EcubeRouter, &rates, &config),
+        injection_sweep(&q11, &AdaptiveMinimal::new(&q11), &rates, &config),
+    ];
+    for curve in &curves {
+        print_curve(curve);
+    }
+
+    // ---- BENCH_sim.json --------------------------------------------------
+    let mut json = String::from("{\n  \"benchmark\": \"uniform_fixed_load\",\n");
+    let _ = writeln!(json, "  \"packets\": 5000,\n  \"window\": 1000,");
+    let _ = writeln!(json, "  \"min_speedup_vs_seed_engine\": {min_speedup:.2},");
+    json.push_str("  \"fixed_load\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"topology\": \"{}\", \"nodes\": {}, \"throughput\": {:.4}, \
+             \"mean_latency\": {:.4}, \"p99_latency\": {}, \"makespan\": {}, \
+             \"engine_ms\": {:.2}, \"reference_ms\": {:.2}, \"speedup\": {:.2}}}",
+            json_escape(&row.topology),
+            row.nodes,
+            row.stats.throughput,
+            row.stats.mean_latency,
+            row.stats.p99_latency,
+            row.stats.makespan,
+            row.engine_ms,
+            row.reference_ms,
+            row.speedup()
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"sweeps\": [\n");
+    for (ci, curve) in curves.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"topology\": \"{}\", \"router\": \"{}\", \"nodes\": {}, \"points\": [",
+            json_escape(&curve.topology),
+            json_escape(&curve.router),
+            curve.nodes
+        );
+        for (pi, p) in curve.points.iter().enumerate() {
+            let _ = write!(
+                json,
+                "{{\"rate\": {:.4}, \"accepted_rate\": {:.5}, \"delivered_fraction\": {:.4}, \
+                 \"mean_latency\": {:.3}, \"p99_latency\": {:.1}}}",
+                p.rate, p.accepted_rate, p.delivered_fraction, p.mean_latency, p.p99_latency
+            );
+            if pi + 1 < curve.points.len() {
+                json.push_str(", ");
+            }
+        }
+        json.push_str("]}");
+        json.push_str(if ci + 1 < curves.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("\nwrote BENCH_sim.json");
+
+    assert!(
+        min_speedup >= 5.0,
+        "acceptance: active-set engine must beat the seed engine ≥ 5× (got {min_speedup:.1}×)"
+    );
+}

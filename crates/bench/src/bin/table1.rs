@@ -11,10 +11,15 @@ use fibcube_core::theorems::table1_expected;
 use fibcube_words::word;
 
 fn main() {
-    let d_max: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let d_max: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
 
-    header(&format!("Table 1 — Q_d(f) ↪ Q_d for |f| ≤ 5, computed up to d = {d_max}"));
-    println!("{:<8} {:<3} {}", "factor", "", "per-d verdicts (d = 1..)");
+    header(&format!(
+        "Table 1 — Q_d(f) ↪ Q_d for |f| ≤ 5, computed up to d = {d_max}"
+    ));
+    println!("{:<8} {:<3} per-d verdicts (d = 1..)", "factor", "");
     let expected = table1_expected();
     let mut mismatches = 0;
     for row in table1(5, d_max) {
@@ -71,6 +76,10 @@ fn main() {
     println!(
         "\nresult: {} mismatching classes{}",
         mismatches,
-        if mismatches == 0 { " — Table 1 reproduced exactly." } else { "!" }
+        if mismatches == 0 {
+            " — Table 1 reproduced exactly."
+        } else {
+            "!"
+        }
     );
 }

@@ -52,7 +52,11 @@ pub fn classify_factor(f: &Word, d_max: usize) -> Row {
         })
         .collect();
     let observed = summarize(&cells);
-    Row { factor: rep, cells, observed }
+    Row {
+        factor: rep,
+        cells,
+        observed,
+    }
 }
 
 fn summarize(cells: &[Cell]) -> Observed {
@@ -151,7 +155,12 @@ mod tests {
                 .iter()
                 .find(|(s, _, _)| *s == row.factor.to_string())
                 .expect("every canonical factor appears in the paper's table");
-            assert!(row_matches(&row, *class), "f={} {:?}", row.factor, row.observed);
+            assert!(
+                row_matches(&row, *class),
+                "f={} {:?}",
+                row.factor,
+                row.observed
+            );
             // Computed values never contradict the oracle.
             for cell in &row.cells {
                 if let Some(p) = cell.predicted {

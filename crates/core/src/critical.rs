@@ -60,7 +60,7 @@ fn pad_front_ones(b: Word, c: Word, d: usize) -> (Word, Word) {
 /// `b = 1^r 1 0^{s−1} 1 1^t`, `c = 1^r 0 0^{s−1} 0 1^t` (then pad with 1s).
 pub fn critical_pair_prop32(r: usize, s: usize, t: usize, d: usize) -> (Word, Word) {
     assert!(r >= 1 && s >= 1 && t >= 1);
-    assert!(d >= r + s + t + 1, "needs d ≥ r+s+t+1");
+    assert!(d > r + s + t, "needs d ≥ r+s+t+1");
     let b = Word::ones(r + 1)
         .concat(&Word::zeros(s - 1))
         .concat(&Word::ones(t + 1));
@@ -156,8 +156,14 @@ mod tests {
         assert_eq!(b.hamming(&c), expected_p, "pair at Hamming distance p");
         assert!(g.contains(&b), "b = {b} must avoid f = {f}");
         assert!(g.contains(&c), "c = {c} must avoid f = {f}");
-        assert!(are_critical(&g, &b, &c), "pair must be critical for f={f}, d={d}");
-        assert!(!is_isometric(&g), "Lemma 2.4: criticality forces non-isometry");
+        assert!(
+            are_critical(&g, &b, &c),
+            "pair must be critical for f={f}, d={d}"
+        );
+        assert!(
+            !is_isometric(&g),
+            "Lemma 2.4: criticality forces non-isometry"
+        );
     }
 
     #[test]

@@ -83,7 +83,12 @@ pub fn violations(g: &Qdf, limit: usize) -> Vec<Violation> {
             let dv = dist[v];
             let h = ws.hamming(&labels[v]);
             if dv != h {
-                out.push(Violation { b: ws, c: labels[v], hamming: h, graph_distance: dv });
+                out.push(Violation {
+                    b: ws,
+                    c: labels[v],
+                    hamming: h,
+                    graph_distance: dv,
+                });
                 if out.len() >= limit {
                     return out;
                 }
@@ -218,7 +223,13 @@ mod tests {
 
     #[test]
     fn fast_path_matches_reference() {
-        for (d, f) in [(6, "1100"), (7, "1100"), (5, "101"), (6, "110"), (7, "11010")] {
+        for (d, f) in [
+            (6, "1100"),
+            (7, "1100"),
+            (5, "101"),
+            (6, "110"),
+            (7, "11010"),
+        ] {
             let g = Qdf::new(d, word(f));
             assert_eq!(is_isometric(&g), is_isometric_reference(&g), "d={d} f={f}");
         }
@@ -239,11 +250,7 @@ mod tests {
                 let f = Word::from_raw(bits, m);
                 for d in 1..=8usize {
                     let g = Qdf::new(d, f);
-                    assert_eq!(
-                        is_isometric_local(&g),
-                        is_isometric(&g),
-                        "f={f} d={d}"
-                    );
+                    assert_eq!(is_isometric_local(&g), is_isometric(&g), "f={f} d={d}");
                 }
             }
         }

@@ -30,9 +30,7 @@ pub mod theorems;
 
 pub use classify::{classify_factor, table1, Observed, Row};
 pub use critical::{are_critical, find_critical};
-pub use isometry_check::{
-    is_isometric, is_isometric_local, qdf_isometric, violations, Violation,
-};
+pub use isometry_check::{is_isometric, is_isometric_local, qdf_isometric, violations, Violation};
 pub use lucas::{lucas_number, CircularQdf};
 pub use properties::{degree_diameter, is_median_closed, median_violation};
 pub use qdf::{induced_hypercube_subgraph, Qdf};

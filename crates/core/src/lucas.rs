@@ -44,7 +44,10 @@ pub fn occurs_cyclically(f: &Word, w: &Word) -> bool {
     }
     // Enough periods that every window starting in 1..=d fits.
     let reps = m.div_ceil(d) + 1;
-    assert!(reps * d <= fibcube_words::MAX_LEN, "periodic extension too long");
+    assert!(
+        reps * d <= fibcube_words::MAX_LEN,
+        "periodic extension too long"
+    );
     let repeated = w.power(reps);
     (1..=d).any(|start| repeated.slice(start, start + m - 1) == *f)
 }
@@ -60,10 +63,16 @@ impl CircularQdf {
     pub fn new(d: usize, factor: Word) -> CircularQdf {
         assert!(!factor.is_empty(), "forbidden factor must be non-empty");
         assert!(2 * d <= fibcube_words::MAX_LEN, "2d must fit in a word");
-        let vertices: Vec<Word> =
-            Word::all(d).filter(|w| !occurs_cyclically(&factor, w)).collect();
+        let vertices: Vec<Word> = Word::all(d)
+            .filter(|w| !occurs_cyclically(&factor, w))
+            .collect();
         let graph = induced_hypercube_subgraph(d, &vertices);
-        CircularQdf { d, factor, vertices, graph }
+        CircularQdf {
+            d,
+            factor,
+            vertices,
+            graph,
+        }
     }
 
     /// The Lucas cube `Λ_d = Q_d^c(11)`.
@@ -143,7 +152,11 @@ mod tests {
     #[test]
     fn lucas_cube_orders_are_lucas_numbers() {
         for d in 1..=12usize {
-            assert_eq!(CircularQdf::lucas(d).order() as u128, lucas_number(d), "d={d}");
+            assert_eq!(
+                CircularQdf::lucas(d).order() as u128,
+                lucas_number(d),
+                "d={d}"
+            );
         }
     }
 

@@ -64,9 +64,16 @@ pub fn median_violation(f: &Word, d: usize) -> MedianViolation {
     assert!(f.len() >= 3, "construction needs |f| ≥ 3");
     assert!(d >= f.len(), "needs d ≥ |f|");
     let g_bit = f.at(f.len());
-    let pad = if g_bit == 1 { Word::zeros(d - f.len()) } else { Word::ones(d - f.len()) };
+    let pad = if g_bit == 1 {
+        Word::zeros(d - f.len())
+    } else {
+        Word::ones(d - f.len())
+    };
     let m = f.concat(&pad);
-    MedianViolation { triple: [m.flip(1), m.flip(2), m.flip(3)], median: m }
+    MedianViolation {
+        triple: [m.flip(1), m.flip(2), m.flip(3)],
+        median: m,
+    }
 }
 
 /// Checks a [`MedianViolation`] against an actual graph: the triple must be
@@ -91,7 +98,14 @@ mod tests {
     #[test]
     fn prop_6_1_degree_and_diameter_equal_d() {
         // Embeddable cases with |f| ≥ 2, f ∉ {10, 01}.
-        for (d, f) in [(6, "11"), (7, "111"), (6, "110"), (6, "1100"), (7, "1010"), (8, "11010")] {
+        for (d, f) in [
+            (6, "11"),
+            (7, "111"),
+            (6, "110"),
+            (6, "1100"),
+            (7, "1010"),
+            (8, "11010"),
+        ] {
             let g = Qdf::new(d, word(f));
             let dd = degree_diameter(&g);
             assert_eq!(dd.max_degree, d, "f={f}");
@@ -103,10 +117,22 @@ mod tests {
     fn prop_6_1_excluded_cases_differ() {
         // f = 10 gives a path: max degree 2 ≠ d.
         let p = Qdf::new(5, word("10"));
-        assert_eq!(degree_diameter(&p), DegreeDiameter { max_degree: 2, diameter: 5 });
+        assert_eq!(
+            degree_diameter(&p),
+            DegreeDiameter {
+                max_degree: 2,
+                diameter: 5
+            }
+        );
         // f = 1 gives K_1.
         let k1 = Qdf::new(5, word("1"));
-        assert_eq!(degree_diameter(&k1), DegreeDiameter { max_degree: 0, diameter: 0 });
+        assert_eq!(
+            degree_diameter(&k1),
+            DegreeDiameter {
+                max_degree: 0,
+                diameter: 0
+            }
+        );
     }
 
     #[test]

@@ -43,7 +43,12 @@ impl Qdf {
         let automaton = FactorAutomaton::new(factor);
         let vertices = automaton.free_words(d);
         let graph = induced_hypercube_subgraph(d, &vertices);
-        Qdf { d, factor, vertices, graph }
+        Qdf {
+            d,
+            factor,
+            vertices,
+            graph,
+        }
     }
 
     /// The Fibonacci cube `Γ_d = Q_d(11)`.
@@ -54,7 +59,7 @@ impl Qdf {
     /// The full hypercube `Q_d`, realised as `Q_d(f)` with `|f| = d + 1`
     /// (no string of length `d` can contain it).
     pub fn hypercube(d: usize) -> Qdf {
-        assert!(d + 1 <= fibcube_words::MAX_LEN, "dimension too large");
+        assert!(d < fibcube_words::MAX_LEN, "dimension too large");
         Qdf::new(d, Word::ones(d + 1))
     }
 
@@ -156,7 +161,10 @@ impl Qdf {
 /// `O(|V| · d · log |V|)` — each vertex probes its `d` potential cube
 /// neighbors by binary search.
 pub fn induced_hypercube_subgraph(d: usize, labels: &[Word]) -> CsrGraph {
-    debug_assert!(labels.windows(2).all(|w| w[0] < w[1]), "labels must be sorted unique");
+    debug_assert!(
+        labels.windows(2).all(|w| w[0] < w[1]),
+        "labels must be sorted unique"
+    );
     let mut builder = GraphBuilder::new(labels.len());
     for (i, w) in labels.iter().enumerate() {
         for pos in 1..=d {
@@ -284,7 +292,11 @@ mod tests {
             let map: Vec<u32> = (0..g.order() as u32)
                 .map(|i| h.index_of(&g.label(i).complement()).expect("image exists"))
                 .collect();
-            assert!(fibcube_graph::iso::verify_isomorphism(g.graph(), h.graph(), &map));
+            assert!(fibcube_graph::iso::verify_isomorphism(
+                g.graph(),
+                h.graph(),
+                &map
+            ));
         }
     }
 
@@ -298,7 +310,11 @@ mod tests {
             let map: Vec<u32> = (0..g.order() as u32)
                 .map(|i| h.index_of(&g.label(i).reverse()).expect("image exists"))
                 .collect();
-            assert!(fibcube_graph::iso::verify_isomorphism(g.graph(), h.graph(), &map));
+            assert!(fibcube_graph::iso::verify_isomorphism(
+                g.graph(),
+                h.graph(),
+                &map
+            ));
         }
     }
 }

@@ -23,10 +23,16 @@ pub struct Prediction {
 
 impl Prediction {
     fn yes(source: &'static str) -> Option<Prediction> {
-        Some(Prediction { embeddable: true, source })
+        Some(Prediction {
+            embeddable: true,
+            source,
+        })
     }
     fn no(source: &'static str) -> Option<Prediction> {
-        Some(Prediction { embeddable: false, source })
+        Some(Prediction {
+            embeddable: false,
+            source,
+        })
     }
 }
 

@@ -3,18 +3,15 @@
 //! have — theory oracle vs brute force, the two isometry deciders against
 //! each other, symmetry invariance, and membership semantics.
 
-use fibcube_core::isometry_check::{
-    is_isometric, is_isometric_local, is_isometric_reference,
-};
+use fibcube_core::isometry_check::{is_isometric, is_isometric_local, is_isometric_reference};
 use fibcube_core::{predict, predict_paper, Qdf};
 use fibcube_words::families::symmetry_class;
 use fibcube_words::word::Word;
 use proptest::prelude::*;
 
 fn arb_factor(max_len: usize) -> impl Strategy<Value = Word> {
-    (1..=max_len).prop_flat_map(|len| {
-        (0..(1u64 << len)).prop_map(move |bits| Word::from_raw(bits, len))
-    })
+    (1..=max_len)
+        .prop_flat_map(|len| (0..(1u64 << len)).prop_map(move |bits| Word::from_raw(bits, len)))
 }
 
 proptest! {

@@ -34,20 +34,27 @@ pub fn q111_series(count: usize) -> Vec<Invariants> {
     let mut out: Vec<Invariants> = Vec::with_capacity(count);
     for d in 0..count {
         let inv = match d {
-            0 => Invariants { vertices: 1, edges: 0, squares: 0 },
-            1 => Invariants { vertices: 2, edges: 1, squares: 0 },
-            2 => Invariants { vertices: 4, edges: 4, squares: 1 },
+            0 => Invariants {
+                vertices: 1,
+                edges: 0,
+                squares: 0,
+            },
+            1 => Invariants {
+                vertices: 2,
+                edges: 1,
+                squares: 0,
+            },
+            2 => Invariants {
+                vertices: 4,
+                edges: 4,
+                squares: 1,
+            },
             _ => {
                 let (a, b, c) = (out[d - 1], out[d - 2], out[d - 3]);
                 Invariants {
                     vertices: a.vertices + b.vertices + c.vertices,
                     edges: a.edges + b.edges + c.edges + b.vertices + 2 * c.vertices,
-                    squares: a.squares
-                        + b.squares
-                        + c.squares
-                        + b.edges
-                        + 2 * c.edges
-                        + c.vertices,
+                    squares: a.squares + b.squares + c.squares + b.edges + 2 * c.edges + c.vertices,
                 }
             }
         };
@@ -66,8 +73,16 @@ pub fn q110_series(count: usize) -> Vec<Invariants> {
     let mut out: Vec<Invariants> = Vec::with_capacity(count);
     for d in 0..count {
         let inv = match d {
-            0 => Invariants { vertices: 1, edges: 0, squares: 0 },
-            1 => Invariants { vertices: 2, edges: 1, squares: 0 },
+            0 => Invariants {
+                vertices: 1,
+                edges: 0,
+                squares: 0,
+            },
+            1 => Invariants {
+                vertices: 2,
+                edges: 1,
+                squares: 0,
+            },
             _ => {
                 let (a, b) = (out[d - 1], out[d - 2]);
                 Invariants {
@@ -89,7 +104,9 @@ pub fn q110_vertices_closed(d: usize) -> u128 {
 
 /// Proposition 6.2: `|E(H_d)| = −1 + Σ_{i=1}^{d+1} F_i · F_{d+2−i}`.
 pub fn prop_6_2_edges(d: usize) -> u128 {
-    let sum: u128 = (1..=d + 1).map(|i| fibonacci(i) * fibonacci(d + 2 - i)).sum();
+    let sum: u128 = (1..=d + 1)
+        .map(|i| fibonacci(i) * fibonacci(d + 2 - i))
+        .sum();
     sum - 1
 }
 
@@ -154,7 +171,11 @@ mod tests {
         let series = q111_series(13);
         let f = word("111");
         for (d, inv) in series.iter().enumerate() {
-            assert_eq!(inv.vertices, crate::counts::count_vertices(&f, d), "V d={d}");
+            assert_eq!(
+                inv.vertices,
+                crate::counts::count_vertices(&f, d),
+                "V d={d}"
+            );
             assert_eq!(inv.edges, crate::counts::count_edges(&f, d), "E d={d}");
             assert_eq!(inv.squares, crate::counts::count_squares(&f, d), "S d={d}");
         }
@@ -165,7 +186,11 @@ mod tests {
         let series = q110_series(14);
         let f = word("110");
         for (d, inv) in series.iter().enumerate() {
-            assert_eq!(inv.vertices, crate::counts::count_vertices(&f, d), "V d={d}");
+            assert_eq!(
+                inv.vertices,
+                crate::counts::count_vertices(&f, d),
+                "V d={d}"
+            );
             assert_eq!(inv.edges, crate::counts::count_edges(&f, d), "E d={d}");
             assert_eq!(inv.squares, crate::counts::count_squares(&f, d), "S d={d}");
         }
@@ -182,7 +207,11 @@ mod tests {
     fn prop_6_2_both_forms_agree_with_recurrence() {
         for (d, inv) in q110_series(60).iter().enumerate() {
             assert_eq!(inv.edges, prop_6_2_edges(d), "sum form d={d}");
-            assert_eq!(inv.edges, prop_6_2_edges_corollary_form(d), "corollary form d={d}");
+            assert_eq!(
+                inv.edges,
+                prop_6_2_edges_corollary_form(d),
+                "corollary form d={d}"
+            );
         }
     }
 

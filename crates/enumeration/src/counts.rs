@@ -88,8 +88,12 @@ fn quad_suffix_table(aut: &FactorAutomaton, d: usize) -> Vec<Vec<u128>> {
             let (y, z) = (rest / m, rest % m);
             let mut acc = 0u128;
             for b in 0..2u8 {
-                let (w2, x2, y2, z2) =
-                    (aut.step(w, b), aut.step(x, b), aut.step(y, b), aut.step(z, b));
+                let (w2, x2, y2, z2) = (
+                    aut.step(w, b),
+                    aut.step(x, b),
+                    aut.step(y, b),
+                    aut.step(z, b),
+                );
                 if w2 != m && x2 != m && y2 != m && z2 != m {
                     acc += table[j - 1][((w2 * m + x2) * m + y2) * m + z2];
                 }
@@ -218,9 +222,7 @@ pub fn count_by_weight(f: &Word, d: usize) -> Vec<u128> {
         }
         dp = next;
     }
-    (0..=d)
-        .map(|w| (0..m).map(|s| dp[s][w]).sum())
-        .collect()
+    (0..=d).map(|w| (0..m).map(|s| dp[s][w]).sum()).collect()
 }
 
 #[cfg(test)]
@@ -249,8 +251,11 @@ mod tests {
         for d in 0..=5usize {
             assert_eq!(count_vertices(&f, d), 1u128 << d);
             assert_eq!(count_edges(&f, d), (d as u128) << d.saturating_sub(1));
-            let expected_squares =
-                if d >= 2 { ((d * (d - 1) / 2) as u128) << (d - 2) } else { 0 };
+            let expected_squares = if d >= 2 {
+                ((d * (d - 1) / 2) as u128) << (d - 2)
+            } else {
+                0
+            };
             assert_eq!(count_squares(&f, d), expected_squares, "d={d}");
         }
     }

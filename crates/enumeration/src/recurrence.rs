@@ -19,8 +19,16 @@ impl LinearRecurrence {
     /// Panics when the lengths disagree or the order is zero.
     pub fn new(coeffs: Vec<i128>, initial: Vec<i128>, constant: i128) -> LinearRecurrence {
         assert!(!coeffs.is_empty(), "order must be positive");
-        assert_eq!(coeffs.len(), initial.len(), "need one initial value per coefficient");
-        LinearRecurrence { coeffs, initial, constant }
+        assert_eq!(
+            coeffs.len(),
+            initial.len(),
+            "need one initial value per coefficient"
+        );
+        LinearRecurrence {
+            coeffs,
+            initial,
+            constant,
+        }
     }
 
     /// A homogeneous recurrence (`constant = 0`).

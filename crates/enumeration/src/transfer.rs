@@ -22,8 +22,15 @@ impl ModMatrix {
     /// The zero matrix.
     pub fn zero(k: usize, modulus: u64) -> ModMatrix {
         assert!(modulus > 1, "modulus must exceed 1");
-        assert!(modulus <= u32::MAX as u64 + 1, "modulus must fit 32 bits to avoid overflow");
-        ModMatrix { k, modulus, data: vec![0; k * k] }
+        assert!(
+            modulus <= u32::MAX as u64 + 1,
+            "modulus must fit 32 bits to avoid overflow"
+        );
+        ModMatrix {
+            k,
+            modulus,
+            data: vec![0; k * k],
+        }
     }
 
     /// The identity.
@@ -61,8 +68,7 @@ impl ModMatrix {
                 }
                 for j in 0..k {
                     let cur = out.data[i * k + j];
-                    out.data[i * k + j] =
-                        (cur + a * other.get(l, j)) % self.modulus;
+                    out.data[i * k + j] = (cur + a * other.get(l, j)) % self.modulus;
                 }
             }
         }
@@ -107,7 +113,9 @@ pub fn count_vertices_mod(f: &Word, d: u64, modulus: u64) -> u64 {
     let t = transfer_matrix(f, modulus);
     let td = t.pow(d);
     // Start state 0; sum over all live end states.
-    (0..t.k).map(|j| td.get(0, j)).fold(0u64, |a, b| (a + b) % modulus)
+    (0..t.k)
+        .map(|j| td.get(0, j))
+        .fold(0u64, |a, b| (a + b) % modulus)
 }
 
 /// Growth constant of the `f`-avoiding language: the dominant eigenvalue

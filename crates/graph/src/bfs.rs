@@ -18,7 +18,9 @@ pub struct BfsScratch {
 impl BfsScratch {
     /// Scratch sized for a graph with `n` vertices.
     pub fn new(n: usize) -> BfsScratch {
-        BfsScratch { queue: Vec::with_capacity(n) }
+        BfsScratch {
+            queue: Vec::with_capacity(n),
+        }
     }
 }
 

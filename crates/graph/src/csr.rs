@@ -45,7 +45,10 @@ impl CsrGraph {
 
     /// The empty graph on `n` vertices.
     pub fn empty(n: usize) -> CsrGraph {
-        CsrGraph { offsets: vec![0; n + 1], targets: Vec::new() }
+        CsrGraph {
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+        }
     }
 
     /// Number of vertices `n`.
@@ -76,7 +79,10 @@ impl CsrGraph {
 
     /// Maximum degree, or 0 for the empty graph.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices() as u32).map(|u| self.degree(u)).max().unwrap_or(0)
+        (0..self.num_vertices() as u32)
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Is `{u, v}` an edge? `O(log deg)` via binary search.
@@ -85,19 +91,125 @@ impl CsrGraph {
         self.neighbors(u).binary_search(&v).is_ok()
     }
 
+    /// Slot of `v` within `u`'s sorted neighbor list, or `None` when
+    /// `{u, v}` is not an edge. `O(log deg)`; for a hot loop build a
+    /// [`SlotTable`] once and query it in `O(1)`.
+    #[inline]
+    pub fn slot_of(&self, u: u32, v: u32) -> Option<usize> {
+        self.neighbors(u).binary_search(&v).ok()
+    }
+
+    /// Number of *directed* edges (`2m`): one per (node, slot) pair. The
+    /// simulation engine sizes its flat per-link buffers with this.
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Range of directed-edge indices leaving `u`; index `e` in this range
+    /// is the link `u → target(e)` at slot `e − range.start`.
+    #[inline]
+    pub fn edge_range(&self, u: u32) -> core::ops::Range<usize> {
+        self.offsets[u as usize] as usize..self.offsets[u as usize + 1] as usize
+    }
+
+    /// Head of the directed edge with index `e` (see [`edge_range`]).
+    ///
+    /// [`edge_range`]: CsrGraph::edge_range
+    #[inline]
+    pub fn target(&self, e: usize) -> u32 {
+        self.targets[e]
+    }
+
+    /// Builds the precomputed `(node, neighbor) → slot` table.
+    pub fn slot_table(&self) -> SlotTable {
+        SlotTable::new(self)
+    }
+
     /// Iterator over all edges as ordered pairs `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         (0..self.num_vertices() as u32).flat_map(move |u| {
-            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 
     /// Degree sequence, descending.
     pub fn degree_sequence(&self) -> Vec<usize> {
-        let mut ds: Vec<usize> =
-            (0..self.num_vertices() as u32).map(|u| self.degree(u)).collect();
+        let mut ds: Vec<usize> = (0..self.num_vertices() as u32)
+            .map(|u| self.degree(u))
+            .collect();
         ds.sort_unstable_by(|a, b| b.cmp(a));
         ds
+    }
+}
+
+/// Precomputed `(node, neighbor) → slot` lookup in `O(1)`.
+///
+/// The store-and-forward engine keeps one FIFO per *directed* link, indexed
+/// by `offsets[u] + slot`; routers hand back the next-hop *node*, so every
+/// forwarded packet needs the slot of that node inside the sender's
+/// adjacency list. The seed binary-searched the neighbor slice on every
+/// hop; this table answers the same query from a flat open-addressed hash
+/// (keys `(u << 32) | v`, linear probing, ≤ 50% load) built once per graph.
+#[derive(Clone, Debug)]
+pub struct SlotTable {
+    mask: usize,
+    keys: Vec<u64>,
+    slots: Vec<u16>,
+}
+
+impl SlotTable {
+    const EMPTY: u64 = u64::MAX;
+
+    /// Builds the table in `O(m)` expected time.
+    pub fn new(g: &CsrGraph) -> SlotTable {
+        let capacity = (g.num_directed_edges() * 2).next_power_of_two().max(8);
+        let mut table = SlotTable {
+            mask: capacity - 1,
+            keys: vec![SlotTable::EMPTY; capacity],
+            slots: vec![0; capacity],
+        };
+        for u in 0..g.num_vertices() as u32 {
+            for (slot, &v) in g.neighbors(u).iter().enumerate() {
+                debug_assert!(slot <= u16::MAX as usize, "degree exceeds u16 slots");
+                let key = (u as u64) << 32 | v as u64;
+                let mut i = SlotTable::hash(key) & table.mask;
+                while table.keys[i] != SlotTable::EMPTY {
+                    i = (i + 1) & table.mask;
+                }
+                table.keys[i] = key;
+                table.slots[i] = slot as u16;
+            }
+        }
+        table
+    }
+
+    #[inline]
+    fn hash(key: u64) -> usize {
+        // splitmix64 finalizer — enough mixing for linear probing.
+        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as usize
+    }
+
+    /// Slot of `v` in `u`'s neighbor list, or `None` when `u → v` is not a
+    /// link. `O(1)` expected.
+    #[inline]
+    pub fn slot(&self, u: u32, v: u32) -> Option<u16> {
+        let key = (u as u64) << 32 | v as u64;
+        let mut i = SlotTable::hash(key) & self.mask;
+        loop {
+            match self.keys[i] {
+                k if k == key => return Some(self.slots[i]),
+                SlotTable::EMPTY => return None,
+                _ => i = (i + 1) & self.mask,
+            }
+        }
     }
 }
 
@@ -111,8 +223,11 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// A builder for a graph on `n` vertices with no edges yet.
     pub fn new(n: usize) -> GraphBuilder {
-        assert!(n <= u32::MAX as usize - 1, "vertex count too large for u32 ids");
-        GraphBuilder { n, adjacency: vec![Vec::new(); n] }
+        assert!(n < u32::MAX as usize, "vertex count too large for u32 ids");
+        GraphBuilder {
+            n,
+            adjacency: vec![Vec::new(); n],
+        }
     }
 
     /// Adds the undirected edge `{u, v}`.
@@ -121,7 +236,10 @@ impl GraphBuilder {
     ///
     /// Panics on out-of-range endpoints, self-loops, or duplicate edges.
     pub fn add_edge(&mut self, u: u32, v: u32) {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "edge ({u},{v}) out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range"
+        );
         assert_ne!(u, v, "self-loop at vertex {u}");
         debug_assert!(
             !self.adjacency[u as usize].contains(&v),
@@ -187,6 +305,35 @@ mod tests {
         let g = CsrGraph::from_edges(4, &[(3, 0), (1, 0), (0, 2)]);
         assert_eq!(g.neighbors(0), &[1, 2, 3]);
         assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn slot_table_matches_binary_search() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (2, 3), (4, 5), (1, 4), (2, 5)]);
+        let table = g.slot_table();
+        for u in 0..6u32 {
+            for v in 0..6u32 {
+                assert_eq!(
+                    table.slot(u, v).map(usize::from),
+                    g.slot_of(u, v),
+                    "slot({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_range_and_target_cover_directed_edges() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (2, 3)]);
+        assert_eq!(g.num_directed_edges(), 8);
+        let mut seen = 0usize;
+        for u in 0..4u32 {
+            for (slot, e) in g.edge_range(u).enumerate() {
+                assert_eq!(g.target(e), g.neighbors(u)[slot]);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 8);
     }
 
     #[test]

@@ -117,7 +117,11 @@ mod tests {
     fn enumeration_matches_count() {
         for d in 2..=4 {
             let g = hypercube(d);
-            assert_eq!(enumerate_squares(&g).len() as u64, count_squares(&g), "d={d}");
+            assert_eq!(
+                enumerate_squares(&g).len() as u64,
+                count_squares(&g),
+                "d={d}"
+            );
         }
     }
 }

@@ -136,8 +136,7 @@ mod tests {
     use super::*;
 
     fn cycle(n: usize) -> CsrGraph {
-        let edges: Vec<(u32, u32)> =
-            (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
         CsrGraph::from_edges(n, &edges)
     }
 
@@ -188,14 +187,16 @@ mod tests {
     fn wiener_indices() {
         // W(P_n) = n(n²−1)/6; W(C_{2k}) = k³.
         for n in 2..=9usize {
-            let g = CsrGraph::from_edges(
-                n,
-                &(1..n as u32).map(|i| (i - 1, i)).collect::<Vec<_>>(),
-            );
+            let g = CsrGraph::from_edges(n, &(1..n as u32).map(|i| (i - 1, i)).collect::<Vec<_>>());
             assert_eq!(wiener_index(&g) as usize, n * (n * n - 1) / 6, "P_{n}");
         }
         for k in 2..=5usize {
-            assert_eq!(wiener_index(&cycle(2 * k)) as usize, k * k * k, "C_{}", 2 * k);
+            assert_eq!(
+                wiener_index(&cycle(2 * k)) as usize,
+                k * k * k,
+                "C_{}",
+                2 * k
+            );
         }
         // Disconnected pairs are skipped.
         let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);

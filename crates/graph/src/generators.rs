@@ -6,16 +6,14 @@ use crate::csr::CsrGraph;
 
 /// Path `P_n` on `n` vertices (`n − 1` edges).
 pub fn path(n: usize) -> CsrGraph {
-    let edges: Vec<(u32, u32)> =
-        (1..n as u32).map(|i| (i - 1, i)).collect();
+    let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (i - 1, i)).collect();
     CsrGraph::from_edges(n, &edges)
 }
 
 /// Cycle `C_n` (`n ≥ 3`).
 pub fn cycle(n: usize) -> CsrGraph {
     assert!(n >= 3, "cycle needs ≥ 3 vertices");
-    let edges: Vec<(u32, u32)> =
-        (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+    let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
     CsrGraph::from_edges(n, &edges)
 }
 

@@ -110,7 +110,12 @@ mod tests {
     use super::*;
 
     fn cycle(n: usize) -> CsrGraph {
-        CsrGraph::from_edges(n, &(0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect::<Vec<_>>())
+        CsrGraph::from_edges(
+            n,
+            &(0..n as u32)
+                .map(|i| (i, (i + 1) % n as u32))
+                .collect::<Vec<_>>(),
+        )
     }
 
     #[test]
@@ -163,9 +168,21 @@ mod tests {
         let petersen = CsrGraph::from_edges(
             10,
             &[
-                (0, 1), (1, 2), (2, 3), (3, 4), (4, 0), // outer C5
-                (5, 7), (7, 9), (9, 6), (6, 8), (8, 5), // inner pentagram
-                (0, 5), (1, 6), (2, 7), (3, 8), (4, 9), // spokes
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 0), // outer C5
+                (5, 7),
+                (7, 9),
+                (9, 6),
+                (6, 8),
+                (8, 5), // inner pentagram
+                (0, 5),
+                (1, 6),
+                (2, 7),
+                (3, 8),
+                (4, 9), // spokes
             ],
         );
         // The 3-prism × something … use the 5-prism (C5 × K2): 3-regular,

@@ -86,11 +86,19 @@ mod tests {
     use super::*;
 
     fn path(n: usize) -> CsrGraph {
-        CsrGraph::from_edges(n, &(0..n as u32 - 1).map(|i| (i, i + 1)).collect::<Vec<_>>())
+        CsrGraph::from_edges(
+            n,
+            &(0..n as u32 - 1).map(|i| (i, i + 1)).collect::<Vec<_>>(),
+        )
     }
 
     fn cycle(n: usize) -> CsrGraph {
-        CsrGraph::from_edges(n, &(0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect::<Vec<_>>())
+        CsrGraph::from_edges(
+            n,
+            &(0..n as u32)
+                .map(|i| (i, (i + 1) % n as u32))
+                .collect::<Vec<_>>(),
+        )
     }
 
     fn hypercube(d: usize) -> CsrGraph {
@@ -129,7 +137,7 @@ mod tests {
         assert!(!is_median_graph(&cycle(5)));
         assert!(is_median_graph(&cycle(4))); // C4 = Q2 is median
         assert!(!is_median_graph(&cycle(6))); // C6: antipodal triples have 2 medians? (check: C6 is not median)
-        // K_{2,3} is the classical non-median bipartite example.
+                                              // K_{2,3} is the classical non-median bipartite example.
         let k23 = CsrGraph::from_edges(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]);
         assert!(!is_median_graph(&k23));
     }

@@ -17,7 +17,10 @@ use crate::csr::CsrGraph;
 /// Number of worker threads to use by default: the machine's available
 /// parallelism, capped at 16 (diminishing returns for our graph sizes).
 pub fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
 }
 
 /// Size of the index blocks handed to workers by the stealing counter.

@@ -48,7 +48,10 @@ pub fn pad_mode(f: &Word) -> PadMode {
     } else if is_factor(&word("00"), f) {
         PadMode::InsertOne
     } else {
-        assert!(f.weight() >= 2, "alternating case needs at least two 1s in f");
+        assert!(
+            f.weight() >= 2,
+            "alternating case needs at least two 1s in f"
+        );
         PadMode::InsertDoubleZero
     }
 }
@@ -109,7 +112,10 @@ pub fn dim_f_upper(g: &CsrGraph, f: &Word) -> Option<FdimUpperBound> {
         PadMode::InsertZero | PadMode::InsertOne => (2 * k).saturating_sub(1),
         PadMode::InsertDoubleZero => (3 * k).saturating_sub(2),
     };
-    assert!(dimension <= fibcube_words::MAX_LEN, "padded dimension {dimension} too large");
+    assert!(
+        dimension <= fibcube_words::MAX_LEN,
+        "padded dimension {dimension} too large"
+    );
     let images: Vec<Word> = (0..g.num_vertices())
         .map(|v| pad_label(labeling.label64(v), k, mode))
         .collect();
@@ -131,7 +137,12 @@ pub fn dim_f_upper(g: &CsrGraph, f: &Word) -> Option<FdimUpperBound> {
             );
         }
     }
-    Some(FdimUpperBound { idim: k, dimension, images, mode })
+    Some(FdimUpperBound {
+        idim: k,
+        dimension,
+        images,
+        mode,
+    })
 }
 
 /// Searches for an isometric embedding of `g` into the target `Q_d(f)`.
@@ -157,7 +168,12 @@ pub fn find_isometric_embedding(g: &CsrGraph, target: &Qdf) -> Option<Vec<Word>>
     let order = bfs_order(g);
     let mut assign: Vec<Option<u32>> = vec![None; n];
     if embed_backtrack(g, target, &dist, &order, 0, &mut assign) {
-        Some(assign.into_iter().map(|a| target.label(a.expect("assigned"))).collect())
+        Some(
+            assign
+                .into_iter()
+                .map(|a| target.label(a.expect("assigned")))
+                .collect(),
+        )
     } else {
         None
     }
@@ -201,7 +217,7 @@ fn embed_backtrack(
         (0..target.order() as u32).collect()
     } else {
         let anchor = g
-            .neighbors(order[depth] )
+            .neighbors(order[depth])
             .iter()
             .find_map(|&w| assign[w as usize])
             .expect("BFS order guarantees a mapped neighbor");
@@ -264,7 +280,10 @@ mod tests {
         // label 0b101 (bits i = 0 and 2 set), k = 3.
         assert_eq!(pad_label(0b101, 3, PadMode::InsertZero), word("10001"));
         assert_eq!(pad_label(0b101, 3, PadMode::InsertOne), word("11011"));
-        assert_eq!(pad_label(0b101, 3, PadMode::InsertDoubleZero), word("1000001"));
+        assert_eq!(
+            pad_label(0b101, 3, PadMode::InsertDoubleZero),
+            word("1000001")
+        );
         assert_eq!(pad_label(0, 0, PadMode::InsertZero), Word::EMPTY);
         assert_eq!(pad_label(1, 1, PadMode::InsertDoubleZero), word("1"));
     }
@@ -335,7 +354,10 @@ mod tests {
             let upper = dim_f_upper(&g, &f11).unwrap().dimension;
             assert!(idim <= exact, "{name}: idim ≤ dim_f");
             assert!(exact <= upper, "{name}: dim_f ≤ constructive bound");
-            assert!(upper <= (3 * idim).saturating_sub(2).max(1), "{name}: Prop 7.1 bound");
+            assert!(
+                upper <= (3 * idim).saturating_sub(2).max(1),
+                "{name}: Prop 7.1 bound"
+            );
         }
     }
 

@@ -70,11 +70,19 @@ pub fn analyze(g: &CsrGraph) -> PartialCubeResult {
         return PartialCubeResult::No("not bipartite");
     }
     if n == 1 {
-        return PartialCubeResult::Yes(CubeLabeling { dimension: 0, labels: vec![vec![]] });
+        return PartialCubeResult::Yes(CubeLabeling {
+            dimension: 0,
+            labels: vec![vec![]],
+        });
     }
     let theta = Theta::new(g);
     let classes = theta.theta_star_classes();
-    let k = classes.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+    let k = classes
+        .iter()
+        .copied()
+        .max()
+        .map(|m| m as usize + 1)
+        .unwrap_or(0);
     // Representative edge per class.
     let mut rep = vec![usize::MAX; k];
     for (e, &c) in classes.iter().enumerate() {
@@ -98,7 +106,10 @@ pub fn analyze(g: &CsrGraph) -> PartialCubeResult {
             }
         }
     }
-    let labeling = CubeLabeling { dimension: k, labels };
+    let labeling = CubeLabeling {
+        dimension: k,
+        labels,
+    };
     // Accept iff the labelling is an isometry.
     for u in 0..n {
         for v in u + 1..n {

@@ -30,7 +30,10 @@ impl Theta {
             fibcube_graph::distance::is_connected(g),
             "Θ relation requires a connected graph"
         );
-        Theta { edges: g.edges().collect(), dist: parallel_distance_matrix(g) }
+        Theta {
+            edges: g.edges().collect(),
+            dist: parallel_distance_matrix(g),
+        }
     }
 
     /// The edge list this context indexes (order defines edge ids).
@@ -70,7 +73,12 @@ impl Theta {
     /// Number of Θ*-classes.
     pub fn theta_star_count(&self) -> usize {
         let classes = self.theta_star_classes();
-        classes.iter().copied().max().map(|m| m as usize + 1).unwrap_or(0)
+        classes
+            .iter()
+            .copied()
+            .max()
+            .map(|m| m as usize + 1)
+            .unwrap_or(0)
     }
 
     /// Is Θ transitive on this graph (i.e. Θ = Θ*)? By Winkler's theorem a

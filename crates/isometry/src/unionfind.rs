@@ -12,7 +12,11 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> UnionFind {
-        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n], components: n }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
     }
 
     /// Representative of `x`'s set (path halving).

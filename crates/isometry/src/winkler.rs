@@ -42,12 +42,18 @@ pub fn section8_ladder(d: usize) -> Vec<(Word, Word)> {
     // Phase 1: prefix 0^k 1^{d−1−k}, k = 0..=d−1.
     for k in 0..=d - 1 {
         let prefix = Word::zeros(k).concat(&Word::ones(d - 1 - k));
-        rungs.push((prefix.concat(&Word::ones(1)), prefix.concat(&Word::zeros(1))));
+        rungs.push((
+            prefix.concat(&Word::ones(1)),
+            prefix.concat(&Word::zeros(1)),
+        ));
     }
     // Phase 2: prefix 1^j 0^{d−1−j}, j = 1..=d−3.
     for j in 1..=d - 3 {
         let prefix = Word::ones(j).concat(&Word::zeros(d - 1 - j));
-        rungs.push((prefix.concat(&Word::ones(1)), prefix.concat(&Word::zeros(1))));
+        rungs.push((
+            prefix.concat(&Word::ones(1)),
+            prefix.concat(&Word::zeros(1)),
+        ));
     }
     rungs
 }
@@ -64,10 +70,16 @@ pub fn section8_example(d: usize) -> Section8Example {
     let y = ones(d - 3).concat(&"111".parse::<Word>().unwrap());
     let theta = Theta::new(g.graph());
     let eid = theta
-        .edge_id(g.index_of(&u).expect("u ∈ V"), g.index_of(&v).expect("v ∈ V"))
+        .edge_id(
+            g.index_of(&u).expect("u ∈ V"),
+            g.index_of(&v).expect("v ∈ V"),
+        )
         .expect("e is an edge");
     let fid = theta
-        .edge_id(g.index_of(&x).expect("x ∈ V"), g.index_of(&y).expect("y ∈ V"))
+        .edge_id(
+            g.index_of(&x).expect("x ∈ V"),
+            g.index_of(&y).expect("y ∈ V"),
+        )
         .expect("f is an edge");
     let e_theta_f = theta.related(eid, fid);
     let classes = theta.theta_star_classes();

@@ -39,7 +39,11 @@ pub fn broadcast_all_port(t: &dyn Topology, source: u32) -> BroadcastSchedule {
     let mut round = vec![0u32; t.len()];
     let mut max = 0;
     for (v, &dv) in dist.iter().enumerate() {
-        assert_ne!(dv, fibcube_graph::INFINITY, "broadcast needs a connected network");
+        assert_ne!(
+            dv,
+            fibcube_graph::INFINITY,
+            "broadcast needs a connected network"
+        );
         round[v] = dv;
         max = max.max(dv);
         if dv > 0 {
@@ -54,7 +58,12 @@ pub fn broadcast_all_port(t: &dyn Topology, source: u32) -> BroadcastSchedule {
             calls.push((parent, v as u32));
         }
     }
-    BroadcastSchedule { source, round, rounds: max, calls }
+    BroadcastSchedule {
+        source,
+        round,
+        rounds: max,
+        calls,
+    }
 }
 
 /// Greedy one-port (telephone) broadcast: each round, every informed node
@@ -83,8 +92,11 @@ pub fn broadcast_one_port(t: &dyn Topology, source: u32) -> BroadcastSchedule {
                 .copied()
                 .filter(|&v| !informed[v as usize])
                 .max_by_key(|&v| {
-                    let need =
-                        g.neighbors(v).iter().filter(|&&w| !informed[w as usize]).count();
+                    let need = g
+                        .neighbors(v)
+                        .iter()
+                        .filter(|&&w| !informed[w as usize])
+                        .count();
                     (need, std::cmp::Reverse(v))
                 });
             if let Some(v) = candidate {
@@ -101,7 +113,12 @@ pub fn broadcast_one_port(t: &dyn Topology, source: u32) -> BroadcastSchedule {
         );
         holders.extend(new_holders);
     }
-    BroadcastSchedule { source, round, rounds, calls }
+    BroadcastSchedule {
+        source,
+        round,
+        rounds,
+        calls,
+    }
 }
 
 /// Validates a schedule: every node informed exactly once, by an informed
@@ -120,8 +137,7 @@ pub fn verify_schedule(t: &dyn Topology, s: &BroadcastSchedule, one_port: bool) 
             return false;
         }
         // Caller must already know the message strictly before this round.
-        if informed_at[u as usize] == u32::MAX || informed_at[u as usize] >= s.round[v as usize]
-        {
+        if informed_at[u as usize] == u32::MAX || informed_at[u as usize] >= s.round[v as usize] {
             return false;
         }
         informed_at[v as usize] = s.round[v as usize];

@@ -56,7 +56,11 @@ pub fn embed_path(net: &FibonacciNet) -> Option<Embedding> {
 /// reports the true dilation.
 pub fn embed_ring(net: &FibonacciNet) -> Option<Embedding> {
     if let HamiltonResult::Found(cycle) = hamiltonian_cycle(net.graph()) {
-        return Some(Embedding { image: cycle, dilation: 1, guest_order: net.len() });
+        return Some(Embedding {
+            image: cycle,
+            dilation: 1,
+            guest_order: net.len(),
+        });
     }
     let path = match hamiltonian_path(net.graph()) {
         HamiltonResult::Found(p) => p,
@@ -68,7 +72,11 @@ pub fn embed_ring(net: &FibonacciNet) -> Option<Embedding> {
         *path.first().expect("non-empty"),
         *path.last().expect("non-empty"),
     );
-    Some(Embedding { image: path, dilation: closing.max(1), guest_order: net.len() })
+    Some(Embedding {
+        image: path,
+        dilation: closing.max(1),
+        guest_order: net.len(),
+    })
 }
 
 /// The interleaving map `b₁b₂…b_k ↦ b₁0b₂0…0b_k`: embeds the hypercube
@@ -98,7 +106,14 @@ pub fn embed_hypercube(k: usize) -> (FibonacciNet, Embedding) {
         .collect();
     let guest = fibcube_graph::generators::hypercube(k);
     let dilation = measure_dilation(&guest, net.graph(), &image);
-    (net, Embedding { image, dilation, guest_order: 1 << k })
+    (
+        net,
+        Embedding {
+            image,
+            dilation,
+            guest_order: 1 << k,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -145,8 +160,7 @@ mod tests {
             for u in 0..guest.num_vertices() {
                 for v in 0..guest.num_vertices() {
                     assert_eq!(
-                        gd[u][v],
-                        hd[e.image[u] as usize][e.image[v] as usize],
+                        gd[u][v], hd[e.image[u] as usize][e.image[v] as usize],
                         "k={k} pair ({u},{v})"
                     );
                 }

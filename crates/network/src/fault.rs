@@ -87,8 +87,16 @@ pub fn fault_trial(t: &dyn Topology, faults: usize, seed: u64) -> FaultTrial {
     FaultTrial {
         failed,
         surviving_components: components,
-        reachable_pair_fraction: if pairs > 0 { reachable as f64 / pairs as f64 } else { 1.0 },
-        mean_dilation: if dilation_count > 0 { dilation_sum / dilation_count as f64 } else { 1.0 },
+        reachable_pair_fraction: if pairs > 0 {
+            reachable as f64 / pairs as f64
+        } else {
+            1.0
+        },
+        mean_dilation: if dilation_count > 0 {
+            dilation_sum / dilation_count as f64
+        } else {
+            1.0
+        },
     }
 }
 

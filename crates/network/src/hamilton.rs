@@ -135,8 +135,11 @@ fn extend(
         .copied()
         .filter(|&v| !visited[v as usize])
         .map(|v| {
-            let onward =
-                g.neighbors(v).iter().filter(|&&w| !visited[w as usize]).count();
+            let onward = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&w| !visited[w as usize])
+                .count();
             (onward, v)
         })
         .collect();
@@ -187,7 +190,17 @@ mod tests {
     #[test]
     fn fibonacci_cubes_have_hamiltonian_paths() {
         // Liu–Hsu–Chung: Q_d(1^k) always has a Hamiltonian path.
-        for (d, k) in [(2, 2), (3, 2), (4, 2), (5, 2), (6, 2), (7, 2), (4, 3), (5, 3), (6, 3)] {
+        for (d, k) in [
+            (2, 2),
+            (3, 2),
+            (4, 2),
+            (5, 2),
+            (6, 2),
+            (7, 2),
+            (4, 3),
+            (5, 3),
+            (6, 3),
+        ] {
             let net = FibonacciNet::new(d, k);
             match hamiltonian_path(net.graph()) {
                 HamiltonResult::Found(p) => {

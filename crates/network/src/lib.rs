@@ -7,12 +7,17 @@
 //! evaluate it against the classic baselines:
 //!
 //! * [`topology`] — `Q_d(1^k)`, hypercube, ring, mesh, each with its
-//!   distributed shortest-path router (canonical-path routing on the
+//!   distributed shortest-path rule (canonical-path routing on the
 //!   Fibonacci cubes, justified by Proposition 3.1's argument);
+//! * [`router`] — routing *policies* split out of the topologies: e-cube,
+//!   precomputed canonical-path, and load-aware adaptive minimal routing;
 //! * [`simulator`] — synchronous store-and-forward packet simulation with
-//!   latency/throughput statistics;
+//!   latency/throughput statistics (active-set engine, plus the original
+//!   full-scan engine as a reference oracle);
+//! * [`sweep`] — injection-rate ladders producing saturation-throughput
+//!   and latency-vs-load curves, parallel across (rate, seed) runs;
 //! * [`traffic`] — seeded workload generators (uniform, hot-spot,
-//!   complement permutation, all-to-all);
+//!   complement permutation, all-to-all, open-loop Bernoulli);
 //! * [`broadcast`] — one-to-all broadcast in the all-port and one-port
 //!   models;
 //! * [`metrics`] — the static figure-of-merit table (degree, diameter,
@@ -30,7 +35,9 @@ pub mod embedding;
 pub mod fault;
 pub mod hamilton;
 pub mod metrics;
+pub mod router;
 pub mod simulator;
+pub mod sweep;
 pub mod topology;
 pub mod traffic;
 
@@ -39,6 +46,10 @@ pub use embedding::{embed_hypercube, embed_path, embed_ring, Embedding};
 pub use fault::{fault_sweep, fault_trial, FaultTrial};
 pub use hamilton::{hamiltonian_cycle, hamiltonian_path, HamiltonResult};
 pub use metrics::{metrics, TopologyMetrics};
-pub use simulator::{simulate, SimStats};
-pub use topology::{FibonacciNet, Hypercube, Mesh, Ring, Topology};
+pub use router::{
+    AdaptiveMinimal, CanonicalRouter, EcubeRouter, LinkLoad, NextHopRouter, NoLoad, Router,
+};
+pub use simulator::{simulate, simulate_reference, simulate_with, SimStats};
+pub use sweep::{injection_sweep, saturation_point, LoadPoint, SweepConfig, SweepCurve};
+pub use topology::{FibonacciNet, Hypercube, Mesh, Ring, RouteError, Topology};
 pub use traffic::Packet;

@@ -1,0 +1,394 @@
+//! Routing algorithms, split out of [`Topology`](crate::topology::Topology).
+//!
+//! The seed fused "what the network looks like" and "how packets pick
+//! their next hop" into one trait, which made it impossible to compare
+//! routing *policies* on a fixed topology or to give the simulation engine
+//! a load-aware router. This module separates the two:
+//!
+//! * [`EcubeRouter`] — dimension-ordered routing on the hypercube, pure
+//!   bit arithmetic, `O(1)` per hop;
+//! * [`CanonicalRouter`] — the Proposition 3.1 canonical-path rule on
+//!   `Q_d(1^k)`, with the per-hop label binary search of the seed replaced
+//!   by a precomputed `node × position → node` flip table, `O(1)` per hop;
+//! * [`AdaptiveMinimal`] — a minimal *adaptive* router for
+//!   Hamming-addressed topologies (hypercube and the isometric `Q_d(1^k)`):
+//!   among all neighbors strictly closer to the destination it forwards to
+//!   the least-loaded output link, using the live queue occupancies the
+//!   engine exposes through [`LinkLoad`];
+//! * [`NextHopRouter`] — adapter running any topology's built-in
+//!   distributed rule, so ring/mesh (and external `Topology` impls) plug
+//!   into the same engine.
+//!
+//! Every router here is *progressive* — each hop strictly decreases the
+//! distance to the destination — which the property tests in
+//! `tests/proptest_network.rs` verify against BFS ground truth.
+
+use fibcube_words::word::Word;
+
+use crate::topology::{FibonacciNet, Hypercube, Topology};
+
+/// Live occupancy of the deciding node's output links, as exposed by the
+/// simulation engine. `load(slot)` is the number of packets currently
+/// queued on the output link at `slot` (an index into the node's sorted
+/// neighbor list). Deterministic routers ignore it.
+pub trait LinkLoad {
+    /// Queued packets on output slot `slot` of the current node.
+    fn load(&self, slot: usize) -> usize;
+}
+
+/// The all-idle view, for route computation outside a simulation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoLoad;
+
+impl LinkLoad for NoLoad {
+    fn load(&self, _slot: usize) -> usize {
+        0
+    }
+}
+
+/// A distributed routing policy: given the current node, the destination,
+/// and (optionally) the local link loads, pick the output neighbor.
+pub trait Router {
+    /// Short policy name (`"e-cube"`, `"canonical"`, `"adaptive"`, …).
+    fn name(&self) -> String;
+
+    /// The neighbor to forward to on the way from `cur` to `dst`, or
+    /// `None` when `cur == dst`. Must be progressive: the hop strictly
+    /// decreases the distance to `dst`.
+    fn next_hop(&self, cur: u32, dst: u32, load: &dyn LinkLoad) -> Option<u32>;
+}
+
+impl<R: Router + ?Sized> Router for &R {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn next_hop(&self, cur: u32, dst: u32, load: &dyn LinkLoad) -> Option<u32> {
+        (**self).next_hop(cur, dst, load)
+    }
+}
+
+/// E-cube (dimension-ordered) routing on the binary hypercube: correct the
+/// lowest differing dimension first. Node ids are the addresses, so the
+/// policy needs no state at all.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EcubeRouter;
+
+impl EcubeRouter {
+    /// The e-cube hop, usable without constructing a router value.
+    #[inline]
+    pub fn hop(cur: u32, dst: u32) -> Option<u32> {
+        let diff = cur ^ dst;
+        if diff == 0 {
+            return None;
+        }
+        Some(cur ^ (diff & diff.wrapping_neg()))
+    }
+}
+
+impl Router for EcubeRouter {
+    fn name(&self) -> String {
+        "e-cube".into()
+    }
+
+    fn next_hop(&self, cur: u32, dst: u32, _load: &dyn LinkLoad) -> Option<u32> {
+        EcubeRouter::hop(cur, dst)
+    }
+}
+
+/// Canonical-path routing on `Q_d(1^k)` (Proposition 3.1): flip the
+/// leftmost `1 → 0` correction first, else the leftmost `0 → 1`.
+///
+/// The seed recomputed the flipped word and binary-searched the full label
+/// list on **every hop** (`O(d + log n)`); this router precomputes the
+/// `node × position → node` flip table once (`O(n·d·log n)` at build) and
+/// then routes each hop with two bit operations and one table load.
+#[derive(Clone, Debug)]
+pub struct CanonicalRouter {
+    d: usize,
+    /// Raw label bits per node (`b₁` at bit `d−1`).
+    bits: Vec<u64>,
+    /// `flip[i·d + (p−1)]` — node id of `labels[i].flip(p)`, or `INVALID`
+    /// when the flipped word leaves the network.
+    flip: Vec<u32>,
+}
+
+const INVALID: u32 = u32::MAX;
+
+impl CanonicalRouter {
+    /// Builds the router for a label set of `d`-bit Zeckendorf addresses
+    /// (sorted, as produced by [`FibonacciNet::labels`]).
+    pub fn new(d: usize, labels: &[Word]) -> CanonicalRouter {
+        let bits: Vec<u64> = labels.iter().map(Word::bits).collect();
+        let mut flip = vec![INVALID; labels.len() * d];
+        for (i, w) in labels.iter().enumerate() {
+            for p in 1..=d {
+                if let Ok(j) = labels.binary_search(&w.flip(p)) {
+                    flip[i * d + (p - 1)] = j as u32;
+                }
+            }
+        }
+        CanonicalRouter { d, bits, flip }
+    }
+
+    /// Builds the router for a Fibonacci-cube network in `O(n·d + m)`:
+    /// every valid flip is already materialised as a link, so the flip
+    /// table is read straight off the adjacency lists instead of binary
+    /// searching per (node, position) as [`CanonicalRouter::new`] must.
+    pub fn for_net(net: &FibonacciNet) -> CanonicalRouter {
+        let d = net.d();
+        let labels = net.labels();
+        let bits: Vec<u64> = labels.iter().map(Word::bits).collect();
+        let mut flip = vec![INVALID; labels.len() * d];
+        let g = net.graph();
+        for u in 0..g.num_vertices() as u32 {
+            for &v in g.neighbors(u) {
+                // Each link flips exactly one position.
+                let diff = bits[u as usize] ^ bits[v as usize];
+                let p = d - diff.trailing_zeros() as usize;
+                flip[u as usize * d + (p - 1)] = v;
+            }
+        }
+        CanonicalRouter { d, bits, flip }
+    }
+}
+
+impl Router for CanonicalRouter {
+    fn name(&self) -> String {
+        "canonical".into()
+    }
+
+    #[inline]
+    fn next_hop(&self, cur: u32, dst: u32, _load: &dyn LinkLoad) -> Option<u32> {
+        let c = self.bits[cur as usize];
+        let t = self.bits[dst as usize];
+        if c == t {
+            return None;
+        }
+        // Leftmost position = highest bit (b₁ lives at bit d−1).
+        let down = c & !t;
+        let chosen = if down != 0 { down } else { t & !c };
+        let p = self.d - (63 - chosen.leading_zeros() as usize);
+        let hop = self.flip[cur as usize * self.d + (p - 1)];
+        debug_assert_ne!(hop, INVALID, "canonical flips stay 1^k-free (Prop 3.1)");
+        Some(hop)
+    }
+}
+
+/// Topologies whose node addresses realise graph distance as Hamming
+/// distance — true for the hypercube and for `Q_d(1^k)`, which is an
+/// isometric subgraph of `Q_d` (the 1993 line's "good codes" property).
+pub trait HammingAddressed: Topology {
+    /// The binary address of node `v`.
+    fn address(&self, v: u32) -> u64;
+}
+
+impl HammingAddressed for Hypercube {
+    fn address(&self, v: u32) -> u64 {
+        v as u64
+    }
+}
+
+impl HammingAddressed for FibonacciNet {
+    fn address(&self, v: u32) -> u64 {
+        self.label(v).bits()
+    }
+}
+
+/// Minimal adaptive routing: among the neighbors strictly closer to the
+/// destination (by address Hamming distance = graph distance), forward on
+/// the least-loaded output link; ties break toward the smallest slot, so
+/// the router stays deterministic under equal load.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveMinimal<'a, T: HammingAddressed + ?Sized> {
+    topo: &'a T,
+}
+
+impl<'a, T: HammingAddressed + ?Sized> AdaptiveMinimal<'a, T> {
+    /// Wraps a Hamming-addressed topology.
+    pub fn new(topo: &'a T) -> AdaptiveMinimal<'a, T> {
+        AdaptiveMinimal { topo }
+    }
+}
+
+impl<T: HammingAddressed + ?Sized> Router for AdaptiveMinimal<'_, T> {
+    fn name(&self) -> String {
+        "adaptive".into()
+    }
+
+    fn next_hop(&self, cur: u32, dst: u32, load: &dyn LinkLoad) -> Option<u32> {
+        let target = self.topo.address(dst);
+        let cur_dist = (self.topo.address(cur) ^ target).count_ones();
+        if cur_dist == 0 {
+            return None;
+        }
+        let mut best: Option<(usize, u32)> = None;
+        for (slot, &v) in self.topo.graph().neighbors(cur).iter().enumerate() {
+            if (self.topo.address(v) ^ target).count_ones() < cur_dist {
+                let l = load.load(slot);
+                if best.is_none_or(|(bl, _)| l < bl) {
+                    best = Some((l, v));
+                }
+            }
+        }
+        let (_, hop) = best.expect("isometric addressing guarantees a closer neighbor");
+        Some(hop)
+    }
+}
+
+/// Adapter running a topology's built-in distributed rule
+/// ([`Topology::next_hop`]) as a [`Router`], ignoring link load. This is
+/// what [`simulate`](crate::simulator::simulate) falls back to for
+/// topologies without a dedicated split-out router (ring, mesh).
+#[derive(Clone, Copy, Debug)]
+pub struct NextHopRouter<'a, T: Topology + ?Sized> {
+    topo: &'a T,
+}
+
+impl<'a, T: Topology + ?Sized> NextHopRouter<'a, T> {
+    /// Wraps a topology's own routing rule.
+    pub fn new(topo: &'a T) -> NextHopRouter<'a, T> {
+        NextHopRouter { topo }
+    }
+}
+
+impl<T: Topology + ?Sized> Router for NextHopRouter<'_, T> {
+    fn name(&self) -> String {
+        "builtin".into()
+    }
+
+    fn next_hop(&self, cur: u32, dst: u32, _load: &dyn LinkLoad) -> Option<u32> {
+        self.topo.next_hop(cur, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Ring;
+    use fibcube_graph::bfs::bfs_distances;
+
+    fn assert_progressive(topo: &dyn Topology, router: &dyn Router) {
+        let g = topo.graph();
+        for dst in 0..topo.len() as u32 {
+            let dist = bfs_distances(g, dst);
+            for src in 0..topo.len() as u32 {
+                let mut cur = src;
+                while let Some(hop) = router.next_hop(cur, dst, &NoLoad) {
+                    assert!(
+                        g.has_edge(cur, hop),
+                        "{}: {cur}→{hop} not a link",
+                        router.name()
+                    );
+                    assert_eq!(
+                        dist[hop as usize] + 1,
+                        dist[cur as usize],
+                        "{}: hop {cur}→{hop} toward {dst} not progressive",
+                        router.name()
+                    );
+                    cur = hop;
+                }
+                assert_eq!(cur, dst);
+            }
+        }
+    }
+
+    #[test]
+    fn ecube_router_matches_hypercube_rule() {
+        let q = Hypercube::new(5);
+        assert_progressive(&q, &EcubeRouter);
+        for cur in 0..32u32 {
+            for dst in 0..32u32 {
+                assert_eq!(
+                    EcubeRouter.next_hop(cur, dst, &NoLoad),
+                    q.next_hop(cur, dst)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_router_matches_seed_rule() {
+        for (d, k) in [(7usize, 2usize), (6, 3), (5, 4)] {
+            let net = FibonacciNet::new(d, k);
+            let router = CanonicalRouter::for_net(&net);
+            assert_progressive(&net, &router);
+            for cur in 0..net.len() as u32 {
+                for dst in 0..net.len() as u32 {
+                    assert_eq!(
+                        router.next_hop(cur, dst, &NoLoad),
+                        net.next_hop(cur, dst),
+                        "d={d} k={k} {cur}→{dst}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn for_net_fast_build_matches_label_build() {
+        for (d, k) in [(0usize, 2usize), (1, 2), (8, 2), (6, 3)] {
+            let net = FibonacciNet::new(d, k);
+            let fast = CanonicalRouter::for_net(&net);
+            let slow = CanonicalRouter::new(net.d(), net.labels());
+            for cur in 0..net.len() as u32 {
+                for dst in 0..net.len() as u32 {
+                    assert_eq!(
+                        fast.next_hop(cur, dst, &NoLoad),
+                        slow.next_hop(cur, dst, &NoLoad),
+                        "d={d} k={k} {cur}→{dst}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_minimal_is_progressive() {
+        let q = Hypercube::new(4);
+        assert_progressive(&q, &AdaptiveMinimal::new(&q));
+        let net = FibonacciNet::classical(8);
+        assert_progressive(&net, &AdaptiveMinimal::new(&net));
+    }
+
+    #[test]
+    fn adaptive_minimal_avoids_loaded_links() {
+        // At node 0000 of Q_4 heading to 0011, slots for nodes 0001 and
+        // 0010 are both minimal; loading one must steer to the other.
+        let q = Hypercube::new(4);
+        let router = AdaptiveMinimal::new(&q);
+        struct OneBusy(usize);
+        impl LinkLoad for OneBusy {
+            fn load(&self, slot: usize) -> usize {
+                usize::from(slot == self.0)
+            }
+        }
+        let slot_of = |v: u32| q.graph().slot_of(0, v).unwrap();
+        assert_eq!(
+            router.next_hop(0, 0b0011, &OneBusy(slot_of(0b0001))),
+            Some(0b0010)
+        );
+        assert_eq!(
+            router.next_hop(0, 0b0011, &OneBusy(slot_of(0b0010))),
+            Some(0b0001)
+        );
+    }
+
+    #[test]
+    fn next_hop_router_wraps_any_topology() {
+        let ring = Ring::new(9);
+        assert_progressive(&ring, &NextHopRouter::new(&ring));
+    }
+
+    #[test]
+    fn router_names() {
+        let q = Hypercube::new(3);
+        assert_eq!(EcubeRouter.name(), "e-cube");
+        assert_eq!(AdaptiveMinimal::new(&q).name(), "adaptive");
+        assert_eq!(NextHopRouter::new(&q).name(), "builtin");
+        assert_eq!(
+            CanonicalRouter::for_net(&FibonacciNet::classical(4)).name(),
+            "canonical"
+        );
+    }
+}

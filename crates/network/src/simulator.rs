@@ -3,13 +3,34 @@
 //! Model: time advances in cycles. Every node has one FIFO output queue per
 //! neighbor (virtual-channel-free store-and-forward); each directed link
 //! moves at most one packet per cycle. Arriving packets are re-enqueued
-//! toward their next hop (computed by the topology's distributed router) or
-//! retired with their latency recorded. The model is deliberately simple —
-//! the experiments compare *topologies under identical rules*, which is the
-//! shape of the 1993-era evaluations.
+//! toward their next hop (computed by a [`Router`]) or retired with their
+//! latency recorded. The model is deliberately simple — the experiments
+//! compare *topologies under identical rules*, which is the shape of the
+//! 1993-era evaluations.
+//!
+//! ## Engine
+//!
+//! [`simulate_with`] is an **active-set** engine: per-link FIFOs live in
+//! one flat vector indexed by the graph's directed-edge index
+//! (`offsets[u] + slot`), the `(node, neighbor) → slot` mapping comes from
+//! a precomputed [`SlotTable`], and each cycle touches only the worklist
+//! of nodes that actually hold packets — so an idle or lightly loaded
+//! cycle costs `O(active · degree)`, not `O(n · degree)`. Empty stretches
+//! between injections are skipped entirely. The function is generic over
+//! the topology and router, so concrete callers monomorphize; `&dyn
+//! Topology` still works (the bench bins use it) because the bound is
+//! `?Sized`.
+//!
+//! The seed's original engine — full node scan every cycle, binary search
+//! per hop — is preserved as [`simulate_reference`]: it is the behavioural
+//! oracle the property tests compare against and the baseline the sweep
+//! binary measures speedups over.
 
 use std::collections::VecDeque;
 
+use fibcube_graph::csr::SlotTable;
+
+use crate::router::{LinkLoad, Router};
 use crate::topology::Topology;
 use crate::traffic::Packet;
 
@@ -40,19 +61,240 @@ struct InFlight {
     inject_time: u64,
 }
 
-/// Runs the synchronous store-and-forward simulation.
+/// Occupancy view of one node's output links, handed to adaptive routers.
+struct NodeLoad<'a> {
+    queues: &'a [VecDeque<InFlight>],
+    base: usize,
+}
+
+impl LinkLoad for NodeLoad<'_> {
+    fn load(&self, slot: usize) -> usize {
+        self.queues[self.base + slot].len()
+    }
+}
+
+/// Accumulates delivery statistics shared by both engines.
+#[derive(Default)]
+struct StatsAcc {
+    delivered: usize,
+    total_latency: u64,
+    hist: Vec<u64>,
+    total_hops: u64,
+    makespan: u64,
+}
+
+impl StatsAcc {
+    fn deliver(&mut self, now: u64, inject_time: u64) {
+        self.delivered += 1;
+        let lat = now - inject_time;
+        self.total_latency += lat;
+        bump(&mut self.hist, lat);
+        self.makespan = self.makespan.max(now);
+    }
+
+    /// A self-addressed packet: delivered at latency 0 without touching
+    /// the makespan (it never occupied a link — seed semantics).
+    fn deliver_instant(&mut self) {
+        self.delivered += 1;
+        bump(&mut self.hist, 0);
+    }
+
+    fn finish(self, offered: usize) -> SimStats {
+        let mean_latency = if self.delivered > 0 {
+            self.total_latency as f64 / self.delivered as f64
+        } else {
+            0.0
+        };
+        let p99 = percentile(&self.hist, 0.99);
+        let throughput = if self.makespan > 0 {
+            self.delivered as f64 / self.makespan as f64
+        } else {
+            self.delivered as f64
+        };
+        SimStats {
+            offered,
+            delivered: self.delivered,
+            makespan: self.makespan,
+            mean_latency,
+            latency_histogram: self.hist,
+            p99_latency: p99,
+            total_hops: self.total_hops,
+            throughput,
+        }
+    }
+}
+
+/// Runs the store-and-forward simulation with the topology's preferred
+/// router (e-cube on hypercubes, precomputed canonical-path on Fibonacci
+/// networks, the built-in rule elsewhere).
 ///
-/// `max_cycles` caps the run so that pathological configurations terminate;
-/// undelivered packets are reported via `offered − delivered` (the
-/// simulator never deadlocks logically — progressive routers always move
-/// packets closer — but finite time can truncate).
-pub fn simulate(topology: &dyn Topology, packets: &[Packet], max_cycles: u64) -> SimStats {
+/// `max_cycles` caps the run so that pathological configurations
+/// terminate; undelivered packets are reported via `offered − delivered`.
+pub fn simulate<T: Topology + ?Sized>(
+    topology: &T,
+    packets: &[Packet],
+    max_cycles: u64,
+) -> SimStats {
+    simulate_with(topology, &*topology.router(), packets, max_cycles)
+}
+
+/// Routes `pkt` at `node` and enqueues it on the chosen output link —
+/// the one mutation path shared by the injection and arrival phases.
+fn route_and_enqueue<R: Router + ?Sized>(
+    g: &fibcube_graph::csr::CsrGraph,
+    slots: &SlotTable,
+    router: &R,
+    queues: &mut [VecDeque<InFlight>],
+    occupancy: &mut [u32],
+    node: u32,
+    pkt: InFlight,
+) {
+    let base = g.edge_range(node).start;
+    let hop = {
+        let load = NodeLoad { queues, base };
+        router
+            .next_hop(node, pkt.dst, &load)
+            .expect("routing a packet not yet at dst")
+    };
+    let slot = slots
+        .slot(node, hop)
+        .expect("next_hop must return a neighbor");
+    queues[base + slot as usize].push_back(pkt);
+    occupancy[node as usize] += 1;
+}
+
+/// Runs the active-set store-and-forward simulation under an explicit
+/// routing policy. Generic over both parameters, so concrete call sites
+/// monomorphize the hot loop; `?Sized` keeps `&dyn` callers working.
+pub fn simulate_with<T, R>(
+    topology: &T,
+    router: &R,
+    packets: &[Packet],
+    max_cycles: u64,
+) -> SimStats
+where
+    T: Topology + ?Sized,
+    R: Router + ?Sized,
+{
     let n = topology.len();
-    // Per-node, per-neighbor-slot FIFO queues of (packet, queued_since).
-    let graph = topology.graph();
-    let mut queues: Vec<Vec<VecDeque<InFlight>>> =
-        (0..n).map(|u| vec![VecDeque::new(); graph.degree(u as u32)]).collect();
+    let g = topology.graph();
+    let slots = SlotTable::new(g);
+
+    // Flat per-link FIFOs, indexed by directed-edge index.
+    let mut queues: Vec<VecDeque<InFlight>> = vec![VecDeque::new(); g.num_directed_edges()];
+    // Per-node count of queued packets, and the active-node worklist.
+    let mut occupancy = vec![0u32; n];
+    let mut on_list = vec![false; n];
+    let mut active: Vec<u32> = Vec::new();
+    let mut next_active: Vec<u32> = Vec::new();
+    let mut arrivals: Vec<(u32, InFlight)> = Vec::new();
+
     // Injection list sorted by time.
+    let mut inj: Vec<&Packet> = packets.iter().collect();
+    inj.sort_by_key(|p| p.inject_time);
+    let mut next_inject = 0usize;
+
+    let mut acc = StatsAcc::default();
+    let mut in_flight = 0usize;
+
+    let mut cycle: u64 = 0;
+    while cycle < max_cycles {
+        // Skip straight to the next injection when the network is empty.
+        if in_flight == 0 {
+            match inj.get(next_inject) {
+                None => break,
+                Some(p) if p.inject_time > cycle => {
+                    if p.inject_time >= max_cycles {
+                        break;
+                    }
+                    cycle = p.inject_time;
+                }
+                Some(_) => {}
+            }
+        }
+
+        // Inject everything due this cycle.
+        while next_inject < inj.len() && inj[next_inject].inject_time <= cycle {
+            let p = inj[next_inject];
+            next_inject += 1;
+            if p.src == p.dst {
+                // Degenerate: counts as instantly delivered.
+                acc.deliver_instant();
+                continue;
+            }
+            route_and_enqueue(
+                g,
+                &slots,
+                router,
+                &mut queues,
+                &mut occupancy,
+                p.src,
+                InFlight {
+                    dst: p.dst,
+                    inject_time: p.inject_time,
+                },
+            );
+            in_flight += 1;
+            if !on_list[p.src as usize] {
+                on_list[p.src as usize] = true;
+                active.push(p.src);
+            }
+        }
+
+        // Each directed link of an active node forwards one packet.
+        // Ascending node order makes same-cycle FIFO tie-breaking match
+        // the reference engine's full scan exactly.
+        active.sort_unstable();
+        for &u in &active {
+            on_list[u as usize] = false;
+            for e in g.edge_range(u) {
+                if let Some(pkt) = queues[e].pop_front() {
+                    arrivals.push((g.target(e), pkt));
+                    occupancy[u as usize] -= 1;
+                    acc.total_hops += 1;
+                }
+            }
+            if occupancy[u as usize] > 0 {
+                on_list[u as usize] = true;
+                next_active.push(u);
+            }
+        }
+        active.clear();
+        std::mem::swap(&mut active, &mut next_active);
+
+        // Process arrivals (at the cycle + 1 boundary).
+        let now = cycle + 1;
+        for (node, pkt) in arrivals.drain(..) {
+            if node == pkt.dst {
+                in_flight -= 1;
+                acc.deliver(now, pkt.inject_time);
+            } else {
+                route_and_enqueue(g, &slots, router, &mut queues, &mut occupancy, node, pkt);
+                if !on_list[node as usize] {
+                    on_list[node as usize] = true;
+                    active.push(node);
+                }
+            }
+        }
+        cycle += 1;
+    }
+
+    acc.finish(packets.len())
+}
+
+/// The seed's original engine, kept verbatim as a behavioural oracle and
+/// speedup baseline: scans every node every cycle and binary-searches the
+/// neighbor list on every hop, routing through `Topology::next_hop`.
+pub fn simulate_reference(
+    topology: &dyn Topology,
+    packets: &[Packet],
+    max_cycles: u64,
+) -> SimStats {
+    let n = topology.len();
+    let graph = topology.graph();
+    let mut queues: Vec<Vec<VecDeque<InFlight>>> = (0..n)
+        .map(|u| vec![VecDeque::new(); graph.degree(u as u32)])
+        .collect();
     let mut inj: Vec<&Packet> = packets.iter().collect();
     inj.sort_by_key(|p| p.inject_time);
     let mut next_inject = 0usize;
@@ -64,53 +306,42 @@ pub fn simulate(topology: &dyn Topology, packets: &[Packet], max_cycles: u64) ->
             .expect("next_hop must return a neighbor")
     };
 
-    let mut delivered = 0usize;
-    let mut total_latency = 0u64;
-    let mut hist: Vec<u64> = Vec::new();
-    let mut total_hops = 0u64;
-    let mut makespan = 0u64;
+    let mut acc = StatsAcc::default();
     let mut in_flight = 0usize;
 
     let mut cycle: u64 = 0;
     while cycle < max_cycles {
-        // Inject everything due this cycle.
         while next_inject < inj.len() && inj[next_inject].inject_time <= cycle {
             let p = inj[next_inject];
             next_inject += 1;
             if p.src == p.dst {
-                // Degenerate: counts as instantly delivered.
-                delivered += 1;
-                bump(&mut hist, 0);
+                acc.deliver_instant();
                 continue;
             }
             let hop = topology.next_hop(p.src, p.dst).expect("src ≠ dst");
-            queues[p.src as usize][slot_of(p.src, hop)]
-                .push_back(InFlight { dst: p.dst, inject_time: p.inject_time });
+            queues[p.src as usize][slot_of(p.src, hop)].push_back(InFlight {
+                dst: p.dst,
+                inject_time: p.inject_time,
+            });
             in_flight += 1;
         }
         if in_flight == 0 && next_inject >= inj.len() {
             break;
         }
-        // Each directed link forwards one packet.
         let mut arrivals: Vec<(u32, InFlight)> = Vec::new();
         for u in 0..n as u32 {
             for (slot, &v) in graph.neighbors(u).iter().enumerate() {
                 if let Some(pkt) = queues[u as usize][slot].pop_front() {
                     arrivals.push((v, pkt));
-                    total_hops += 1;
+                    acc.total_hops += 1;
                 }
             }
         }
-        // Process arrivals (at cycle+1 boundary).
         let now = cycle + 1;
         for (node, pkt) in arrivals {
             if node == pkt.dst {
-                delivered += 1;
                 in_flight -= 1;
-                let lat = now - pkt.inject_time;
-                total_latency += lat;
-                bump(&mut hist, lat);
-                makespan = makespan.max(now);
+                acc.deliver(now, pkt.inject_time);
             } else {
                 let hop = topology.next_hop(node, pkt.dst).expect("progressive");
                 queues[node as usize][slot_of(node, hop)].push_back(pkt);
@@ -119,21 +350,7 @@ pub fn simulate(topology: &dyn Topology, packets: &[Packet], max_cycles: u64) ->
         cycle += 1;
     }
 
-    let mean_latency =
-        if delivered > 0 { total_latency as f64 / delivered as f64 } else { 0.0 };
-    let p99 = percentile(&hist, 0.99);
-    let throughput =
-        if makespan > 0 { delivered as f64 / makespan as f64 } else { delivered as f64 };
-    SimStats {
-        offered: packets.len(),
-        delivered,
-        makespan,
-        mean_latency,
-        latency_histogram: hist,
-        p99_latency: p99,
-        total_hops,
-        throughput,
-    }
+    acc.finish(packets.len())
 }
 
 fn bump(hist: &mut Vec<u64>, lat: u64) {
@@ -163,13 +380,18 @@ fn percentile(hist: &[u64], q: f64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::router::{AdaptiveMinimal, CanonicalRouter, EcubeRouter};
     use crate::topology::{FibonacciNet, Hypercube, Ring};
     use crate::traffic::{all_to_all, uniform};
 
     #[test]
     fn single_packet_latency_is_distance() {
         let q = Hypercube::new(4);
-        let pkts = vec![Packet { src: 0b0000, dst: 0b1111, inject_time: 0 }];
+        let pkts = vec![Packet {
+            src: 0b0000,
+            dst: 0b1111,
+            inject_time: 0,
+        }];
         let stats = simulate(&q, &pkts, 1000);
         assert_eq!(stats.delivered, 1);
         assert_eq!(stats.mean_latency, 4.0);
@@ -179,8 +401,11 @@ mod tests {
 
     #[test]
     fn all_packets_delivered_uniform() {
-        for topo in [&FibonacciNet::classical(8) as &dyn Topology, &Hypercube::new(5), &Ring::new(21)]
-        {
+        for topo in [
+            &FibonacciNet::classical(8) as &dyn Topology,
+            &Hypercube::new(5),
+            &Ring::new(21),
+        ] {
             let pkts = uniform(topo.len(), 300, 100, 42);
             let stats = simulate(topo, &pkts, 50_000);
             assert_eq!(stats.delivered, stats.offered, "{}", topo.name());
@@ -193,8 +418,13 @@ mod tests {
     fn contention_raises_latency_above_distance() {
         // Many packets into one node: queueing must show up.
         let q = Hypercube::new(3);
-        let pkts: Vec<Packet> =
-            (1..8).map(|s| Packet { src: s, dst: 0, inject_time: 0 }).collect();
+        let pkts: Vec<Packet> = (1..8)
+            .map(|s| Packet {
+                src: s,
+                dst: 0,
+                inject_time: 0,
+            })
+            .collect();
         let stats = simulate(&q, &pkts, 1000);
         assert_eq!(stats.delivered, 7);
         // Node 0 has 3 in-links; 7 packets need ≥ ⌈7/3⌉ = 3 cycles.
@@ -204,7 +434,11 @@ mod tests {
     #[test]
     fn zero_time_cap_delivers_nothing() {
         let q = Hypercube::new(3);
-        let pkts = vec![Packet { src: 0, dst: 7, inject_time: 0 }];
+        let pkts = vec![Packet {
+            src: 0,
+            dst: 7,
+            inject_time: 0,
+        }];
         let stats = simulate(&q, &pkts, 0);
         assert_eq!(stats.delivered, 0);
         assert_eq!(stats.offered, 1);
@@ -227,9 +461,104 @@ mod tests {
     #[test]
     fn self_addressed_packets_count_as_delivered() {
         let q = Hypercube::new(2);
-        let pkts = vec![Packet { src: 1, dst: 1, inject_time: 5 }];
+        let pkts = vec![Packet {
+            src: 1,
+            dst: 1,
+            inject_time: 5,
+        }];
         let stats = simulate(&q, &pkts, 100);
         assert_eq!(stats.delivered, 1);
         assert_eq!(stats.mean_latency, 0.0);
+        assert_eq!(
+            stats.makespan, 0,
+            "a packet that never used a link leaves no makespan"
+        );
+    }
+
+    #[test]
+    fn active_set_engine_agrees_with_reference() {
+        // Deterministic routers and matching same-cycle service order ⇒
+        // the two engines must agree packet for packet: same deliveries,
+        // hops, latency distribution, and makespan.
+        for topo in [
+            &FibonacciNet::classical(7) as &dyn Topology,
+            &Hypercube::new(4),
+            &Ring::new(13),
+        ] {
+            for (count, window, seed) in [(50usize, 20u64, 1u64), (400, 60, 2), (1, 0, 3)] {
+                let pkts = uniform(topo.len(), count, window, seed);
+                let fast = simulate(topo, &pkts, 100_000);
+                let slow = simulate_reference(topo, &pkts, 100_000);
+                assert_eq!(fast.delivered, slow.delivered, "{}", topo.name());
+                assert_eq!(fast.total_hops, slow.total_hops, "{}", topo.name());
+                assert_eq!(fast.offered, slow.offered);
+                assert_eq!(
+                    fast.latency_histogram,
+                    slow.latency_histogram,
+                    "{}",
+                    topo.name()
+                );
+                assert_eq!(fast.mean_latency, slow.mean_latency, "{}", topo.name());
+                assert_eq!(fast.makespan, slow.makespan, "{}", topo.name());
+                assert_eq!(fast.p99_latency, slow.p99_latency, "{}", topo.name());
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_routers_deliver_everything() {
+        let q = Hypercube::new(5);
+        let pkts = uniform(q.len(), 400, 80, 9);
+        for stats in [
+            simulate_with(&q, &EcubeRouter, &pkts, 100_000),
+            simulate_with(&q, &AdaptiveMinimal::new(&q), &pkts, 100_000),
+        ] {
+            assert_eq!(stats.delivered, stats.offered);
+        }
+        let net = FibonacciNet::classical(9);
+        let pkts = uniform(net.len(), 400, 80, 9);
+        let canonical = CanonicalRouter::for_net(&net);
+        for stats in [
+            simulate_with(&net, &canonical, &pkts, 100_000),
+            simulate_with(&net, &AdaptiveMinimal::new(&net), &pkts, 100_000),
+        ] {
+            assert_eq!(stats.delivered, stats.offered);
+        }
+    }
+
+    #[test]
+    fn adaptive_router_no_worse_under_hotspot() {
+        // Adaptive minimal routing must still deliver everything when one
+        // node draws concentrated traffic.
+        let q = Hypercube::new(5);
+        let pkts = crate::traffic::hot_spot(q.len(), 600, 150, 0.4, 11);
+        let stats = simulate_with(&q, &AdaptiveMinimal::new(&q), &pkts, 200_000);
+        assert_eq!(stats.delivered, stats.offered);
+    }
+
+    #[test]
+    fn idle_gap_fast_forward_preserves_semantics() {
+        // Two packets separated by a huge idle gap: the active-set engine
+        // must skip the gap, not simulate it, and still report identical
+        // latencies to the reference engine.
+        let q = Hypercube::new(3);
+        let pkts = vec![
+            Packet {
+                src: 0,
+                dst: 7,
+                inject_time: 0,
+            },
+            Packet {
+                src: 7,
+                dst: 0,
+                inject_time: 1_000_000,
+            },
+        ];
+        let fast = simulate(&q, &pkts, 2_000_000);
+        let slow = simulate_reference(&q, &pkts, 2_000_000);
+        assert_eq!(fast.delivered, 2);
+        assert_eq!(fast.delivered, slow.delivered);
+        assert_eq!(fast.mean_latency, slow.mean_latency);
+        assert_eq!(fast.makespan, slow.makespan);
     }
 }

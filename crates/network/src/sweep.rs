@@ -1,0 +1,224 @@
+//! Injection-rate sweeps: the saturation-throughput and latency-vs-load
+//! experiments the 1993-era evaluations report per topology.
+//!
+//! A sweep runs an *injection-rate ladder*: for each offered rate
+//! (packets per node per cycle) it simulates open-loop Bernoulli traffic
+//! under a fixed router across several seeds, in parallel on the
+//! workspace's scoped-thread pool ([`fibcube_graph::parallel`]), and
+//! averages the resulting throughput/latency into one [`LoadPoint`] per
+//! rate. The resulting curve exposes the two numbers the comparisons care
+//! about: where latency departs from the zero-load value, and the
+//! saturation throughput where accepted traffic stops tracking offered
+//! traffic.
+
+use fibcube_graph::parallel::par_map;
+
+use crate::router::Router;
+use crate::simulator::simulate_with;
+use crate::topology::Topology;
+use crate::traffic::bernoulli;
+
+/// Aggregated simulation outcome at one offered rate.
+#[derive(Clone, Debug)]
+pub struct LoadPoint {
+    /// Offered injection rate (packets per node per cycle).
+    pub rate: f64,
+    /// Mean packets offered per run.
+    pub offered: f64,
+    /// Mean packets delivered per run.
+    pub delivered: f64,
+    /// `delivered / offered` — 1.0 until the network saturates.
+    pub delivered_fraction: f64,
+    /// Accepted rate: delivered packets per node per *injection* cycle
+    /// (directly comparable to `rate`).
+    pub accepted_rate: f64,
+    /// Mean end-to-end latency of delivered packets.
+    pub mean_latency: f64,
+    /// Mean 99th-percentile latency across seeds.
+    pub p99_latency: f64,
+}
+
+/// A full latency-vs-load / throughput-vs-load curve for one
+/// (topology, router) pair.
+#[derive(Clone, Debug)]
+pub struct SweepCurve {
+    /// Topology name (`"Γ_16"`, `"Q_11"`, …).
+    pub topology: String,
+    /// Router policy name.
+    pub router: String,
+    /// Node count (for normalising across topologies).
+    pub nodes: usize,
+    /// One point per offered rate, in ladder order.
+    pub points: Vec<LoadPoint>,
+}
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Number of cycles during which traffic is injected.
+    pub inject_cycles: u64,
+    /// Extra cycles granted after injection stops, for queues to drain.
+    pub drain_cycles: u64,
+    /// Seeds; each rung of the ladder runs once per seed.
+    pub seeds: Vec<u64>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig {
+            inject_cycles: 400,
+            drain_cycles: 4_000,
+            seeds: vec![1, 2, 3],
+        }
+    }
+}
+
+/// Runs the injection-rate ladder `rates` (packets/node/cycle) under
+/// `router`, parallel across all (rate, seed) runs.
+pub fn injection_sweep<T, R>(
+    topo: &T,
+    router: &R,
+    rates: &[f64],
+    config: &SweepConfig,
+) -> SweepCurve
+where
+    T: Topology + Sync + ?Sized,
+    R: Router + Sync + ?Sized,
+{
+    let n = topo.len();
+    let seeds = &config.seeds;
+    assert!(!seeds.is_empty(), "sweep needs at least one seed");
+    let jobs = rates.len() * seeds.len();
+    let runs = par_map(jobs, |j| {
+        let rate = rates[j / seeds.len()];
+        // Decorrelate the traffic streams of different ladder rungs.
+        let seed = seeds[j % seeds.len()] ^ ((j / seeds.len()) as u64) << 32;
+        let pkts = bernoulli(n, rate, config.inject_cycles, seed);
+        simulate_with(
+            topo,
+            router,
+            &pkts,
+            config.inject_cycles + config.drain_cycles,
+        )
+    });
+
+    let points = rates
+        .iter()
+        .enumerate()
+        .map(|(ri, &rate)| {
+            let chunk = &runs[ri * seeds.len()..(ri + 1) * seeds.len()];
+            let m = chunk.len() as f64;
+            let offered = chunk.iter().map(|s| s.offered as f64).sum::<f64>() / m;
+            let delivered = chunk.iter().map(|s| s.delivered as f64).sum::<f64>() / m;
+            let mean_latency = chunk.iter().map(|s| s.mean_latency).sum::<f64>() / m;
+            let p99_latency = chunk.iter().map(|s| s.p99_latency as f64).sum::<f64>() / m;
+            LoadPoint {
+                rate,
+                offered,
+                delivered,
+                delivered_fraction: if offered > 0.0 {
+                    delivered / offered
+                } else {
+                    1.0
+                },
+                accepted_rate: delivered / (n as f64 * config.inject_cycles as f64),
+                mean_latency,
+                p99_latency,
+            }
+        })
+        .collect();
+
+    SweepCurve {
+        topology: topo.name(),
+        router: router.name(),
+        nodes: n,
+        points,
+    }
+}
+
+/// A geometric-ish default ladder from light load up to `max_rate`.
+pub fn rate_ladder(max_rate: f64, rungs: usize) -> Vec<f64> {
+    assert!(rungs >= 2, "a ladder needs at least two rungs");
+    (1..=rungs)
+        .map(|i| max_rate * i as f64 / rungs as f64)
+        .collect()
+}
+
+/// The saturation point of a curve: the last rung whose delivered
+/// fraction stays at least `threshold` (conventionally 0.95). Returns
+/// `None` when even the lightest rung saturates.
+pub fn saturation_point(curve: &SweepCurve, threshold: f64) -> Option<&LoadPoint> {
+    curve
+        .points
+        .iter()
+        .rev()
+        .find(|p| p.delivered_fraction >= threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{CanonicalRouter, EcubeRouter};
+    use crate::topology::{FibonacciNet, Hypercube};
+
+    fn quick_config() -> SweepConfig {
+        SweepConfig {
+            inject_cycles: 120,
+            drain_cycles: 2_000,
+            seeds: vec![7, 8],
+        }
+    }
+
+    #[test]
+    fn light_load_delivers_everything_at_distance_latency() {
+        let q = Hypercube::new(5);
+        let curve = injection_sweep(&q, &EcubeRouter, &[0.01], &quick_config());
+        assert_eq!(curve.topology, "Q_5");
+        assert_eq!(curve.router, "e-cube");
+        let p = &curve.points[0];
+        assert!(p.delivered_fraction > 0.999, "light load must not saturate");
+        let avg = fibcube_graph::distance::average_distance(q.graph());
+        assert!(
+            p.mean_latency >= avg * 0.5,
+            "latency {} ≪ avg distance {avg}",
+            p.mean_latency
+        );
+        assert!(
+            p.mean_latency <= avg * 2.0 + 2.0,
+            "light load ≈ zero-load latency"
+        );
+    }
+
+    #[test]
+    fn latency_is_monotone_ish_in_load_and_saturation_detected() {
+        let net = FibonacciNet::classical(8);
+        let router = CanonicalRouter::for_net(&net);
+        let rates = rate_ladder(0.6, 4);
+        let mut config = quick_config();
+        // Short drain so the saturated rungs visibly drop packets.
+        config.drain_cycles = 200;
+        let curve = injection_sweep(&net, &router, &rates, &config);
+        assert_eq!(curve.points.len(), 4);
+        let first = &curve.points[0];
+        let last = &curve.points[curve.points.len() - 1];
+        assert!(
+            last.mean_latency >= first.mean_latency,
+            "latency must not fall as load rises: {} vs {}",
+            last.mean_latency,
+            first.mean_latency
+        );
+        // Γ_8 (55 nodes, max degree 8) cannot accept 0.6 pkt/node/cycle of
+        // uniform traffic: the top rung must saturate.
+        assert!(last.delivered_fraction < 0.95, "top rung should saturate");
+        let sat = saturation_point(&curve, 0.95);
+        if let Some(p) = sat {
+            assert!(p.rate < last.rate);
+        }
+    }
+
+    #[test]
+    fn ladder_shape() {
+        let l = rate_ladder(0.8, 4);
+        assert_eq!(l, vec![0.2, 0.4, 0.6000000000000001, 0.8]);
+    }
+}

@@ -7,9 +7,40 @@
 //! the induced hypercube adjacency. We implement that network plus the
 //! classic baselines it is compared against (binary hypercube, ring, mesh).
 
+use core::fmt;
+
 use fibcube_graph::csr::CsrGraph;
 use fibcube_words::automaton::FactorAutomaton;
 use fibcube_words::word::Word;
+
+use crate::router::{CanonicalRouter, EcubeRouter, NextHopRouter, Router};
+
+/// A route failed to converge: the distributed rule did not reach `dst`
+/// within the topology's diameter bound (i.e. the router is broken —
+/// cycling or non-progressive).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteError {
+    /// Requested source node.
+    pub src: u32,
+    /// Requested destination node.
+    pub dst: u32,
+    /// Number of hops taken before giving up (the diameter bound).
+    pub steps: usize,
+    /// Name of the topology whose router misbehaved.
+    pub topology: String,
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "route {} → {} on {} did not converge within the diameter bound of {} hops",
+            self.src, self.dst, self.topology, self.steps
+        )
+    }
+}
+
+impl std::error::Error for RouteError {}
 
 /// A static interconnection topology: a node set with materialised links
 /// and a (distributed) routing rule.
@@ -36,21 +67,48 @@ pub trait Topology {
     /// livelock-free.
     fn next_hop(&self, cur: u32, dst: u32) -> Option<u32>;
 
-    /// Full route from `src` to `dst` (inclusive of both endpoints).
-    fn route(&self, src: u32, dst: u32) -> Vec<u32> {
-        let mut path = vec![src];
+    /// An upper bound on the network diameter, used as the convergence
+    /// budget for [`route`](Topology::route). The default is the (always
+    /// safe) node count; concrete topologies override with their exact
+    /// diameter so a cycling router is caught after `diameter` hops
+    /// instead of `n`.
+    fn diameter_bound(&self) -> usize {
+        self.len()
+    }
+
+    /// The topology's preferred split-out [`Router`] — the policy
+    /// [`simulate`](crate::simulator::simulate) drives packets with.
+    /// Defaults to wrapping [`next_hop`](Topology::next_hop); hypercube
+    /// and Fibonacci networks override with their `O(1)`-per-hop routers.
+    fn router(&self) -> Box<dyn Router + '_> {
+        Box::new(NextHopRouter::new(self))
+    }
+
+    /// Full route from `src` to `dst` (inclusive of both endpoints), or
+    /// [`RouteError`] when the rule fails to converge within
+    /// [`diameter_bound`](Topology::diameter_bound) hops.
+    fn route(&self, src: u32, dst: u32) -> Result<Vec<u32>, RouteError> {
+        let bound = self.diameter_bound();
+        let mut path = Vec::with_capacity(bound.min(64) + 1);
+        path.push(src);
         let mut cur = src;
-        // A progressive router terminates within diameter ≤ n steps.
-        for _ in 0..=self.len() {
+        // A progressive router terminates within the diameter: `bound`
+        // hops plus the final `None` probe at the destination.
+        for _ in 0..=bound {
             match self.next_hop(cur, dst) {
                 Some(next) => {
                     cur = next;
                     path.push(cur);
                 }
-                None => return path,
+                None => return Ok(path),
             }
         }
-        panic!("router did not converge from {src} to {dst} in {}", self.name());
+        Err(RouteError {
+            src,
+            dst,
+            steps: bound,
+            topology: self.name(),
+        })
     }
 }
 
@@ -65,7 +123,10 @@ pub struct Hypercube {
 impl Hypercube {
     /// Builds `Q_d`.
     pub fn new(d: usize) -> Hypercube {
-        Hypercube { d, graph: fibcube_graph::generators::hypercube(d) }
+        Hypercube {
+            d,
+            graph: fibcube_graph::generators::hypercube(d),
+        }
     }
 
     /// The dimension `d`.
@@ -88,13 +149,16 @@ impl Topology for Hypercube {
     }
 
     fn next_hop(&self, cur: u32, dst: u32) -> Option<u32> {
-        let diff = cur ^ dst;
-        if diff == 0 {
-            return None;
-        }
         // e-cube: correct the lowest differing dimension first.
-        let bit = diff & diff.wrapping_neg();
-        Some(cur ^ bit)
+        EcubeRouter::hop(cur, dst)
+    }
+
+    fn diameter_bound(&self) -> usize {
+        self.d
+    }
+
+    fn router(&self) -> Box<dyn Router + '_> {
+        Box::new(EcubeRouter)
     }
 }
 
@@ -119,7 +183,12 @@ impl FibonacciNet {
         assert!(k >= 2, "order must be ≥ 2");
         let labels = FactorAutomaton::new(Word::ones(k)).free_words(d);
         let graph = fibcube_core::induced_hypercube_subgraph(d, &labels);
-        FibonacciNet { d, k, labels, graph }
+        FibonacciNet {
+            d,
+            k,
+            labels,
+            graph,
+        }
     }
 
     /// The classical Fibonacci cube `Γ_d`.
@@ -195,6 +264,18 @@ impl Topology for FibonacciNet {
         }
         unreachable!("cur ≠ dst must differ somewhere")
     }
+
+    fn diameter_bound(&self) -> usize {
+        // Q_d(1^k) is isometric in Q_d, so its diameter is at most d.
+        self.d
+    }
+
+    fn router(&self) -> Box<dyn Router + '_> {
+        // Built on demand: one O(n·d·log n) table pass per simulation run
+        // (comparable to the engine's own SlotTable build), so the many
+        // non-routing analyses don't pay for it at construction.
+        Box::new(CanonicalRouter::for_net(self))
+    }
 }
 
 /// A bidirectional ring with clockwise/counter-clockwise shortest routing.
@@ -207,7 +288,10 @@ pub struct Ring {
 impl Ring {
     /// Builds the `n`-cycle (`n ≥ 3`).
     pub fn new(n: usize) -> Ring {
-        Ring { n, graph: fibcube_graph::generators::cycle(n) }
+        Ring {
+            n,
+            graph: fibcube_graph::generators::cycle(n),
+        }
     }
 }
 
@@ -230,7 +314,15 @@ impl Topology for Ring {
         }
         let n = self.n as u32;
         let forward = (dst + n - cur) % n;
-        Some(if forward <= n - forward { (cur + 1) % n } else { (cur + n - 1) % n })
+        Some(if forward <= n - forward {
+            (cur + 1) % n
+        } else {
+            (cur + n - 1) % n
+        })
+    }
+
+    fn diameter_bound(&self) -> usize {
+        self.n / 2
     }
 }
 
@@ -245,7 +337,11 @@ pub struct Mesh {
 impl Mesh {
     /// Builds the `w × h` grid.
     pub fn new(w: usize, h: usize) -> Mesh {
-        Mesh { w, h, graph: fibcube_graph::generators::grid(w, h) }
+        Mesh {
+            w,
+            h,
+            graph: fibcube_graph::generators::grid(w, h),
+        }
     }
 }
 
@@ -280,6 +376,10 @@ impl Topology for Mesh {
             Some(cur - w)
         }
     }
+
+    fn diameter_bound(&self) -> usize {
+        self.w + self.h - 2
+    }
 }
 
 #[cfg(test)]
@@ -292,7 +392,7 @@ mod tests {
         let n = t.len();
         for s in 0..n as u32 {
             for d in 0..n as u32 {
-                let route = t.route(s, d);
+                let route = t.route(s, d).expect("progressive routers converge");
                 assert_eq!(
                     route.len() as u32 - 1,
                     dist[s as usize][d as usize],
@@ -347,7 +447,7 @@ mod tests {
         let ones = Word::ones(2);
         for s in (0..net.len() as u32).step_by(7) {
             for d in (0..net.len() as u32).step_by(5) {
-                for &node in &net.route(s, d) {
+                for &node in &net.route(s, d).expect("canonical routing converges") {
                     assert!(!fibcube_words::is_factor(&ones, &net.label(node)));
                 }
             }
@@ -355,9 +455,42 @@ mod tests {
     }
 
     #[test]
+    fn broken_router_yields_route_error_within_diameter_bound() {
+        /// A deliberately cycling "router" over a 4-cycle: every hop moves
+        /// clockwise and never admits arrival.
+        struct Carousel {
+            graph: CsrGraph,
+        }
+        impl Topology for Carousel {
+            fn name(&self) -> String {
+                "Carousel_4".into()
+            }
+            fn len(&self) -> usize {
+                4
+            }
+            fn graph(&self) -> &CsrGraph {
+                &self.graph
+            }
+            fn next_hop(&self, cur: u32, _dst: u32) -> Option<u32> {
+                Some((cur + 1) % 4)
+            }
+            fn diameter_bound(&self) -> usize {
+                2
+            }
+        }
+        let t = Carousel {
+            graph: fibcube_graph::generators::cycle(4),
+        };
+        let err = t.route(0, 2).expect_err("cycling router must be caught");
+        assert_eq!(err.steps, 2, "budget is the diameter bound, not n");
+        assert_eq!(err.topology, "Carousel_4");
+        assert!(err.to_string().contains("did not converge"));
+    }
+
+    #[test]
     fn hypercube_ecube_is_monotone_in_dimensions() {
         let q = Hypercube::new(5);
-        let route = q.route(0b00000, 0b10101);
+        let route = q.route(0b00000, 0b10101).unwrap();
         // e-cube fixes ascending bit positions: 0 → 1 → 5 → 21.
         assert_eq!(route, vec![0b00000, 0b00001, 0b00101, 0b10101]);
     }

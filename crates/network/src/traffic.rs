@@ -26,21 +26,23 @@ pub fn uniform(n: usize, count: usize, window: u64, seed: u64) -> Vec<Packet> {
             while dst == src {
                 dst = rng.gen_range(0..n) as u32;
             }
-            let inject_time = if window == 0 { 0 } else { rng.gen_range(0..window) };
-            Packet { src, dst, inject_time }
+            let inject_time = if window == 0 {
+                0
+            } else {
+                rng.gen_range(0..window)
+            };
+            Packet {
+                src,
+                dst,
+                inject_time,
+            }
         })
         .collect()
 }
 
 /// Hot-spot traffic: like [`uniform`], but a `hot_fraction` of packets aim
 /// at a single hot node (node 0) — the classic contention stressor.
-pub fn hot_spot(
-    n: usize,
-    count: usize,
-    window: u64,
-    hot_fraction: f64,
-    seed: u64,
-) -> Vec<Packet> {
+pub fn hot_spot(n: usize, count: usize, window: u64, hot_fraction: f64, seed: u64) -> Vec<Packet> {
     assert!((0.0..=1.0).contains(&hot_fraction));
     let mut packets = uniform(n, count, window, seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9);
@@ -66,13 +68,45 @@ pub fn complement_permutation(n: usize, window: u64) -> Vec<Packet> {
         .collect()
 }
 
+/// Open-loop Bernoulli injection — the workload of saturation sweeps:
+/// during each cycle in `0..cycles`, every node independently injects a
+/// packet with probability `rate` (packets per node per cycle), addressed
+/// to a uniform random other node. Offered load is `n · cycles · rate`
+/// packets in expectation.
+pub fn bernoulli(n: usize, rate: f64, cycles: u64, seed: u64) -> Vec<Packet> {
+    assert!(n >= 2, "need at least two nodes");
+    assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut packets = Vec::with_capacity((n as f64 * cycles as f64 * rate) as usize + 16);
+    for src in 0..n as u32 {
+        for t in 0..cycles {
+            if rng.gen_bool(rate) {
+                let mut dst = rng.gen_range(0..n) as u32;
+                while dst == src {
+                    dst = rng.gen_range(0..n) as u32;
+                }
+                packets.push(Packet {
+                    src,
+                    dst,
+                    inject_time: t,
+                });
+            }
+        }
+    }
+    packets
+}
+
 /// All-to-all: every ordered pair once (quadratic — small nets only).
 pub fn all_to_all(n: usize) -> Vec<Packet> {
     let mut packets = Vec::with_capacity(n * (n - 1));
     for s in 0..n as u32 {
         for d in 0..n as u32 {
             if s != d {
-                packets.push(Packet { src: s, dst: d, inject_time: 0 });
+                packets.push(Packet {
+                    src: s,
+                    dst: d,
+                    inject_time: 0,
+                });
             }
         }
     }
@@ -118,5 +152,26 @@ mod tests {
     #[test]
     fn all_to_all_count() {
         assert_eq!(all_to_all(5).len(), 20);
+    }
+
+    #[test]
+    fn bernoulli_tracks_offered_rate() {
+        let n = 64;
+        let cycles = 500;
+        let rate = 0.05;
+        let a = bernoulli(n, rate, cycles, 17);
+        assert_eq!(a, bernoulli(n, rate, cycles, 17), "seeded ⇒ reproducible");
+        let expected = n as f64 * cycles as f64 * rate;
+        assert!(
+            (a.len() as f64) > 0.8 * expected && (a.len() as f64) < 1.2 * expected,
+            "offered {} vs expected {expected}",
+            a.len()
+        );
+        for p in &a {
+            assert_ne!(p.src, p.dst);
+            assert!((p.src as usize) < n && (p.dst as usize) < n);
+            assert!(p.inject_time < cycles);
+        }
+        assert!(bernoulli(10, 0.0, 100, 1).is_empty());
     }
 }

@@ -1,0 +1,174 @@
+//! Property-based tests for the routing/simulation engine: every router is
+//! progressive (each hop strictly decreases BFS distance), and the
+//! simulator conserves packets (`delivered ≤ offered`, per-packet latency
+//! bounded below by graph distance) across topology families.
+
+use fibcube_graph::bfs::bfs_distances;
+use fibcube_network::router::{
+    AdaptiveMinimal, CanonicalRouter, EcubeRouter, NextHopRouter, NoLoad, Router,
+};
+use fibcube_network::simulator::{simulate, simulate_reference, simulate_with};
+use fibcube_network::topology::{FibonacciNet, Hypercube, Mesh, Ring, Topology};
+use fibcube_network::traffic::{uniform, Packet};
+use proptest::prelude::*;
+
+/// Walk `router` from every source toward `dst`, asserting strict distance
+/// decrease at each hop (the progressivity property routing correctness
+/// and simulator termination both rest on).
+fn assert_progressive(topo: &dyn Topology, router: &dyn Router, dst: u32) {
+    let g = topo.graph();
+    let dist = bfs_distances(g, dst);
+    for src in 0..topo.len() as u32 {
+        let mut cur = src;
+        let mut hops = 0usize;
+        while let Some(hop) = router.next_hop(cur, dst, &NoLoad) {
+            assert!(
+                g.has_edge(cur, hop),
+                "{}: {cur}→{hop} is not a link",
+                router.name()
+            );
+            assert_eq!(
+                dist[hop as usize] + 1,
+                dist[cur as usize],
+                "{} on {}: hop {cur}→{hop} toward {dst} does not decrease distance",
+                router.name(),
+                topo.name()
+            );
+            cur = hop;
+            hops += 1;
+            assert!(hops <= topo.len(), "runaway route");
+        }
+        assert_eq!(cur, dst, "route must terminate at the destination");
+        assert_eq!(hops as u32, dist[src as usize], "progressive ⇒ shortest");
+    }
+}
+
+/// Conservation invariants of one simulation run: nothing is created,
+/// nothing delivered faster than the shortest path allows.
+fn assert_conservation(topo: &dyn Topology, packets: &[Packet], max_cycles: u64) {
+    let stats = simulate(topo, packets, max_cycles);
+    assert_eq!(stats.offered, packets.len());
+    assert!(stats.delivered <= stats.offered, "{}", topo.name());
+    let hist_total: u64 = stats.latency_histogram.iter().sum();
+    assert_eq!(
+        hist_total as usize, stats.delivered,
+        "histogram counts deliveries"
+    );
+    // Latency floor: every delivered packet took at least distance cycles,
+    // so the *minimum* histogram latency is ≥ the packet set's minimum
+    // distance and the mean is ≥ the mean distance of delivered packets
+    // when everything was delivered.
+    if stats.delivered == stats.offered && !packets.is_empty() {
+        let mut dist_sum = 0u64;
+        for p in packets {
+            let d = bfs_distances(topo.graph(), p.src)[p.dst as usize] as u64;
+            dist_sum += d;
+        }
+        let mean_dist = dist_sum as f64 / packets.len() as f64;
+        assert!(
+            stats.mean_latency + 1e-9 >= mean_dist,
+            "{}: mean latency {} below mean distance {mean_dist}",
+            topo.name(),
+            stats.mean_latency
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fibonacci_routers_progressive(d in 2usize..=8, k in 2usize..=3, dst_seed in 0u64..1000) {
+        let net = FibonacciNet::new(d, k);
+        let dst = (dst_seed % net.len() as u64) as u32;
+        let canonical = CanonicalRouter::for_net(&net);
+        assert_progressive(&net, &canonical, dst);
+        assert_progressive(&net, &AdaptiveMinimal::new(&net), dst);
+        assert_progressive(&net, &NextHopRouter::new(&net), dst);
+    }
+
+    #[test]
+    fn hypercube_routers_progressive(d in 1usize..=6, dst_seed in 0u64..1000) {
+        let q = Hypercube::new(d);
+        let dst = (dst_seed % q.len() as u64) as u32;
+        assert_progressive(&q, &EcubeRouter, dst);
+        assert_progressive(&q, &AdaptiveMinimal::new(&q), dst);
+    }
+
+    #[test]
+    fn ring_and_mesh_builtin_progressive(n in 3usize..=24, w in 2usize..=5, h in 2usize..=5, s in 0u64..1000) {
+        let ring = Ring::new(n);
+        assert_progressive(&ring, &NextHopRouter::new(&ring), (s % n as u64) as u32);
+        let mesh = Mesh::new(w, h);
+        assert_progressive(&mesh, &NextHopRouter::new(&mesh), (s % (w * h) as u64) as u32);
+    }
+
+    #[test]
+    fn simulator_conserves_packets(count in 1usize..200, window in 0u64..100, seed in 0u64..10_000) {
+        for topo in [
+            &FibonacciNet::classical(7) as &dyn Topology,
+            &Hypercube::new(4),
+            &Ring::new(11),
+            &Mesh::new(4, 3),
+        ] {
+            let pkts = uniform(topo.len(), count, window, seed);
+            // Generous cap: everything must arrive …
+            assert_conservation(topo, &pkts, 1_000_000);
+            // … and a tight cap must only truncate, never create.
+            assert_conservation(topo, &pkts, 5);
+        }
+    }
+
+    #[test]
+    fn single_packet_latency_equals_distance(src_seed in 0u64..10_000, dst_seed in 0u64..10_000) {
+        // Without contention the engine must deliver in exactly
+        // distance(src, dst) cycles on every topology family.
+        for topo in [
+            &FibonacciNet::classical(8) as &dyn Topology,
+            &Hypercube::new(5),
+            &Ring::new(13),
+            &Mesh::new(5, 4),
+        ] {
+            let n = topo.len() as u64;
+            let src = (src_seed % n) as u32;
+            let dst = (dst_seed % n) as u32;
+            let d = bfs_distances(topo.graph(), src)[dst as usize] as u64;
+            let stats = simulate(topo, &[Packet { src, dst, inject_time: 3 }], 1_000_000);
+            prop_assert_eq!(stats.delivered, 1, "{}", topo.name());
+            prop_assert_eq!(stats.mean_latency, d as f64, "{}", topo.name());
+            prop_assert_eq!(stats.total_hops, d, "{}", topo.name());
+        }
+    }
+
+    #[test]
+    fn engines_agree_under_deterministic_routing(count in 1usize..150, window in 0u64..80, seed in 0u64..10_000) {
+        // Same router ⇒ same per-packet paths ⇒ both engines must deliver
+        // the same packet count over the same number of link traversals.
+        for topo in [
+            &FibonacciNet::classical(7) as &dyn Topology,
+            &Hypercube::new(4),
+            &Mesh::new(4, 4),
+        ] {
+            let pkts = uniform(topo.len(), count, window, seed);
+            let fast = simulate(topo, &pkts, 1_000_000);
+            let slow = simulate_reference(topo, &pkts, 1_000_000);
+            prop_assert_eq!(fast.delivered, slow.delivered, "{}", topo.name());
+            prop_assert_eq!(fast.total_hops, slow.total_hops, "{}", topo.name());
+        }
+    }
+
+    #[test]
+    fn adaptive_routing_conserves_and_stays_minimal(count in 1usize..150, seed in 0u64..10_000) {
+        // Adaptive minimal routing may pick different links under load but
+        // every path is still shortest, so total hops equal the distance sum.
+        let net = FibonacciNet::classical(8);
+        let pkts = uniform(net.len(), count, 40, seed);
+        let stats = simulate_with(&net, &AdaptiveMinimal::new(&net), &pkts, 1_000_000);
+        prop_assert_eq!(stats.delivered, stats.offered);
+        let mut dist_sum = 0u64;
+        for p in &pkts {
+            dist_sum += bfs_distances(net.graph(), p.src)[p.dst as usize] as u64;
+        }
+        prop_assert_eq!(stats.total_hops, dist_sum, "minimal ⇒ hop count = Σ distance");
+    }
+}

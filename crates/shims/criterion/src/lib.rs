@@ -1,0 +1,198 @@
+//! Offline stand-in for `criterion`: the macro/builder surface the bench
+//! targets use (`criterion_group!`, `criterion_main!`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`), measuring each
+//! benchmark as median-of-samples wall-clock and printing one line per
+//! benchmark. No statistical analysis, plots, or baselines.
+//!
+//! Passing `--quick` (or setting `CRITERION_QUICK=1`) runs every closure
+//! exactly once — handy for smoke-testing bench targets.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let quick = std::env::args().any(|a| a == "--quick" || a == "--test")
+            || std::env::var_os("CRITERION_QUICK").is_some();
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 20,
+            quick: self.quick,
+            _marker: self,
+        }
+    }
+}
+
+/// Identifier `function_id/parameter` for a benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_id/parameter`.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    quick: bool,
+    _marker: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let samples = if self.quick { 1 } else { self.sample_size };
+        let mut times: Vec<Duration> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+                quick: self.quick,
+            };
+            f(&mut bencher);
+            times.push(bencher.elapsed);
+        }
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        eprintln!(
+            "  {}/{}: median {:?} over {samples} samples",
+            self.name, id.id, median
+        );
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; times the routine.
+pub struct Bencher {
+    elapsed: Duration,
+    quick: bool,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine` (one execution per sample in
+    /// this shim; criterion's auto-scaling is not reproduced).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let iters: u32 = if self.quick { 1 } else { 3 };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed() / iters;
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion { quick: true };
+        let mut group = c.benchmark_group("shim");
+        let mut runs = 0usize;
+        group.sample_size(10).bench_function("counter", |b| {
+            runs += 1;
+            b.iter(|| black_box(2 + 2))
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert_eq!(runs, 1, "quick mode runs one sample");
+    }
+}

@@ -1,0 +1,73 @@
+//! Offline stand-in for `crossbeam`: only `crossbeam::scope` (the API this
+//! workspace uses), implemented over `std::thread::scope`, which subsumed
+//! crossbeam's scoped threads in Rust 1.63.
+//!
+//! Semantic note: with real crossbeam a panicking child thread surfaces as
+//! `Err` from `scope`; with `std::thread::scope` the panic is resumed on
+//! the parent when the scope exits. Callers here immediately `.expect()`
+//! the result, so both shapes end in the same parent-side panic.
+
+#![forbid(unsafe_code)]
+
+use std::thread;
+
+/// Handle passed to the `scope` closure; lets workers spawn scoped threads
+/// (and, as in crossbeam, be re-borrowed inside spawned closures).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped worker. The closure receives a fresh `&Scope`, like
+    /// crossbeam's `ScopedThreadBuilder` callback signature.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope for spawning borrowing threads; all threads are joined
+/// before this returns. Mirrors `crossbeam::scope`'s `Result` shape.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_locals() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_handle() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(10, Ordering::Relaxed);
+                });
+            });
+        })
+        .expect("no panics");
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+}

@@ -288,7 +288,13 @@ mod tests {
 
     #[test]
     fn count_matches_generation() {
-        for (f, dmax) in [("11", 12), ("101", 11), ("110", 11), ("1010", 10), ("10", 12)] {
+        for (f, dmax) in [
+            ("11", 12),
+            ("101", 11),
+            ("110", 11),
+            ("1010", 10),
+            ("10", 12),
+        ] {
             let aut = FactorAutomaton::new(word(f));
             for d in 0..=dmax {
                 let words = aut.free_words(d);

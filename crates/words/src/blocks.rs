@@ -43,7 +43,10 @@ pub fn blocks(w: &Word) -> Vec<Block> {
         while j < w.len() && w.at(j + 1) == bit {
             j += 1;
         }
-        out.push(Block { bit, len: j - i + 1 });
+        out.push(Block {
+            bit,
+            len: j - i + 1,
+        });
         i = j + 1;
     }
     out
@@ -82,7 +85,7 @@ pub fn as_ones_zeros_ones(w: &Word) -> Option<(usize, usize, usize)> {
 
 /// `w = (10)^s` for some `s ≥ 1`? Returns `s`.
 pub fn as_alternating_10(w: &Word) -> Option<usize> {
-    if w.is_empty() || w.len() % 2 != 0 {
+    if w.is_empty() || !w.len().is_multiple_of(2) {
         return None;
     }
     let bl = blocks(w);
@@ -95,7 +98,7 @@ pub fn as_alternating_10(w: &Word) -> Option<usize> {
 
 /// `w = (10)^s 1` for some `s ≥ 1`? Returns `s`.
 pub fn as_alternating_10_then_1(w: &Word) -> Option<usize> {
-    if w.len() < 3 || w.len() % 2 == 0 {
+    if w.len() < 3 || w.len().is_multiple_of(2) {
         return None;
     }
     let bl = blocks(w);
@@ -125,7 +128,7 @@ pub fn as_ones_zero_twice(w: &Word) -> Option<usize> {
 /// `11` at positions `2r, 2r+1`. Equivalently it is `(10)^r · 1 · (10)^s`.
 pub fn as_10r_1_10s(w: &Word) -> Option<(usize, usize)> {
     let n = w.len();
-    if n < 5 || n % 2 == 0 {
+    if n < 5 || n.is_multiple_of(2) {
         return None;
     }
     for r in 1..=(n - 3) / 2 {
@@ -166,7 +169,11 @@ mod tests {
             let w = Word::from_raw(b, 8);
             let mut rebuilt = Word::EMPTY;
             for blk in blocks(&w) {
-                let piece = if blk.bit == 1 { Word::ones(blk.len) } else { Word::zeros(blk.len) };
+                let piece = if blk.bit == 1 {
+                    Word::ones(blk.len)
+                } else {
+                    Word::zeros(blk.len)
+                };
                 rebuilt = rebuilt.concat(&piece);
             }
             assert_eq!(rebuilt, w);

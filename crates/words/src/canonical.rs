@@ -46,16 +46,15 @@ pub fn canonical_path(b: &Word, c: &Word) -> Vec<Word> {
 /// Checks that `path` is a path in `Q_d`: consecutive entries at Hamming
 /// distance exactly 1 and all entries of equal length.
 pub fn is_cube_path(path: &[Word]) -> bool {
-    path.windows(2).all(|p| p[0].len() == p[1].len() && p[0].hamming(&p[1]) == 1)
+    path.windows(2)
+        .all(|p| p[0].len() == p[1].len() && p[0].hamming(&p[1]) == 1)
 }
 
 /// Checks that `path` is a *shortest* `b,c`-path in `Q_d`
 /// (a geodesic: length equals the Hamming distance of its endpoints).
 pub fn is_geodesic(path: &[Word]) -> bool {
     match (path.first(), path.last()) {
-        (Some(b), Some(c)) => {
-            is_cube_path(path) && path.len() == b.hamming(c) as usize + 1
-        }
+        (Some(b), Some(c)) => is_cube_path(path) && path.len() == b.hamming(c) as usize + 1,
         _ => false,
     }
 }

@@ -71,7 +71,9 @@ pub fn canonical_factors_of_length(n: usize) -> Vec<Word> {
 /// All canonical representatives with `1 ≤ |f| ≤ max_len` (Table 1 scope is
 /// `max_len = 5`).
 pub fn canonical_factors_up_to(max_len: usize) -> Vec<Word> {
-    (1..=max_len).flat_map(canonical_factors_of_length).collect()
+    (1..=max_len)
+        .flat_map(canonical_factors_of_length)
+        .collect()
 }
 
 #[cfg(test)]
@@ -114,11 +116,13 @@ mod tests {
     #[test]
     fn table1_representatives() {
         // The paper's Table 1 lists these canonical classes per length.
-        let to_strings =
-            |v: Vec<Word>| v.iter().map(Word::to_string).collect::<Vec<_>>();
+        let to_strings = |v: Vec<Word>| v.iter().map(Word::to_string).collect::<Vec<_>>();
         assert_eq!(to_strings(canonical_factors_of_length(1)), ["1"]);
         assert_eq!(to_strings(canonical_factors_of_length(2)), ["11", "10"]);
-        assert_eq!(to_strings(canonical_factors_of_length(3)), ["111", "110", "101"]);
+        assert_eq!(
+            to_strings(canonical_factors_of_length(3)),
+            ["111", "110", "101"]
+        );
         assert_eq!(
             to_strings(canonical_factors_of_length(4)),
             ["1111", "1110", "1101", "1100", "1010", "1001"]
@@ -127,9 +131,10 @@ mod tests {
         // 10001, 10110, 10101, 11010 — ten classes (our order is descending).
         let l5 = to_strings(canonical_factors_of_length(5));
         assert_eq!(l5.len(), 10);
-        for f in
-            ["11111", "11110", "11101", "11100", "11011", "11010", "11001", "10110", "10101", "10001"]
-        {
+        for f in [
+            "11111", "11110", "11101", "11100", "11011", "11010", "11001", "10110", "10101",
+            "10001",
+        ] {
             assert!(l5.contains(&f.to_string()), "missing {f}");
         }
     }

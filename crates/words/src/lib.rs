@@ -27,8 +27,8 @@
 
 pub mod automaton;
 pub mod blocks;
-pub mod correlation;
 pub mod canonical;
+pub mod correlation;
 pub mod factor;
 pub mod families;
 pub mod word;

@@ -78,7 +78,10 @@ impl Word {
         if len < 64 && bits >> len != 0 {
             return Err(WordError::ExcessBits);
         }
-        Ok(Word { len: len as u8, bits })
+        Ok(Word {
+            len: len as u8,
+            bits,
+        })
     }
 
     /// Creates a word without validation.
@@ -90,21 +93,30 @@ impl Word {
     pub fn from_raw(bits: u64, len: usize) -> Word {
         debug_assert!(len <= MAX_LEN);
         debug_assert!(len == 64 || bits >> len == 0);
-        Word { len: len as u8, bits }
+        Word {
+            len: len as u8,
+            bits,
+        }
     }
 
     /// The all-zero word `0^d`.
     #[inline]
     pub fn zeros(len: usize) -> Word {
         assert!(len <= MAX_LEN, "word length {len} exceeds {MAX_LEN}");
-        Word { len: len as u8, bits: 0 }
+        Word {
+            len: len as u8,
+            bits: 0,
+        }
     }
 
     /// The all-one word `1^d`.
     #[inline]
     pub fn ones(len: usize) -> Word {
         assert!(len <= MAX_LEN, "word length {len} exceeds {MAX_LEN}");
-        Word { len: len as u8, bits: mask(len) }
+        Word {
+            len: len as u8,
+            bits: mask(len),
+        }
     }
 
     /// Length `d` of the word.
@@ -132,15 +144,26 @@ impl Word {
     /// Panics if `i` is out of range.
     #[inline]
     pub fn at(&self, i: usize) -> u8 {
-        assert!(i >= 1 && i <= self.len(), "position {i} out of 1..={}", self.len());
+        assert!(
+            i >= 1 && i <= self.len(),
+            "position {i} out of 1..={}",
+            self.len()
+        );
         ((self.bits >> (self.len() - i)) & 1) as u8
     }
 
     /// The word `b + e_i`: the i-th bit reversed (1-based), all others kept.
     #[inline]
     pub fn flip(&self, i: usize) -> Word {
-        assert!(i >= 1 && i <= self.len(), "position {i} out of 1..={}", self.len());
-        Word { len: self.len, bits: self.bits ^ (1u64 << (self.len() - i)) }
+        assert!(
+            i >= 1 && i <= self.len(),
+            "position {i} out of 1..={}",
+            self.len()
+        );
+        Word {
+            len: self.len,
+            bits: self.bits ^ (1u64 << (self.len() - i)),
+        }
     }
 
     /// Bitwise sum modulo 2 with another word of the same length.
@@ -151,13 +174,19 @@ impl Word {
     #[inline]
     pub fn xor(&self, other: &Word) -> Word {
         assert_eq!(self.len, other.len, "xor requires equal lengths");
-        Word { len: self.len, bits: self.bits ^ other.bits }
+        Word {
+            len: self.len,
+            bits: self.bits ^ other.bits,
+        }
     }
 
     /// The binary complement `b̄` (every bit reversed).
     #[inline]
     pub fn complement(&self) -> Word {
-        Word { len: self.len, bits: !self.bits & mask(self.len()) }
+        Word {
+            len: self.len,
+            bits: !self.bits & mask(self.len()),
+        }
     }
 
     /// The reverse `bᴿ = b_d b_{d−1} … b₁`.
@@ -166,7 +195,10 @@ impl Word {
         if self.len == 0 {
             return *self;
         }
-        Word { len: self.len, bits: self.bits.reverse_bits() >> (64 - self.len()) }
+        Word {
+            len: self.len,
+            bits: self.bits.reverse_bits() >> (64 - self.len()),
+        }
     }
 
     /// Number of `1`s (the Hamming weight).
@@ -193,8 +225,14 @@ impl Word {
     /// Panics when the combined length exceeds [`MAX_LEN`].
     pub fn concat(&self, other: &Word) -> Word {
         let len = self.len() + other.len();
-        assert!(len <= MAX_LEN, "concatenated length {len} exceeds {MAX_LEN}");
-        Word { len: len as u8, bits: (self.bits << other.len()) | other.bits }
+        assert!(
+            len <= MAX_LEN,
+            "concatenated length {len} exceeds {MAX_LEN}"
+        );
+        Word {
+            len: len as u8,
+            bits: (self.bits << other.len()) | other.bits,
+        }
     }
 
     /// `self` repeated `n` times.
@@ -215,9 +253,16 @@ impl Word {
         if i > j {
             return Word::EMPTY;
         }
-        assert!(i >= 1 && j <= self.len(), "slice {i}..={j} out of 1..={}", self.len());
+        assert!(
+            i >= 1 && j <= self.len(),
+            "slice {i}..={j} out of 1..={}",
+            self.len()
+        );
         let w = j - i + 1;
-        Word { len: w as u8, bits: (self.bits >> (self.len() - j)) & mask(w) }
+        Word {
+            len: w as u8,
+            bits: (self.bits >> (self.len() - j)) & mask(w),
+        }
     }
 
     /// Prefix of length `n` (`n ≤ d`).
@@ -239,8 +284,13 @@ impl Word {
 
     /// Positions (1-based, ascending) where `self` and `other` differ.
     pub fn differing_positions(&self, other: &Word) -> Vec<usize> {
-        assert_eq!(self.len, other.len, "differing_positions requires equal lengths");
-        (1..=self.len()).filter(|&i| self.at(i) != other.at(i)).collect()
+        assert_eq!(
+            self.len, other.len,
+            "differing_positions requires equal lengths"
+        );
+        (1..=self.len())
+            .filter(|&i| self.at(i) != other.at(i))
+            .collect()
     }
 
     /// Iterator over the characters `b₁, b₂, …, b_d`.
@@ -311,7 +361,8 @@ impl FromStr for Word {
 ///
 /// Panics when `s` is not a binary string of length ≤ [`MAX_LEN`].
 pub fn word(s: &str) -> Word {
-    s.parse().unwrap_or_else(|e| panic!("invalid word literal {s:?}: {e}"))
+    s.parse()
+        .unwrap_or_else(|e| panic!("invalid word literal {s:?}: {e}"))
 }
 
 #[cfg(test)]
@@ -338,7 +389,10 @@ mod tests {
     fn new_validates() {
         assert!(Word::new(0b111, 3).is_ok());
         assert_eq!(Word::new(0b1000, 3), Err(WordError::ExcessBits));
-        assert!(matches!(Word::new(0, MAX_LEN + 1), Err(WordError::TooLong(_))));
+        assert!(matches!(
+            Word::new(0, MAX_LEN + 1),
+            Err(WordError::TooLong(_))
+        ));
     }
 
     #[test]
@@ -357,7 +411,10 @@ mod tests {
         let mut strings: Vec<String> = words.iter().map(|w| w.to_string()).collect();
         words.sort();
         strings.sort();
-        assert_eq!(words.iter().map(|w| w.to_string()).collect::<Vec<_>>(), strings);
+        assert_eq!(
+            words.iter().map(|w| w.to_string()).collect::<Vec<_>>(),
+            strings
+        );
     }
 
     #[test]

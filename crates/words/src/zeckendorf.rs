@@ -45,9 +45,9 @@ pub fn kbonacci(k: usize, i: usize) -> u128 {
     }
     let mut last = 1u128;
     for _ in 2..=i {
-        let next = window
-            .iter()
-            .fold(0u128, |acc, &x| acc.checked_add(x).expect("k-bonacci overflow"));
+        let next = window.iter().fold(0u128, |acc, &x| {
+            acc.checked_add(x).expect("k-bonacci overflow")
+        });
         window.rotate_left(1);
         window[k - 1] = next;
         last = next;
@@ -227,8 +227,9 @@ mod tests {
         // n < m ⟺ encode(n) < encode(m) (lexicographic = numeric order).
         let d = 10;
         let total = count_k_free(2, d);
-        let words: Vec<Word> =
-            (0..total).map(|n| zeckendorf_encode(n, d).unwrap()).collect();
+        let words: Vec<Word> = (0..total)
+            .map(|n| zeckendorf_encode(n, d).unwrap())
+            .collect();
         assert!(words.windows(2).all(|p| p[0] < p[1]));
     }
 

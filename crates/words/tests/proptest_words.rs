@@ -19,9 +19,8 @@ fn arb_word(max_len: usize) -> impl Strategy<Value = Word> {
 
 /// Strategy: a non-empty word of length `1..=max_len`.
 fn arb_factor(max_len: usize) -> impl Strategy<Value = Word> {
-    (1..=max_len).prop_flat_map(|len| {
-        (0..(1u64 << len)).prop_map(move |bits| Word::from_raw(bits, len))
-    })
+    (1..=max_len)
+        .prop_flat_map(|len| (0..(1u64 << len)).prop_map(move |bits| Word::from_raw(bits, len)))
 }
 
 proptest! {

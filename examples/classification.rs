@@ -8,11 +8,14 @@ use fibcube::core::classify::{table1, Observed};
 use fibcube::core::theorems::table1_expected;
 
 fn main() {
-    let d_max: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(9);
+    let d_max: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9);
     println!("== Table 1: classification of Q_d(f) ↪ Q_d for |f| ≤ 5, d ≤ {d_max} ==\n");
     println!(
-        "{:<7} {:<22} {:<12} {}",
-        "factor", "computed", "paper", "provenance"
+        "{:<7} {:<22} {:<12} provenance",
+        "factor", "computed", "paper"
     );
 
     let expected = table1_expected();
@@ -57,6 +60,10 @@ fn main() {
     println!(
         "\n{} class(es) disagree with the paper{}",
         disagreements,
-        if disagreements == 0 { " — Table 1 reproduced exactly." } else { "!" }
+        if disagreements == 0 {
+            " — Table 1 reproduced exactly."
+        } else {
+            "!"
+        }
     );
 }

@@ -57,19 +57,27 @@ fn main() {
         );
         println!(
             "       Winkler ⇒ partial cube? {}",
-            if ex.is_partial_cube { "YES (?!)" } else { "no — embeds in no hypercube" }
+            if ex.is_partial_cube {
+                "YES (?!)"
+            } else {
+                "no — embeds in no hypercube"
+            }
         );
         assert!(!ex.e_theta_f && ex.e_theta_star_f && !ex.is_partial_cube);
     }
 
     println!("\n== Problem 8.3 probes: are non-embeddable Q_d(f) partial cubes at all? ==\n");
-    for (d, fs) in [(4usize, "101"), (5, "101"), (5, "1101"), (7, "1100"), (5, "1001")] {
+    for (d, fs) in [
+        (4usize, "101"),
+        (5, "101"),
+        (5, "1101"),
+        (7, "1100"),
+        (5, "1001"),
+    ] {
         let fw = word(fs);
         let g = Qdf::new(d, fw);
         let iso_own = is_isometric(&g);
         let pc = fibcube::isometry::is_partial_cube(g.graph());
-        println!(
-            "Q_{d}({fs}): isometric in Q_{d}: {iso_own:<5}  isometric in some Q_d': {pc}"
-        );
+        println!("Q_{d}({fs}): isometric in Q_{d}: {iso_own:<5}  isometric in some Q_d': {pc}");
     }
 }

@@ -11,12 +11,18 @@ use fibcube::enumeration::{
 use fibcube::prelude::*;
 
 fn main() {
-    let d_max: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(14);
+    let d_max: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(14);
 
     println!("== G_d = Q_d(111): equations (1)–(3) ==");
     println!("{:>3} {:>12} {:>12} {:>12}", "d", "|V|", "|E|", "|S|");
     for (d, inv) in q111_series(d_max + 1).iter().enumerate() {
-        println!("{d:>3} {:>12} {:>12} {:>12}", inv.vertices, inv.edges, inv.squares);
+        println!(
+            "{d:>3} {:>12} {:>12} {:>12}",
+            inv.vertices, inv.edges, inv.squares
+        );
         // Cross-check against the automaton-product counts.
         let f = word("111");
         assert_eq!(inv.vertices, count_vertices(&f, d));

@@ -34,7 +34,10 @@ fn main() {
     }
 
     println!("\n== circular versions of other forbidden factors ==\n");
-    println!("{:>8} {:>3} {:>10} {:>10} {:>14}", "f", "d", "|Q_d^c(f)|", "|Q_d(f)|", "circ ↪ Q_d?");
+    println!(
+        "{:>8} {:>3} {:>10} {:>10} {:>14}",
+        "f", "d", "|Q_d^c(f)|", "|Q_d(f)|", "circ ↪ Q_d?"
+    );
     for (fs, d) in [("101", 6), ("110", 7), ("111", 8), ("1010", 8)] {
         let f = word(fs);
         let circ = CircularQdf::new(d, f);

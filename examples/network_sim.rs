@@ -7,6 +7,9 @@
 use fibcube::network::broadcast::{broadcast_all_port, broadcast_one_port};
 use fibcube::network::fault::fault_sweep;
 use fibcube::network::metrics::metrics;
+use fibcube::network::router::{AdaptiveMinimal, CanonicalRouter};
+use fibcube::network::simulate_with;
+use fibcube::network::sweep::{injection_sweep, rate_ladder, saturation_point, SweepConfig};
 use fibcube::network::traffic;
 use fibcube::prelude::*;
 
@@ -27,8 +30,14 @@ fn main() {
         let m = metrics(*t);
         println!(
             "{:<10} {:>6} {:>7} {:>7} {:>7} {:>9} {:>10.3} {:>6}",
-            m.name, m.nodes, m.links, m.min_degree, m.max_degree, m.diameter,
-            m.average_distance, m.cost
+            m.name,
+            m.nodes,
+            m.links,
+            m.min_degree,
+            m.max_degree,
+            m.diameter,
+            m.average_distance,
+            m.cost
         );
     }
 
@@ -56,7 +65,12 @@ fn main() {
     for t in &topos {
         let pkts = traffic::hot_spot(t.len(), 2000, 400, 0.3, 7);
         let s = simulate(*t, &pkts, 400_000);
-        println!("{:<10} {:>10.2} {:>9}", t.name(), s.mean_latency, s.p99_latency);
+        println!(
+            "{:<10} {:>10.2} {:>9}",
+            t.name(),
+            s.mean_latency,
+            s.p99_latency
+        );
     }
 
     println!("\n== one-to-all broadcast from node 0 ==\n");
@@ -68,11 +82,20 @@ fn main() {
         let ap = broadcast_all_port(*t, 0);
         let op = broadcast_one_port(*t, 0);
         let floor = (t.len() as f64).log2().ceil() as u32;
-        println!("{:<10} {:>14} {:>14} {:>12}", t.name(), ap.rounds, op.rounds, floor);
+        println!(
+            "{:<10} {:>14} {:>14} {:>12}",
+            t.name(),
+            ap.rounds,
+            op.rounds,
+            floor
+        );
     }
 
     println!("\n== fault tolerance: reachable-pair fraction after k failures ==\n");
-    println!("{:<10} {:>8} {:>8} {:>8} {:>8}", "network", "k=0", "k=1", "k=2", "k=5");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "network", "k=0", "k=1", "k=2", "k=5"
+    );
     for t in &topos {
         let rows = fault_sweep(*t, &[0, 1, 2, 5], 8);
         println!(
@@ -83,6 +106,57 @@ fn main() {
             rows[2].1,
             rows[3].1
         );
+    }
+
+    println!("\n== routing policies under hot-spot load (Γ_8, 2000 packets) ==\n");
+    let canonical = CanonicalRouter::for_net(&gamma);
+    let adaptive = AdaptiveMinimal::new(&gamma);
+    let pkts = traffic::hot_spot(gamma.len(), 2000, 400, 0.3, 7);
+    println!("{:<12} {:>10} {:>9}", "router", "mean lat", "p99 lat");
+    let c = simulate_with(&gamma, &canonical, &pkts, 400_000);
+    println!(
+        "{:<12} {:>10.2} {:>9}",
+        "canonical", c.mean_latency, c.p99_latency
+    );
+    let a = simulate_with(&gamma, &adaptive, &pkts, 400_000);
+    println!(
+        "{:<12} {:>10.2} {:>9}",
+        "adaptive", a.mean_latency, a.p99_latency
+    );
+
+    println!("\n== injection-rate sweep: saturation of Γ_10 vs Q_7 ==\n");
+    let gamma10 = FibonacciNet::classical(10);
+    let q7 = Hypercube::new(7);
+    let rates = rate_ladder(0.4, 4);
+    let config = SweepConfig {
+        inject_cycles: 150,
+        drain_cycles: 1_500,
+        seeds: vec![1, 2],
+    };
+    println!(
+        "{:<8} {:>8} {:>10} {:>10} {:>10}",
+        "network", "rate", "accepted", "mean lat", "deliv %"
+    );
+    for curve in [
+        injection_sweep(&gamma10, &AdaptiveMinimal::new(&gamma10), &rates, &config),
+        injection_sweep(&q7, &fibcube::network::EcubeRouter, &rates, &config),
+    ] {
+        for p in &curve.points {
+            println!(
+                "{:<8} {:>8.2} {:>10.4} {:>10.2} {:>9.1}%",
+                curve.topology,
+                p.rate,
+                p.accepted_rate,
+                p.mean_latency,
+                100.0 * p.delivered_fraction
+            );
+        }
+        if let Some(p) = saturation_point(&curve, 0.95) {
+            println!(
+                "  {} sustains ≈{:.3} pkt/node/cycle\n",
+                curve.topology, p.accepted_rate
+            );
+        }
     }
 
     println!("\nShape check: the Fibonacci cube tracks the hypercube closely at");

@@ -46,7 +46,9 @@ fn main() {
 
     // Route a message on the Fibonacci-cube network.
     let net = FibonacciNet::classical(10);
-    let route = net.route(3, (net.len() - 2) as u32);
+    let route = net
+        .route(3, (net.len() - 2) as u32)
+        .expect("routing converges");
     println!(
         "\nΓ_10 network: {} nodes; route 3 → {}: {} hops",
         net.len(),

@@ -56,12 +56,10 @@ pub use fibcube_words as words;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use fibcube_core::{
-        is_isometric, predict, predict_paper, qdf_isometric, EmbedClass, Qdf,
-    };
+    pub use fibcube_core::{is_isometric, predict, predict_paper, qdf_isometric, EmbedClass, Qdf};
     pub use fibcube_enum::{count_edges, count_squares, count_vertices};
     pub use fibcube_graph::CsrGraph;
     pub use fibcube_isometry::{dim_f_exact, dim_f_upper, isometric_dimension};
-    pub use fibcube_network::{simulate, FibonacciNet, Hypercube, Topology};
+    pub use fibcube_network::{simulate, simulate_with, FibonacciNet, Hypercube, Router, Topology};
     pub use fibcube_words::{word, FactorAutomaton, Word};
 }

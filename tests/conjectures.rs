@@ -13,10 +13,7 @@ fn conjecture_8_1_holds_on_small_factors() {
     let evidence = conjecture_8_1_evidence(3, 9);
     assert!(!evidence.is_empty());
     for (f, ff, holds) in &evidence {
-        assert!(
-            holds,
-            "counterexample to Conjecture 8.1?! f={f}, ff={ff}"
-        );
+        assert!(holds, "counterexample to Conjecture 8.1?! f={f}, ff={ff}");
     }
     // The premise-satisfying factors at |f| ≤ 3 are exactly
     // 1, 11, 10, 111, 110 (101 fails the premise at d = 4).
@@ -43,7 +40,14 @@ fn theorem_3_3_sweep_beyond_table1() {
 #[test]
 fn proposition_3_2_sweep() {
     // f = 1^r 0^s 1^t never embeds past d = r+s+t.
-    for (r, s, t) in [(1, 1, 1), (2, 1, 1), (1, 2, 1), (1, 1, 2), (2, 2, 1), (1, 3, 1)] {
+    for (r, s, t) in [
+        (1, 1, 1),
+        (2, 1, 1),
+        (1, 2, 1),
+        (1, 1, 2),
+        (2, 2, 1),
+        (1, 3, 1),
+    ] {
         let f = families::ones_zeros_ones(r, s, t);
         let len = r + s + t;
         for d in 1..=len + 3 {

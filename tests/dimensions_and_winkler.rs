@@ -3,8 +3,7 @@
 
 use fibcube::graph::generators;
 use fibcube::isometry::{
-    dim_f_exact, dim_f_upper, is_partial_cube, isometric_dimension, section8_example,
-    verify_ladder,
+    dim_f_exact, dim_f_upper, is_partial_cube, isometric_dimension, section8_example, verify_ladder,
 };
 use fibcube::prelude::*;
 
@@ -67,9 +66,18 @@ fn section_8_example_full() {
 fn non_embeddable_examples_are_not_partial_cubes() {
     // Problem 8.3 evidence: the small non-embeddable Q_d(f) are not
     // isometric in ANY hypercube (not just Q_d).
-    for (d, fs) in [(4, "101"), (5, "101"), (5, "1101"), (5, "1001"), (7, "1100")] {
+    for (d, fs) in [
+        (4, "101"),
+        (5, "101"),
+        (5, "1101"),
+        (5, "1001"),
+        (7, "1100"),
+    ] {
         let g = Qdf::new(d, word(fs));
-        assert!(!is_isometric(&g), "premise: Q_{d}({fs}) not isometric in Q_{d}");
+        assert!(
+            !is_isometric(&g),
+            "premise: Q_{d}({fs}) not isometric in Q_{d}"
+        );
         assert!(!is_partial_cube(g.graph()), "Q_{d}({fs}) in no hypercube");
     }
 }

@@ -44,7 +44,7 @@ fn distributed_routing_is_bfs_shortest_on_all_topologies() {
         let dist = fibcube::graph::distance_matrix(t.graph());
         for s in 0..t.len() as u32 {
             for d in 0..t.len() as u32 {
-                let route = t.route(s, d);
+                let route = t.route(s, d).expect("routing converges");
                 assert_eq!(
                     route.len() as u32 - 1,
                     dist[s as usize][d as usize],

@@ -90,9 +90,7 @@ fn prop_6_1_for_every_embeddable_table1_factor() {
 
 #[test]
 fn prop_6_4_median_closed_iff_length_two() {
-    use fibcube::core::properties::{
-        is_median_closed, median_violation, verify_median_violation,
-    };
+    use fibcube::core::properties::{is_median_closed, median_violation, verify_median_violation};
     // |f| = 2: paths and Fibonacci cubes are median closed.
     for fs in ["11", "00", "10", "01"] {
         for d in 2..=7usize {
