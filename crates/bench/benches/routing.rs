@@ -1,9 +1,10 @@
 //! Bench: distributed route computation (experiment E-N2) — the split-out
 //! routers (precomputed canonical-path, e-cube, adaptive minimal) against
-//! the seed's scan-per-hop `Topology::next_hop` rules.
+//! the seed's scan-per-hop `Topology::next_hop` rules. Routers are built
+//! through `RouterSpec::resolve`, the same path `Experiment` takes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fibcube_network::router::{AdaptiveMinimal, CanonicalRouter, NoLoad, Router};
+use fibcube_network::router::{NoLoad, Router, RouterSpec};
 use fibcube_network::{FibonacciNet, Hypercube, Ring, Topology};
 
 fn all_pairs_routes(t: &dyn Topology) -> usize {
@@ -54,11 +55,13 @@ fn bench_routers(c: &mut Criterion) {
     let mut group = c.benchmark_group("router_policies");
     group.sample_size(10);
     let gamma = FibonacciNet::classical(12); // 377 nodes
-    let canonical = CanonicalRouter::for_net(&gamma);
-    let expected = all_pairs_router_hops(&gamma, &canonical);
+    let canonical = RouterSpec::Canonical
+        .resolve(&gamma)
+        .expect("canonical routing on Γ_12");
+    let expected = all_pairs_router_hops(&gamma, &*canonical);
     group.bench_function(BenchmarkId::new("canonical_table", gamma.name()), |b| {
         b.iter(|| {
-            assert_eq!(all_pairs_router_hops(&gamma, &canonical), expected);
+            assert_eq!(all_pairs_router_hops(&gamma, &*canonical), expected);
         })
     });
     group.bench_function(BenchmarkId::new("canonical_scan", gamma.name()), |b| {
@@ -66,9 +69,11 @@ fn bench_routers(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(all_pairs_routes(&gamma)))
     });
     group.bench_function(BenchmarkId::new("adaptive", gamma.name()), |b| {
-        let adaptive = AdaptiveMinimal::new(&gamma);
+        let adaptive = RouterSpec::Adaptive
+            .resolve(&gamma)
+            .expect("Γ_12 is Hamming-addressed");
         b.iter(|| {
-            assert_eq!(all_pairs_router_hops(&gamma, &adaptive), expected);
+            assert_eq!(all_pairs_router_hops(&gamma, &*adaptive), expected);
         })
     });
     group.finish();

@@ -9,7 +9,7 @@ use fibcube_network::broadcast::{broadcast_all_port, broadcast_one_port};
 use fibcube_network::fault::fault_sweep;
 use fibcube_network::hamilton::{hamiltonian_path, verify_hamiltonian, HamiltonResult};
 use fibcube_network::metrics::metrics;
-use fibcube_network::{simulate, traffic, FibonacciNet, Hypercube, Mesh, Ring, Topology};
+use fibcube_network::{simulate, FibonacciNet, Hypercube, Mesh, Ring, Topology, TrafficSpec};
 
 fn main() {
     header("E-N1 — orders of Q_d(1^k) are the k-bonacci numbers");
@@ -91,8 +91,25 @@ fn main() {
         "network", "uni mean", "uni p99", "hotspot mean", "hotspot p99"
     );
     for t in &topos {
-        let uni = simulate(*t, &traffic::uniform(t.len(), 2000, 400, 1), 500_000);
-        let hot = simulate(*t, &traffic::hot_spot(t.len(), 2000, 400, 0.3, 2), 500_000);
+        let uni = simulate(
+            *t,
+            &TrafficSpec::Uniform {
+                count: 2000,
+                window: 400,
+            }
+            .generate(t.len(), 1),
+            500_000,
+        );
+        let hot = simulate(
+            *t,
+            &TrafficSpec::HotSpot {
+                count: 2000,
+                window: 400,
+                hot_fraction: 0.3,
+            }
+            .generate(t.len(), 2),
+            500_000,
+        );
         assert_eq!(uni.delivered, uni.offered);
         assert_eq!(hot.delivered, hot.offered);
         println!(

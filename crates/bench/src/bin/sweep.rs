@@ -1,33 +1,32 @@
 //! The high-throughput sweep experiment: Γ_16 (2584 nodes) vs Q_11
-//! (2048 nodes) under the active-set engine.
+//! (2048 nodes), driven end to end through the `Experiment` API.
 //!
-//! 1. Fixed-load uniform benchmark per topology, timed under both the new
-//!    engine and the seed's full-scan reference engine (the acceptance
+//! 1. Fixed-load uniform benchmark per topology — the active-set engine
+//!    timed through `Experiment::run` against the seed's full-scan
+//!    reference engine on the identical packet stream (the acceptance
 //!    speedup figure);
-//! 2. an injection-rate ladder producing latency-vs-load and
-//!    saturation-throughput curves per topology and router;
-//! 3. `BENCH_sim.json` in the working directory, seeding the performance
-//!    trajectory with throughput / mean / p99 latency per topology at the
-//!    fixed load plus the measured speedups.
+//! 2. injection-rate ladders (`injection_sweep` over `RouterSpec`)
+//!    producing latency-vs-load and saturation-throughput curves per
+//!    topology and router;
+//! 3. `BENCH_sim.json` in the working directory — assembled from the
+//!    `Report`/`SweepCurve` JSON trees, seeding the performance
+//!    trajectory with throughput / mean / p99 latency per topology at
+//!    the fixed load plus the measured speedups.
 //!
 //! `cargo run --release -p fibcube-bench --bin sweep`
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
 use fibcube_bench::header;
-use fibcube_network::router::{AdaptiveMinimal, CanonicalRouter, EcubeRouter};
-use fibcube_network::sweep::{
-    injection_sweep, rate_ladder, saturation_point, SweepConfig, SweepCurve,
-};
+use fibcube_network::report::JsonValue;
+use fibcube_network::sweep::{injection_sweep, rate_ladder, saturation_point, SweepConfig};
 use fibcube_network::{
-    simulate, simulate_reference, traffic, FibonacciNet, Hypercube, Mesh, SimStats, Topology,
+    simulate_reference, Experiment, FibonacciNet, Hypercube, Mesh, Report, RouterSpec, SweepCurve,
+    Topology, TrafficSpec,
 };
 
 struct FixedLoadRow {
-    topology: String,
-    nodes: usize,
-    stats: SimStats,
+    report: Report,
     engine_ms: f64,
     reference_ms: f64,
 }
@@ -36,27 +35,57 @@ impl FixedLoadRow {
     fn speedup(&self) -> f64 {
         self.reference_ms / self.engine_ms.max(1e-9)
     }
+
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::obj([
+            ("report", self.report.to_json_value()),
+            ("engine_ms", JsonValue::Num(self.engine_ms)),
+            ("reference_ms", JsonValue::Num(self.reference_ms)),
+            ("speedup", JsonValue::Num(self.speedup())),
+        ])
+    }
+}
+
+/// Best-of-two wall-clock time for `f`, in milliseconds — the second run
+/// is warm, which keeps the speedup ratio from flapping on cache state.
+fn time_best_of_two<T>(mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..2 {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        result = Some(r);
+    }
+    (result.expect("two runs happened"), best)
 }
 
 fn fixed_load(t: &dyn Topology, packets: usize, window: u64) -> FixedLoadRow {
-    let pkts = traffic::uniform(t.len(), packets, window, 2026);
+    let traffic = TrafficSpec::Uniform {
+        count: packets,
+        window,
+    };
     let cap = 4_000_000;
+    let seed = 2026;
 
-    let start = Instant::now();
-    let stats = simulate(t, &pkts, cap);
-    let engine_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (report, engine_ms) = time_best_of_two(|| {
+        Experiment::on(t)
+            .traffic(traffic.clone())
+            .seed(seed)
+            .cycles(cap)
+            .run()
+            .expect("preferred router resolves on every topology")
+    });
+    let stats = &report.stats;
     assert_eq!(stats.delivered, stats.offered, "{} must drain", t.name());
 
-    let start = Instant::now();
-    let reference = simulate_reference(t, &pkts, cap);
-    let reference_ms = start.elapsed().as_secs_f64() * 1e3;
+    let pkts = traffic.generate(t.len(), seed);
+    let (reference, reference_ms) = time_best_of_two(|| simulate_reference(t, &pkts, cap));
     assert_eq!(reference.delivered, stats.delivered);
     assert_eq!(reference.total_hops, stats.total_hops, "engines must agree");
 
     FixedLoadRow {
-        topology: t.name(),
-        nodes: t.len(),
-        stats,
+        report,
         engine_ms,
         reference_ms,
     }
@@ -86,10 +115,6 @@ fn print_curve(curve: &SweepCurve) {
     }
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
 fn main() {
     header("E-S1 — fixed-load uniform benchmark (5000 packets, window 1000)");
     let gamma16 = FibonacciNet::classical(16);
@@ -104,11 +129,11 @@ fn main() {
         let row = fixed_load(t, 5_000, 1_000);
         println!(
             "{:<10} {:>6} {:>10.3} {:>9.2} {:>8} {:>10.1} {:>12.1} {:>7.1}×",
-            row.topology,
-            row.nodes,
-            row.stats.throughput,
-            row.stats.mean_latency,
-            row.stats.p99_latency,
+            row.report.topology,
+            row.report.nodes,
+            row.report.stats.throughput,
+            row.report.stats.mean_latency,
+            row.report.stats.p99_latency,
             row.engine_ms,
             row.reference_ms,
             row.speedup()
@@ -131,65 +156,34 @@ fn main() {
         drain_cycles: 2_500,
         seeds: vec![1, 2],
     };
-    let canonical = CanonicalRouter::for_net(&gamma16);
-    let curves = vec![
-        injection_sweep(&gamma16, &canonical, &rates, &config),
-        injection_sweep(&gamma16, &AdaptiveMinimal::new(&gamma16), &rates, &config),
-        injection_sweep(&q11, &EcubeRouter, &rates, &config),
-        injection_sweep(&q11, &AdaptiveMinimal::new(&q11), &rates, &config),
-    ];
+    let curves: Vec<SweepCurve> = [
+        injection_sweep(&gamma16, RouterSpec::Canonical, &rates, &config),
+        injection_sweep(&gamma16, RouterSpec::Adaptive, &rates, &config),
+        injection_sweep(&q11, RouterSpec::Ecube, &rates, &config),
+        injection_sweep(&q11, RouterSpec::Adaptive, &rates, &config),
+    ]
+    .into_iter()
+    .map(|c| c.expect("every requested policy is supported on its topology"))
+    .collect();
     for curve in &curves {
         print_curve(curve);
     }
 
-    // ---- BENCH_sim.json --------------------------------------------------
-    let mut json = String::from("{\n  \"benchmark\": \"uniform_fixed_load\",\n");
-    let _ = writeln!(json, "  \"packets\": 5000,\n  \"window\": 1000,");
-    let _ = writeln!(json, "  \"min_speedup_vs_seed_engine\": {min_speedup:.2},");
-    json.push_str("  \"fixed_load\": [\n");
-    for (i, row) in rows.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"topology\": \"{}\", \"nodes\": {}, \"throughput\": {:.4}, \
-             \"mean_latency\": {:.4}, \"p99_latency\": {}, \"makespan\": {}, \
-             \"engine_ms\": {:.2}, \"reference_ms\": {:.2}, \"speedup\": {:.2}}}",
-            json_escape(&row.topology),
-            row.nodes,
-            row.stats.throughput,
-            row.stats.mean_latency,
-            row.stats.p99_latency,
-            row.stats.makespan,
-            row.engine_ms,
-            row.reference_ms,
-            row.speedup()
-        );
-        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ],\n  \"sweeps\": [\n");
-    for (ci, curve) in curves.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"topology\": \"{}\", \"router\": \"{}\", \"nodes\": {}, \"points\": [",
-            json_escape(&curve.topology),
-            json_escape(&curve.router),
-            curve.nodes
-        );
-        for (pi, p) in curve.points.iter().enumerate() {
-            let _ = write!(
-                json,
-                "{{\"rate\": {:.4}, \"accepted_rate\": {:.5}, \"delivered_fraction\": {:.4}, \
-                 \"mean_latency\": {:.3}, \"p99_latency\": {:.1}}}",
-                p.rate, p.accepted_rate, p.delivered_fraction, p.mean_latency, p.p99_latency
-            );
-            if pi + 1 < curve.points.len() {
-                json.push_str(", ");
-            }
-        }
-        json.push_str("]}");
-        json.push_str(if ci + 1 < curves.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    let json = JsonValue::obj([
+        ("benchmark", JsonValue::Str("uniform_fixed_load".into())),
+        ("packets", JsonValue::Int(5000)),
+        ("window", JsonValue::Int(1000)),
+        ("min_speedup_vs_seed_engine", JsonValue::Num(min_speedup)),
+        (
+            "fixed_load",
+            JsonValue::Arr(rows.iter().map(FixedLoadRow::to_json_value).collect()),
+        ),
+        (
+            "sweeps",
+            JsonValue::Arr(curves.iter().map(SweepCurve::to_json_value).collect()),
+        ),
+    ]);
+    std::fs::write("BENCH_sim.json", json.pretty()).expect("write BENCH_sim.json");
     println!("\nwrote BENCH_sim.json");
 
     assert!(

@@ -1,0 +1,394 @@
+//! The unified experiment API: one composable entry point for every
+//! topology/router/workload comparison in the crate.
+//!
+//! ```
+//! use fibcube_network::{
+//!     Experiment, FibonacciNet, LatencyHistogram, RouterSpec, TrafficSpec,
+//! };
+//!
+//! let net = FibonacciNet::classical(10);
+//! let mut hist = LatencyHistogram::new();
+//! let report = Experiment::on(&net)
+//!     .router(RouterSpec::Adaptive)
+//!     .traffic(TrafficSpec::Uniform { count: 500, window: 100 })
+//!     .seed(42)
+//!     .observe(&mut hist)
+//!     .run()
+//!     .expect("adaptive routing is supported on Γ_10");
+//! assert_eq!(report.stats.delivered, 500);
+//! assert_eq!(hist.delivered(), 500);
+//! println!("{}", report.to_json());
+//! ```
+//!
+//! An [`Experiment`] is a builder over five orthogonal choices:
+//!
+//! * **topology** — anything implementing
+//!   [`Topology`] ([`Experiment::on`]);
+//! * **router** — a declarative [`RouterSpec`], resolved against the
+//!   topology with a typed capability check (requesting e-cube on a ring
+//!   is an [`ExperimentError::UnsupportedRouter`], not a panic);
+//! * **traffic** — a [`TrafficSpec`], parseable from CLI/JSON text;
+//! * **budget** — a [`seed`](Experiment::seed) for the workload stream
+//!   and a [`cycles`](Experiment::cycles) cap (default: run until
+//!   drained);
+//! * **observers** — any [`SimObserver`], attached with
+//!   [`observe`](Experiment::observe).
+//!
+//! [`run`](Experiment::run) feeds the generated packets through the
+//! monomorphized active-set engine
+//! ([`simulate_observed`]) and
+//! returns a [`Report`]: the configuration echo, the engine's
+//! [`SimStats`](crate::simulator::SimStats), and one JSON section per
+//! observer.
+//!
+//! ## The observer contract
+//!
+//! Observers are compiled into the engine (generic, not `dyn`), so the
+//! default [`NoopObserver`] costs nothing — a no-observer experiment
+//! reproduces [`simulate_with`](crate::simulator::simulate_with) packet
+//! for packet *and* cycle for cycle. Hooks fire in simulation order:
+//! `on_inject` when a packet enters its source queue, `on_hop` per link
+//! traversal, `on_deliver` on arrival (with end-to-end latency), and
+//! `on_cycle_end` after each *simulated* cycle — the engine fast-forwards
+//! idle stretches, so cycle numbers observed are not necessarily
+//! consecutive. Observers must not assume they are; see
+//! [`observer`](crate::observer) for details and the shipped
+//! [`LatencyHistogram`](crate::observer::LatencyHistogram) /
+//! [`LinkHeatmap`](crate::observer::LinkHeatmap) implementations.
+
+use core::fmt;
+
+use crate::observer::{NoopObserver, SimObserver};
+use crate::report::Report;
+use crate::router::RouterSpec;
+use crate::simulator::simulate_observed;
+use crate::topology::Topology;
+use crate::traffic::TrafficSpec;
+
+/// A configuration the experiment layer rejected — every failure mode
+/// that used to be a panic or an `assert!` at a call site, as a typed,
+/// `?`-friendly error.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExperimentError {
+    /// The requested routing policy cannot run on this topology.
+    UnsupportedRouter {
+        /// The requested policy.
+        router: RouterSpec,
+        /// Name of the topology that cannot run it.
+        topology: String,
+    },
+    /// The traffic spec is degenerate for the target network.
+    InvalidTraffic {
+        /// The offending spec, in canonical text form.
+        spec: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// A spec string failed to parse (`FromStr` for [`TrafficSpec`] /
+    /// [`RouterSpec`]).
+    ParseSpec {
+        /// Which kind of spec (`"traffic"` or `"router"`).
+        what: &'static str,
+        /// The rejected input.
+        input: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::UnsupportedRouter { router, topology } => write!(
+                f,
+                "router `{router}` is not supported on `{topology}` \
+                 (try `preferred` or `builtin`, which every topology runs)"
+            ),
+            ExperimentError::InvalidTraffic { spec, reason } => {
+                write!(f, "invalid traffic `{spec}`: {reason}")
+            }
+            ExperimentError::ParseSpec {
+                what,
+                input,
+                reason,
+            } => write!(f, "cannot parse {what} spec `{input}`: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// Builder for one simulation experiment; see the [module docs](self)
+/// for the full picture.
+///
+/// Defaults: [`RouterSpec::Preferred`], 1000 packets of uniform traffic
+/// over a 250-cycle window, seed 0, no cycle cap (run until drained),
+/// no observer.
+#[derive(Clone, Debug)]
+pub struct Experiment<'a, T: Topology + ?Sized, O: SimObserver = NoopObserver> {
+    topology: &'a T,
+    router: RouterSpec,
+    traffic: TrafficSpec,
+    max_cycles: u64,
+    seed: u64,
+    observer: O,
+}
+
+impl<'a, T: Topology + ?Sized> Experiment<'a, T, NoopObserver> {
+    /// Starts an experiment on `topology` with the default configuration.
+    pub fn on(topology: &'a T) -> Experiment<'a, T, NoopObserver> {
+        Experiment {
+            topology,
+            router: RouterSpec::Preferred,
+            traffic: TrafficSpec::Uniform {
+                count: 1000,
+                window: 250,
+            },
+            max_cycles: u64::MAX,
+            seed: 0,
+            observer: NoopObserver,
+        }
+    }
+}
+
+impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
+    /// Selects the routing policy (default [`RouterSpec::Preferred`]).
+    pub fn router(mut self, spec: RouterSpec) -> Self {
+        self.router = spec;
+        self
+    }
+
+    /// Selects the workload (default 1000 uniform packets, window 250).
+    pub fn traffic(mut self, spec: TrafficSpec) -> Self {
+        self.traffic = spec;
+        self
+    }
+
+    /// Caps the simulation at `max_cycles`; undelivered packets show up
+    /// as `offered − delivered`. Default: no cap (`u64::MAX`) — safe
+    /// because every shipped router is progressive, so runs drain.
+    pub fn cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Seeds the traffic generator (default 0). Same (spec, topology,
+    /// seed) ⇒ byte-identical packet stream.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Attaches an observer, replacing the current one. Pass a tuple to
+    /// attach several (`.observe((hist, heatmap))`), or a `&mut` to keep
+    /// ownership outside the experiment (`.observe(&mut hist)`).
+    pub fn observe<O2: SimObserver>(self, observer: O2) -> Experiment<'a, T, O2> {
+        Experiment {
+            topology: self.topology,
+            router: self.router,
+            traffic: self.traffic,
+            max_cycles: self.max_cycles,
+            seed: self.seed,
+            observer,
+        }
+    }
+
+    /// Validates the configuration, generates the workload, resolves the
+    /// router, runs the engine, and assembles the [`Report`].
+    pub fn run(mut self) -> Result<Report, ExperimentError> {
+        let n = self.topology.len();
+        self.traffic.validate(n)?;
+        let router = self.router.resolve(self.topology)?;
+        let packets = self.traffic.generate(n, self.seed);
+        let stats = simulate_observed(
+            self.topology,
+            &*router,
+            &packets,
+            self.max_cycles,
+            &mut self.observer,
+        );
+        Ok(Report {
+            topology: self.topology.name(),
+            nodes: n,
+            router_spec: self.router.to_string(),
+            router: router.name(),
+            traffic: self.traffic.to_string(),
+            seed: self.seed,
+            max_cycles: self.max_cycles,
+            stats,
+            sections: self.observer.sections(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::{LatencyHistogram, LinkHeatmap};
+    use crate::simulator::{simulate_with, SimStats};
+    use crate::topology::{FibonacciNet, Hypercube, Ring};
+
+    fn run_spec(topo: &dyn Topology, router: RouterSpec) -> Result<Report, ExperimentError> {
+        Experiment::on(topo)
+            .router(router)
+            .traffic(TrafficSpec::Uniform {
+                count: 200,
+                window: 50,
+            })
+            .seed(7)
+            .run()
+    }
+
+    #[test]
+    fn experiment_reproduces_simulate_with_on_the_acceptance_pair() {
+        // Acceptance criterion: a no-op-observer experiment must match
+        // `simulate_with` packet for packet on Γ_16 and Q_11 — same
+        // histogram, makespan, hops, everything.
+        let gamma = FibonacciNet::classical(16);
+        let q = Hypercube::new(11);
+        for topo in [&gamma as &dyn Topology, &q] {
+            let spec = TrafficSpec::Uniform {
+                count: 1500,
+                window: 400,
+            };
+            let direct: SimStats = simulate_with(
+                topo,
+                &*topo.router(),
+                &spec.generate(topo.len(), 2026),
+                4_000_000,
+            );
+            let report = Experiment::on(topo)
+                .traffic(spec)
+                .seed(2026)
+                .cycles(4_000_000)
+                .run()
+                .expect("preferred router always resolves");
+            assert_eq!(report.stats, direct, "{}", topo.name());
+            assert_eq!(report.stats.delivered, report.stats.offered);
+            assert_eq!(report.topology, topo.name());
+        }
+    }
+
+    #[test]
+    fn router_capability_errors_are_typed_not_panics() {
+        let ring = Ring::new(9);
+        match run_spec(&ring, RouterSpec::Ecube) {
+            Err(ExperimentError::UnsupportedRouter { router, topology }) => {
+                assert_eq!(router, RouterSpec::Ecube);
+                assert_eq!(topology, "Ring_9");
+            }
+            other => panic!("expected UnsupportedRouter, got {other:?}"),
+        }
+        assert!(run_spec(&ring, RouterSpec::Canonical).is_err());
+        assert!(run_spec(&ring, RouterSpec::Adaptive).is_err());
+        assert!(run_spec(&ring, RouterSpec::Builtin).is_ok());
+
+        let q = Hypercube::new(4);
+        assert!(run_spec(&q, RouterSpec::Canonical).is_err());
+        assert_eq!(run_spec(&q, RouterSpec::Ecube).unwrap().router, "e-cube");
+    }
+
+    #[test]
+    fn experiment_errors_work_with_question_mark() {
+        // Satellite: ExperimentError (like RouteError) must box into
+        // `dyn Error` so callers can use `?`.
+        fn run() -> Result<Report, Box<dyn std::error::Error>> {
+            let ring = Ring::new(5);
+            let spec: TrafficSpec = "uniform(count=20,window=5)".parse()?;
+            let router: RouterSpec = "builtin".parse()?;
+            Ok(Experiment::on(&ring).traffic(spec).router(router).run()?)
+        }
+        let report = run().expect("valid configuration");
+        assert_eq!(report.stats.delivered, 20);
+
+        fn bad() -> Result<Report, Box<dyn std::error::Error>> {
+            let ring = Ring::new(5);
+            let spec: TrafficSpec = "nonsense".parse()?;
+            Ok(Experiment::on(&ring).traffic(spec).run()?)
+        }
+        let err = bad().expect_err("parse failure propagates");
+        assert!(err.to_string().contains("traffic"));
+    }
+
+    #[test]
+    fn invalid_traffic_is_rejected_before_running() {
+        let q = Hypercube::new(3);
+        let err = Experiment::on(&q)
+            .traffic(TrafficSpec::Bernoulli {
+                rate: 1.5,
+                cycles: 10,
+            })
+            .run()
+            .expect_err("rate 1.5 is not a probability");
+        assert!(matches!(err, ExperimentError::InvalidTraffic { .. }));
+    }
+
+    #[test]
+    fn observers_feed_report_sections() {
+        let net = FibonacciNet::classical(8);
+        let report = Experiment::on(&net)
+            .router(RouterSpec::Canonical)
+            .traffic(TrafficSpec::HotSpot {
+                count: 400,
+                window: 100,
+                hot_fraction: 0.3,
+            })
+            .seed(5)
+            .observe((LatencyHistogram::new(), LinkHeatmap::new()))
+            .run()
+            .unwrap();
+        let names: Vec<&str> = report.sections.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["latency_histogram", "link_heatmap"]);
+        let json = report.to_json();
+        assert!(json.contains("\"latency_histogram\""), "{json}");
+        assert!(json.contains("\"hottest\""), "{json}");
+        assert!(json.contains("\"traffic\": \"hotspot(count=400,window=100,hot=0.3)\""));
+    }
+
+    #[test]
+    fn borrowed_observer_stays_inspectable() {
+        let q = Hypercube::new(5);
+        let mut heat = LinkHeatmap::new();
+        let report = Experiment::on(&q)
+            .traffic(TrafficSpec::ComplementPermutation { window: 4 })
+            .observe(&mut heat)
+            .run()
+            .unwrap();
+        assert_eq!(heat.total_hops(), report.stats.total_hops);
+        assert!(heat.total_hops() > 0);
+        // Bit-complement on Q_5: every source is distance 5 from its dst.
+        assert_eq!(report.stats.total_hops, 32 * 5);
+    }
+
+    #[test]
+    fn report_json_echoes_configuration() {
+        let q = Hypercube::new(3);
+        let report = Experiment::on(&q)
+            .router(RouterSpec::Adaptive)
+            .traffic(TrafficSpec::AllToAll)
+            .cycles(10_000)
+            .run()
+            .unwrap();
+        let json = report.to_json();
+        for needle in [
+            "\"topology\": \"Q_3\"",
+            "\"nodes\": 8",
+            "\"router_spec\": \"adaptive\"",
+            "\"router\": \"adaptive\"",
+            "\"traffic\": \"alltoall\"",
+            "\"max_cycles\": 10000",
+            "\"delivered\": 56",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // No cap ⇒ null.
+        let uncapped = Experiment::on(&q)
+            .traffic(TrafficSpec::AllToAll)
+            .run()
+            .unwrap();
+        assert!(uncapped.to_json().contains("\"max_cycles\": null"));
+        // The human summary names the essentials.
+        let line = uncapped.to_string();
+        assert!(line.contains("Q_3") && line.contains("56"), "{line}");
+    }
+}

@@ -6,21 +6,32 @@
 //! processor network with Zeckendorf addressing, plus the machinery to
 //! evaluate it against the classic baselines:
 //!
+//! * [`experiment`] — **start here**: the [`Experiment`] builder is the
+//!   one composable entry point —
+//!   `Experiment::on(&topo).router(..).traffic(..).observe(..).run()`
+//!   returns a structured [`Report`];
 //! * [`topology`] — `Q_d(1^k)`, hypercube, ring, mesh, each with its
 //!   distributed shortest-path rule (canonical-path routing on the
 //!   Fibonacci cubes, justified by Proposition 3.1's argument);
 //! * [`router`] — routing *policies* split out of the topologies: e-cube,
-//!   precomputed canonical-path, and load-aware adaptive minimal routing;
+//!   precomputed canonical-path, and load-aware adaptive minimal routing,
+//!   named declaratively by [`RouterSpec`];
 //! * [`simulator`] — synchronous store-and-forward packet simulation with
 //!   latency/throughput statistics (active-set engine, plus the original
 //!   full-scan engine as a reference oracle);
+//! * [`observer`] — pluggable [`SimObserver`] hooks compiled into the
+//!   engine (zero-cost when absent), with [`LatencyHistogram`] and
+//!   [`LinkHeatmap`] shipped;
+//! * [`report`] — the [`Report`] type and the dependency-free
+//!   [`JsonValue`] document model behind `to_json()`;
 //! * [`sweep`] — injection-rate ladders producing saturation-throughput
 //!   and latency-vs-load curves, parallel across (rate, seed) runs;
-//! * [`traffic`] — seeded workload generators (uniform, hot-spot,
-//!   complement permutation, all-to-all, open-loop Bernoulli);
+//! * [`traffic`] — declarative, seeded workload specs ([`TrafficSpec`]:
+//!   uniform, hot-spot, complement permutation, all-to-all, open-loop
+//!   Bernoulli, mixes — all CLI/JSON-parseable);
 //! * [`broadcast`] — one-to-all broadcast in the all-port and one-port
 //!   models;
-//! * [`metrics`] — the static figure-of-merit table (degree, diameter,
+//! * [`metrics`](mod@metrics) — the static figure-of-merit table (degree, diameter,
 //!   average distance, cost);
 //! * [`hamilton`] — Hamiltonian paths/cycles ("mostly Hamiltonian");
 //! * [`embedding`] — hosting paths/rings/hypercubes in Fibonacci cubes
@@ -32,9 +43,12 @@
 
 pub mod broadcast;
 pub mod embedding;
+pub mod experiment;
 pub mod fault;
 pub mod hamilton;
 pub mod metrics;
+pub mod observer;
+pub mod report;
 pub mod router;
 pub mod simulator;
 pub mod sweep;
@@ -43,13 +57,20 @@ pub mod traffic;
 
 pub use broadcast::{broadcast_all_port, broadcast_one_port, BroadcastSchedule};
 pub use embedding::{embed_hypercube, embed_path, embed_ring, Embedding};
+pub use experiment::{Experiment, ExperimentError};
 pub use fault::{fault_sweep, fault_trial, FaultTrial};
 pub use hamilton::{hamiltonian_cycle, hamiltonian_path, HamiltonResult};
 pub use metrics::{metrics, TopologyMetrics};
+pub use observer::{LatencyHistogram, LinkHeatmap, NoopObserver, SimObserver};
+pub use report::{JsonValue, Report};
 pub use router::{
     AdaptiveMinimal, CanonicalRouter, EcubeRouter, LinkLoad, NextHopRouter, NoLoad, Router,
+    RouterSpec,
 };
-pub use simulator::{simulate, simulate_reference, simulate_with, SimStats};
-pub use sweep::{injection_sweep, saturation_point, LoadPoint, SweepConfig, SweepCurve};
+pub use simulator::{simulate, simulate_observed, simulate_reference, simulate_with, SimStats};
+pub use sweep::{
+    injection_sweep, injection_sweep_with, rate_ladder, saturation_point, LoadPoint, SweepConfig,
+    SweepCurve,
+};
 pub use topology::{FibonacciNet, Hypercube, Mesh, Ring, RouteError, Topology};
-pub use traffic::Packet;
+pub use traffic::{Packet, TrafficSpec};

@@ -1,0 +1,354 @@
+//! Pluggable simulation observers.
+//!
+//! A [`SimObserver`] is threaded through the active-set engine
+//! ([`simulate_observed`](crate::simulator::simulate_observed)) and
+//! receives one callback per event:
+//!
+//! * [`on_inject`](SimObserver::on_inject) — a packet enters its source's
+//!   output queue (self-addressed packets are injected and delivered in
+//!   the same call sequence, at latency 0);
+//! * [`on_hop`](SimObserver::on_hop) — a packet traverses one directed
+//!   link (`edge` is the CSR directed-edge index, stable per topology);
+//! * [`on_deliver`](SimObserver::on_deliver) — a packet reaches its
+//!   destination, with its end-to-end latency;
+//! * [`on_cycle_end`](SimObserver::on_cycle_end) — a *simulated* cycle
+//!   finished. The engine fast-forwards across idle stretches, so this
+//!   fires only for cycles in which the network held packets — observers
+//!   must not assume consecutive cycle numbers.
+//!
+//! Every hook has a default empty body and the engine is generic over the
+//! observer type, so [`NoopObserver`] monomorphizes to nothing — the fast
+//! path with no observer attached costs exactly what it did before
+//! observers existed (the `sweep` bench bin asserts the ≥5× envelope over
+//! the seed engine through this path).
+//!
+//! Two ready-made observers ship with the crate: [`LatencyHistogram`]
+//! (per-packet latency distribution, independently of [`SimStats`]'s own
+//! accounting) and [`LinkHeatmap`] (per-directed-link traversal counts —
+//! the instrument that exposes the canonical-routing hub congestion on
+//! `Γ_d`).
+//!
+//! [`SimStats`]: crate::simulator::SimStats
+
+use crate::report::JsonValue;
+use crate::simulator::{bump, percentile};
+
+/// Event hooks invoked by the simulation engine. All hooks default to
+/// no-ops; implement only what you need. See the [module
+/// docs](self) for the exact contract of each event.
+pub trait SimObserver {
+    /// A packet from `src` to `dst` entered the network at `cycle`.
+    #[inline]
+    fn on_inject(&mut self, cycle: u64, src: u32, dst: u32) {
+        let _ = (cycle, src, dst);
+    }
+
+    /// A packet crossed the directed link `from → to` during `cycle`.
+    /// `edge` is the link's CSR directed-edge index.
+    #[inline]
+    fn on_hop(&mut self, cycle: u64, from: u32, to: u32, edge: usize) {
+        let _ = (cycle, from, to, edge);
+    }
+
+    /// A packet arrived at its destination `dst` at `cycle`, `latency`
+    /// cycles after injection.
+    #[inline]
+    fn on_deliver(&mut self, cycle: u64, dst: u32, latency: u64) {
+        let _ = (cycle, dst, latency);
+    }
+
+    /// A simulated cycle ended with `in_flight` packets still queued.
+    /// Idle cycles are fast-forwarded and produce no call.
+    #[inline]
+    fn on_cycle_end(&mut self, cycle: u64, in_flight: usize) {
+        let _ = (cycle, in_flight);
+    }
+
+    /// Named JSON sections for the experiment [`Report`]
+    /// (one `(name, value)` pair per section). Defaults to none.
+    ///
+    /// [`Report`]: crate::report::Report
+    fn sections(&self) -> Vec<(String, JsonValue)> {
+        Vec::new()
+    }
+}
+
+/// The zero-cost default observer: every hook is an empty inline body,
+/// so the monomorphized engine is identical to one without observers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl SimObserver for NoopObserver {}
+
+/// Mutable references observe through to the referent, so an experiment
+/// can borrow an observer (`.observe(&mut hist)`) and the caller keeps
+/// ownership for inspection after the run.
+impl<O: SimObserver + ?Sized> SimObserver for &mut O {
+    #[inline]
+    fn on_inject(&mut self, cycle: u64, src: u32, dst: u32) {
+        (**self).on_inject(cycle, src, dst);
+    }
+
+    #[inline]
+    fn on_hop(&mut self, cycle: u64, from: u32, to: u32, edge: usize) {
+        (**self).on_hop(cycle, from, to, edge);
+    }
+
+    #[inline]
+    fn on_deliver(&mut self, cycle: u64, dst: u32, latency: u64) {
+        (**self).on_deliver(cycle, dst, latency);
+    }
+
+    #[inline]
+    fn on_cycle_end(&mut self, cycle: u64, in_flight: usize) {
+        (**self).on_cycle_end(cycle, in_flight);
+    }
+
+    fn sections(&self) -> Vec<(String, JsonValue)> {
+        (**self).sections()
+    }
+}
+
+/// Pairs compose: both observers see every event (left first), and their
+/// report sections concatenate. Nest pairs for three or more.
+impl<A: SimObserver, B: SimObserver> SimObserver for (A, B) {
+    #[inline]
+    fn on_inject(&mut self, cycle: u64, src: u32, dst: u32) {
+        self.0.on_inject(cycle, src, dst);
+        self.1.on_inject(cycle, src, dst);
+    }
+
+    #[inline]
+    fn on_hop(&mut self, cycle: u64, from: u32, to: u32, edge: usize) {
+        self.0.on_hop(cycle, from, to, edge);
+        self.1.on_hop(cycle, from, to, edge);
+    }
+
+    #[inline]
+    fn on_deliver(&mut self, cycle: u64, dst: u32, latency: u64) {
+        self.0.on_deliver(cycle, dst, latency);
+        self.1.on_deliver(cycle, dst, latency);
+    }
+
+    #[inline]
+    fn on_cycle_end(&mut self, cycle: u64, in_flight: usize) {
+        self.0.on_cycle_end(cycle, in_flight);
+        self.1.on_cycle_end(cycle, in_flight);
+    }
+
+    fn sections(&self) -> Vec<(String, JsonValue)> {
+        let mut s = self.0.sections();
+        s.extend(self.1.sections());
+        s
+    }
+}
+
+/// Observer building the end-to-end latency distribution from
+/// [`on_deliver`](SimObserver::on_deliver) events. Its histogram must
+/// match [`SimStats::latency_histogram`](crate::simulator::SimStats) for
+/// the same run — the experiment tests use exactly that as the observer
+/// contract check.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyHistogram {
+    hist: Vec<u64>,
+    delivered: u64,
+    total_latency: u64,
+}
+
+impl LatencyHistogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// `histogram()[l]` = packets delivered with latency `l`.
+    pub fn histogram(&self) -> &[u64] {
+        &self.hist
+    }
+
+    /// Packets observed so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Mean observed latency (0 when nothing was delivered).
+    pub fn mean(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.delivered as f64
+        }
+    }
+
+    /// 99th-percentile observed latency.
+    pub fn p99(&self) -> u64 {
+        percentile(&self.hist, 0.99)
+    }
+}
+
+impl SimObserver for LatencyHistogram {
+    #[inline]
+    fn on_deliver(&mut self, _cycle: u64, _dst: u32, latency: u64) {
+        bump(&mut self.hist, latency);
+        self.delivered += 1;
+        self.total_latency += latency;
+    }
+
+    fn sections(&self) -> Vec<(String, JsonValue)> {
+        vec![(
+            "latency_histogram".to_string(),
+            JsonValue::obj([
+                ("delivered", JsonValue::Int(self.delivered)),
+                ("mean_latency", JsonValue::Num(self.mean())),
+                ("p99_latency", JsonValue::Int(self.p99())),
+                (
+                    "histogram",
+                    JsonValue::Arr(self.hist.iter().map(|&c| JsonValue::Int(c)).collect()),
+                ),
+            ]),
+        )]
+    }
+}
+
+/// Observer counting traversals per directed link — the load picture
+/// behind saturation: on `Γ_d` under deterministic canonical routing a
+/// few hub links carry an outsized share, which this map makes visible.
+#[derive(Clone, Debug, Default)]
+pub struct LinkHeatmap {
+    /// `counts[edge]` = packets that crossed that directed link.
+    counts: Vec<u64>,
+    /// `(from, to)` endpoints per edge index, recorded on first use.
+    endpoints: Vec<(u32, u32)>,
+    total: u64,
+}
+
+impl LinkHeatmap {
+    /// A fresh, empty heatmap (grows on demand as links are used).
+    pub fn new() -> LinkHeatmap {
+        LinkHeatmap::default()
+    }
+
+    /// Traversal count of the directed link with CSR edge index `edge`
+    /// (0 for links never used).
+    pub fn load(&self, edge: usize) -> u64 {
+        self.counts.get(edge).copied().unwrap_or(0)
+    }
+
+    /// Total link traversals observed (equals `SimStats::total_hops`).
+    pub fn total_hops(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct directed links used at least once.
+    pub fn links_used(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// The `k` most-used links as `(from, to, count)`, most loaded first
+    /// (ties broken by edge index).
+    pub fn hottest(&self, k: usize) -> Vec<(u32, u32, u64)> {
+        let mut used: Vec<usize> = (0..self.counts.len())
+            .filter(|&e| self.counts[e] > 0)
+            .collect();
+        used.sort_by_key(|&e| (std::cmp::Reverse(self.counts[e]), e));
+        used.truncate(k);
+        used.into_iter()
+            .map(|e| {
+                let (f, t) = self.endpoints[e];
+                (f, t, self.counts[e])
+            })
+            .collect()
+    }
+}
+
+impl SimObserver for LinkHeatmap {
+    #[inline]
+    fn on_hop(&mut self, _cycle: u64, from: u32, to: u32, edge: usize) {
+        if self.counts.len() <= edge {
+            self.counts.resize(edge + 1, 0);
+            self.endpoints.resize(edge + 1, (u32::MAX, u32::MAX));
+        }
+        self.counts[edge] += 1;
+        self.endpoints[edge] = (from, to);
+        self.total += 1;
+    }
+
+    fn sections(&self) -> Vec<(String, JsonValue)> {
+        let hottest = self
+            .hottest(8)
+            .into_iter()
+            .map(|(from, to, count)| {
+                JsonValue::obj([
+                    ("from", JsonValue::Int(from as u64)),
+                    ("to", JsonValue::Int(to as u64)),
+                    ("count", JsonValue::Int(count)),
+                ])
+            })
+            .collect();
+        vec![(
+            "link_heatmap".to_string(),
+            JsonValue::obj([
+                ("total_hops", JsonValue::Int(self.total)),
+                ("links_used", JsonValue::Int(self.links_used() as u64)),
+                ("hottest", JsonValue::Arr(hottest)),
+            ]),
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_histogram_accumulates() {
+        let mut h = LatencyHistogram::new();
+        for (lat, times) in [(2u64, 3u64), (5, 1)] {
+            for _ in 0..times {
+                h.on_deliver(10, 0, lat);
+            }
+        }
+        assert_eq!(h.histogram(), &[0, 0, 3, 0, 0, 1]);
+        assert_eq!(h.delivered(), 4);
+        assert_eq!(h.mean(), 11.0 / 4.0);
+        assert_eq!(h.p99(), 5);
+        let sections = h.sections();
+        assert_eq!(sections.len(), 1);
+        assert_eq!(sections[0].0, "latency_histogram");
+    }
+
+    #[test]
+    fn link_heatmap_counts_and_ranks() {
+        let mut m = LinkHeatmap::new();
+        m.on_hop(0, 1, 2, 7);
+        m.on_hop(1, 1, 2, 7);
+        m.on_hop(1, 2, 3, 3);
+        assert_eq!(m.total_hops(), 3);
+        assert_eq!(m.links_used(), 2);
+        assert_eq!(m.load(7), 2);
+        assert_eq!(m.load(99), 0);
+        assert_eq!(m.hottest(8), vec![(1, 2, 2), (2, 3, 1)]);
+    }
+
+    #[test]
+    fn pair_observer_fans_out_and_concatenates_sections() {
+        let mut pair = (LatencyHistogram::new(), LinkHeatmap::new());
+        pair.on_hop(0, 0, 1, 0);
+        pair.on_deliver(1, 1, 1);
+        assert_eq!(pair.0.delivered(), 1);
+        assert_eq!(pair.1.total_hops(), 1);
+        let names: Vec<String> = pair.sections().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["latency_histogram", "link_heatmap"]);
+    }
+
+    #[test]
+    fn mut_ref_observer_delegates() {
+        let mut h = LatencyHistogram::new();
+        {
+            let mut r = &mut h;
+            SimObserver::on_deliver(&mut r, 0, 0, 3);
+            assert_eq!(SimObserver::sections(&r).len(), 1);
+        }
+        assert_eq!(h.delivered(), 1);
+    }
+}

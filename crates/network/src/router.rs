@@ -1,4 +1,4 @@
-//! Routing algorithms, split out of [`Topology`](crate::topology::Topology).
+//! Routing algorithms, split out of [`Topology`].
 //!
 //! The seed fused "what the network looks like" and "how packets pick
 //! their next hop" into one trait, which made it impossible to compare
@@ -22,10 +22,93 @@
 //! Every router here is *progressive* — each hop strictly decreases the
 //! distance to the destination — which the property tests in
 //! `tests/proptest_network.rs` verify against BFS ground truth.
+//!
+//! For declarative configuration (CLI flags, experiment builders),
+//! [`RouterSpec`] names a policy and [`RouterSpec::resolve`] builds it
+//! for a concrete topology with a typed capability check.
+
+use core::fmt;
+use core::str::FromStr;
 
 use fibcube_words::word::Word;
 
+use crate::experiment::ExperimentError;
 use crate::topology::{FibonacciNet, Hypercube, Topology};
+
+/// A declarative routing-policy choice, the router half of an
+/// [`Experiment`](crate::experiment::Experiment). A spec is resolved
+/// against a concrete topology by [`RouterSpec::resolve`]; policies a
+/// topology cannot run (e-cube off the hypercube, canonical-path off
+/// `Q_d(1^k)`, adaptive without Hamming addressing) yield a typed
+/// [`ExperimentError::UnsupportedRouter`] instead of a panic.
+///
+/// `Display`/`FromStr` round-trip (`"preferred"`, `"builtin"`,
+/// `"e-cube"`, `"canonical"`, `"adaptive"`; parsing also accepts
+/// `"ecube"` and `"auto"`), so the choice is CLI/JSON-friendly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouterSpec {
+    /// The topology's preferred policy ([`Topology::router`]) — e-cube on
+    /// hypercubes, precomputed canonical-path on Fibonacci networks, the
+    /// built-in rule elsewhere. The default of an `Experiment`.
+    Preferred,
+    /// The topology's built-in distributed rule via [`NextHopRouter`] —
+    /// available everywhere.
+    Builtin,
+    /// Dimension-ordered [`EcubeRouter`] — hypercubes only.
+    Ecube,
+    /// Precomputed canonical-path [`CanonicalRouter`] — Fibonacci
+    /// networks only.
+    Canonical,
+    /// Load-aware [`AdaptiveMinimal`] — Hamming-addressed topologies
+    /// (hypercube and `Q_d(1^k)`).
+    Adaptive,
+}
+
+impl RouterSpec {
+    /// Resolves the spec against `topo`, building the concrete router or
+    /// reporting that the topology cannot run this policy.
+    pub fn resolve<T: Topology + ?Sized>(
+        self,
+        topo: &T,
+    ) -> Result<Box<dyn Router + '_>, ExperimentError> {
+        topo.resolve_router(self)
+            .ok_or_else(|| ExperimentError::UnsupportedRouter {
+                router: self,
+                topology: topo.name(),
+            })
+    }
+}
+
+impl fmt::Display for RouterSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RouterSpec::Preferred => "preferred",
+            RouterSpec::Builtin => "builtin",
+            RouterSpec::Ecube => "e-cube",
+            RouterSpec::Canonical => "canonical",
+            RouterSpec::Adaptive => "adaptive",
+        })
+    }
+}
+
+impl FromStr for RouterSpec {
+    type Err = ExperimentError;
+
+    fn from_str(s: &str) -> Result<RouterSpec, ExperimentError> {
+        match s.trim() {
+            "preferred" | "auto" => Ok(RouterSpec::Preferred),
+            "builtin" => Ok(RouterSpec::Builtin),
+            "e-cube" | "ecube" => Ok(RouterSpec::Ecube),
+            "canonical" => Ok(RouterSpec::Canonical),
+            "adaptive" => Ok(RouterSpec::Adaptive),
+            other => Err(ExperimentError::ParseSpec {
+                what: "router",
+                input: other.to_string(),
+                reason: "expected preferred, builtin, e-cube, canonical, or adaptive".to_string(),
+            }),
+        }
+    }
+}
 
 /// Live occupancy of the deciding node's output links, as exposed by the
 /// simulation engine. `load(slot)` is the number of packets currently
@@ -378,6 +461,47 @@ mod tests {
     fn next_hop_router_wraps_any_topology() {
         let ring = Ring::new(9);
         assert_progressive(&ring, &NextHopRouter::new(&ring));
+    }
+
+    #[test]
+    fn router_spec_round_trips_and_resolves() {
+        for spec in [
+            RouterSpec::Preferred,
+            RouterSpec::Builtin,
+            RouterSpec::Ecube,
+            RouterSpec::Canonical,
+            RouterSpec::Adaptive,
+        ] {
+            assert_eq!(spec.to_string().parse::<RouterSpec>().unwrap(), spec);
+        }
+        assert_eq!("ecube".parse::<RouterSpec>().unwrap(), RouterSpec::Ecube);
+        assert_eq!("auto".parse::<RouterSpec>().unwrap(), RouterSpec::Preferred);
+        assert!("dijkstra".parse::<RouterSpec>().is_err());
+
+        let q = Hypercube::new(3);
+        assert_eq!(RouterSpec::Ecube.resolve(&q).unwrap().name(), "e-cube");
+        assert_eq!(RouterSpec::Preferred.resolve(&q).unwrap().name(), "e-cube");
+        assert_eq!(RouterSpec::Adaptive.resolve(&q).unwrap().name(), "adaptive");
+        let err = RouterSpec::Canonical
+            .resolve(&q)
+            .map(|r| r.name())
+            .unwrap_err();
+        assert!(err.to_string().contains("canonical"), "{err}");
+        assert!(err.to_string().contains("Q_3"), "{err}");
+
+        let net = FibonacciNet::classical(5);
+        assert_eq!(
+            RouterSpec::Canonical.resolve(&net).unwrap().name(),
+            "canonical"
+        );
+        assert!(RouterSpec::Ecube.resolve(&net).is_err());
+
+        let ring = Ring::new(5);
+        assert_eq!(
+            RouterSpec::Builtin.resolve(&ring).unwrap().name(),
+            "builtin"
+        );
+        assert!(RouterSpec::Adaptive.resolve(&ring).is_err());
     }
 
     #[test]

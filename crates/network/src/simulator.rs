@@ -10,16 +10,18 @@
 //!
 //! ## Engine
 //!
-//! [`simulate_with`] is an **active-set** engine: per-link FIFOs live in
-//! one flat vector indexed by the graph's directed-edge index
+//! [`simulate_observed`] is an **active-set** engine: per-link FIFOs live
+//! in one flat vector indexed by the graph's directed-edge index
 //! (`offsets[u] + slot`), the `(node, neighbor) → slot` mapping comes from
 //! a precomputed [`SlotTable`], and each cycle touches only the worklist
 //! of nodes that actually hold packets — so an idle or lightly loaded
 //! cycle costs `O(active · degree)`, not `O(n · degree)`. Empty stretches
 //! between injections are skipped entirely. The function is generic over
-//! the topology and router, so concrete callers monomorphize; `&dyn
-//! Topology` still works (the bench bins use it) because the bound is
-//! `?Sized`.
+//! the topology, the router, *and* the attached
+//! [`SimObserver`], so concrete callers
+//! monomorphize — [`simulate_with`] (no observer) compiles to the same
+//! hot loop as before observers existed. `&dyn Topology` still works
+//! (the bench bins use it) because the bound is `?Sized`.
 //!
 //! The seed's original engine — full node scan every cycle, binary search
 //! per hop — is preserved as [`simulate_reference`]: it is the behavioural
@@ -30,12 +32,13 @@ use std::collections::VecDeque;
 
 use fibcube_graph::csr::SlotTable;
 
+use crate::observer::{NoopObserver, SimObserver};
 use crate::router::{LinkLoad, Router};
 use crate::topology::Topology;
 use crate::traffic::Packet;
 
 /// Aggregate results of one simulation run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimStats {
     /// Packets handed to the simulator.
     pub offered: usize,
@@ -164,8 +167,9 @@ fn route_and_enqueue<R: Router + ?Sized>(
 }
 
 /// Runs the active-set store-and-forward simulation under an explicit
-/// routing policy. Generic over both parameters, so concrete call sites
-/// monomorphize the hot loop; `?Sized` keeps `&dyn` callers working.
+/// routing policy, with no observer attached. Equivalent to
+/// [`simulate_observed`] with a [`NoopObserver`] — which monomorphizes
+/// to the identical hot loop.
 pub fn simulate_with<T, R>(
     topology: &T,
     router: &R,
@@ -175,6 +179,27 @@ pub fn simulate_with<T, R>(
 where
     T: Topology + ?Sized,
     R: Router + ?Sized,
+{
+    simulate_observed(topology, router, packets, max_cycles, &mut NoopObserver)
+}
+
+/// Runs the active-set store-and-forward simulation under an explicit
+/// routing policy, reporting every event to `observer` (see
+/// [`SimObserver`] for the event contract). Generic over all three
+/// parameters, so concrete call sites monomorphize the hot loop and a
+/// no-op observer costs nothing; `?Sized` keeps `&dyn` topology/router
+/// callers working.
+pub fn simulate_observed<T, R, O>(
+    topology: &T,
+    router: &R,
+    packets: &[Packet],
+    max_cycles: u64,
+    observer: &mut O,
+) -> SimStats
+where
+    T: Topology + ?Sized,
+    R: Router + ?Sized,
+    O: SimObserver,
 {
     let n = topology.len();
     let g = topology.graph();
@@ -217,9 +242,11 @@ where
         while next_inject < inj.len() && inj[next_inject].inject_time <= cycle {
             let p = inj[next_inject];
             next_inject += 1;
+            observer.on_inject(cycle, p.src, p.dst);
             if p.src == p.dst {
                 // Degenerate: counts as instantly delivered.
                 acc.deliver_instant();
+                observer.on_deliver(cycle, p.dst, 0);
                 continue;
             }
             route_and_enqueue(
@@ -249,7 +276,9 @@ where
             on_list[u as usize] = false;
             for e in g.edge_range(u) {
                 if let Some(pkt) = queues[e].pop_front() {
-                    arrivals.push((g.target(e), pkt));
+                    let v = g.target(e);
+                    observer.on_hop(cycle, u, v, e);
+                    arrivals.push((v, pkt));
                     occupancy[u as usize] -= 1;
                     acc.total_hops += 1;
                 }
@@ -268,6 +297,7 @@ where
             if node == pkt.dst {
                 in_flight -= 1;
                 acc.deliver(now, pkt.inject_time);
+                observer.on_deliver(now, node, now - pkt.inject_time);
             } else {
                 route_and_enqueue(g, &slots, router, &mut queues, &mut occupancy, node, pkt);
                 if !on_list[node as usize] {
@@ -276,6 +306,7 @@ where
                 }
             }
         }
+        observer.on_cycle_end(cycle, in_flight);
         cycle += 1;
     }
 
@@ -353,7 +384,7 @@ pub fn simulate_reference(
     acc.finish(packets.len())
 }
 
-fn bump(hist: &mut Vec<u64>, lat: u64) {
+pub(crate) fn bump(hist: &mut Vec<u64>, lat: u64) {
     let lat = lat as usize;
     if hist.len() <= lat {
         hist.resize(lat + 1, 0);
@@ -361,7 +392,7 @@ fn bump(hist: &mut Vec<u64>, lat: u64) {
     hist[lat] += 1;
 }
 
-fn percentile(hist: &[u64], q: f64) -> u64 {
+pub(crate) fn percentile(hist: &[u64], q: f64) -> u64 {
     let total: u64 = hist.iter().sum();
     if total == 0 {
         return 0;
@@ -380,9 +411,18 @@ fn percentile(hist: &[u64], q: f64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::observer::{LatencyHistogram, LinkHeatmap};
     use crate::router::{AdaptiveMinimal, CanonicalRouter, EcubeRouter};
     use crate::topology::{FibonacciNet, Hypercube, Ring};
-    use crate::traffic::{all_to_all, uniform};
+    use crate::traffic::TrafficSpec;
+
+    fn uniform(n: usize, count: usize, window: u64, seed: u64) -> Vec<Packet> {
+        TrafficSpec::Uniform { count, window }.generate(n, seed)
+    }
+
+    fn all_to_all(n: usize) -> Vec<Packet> {
+        TrafficSpec::AllToAll.generate(n, 0)
+    }
 
     #[test]
     fn single_packet_latency_is_distance() {
@@ -531,9 +571,76 @@ mod tests {
         // Adaptive minimal routing must still deliver everything when one
         // node draws concentrated traffic.
         let q = Hypercube::new(5);
-        let pkts = crate::traffic::hot_spot(q.len(), 600, 150, 0.4, 11);
+        let pkts = TrafficSpec::HotSpot {
+            count: 600,
+            window: 150,
+            hot_fraction: 0.4,
+        }
+        .generate(q.len(), 11);
         let stats = simulate_with(&q, &AdaptiveMinimal::new(&q), &pkts, 200_000);
         assert_eq!(stats.delivered, stats.offered);
+    }
+
+    #[test]
+    fn observers_see_every_event_and_match_engine_accounting() {
+        let net = FibonacciNet::classical(9);
+        let pkts = uniform(net.len(), 500, 120, 21);
+        let router = CanonicalRouter::for_net(&net);
+        let baseline = simulate_with(&net, &router, &pkts, 100_000);
+
+        let mut obs = (LatencyHistogram::new(), LinkHeatmap::new());
+        let observed = simulate_observed(&net, &router, &pkts, 100_000, &mut obs);
+        assert_eq!(observed, baseline, "observer must not perturb the run");
+        let (hist, heat) = obs;
+        assert_eq!(hist.histogram(), &baseline.latency_histogram[..]);
+        assert_eq!(hist.delivered() as usize, baseline.delivered);
+        assert_eq!(hist.mean(), baseline.mean_latency);
+        assert_eq!(hist.p99(), baseline.p99_latency);
+        assert_eq!(heat.total_hops(), baseline.total_hops);
+    }
+
+    #[test]
+    fn observer_sees_self_addressed_delivery_and_sparse_cycles() {
+        #[derive(Default)]
+        struct Trace {
+            injects: Vec<(u64, u32, u32)>,
+            delivers: Vec<(u64, u32, u64)>,
+            cycle_ends: Vec<(u64, usize)>,
+        }
+        impl SimObserver for Trace {
+            fn on_inject(&mut self, cycle: u64, src: u32, dst: u32) {
+                self.injects.push((cycle, src, dst));
+            }
+            fn on_deliver(&mut self, cycle: u64, dst: u32, latency: u64) {
+                self.delivers.push((cycle, dst, latency));
+            }
+            fn on_cycle_end(&mut self, cycle: u64, in_flight: usize) {
+                self.cycle_ends.push((cycle, in_flight));
+            }
+        }
+
+        let q = Hypercube::new(3);
+        let pkts = vec![
+            Packet {
+                src: 2,
+                dst: 2,
+                inject_time: 0,
+            },
+            Packet {
+                src: 0,
+                dst: 7,
+                inject_time: 1_000,
+            },
+        ];
+        let mut trace = Trace::default();
+        let stats = simulate_observed(&q, &EcubeRouter, &pkts, 1_000_000, &mut trace);
+        assert_eq!(stats.delivered, 2);
+        assert_eq!(trace.injects, vec![(0, 2, 2), (1_000, 0, 7)]);
+        // Self-addressed at latency 0, then the real packet at distance 3.
+        assert_eq!(trace.delivers, vec![(0, 2, 0), (1_003, 7, 3)]);
+        // The idle gap 1..1000 is fast-forwarded: no cycle-end events there.
+        assert!(trace.cycle_ends.iter().all(|&(c, _)| c == 0 || c >= 1_000));
+        assert_eq!(trace.cycle_ends.last(), Some(&(1_002, 0)));
     }
 
     #[test]

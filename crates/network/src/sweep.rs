@@ -2,21 +2,23 @@
 //! experiments the 1993-era evaluations report per topology.
 //!
 //! A sweep runs an *injection-rate ladder*: for each offered rate
-//! (packets per node per cycle) it simulates open-loop Bernoulli traffic
-//! under a fixed router across several seeds, in parallel on the
-//! workspace's scoped-thread pool ([`fibcube_graph::parallel`]), and
-//! averages the resulting throughput/latency into one [`LoadPoint`] per
-//! rate. The resulting curve exposes the two numbers the comparisons care
-//! about: where latency departs from the zero-load value, and the
-//! saturation throughput where accepted traffic stops tracking offered
-//! traffic.
+//! (packets per node per cycle) it runs one [`Experiment`] with
+//! open-loop Bernoulli traffic ([`TrafficSpec::Bernoulli`]) under a fixed
+//! [`RouterSpec`] across several seeds, in parallel on the workspace's
+//! scoped-thread pool ([`fibcube_graph::parallel`]), and averages the
+//! resulting throughput/latency into one [`LoadPoint`] per rate. The
+//! resulting curve exposes the two numbers the comparisons care about:
+//! where latency departs from the zero-load value, and the saturation
+//! throughput where accepted traffic stops tracking offered traffic.
 
 use fibcube_graph::parallel::par_map;
 
-use crate::router::Router;
-use crate::simulator::simulate_with;
+use crate::experiment::{Experiment, ExperimentError};
+use crate::report::JsonValue;
+use crate::router::{Router, RouterSpec};
+use crate::simulator::{simulate_with, SimStats};
 use crate::topology::Topology;
-use crate::traffic::bernoulli;
+use crate::traffic::TrafficSpec;
 
 /// Aggregated simulation outcome at one offered rate.
 #[derive(Clone, Debug)]
@@ -38,6 +40,24 @@ pub struct LoadPoint {
     pub p99_latency: f64,
 }
 
+impl LoadPoint {
+    /// The point as a JSON object (for `BENCH_sim.json`-style artifacts).
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::obj([
+            ("rate", JsonValue::Num(self.rate)),
+            ("offered", JsonValue::Num(self.offered)),
+            ("delivered", JsonValue::Num(self.delivered)),
+            (
+                "delivered_fraction",
+                JsonValue::Num(self.delivered_fraction),
+            ),
+            ("accepted_rate", JsonValue::Num(self.accepted_rate)),
+            ("mean_latency", JsonValue::Num(self.mean_latency)),
+            ("p99_latency", JsonValue::Num(self.p99_latency)),
+        ])
+    }
+}
+
 /// A full latency-vs-load / throughput-vs-load curve for one
 /// (topology, router) pair.
 #[derive(Clone, Debug)]
@@ -50,6 +70,21 @@ pub struct SweepCurve {
     pub nodes: usize,
     /// One point per offered rate, in ladder order.
     pub points: Vec<LoadPoint>,
+}
+
+impl SweepCurve {
+    /// The curve as a JSON object, points included.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::obj([
+            ("topology", JsonValue::Str(self.topology.clone())),
+            ("router", JsonValue::Str(self.router.clone())),
+            ("nodes", JsonValue::Int(self.nodes as u64)),
+            (
+                "points",
+                JsonValue::Arr(self.points.iter().map(LoadPoint::to_json_value).collect()),
+            ),
+        ])
+    }
 }
 
 /// Sweep parameters.
@@ -73,40 +108,19 @@ impl Default for SweepConfig {
     }
 }
 
-/// Runs the injection-rate ladder `rates` (packets/node/cycle) under
-/// `router`, parallel across all (rate, seed) runs.
-pub fn injection_sweep<T, R>(
-    topo: &T,
-    router: &R,
-    rates: &[f64],
-    config: &SweepConfig,
-) -> SweepCurve
-where
-    T: Topology + Sync + ?Sized,
-    R: Router + Sync + ?Sized,
-{
-    let n = topo.len();
-    let seeds = &config.seeds;
-    assert!(!seeds.is_empty(), "sweep needs at least one seed");
-    let jobs = rates.len() * seeds.len();
-    let runs = par_map(jobs, |j| {
-        let rate = rates[j / seeds.len()];
-        // Decorrelate the traffic streams of different ladder rungs.
-        let seed = seeds[j % seeds.len()] ^ ((j / seeds.len()) as u64) << 32;
-        let pkts = bernoulli(n, rate, config.inject_cycles, seed);
-        simulate_with(
-            topo,
-            router,
-            &pkts,
-            config.inject_cycles + config.drain_cycles,
-        )
-    });
+/// Decorrelates the traffic streams of different ladder rungs.
+fn rung_seed(base: u64, rung: usize) -> u64 {
+    base ^ ((rung as u64) << 32)
+}
 
-    let points = rates
+/// Averages the per-(rate, seed) runs into one [`LoadPoint`] per rate.
+fn aggregate(rates: &[f64], runs: &[SimStats], n: usize, config: &SweepConfig) -> Vec<LoadPoint> {
+    let seeds = config.seeds.len();
+    rates
         .iter()
         .enumerate()
         .map(|(ri, &rate)| {
-            let chunk = &runs[ri * seeds.len()..(ri + 1) * seeds.len()];
+            let chunk = &runs[ri * seeds..(ri + 1) * seeds];
             let m = chunk.len() as f64;
             let offered = chunk.iter().map(|s| s.offered as f64).sum::<f64>() / m;
             let delivered = chunk.iter().map(|s| s.delivered as f64).sum::<f64>() / m;
@@ -126,19 +140,106 @@ where
                 p99_latency,
             }
         })
-        .collect();
+        .collect()
+}
 
+/// Runs the injection-rate ladder `rates` (packets/node/cycle) under the
+/// declarative `router` policy, one [`Experiment`] per (rate, seed) run,
+/// parallel across runs. The capability check happens once up front, so
+/// an unsupported policy fails fast with a typed error instead of
+/// panicking mid-sweep.
+///
+/// Each parallel job resolves its own router instance: a shared
+/// `Box<dyn Router>` would need a `Sync` bound that
+/// [`Topology::resolve_router`] cannot promise for `?Sized` topologies,
+/// and a rebuild (`O(n·d)` for the canonical flip table, the most
+/// expensive case) is microseconds against the milliseconds each
+/// simulation run costs. Callers holding a concrete `Router + Sync` can
+/// share one instance across all runs via [`injection_sweep_with`].
+pub fn injection_sweep<T>(
+    topo: &T,
+    router: RouterSpec,
+    rates: &[f64],
+    config: &SweepConfig,
+) -> Result<SweepCurve, ExperimentError>
+where
+    T: Topology + Sync + ?Sized,
+{
+    assert!(!config.seeds.is_empty(), "sweep needs at least one seed");
+    let router_name = router.resolve(topo)?.name();
+    for &rate in rates {
+        TrafficSpec::Bernoulli {
+            rate,
+            cycles: config.inject_cycles,
+        }
+        .validate(topo.len())?;
+    }
+    let seeds = &config.seeds;
+    let runs = par_map(rates.len() * seeds.len(), |j| {
+        let rung = j / seeds.len();
+        Experiment::on(topo)
+            .router(router)
+            .traffic(TrafficSpec::Bernoulli {
+                rate: rates[rung],
+                cycles: config.inject_cycles,
+            })
+            .seed(rung_seed(seeds[j % seeds.len()], rung))
+            .cycles(config.inject_cycles + config.drain_cycles)
+            .run()
+            .expect("configuration validated before the sweep")
+            .stats
+    });
+    Ok(SweepCurve {
+        topology: topo.name(),
+        router: router_name,
+        nodes: topo.len(),
+        points: aggregate(rates, &runs, topo.len(), config),
+    })
+}
+
+/// Like [`injection_sweep`], but under an explicit [`Router`] value —
+/// the escape hatch for policies that exist outside [`RouterSpec`]
+/// (custom experiments, research routers).
+pub fn injection_sweep_with<T, R>(
+    topo: &T,
+    router: &R,
+    rates: &[f64],
+    config: &SweepConfig,
+) -> SweepCurve
+where
+    T: Topology + Sync + ?Sized,
+    R: Router + Sync + ?Sized,
+{
+    let n = topo.len();
+    let seeds = &config.seeds;
+    assert!(!seeds.is_empty(), "sweep needs at least one seed");
+    let runs = par_map(rates.len() * seeds.len(), |j| {
+        let rung = j / seeds.len();
+        let pkts = TrafficSpec::Bernoulli {
+            rate: rates[rung],
+            cycles: config.inject_cycles,
+        }
+        .generate(n, rung_seed(seeds[j % seeds.len()], rung));
+        simulate_with(
+            topo,
+            router,
+            &pkts,
+            config.inject_cycles + config.drain_cycles,
+        )
+    });
     SweepCurve {
         topology: topo.name(),
         router: router.name(),
         nodes: n,
-        points,
+        points: aggregate(rates, &runs, n, config),
     }
 }
 
-/// A geometric-ish default ladder from light load up to `max_rate`.
+/// A geometric-ish default ladder from light load up to `max_rate`:
+/// `rungs` evenly spaced rates ending at `max_rate`. Degenerate requests
+/// are handled gracefully — 0 rungs is an empty ladder, 1 rung is just
+/// `max_rate` (no division by `rungs − 1` anywhere).
 pub fn rate_ladder(max_rate: f64, rungs: usize) -> Vec<f64> {
-    assert!(rungs >= 2, "a ladder needs at least two rungs");
     (1..=rungs)
         .map(|i| max_rate * i as f64 / rungs as f64)
         .collect()
@@ -146,7 +247,8 @@ pub fn rate_ladder(max_rate: f64, rungs: usize) -> Vec<f64> {
 
 /// The saturation point of a curve: the last rung whose delivered
 /// fraction stays at least `threshold` (conventionally 0.95). Returns
-/// `None` when even the lightest rung saturates.
+/// `None` when even the lightest rung saturates — and on an empty curve,
+/// which has no rungs at all.
 pub fn saturation_point(curve: &SweepCurve, threshold: f64) -> Option<&LoadPoint> {
     curve
         .points
@@ -158,8 +260,8 @@ pub fn saturation_point(curve: &SweepCurve, threshold: f64) -> Option<&LoadPoint
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::router::{CanonicalRouter, EcubeRouter};
-    use crate::topology::{FibonacciNet, Hypercube};
+    use crate::router::CanonicalRouter;
+    use crate::topology::{FibonacciNet, Hypercube, Ring};
 
     fn quick_config() -> SweepConfig {
         SweepConfig {
@@ -172,7 +274,7 @@ mod tests {
     #[test]
     fn light_load_delivers_everything_at_distance_latency() {
         let q = Hypercube::new(5);
-        let curve = injection_sweep(&q, &EcubeRouter, &[0.01], &quick_config());
+        let curve = injection_sweep(&q, RouterSpec::Ecube, &[0.01], &quick_config()).unwrap();
         assert_eq!(curve.topology, "Q_5");
         assert_eq!(curve.router, "e-cube");
         let p = &curve.points[0];
@@ -192,12 +294,11 @@ mod tests {
     #[test]
     fn latency_is_monotone_ish_in_load_and_saturation_detected() {
         let net = FibonacciNet::classical(8);
-        let router = CanonicalRouter::for_net(&net);
         let rates = rate_ladder(0.6, 4);
         let mut config = quick_config();
         // Short drain so the saturated rungs visibly drop packets.
         config.drain_cycles = 200;
-        let curve = injection_sweep(&net, &router, &rates, &config);
+        let curve = injection_sweep(&net, RouterSpec::Canonical, &rates, &config).unwrap();
         assert_eq!(curve.points.len(), 4);
         let first = &curve.points[0];
         let last = &curve.points[curve.points.len() - 1];
@@ -217,8 +318,70 @@ mod tests {
     }
 
     #[test]
+    fn spec_sweep_matches_explicit_router_sweep() {
+        // The declarative path must produce the same curve as handing the
+        // resolved router in directly (same seeds ⇒ same runs).
+        let net = FibonacciNet::classical(7);
+        let rates = [0.02, 0.1];
+        let config = quick_config();
+        let via_spec = injection_sweep(&net, RouterSpec::Canonical, &rates, &config).unwrap();
+        let router = CanonicalRouter::for_net(&net);
+        let via_router = injection_sweep_with(&net, &router, &rates, &config);
+        assert_eq!(via_spec.router, via_router.router);
+        for (a, b) in via_spec.points.iter().zip(&via_router.points) {
+            assert_eq!(a.delivered, b.delivered);
+            assert_eq!(a.mean_latency, b.mean_latency);
+            assert_eq!(a.p99_latency, b.p99_latency);
+        }
+    }
+
+    #[test]
+    fn unsupported_router_fails_the_sweep_up_front() {
+        let ring = Ring::new(9);
+        let err = injection_sweep(&ring, RouterSpec::Canonical, &[0.1], &quick_config())
+            .expect_err("no canonical routing on a ring");
+        assert!(err.to_string().contains("Ring_9"), "{err}");
+        let err = injection_sweep(&ring, RouterSpec::Builtin, &[1.5], &quick_config())
+            .expect_err("rate 1.5 is not a probability");
+        assert!(err.to_string().contains("1.5"), "{err}");
+    }
+
+    #[test]
     fn ladder_shape() {
         let l = rate_ladder(0.8, 4);
         assert_eq!(l, vec![0.2, 0.4, 0.6000000000000001, 0.8]);
+    }
+
+    #[test]
+    fn ladder_degenerate_rung_counts() {
+        // Satellite hardening: 0 and 1 rungs must not panic or divide
+        // degenerately.
+        assert!(rate_ladder(0.5, 0).is_empty());
+        assert_eq!(rate_ladder(0.5, 1), vec![0.5]);
+    }
+
+    #[test]
+    fn saturation_point_of_empty_curve_is_none() {
+        let empty = SweepCurve {
+            topology: "Q_3".into(),
+            router: "e-cube".into(),
+            nodes: 8,
+            points: Vec::new(),
+        };
+        assert!(saturation_point(&empty, 0.95).is_none());
+        // And an empty ladder sweeps to an empty curve without running.
+        let q = Hypercube::new(3);
+        let curve = injection_sweep(&q, RouterSpec::Ecube, &[], &quick_config()).unwrap();
+        assert!(curve.points.is_empty());
+        assert!(saturation_point(&curve, 0.95).is_none());
+    }
+
+    #[test]
+    fn curve_serialises_to_json() {
+        let q = Hypercube::new(3);
+        let curve = injection_sweep(&q, RouterSpec::Ecube, &[0.05], &quick_config()).unwrap();
+        let json = curve.to_json_value().to_string();
+        assert!(json.contains("\"topology\": \"Q_3\""), "{json}");
+        assert!(json.contains("\"rate\": 0.05"), "{json}");
     }
 }

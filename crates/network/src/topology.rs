@@ -13,7 +13,9 @@ use fibcube_graph::csr::CsrGraph;
 use fibcube_words::automaton::FactorAutomaton;
 use fibcube_words::word::Word;
 
-use crate::router::{CanonicalRouter, EcubeRouter, NextHopRouter, Router};
+use crate::router::{
+    AdaptiveMinimal, CanonicalRouter, EcubeRouter, NextHopRouter, Router, RouterSpec,
+};
 
 /// A route failed to converge: the distributed rule did not reach `dst`
 /// within the topology's diameter bound (i.e. the router is broken —
@@ -82,6 +84,23 @@ pub trait Topology {
     /// and Fibonacci networks override with their `O(1)`-per-hop routers.
     fn router(&self) -> Box<dyn Router + '_> {
         Box::new(NextHopRouter::new(self))
+    }
+
+    /// The routing policies this topology can run: builds the router for
+    /// `spec`, or `None` when the policy does not apply here (e.g.
+    /// e-cube off the hypercube). This is the capability hook behind
+    /// [`RouterSpec::resolve`], which turns the `None` into a typed
+    /// [`ExperimentError`](crate::experiment::ExperimentError).
+    ///
+    /// The default supports [`RouterSpec::Preferred`] (via
+    /// [`router`](Topology::router)) and [`RouterSpec::Builtin`];
+    /// topologies with specialised policies override.
+    fn resolve_router(&self, spec: RouterSpec) -> Option<Box<dyn Router + '_>> {
+        match spec {
+            RouterSpec::Preferred => Some(self.router()),
+            RouterSpec::Builtin => Some(Box::new(NextHopRouter::new(self))),
+            RouterSpec::Ecube | RouterSpec::Canonical | RouterSpec::Adaptive => None,
+        }
     }
 
     /// Full route from `src` to `dst` (inclusive of both endpoints), or
@@ -159,6 +178,15 @@ impl Topology for Hypercube {
 
     fn router(&self) -> Box<dyn Router + '_> {
         Box::new(EcubeRouter)
+    }
+
+    fn resolve_router(&self, spec: RouterSpec) -> Option<Box<dyn Router + '_>> {
+        match spec {
+            RouterSpec::Preferred | RouterSpec::Ecube => Some(Box::new(EcubeRouter)),
+            RouterSpec::Builtin => Some(Box::new(NextHopRouter::new(self))),
+            RouterSpec::Adaptive => Some(Box::new(AdaptiveMinimal::new(self))),
+            RouterSpec::Canonical => None,
+        }
     }
 }
 
@@ -275,6 +303,17 @@ impl Topology for FibonacciNet {
         // (comparable to the engine's own SlotTable build), so the many
         // non-routing analyses don't pay for it at construction.
         Box::new(CanonicalRouter::for_net(self))
+    }
+
+    fn resolve_router(&self, spec: RouterSpec) -> Option<Box<dyn Router + '_>> {
+        match spec {
+            RouterSpec::Preferred | RouterSpec::Canonical => {
+                Some(Box::new(CanonicalRouter::for_net(self)))
+            }
+            RouterSpec::Builtin => Some(Box::new(NextHopRouter::new(self))),
+            RouterSpec::Adaptive => Some(Box::new(AdaptiveMinimal::new(self))),
+            RouterSpec::Ecube => None,
+        }
     }
 }
 

@@ -1,7 +1,26 @@
-//! Workload generators for the network simulator (seeded, reproducible).
+//! Workload generation for the network simulator (seeded, reproducible).
+//!
+//! The one type to know is [`TrafficSpec`]: a declarative, parseable
+//! description of a workload (`uniform(count=2000,window=400)`,
+//! `bernoulli(rate=0.05,cycles=400)`, …) that
+//! [`Experiment`](crate::experiment::Experiment) turns into packets.
+//! [`TrafficSpec::generate`] is deterministic in `(spec, n, seed)`, and
+//! [`Display`](core::fmt::Display)/[`FromStr`]
+//! round-trip, so scenarios can live on a CLI flag or in a JSON report
+//! and reproduce exactly.
+//!
+//! The pre-`Experiment` free functions ([`uniform`], [`hot_spot`],
+//! [`complement_permutation`], [`bernoulli`], [`all_to_all`]) survive as
+//! deprecated shims for one release; they produce identical packet
+//! streams to the corresponding spec.
+
+use core::fmt;
+use core::str::FromStr;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use crate::experiment::ExperimentError;
 
 /// One message to deliver.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -14,9 +33,11 @@ pub struct Packet {
     pub inject_time: u64,
 }
 
-/// Uniform random traffic: `count` packets, sources and destinations drawn
-/// uniformly (src ≠ dst), injection times uniform in `0..window`.
-pub fn uniform(n: usize, count: usize, window: u64, seed: u64) -> Vec<Packet> {
+// ---------------------------------------------------------------------------
+// Generator implementations (shared by TrafficSpec and the deprecated shims)
+// ---------------------------------------------------------------------------
+
+fn gen_uniform(n: usize, count: usize, window: u64, seed: u64) -> Vec<Packet> {
     assert!(n >= 2, "need at least two nodes");
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)
@@ -40,11 +61,9 @@ pub fn uniform(n: usize, count: usize, window: u64, seed: u64) -> Vec<Packet> {
         .collect()
 }
 
-/// Hot-spot traffic: like [`uniform`], but a `hot_fraction` of packets aim
-/// at a single hot node (node 0) — the classic contention stressor.
-pub fn hot_spot(n: usize, count: usize, window: u64, hot_fraction: f64, seed: u64) -> Vec<Packet> {
+fn gen_hot_spot(n: usize, count: usize, window: u64, hot_fraction: f64, seed: u64) -> Vec<Packet> {
     assert!((0.0..=1.0).contains(&hot_fraction));
-    let mut packets = uniform(n, count, window, seed);
+    let mut packets = gen_uniform(n, count, window, seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9);
     for p in packets.iter_mut() {
         if rng.gen_bool(hot_fraction) && p.src != 0 {
@@ -54,10 +73,7 @@ pub fn hot_spot(n: usize, count: usize, window: u64, hot_fraction: f64, seed: u6
     packets
 }
 
-/// Complement permutation: node `i` sends to node `n − 1 − i` (the
-/// rank-complement — on hypercubes with in-order ranks this is the classic
-/// bit-complement pattern, the worst case for dimension-ordered routing).
-pub fn complement_permutation(n: usize, window: u64) -> Vec<Packet> {
+fn gen_complement(n: usize, window: u64) -> Vec<Packet> {
     (0..n)
         .filter(|&i| n - 1 - i != i)
         .map(|i| Packet {
@@ -68,12 +84,7 @@ pub fn complement_permutation(n: usize, window: u64) -> Vec<Packet> {
         .collect()
 }
 
-/// Open-loop Bernoulli injection — the workload of saturation sweeps:
-/// during each cycle in `0..cycles`, every node independently injects a
-/// packet with probability `rate` (packets per node per cycle), addressed
-/// to a uniform random other node. Offered load is `n · cycles · rate`
-/// packets in expectation.
-pub fn bernoulli(n: usize, rate: f64, cycles: u64, seed: u64) -> Vec<Packet> {
+fn gen_bernoulli(n: usize, rate: f64, cycles: u64, seed: u64) -> Vec<Packet> {
     assert!(n >= 2, "need at least two nodes");
     assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -96,9 +107,8 @@ pub fn bernoulli(n: usize, rate: f64, cycles: u64, seed: u64) -> Vec<Packet> {
     packets
 }
 
-/// All-to-all: every ordered pair once (quadratic — small nets only).
-pub fn all_to_all(n: usize) -> Vec<Packet> {
-    let mut packets = Vec::with_capacity(n * (n - 1));
+fn gen_all_to_all(n: usize) -> Vec<Packet> {
+    let mut packets = Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)));
     for s in 0..n as u32 {
         for d in 0..n as u32 {
             if s != d {
@@ -113,16 +123,383 @@ pub fn all_to_all(n: usize) -> Vec<Packet> {
     packets
 }
 
+// ---------------------------------------------------------------------------
+// TrafficSpec
+// ---------------------------------------------------------------------------
+
+/// A declarative workload description, the traffic half of an
+/// [`Experiment`](crate::experiment::Experiment).
+///
+/// Canonical text forms (round-tripping through `Display`/`FromStr`):
+///
+/// | Variant | Text |
+/// |---|---|
+/// | `Uniform` | `uniform(count=2000,window=400)` |
+/// | `HotSpot` | `hotspot(count=2000,window=400,hot=0.3)` |
+/// | `Bernoulli` | `bernoulli(rate=0.05,cycles=400)` |
+/// | `ComplementPermutation` | `complement(window=8)` |
+/// | `AllToAll` | `alltoall` |
+/// | `Mixed` | `mix(uniform(count=100,window=50)+alltoall)` |
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrafficSpec {
+    /// `count` packets, sources and destinations uniform (src ≠ dst),
+    /// injection times uniform in `0..window` (all at 0 when `window` is
+    /// 0).
+    Uniform {
+        /// Number of packets.
+        count: usize,
+        /// Injection window in cycles.
+        window: u64,
+    },
+    /// Like `Uniform`, but each packet is redirected to the hot node
+    /// (node 0) with probability `hot_fraction` — the classic contention
+    /// stressor.
+    HotSpot {
+        /// Number of packets.
+        count: usize,
+        /// Injection window in cycles.
+        window: u64,
+        /// Probability that a packet aims at node 0.
+        hot_fraction: f64,
+    },
+    /// Open-loop Bernoulli injection: during each cycle in `0..cycles`
+    /// every node independently injects with probability `rate`
+    /// (packets per node per cycle) toward a uniform random other node —
+    /// the workload of saturation sweeps.
+    Bernoulli {
+        /// Injection probability per node per cycle.
+        rate: f64,
+        /// Number of injection cycles.
+        cycles: u64,
+    },
+    /// Node `i` sends to node `n − 1 − i` (rank complement — on
+    /// hypercubes with in-order ranks, the classic bit-complement
+    /// adversary for dimension-ordered routing).
+    ComplementPermutation {
+        /// Injection window in cycles (staggers the permutation).
+        window: u64,
+    },
+    /// Every ordered pair once, all at cycle 0 (quadratic — small nets).
+    AllToAll,
+    /// Superposition of component workloads; component `i` draws from a
+    /// decorrelated seed, and the packet streams concatenate.
+    Mixed(Vec<TrafficSpec>),
+}
+
+impl TrafficSpec {
+    /// Checks the spec against a network of `n` nodes, returning a typed
+    /// error instead of the panic [`generate`](TrafficSpec::generate)
+    /// would raise.
+    pub fn validate(&self, n: usize) -> Result<(), ExperimentError> {
+        let invalid = |reason: String| {
+            Err(ExperimentError::InvalidTraffic {
+                spec: self.to_string(),
+                reason,
+            })
+        };
+        match self {
+            TrafficSpec::Uniform { .. } | TrafficSpec::Bernoulli { .. } if n < 2 => {
+                invalid(format!("needs at least 2 nodes, topology has {n}"))
+            }
+            TrafficSpec::HotSpot { hot_fraction, .. } => {
+                if n < 2 {
+                    invalid(format!("needs at least 2 nodes, topology has {n}"))
+                } else if !(0.0..=1.0).contains(hot_fraction) {
+                    invalid(format!("hot fraction {hot_fraction} is not a probability"))
+                } else {
+                    Ok(())
+                }
+            }
+            TrafficSpec::Bernoulli { rate, .. } if !(0.0..=1.0).contains(rate) => {
+                invalid(format!("rate {rate} is not a probability"))
+            }
+            TrafficSpec::Mixed(parts) => {
+                if parts.is_empty() {
+                    return invalid("mix needs at least one component".to_string());
+                }
+                parts.iter().try_for_each(|p| p.validate(n))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Generates the packet stream for a network of `n` nodes.
+    /// Deterministic in `(self, n, seed)`; patterned variants
+    /// (`ComplementPermutation`, `AllToAll`) ignore the seed.
+    ///
+    /// # Panics
+    ///
+    /// On specs that [`validate`](TrafficSpec::validate) would reject.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<Packet> {
+        match *self {
+            TrafficSpec::Uniform { count, window } => gen_uniform(n, count, window, seed),
+            TrafficSpec::HotSpot {
+                count,
+                window,
+                hot_fraction,
+            } => gen_hot_spot(n, count, window, hot_fraction, seed),
+            TrafficSpec::Bernoulli { rate, cycles } => gen_bernoulli(n, rate, cycles, seed),
+            TrafficSpec::ComplementPermutation { window } => gen_complement(n, window),
+            TrafficSpec::AllToAll => gen_all_to_all(n),
+            TrafficSpec::Mixed(ref parts) => {
+                assert!(!parts.is_empty(), "mix needs at least one component");
+                let mut packets = Vec::new();
+                for (i, part) in parts.iter().enumerate() {
+                    // Golden-ratio stride decorrelates component streams.
+                    let part_seed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    packets.extend(part.generate(n, part_seed));
+                }
+                packets
+            }
+        }
+    }
+}
+
+impl fmt::Display for TrafficSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficSpec::Uniform { count, window } => {
+                write!(f, "uniform(count={count},window={window})")
+            }
+            TrafficSpec::HotSpot {
+                count,
+                window,
+                hot_fraction,
+            } => write!(
+                f,
+                "hotspot(count={count},window={window},hot={hot_fraction})"
+            ),
+            TrafficSpec::Bernoulli { rate, cycles } => {
+                write!(f, "bernoulli(rate={rate},cycles={cycles})")
+            }
+            TrafficSpec::ComplementPermutation { window } => {
+                write!(f, "complement(window={window})")
+            }
+            TrafficSpec::AllToAll => write!(f, "alltoall"),
+            TrafficSpec::Mixed(parts) => {
+                write!(f, "mix(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "+")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+fn parse_err(input: &str, reason: impl Into<String>) -> ExperimentError {
+    ExperimentError::ParseSpec {
+        what: "traffic",
+        input: input.to_string(),
+        reason: reason.into(),
+    }
+}
+
+/// Splits `name(body)` into `(name, Some(body))`, or `(s, None)` for a
+/// bare name. The closing parenthesis must be the final character.
+fn split_call(s: &str) -> Result<(&str, Option<&str>), String> {
+    match s.find('(') {
+        None => Ok((s, None)),
+        Some(open) => {
+            if !s.ends_with(')') {
+                return Err("missing closing `)`".to_string());
+            }
+            Ok((&s[..open], Some(&s[open + 1..s.len() - 1])))
+        }
+    }
+}
+
+/// Parses `key=value` pairs separated by commas, checking that exactly
+/// the expected keys appear (in any order).
+fn parse_kv<'a>(body: &'a str, keys: &[&str]) -> Result<Vec<&'a str>, String> {
+    let mut values: Vec<Option<&str>> = vec![None; keys.len()];
+    for part in body.split(',') {
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| format!("expected `key=value`, got `{part}`"))?;
+        let (k, v) = (k.trim(), v.trim());
+        let slot = keys
+            .iter()
+            .position(|&want| want == k)
+            .ok_or_else(|| format!("unknown key `{k}` (expected {})", keys.join(", ")))?;
+        if values[slot].replace(v).is_some() {
+            return Err(format!("duplicate key `{k}`"));
+        }
+    }
+    values
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| v.ok_or_else(|| format!("missing key `{}`", keys[i])))
+        .collect()
+}
+
+fn num<T: FromStr>(value: &str, key: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("`{key}` has invalid value `{value}`"))
+}
+
+/// Splits the body of `mix(...)` on `+` at parenthesis depth 0.
+fn split_mix(body: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            '+' if depth == 0 => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+impl FromStr for TrafficSpec {
+    type Err = ExperimentError;
+
+    fn from_str(s: &str) -> Result<TrafficSpec, ExperimentError> {
+        let s = s.trim();
+        let (name, body) = split_call(s).map_err(|e| parse_err(s, e))?;
+        let body_or = |kind: &str| {
+            body.ok_or_else(|| {
+                parse_err(s, format!("`{kind}` needs arguments, e.g. `{kind}(...)`"))
+            })
+        };
+        match name {
+            "uniform" => {
+                let v = parse_kv(body_or("uniform")?, &["count", "window"])
+                    .map_err(|e| parse_err(s, e))?;
+                Ok(TrafficSpec::Uniform {
+                    count: num(v[0], "count").map_err(|e| parse_err(s, e))?,
+                    window: num(v[1], "window").map_err(|e| parse_err(s, e))?,
+                })
+            }
+            "hotspot" => {
+                let v = parse_kv(body_or("hotspot")?, &["count", "window", "hot"])
+                    .map_err(|e| parse_err(s, e))?;
+                Ok(TrafficSpec::HotSpot {
+                    count: num(v[0], "count").map_err(|e| parse_err(s, e))?,
+                    window: num(v[1], "window").map_err(|e| parse_err(s, e))?,
+                    hot_fraction: num(v[2], "hot").map_err(|e| parse_err(s, e))?,
+                })
+            }
+            "bernoulli" => {
+                let v = parse_kv(body_or("bernoulli")?, &["rate", "cycles"])
+                    .map_err(|e| parse_err(s, e))?;
+                Ok(TrafficSpec::Bernoulli {
+                    rate: num(v[0], "rate").map_err(|e| parse_err(s, e))?,
+                    cycles: num(v[1], "cycles").map_err(|e| parse_err(s, e))?,
+                })
+            }
+            "complement" => {
+                let v =
+                    parse_kv(body_or("complement")?, &["window"]).map_err(|e| parse_err(s, e))?;
+                Ok(TrafficSpec::ComplementPermutation {
+                    window: num(v[0], "window").map_err(|e| parse_err(s, e))?,
+                })
+            }
+            "alltoall" => match body {
+                None | Some("") => Ok(TrafficSpec::AllToAll),
+                Some(extra) => Err(parse_err(
+                    s,
+                    format!("`alltoall` takes no arguments: `{extra}`"),
+                )),
+            },
+            "mix" => {
+                let body = body_or("mix")?;
+                if body.trim().is_empty() {
+                    return Err(parse_err(s, "mix needs at least one component"));
+                }
+                let parts = split_mix(body)
+                    .into_iter()
+                    .map(TrafficSpec::from_str)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(TrafficSpec::Mixed(parts))
+            }
+            other => Err(parse_err(
+                s,
+                format!(
+                    "unknown generator `{other}` (expected uniform, hotspot, bernoulli, \
+                     complement, alltoall, mix)"
+                ),
+            )),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated free-function shims (one release)
+// ---------------------------------------------------------------------------
+
+/// Uniform random traffic: `count` packets, sources and destinations drawn
+/// uniformly (src ≠ dst), injection times uniform in `0..window`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `TrafficSpec::Uniform { count, window }.generate(n, seed)` or drive an `Experiment`"
+)]
+pub fn uniform(n: usize, count: usize, window: u64, seed: u64) -> Vec<Packet> {
+    gen_uniform(n, count, window, seed)
+}
+
+/// Hot-spot traffic: like uniform, but a `hot_fraction` of packets aim at
+/// a single hot node (node 0) — the classic contention stressor.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `TrafficSpec::HotSpot { count, window, hot_fraction }.generate(n, seed)` or drive an `Experiment`"
+)]
+pub fn hot_spot(n: usize, count: usize, window: u64, hot_fraction: f64, seed: u64) -> Vec<Packet> {
+    gen_hot_spot(n, count, window, hot_fraction, seed)
+}
+
+/// Complement permutation: node `i` sends to node `n − 1 − i`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `TrafficSpec::ComplementPermutation { window }.generate(n, seed)` or drive an `Experiment`"
+)]
+pub fn complement_permutation(n: usize, window: u64) -> Vec<Packet> {
+    gen_complement(n, window)
+}
+
+/// Open-loop Bernoulli injection — the workload of saturation sweeps.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `TrafficSpec::Bernoulli { rate, cycles }.generate(n, seed)` or drive an `Experiment`"
+)]
+pub fn bernoulli(n: usize, rate: f64, cycles: u64, seed: u64) -> Vec<Packet> {
+    gen_bernoulli(n, rate, cycles, seed)
+}
+
+/// All-to-all: every ordered pair once (quadratic — small nets only).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `TrafficSpec::AllToAll.generate(n, seed)` or drive an `Experiment`"
+)]
+pub fn all_to_all(n: usize) -> Vec<Packet> {
+    gen_all_to_all(n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn uniform_spec(count: usize, window: u64) -> TrafficSpec {
+        TrafficSpec::Uniform { count, window }
+    }
+
     #[test]
     fn uniform_is_deterministic_and_valid() {
-        let a = uniform(10, 100, 50, 7);
-        let b = uniform(10, 100, 50, 7);
-        assert_eq!(a, b);
-        assert_ne!(a, uniform(10, 100, 50, 8));
+        let spec = uniform_spec(100, 50);
+        let a = spec.generate(10, 7);
+        assert_eq!(a, spec.generate(10, 7));
+        assert_ne!(a, spec.generate(10, 8));
         for p in &a {
             assert_ne!(p.src, p.dst);
             assert!(p.src < 10 && p.dst < 10);
@@ -131,47 +508,234 @@ mod tests {
     }
 
     #[test]
-    fn hot_spot_skews_to_node_zero() {
-        let packets = hot_spot(16, 1000, 100, 0.5, 3);
-        let to_zero = packets.iter().filter(|p| p.dst == 0).count();
-        assert!(to_zero > 300, "hot-spot should dominate: {to_zero}");
-        assert!(packets.iter().all(|p| p.src != p.dst));
+    fn hot_spot_skew_matches_hot_fraction() {
+        // With hot = 0.4 over n = 64 nodes, the expected fraction of
+        // packets addressed to node 0 is hot · P(src ≠ 0) plus the
+        // uniform background ≈ 0.4 · 63/64 + 0.6/63 ≈ 0.403. Fixed seed
+        // ⇒ deterministic, so a ±0.04 band is a real check, not a flake.
+        let n = 64;
+        let count = 5000;
+        let hot = 0.4;
+        let packets = TrafficSpec::HotSpot {
+            count,
+            window: 100,
+            hot_fraction: hot,
+        }
+        .generate(n, 3);
+        let to_zero = packets.iter().filter(|p| p.dst == 0).count() as f64 / count as f64;
+        let expected = hot * (n as f64 - 1.0) / n as f64 + (1.0 - hot) / (n as f64 - 1.0);
+        assert!(
+            (to_zero - expected).abs() < 0.04,
+            "hot-spot skew {to_zero:.4} vs expected {expected:.4}"
+        );
+        // And hot = 0 must stay uniform.
+        let cold = TrafficSpec::HotSpot {
+            count,
+            window: 100,
+            hot_fraction: 0.0,
+        }
+        .generate(n, 3);
+        let cold_zero = cold.iter().filter(|p| p.dst == 0).count() as f64 / count as f64;
+        assert!(
+            cold_zero < 0.05,
+            "no skew without a hot fraction: {cold_zero}"
+        );
+    }
+
+    #[test]
+    fn no_generator_emits_self_addressed_packets() {
+        let specs = [
+            uniform_spec(500, 40),
+            TrafficSpec::HotSpot {
+                count: 500,
+                window: 40,
+                hot_fraction: 0.5,
+            },
+            TrafficSpec::Bernoulli {
+                rate: 0.2,
+                cycles: 50,
+            },
+            TrafficSpec::ComplementPermutation { window: 10 },
+            TrafficSpec::AllToAll,
+            TrafficSpec::Mixed(vec![uniform_spec(100, 10), TrafficSpec::AllToAll]),
+        ];
+        for n in [2usize, 9, 32] {
+            for spec in &specs {
+                for p in spec.generate(n, 11) {
+                    assert_ne!(p.src, p.dst, "{spec} on n={n} self-addressed {p:?}");
+                    assert!((p.src as usize) < n && (p.dst as usize) < n, "{spec}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_count_within_binomial_bounds() {
+        // n·cycles Bernoulli(rate) trials: the packet count must sit
+        // within 6σ of the mean for the fixed seed (σ = √(μ(1−rate))).
+        let n = 64;
+        let cycles = 500;
+        let rate = 0.05;
+        let spec = TrafficSpec::Bernoulli { rate, cycles };
+        let a = spec.generate(n, 17);
+        assert_eq!(a, spec.generate(n, 17), "seeded ⇒ reproducible");
+        let mean = n as f64 * cycles as f64 * rate;
+        let sigma = (mean * (1.0 - rate)).sqrt();
+        assert!(
+            ((a.len() as f64) - mean).abs() < 6.0 * sigma,
+            "offered {} outside {mean} ± 6·{sigma:.1}",
+            a.len()
+        );
+        for p in &a {
+            assert!(p.inject_time < cycles);
+        }
+        assert!(TrafficSpec::Bernoulli {
+            rate: 0.0,
+            cycles: 100
+        }
+        .generate(10, 1)
+        .is_empty());
     }
 
     #[test]
     fn complement_covers_everyone_once() {
-        let packets = complement_permutation(8, 1);
+        let spec = TrafficSpec::ComplementPermutation { window: 1 };
+        let packets = spec.generate(8, 0);
         assert_eq!(packets.len(), 8);
         for p in &packets {
             assert_eq!(p.dst, 7 - p.src);
         }
         // Odd n: the middle node maps to itself and is skipped.
-        assert_eq!(complement_permutation(7, 1).len(), 6);
+        assert_eq!(spec.generate(7, 0).len(), 6);
     }
 
     #[test]
     fn all_to_all_count() {
-        assert_eq!(all_to_all(5).len(), 20);
+        assert_eq!(TrafficSpec::AllToAll.generate(5, 0).len(), 20);
     }
 
     #[test]
-    fn bernoulli_tracks_offered_rate() {
-        let n = 64;
-        let cycles = 500;
-        let rate = 0.05;
-        let a = bernoulli(n, rate, cycles, 17);
-        assert_eq!(a, bernoulli(n, rate, cycles, 17), "seeded ⇒ reproducible");
-        let expected = n as f64 * cycles as f64 * rate;
-        assert!(
-            (a.len() as f64) > 0.8 * expected && (a.len() as f64) < 1.2 * expected,
-            "offered {} vs expected {expected}",
-            a.len()
-        );
-        for p in &a {
-            assert_ne!(p.src, p.dst);
-            assert!((p.src as usize) < n && (p.dst as usize) < n);
-            assert!(p.inject_time < cycles);
+    fn mixed_concatenates_decorrelated_components() {
+        let mix = TrafficSpec::Mixed(vec![uniform_spec(50, 10), uniform_spec(50, 10)]);
+        let packets = mix.generate(16, 9);
+        assert_eq!(packets.len(), 100);
+        // Different component seeds ⇒ the two halves differ.
+        assert_ne!(packets[..50], packets[50..]);
+        assert_eq!(packets[..50], uniform_spec(50, 10).generate(16, 9)[..]);
+    }
+
+    #[test]
+    fn display_from_str_round_trips() {
+        let specs = [
+            uniform_spec(2000, 400),
+            TrafficSpec::HotSpot {
+                count: 100,
+                window: 50,
+                hot_fraction: 0.3,
+            },
+            TrafficSpec::Bernoulli {
+                rate: 0.05,
+                cycles: 400,
+            },
+            TrafficSpec::ComplementPermutation { window: 8 },
+            TrafficSpec::AllToAll,
+            TrafficSpec::Mixed(vec![
+                uniform_spec(10, 5),
+                TrafficSpec::AllToAll,
+                TrafficSpec::Mixed(vec![TrafficSpec::Bernoulli {
+                    rate: 0.5,
+                    cycles: 2,
+                }]),
+            ]),
+        ];
+        for spec in specs {
+            let text = spec.to_string();
+            let parsed: TrafficSpec = text.parse().unwrap_or_else(|e| panic!("`{text}`: {e}"));
+            assert_eq!(parsed, spec, "round-trip of `{text}`");
         }
-        assert!(bernoulli(10, 0.0, 100, 1).is_empty());
+    }
+
+    #[test]
+    fn from_str_accepts_whitespace_and_key_order() {
+        let spec: TrafficSpec = " uniform(window=400, count=2000) ".parse().unwrap();
+        assert_eq!(spec, uniform_spec(2000, 400));
+    }
+
+    #[test]
+    fn from_str_rejects_malformed_specs() {
+        for bad in [
+            "unknown(x=1)",
+            "uniform",
+            "uniform(count=10)",
+            "uniform(count=10,window=5,extra=1)",
+            "uniform(count=ten,window=5)",
+            "uniform(count=10,count=10)",
+            "uniform(count=10,window=5",
+            "hotspot(count=10,window=5)",
+            "alltoall(3)",
+            "mix()",
+            "",
+        ] {
+            let err = bad.parse::<TrafficSpec>().expect_err(bad);
+            assert!(err.to_string().contains("traffic"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn validate_catches_degenerate_configs() {
+        assert!(uniform_spec(10, 5).validate(1).is_err());
+        assert!(uniform_spec(10, 5).validate(2).is_ok());
+        assert!(TrafficSpec::Bernoulli {
+            rate: 1.5,
+            cycles: 10
+        }
+        .validate(8)
+        .is_err());
+        assert!(TrafficSpec::HotSpot {
+            count: 10,
+            window: 5,
+            hot_fraction: -0.1
+        }
+        .validate(8)
+        .is_err());
+        assert!(TrafficSpec::Mixed(vec![]).validate(8).is_err());
+        assert!(TrafficSpec::Mixed(vec![TrafficSpec::Bernoulli {
+            rate: 2.0,
+            cycles: 1
+        }])
+        .validate(8)
+        .is_err());
+        assert!(TrafficSpec::AllToAll.validate(1).is_ok());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_their_specs() {
+        assert_eq!(
+            uniform(10, 100, 50, 7),
+            uniform_spec(100, 50).generate(10, 7)
+        );
+        assert_eq!(
+            hot_spot(16, 200, 100, 0.5, 3),
+            TrafficSpec::HotSpot {
+                count: 200,
+                window: 100,
+                hot_fraction: 0.5
+            }
+            .generate(16, 3)
+        );
+        assert_eq!(
+            complement_permutation(8, 2),
+            TrafficSpec::ComplementPermutation { window: 2 }.generate(8, 0)
+        );
+        assert_eq!(
+            bernoulli(12, 0.1, 30, 5),
+            TrafficSpec::Bernoulli {
+                rate: 0.1,
+                cycles: 30
+            }
+            .generate(12, 5)
+        );
+        assert_eq!(all_to_all(5), TrafficSpec::AllToAll.generate(5, 0));
     }
 }

@@ -9,8 +9,12 @@ use fibcube_network::router::{
 };
 use fibcube_network::simulator::{simulate, simulate_reference, simulate_with};
 use fibcube_network::topology::{FibonacciNet, Hypercube, Mesh, Ring, Topology};
-use fibcube_network::traffic::{uniform, Packet};
+use fibcube_network::traffic::{Packet, TrafficSpec};
 use proptest::prelude::*;
+
+fn uniform(n: usize, count: usize, window: u64, seed: u64) -> Vec<Packet> {
+    TrafficSpec::Uniform { count, window }.generate(n, seed)
+}
 
 /// Walk `router` from every source toward `dst`, asserting strict distance
 /// decrease at each hop (the progressivity property routing correctness
@@ -154,6 +158,27 @@ proptest! {
             let slow = simulate_reference(topo, &pkts, 1_000_000);
             prop_assert_eq!(fast.delivered, slow.delivered, "{}", topo.name());
             prop_assert_eq!(fast.total_hops, slow.total_hops, "{}", topo.name());
+        }
+    }
+
+    #[test]
+    fn experiment_reproduces_simulate_with(count in 1usize..150, window in 0u64..80, seed in 0u64..10_000) {
+        // The builder surface is sugar, not semantics: for any uniform
+        // workload the Experiment path must equal the raw engine call.
+        for topo in [
+            &FibonacciNet::classical(7) as &dyn Topology,
+            &Hypercube::new(4),
+            &Ring::new(11),
+        ] {
+            let spec = TrafficSpec::Uniform { count, window };
+            let direct = simulate_with(topo, &*topo.router(), &spec.generate(topo.len(), seed), 1_000_000);
+            let report = fibcube_network::Experiment::on(topo)
+                .traffic(spec)
+                .seed(seed)
+                .cycles(1_000_000)
+                .run()
+                .expect("preferred router always resolves");
+            prop_assert_eq!(report.stats, direct, "{}", topo.name());
         }
     }
 

@@ -42,7 +42,7 @@
 //! | [`core`] | `fibcube-core` | `Q_d(f)`, isometry checker, critical words, theorem oracle, Table 1 |
 //! | [`isometry`] | `fibcube-isometry` | Θ/Θ*, partial cubes, `idim`, `dim_f`, the Section 8 example |
 //! | [`enumeration`] | `fibcube-enum` | vertex/edge/square counting, recurrences (1)–(6), Props 6.2/6.3 |
-//! | [`network`] | `fibcube-network` | `Q_d(1^k)` networks: routing, broadcast, simulation, faults |
+//! | [`network`] | `fibcube-network` | `Q_d(1^k)` networks: the `Experiment` API, routing, broadcast, simulation, faults |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,6 +60,9 @@ pub mod prelude {
     pub use fibcube_enum::{count_edges, count_squares, count_vertices};
     pub use fibcube_graph::CsrGraph;
     pub use fibcube_isometry::{dim_f_exact, dim_f_upper, isometric_dimension};
-    pub use fibcube_network::{simulate, simulate_with, FibonacciNet, Hypercube, Router, Topology};
+    pub use fibcube_network::{
+        simulate, simulate_with, Experiment, FibonacciNet, Hypercube, Report, Router, RouterSpec,
+        Topology, TrafficSpec,
+    };
     pub use fibcube_words::{word, FactorAutomaton, Word};
 }

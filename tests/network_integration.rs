@@ -4,7 +4,6 @@ use fibcube::network::broadcast::{broadcast_all_port, broadcast_one_port, verify
 use fibcube::network::fault::fault_sweep;
 use fibcube::network::hamilton::{hamiltonian_path, verify_hamiltonian, HamiltonResult};
 use fibcube::network::metrics::metrics;
-use fibcube::network::traffic;
 use fibcube::network::Mesh;
 use fibcube::prelude::*;
 
@@ -64,16 +63,58 @@ fn simulator_delivers_everything_on_every_topology() {
         Box::new(Mesh::new(8, 8)),
     ];
     for t in &topos {
-        for (name, pkts) in [
-            ("uniform", traffic::uniform(t.len(), 1500, 300, 99)),
-            ("hotspot", traffic::hot_spot(t.len(), 800, 300, 0.25, 5)),
-            ("complement", traffic::complement_permutation(t.len(), 10)),
+        for spec in [
+            "uniform(count=1500,window=300)",
+            "hotspot(count=800,window=300,hot=0.25)",
+            "complement(window=10)",
         ] {
-            let stats = simulate(t.as_ref(), &pkts, 500_000);
-            assert_eq!(stats.delivered, stats.offered, "{} {name}", t.name());
-            assert!(stats.mean_latency >= 1.0, "{} {name}", t.name());
+            let traffic: TrafficSpec = spec.parse().expect("scenario specs parse");
+            let report = Experiment::on(t.as_ref())
+                .traffic(traffic)
+                .seed(99)
+                .cycles(500_000)
+                .run()
+                .expect("preferred router resolves everywhere");
+            let stats = &report.stats;
+            assert_eq!(stats.delivered, stats.offered, "{} {spec}", t.name());
+            assert!(stats.mean_latency >= 1.0, "{} {spec}", t.name());
         }
     }
+}
+
+#[test]
+fn experiment_api_round_trips_through_the_facade() {
+    // The facade prelude carries the whole experiment surface: build a
+    // scenario from text, attach observers, get a JSON report.
+    use fibcube::network::{LatencyHistogram, LinkHeatmap};
+    let net = FibonacciNet::classical(9);
+    let mut hist = LatencyHistogram::new();
+    let mut heat = LinkHeatmap::new();
+    let report = Experiment::on(&net)
+        .router("adaptive".parse::<RouterSpec>().unwrap())
+        .traffic(
+            "uniform(count=1000,window=200)"
+                .parse::<TrafficSpec>()
+                .unwrap(),
+        )
+        .seed(13)
+        .observe((&mut hist, &mut heat))
+        .run()
+        .expect("adaptive routing on Γ_9");
+    assert_eq!(report.stats.delivered, 1000);
+    assert_eq!(hist.delivered(), 1000);
+    assert_eq!(heat.total_hops(), report.stats.total_hops);
+    assert_eq!(hist.histogram(), &report.stats.latency_histogram[..]);
+    let json = report.to_json();
+    assert!(json.contains("\"topology\": \"Γ_9\""));
+    assert!(json.contains("\"router\": \"adaptive\""));
+
+    // Capability errors surface as typed values through `?`.
+    let err = Experiment::on(&net)
+        .router(RouterSpec::Ecube)
+        .run()
+        .expect_err("no e-cube routing on a Fibonacci net");
+    assert!(err.to_string().contains("e-cube"), "{err}");
 }
 
 #[test]
@@ -84,7 +125,11 @@ fn latency_ordering_matches_topology_quality() {
     let mesh = Mesh::new(7, 8); // 56
     let ring = fibcube::network::Ring::new(55);
     let lat = |t: &dyn Topology| {
-        let pkts = traffic::uniform(t.len(), 1200, 600, 4242);
+        let pkts = TrafficSpec::Uniform {
+            count: 1200,
+            window: 600,
+        }
+        .generate(t.len(), 4242);
         simulate(t, &pkts, 500_000).mean_latency
     };
     let (lg, lq, lm, lr) = (lat(&gamma), lat(&q), lat(&mesh), lat(&ring));
