@@ -20,7 +20,7 @@
 //! println!("{}", report.to_json());
 //! ```
 //!
-//! An [`Experiment`] is a builder over five orthogonal choices:
+//! An [`Experiment`] is a builder over six orthogonal choices:
 //!
 //! * **topology** — anything implementing
 //!   [`Topology`] ([`Experiment::on`]);
@@ -28,9 +28,13 @@
 //!   topology with a typed capability check (requesting e-cube on a ring
 //!   is an [`ExperimentError::UnsupportedRouter`], not a panic);
 //! * **traffic** — a [`TrafficSpec`], parseable from CLI/JSON text;
+//! * **faults** — a [`FaultSpec`] failure scenario
+//!   ([`faults`](Experiment::faults), default none): the engine routes
+//!   the degraded network through a fault-masking router and counts
+//!   unroutable packets as typed drops;
 //! * **budget** — a [`seed`](Experiment::seed) for the workload stream
-//!   and a [`cycles`](Experiment::cycles) cap (default: run until
-//!   drained);
+//!   (and fault placement) and a [`cycles`](Experiment::cycles) cap
+//!   (default: run until drained);
 //! * **observers** — any [`SimObserver`], attached with
 //!   [`observe`](Experiment::observe).
 //!
@@ -58,10 +62,11 @@
 
 use core::fmt;
 
+use crate::fault::{FaultError, FaultSpec};
 use crate::observer::{NoopObserver, SimObserver};
 use crate::report::Report;
 use crate::router::RouterSpec;
-use crate::simulator::simulate_observed;
+use crate::simulator::{simulate_faulted, simulate_observed};
 use crate::topology::Topology;
 use crate::traffic::TrafficSpec;
 
@@ -94,6 +99,15 @@ pub enum ExperimentError {
         /// Why it was rejected.
         reason: String,
     },
+    /// The fault scenario is invalid for the target network (or its spec
+    /// text failed to parse) — see [`FaultError`].
+    Fault(FaultError),
+}
+
+impl From<FaultError> for ExperimentError {
+    fn from(e: FaultError) -> ExperimentError {
+        ExperimentError::Fault(e)
+    }
 }
 
 impl fmt::Display for ExperimentError {
@@ -112,6 +126,7 @@ impl fmt::Display for ExperimentError {
                 input,
                 reason,
             } => write!(f, "cannot parse {what} spec `{input}`: {reason}"),
+            ExperimentError::Fault(e) => write!(f, "invalid fault scenario: {e}"),
         }
     }
 }
@@ -129,6 +144,7 @@ pub struct Experiment<'a, T: Topology + ?Sized, O: SimObserver = NoopObserver> {
     topology: &'a T,
     router: RouterSpec,
     traffic: TrafficSpec,
+    faults: FaultSpec,
     max_cycles: u64,
     seed: u64,
     observer: O,
@@ -144,11 +160,18 @@ impl<'a, T: Topology + ?Sized> Experiment<'a, T, NoopObserver> {
                 count: 1000,
                 window: 250,
             },
+            faults: FaultSpec::None,
             max_cycles: u64::MAX,
             seed: 0,
             observer: NoopObserver,
         }
     }
+}
+
+/// Decorrelates fault placement from the traffic stream while keeping
+/// both a pure function of the experiment seed.
+fn fault_seed(seed: u64) -> u64 {
+    seed ^ 0xFA17_5EED_0C0D_ED00
 }
 
 impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
@@ -161,6 +184,20 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
     /// Selects the workload (default 1000 uniform packets, window 250).
     pub fn traffic(mut self, spec: TrafficSpec) -> Self {
         self.traffic = spec;
+        self
+    }
+
+    /// Injects a failure scenario (default [`FaultSpec::None`] — the
+    /// healthy network). Random variants draw their placement from the
+    /// experiment [`seed`](Experiment::seed) (decorrelated from the
+    /// traffic stream), so the same `(spec, topology, seed)` triple
+    /// reproduces the same degraded network. The engine routes around
+    /// the faults via a
+    /// [`FaultMaskingRouter`](crate::router::FaultMaskingRouter) and
+    /// counts unroutable packets as typed drops; an empty scenario is
+    /// packet-for-packet identical to not calling this at all.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = spec;
         self
     }
 
@@ -187,32 +224,58 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
             topology: self.topology,
             router: self.router,
             traffic: self.traffic,
+            faults: self.faults,
             max_cycles: self.max_cycles,
             seed: self.seed,
             observer,
         }
     }
 
-    /// Validates the configuration, generates the workload, resolves the
-    /// router, runs the engine, and assembles the [`Report`].
+    /// Validates the configuration, generates the workload, materialises
+    /// the fault scenario, resolves the router, runs the engine (healthy
+    /// or degraded), and assembles the [`Report`].
     pub fn run(mut self) -> Result<Report, ExperimentError> {
         let n = self.topology.len();
         self.traffic.validate(n)?;
+        let fault_set = self
+            .faults
+            .sample(self.topology.graph(), fault_seed(self.seed))?;
         let router = self.router.resolve(self.topology)?;
+        // A degraded run executes the fault-masking wrapper, and the
+        // report should say so rather than claim the bare policy ran.
+        let router_name = if fault_set.is_empty() {
+            router.name()
+        } else {
+            crate::router::masked_router_name(&router.name())
+        };
         let packets = self.traffic.generate(n, self.seed);
-        let stats = simulate_observed(
-            self.topology,
-            &*router,
-            &packets,
-            self.max_cycles,
-            &mut self.observer,
-        );
+        let stats = if fault_set.is_empty() {
+            simulate_observed(
+                self.topology,
+                &*router,
+                &packets,
+                self.max_cycles,
+                &mut self.observer,
+            )
+        } else {
+            simulate_faulted(
+                self.topology,
+                &*router,
+                &fault_set,
+                &packets,
+                self.max_cycles,
+                &mut self.observer,
+            )
+        };
         Ok(Report {
             topology: self.topology.name(),
             nodes: n,
             router_spec: self.router.to_string(),
-            router: router.name(),
+            router: router_name,
             traffic: self.traffic.to_string(),
+            faults: self.faults.to_string(),
+            failed_nodes: fault_set.failed_nodes().len(),
+            failed_links: fault_set.failed_links().len(),
             seed: self.seed,
             max_cycles: self.max_cycles,
             stats,
@@ -243,7 +306,9 @@ mod tests {
     fn experiment_reproduces_simulate_with_on_the_acceptance_pair() {
         // Acceptance criterion: a no-op-observer experiment must match
         // `simulate_with` packet for packet on Γ_16 and Q_11 — same
-        // histogram, makespan, hops, everything.
+        // histogram, makespan, hops, everything — and the zero-fault
+        // path (explicit empty FaultSpec) must be indistinguishable
+        // from the healthy engine.
         let gamma = FibonacciNet::classical(16);
         let q = Hypercube::new(11);
         for topo in [&gamma as &dyn Topology, &q] {
@@ -258,7 +323,7 @@ mod tests {
                 4_000_000,
             );
             let report = Experiment::on(topo)
-                .traffic(spec)
+                .traffic(spec.clone())
                 .seed(2026)
                 .cycles(4_000_000)
                 .run()
@@ -266,7 +331,80 @@ mod tests {
             assert_eq!(report.stats, direct, "{}", topo.name());
             assert_eq!(report.stats.delivered, report.stats.offered);
             assert_eq!(report.topology, topo.name());
+            // Zero-fault equivalence oracle (satellite): every way of
+            // spelling "no faults" yields the identical packet-for-packet
+            // run.
+            for empty in [
+                FaultSpec::Nodes { count: 0 },
+                FaultSpec::NodeList(vec![]),
+                FaultSpec::None,
+            ] {
+                let faulted = Experiment::on(topo)
+                    .traffic(spec.clone())
+                    .seed(2026)
+                    .cycles(4_000_000)
+                    .faults(empty.clone())
+                    .run()
+                    .expect("empty fault scenarios always sample");
+                assert_eq!(faulted.stats, direct, "{} under {empty}", topo.name());
+                assert_eq!(faulted.failed_nodes, 0);
+                assert_eq!(faulted.failed_links, 0);
+            }
         }
+    }
+
+    #[test]
+    fn faulted_experiment_drops_are_typed_and_conserved() {
+        let net = FibonacciNet::classical(10);
+        let report = Experiment::on(&net)
+            .traffic(TrafficSpec::Uniform {
+                count: 2000,
+                window: 300,
+            })
+            .faults(FaultSpec::Nodes { count: 20 })
+            .seed(17)
+            .run()
+            .expect("valid degraded configuration");
+        assert_eq!(report.failed_nodes, 20);
+        let s = &report.stats;
+        assert!(s.dropped_dead_endpoint > 0, "dead endpoints must show up");
+        // Uncapped run: everything is delivered or typed-dropped.
+        assert_eq!(s.delivered + s.dropped(), s.offered);
+        assert_eq!(report.faults, "nodes(count=20)");
+        // The report names the router that actually ran — the masked
+        // wrapper, not the bare policy.
+        assert_eq!(report.router, "fault-masked(canonical)");
+        assert_eq!(report.router_spec, "preferred");
+        let json = report.to_json();
+        assert!(json.contains("\"faults\": \"nodes(count=20)\""), "{json}");
+        assert!(json.contains("\"failed_nodes\": 20"), "{json}");
+        // The human summary surfaces the drops.
+        assert!(report.to_string().contains("dropped"), "{report}");
+    }
+
+    #[test]
+    fn fault_spec_errors_surface_as_experiment_errors() {
+        let q = Hypercube::new(3);
+        let err = Experiment::on(&q)
+            .faults(FaultSpec::Nodes { count: 8 })
+            .run()
+            .expect_err("failing every node is rejected");
+        assert!(matches!(err, ExperimentError::Fault(_)));
+        assert!(err.to_string().contains("invalid fault scenario"), "{err}");
+        // And the text form works end to end with `?`.
+        fn run() -> Result<Report, Box<dyn std::error::Error>> {
+            let q = Hypercube::new(3);
+            let faults: crate::fault::FaultSpec = "nodes(count=2)".parse()?;
+            Ok(Experiment::on(&q)
+                .traffic("alltoall".parse::<TrafficSpec>()?)
+                .faults(faults)
+                .run()?)
+        }
+        let report = run().expect("valid text configuration");
+        assert_eq!(
+            report.stats.delivered + report.stats.dropped(),
+            report.stats.offered
+        );
     }
 
     #[test]

@@ -1,7 +1,28 @@
-//! Fault tolerance experiments: knock out random nodes and measure what
-//! survives — connectivity of the healthy part and the dilation of
+//! Fault injection: declarative failure scenarios ([`FaultSpec`]), their
+//! materialised form ([`FaultSet`]), and the *static* survivability
+//! analysis — connectivity of the healthy part and the dilation of
 //! rerouted paths (cf. Gregor, *Recursive fault-tolerance of Fibonacci
 //! cubes in hypercubes*, and the robustness claims of the 1993 line).
+//!
+//! A [`FaultSpec`] is the fault half of an
+//! [`Experiment`](crate::experiment::Experiment): seeded random node
+//! faults, seeded random link faults, explicit lists, or mixes, all
+//! round-tripping through `Display`/`FromStr`
+//! (`nodes(count=4)`, `links(count=8)`, `node_list(0,3,9)`,
+//! `link_list(0-1,4-7)`, `mix(nodes(count=2)+links(count=3))`, `none`)
+//! so a failure scenario lives on a CLI flag or in a JSON report exactly
+//! like a [`TrafficSpec`](crate::traffic::TrafficSpec). Sampling a spec
+//! against a concrete graph yields a [`FaultSet`], which the *live*
+//! simulation path (the fault-masking router and
+//! [`simulate_faulted`](crate::simulator::simulate_faulted)) routes
+//! around and the static path ([`fault_set_trial`]) analyses.
+//!
+//! Degenerate inputs are typed [`FaultError`]s, not panics: asking to
+//! fail every node, naming a node outside the network, or sweeping with
+//! zero trials all return `Err`.
+
+use core::fmt;
+use core::str::FromStr;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -11,54 +32,476 @@ use fibcube_graph::bfs::INFINITY;
 use fibcube_graph::csr::{CsrGraph, GraphBuilder};
 
 use crate::topology::Topology;
+use crate::traffic::{num, parse_kv, split_call, split_mix};
 
-/// Outcome of one fault-injection trial.
+/// A fault configuration the module rejected — every failure mode that
+/// used to be an `assert!` at a call site, as a typed, `?`-friendly
+/// error (mirroring [`ExperimentError`](crate::experiment::ExperimentError)).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultError {
+    /// Node faults must leave at least one survivor.
+    TooManyNodeFaults {
+        /// Distinct node failures requested.
+        requested: usize,
+        /// Nodes in the network.
+        nodes: usize,
+    },
+    /// More link faults requested than the network has links.
+    TooManyLinkFaults {
+        /// Link failures requested.
+        requested: usize,
+        /// Undirected links in the network.
+        links: usize,
+    },
+    /// An explicit node id outside the network.
+    UnknownNode {
+        /// The offending id.
+        node: u32,
+        /// Nodes in the network.
+        nodes: usize,
+    },
+    /// An explicit link that is not an edge of the network.
+    UnknownLink {
+        /// One endpoint.
+        from: u32,
+        /// The other endpoint.
+        to: u32,
+    },
+    /// A sweep over zero trials has no mean to report.
+    ZeroTrials,
+    /// A spec string failed to parse (`FromStr` for [`FaultSpec`]).
+    ParseSpec {
+        /// The rejected input.
+        input: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::TooManyNodeFaults { requested, nodes } => write!(
+                f,
+                "cannot fail {requested} of {nodes} nodes: at least one must survive"
+            ),
+            FaultError::TooManyLinkFaults { requested, links } => {
+                write!(f, "cannot fail {requested} links: the network has {links}")
+            }
+            FaultError::UnknownNode { node, nodes } => {
+                write!(f, "node {node} does not exist (network has {nodes} nodes)")
+            }
+            FaultError::UnknownLink { from, to } => {
+                write!(f, "link {from}-{to} is not an edge of the network")
+            }
+            FaultError::ZeroTrials => write!(f, "a fault sweep needs at least one trial"),
+            FaultError::ParseSpec { input, reason } => {
+                write!(f, "cannot parse fault spec `{input}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+fn parse_err(input: &str, reason: impl Into<String>) -> FaultError {
+    FaultError::ParseSpec {
+        input: input.to_string(),
+        reason: reason.into(),
+    }
+}
+
+/// A declarative failure scenario, the fault half of an
+/// [`Experiment`](crate::experiment::Experiment). Sampled against a
+/// concrete graph (with a seed) by [`FaultSpec::sample`] to produce the
+/// materialised [`FaultSet`].
+///
+/// Canonical text forms (round-tripping through `Display`/`FromStr`):
+///
+/// | Variant | Text |
+/// |---|---|
+/// | `None` | `none` |
+/// | `Nodes` | `nodes(count=4)` |
+/// | `Links` | `links(count=8)` |
+/// | `NodeList` | `node_list(0,3,9)` |
+/// | `LinkList` | `link_list(0-1,4-7)` |
+/// | `Mixed` | `mix(nodes(count=2)+links(count=3))` |
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultSpec {
+    /// No faults: the healthy network. An `Experiment` with this spec is
+    /// packet-for-packet identical to one without a spec at all.
+    None,
+    /// `count` distinct nodes fail, chosen uniformly at random (seeded).
+    Nodes {
+        /// Number of node failures.
+        count: usize,
+    },
+    /// `count` distinct undirected links fail, chosen uniformly at
+    /// random (seeded). Endpoints stay alive.
+    Links {
+        /// Number of link failures.
+        count: usize,
+    },
+    /// Exactly these nodes fail.
+    NodeList(Vec<u32>),
+    /// Exactly these undirected links fail (each pair must be an edge).
+    LinkList(Vec<(u32, u32)>),
+    /// Union of component scenarios; random components draw from
+    /// decorrelated seeds.
+    Mixed(Vec<FaultSpec>),
+}
+
+impl FaultSpec {
+    /// Checks the spec against `g`, returning a typed error for scenarios
+    /// the graph cannot express (failing every node, more link faults
+    /// than links, ids outside the network, non-edges).
+    pub fn validate(&self, g: &CsrGraph) -> Result<(), FaultError> {
+        let n = g.num_vertices();
+        match self {
+            FaultSpec::None => Ok(()),
+            FaultSpec::Nodes { count } => {
+                if *count >= n {
+                    Err(FaultError::TooManyNodeFaults {
+                        requested: *count,
+                        nodes: n,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            FaultSpec::Links { count } => {
+                if *count > g.num_edges() {
+                    Err(FaultError::TooManyLinkFaults {
+                        requested: *count,
+                        links: g.num_edges(),
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            FaultSpec::NodeList(nodes) => {
+                for &v in nodes {
+                    if v as usize >= n {
+                        return Err(FaultError::UnknownNode { node: v, nodes: n });
+                    }
+                }
+                let mut distinct: Vec<u32> = nodes.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                if distinct.len() >= n {
+                    return Err(FaultError::TooManyNodeFaults {
+                        requested: distinct.len(),
+                        nodes: n,
+                    });
+                }
+                Ok(())
+            }
+            FaultSpec::LinkList(links) => {
+                for &(u, v) in links {
+                    if u as usize >= n {
+                        return Err(FaultError::UnknownNode { node: u, nodes: n });
+                    }
+                    if v as usize >= n {
+                        return Err(FaultError::UnknownNode { node: v, nodes: n });
+                    }
+                    if !g.has_edge(u, v) {
+                        return Err(FaultError::UnknownLink { from: u, to: v });
+                    }
+                }
+                Ok(())
+            }
+            FaultSpec::Mixed(parts) => parts.iter().try_for_each(|p| p.validate(g)),
+        }
+    }
+
+    /// Materialises the spec against `g`: random variants draw from
+    /// `seed` (deterministic in `(self, g, seed)`), explicit lists pass
+    /// through. The combined set must still leave a survivor.
+    pub fn sample(&self, g: &CsrGraph, seed: u64) -> Result<FaultSet, FaultError> {
+        self.validate(g)?;
+        let mut nodes = Vec::new();
+        let mut links = Vec::new();
+        self.collect(g, seed, &mut nodes, &mut links);
+        let set = FaultSet::new(nodes, links);
+        if !set.failed_nodes().is_empty() && set.failed_nodes().len() >= g.num_vertices() {
+            return Err(FaultError::TooManyNodeFaults {
+                requested: set.failed_nodes().len(),
+                nodes: g.num_vertices(),
+            });
+        }
+        Ok(set)
+    }
+
+    fn collect(&self, g: &CsrGraph, seed: u64, nodes: &mut Vec<u32>, links: &mut Vec<(u32, u32)>) {
+        match self {
+            FaultSpec::None => {}
+            FaultSpec::Nodes { count } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut ids: Vec<u32> = (0..g.num_vertices() as u32).collect();
+                ids.shuffle(&mut rng);
+                nodes.extend_from_slice(&ids[..*count]);
+            }
+            FaultSpec::Links { count } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut edges: Vec<(u32, u32)> = g.edges().collect();
+                edges.shuffle(&mut rng);
+                links.extend_from_slice(&edges[..*count]);
+            }
+            FaultSpec::NodeList(list) => nodes.extend_from_slice(list),
+            FaultSpec::LinkList(list) => links.extend_from_slice(list),
+            FaultSpec::Mixed(parts) => {
+                for (i, part) in parts.iter().enumerate() {
+                    // Golden-ratio stride decorrelates component draws.
+                    let part_seed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    part.collect(g, part_seed, nodes, links);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSpec::None => write!(f, "none"),
+            FaultSpec::Nodes { count } => write!(f, "nodes(count={count})"),
+            FaultSpec::Links { count } => write!(f, "links(count={count})"),
+            FaultSpec::NodeList(nodes) => {
+                write!(f, "node_list(")?;
+                for (i, v) in nodes.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            FaultSpec::LinkList(links) => {
+                write!(f, "link_list(")?;
+                for (i, (u, v)) in links.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{u}-{v}")?;
+                }
+                write!(f, ")")
+            }
+            FaultSpec::Mixed(parts) => {
+                write!(f, "mix(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "+")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl FromStr for FaultSpec {
+    type Err = FaultError;
+
+    fn from_str(s: &str) -> Result<FaultSpec, FaultError> {
+        let s = s.trim();
+        let (name, body) = split_call(s).map_err(|e| parse_err(s, e))?;
+        let body_or = |kind: &str| {
+            body.ok_or_else(|| {
+                parse_err(s, format!("`{kind}` needs arguments, e.g. `{kind}(...)`"))
+            })
+        };
+        match name {
+            "none" => match body {
+                None | Some("") => Ok(FaultSpec::None),
+                Some(extra) => Err(parse_err(
+                    s,
+                    format!("`none` takes no arguments: `{extra}`"),
+                )),
+            },
+            "nodes" => {
+                let v = parse_kv(body_or("nodes")?, &["count"]).map_err(|e| parse_err(s, e))?;
+                Ok(FaultSpec::Nodes {
+                    count: num(v[0], "count").map_err(|e| parse_err(s, e))?,
+                })
+            }
+            "links" => {
+                let v = parse_kv(body_or("links")?, &["count"]).map_err(|e| parse_err(s, e))?;
+                Ok(FaultSpec::Links {
+                    count: num(v[0], "count").map_err(|e| parse_err(s, e))?,
+                })
+            }
+            "node_list" => {
+                let body = body_or("node_list")?;
+                let mut nodes = Vec::new();
+                if !body.trim().is_empty() {
+                    for part in body.split(',') {
+                        nodes.push(num(part.trim(), "node").map_err(|e| parse_err(s, e))?);
+                    }
+                }
+                Ok(FaultSpec::NodeList(nodes))
+            }
+            "link_list" => {
+                let body = body_or("link_list")?;
+                let mut links = Vec::new();
+                if !body.trim().is_empty() {
+                    for part in body.split(',') {
+                        let (u, v) = part.trim().split_once('-').ok_or_else(|| {
+                            parse_err(s, format!("expected `from-to`, got `{part}`"))
+                        })?;
+                        links.push((
+                            num(u.trim(), "from").map_err(|e| parse_err(s, e))?,
+                            num(v.trim(), "to").map_err(|e| parse_err(s, e))?,
+                        ));
+                    }
+                }
+                Ok(FaultSpec::LinkList(links))
+            }
+            "mix" => {
+                let body = body_or("mix")?;
+                if body.trim().is_empty() {
+                    return Err(parse_err(s, "mix needs at least one component"));
+                }
+                let parts = split_mix(body)
+                    .into_iter()
+                    .map(FaultSpec::from_str)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(FaultSpec::Mixed(parts))
+            }
+            other => Err(parse_err(
+                s,
+                format!(
+                    "unknown scenario `{other}` (expected none, nodes, links, node_list, \
+                     link_list, mix)"
+                ),
+            )),
+        }
+    }
+}
+
+/// A materialised set of failures: the failed node ids and failed
+/// undirected links, normalised (sorted, deduplicated, links stored as
+/// `(min, max)`). Produced by [`FaultSpec::sample`]; consumed by the
+/// live engine ([`simulate_faulted`](crate::simulator::simulate_faulted)
+/// via the [`FaultMaskingRouter`](crate::router::FaultMaskingRouter))
+/// and the static analysis ([`fault_set_trial`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSet {
+    failed_nodes: Vec<u32>,
+    failed_links: Vec<(u32, u32)>,
+}
+
+impl FaultSet {
+    /// The empty set: nothing failed.
+    pub fn empty() -> FaultSet {
+        FaultSet::default()
+    }
+
+    /// Builds a set from explicit failures, normalising as it goes
+    /// (orientation, order, duplicates).
+    pub fn new(
+        nodes: impl IntoIterator<Item = u32>,
+        links: impl IntoIterator<Item = (u32, u32)>,
+    ) -> FaultSet {
+        let mut failed_nodes: Vec<u32> = nodes.into_iter().collect();
+        failed_nodes.sort_unstable();
+        failed_nodes.dedup();
+        let mut failed_links: Vec<(u32, u32)> = links
+            .into_iter()
+            .map(|(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        failed_links.sort_unstable();
+        failed_links.dedup();
+        FaultSet {
+            failed_nodes,
+            failed_links,
+        }
+    }
+
+    /// `true` when nothing failed.
+    pub fn is_empty(&self) -> bool {
+        self.failed_nodes.is_empty() && self.failed_links.is_empty()
+    }
+
+    /// Failed node ids, sorted.
+    pub fn failed_nodes(&self) -> &[u32] {
+        &self.failed_nodes
+    }
+
+    /// Failed undirected links as `(min, max)` pairs, sorted.
+    pub fn failed_links(&self) -> &[(u32, u32)] {
+        &self.failed_links
+    }
+
+    /// `true` when node `v` did not fail.
+    pub fn node_alive(&self, v: u32) -> bool {
+        self.failed_nodes.binary_search(&v).is_err()
+    }
+
+    /// `true` when the undirected link `u–v` and both its endpoints are
+    /// alive.
+    pub fn link_alive(&self, u: u32, v: u32) -> bool {
+        self.node_alive(u)
+            && self.node_alive(v)
+            && self
+                .failed_links
+                .binary_search(&(u.min(v), u.max(v)))
+                .is_err()
+    }
+
+    /// The subgraph of `g` induced by the alive nodes, minus the failed
+    /// links, with an id map back to the original network
+    /// (`new id → old id`).
+    pub fn healthy_subgraph(&self, g: &CsrGraph) -> (CsrGraph, Vec<u32>) {
+        let n = g.num_vertices();
+        let survivors: Vec<u32> = (0..n as u32).filter(|&v| self.node_alive(v)).collect();
+        let mut new_id = vec![u32::MAX; n];
+        for (i, &v) in survivors.iter().enumerate() {
+            new_id[v as usize] = i as u32;
+        }
+        let mut builder = GraphBuilder::new(survivors.len());
+        for &v in &survivors {
+            for &w in g.neighbors(v) {
+                if v < w && self.link_alive(v, w) {
+                    builder.add_edge(new_id[v as usize], new_id[w as usize]);
+                }
+            }
+        }
+        (builder.build(), survivors)
+    }
+}
+
+/// Outcome of one fault-injection trial (static analysis).
 #[derive(Clone, Debug)]
 pub struct FaultTrial {
     /// Failed node ids.
     pub failed: Vec<u32>,
+    /// Failed undirected links.
+    pub failed_links: Vec<(u32, u32)>,
     /// Number of connected components among surviving nodes.
     pub surviving_components: usize,
-    /// Fraction of surviving ordered pairs that remain mutually reachable.
-    pub reachable_pair_fraction: f64,
+    /// Fraction of surviving ordered pairs that remain mutually
+    /// reachable, or `None` when fewer than two nodes survive (no pairs
+    /// exist, so no fraction is defined).
+    pub reachable_pair_fraction: Option<f64>,
     /// Mean ratio (rerouted distance / original distance) over surviving
-    /// reachable pairs that were connected before.
-    pub mean_dilation: f64,
+    /// reachable pairs that were connected before, or `None` when no
+    /// such pair exists.
+    pub mean_dilation: Option<f64>,
 }
 
 /// The subgraph induced by the healthy nodes, with an id map back to the
 /// original network (`new id → old id`).
 pub fn healthy_subgraph(g: &CsrGraph, failed: &[u32]) -> (CsrGraph, Vec<u32>) {
-    let n = g.num_vertices();
-    let mut dead = vec![false; n];
-    for &f in failed {
-        dead[f as usize] = true;
-    }
-    let survivors: Vec<u32> = (0..n as u32).filter(|&v| !dead[v as usize]).collect();
-    let mut new_id = vec![u32::MAX; n];
-    for (i, &v) in survivors.iter().enumerate() {
-        new_id[v as usize] = i as u32;
-    }
-    let mut builder = GraphBuilder::new(survivors.len());
-    for &v in &survivors {
-        for &w in g.neighbors(v) {
-            if !dead[w as usize] && v < w {
-                builder.add_edge(new_id[v as usize], new_id[w as usize]);
-            }
-        }
-    }
-    (builder.build(), survivors)
+    FaultSet::new(failed.iter().copied(), []).healthy_subgraph(g)
 }
 
-/// Runs one fault trial: fail `faults` random distinct nodes (seeded).
-pub fn fault_trial(t: &dyn Topology, faults: usize, seed: u64) -> FaultTrial {
-    let n = t.len();
-    assert!(faults < n, "cannot fail every node");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut ids: Vec<u32> = (0..n as u32).collect();
-    ids.shuffle(&mut rng);
-    let failed: Vec<u32> = ids[..faults].to_vec();
-    let (healthy, survivors) = healthy_subgraph(t.graph(), &failed);
+/// Static survivability analysis of one explicit [`FaultSet`]:
+/// component count, reachable-pair fraction, and mean dilation of the
+/// rerouted shortest paths. `O(n²)` distance matrices — meant for the
+/// static comparisons, not the live engine.
+pub fn fault_set_trial(t: &dyn Topology, set: &FaultSet) -> FaultTrial {
+    let (healthy, survivors) = set.healthy_subgraph(t.graph());
     let components = fibcube_graph::distance::component_count(&healthy);
     let before = fibcube_graph::parallel::parallel_distance_matrix(t.graph());
     let after = fibcube_graph::parallel::parallel_distance_matrix(&healthy);
@@ -85,40 +528,65 @@ pub fn fault_trial(t: &dyn Topology, faults: usize, seed: u64) -> FaultTrial {
         }
     }
     FaultTrial {
-        failed,
+        failed: set.failed_nodes().to_vec(),
+        failed_links: set.failed_links().to_vec(),
         surviving_components: components,
-        reachable_pair_fraction: if pairs > 0 {
-            reachable as f64 / pairs as f64
-        } else {
-            1.0
-        },
-        mean_dilation: if dilation_count > 0 {
-            dilation_sum / dilation_count as f64
-        } else {
-            1.0
-        },
+        reachable_pair_fraction: (pairs > 0).then(|| reachable as f64 / pairs as f64),
+        mean_dilation: (dilation_count > 0).then(|| dilation_sum / dilation_count as f64),
     }
 }
 
+/// Runs one fault trial: fail `faults` random distinct nodes (seeded),
+/// then analyse the survivors. `Err` when `faults` would leave no
+/// survivor.
+pub fn fault_trial(t: &dyn Topology, faults: usize, seed: u64) -> Result<FaultTrial, FaultError> {
+    let set = FaultSpec::Nodes { count: faults }.sample(t.graph(), seed)?;
+    Ok(fault_set_trial(t, &set))
+}
+
+/// One aggregated row of a [`fault_sweep`].
+#[derive(Clone, Debug)]
+pub struct FaultSweepRow {
+    /// Node faults injected per trial.
+    pub faults: usize,
+    /// Mean reachable-pair fraction over the trials that had survivor
+    /// pairs (`None` when none did).
+    pub mean_reachable_fraction: Option<f64>,
+    /// Mean dilation over the trials that had rerouted pairs (`None`
+    /// when none did).
+    pub mean_dilation: Option<f64>,
+}
+
 /// Sweep: average reachable-pair fraction over `trials` seeds for each
-/// fault count in `fault_counts`. Returns `(faults, mean_fraction,
-/// mean_dilation)` rows.
+/// fault count in `fault_counts`. `Err` on zero trials (no mean exists)
+/// or on fault counts the topology cannot express.
 pub fn fault_sweep(
     t: &dyn Topology,
     fault_counts: &[usize],
     trials: u64,
-) -> Vec<(usize, f64, f64)> {
+) -> Result<Vec<FaultSweepRow>, FaultError> {
+    if trials == 0 {
+        return Err(FaultError::ZeroTrials);
+    }
     fault_counts
         .iter()
         .map(|&k| {
-            let mut frac = 0.0;
-            let mut dil = 0.0;
+            let mut frac = (0.0, 0u64);
+            let mut dil = (0.0, 0u64);
             for s in 0..trials {
-                let tr = fault_trial(t, k, s * 7919 + k as u64);
-                frac += tr.reachable_pair_fraction;
-                dil += tr.mean_dilation;
+                let tr = fault_trial(t, k, s * 7919 + k as u64)?;
+                if let Some(x) = tr.reachable_pair_fraction {
+                    frac = (frac.0 + x, frac.1 + 1);
+                }
+                if let Some(x) = tr.mean_dilation {
+                    dil = (dil.0 + x, dil.1 + 1);
+                }
             }
-            (k, frac / trials as f64, dil / trials as f64)
+            Ok(FaultSweepRow {
+                faults: k,
+                mean_reachable_fraction: (frac.1 > 0).then(|| frac.0 / frac.1 as f64),
+                mean_dilation: (dil.1 > 0).then(|| dil.0 / dil.1 as f64),
+            })
         })
         .collect()
 }
@@ -131,10 +599,10 @@ mod tests {
     #[test]
     fn no_faults_changes_nothing() {
         let q = Hypercube::new(4);
-        let tr = fault_trial(&q, 0, 1);
+        let tr = fault_trial(&q, 0, 1).unwrap();
         assert_eq!(tr.surviving_components, 1);
-        assert_eq!(tr.reachable_pair_fraction, 1.0);
-        assert_eq!(tr.mean_dilation, 1.0);
+        assert_eq!(tr.reachable_pair_fraction, Some(1.0));
+        assert_eq!(tr.mean_dilation, Some(1.0));
     }
 
     #[test]
@@ -152,24 +620,25 @@ mod tests {
         // Q_d is d-connected: one failure never disconnects (d ≥ 2).
         for seed in 0..10 {
             let q = Hypercube::new(4);
-            let tr = fault_trial(&q, 1, seed);
+            let tr = fault_trial(&q, 1, seed).unwrap();
             assert_eq!(tr.surviving_components, 1, "seed={seed}");
-            assert_eq!(tr.reachable_pair_fraction, 1.0);
-            assert!(tr.mean_dilation >= 1.0);
+            assert_eq!(tr.reachable_pair_fraction, Some(1.0));
+            assert!(tr.mean_dilation.unwrap() >= 1.0);
         }
     }
 
     #[test]
     fn fibonacci_cube_degrades_gracefully() {
         let net = FibonacciNet::classical(8); // 55 nodes
-        let rows = fault_sweep(&net, &[0, 1, 4], 5);
+        let rows = fault_sweep(&net, &[0, 1, 4], 5).unwrap();
         assert_eq!(rows.len(), 3);
-        assert_eq!(rows[0].1, 1.0);
+        let frac = |i: usize| rows[i].mean_reachable_fraction.unwrap();
+        assert_eq!(frac(0), 1.0);
         // More faults never improve mean reachability.
-        assert!(rows[0].1 >= rows[1].1);
-        assert!(rows[1].1 >= rows[2].1 - 1e-9);
+        assert!(frac(0) >= frac(1));
+        assert!(frac(1) >= frac(2) - 1e-9);
         // Γ_8 survives a single fault overwhelmingly: > 90% pairs reachable.
-        assert!(rows[1].1 > 0.90, "{}", rows[1].1);
+        assert!(frac(1) > 0.90, "{}", frac(1));
     }
 
     #[test]
@@ -179,7 +648,7 @@ mod tests {
         let r = Ring::new(16);
         let mut saw_split = false;
         for seed in 0..20 {
-            let tr = fault_trial(&r, 2, seed);
+            let tr = fault_trial(&r, 2, seed).unwrap();
             assert!(tr.surviving_components <= 2);
             if tr.surviving_components == 2 {
                 saw_split = true;
@@ -192,7 +661,172 @@ mod tests {
     fn dilation_grows_with_detours() {
         // Failing a cut-ish vertex of Γ_5 forces longer reroutes.
         let net = FibonacciNet::classical(5);
-        let tr = fault_trial(&net, 2, 3);
-        assert!(tr.mean_dilation >= 1.0);
+        let tr = fault_trial(&net, 2, 3).unwrap();
+        assert!(tr.mean_dilation.unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn over_large_fault_counts_are_typed_errors_not_panics() {
+        // Satellite: `fault_trial` used to `assert!(faults < n)`.
+        let q = Hypercube::new(3);
+        assert_eq!(
+            fault_trial(&q, 8, 0).unwrap_err(),
+            FaultError::TooManyNodeFaults {
+                requested: 8,
+                nodes: 8
+            }
+        );
+        assert!(fault_trial(&q, 100, 0).is_err());
+        // And the error propagates through the sweep.
+        let err = fault_sweep(&q, &[1, 8], 3).unwrap_err();
+        assert!(
+            err.to_string().contains("at least one must survive"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn zero_trial_sweep_is_an_error_not_nan() {
+        // Satellite regression: trials == 0 used to divide by zero.
+        let q = Hypercube::new(3);
+        assert_eq!(
+            fault_sweep(&q, &[1], 0).unwrap_err(),
+            FaultError::ZeroTrials
+        );
+    }
+
+    #[test]
+    fn degenerate_survivor_counts_report_none() {
+        // Satellite: n − 1 faults leave one survivor — zero pairs, so the
+        // fractions are undefined, not a misleading 1.0.
+        let q = Hypercube::new(2);
+        let tr = fault_trial(&q, 3, 5).unwrap();
+        assert_eq!(tr.failed.len(), 3);
+        assert_eq!(tr.surviving_components, 1);
+        assert_eq!(tr.reachable_pair_fraction, None);
+        assert_eq!(tr.mean_dilation, None);
+        // An all-degenerate sweep row carries the None through.
+        let rows = fault_sweep(&q, &[3], 4).unwrap();
+        assert_eq!(rows[0].mean_reachable_fraction, None);
+        assert_eq!(rows[0].mean_dilation, None);
+    }
+
+    #[test]
+    fn link_faults_remove_exactly_those_links() {
+        let q = Hypercube::new(3);
+        let set = FaultSpec::Links { count: 4 }.sample(q.graph(), 9).unwrap();
+        assert_eq!(set.failed_links().len(), 4);
+        assert!(set.failed_nodes().is_empty());
+        let (h, survivors) = set.healthy_subgraph(q.graph());
+        assert_eq!(survivors.len(), 8, "link faults keep every node");
+        assert_eq!(h.num_edges(), 12 - 4);
+        for &(u, v) in set.failed_links() {
+            assert!(q.graph().has_edge(u, v));
+            assert!(!h.has_edge(u, v));
+            assert!(!set.link_alive(u, v));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_in_bounds() {
+        let net = FibonacciNet::classical(7);
+        let spec = FaultSpec::Mixed(vec![
+            FaultSpec::Nodes { count: 3 },
+            FaultSpec::Links { count: 2 },
+        ]);
+        let a = spec.sample(net.graph(), 42).unwrap();
+        assert_eq!(a, spec.sample(net.graph(), 42).unwrap());
+        assert_ne!(a, spec.sample(net.graph(), 43).unwrap());
+        assert_eq!(a.failed_nodes().len(), 3);
+        assert_eq!(a.failed_links().len(), 2);
+        for &v in a.failed_nodes() {
+            assert!((v as usize) < net.len());
+        }
+    }
+
+    #[test]
+    fn explicit_lists_validate_against_the_graph() {
+        let q = Hypercube::new(3);
+        assert!(FaultSpec::NodeList(vec![0, 5]).validate(q.graph()).is_ok());
+        assert_eq!(
+            FaultSpec::NodeList(vec![9])
+                .validate(q.graph())
+                .unwrap_err(),
+            FaultError::UnknownNode { node: 9, nodes: 8 }
+        );
+        // 0–3 differ in two bits: not a hypercube edge.
+        assert_eq!(
+            FaultSpec::LinkList(vec![(0, 3)])
+                .validate(q.graph())
+                .unwrap_err(),
+            FaultError::UnknownLink { from: 0, to: 3 }
+        );
+        // Duplicates don't dodge the survivor check.
+        let all = FaultSpec::NodeList((0..8).chain(0..8).collect());
+        assert!(matches!(
+            all.validate(q.graph()).unwrap_err(),
+            FaultError::TooManyNodeFaults { requested: 8, .. }
+        ));
+    }
+
+    #[test]
+    fn fault_spec_round_trips_through_text() {
+        let specs = [
+            FaultSpec::None,
+            FaultSpec::Nodes { count: 4 },
+            FaultSpec::Links { count: 8 },
+            FaultSpec::NodeList(vec![0, 3, 9]),
+            FaultSpec::NodeList(vec![]),
+            FaultSpec::LinkList(vec![(0, 1), (4, 7)]),
+            FaultSpec::Mixed(vec![
+                FaultSpec::Nodes { count: 2 },
+                FaultSpec::Links { count: 3 },
+            ]),
+        ];
+        for spec in specs {
+            let text = spec.to_string();
+            let parsed: FaultSpec = text.parse().unwrap_or_else(|e| panic!("`{text}`: {e}"));
+            assert_eq!(parsed, spec, "round-trip of `{text}`");
+        }
+        // Whitespace tolerance.
+        assert_eq!(
+            " node_list( 1 , 2 ) ".parse::<FaultSpec>().unwrap(),
+            FaultSpec::NodeList(vec![1, 2])
+        );
+    }
+
+    #[test]
+    fn fault_spec_rejects_malformed_text() {
+        for bad in [
+            "nonsense",
+            "nodes",
+            "nodes(count=three)",
+            "nodes(n=3)",
+            "links(count=1,count=2)",
+            "link_list(1)",
+            "link_list(1-)",
+            "none(3)",
+            "mix()",
+            "",
+        ] {
+            let err = bad.parse::<FaultSpec>().expect_err(bad);
+            assert!(err.to_string().contains("fault spec"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn fault_set_normalises_and_answers_queries() {
+        let set = FaultSet::new([5, 1, 5], [(4, 2), (2, 4), (0, 1)]);
+        assert_eq!(set.failed_nodes(), &[1, 5]);
+        assert_eq!(set.failed_links(), &[(0, 1), (2, 4)]);
+        assert!(!set.node_alive(1));
+        assert!(set.node_alive(0));
+        // Link 0–1 failed explicitly; 0–2 dies with neither endpoint.
+        assert!(!set.link_alive(0, 1));
+        assert!(set.link_alive(0, 2));
+        // A link incident to a dead node is dead regardless of the list.
+        assert!(!set.link_alive(5, 0));
+        assert!(FaultSet::empty().is_empty());
+        assert!(!set.is_empty());
     }
 }

@@ -25,7 +25,8 @@
 //! * [`report`] — the [`Report`] type and the dependency-free
 //!   [`JsonValue`] document model behind `to_json()`;
 //! * [`sweep`] — injection-rate ladders producing saturation-throughput
-//!   and latency-vs-load curves, parallel across (rate, seed) runs;
+//!   and latency-vs-load curves, parallel across (rate, seed) runs, plus
+//!   the [`fault_load_sweep`] rate × fault-count resilience grid;
 //! * [`traffic`] — declarative, seeded workload specs ([`TrafficSpec`]:
 //!   uniform, hot-spot, complement permutation, all-to-all, open-loop
 //!   Bernoulli, mixes — all CLI/JSON-parseable);
@@ -36,7 +37,12 @@
 //! * [`hamilton`] — Hamiltonian paths/cycles ("mostly Hamiltonian");
 //! * [`embedding`] — hosting paths/rings/hypercubes in Fibonacci cubes
 //!   with measured dilation (`Q_k ↪ Γ_{2k−1}` isometrically);
-//! * [`fault`] — node-failure injection, survivability and dilation.
+//! * [`fault`] — failure scenarios as first-class specs ([`FaultSpec`] /
+//!   [`FaultSet`]): live fault-aware simulation through
+//!   [`Experiment::faults`](Experiment::faults) (dead packets become
+//!   typed drops, survivors detour via the
+//!   [`FaultMaskingRouter`]), plus the
+//!   static survivability/dilation analysis.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,19 +64,25 @@ pub mod traffic;
 pub use broadcast::{broadcast_all_port, broadcast_one_port, BroadcastSchedule};
 pub use embedding::{embed_hypercube, embed_path, embed_ring, Embedding};
 pub use experiment::{Experiment, ExperimentError};
-pub use fault::{fault_sweep, fault_trial, FaultTrial};
+pub use fault::{
+    fault_set_trial, fault_sweep, fault_trial, FaultError, FaultSet, FaultSpec, FaultSweepRow,
+    FaultTrial,
+};
 pub use hamilton::{hamiltonian_cycle, hamiltonian_path, HamiltonResult};
 pub use metrics::{metrics, TopologyMetrics};
-pub use observer::{LatencyHistogram, LinkHeatmap, NoopObserver, SimObserver};
+pub use observer::{DeliveryTracker, LatencyHistogram, LinkHeatmap, NoopObserver, SimObserver};
 pub use report::{JsonValue, Report};
 pub use router::{
-    AdaptiveMinimal, CanonicalRouter, EcubeRouter, LinkLoad, NextHopRouter, NoLoad, Router,
-    RouterSpec,
+    AdaptiveMinimal, CanonicalRouter, EcubeRouter, FaultMaskingRouter, LinkLoad, NextHopRouter,
+    NoLoad, Router, RouterSpec,
 };
-pub use simulator::{simulate, simulate_observed, simulate_reference, simulate_with, SimStats};
+pub use simulator::{
+    simulate, simulate_faulted, simulate_observed, simulate_reference, simulate_with, DropReason,
+    SimStats,
+};
 pub use sweep::{
-    injection_sweep, injection_sweep_with, rate_ladder, saturation_point, LoadPoint, SweepConfig,
-    SweepCurve,
+    fault_load_sweep, injection_sweep, injection_sweep_with, rate_ladder, saturation_point,
+    FaultLoadGrid, FaultLoadPoint, LoadPoint, SweepConfig, SweepCurve,
 };
 pub use topology::{FibonacciNet, Hypercube, Mesh, Ring, RouteError, Topology};
 pub use traffic::{Packet, TrafficSpec};

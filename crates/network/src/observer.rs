@@ -9,6 +9,10 @@
 //!   the same call sequence, at latency 0);
 //! * [`on_hop`](SimObserver::on_hop) — a packet traverses one directed
 //!   link (`edge` is the CSR directed-edge index, stable per topology);
+//! * [`on_drop`](SimObserver::on_drop) — a packet is dropped at
+//!   injection with a typed
+//!   [`DropReason`] (degraded runs
+//!   only — see [`simulate_faulted`](crate::simulator::simulate_faulted));
 //! * [`on_deliver`](SimObserver::on_deliver) — a packet reaches its
 //!   destination, with its end-to-end latency;
 //! * [`on_cycle_end`](SimObserver::on_cycle_end) — a *simulated* cycle
@@ -22,16 +26,17 @@
 //! observers existed (the `sweep` bench bin asserts the ≥5× envelope over
 //! the seed engine through this path).
 //!
-//! Two ready-made observers ship with the crate: [`LatencyHistogram`]
+//! Three ready-made observers ship with the crate: [`LatencyHistogram`]
 //! (per-packet latency distribution, independently of [`SimStats`]'s own
-//! accounting) and [`LinkHeatmap`] (per-directed-link traversal counts —
+//! accounting), [`LinkHeatmap`] (per-directed-link traversal counts —
 //! the instrument that exposes the canonical-routing hub congestion on
-//! `Γ_d`).
+//! `Γ_d`), and [`DeliveryTracker`] (delivered/dropped/undeliverable
+//! fractions — the fault-resilience measure).
 //!
 //! [`SimStats`]: crate::simulator::SimStats
 
 use crate::report::JsonValue;
-use crate::simulator::{bump, percentile};
+use crate::simulator::{bump, percentile, DropReason};
 
 /// Event hooks invoked by the simulation engine. All hooks default to
 /// no-ops; implement only what you need. See the [module
@@ -48,6 +53,16 @@ pub trait SimObserver {
     #[inline]
     fn on_hop(&mut self, cycle: u64, from: u32, to: u32, edge: usize) {
         let _ = (cycle, from, to, edge);
+    }
+
+    /// A packet was dropped at injection during `cycle` — only on
+    /// degraded networks
+    /// ([`simulate_faulted`](crate::simulator::simulate_faulted)), with
+    /// the typed [`DropReason`]. Fires after the packet's
+    /// [`on_inject`](SimObserver::on_inject).
+    #[inline]
+    fn on_drop(&mut self, cycle: u64, src: u32, dst: u32, reason: DropReason) {
+        let _ = (cycle, src, dst, reason);
     }
 
     /// A packet arrived at its destination `dst` at `cycle`, `latency`
@@ -95,6 +110,11 @@ impl<O: SimObserver + ?Sized> SimObserver for &mut O {
     }
 
     #[inline]
+    fn on_drop(&mut self, cycle: u64, src: u32, dst: u32, reason: DropReason) {
+        (**self).on_drop(cycle, src, dst, reason);
+    }
+
+    #[inline]
     fn on_deliver(&mut self, cycle: u64, dst: u32, latency: u64) {
         (**self).on_deliver(cycle, dst, latency);
     }
@@ -122,6 +142,12 @@ impl<A: SimObserver, B: SimObserver> SimObserver for (A, B) {
     fn on_hop(&mut self, cycle: u64, from: u32, to: u32, edge: usize) {
         self.0.on_hop(cycle, from, to, edge);
         self.1.on_hop(cycle, from, to, edge);
+    }
+
+    #[inline]
+    fn on_drop(&mut self, cycle: u64, src: u32, dst: u32, reason: DropReason) {
+        self.0.on_drop(cycle, src, dst, reason);
+        self.1.on_drop(cycle, src, dst, reason);
     }
 
     #[inline]
@@ -296,9 +322,165 @@ impl SimObserver for LinkHeatmap {
     }
 }
 
+/// Observer accounting for every packet's fate on a (possibly degraded)
+/// network: delivered, dropped with a dead endpoint, dropped as
+/// unreachable, or still in flight when the cycle cap hit. Its
+/// fractions are the delivered-throughput degradation measure the
+/// fault-resilience experiments report.
+///
+/// Fractions are `None` until at least one packet was injected — an
+/// idle run has no meaningful ratio, mirroring the `Option` convention
+/// of [`FaultTrial`](crate::fault::FaultTrial).
+#[derive(Clone, Debug, Default)]
+pub struct DeliveryTracker {
+    injected: u64,
+    delivered: u64,
+    dropped_dead_endpoint: u64,
+    dropped_unreachable: u64,
+}
+
+impl DeliveryTracker {
+    /// A fresh tracker.
+    pub fn new() -> DeliveryTracker {
+        DeliveryTracker::default()
+    }
+
+    /// Packets injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Packets delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Packets dropped because their source or destination failed.
+    pub fn dropped_dead_endpoint(&self) -> u64 {
+        self.dropped_dead_endpoint
+    }
+
+    /// Packets dropped because the faults disconnect their endpoints.
+    pub fn dropped_unreachable(&self) -> u64 {
+        self.dropped_unreachable
+    }
+
+    /// Total typed drops.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_dead_endpoint + self.dropped_unreachable
+    }
+
+    /// Packets neither delivered nor dropped — still queued when the run
+    /// ended (nonzero only under a cycle cap).
+    pub fn in_flight(&self) -> u64 {
+        self.injected - self.delivered - self.dropped()
+    }
+
+    /// `delivered / injected`, or `None` before any injection.
+    pub fn delivered_fraction(&self) -> Option<f64> {
+        (self.injected > 0).then(|| self.delivered as f64 / self.injected as f64)
+    }
+
+    /// `dropped / injected` (both drop kinds), or `None` before any
+    /// injection.
+    pub fn dropped_fraction(&self) -> Option<f64> {
+        (self.injected > 0).then(|| self.dropped() as f64 / self.injected as f64)
+    }
+
+    /// `dropped_unreachable / injected` — the statically undeliverable
+    /// share — or `None` before any injection.
+    pub fn undeliverable_fraction(&self) -> Option<f64> {
+        (self.injected > 0).then(|| self.dropped_unreachable as f64 / self.injected as f64)
+    }
+}
+
+fn fraction_json(x: Option<f64>) -> JsonValue {
+    match x {
+        Some(v) => JsonValue::Num(v),
+        None => JsonValue::Null,
+    }
+}
+
+impl SimObserver for DeliveryTracker {
+    #[inline]
+    fn on_inject(&mut self, _cycle: u64, _src: u32, _dst: u32) {
+        self.injected += 1;
+    }
+
+    #[inline]
+    fn on_deliver(&mut self, _cycle: u64, _dst: u32, _latency: u64) {
+        self.delivered += 1;
+    }
+
+    #[inline]
+    fn on_drop(&mut self, _cycle: u64, _src: u32, _dst: u32, reason: DropReason) {
+        match reason {
+            DropReason::DeadEndpoint => self.dropped_dead_endpoint += 1,
+            DropReason::Unreachable => self.dropped_unreachable += 1,
+        }
+    }
+
+    fn sections(&self) -> Vec<(String, JsonValue)> {
+        vec![(
+            "delivery".to_string(),
+            JsonValue::obj([
+                ("injected", JsonValue::Int(self.injected)),
+                ("delivered", JsonValue::Int(self.delivered)),
+                (
+                    "dropped_dead_endpoint",
+                    JsonValue::Int(self.dropped_dead_endpoint),
+                ),
+                (
+                    "dropped_unreachable",
+                    JsonValue::Int(self.dropped_unreachable),
+                ),
+                ("in_flight", JsonValue::Int(self.in_flight())),
+                (
+                    "delivered_fraction",
+                    fraction_json(self.delivered_fraction()),
+                ),
+                ("dropped_fraction", fraction_json(self.dropped_fraction())),
+                (
+                    "undeliverable_fraction",
+                    fraction_json(self.undeliverable_fraction()),
+                ),
+            ]),
+        )]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn delivery_tracker_types_every_fate() {
+        let mut t = DeliveryTracker::new();
+        assert_eq!(t.delivered_fraction(), None, "no injections yet");
+        for _ in 0..10 {
+            t.on_inject(0, 1, 2);
+        }
+        for _ in 0..6 {
+            t.on_deliver(3, 2, 3);
+        }
+        t.on_drop(0, 1, 2, DropReason::DeadEndpoint);
+        t.on_drop(0, 1, 2, DropReason::Unreachable);
+        t.on_drop(0, 1, 2, DropReason::Unreachable);
+        assert_eq!(t.injected(), 10);
+        assert_eq!(t.delivered(), 6);
+        assert_eq!(t.dropped_dead_endpoint(), 1);
+        assert_eq!(t.dropped_unreachable(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.in_flight(), 1);
+        assert_eq!(t.delivered_fraction(), Some(0.6));
+        assert_eq!(t.dropped_fraction(), Some(0.3));
+        assert_eq!(t.undeliverable_fraction(), Some(0.2));
+        let sections = t.sections();
+        assert_eq!(sections[0].0, "delivery");
+        let json = sections[0].1.to_string();
+        assert!(json.contains("\"delivered_fraction\": 0.6"), "{json}");
+        assert!(json.contains("\"in_flight\": 1"), "{json}");
+    }
 
     #[test]
     fn latency_histogram_accumulates() {

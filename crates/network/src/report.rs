@@ -152,6 +152,14 @@ pub fn stats_to_json(stats: &SimStats) -> JsonValue {
     JsonValue::obj([
         ("offered", JsonValue::Int(stats.offered as u64)),
         ("delivered", JsonValue::Int(stats.delivered as u64)),
+        (
+            "dropped_dead_endpoint",
+            JsonValue::Int(stats.dropped_dead_endpoint as u64),
+        ),
+        (
+            "dropped_unreachable",
+            JsonValue::Int(stats.dropped_unreachable as u64),
+        ),
         ("makespan", JsonValue::Int(stats.makespan)),
         ("mean_latency", JsonValue::Num(stats.mean_latency)),
         ("p99_latency", JsonValue::Int(stats.p99_latency)),
@@ -181,11 +189,19 @@ pub struct Report {
     pub nodes: usize,
     /// The requested [`RouterSpec`](crate::router::RouterSpec), as text.
     pub router_spec: String,
-    /// The policy the spec resolved to (`"e-cube"`, `"canonical"`, …).
+    /// The policy that actually ran (`"e-cube"`, `"canonical"`, …;
+    /// `"fault-masked(adaptive)"` etc. on degraded runs).
     pub router: String,
     /// The [`TrafficSpec`](crate::traffic::TrafficSpec), in its canonical
     /// parseable form.
     pub traffic: String,
+    /// The [`FaultSpec`](crate::fault::FaultSpec) in its canonical
+    /// parseable form, or `"none"` for a healthy run.
+    pub faults: String,
+    /// Node failures actually materialised from the fault spec.
+    pub failed_nodes: usize,
+    /// Link failures actually materialised from the fault spec.
+    pub failed_links: usize,
     /// Traffic seed.
     pub seed: u64,
     /// Cycle cap (`u64::MAX` means "run until drained").
@@ -211,6 +227,9 @@ impl Report {
             ("router_spec", JsonValue::Str(self.router_spec.clone())),
             ("router", JsonValue::Str(self.router.clone())),
             ("traffic", JsonValue::Str(self.traffic.clone())),
+            ("faults", JsonValue::Str(self.faults.clone())),
+            ("failed_nodes", JsonValue::Int(self.failed_nodes as u64)),
+            ("failed_links", JsonValue::Int(self.failed_links as u64)),
             ("seed", JsonValue::Int(self.seed)),
             ("max_cycles", cap),
             ("stats", stats_to_json(&self.stats)),
@@ -240,7 +259,18 @@ impl fmt::Display for Report {
             self.stats.mean_latency,
             self.stats.p99_latency,
             self.stats.throughput
-        )
+        )?;
+        if self.stats.dropped() > 0 {
+            write!(
+                f,
+                ", dropped {} (dead endpoint {}, unreachable {}) under faults {}",
+                self.stats.dropped(),
+                self.stats.dropped_dead_endpoint,
+                self.stats.dropped_unreachable,
+                self.faults
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -281,6 +311,8 @@ mod tests {
         let stats = SimStats {
             offered: 3,
             delivered: 2,
+            dropped_dead_endpoint: 1,
+            dropped_unreachable: 0,
             makespan: 7,
             mean_latency: 3.5,
             latency_histogram: vec![0, 1, 0, 1],
@@ -294,5 +326,7 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"delivered\": 2"), "{json}");
+        assert!(json.contains("\"dropped_dead_endpoint\": 1"), "{json}");
+        assert!(json.contains("\"dropped_unreachable\": 0"), "{json}");
     }
 }

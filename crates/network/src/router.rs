@@ -17,7 +17,10 @@
 //!   engine exposes through [`LinkLoad`];
 //! * [`NextHopRouter`] — adapter running any topology's built-in
 //!   distributed rule, so ring/mesh (and external `Topology` impls) plug
-//!   into the same engine.
+//!   into the same engine;
+//! * [`FaultMaskingRouter`] — adapter wrapping any of the above so it
+//!   routes around a [`FaultSet`]: surviving inner hops pass through,
+//!   dead ones detour (misroute) on the healthy adjacency.
 //!
 //! Every router here is *progressive* — each hop strictly decreases the
 //! distance to the destination — which the property tests in
@@ -27,12 +30,15 @@
 //! [`RouterSpec`] names a policy and [`RouterSpec::resolve`] builds it
 //! for a concrete topology with a typed capability check.
 
+use core::cell::RefCell;
 use core::fmt;
 use core::str::FromStr;
 
+use fibcube_graph::csr::CsrGraph;
 use fibcube_words::word::Word;
 
 use crate::experiment::ExperimentError;
+use crate::fault::FaultSet;
 use crate::topology::{FibonacciNet, Hypercube, Topology};
 
 /// A declarative routing-policy choice, the router half of an
@@ -345,6 +351,168 @@ impl<T: Topology + ?Sized> Router for NextHopRouter<'_, T> {
     }
 }
 
+/// Fault-masking adapter: wraps any [`Router`] and routes around a
+/// [`FaultSet`] on the *healthy adjacency* — the degraded-network
+/// rerouting the 1993 line's robustness claims are about.
+///
+/// Per hop the adapter first asks the wrapped policy; the inner hop is
+/// taken verbatim whenever its link survives and it still makes progress
+/// toward the destination *in the healthy subgraph*, so a zero-fault
+/// masked router reproduces the wrapped router hop for hop. When the
+/// inner hop is dead (or would walk into a region the faults cut off),
+/// the adapter misroutes relative to the original network: among the
+/// surviving neighbor links whose healthy-subgraph distance to the
+/// destination strictly decreases it forwards on the least-loaded one
+/// (ties toward the smallest slot). Healthy distances are per-destination
+/// BFS runs over the masked adjacency, computed lazily and cached, so a
+/// simulation run pays one BFS per distinct destination.
+///
+/// Every hop strictly decreases the healthy distance, so routes on the
+/// degraded network remain livelock-free; packets whose destination is
+/// unreachable must be dropped by the engine *before* routing
+/// ([`simulate_faulted`](crate::simulator::simulate_faulted) does), and
+/// [`FaultMaskingRouter::reachable`] is the query it uses.
+pub struct FaultMaskingRouter<'a, R: Router + ?Sized> {
+    graph: &'a CsrGraph,
+    inner: &'a R,
+    node_dead: Vec<bool>,
+    /// Indexed by CSR directed-edge index; dead when the undirected link
+    /// failed or either endpoint did.
+    edge_dead: Vec<bool>,
+    /// `dist[dst]` = healthy-subgraph BFS distances to `dst` (empty until
+    /// first use; `INFINITY` marks unreachable or dead nodes).
+    dist: RefCell<Vec<Vec<u32>>>,
+}
+
+impl<'a, R: Router + ?Sized> FaultMaskingRouter<'a, R> {
+    /// Wraps `inner` so it routes on `graph` degraded by `faults`.
+    /// Fault entries outside the graph are ignored.
+    pub fn new(graph: &'a CsrGraph, inner: &'a R, faults: &FaultSet) -> FaultMaskingRouter<'a, R> {
+        let n = graph.num_vertices();
+        let mut node_dead = vec![false; n];
+        for &v in faults.failed_nodes() {
+            if (v as usize) < n {
+                node_dead[v as usize] = true;
+            }
+        }
+        let mut edge_dead = vec![false; graph.num_directed_edges()];
+        for u in 0..n as u32 {
+            let base = graph.edge_range(u).start;
+            for (slot, &v) in graph.neighbors(u).iter().enumerate() {
+                edge_dead[base + slot] =
+                    node_dead[u as usize] || node_dead[v as usize] || !faults.link_alive(u, v);
+            }
+        }
+        FaultMaskingRouter {
+            graph,
+            inner,
+            node_dead,
+            edge_dead,
+            dist: RefCell::new(vec![Vec::new(); n]),
+        }
+    }
+
+    /// `true` when node `v` survived the faults.
+    pub fn node_alive(&self, v: u32) -> bool {
+        !self.node_dead[v as usize]
+    }
+
+    /// `true` when `src` can still reach `dst` through surviving nodes
+    /// and links (both endpoints must be alive).
+    pub fn reachable(&self, src: u32, dst: u32) -> bool {
+        self.node_alive(src)
+            && self.node_alive(dst)
+            && self.with_dist(dst, |dist| {
+                dist[src as usize] != fibcube_graph::bfs::INFINITY
+            })
+    }
+
+    /// Runs `f` over the healthy-subgraph distance vector toward `dst`,
+    /// computing and caching it on first use.
+    fn with_dist<T>(&self, dst: u32, f: impl FnOnce(&[u32]) -> T) -> T {
+        {
+            let mut cache = self.dist.borrow_mut();
+            if cache[dst as usize].is_empty() {
+                cache[dst as usize] = self.masked_bfs(dst);
+            }
+        }
+        f(&self.dist.borrow()[dst as usize])
+    }
+
+    /// BFS from `dst` over surviving links only.
+    fn masked_bfs(&self, dst: u32) -> Vec<u32> {
+        use fibcube_graph::bfs::INFINITY;
+        let n = self.graph.num_vertices();
+        let mut dist = vec![INFINITY; n];
+        if self.node_dead[dst as usize] {
+            return dist;
+        }
+        dist[dst as usize] = 0;
+        let mut queue = std::collections::VecDeque::with_capacity(16);
+        queue.push_back(dst);
+        while let Some(u) = queue.pop_front() {
+            let next = dist[u as usize] + 1;
+            let base = self.graph.edge_range(u).start;
+            for (slot, &v) in self.graph.neighbors(u).iter().enumerate() {
+                if !self.edge_dead[base + slot] && dist[v as usize] == INFINITY {
+                    dist[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+}
+
+/// The display name of a [`FaultMaskingRouter`] wrapping a policy named
+/// `inner` — shared with the experiment layer so a degraded run's
+/// [`Report`](crate::report::Report) names the router that actually ran.
+pub(crate) fn masked_router_name(inner: &str) -> String {
+    format!("fault-masked({inner})")
+}
+
+impl<R: Router + ?Sized> Router for FaultMaskingRouter<'_, R> {
+    fn name(&self) -> String {
+        masked_router_name(&self.inner.name())
+    }
+
+    fn next_hop(&self, cur: u32, dst: u32, load: &dyn LinkLoad) -> Option<u32> {
+        if cur == dst {
+            return None;
+        }
+        self.with_dist(dst, |dist| {
+            let dc = dist[cur as usize];
+            debug_assert_ne!(
+                dc,
+                fibcube_graph::bfs::INFINITY,
+                "engine must drop unreachable packets before routing"
+            );
+            let base = self.graph.edge_range(cur).start;
+            // Honour the wrapped policy while its hop survives and still
+            // approaches dst within the healthy subgraph.
+            if let Some(hop) = self.inner.next_hop(cur, dst, load) {
+                if let Some(slot) = self.graph.slot_of(cur, hop) {
+                    if !self.edge_dead[base + slot] && dist[hop as usize] < dc {
+                        return Some(hop);
+                    }
+                }
+            }
+            // Detour: least-loaded surviving link that makes progress.
+            let mut best: Option<(usize, u32)> = None;
+            for (slot, &v) in self.graph.neighbors(cur).iter().enumerate() {
+                if !self.edge_dead[base + slot] && dist[v as usize] < dc {
+                    let l = load.load(slot);
+                    if best.is_none_or(|(bl, _)| l < bl) {
+                        best = Some((l, v));
+                    }
+                }
+            }
+            let (_, hop) = best.expect("reachable destinations always have a progressive hop");
+            Some(hop)
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -502,6 +670,81 @@ mod tests {
             "builtin"
         );
         assert!(RouterSpec::Adaptive.resolve(&ring).is_err());
+    }
+
+    #[test]
+    fn fault_mask_with_no_faults_is_the_inner_router_verbatim() {
+        let q = Hypercube::new(4);
+        let masked = FaultMaskingRouter::new(q.graph(), &EcubeRouter, &FaultSet::empty());
+        for cur in 0..16u32 {
+            for dst in 0..16u32 {
+                assert_eq!(
+                    masked.next_hop(cur, dst, &NoLoad),
+                    EcubeRouter.next_hop(cur, dst, &NoLoad),
+                    "{cur}→{dst}"
+                );
+            }
+        }
+        assert_eq!(masked.name(), "fault-masked(e-cube)");
+    }
+
+    #[test]
+    fn fault_mask_detours_around_a_dead_node() {
+        // e-cube 0→3 on Q_3 goes via node 1; kill it and the mask must
+        // take the surviving shortest path via node 2.
+        let q = Hypercube::new(3);
+        let faults = FaultSet::new([1u32], []);
+        let masked = FaultMaskingRouter::new(q.graph(), &EcubeRouter, &faults);
+        assert_eq!(masked.next_hop(0, 3, &NoLoad), Some(2));
+        assert_eq!(masked.next_hop(2, 3, &NoLoad), Some(3));
+        assert!(!masked.node_alive(1));
+        assert!(masked.reachable(0, 3));
+        assert!(!masked.reachable(0, 1), "dead destination is unreachable");
+    }
+
+    #[test]
+    fn fault_mask_detours_around_a_dead_link() {
+        // Cut 0–1 on a 4-ring: 0→1 must go the long way round.
+        let ring = Ring::new(4);
+        let inner = NextHopRouter::new(&ring);
+        let faults = FaultSet::new([], [(0u32, 1u32)]);
+        let masked = FaultMaskingRouter::new(ring.graph(), &inner, &faults);
+        assert_eq!(masked.next_hop(0, 1, &NoLoad), Some(3));
+        assert_eq!(masked.next_hop(3, 1, &NoLoad), Some(2));
+        assert_eq!(masked.next_hop(2, 1, &NoLoad), Some(1));
+    }
+
+    #[test]
+    fn fault_mask_routes_are_shortest_on_the_healthy_subgraph() {
+        // Every masked walk terminates in exactly healthy-BFS distance
+        // hops — the progressivity that keeps degraded runs livelock-free.
+        let net = FibonacciNet::classical(7);
+        let inner = CanonicalRouter::for_net(&net);
+        let faults = FaultSet::new([2u32, 9, 17], [(0u32, 1u32)]);
+        let masked = FaultMaskingRouter::new(net.graph(), &inner, &faults);
+        let (healthy, survivors) = faults.healthy_subgraph(net.graph());
+        let mut old_of = survivors.clone();
+        old_of.sort_unstable();
+        assert_eq!(old_of, survivors, "survivor map is sorted");
+        for (hi, &dst) in survivors.iter().enumerate() {
+            let dist = bfs_distances(&healthy, hi as u32);
+            for (hj, &src) in survivors.iter().enumerate() {
+                if dist[hj] == fibcube_graph::bfs::INFINITY {
+                    assert!(!masked.reachable(src, dst));
+                    continue;
+                }
+                let mut cur = src;
+                let mut hops = 0u32;
+                while let Some(hop) = masked.next_hop(cur, dst, &NoLoad) {
+                    assert!(net.graph().has_edge(cur, hop));
+                    cur = hop;
+                    hops += 1;
+                    assert!(hops as usize <= net.len(), "runaway masked route");
+                }
+                assert_eq!(cur, dst);
+                assert_eq!(hops, dist[hj], "masked route {src}→{dst} not shortest");
+            }
+        }
     }
 
     #[test]

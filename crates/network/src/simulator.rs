@@ -32,10 +32,25 @@ use std::collections::VecDeque;
 
 use fibcube_graph::csr::SlotTable;
 
+use crate::fault::FaultSet;
 use crate::observer::{NoopObserver, SimObserver};
-use crate::router::{LinkLoad, Router};
+use crate::router::{FaultMaskingRouter, LinkLoad, Router};
 use crate::topology::Topology;
 use crate::traffic::Packet;
+
+/// Why a packet was dropped at injection instead of routed — the typed
+/// accounting behind [`SimStats::dropped_dead_endpoint`] /
+/// [`SimStats::dropped_unreachable`] and the
+/// [`on_drop`](SimObserver::on_drop) observer hook. Drops only happen on
+/// degraded networks ([`simulate_faulted`]); the healthy engine never
+/// drops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// The packet's source or destination node failed.
+    DeadEndpoint,
+    /// Both endpoints survive, but the faults disconnect them.
+    Unreachable,
+}
 
 /// Aggregate results of one simulation run.
 #[derive(Clone, Debug, PartialEq)]
@@ -44,6 +59,12 @@ pub struct SimStats {
     pub offered: usize,
     /// Packets delivered before the cycle cap.
     pub delivered: usize,
+    /// Packets dropped at injection because their source or destination
+    /// node failed (degraded runs only).
+    pub dropped_dead_endpoint: usize,
+    /// Packets dropped at injection because the faults disconnect their
+    /// (surviving) endpoints (degraded runs only).
+    pub dropped_unreachable: usize,
     /// Cycle at which the last packet was delivered (0 when none).
     pub makespan: u64,
     /// Mean end-to-end latency (inject → arrival) of delivered packets.
@@ -56,6 +77,16 @@ pub struct SimStats {
     pub total_hops: u64,
     /// Delivered packets per cycle (throughput).
     pub throughput: f64,
+}
+
+impl SimStats {
+    /// Total typed drops. Packet conservation reads
+    /// `offered == delivered + dropped() + still-in-flight`, where the
+    /// in-flight remainder is nonzero only when the cycle cap truncated
+    /// the run.
+    pub fn dropped(&self) -> usize {
+        self.dropped_dead_endpoint + self.dropped_unreachable
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -80,6 +111,8 @@ impl LinkLoad for NodeLoad<'_> {
 #[derive(Default)]
 struct StatsAcc {
     delivered: usize,
+    dropped_dead_endpoint: usize,
+    dropped_unreachable: usize,
     total_latency: u64,
     hist: Vec<u64>,
     total_hops: u64,
@@ -117,6 +150,8 @@ impl StatsAcc {
         SimStats {
             offered,
             delivered: self.delivered,
+            dropped_dead_endpoint: self.dropped_dead_endpoint,
+            dropped_unreachable: self.dropped_unreachable,
             makespan: self.makespan,
             mean_latency,
             latency_histogram: self.hist,
@@ -201,6 +236,93 @@ where
     R: Router + ?Sized,
     O: SimObserver,
 {
+    engine(topology, router, packets, max_cycles, observer, &AdmitAll)
+}
+
+/// Runs the active-set engine on the network degraded by `faults`: the
+/// given `router` is wrapped in a [`FaultMaskingRouter`] so live packets
+/// detour around dead nodes and links, while packets that *cannot* be
+/// routed are counted as typed drops at injection ([`DropReason`]) —
+/// dead source or destination, or surviving endpoints the faults
+/// disconnect. Nothing is silently stranded:
+/// `offered == delivered + dropped + still-in-flight` always holds.
+///
+/// An empty `faults` set delegates to [`simulate_observed`] — the
+/// zero-fault run is packet-for-packet identical to the healthy engine.
+pub fn simulate_faulted<T, R, O>(
+    topology: &T,
+    router: &R,
+    faults: &FaultSet,
+    packets: &[Packet],
+    max_cycles: u64,
+    observer: &mut O,
+) -> SimStats
+where
+    T: Topology + ?Sized,
+    R: Router + ?Sized,
+    O: SimObserver,
+{
+    if faults.is_empty() {
+        return simulate_observed(topology, router, packets, max_cycles, observer);
+    }
+    let masked = FaultMaskingRouter::new(topology.graph(), router, faults);
+    let admission = FaultAdmission { masked: &masked };
+    engine(topology, &masked, packets, max_cycles, observer, &admission)
+}
+
+/// Injection-time admission policy: decides per packet whether the
+/// engine routes it or drops it with a typed reason. The healthy engine
+/// uses the zero-cost [`AdmitAll`]; the degraded engine consults the
+/// fault masks.
+trait Admission {
+    /// `Some(reason)` to drop the packet at injection, `None` to route.
+    fn verdict(&self, src: u32, dst: u32) -> Option<DropReason>;
+}
+
+/// Admits everything — monomorphizes the drop branch away entirely.
+struct AdmitAll;
+
+impl Admission for AdmitAll {
+    #[inline]
+    fn verdict(&self, _src: u32, _dst: u32) -> Option<DropReason> {
+        None
+    }
+}
+
+/// Admission against a [`FaultMaskingRouter`]'s masks and healthy-BFS
+/// reachability.
+struct FaultAdmission<'a, 'b, R: Router + ?Sized> {
+    masked: &'a FaultMaskingRouter<'b, R>,
+}
+
+impl<R: Router + ?Sized> Admission for FaultAdmission<'_, '_, R> {
+    fn verdict(&self, src: u32, dst: u32) -> Option<DropReason> {
+        if !self.masked.node_alive(src) || !self.masked.node_alive(dst) {
+            Some(DropReason::DeadEndpoint)
+        } else if src != dst && !self.masked.reachable(src, dst) {
+            Some(DropReason::Unreachable)
+        } else {
+            None
+        }
+    }
+}
+
+/// The shared active-set engine body behind [`simulate_observed`] and
+/// [`simulate_faulted`].
+fn engine<T, R, O, A>(
+    topology: &T,
+    router: &R,
+    packets: &[Packet],
+    max_cycles: u64,
+    observer: &mut O,
+    admission: &A,
+) -> SimStats
+where
+    T: Topology + ?Sized,
+    R: Router + ?Sized,
+    O: SimObserver,
+    A: Admission,
+{
     let n = topology.len();
     let g = topology.graph();
     let slots = SlotTable::new(g);
@@ -243,6 +365,14 @@ where
             let p = inj[next_inject];
             next_inject += 1;
             observer.on_inject(cycle, p.src, p.dst);
+            if let Some(reason) = admission.verdict(p.src, p.dst) {
+                match reason {
+                    DropReason::DeadEndpoint => acc.dropped_dead_endpoint += 1,
+                    DropReason::Unreachable => acc.dropped_unreachable += 1,
+                }
+                observer.on_drop(cycle, p.src, p.dst, reason);
+                continue;
+            }
             if p.src == p.dst {
                 // Degenerate: counts as instantly delivered.
                 acc.deliver_instant();
@@ -641,6 +771,83 @@ mod tests {
         // The idle gap 1..1000 is fast-forwarded: no cycle-end events there.
         assert!(trace.cycle_ends.iter().all(|&(c, _)| c == 0 || c >= 1_000));
         assert_eq!(trace.cycle_ends.last(), Some(&(1_002, 0)));
+    }
+
+    #[test]
+    fn empty_fault_set_is_packet_for_packet_identical() {
+        let net = FibonacciNet::classical(9);
+        let pkts = uniform(net.len(), 400, 100, 13);
+        let router = CanonicalRouter::for_net(&net);
+        let healthy = simulate_with(&net, &router, &pkts, 100_000);
+        let faulted = simulate_faulted(
+            &net,
+            &router,
+            &crate::fault::FaultSet::empty(),
+            &pkts,
+            100_000,
+            &mut NoopObserver,
+        );
+        assert_eq!(faulted, healthy);
+        assert_eq!(faulted.dropped(), 0);
+    }
+
+    #[test]
+    fn dead_endpoints_are_typed_drops_and_survivors_deliver() {
+        // Kill node 0 of Q_3 under all-to-all traffic: the 14 ordered
+        // pairs touching node 0 drop as DeadEndpoint, the other 42
+        // deliver via detours where e-cube would have crossed node 0.
+        let q = Hypercube::new(3);
+        let faults = crate::fault::FaultSet::new([0u32], []);
+        let pkts = all_to_all(q.len());
+        let mut tracker = crate::observer::DeliveryTracker::new();
+        let stats = simulate_faulted(&q, &EcubeRouter, &faults, &pkts, 100_000, &mut tracker);
+        assert_eq!(stats.offered, 56);
+        assert_eq!(stats.dropped_dead_endpoint, 14);
+        assert_eq!(stats.dropped_unreachable, 0);
+        assert_eq!(stats.delivered, 42);
+        assert_eq!(tracker.delivered(), 42);
+        assert_eq!(tracker.dropped_dead_endpoint(), 14);
+        assert_eq!(tracker.in_flight(), 0, "nothing silently stranded");
+    }
+
+    #[test]
+    fn disconnected_survivors_drop_as_unreachable() {
+        // Cut links 0–1 and 3–4 of a 6-ring: components {1,2,3} and
+        // {4,5,0}. Cross-component pairs (2·3·3 = 18) drop Unreachable;
+        // within-component pairs (2·3·2 = 12) deliver.
+        let ring = Ring::new(6);
+        let faults = crate::fault::FaultSet::new([], [(0u32, 1u32), (3u32, 4u32)]);
+        let pkts = all_to_all(ring.len());
+        let router = ring.router();
+        let stats = simulate_faulted(&ring, &*router, &faults, &pkts, 100_000, &mut NoopObserver);
+        assert_eq!(stats.offered, 30);
+        assert_eq!(stats.dropped_unreachable, 18);
+        assert_eq!(stats.dropped_dead_endpoint, 0);
+        assert_eq!(stats.delivered, 12);
+    }
+
+    #[test]
+    fn faulted_runs_conserve_packets_under_a_cycle_cap() {
+        let net = FibonacciNet::classical(8);
+        let faults = crate::fault::FaultSet::new([3u32, 11, 40], [(0u32, 1u32)]);
+        let pkts = uniform(net.len(), 500, 50, 7);
+        let router = CanonicalRouter::for_net(&net);
+        for cap in [0u64, 3, 10, 100_000] {
+            let mut tracker = crate::observer::DeliveryTracker::new();
+            let stats = simulate_faulted(&net, &router, &faults, &pkts, cap, &mut tracker);
+            assert!(
+                stats.delivered + stats.dropped() <= stats.offered,
+                "cap {cap}"
+            );
+            // Observer and engine accounting agree; the remainder is the
+            // in-flight truncation, never a silent strand.
+            assert_eq!(tracker.delivered() as usize, stats.delivered, "cap {cap}");
+            assert_eq!(tracker.dropped() as usize, stats.dropped(), "cap {cap}");
+            if cap == 100_000 {
+                assert_eq!(stats.delivered + stats.dropped(), stats.offered);
+                assert_eq!(tracker.in_flight(), 0);
+            }
+        }
     }
 
     #[test]

@@ -10,10 +10,17 @@
 //! resulting curve exposes the two numbers the comparisons care about:
 //! where latency departs from the zero-load value, and the saturation
 //! throughput where accepted traffic stops tracking offered traffic.
+//!
+//! [`fault_load_sweep`] extends the ladder into a grid: every rate is
+//! additionally run under increasing node-fault counts
+//! ([`FaultSpec::Nodes`]), exposing how delivered throughput degrades as
+//! the network loses processors — the fault-resilience comparison the
+//! 1993 line makes between `Γ_n` and the hypercube.
 
 use fibcube_graph::parallel::par_map;
 
 use crate::experiment::{Experiment, ExperimentError};
+use crate::fault::FaultSpec;
 use crate::report::JsonValue;
 use crate::router::{Router, RouterSpec};
 use crate::simulator::{simulate_with, SimStats};
@@ -235,6 +242,217 @@ where
     }
 }
 
+/// One cell of a [`fault_load_sweep`] grid: the aggregated outcome at
+/// one (offered rate, node-fault count) combination.
+#[derive(Clone, Debug)]
+pub struct FaultLoadPoint {
+    /// Offered injection rate (packets per node per cycle, counting every
+    /// provisioned node — dead ones still attempt injection and drop).
+    pub rate: f64,
+    /// Node faults injected per run.
+    pub faults: usize,
+    /// Mean packets offered per run.
+    pub offered: f64,
+    /// Mean packets delivered per run.
+    pub delivered: f64,
+    /// `delivered / offered` — the delivered-throughput degradation
+    /// measure — or `None` when the runs offered nothing (the ratio is
+    /// undefined, matching the `Option` convention of
+    /// [`FaultTrial`](crate::fault::FaultTrial)).
+    pub delivered_fraction: Option<f64>,
+    /// Mean packets dropped per run with a dead source or destination.
+    pub dropped_dead_endpoint: f64,
+    /// Mean packets dropped per run whose surviving endpoints the faults
+    /// disconnect.
+    pub dropped_unreachable: f64,
+    /// Accepted rate: delivered packets per provisioned node per
+    /// injection cycle (directly comparable to `rate`).
+    pub accepted_rate: f64,
+    /// Mean end-to-end latency of delivered packets.
+    pub mean_latency: f64,
+    /// Mean 99th-percentile latency across seeds.
+    pub p99_latency: f64,
+}
+
+impl FaultLoadPoint {
+    /// The cell as a JSON object (for `BENCH_sim.json`-style artifacts).
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::obj([
+            ("rate", JsonValue::Num(self.rate)),
+            ("faults", JsonValue::Int(self.faults as u64)),
+            ("offered", JsonValue::Num(self.offered)),
+            ("delivered", JsonValue::Num(self.delivered)),
+            (
+                "delivered_fraction",
+                match self.delivered_fraction {
+                    Some(f) => JsonValue::Num(f),
+                    None => JsonValue::Null,
+                },
+            ),
+            (
+                "dropped_dead_endpoint",
+                JsonValue::Num(self.dropped_dead_endpoint),
+            ),
+            (
+                "dropped_unreachable",
+                JsonValue::Num(self.dropped_unreachable),
+            ),
+            ("accepted_rate", JsonValue::Num(self.accepted_rate)),
+            ("mean_latency", JsonValue::Num(self.mean_latency)),
+            ("p99_latency", JsonValue::Num(self.p99_latency)),
+        ])
+    }
+}
+
+/// A full injection-rate × fault-count grid for one (topology, router)
+/// pair, produced by [`fault_load_sweep`]. Points are stored rate-major:
+/// all fault counts of the first rate, then the second rate, …
+#[derive(Clone, Debug)]
+pub struct FaultLoadGrid {
+    /// Topology name (`"Γ_16"`, `"Q_11"`, …).
+    pub topology: String,
+    /// Router policy name.
+    pub router: String,
+    /// Node count (for normalising across topologies).
+    pub nodes: usize,
+    /// The injection-rate ladder swept.
+    pub rates: Vec<f64>,
+    /// The node-fault counts swept.
+    pub fault_counts: Vec<usize>,
+    /// One cell per (rate, fault count), rate-major.
+    pub points: Vec<FaultLoadPoint>,
+}
+
+impl FaultLoadGrid {
+    /// The cell at `(rate index, fault index)`.
+    pub fn point(&self, rate_idx: usize, fault_idx: usize) -> &FaultLoadPoint {
+        &self.points[rate_idx * self.fault_counts.len() + fault_idx]
+    }
+
+    /// The grid as a JSON object, cells included.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::obj([
+            ("topology", JsonValue::Str(self.topology.clone())),
+            ("router", JsonValue::Str(self.router.clone())),
+            ("nodes", JsonValue::Int(self.nodes as u64)),
+            (
+                "rates",
+                JsonValue::Arr(self.rates.iter().map(|&r| JsonValue::Num(r)).collect()),
+            ),
+            (
+                "fault_counts",
+                JsonValue::Arr(
+                    self.fault_counts
+                        .iter()
+                        .map(|&k| JsonValue::Int(k as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "points",
+                JsonValue::Arr(
+                    self.points
+                        .iter()
+                        .map(FaultLoadPoint::to_json_value)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Runs the injection-rate ladder `rates` against every node-fault count
+/// in `fault_counts` — the fault-resilience grid behind the paper's
+/// graceful-degradation claims. One [`Experiment`] per
+/// (rate, fault count, seed) run with seeded random node faults
+/// ([`FaultSpec::Nodes`]; fault placement varies per run, so a cell
+/// averages over both traffic and fault draws), parallel across runs
+/// like [`injection_sweep`]. Configuration problems (unsupported
+/// router, degenerate traffic, fault counts the topology cannot
+/// express) fail fast with a typed error before anything runs.
+pub fn fault_load_sweep<T>(
+    topo: &T,
+    router: RouterSpec,
+    rates: &[f64],
+    fault_counts: &[usize],
+    config: &SweepConfig,
+) -> Result<FaultLoadGrid, ExperimentError>
+where
+    T: Topology + Sync + ?Sized,
+{
+    assert!(!config.seeds.is_empty(), "sweep needs at least one seed");
+    let router_name = router.resolve(topo)?.name();
+    for &rate in rates {
+        TrafficSpec::Bernoulli {
+            rate,
+            cycles: config.inject_cycles,
+        }
+        .validate(topo.len())?;
+    }
+    for &k in fault_counts {
+        FaultSpec::Nodes { count: k }.validate(topo.graph())?;
+    }
+    let seeds = &config.seeds;
+    let per_rate = fault_counts.len() * seeds.len();
+    let runs = par_map(rates.len() * per_rate, |j| {
+        let ri = j / per_rate;
+        let fi = (j % per_rate) / seeds.len();
+        let cell = ri * fault_counts.len() + fi;
+        Experiment::on(topo)
+            .router(router)
+            .traffic(TrafficSpec::Bernoulli {
+                rate: rates[ri],
+                cycles: config.inject_cycles,
+            })
+            .faults(FaultSpec::Nodes {
+                count: fault_counts[fi],
+            })
+            .seed(rung_seed(seeds[j % seeds.len()], cell))
+            .cycles(config.inject_cycles + config.drain_cycles)
+            .run()
+            .expect("configuration validated before the sweep")
+            .stats
+    });
+    let m = seeds.len() as f64;
+    let mut points = Vec::with_capacity(rates.len() * fault_counts.len());
+    for (ri, &rate) in rates.iter().enumerate() {
+        for (fi, &faults) in fault_counts.iter().enumerate() {
+            let start = ri * per_rate + fi * seeds.len();
+            let chunk = &runs[start..start + seeds.len()];
+            let offered = chunk.iter().map(|s| s.offered as f64).sum::<f64>() / m;
+            let delivered = chunk.iter().map(|s| s.delivered as f64).sum::<f64>() / m;
+            points.push(FaultLoadPoint {
+                rate,
+                faults,
+                offered,
+                delivered,
+                delivered_fraction: (offered > 0.0).then(|| delivered / offered),
+                dropped_dead_endpoint: chunk
+                    .iter()
+                    .map(|s| s.dropped_dead_endpoint as f64)
+                    .sum::<f64>()
+                    / m,
+                dropped_unreachable: chunk
+                    .iter()
+                    .map(|s| s.dropped_unreachable as f64)
+                    .sum::<f64>()
+                    / m,
+                accepted_rate: delivered / (topo.len() as f64 * config.inject_cycles as f64),
+                mean_latency: chunk.iter().map(|s| s.mean_latency).sum::<f64>() / m,
+                p99_latency: chunk.iter().map(|s| s.p99_latency as f64).sum::<f64>() / m,
+            });
+        }
+    }
+    Ok(FaultLoadGrid {
+        topology: topo.name(),
+        router: router_name,
+        nodes: topo.len(),
+        rates: rates.to_vec(),
+        fault_counts: fault_counts.to_vec(),
+        points,
+    })
+}
+
 /// A geometric-ish default ladder from light load up to `max_rate`:
 /// `rungs` evenly spaced rates ending at `max_rate`. Degenerate requests
 /// are handled gracefully — 0 rungs is an empty ladder, 1 rung is just
@@ -374,6 +592,65 @@ mod tests {
         let curve = injection_sweep(&q, RouterSpec::Ecube, &[], &quick_config()).unwrap();
         assert!(curve.points.is_empty());
         assert!(saturation_point(&curve, 0.95).is_none());
+    }
+
+    #[test]
+    fn fault_load_sweep_shows_graceful_degradation() {
+        let net = FibonacciNet::classical(7); // 34 nodes
+        let grid = fault_load_sweep(
+            &net,
+            RouterSpec::Adaptive,
+            &[0.05],
+            &[0, 8],
+            &quick_config(),
+        )
+        .unwrap();
+        assert_eq!(grid.points.len(), 2);
+        assert_eq!(grid.router, "adaptive");
+        let healthy = grid.point(0, 0);
+        let degraded = grid.point(0, 1);
+        assert_eq!(healthy.faults, 0);
+        assert_eq!(degraded.faults, 8);
+        // The healthy column never drops; the degraded one must (8 of 34
+        // nodes dead ⇒ ~40% of uniform pairs touch a dead endpoint).
+        assert_eq!(healthy.dropped_dead_endpoint, 0.0);
+        let healthy_frac = healthy.delivered_fraction.expect("packets were offered");
+        let degraded_frac = degraded.delivered_fraction.expect("packets were offered");
+        assert!(healthy_frac > 0.999, "light load delivers");
+        assert!(degraded.dropped_dead_endpoint > 0.0);
+        assert!(
+            degraded_frac < healthy_frac,
+            "faults must degrade delivered throughput: {degraded_frac} vs {healthy_frac}"
+        );
+        let json = grid.to_json_value().to_string();
+        assert!(json.contains("\"fault_counts\": [0, 8]"), "{json}");
+        assert!(json.contains("\"delivered_fraction\""), "{json}");
+        // A rate-0 cell offers nothing: the fraction is undefined, not a
+        // misleading 1.0 (serialised as null).
+        let idle =
+            fault_load_sweep(&net, RouterSpec::Adaptive, &[0.0], &[0], &quick_config()).unwrap();
+        assert_eq!(idle.point(0, 0).delivered_fraction, None);
+        assert!(idle
+            .to_json_value()
+            .to_string()
+            .contains("\"delivered_fraction\": null"));
+    }
+
+    #[test]
+    fn fault_load_sweep_rejects_bad_grids_up_front() {
+        let net = FibonacciNet::classical(6); // 21 nodes
+        let err = fault_load_sweep(&net, RouterSpec::Ecube, &[0.1], &[0], &quick_config())
+            .expect_err("no e-cube on a Fibonacci net");
+        assert!(matches!(err, ExperimentError::UnsupportedRouter { .. }));
+        let err = fault_load_sweep(&net, RouterSpec::Adaptive, &[0.1], &[21], &quick_config())
+            .expect_err("failing every node is rejected");
+        assert!(
+            err.to_string().contains("at least one must survive"),
+            "{err}"
+        );
+        // An empty grid runs nothing and returns no points.
+        let grid = fault_load_sweep(&net, RouterSpec::Adaptive, &[], &[], &quick_config()).unwrap();
+        assert!(grid.points.is_empty());
     }
 
     #[test]

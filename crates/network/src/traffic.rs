@@ -300,7 +300,8 @@ fn parse_err(input: &str, reason: impl Into<String>) -> ExperimentError {
 
 /// Splits `name(body)` into `(name, Some(body))`, or `(s, None)` for a
 /// bare name. The closing parenthesis must be the final character.
-fn split_call(s: &str) -> Result<(&str, Option<&str>), String> {
+/// Shared with the [`FaultSpec`](crate::fault::FaultSpec) parser.
+pub(crate) fn split_call(s: &str) -> Result<(&str, Option<&str>), String> {
     match s.find('(') {
         None => Ok((s, None)),
         Some(open) => {
@@ -314,7 +315,7 @@ fn split_call(s: &str) -> Result<(&str, Option<&str>), String> {
 
 /// Parses `key=value` pairs separated by commas, checking that exactly
 /// the expected keys appear (in any order).
-fn parse_kv<'a>(body: &'a str, keys: &[&str]) -> Result<Vec<&'a str>, String> {
+pub(crate) fn parse_kv<'a>(body: &'a str, keys: &[&str]) -> Result<Vec<&'a str>, String> {
     let mut values: Vec<Option<&str>> = vec![None; keys.len()];
     for part in body.split(',') {
         let (k, v) = part
@@ -336,14 +337,14 @@ fn parse_kv<'a>(body: &'a str, keys: &[&str]) -> Result<Vec<&'a str>, String> {
         .collect()
 }
 
-fn num<T: FromStr>(value: &str, key: &str) -> Result<T, String> {
+pub(crate) fn num<T: FromStr>(value: &str, key: &str) -> Result<T, String> {
     value
         .parse()
         .map_err(|_| format!("`{key}` has invalid value `{value}`"))
 }
 
 /// Splits the body of `mix(...)` on `+` at parenthesis depth 0.
-fn split_mix(body: &str) -> Vec<&str> {
+pub(crate) fn split_mix(body: &str) -> Vec<&str> {
     let mut parts = Vec::new();
     let mut depth = 0usize;
     let mut start = 0usize;

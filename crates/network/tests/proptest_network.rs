@@ -1,9 +1,12 @@
 //! Property-based tests for the routing/simulation engine: every router is
-//! progressive (each hop strictly decreases BFS distance), and the
-//! simulator conserves packets (`delivered ≤ offered`, per-packet latency
-//! bounded below by graph distance) across topology families.
+//! progressive (each hop strictly decreases BFS distance), the simulator
+//! conserves packets (`delivered ≤ offered`, per-packet latency bounded
+//! below by graph distance) across topology families, and degraded runs
+//! never deliver more than the static reachability of their fault set
+//! allows.
 
 use fibcube_graph::bfs::bfs_distances;
+use fibcube_network::fault::{fault_set_trial, FaultSpec};
 use fibcube_network::router::{
     AdaptiveMinimal, CanonicalRouter, EcubeRouter, NextHopRouter, NoLoad, Router,
 };
@@ -179,6 +182,71 @@ proptest! {
                 .run()
                 .expect("preferred router always resolves");
             prop_assert_eq!(report.stats, direct, "{}", topo.name());
+        }
+    }
+
+    #[test]
+    fn faulted_delivery_never_exceeds_static_reachability(d in 3usize..=7, faults in 0usize..6, seed in 0u64..10_000) {
+        // All-to-all traffic offers every ordered pair exactly once, so
+        // the delivered fraction under a fault set is bounded by that
+        // set's static reachable-pair fraction (scaled by the survivor
+        // share) — the live engine can never beat the static bound.
+        let net = FibonacciNet::classical(d);
+        // Keep at least two survivors so the static fraction is defined.
+        let faults = faults.min(net.len() - 2);
+        let set = FaultSpec::Nodes { count: faults }
+            .sample(net.graph(), seed)
+            .expect("validated fault count");
+        // Pin the sampled set as an explicit list so the experiment runs
+        // exactly the set the static analysis sees.
+        let report = fibcube_network::Experiment::on(&net)
+            .traffic(TrafficSpec::AllToAll)
+            .faults(FaultSpec::NodeList(set.failed_nodes().to_vec()))
+            .seed(seed)
+            .run()
+            .expect("all-to-all under explicit node faults");
+        let s = &report.stats;
+        // Conservation: uncapped, everything is delivered or typed-dropped.
+        prop_assert_eq!(s.delivered + s.dropped(), s.offered);
+        let delivered_fraction = s.delivered as f64 / s.offered as f64;
+        let n = net.len() as f64;
+        let m = n - faults as f64;
+        let static_bound = fault_set_trial(&net, &set)
+            .reachable_pair_fraction
+            .unwrap_or(0.0)
+            * (m * (m - 1.0))
+            / (n * (n - 1.0));
+        prop_assert!(
+            delivered_fraction <= static_bound + 1e-9,
+            "delivered {delivered_fraction} beats static bound {static_bound} (d={d}, faults={faults})"
+        );
+        // With no cycle cap the bound is tight: the engine delivers every
+        // statically reachable pair.
+        prop_assert!((delivered_fraction - static_bound).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faulted_runs_only_strand_under_a_cap(count in 1usize..150, faults in 1usize..6, seed in 0u64..10_000) {
+        // Random uniform traffic over a degraded Q_4: typed drops plus
+        // deliveries always account for every packet once drained, and a
+        // tight cap only truncates — it never invents packets.
+        let q = Hypercube::new(4);
+        let pkts = uniform(q.len(), count, 40, seed);
+        let spec = FaultSpec::Nodes { count: faults };
+        for cap in [1_000_000u64, 4] {
+            let report = fibcube_network::Experiment::on(&q)
+                .traffic(TrafficSpec::Uniform { count, window: 40 })
+                .faults(spec.clone())
+                .seed(seed)
+                .cycles(cap)
+                .run()
+                .expect("degraded uniform run");
+            let s = report.stats;
+            prop_assert_eq!(s.offered, pkts.len());
+            prop_assert!(s.delivered + s.dropped() <= s.offered);
+            if cap > 1_000 {
+                prop_assert_eq!(s.delivered + s.dropped(), s.offered);
+            }
         }
     }
 

@@ -6,10 +6,12 @@
 //! Run with `cargo run --release --example network_sim`.
 
 use fibcube::network::broadcast::{broadcast_all_port, broadcast_one_port};
-use fibcube::network::fault::fault_sweep;
+use fibcube::network::fault::{fault_sweep, FaultSpec};
 use fibcube::network::metrics::metrics;
 use fibcube::network::sweep::{injection_sweep, rate_ladder, saturation_point, SweepConfig};
-use fibcube::network::{Experiment, LatencyHistogram, LinkHeatmap, RouterSpec, TrafficSpec};
+use fibcube::network::{
+    DeliveryTracker, Experiment, LatencyHistogram, LinkHeatmap, RouterSpec, TrafficSpec,
+};
 use fibcube::prelude::*;
 
 fn main() {
@@ -105,16 +107,58 @@ fn main() {
         "network", "k=0", "k=1", "k=2", "k=5"
     );
     for t in &topos {
-        let rows = fault_sweep(*t, &[0, 1, 2, 5], 8);
+        let rows = fault_sweep(*t, &[0, 1, 2, 5], 8).expect("valid fault counts");
+        let cell = |i: usize| {
+            rows[i]
+                .mean_reachable_fraction
+                .map_or_else(|| "n/a".to_string(), |x| format!("{x:.4}"))
+        };
         println!(
-            "{:<10} {:>8.4} {:>8.4} {:>8.4} {:>8.4}",
+            "{:<10} {:>8} {:>8} {:>8} {:>8}",
             t.name(),
-            rows[0].1,
-            rows[1].1,
-            rows[2].1,
-            rows[3].1
+            cell(0),
+            cell(1),
+            cell(2),
+            cell(3)
         );
     }
+
+    println!("\n== simulating failures: live traffic on degraded networks ==\n");
+    // Failure scenarios are specs, exactly like traffic: parse one from
+    // text, hand it to the builder, and the engine reroutes survivors
+    // while typing every drop.
+    let faults: FaultSpec = "nodes(count=5)".parse().unwrap();
+    println!(
+        "{:<10} {:>9} {:>10} {:>9} {:>12}",
+        "network", "delivered", "dead drops", "unreach", "deliv frac"
+    );
+    for t in &topos {
+        let mut tracker = DeliveryTracker::new();
+        let r = Experiment::on(*t)
+            .traffic(uniform.clone())
+            .faults(faults.clone())
+            .seed(2026)
+            .observe(&mut tracker)
+            .run()
+            .expect("degraded uniform traffic runs everywhere");
+        assert_eq!(
+            r.stats.delivered + r.stats.dropped(),
+            r.stats.offered,
+            "uncapped runs deliver or typed-drop every packet"
+        );
+        println!(
+            "{:<10} {:>9} {:>10} {:>9} {:>11.1}%",
+            r.topology,
+            r.stats.delivered,
+            r.stats.dropped_dead_endpoint,
+            r.stats.dropped_unreachable,
+            100.0 * tracker.delivered_fraction().unwrap_or(0.0)
+        );
+    }
+    println!("(packets to or from a dead node drop as `dead endpoint`; survivor");
+    println!(" pairs cut apart by the faults drop as `unreachable`; the rest");
+    println!(" detour around the failures — the ring pays the most, the cubes");
+    println!(" the least, which is the 1993 fault-tolerance claim live)");
 
     println!("\n== routing policies under hot-spot load (Γ_8, observers on) ==\n");
     println!(

@@ -1,10 +1,10 @@
 //! Experiments E-N1…E-N6: the interconnection-network layer end to end.
 
 use fibcube::network::broadcast::{broadcast_all_port, broadcast_one_port, verify_schedule};
-use fibcube::network::fault::fault_sweep;
+use fibcube::network::fault::{fault_sweep, FaultError};
 use fibcube::network::hamilton::{hamiltonian_path, verify_hamiltonian, HamiltonResult};
 use fibcube::network::metrics::metrics;
-use fibcube::network::Mesh;
+use fibcube::network::{DeliveryTracker, Mesh};
 use fibcube::prelude::*;
 
 #[test]
@@ -180,9 +180,80 @@ fn fault_tolerance_shape() {
     // Cubes degrade gracefully; rings shatter.
     let gamma = FibonacciNet::classical(8);
     let ring = fibcube::network::Ring::new(55);
-    let g_rows = fault_sweep(&gamma, &[2, 5], 6);
-    let r_rows = fault_sweep(&ring, &[2, 5], 6);
-    assert!(g_rows[0].1 > r_rows[0].1, "Γ beats ring at k=2");
-    assert!(g_rows[1].1 > r_rows[1].1, "Γ beats ring at k=5");
-    assert!(g_rows[1].1 > 0.9, "Γ_8 keeps >90% pairs after 5 faults");
+    let g_rows = fault_sweep(&gamma, &[2, 5], 6).expect("valid sweep");
+    let r_rows = fault_sweep(&ring, &[2, 5], 6).expect("valid sweep");
+    let frac = |rows: &[fibcube::network::FaultSweepRow], i: usize| {
+        rows[i]
+            .mean_reachable_fraction
+            .expect("survivor pairs exist")
+    };
+    assert!(frac(&g_rows, 0) > frac(&r_rows, 0), "Γ beats ring at k=2");
+    assert!(frac(&g_rows, 1) > frac(&r_rows, 1), "Γ beats ring at k=5");
+    assert!(
+        frac(&g_rows, 1) > 0.9,
+        "Γ_8 keeps >90% pairs after 5 faults"
+    );
+    // Hardened edge cases stay typed errors end to end.
+    assert!(matches!(
+        fault_sweep(&gamma, &[2], 0),
+        Err(FaultError::ZeroTrials)
+    ));
+    assert!(fault_sweep(&gamma, &[gamma.len()], 3).is_err());
+}
+
+#[test]
+fn fault_aware_experiment_on_the_acceptance_topology() {
+    // Acceptance: a FaultSpec experiment on Γ_16 completes with
+    // delivered + dropped + in-flight packet conservation, and the
+    // zero-fault path is packet-for-packet identical to the healthy
+    // engine.
+    let gamma = FibonacciNet::classical(16);
+    let traffic: TrafficSpec = "uniform(count=2000,window=400)".parse().unwrap();
+
+    let healthy = Experiment::on(&gamma)
+        .traffic(traffic.clone())
+        .seed(9)
+        .run()
+        .expect("healthy run");
+    let zero_fault = Experiment::on(&gamma)
+        .traffic(traffic.clone())
+        .faults("nodes(count=0)".parse::<FaultSpec>().unwrap())
+        .seed(9)
+        .run()
+        .expect("zero-fault run");
+    assert_eq!(zero_fault.stats, healthy.stats, "zero faults ≡ healthy");
+
+    let mut tracker = DeliveryTracker::new();
+    let degraded = Experiment::on(&gamma)
+        .traffic(traffic)
+        .faults(
+            "mix(nodes(count=120)+links(count=40))"
+                .parse::<FaultSpec>()
+                .unwrap(),
+        )
+        .seed(9)
+        .observe(&mut tracker)
+        .run()
+        .expect("degraded run");
+    let s = &degraded.stats;
+    assert_eq!(
+        s.delivered + s.dropped(),
+        s.offered,
+        "uncapped: every packet delivered or typed-dropped"
+    );
+    assert!(s.dropped_dead_endpoint > 0, "120 dead nodes must show up");
+    assert!(s.delivered > 0, "survivors still communicate");
+    assert!(
+        s.delivered < healthy.stats.delivered,
+        "faults cost throughput"
+    );
+    // Observer and engine agree on every packet's fate.
+    assert_eq!(tracker.injected() as usize, s.offered);
+    assert_eq!(tracker.delivered() as usize, s.delivered);
+    assert_eq!(tracker.dropped() as usize, s.dropped());
+    assert_eq!(tracker.in_flight(), 0);
+    // The report is self-describing about the scenario.
+    assert_eq!(degraded.failed_nodes, 120);
+    let json = degraded.to_json();
+    assert!(json.contains("\"faults\": \"mix(nodes(count=120)+links(count=40))\""));
 }
