@@ -1,0 +1,142 @@
+//! Bench: the arena engine's two hot paths in isolation, so regressions
+//! show up in the artifact without rerunning the full sweep.
+//!
+//! * `route_lookup` — per-hop policy calls vs the dense [`NextHopTable`]
+//!   (and the table's build cost, the other side of the precompute
+//!   trade-off);
+//! * `link_queue` — ring-buffer enqueue/dequeue at shallow depth (the
+//!   common case) and past the stride (the overflow spill/promote path),
+//!   against the `VecDeque`-per-link layout the first engine used.
+
+use std::collections::VecDeque;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fibcube_network::arena::{LinkQueues, RING_STRIDE};
+use fibcube_network::router::{NoLoad, Router};
+use fibcube_network::{CanonicalRouter, EcubeRouter, FibonacciNet, Hypercube, Topology};
+
+fn all_pairs_per_hop(t: &dyn Topology, r: &dyn Router) -> usize {
+    let n = t.len() as u32;
+    let mut hops = 0usize;
+    for s in 0..n {
+        for d in 0..n {
+            let mut cur = s;
+            while let Some(next) = r.next_hop(cur, d, &NoLoad) {
+                cur = next;
+                hops += 1;
+            }
+        }
+    }
+    hops
+}
+
+fn all_pairs_table(t: &dyn Topology, table: &fibcube_network::NextHopTable) -> usize {
+    let g = t.graph();
+    let n = t.len() as u32;
+    let mut hops = 0usize;
+    for s in 0..n {
+        for d in 0..n {
+            let mut cur = s;
+            while let Some(e) = table.next_edge(cur, d) {
+                cur = g.target(e);
+                hops += 1;
+            }
+        }
+    }
+    hops
+}
+
+fn bench_route_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_lookup");
+    group.sample_size(10);
+    let gamma = FibonacciNet::classical(12); // 377 nodes
+    let canonical = CanonicalRouter::for_net(&gamma);
+    let q = Hypercube::new(7); // 128 nodes
+    for (topo, router) in [
+        (&gamma as &dyn Topology, &canonical as &dyn Router),
+        (&q, &EcubeRouter),
+    ] {
+        let table = router
+            .precompute(topo.graph())
+            .expect("deterministic policies tabulate");
+        let expected = all_pairs_per_hop(topo, router);
+        assert_eq!(all_pairs_table(topo, &table), expected);
+        group.bench_function(BenchmarkId::new("per_hop", topo.name()), |b| {
+            b.iter(|| assert_eq!(all_pairs_per_hop(topo, router), expected))
+        });
+        group.bench_function(BenchmarkId::new("table", topo.name()), |b| {
+            b.iter(|| assert_eq!(all_pairs_table(topo, &table), expected))
+        });
+        group.bench_function(BenchmarkId::new("table_build", topo.name()), |b| {
+            b.iter(|| std::hint::black_box(router.precompute(topo.graph())))
+        });
+    }
+    group.finish();
+}
+
+/// Work a push/pop pattern with per-link depth `depth` across `links`
+/// links for `rounds` rounds; returns a checksum so the loop cannot be
+/// optimised away.
+fn ring_pattern(links: usize, depth: usize, rounds: usize) -> u64 {
+    let mut queues = LinkQueues::new(links);
+    let mut sum = 0u64;
+    let mut id = 0u32;
+    for _ in 0..rounds {
+        for e in 0..links {
+            for _ in 0..depth {
+                queues.push(e, id);
+                id = id.wrapping_add(1);
+            }
+        }
+        for e in 0..links {
+            while let Some(popped) = queues.pop(e) {
+                sum = sum.wrapping_add(popped as u64);
+            }
+        }
+    }
+    sum
+}
+
+/// The same pattern on the first engine's layout: one `VecDeque` per link.
+fn vecdeque_pattern(links: usize, depth: usize, rounds: usize) -> u64 {
+    let mut queues: Vec<VecDeque<u32>> = vec![VecDeque::new(); links];
+    let mut sum = 0u64;
+    let mut id = 0u32;
+    for _ in 0..rounds {
+        for q in queues.iter_mut() {
+            for _ in 0..depth {
+                q.push_back(id);
+                id = id.wrapping_add(1);
+            }
+        }
+        for q in queues.iter_mut() {
+            while let Some(popped) = q.pop_front() {
+                sum = sum.wrapping_add(popped as u64);
+            }
+        }
+    }
+    sum
+}
+
+fn bench_link_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_queue");
+    group.sample_size(10);
+    const LINKS: usize = 4096;
+    const ROUNDS: usize = 32;
+    // Shallow: everything stays inside the ring. Deep: 4× the stride, so
+    // every link exercises the overflow spill/promote path.
+    for (label, depth) in [("shallow", RING_STRIDE / 2), ("overflow", RING_STRIDE * 4)] {
+        let expected = ring_pattern(LINKS, depth, ROUNDS);
+        assert_eq!(vecdeque_pattern(LINKS, depth, ROUNDS), expected);
+        group.bench_function(BenchmarkId::new("ring", label), |b| {
+            b.iter(|| assert_eq!(ring_pattern(LINKS, depth, ROUNDS), expected))
+        });
+        group.bench_function(BenchmarkId::new("vecdeque", label), |b| {
+            b.iter(|| assert_eq!(vecdeque_pattern(LINKS, depth, ROUNDS), expected))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_route_lookup, bench_link_queue);
+criterion_main!(benches);

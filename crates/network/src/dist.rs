@@ -1,0 +1,232 @@
+//! Shared all-pairs distance tables, healthy and degraded.
+//!
+//! Three corners of the crate need the same BFS ground truth: the static
+//! figure-of-merit table ([`metrics`](mod@crate::metrics)), the static
+//! survivability analysis ([`fault_set_trial`](crate::fault::fault_set_trial)),
+//! and the live fault-masking router
+//! ([`FaultMaskingRouter`](crate::router::FaultMaskingRouter)). Each used
+//! to run its own BFS sweeps (the router even lazily, behind a `RefCell`).
+//! [`DistanceTable`] is the one shared form: a flat `n × n` matrix built
+//! once per `(graph, fault set)` and threaded through wherever distances
+//! are consulted.
+
+use fibcube_graph::bfs::{bfs_into, BfsScratch, INFINITY};
+use fibcube_graph::csr::CsrGraph;
+use fibcube_graph::parallel::par_map;
+
+use crate::fault::FaultMasks;
+
+/// Flat all-pairs hop-distance matrix over a graph (optionally degraded
+/// by a fault set). Rows are indexed by destination; `INFINITY` marks
+/// unreachable (or dead) pairs. Undirected graphs make the matrix
+/// symmetric, so "row toward `dst`" and "row from `src`" coincide.
+#[derive(Clone, Debug)]
+pub struct DistanceTable {
+    n: usize,
+    /// `dist[dst * n + src]`, row-major by destination.
+    dist: Vec<u32>,
+}
+
+impl DistanceTable {
+    /// All-pairs distances of the intact graph — one BFS per source,
+    /// parallel across sources on the workspace thread pool.
+    pub fn healthy(g: &CsrGraph) -> DistanceTable {
+        let n = g.num_vertices();
+        let rows = par_map(n, |s| {
+            let mut row = vec![INFINITY; n];
+            let mut scratch = BfsScratch::new(n);
+            bfs_into(g, s as u32, &mut row, &mut scratch);
+            row
+        });
+        let mut dist = Vec::with_capacity(n * n);
+        for row in rows {
+            dist.extend_from_slice(&row);
+        }
+        DistanceTable { n, dist }
+    }
+
+    /// All-pairs distances of the graph degraded by `masks`: BFS over
+    /// surviving links only, so dead nodes (and nodes the faults cut off)
+    /// read [`INFINITY`] everywhere, including toward themselves when
+    /// dead.
+    ///
+    /// Runs serially: its callers (the fault-masking router inside sweep
+    /// workers) are already fanned out across the thread pool, so nesting
+    /// another fan-out here would oversubscribe it.
+    pub fn degraded(g: &CsrGraph, masks: &FaultMasks) -> DistanceTable {
+        let n = g.num_vertices();
+        let mut dist = vec![INFINITY; n * n];
+        let mut queue: Vec<u32> = Vec::with_capacity(n);
+        for dst in 0..n as u32 {
+            let row = &mut dist[dst as usize * n..][..n];
+            if !masks.node_alive(dst) {
+                continue;
+            }
+            row[dst as usize] = 0;
+            queue.clear();
+            queue.push(dst);
+            let mut head = 0usize;
+            while head < queue.len() {
+                let u = queue[head];
+                head += 1;
+                let next = row[u as usize] + 1;
+                let base = g.edge_range(u).start;
+                for (slot, &v) in g.neighbors(u).iter().enumerate() {
+                    if masks.edge_alive(base + slot) && row[v as usize] == INFINITY {
+                        row[v as usize] = next;
+                        queue.push(v);
+                    }
+                }
+            }
+        }
+        DistanceTable { n, dist }
+    }
+
+    /// Number of nodes the table covers.
+    pub fn nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Hop distance between `u` and `v` ([`INFINITY`] when disconnected).
+    #[inline]
+    pub fn distance(&self, u: u32, v: u32) -> u32 {
+        self.dist[v as usize * self.n + u as usize]
+    }
+
+    /// The full distance row toward `dst` — `row[src]` is the distance
+    /// from `src`. This is the hot-path view the fault-masking router
+    /// indexes per hop.
+    #[inline]
+    pub fn to_dst(&self, dst: u32) -> &[u32] {
+        &self.dist[dst as usize * self.n..][..self.n]
+    }
+
+    /// `true` when `u` and `v` are connected in the table's graph.
+    #[inline]
+    pub fn reachable(&self, u: u32, v: u32) -> bool {
+        self.distance(u, v) != INFINITY
+    }
+
+    /// Largest finite distance — the diameter reported per component
+    /// (matching [`fibcube_graph::distance::diameter`]). `None` for the
+    /// empty graph.
+    pub fn diameter(&self) -> Option<u32> {
+        if self.n == 0 {
+            return None;
+        }
+        self.dist.iter().copied().filter(|&d| d != INFINITY).max()
+    }
+
+    /// Mean distance over connected ordered pairs (`u ≠ v`), the expected
+    /// hop count of uniform random traffic (matching
+    /// [`fibcube_graph::distance::average_distance`]).
+    pub fn average_distance(&self) -> f64 {
+        let mut sum = 0u64;
+        let mut pairs = 0u64;
+        for &d in &self.dist {
+            if d != 0 && d != INFINITY {
+                sum += d as u64;
+                pairs += 1;
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            sum as f64 / pairs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultSet;
+    use crate::topology::{FibonacciNet, Hypercube, Ring, Topology};
+    use fibcube_graph::bfs::bfs_distances;
+
+    #[test]
+    fn healthy_table_matches_per_source_bfs() {
+        for topo in [
+            &FibonacciNet::classical(7) as &dyn Topology,
+            &Hypercube::new(4),
+            &Ring::new(9),
+        ] {
+            let g = topo.graph();
+            let table = DistanceTable::healthy(g);
+            assert_eq!(table.nodes(), topo.len());
+            for dst in 0..topo.len() as u32 {
+                let bfs = bfs_distances(g, dst);
+                assert_eq!(table.to_dst(dst), &bfs[..], "{} dst {dst}", topo.name());
+                for src in 0..topo.len() as u32 {
+                    assert_eq!(table.distance(src, dst), bfs[src as usize]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_table_reproduces_graph_invariants() {
+        for topo in [
+            &FibonacciNet::classical(8) as &dyn Topology,
+            &Hypercube::new(5),
+            &Ring::new(12),
+        ] {
+            let g = topo.graph();
+            let table = DistanceTable::healthy(g);
+            assert_eq!(table.diameter(), fibcube_graph::distance::diameter(g));
+            let avg = fibcube_graph::distance::average_distance(g);
+            assert!((table.average_distance() - avg).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degraded_table_matches_bfs_on_the_healthy_subgraph() {
+        let net = FibonacciNet::classical(7);
+        let g = net.graph();
+        let set = FaultSet::new([2u32, 9, 17], [(0u32, 1u32)]);
+        let table = DistanceTable::degraded(g, &set.masks(g));
+        let (healthy, survivors) = set.healthy_subgraph(g);
+        let mut new_id = vec![u32::MAX; g.num_vertices()];
+        for (i, &v) in survivors.iter().enumerate() {
+            new_id[v as usize] = i as u32;
+        }
+        for &dst in &survivors {
+            let bfs = bfs_distances(&healthy, new_id[dst as usize]);
+            for v in 0..g.num_vertices() as u32 {
+                let expected = if set.node_alive(v) {
+                    bfs[new_id[v as usize] as usize]
+                } else {
+                    INFINITY
+                };
+                assert_eq!(table.distance(v, dst), expected, "{v} → {dst}");
+            }
+        }
+        // Dead destinations are unreachable from everywhere, themselves
+        // included.
+        for v in 0..g.num_vertices() as u32 {
+            assert_eq!(table.distance(v, 2), INFINITY);
+            assert!(!table.reachable(v, 9));
+        }
+    }
+
+    #[test]
+    fn empty_masks_make_degraded_equal_healthy() {
+        let q = Hypercube::new(4);
+        let g = q.graph();
+        let healthy = DistanceTable::healthy(g);
+        let degraded = DistanceTable::degraded(g, &FaultSet::empty().masks(g));
+        for u in 0..16u32 {
+            assert_eq!(healthy.to_dst(u), degraded.to_dst(u));
+        }
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let empty = DistanceTable::healthy(&CsrGraph::empty(0));
+        assert_eq!(empty.diameter(), None);
+        assert_eq!(empty.average_distance(), 0.0);
+        let single = DistanceTable::healthy(&CsrGraph::empty(1));
+        assert_eq!(single.diameter(), Some(0));
+        assert_eq!(single.average_distance(), 0.0);
+    }
+}

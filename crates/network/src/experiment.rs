@@ -43,7 +43,11 @@
 //! ([`simulate_observed`]) and
 //! returns a [`Report`]: the configuration echo, the engine's
 //! [`SimStats`](crate::simulator::SimStats), and one JSON section per
-//! observer.
+//! observer. [`run_batch`](Experiment::run_batch) fans the same
+//! configuration across many seeds on the workspace thread pool with
+//! deterministic, order-independent results — the building block the
+//! sweep grids ([`injection_sweep`](crate::sweep::injection_sweep),
+//! [`fault_load_sweep`](crate::sweep::fault_load_sweep)) are built on.
 //!
 //! ## The observer contract
 //!
@@ -61,6 +65,8 @@
 //! [`LinkHeatmap`](crate::observer::LinkHeatmap) implementations.
 
 use core::fmt;
+
+use fibcube_graph::parallel::par_map;
 
 use crate::fault::{FaultError, FaultSpec};
 use crate::observer::{NoopObserver, SimObserver};
@@ -172,6 +178,52 @@ impl<'a, T: Topology + ?Sized> Experiment<'a, T, NoopObserver> {
 /// both a pure function of the experiment seed.
 fn fault_seed(seed: u64) -> u64 {
     seed ^ 0xFA17_5EED_0C0D_ED00
+}
+
+/// The shared batch machinery behind [`Experiment::run_batch`] and the
+/// sweep grids: runs `count` independently built experiment cells across
+/// the workspace's scoped-thread pool
+/// ([`fibcube_graph::parallel::par_map`]) and collects their reports *in
+/// cell order* — thread scheduling never reorders results, and because
+/// every run is a pure function of its configuration the aggregate is
+/// deterministic and independent of how cells were interleaved. The
+/// first failing cell's error (in cell order) wins.
+pub(crate) fn run_cells<'a, T, F>(count: usize, build: F) -> Result<Vec<Report>, ExperimentError>
+where
+    T: Topology + Sync + ?Sized + 'a,
+    F: Fn(usize) -> Experiment<'a, T, NoopObserver> + Sync,
+{
+    par_map(count, |i| build(i).run()).into_iter().collect()
+}
+
+impl<'a, T: Topology + Sync + ?Sized> Experiment<'a, T, NoopObserver> {
+    /// Runs this configuration once per seed, fanned out across the
+    /// workspace's scoped-thread pool, and returns the reports **in
+    /// `seeds` order**. Each run is a pure function of `(configuration,
+    /// seed)` — traffic and random fault placement both derive from the
+    /// seed — so the batch is deterministic: permuting `seeds` permutes
+    /// the reports identically, and any order-independent aggregate
+    /// (means, sums, histograms merged commutatively) is byte-stable no
+    /// matter how the thread pool interleaves the cells.
+    ///
+    /// Only observer-less experiments batch: a [`SimObserver`] is
+    /// mutable per-run state that cannot be shared across parallel runs.
+    /// Everything an aggregation typically needs is in
+    /// [`Report::stats`]; run seeds sequentially via
+    /// [`run`](Experiment::run) when per-event observation is required.
+    ///
+    /// Errors surface like [`run`](Experiment::run)'s, with the first
+    /// failing seed (in `seeds` order) winning.
+    pub fn run_batch(&self, seeds: &[u64]) -> Result<Vec<Report>, ExperimentError> {
+        run_cells(seeds.len(), |i| {
+            Experiment::on(self.topology)
+                .router(self.router)
+                .traffic(self.traffic.clone())
+                .faults(self.faults.clone())
+                .cycles(self.max_cycles)
+                .seed(seeds[i])
+        })
+    }
 }
 
 impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
@@ -496,6 +548,78 @@ mod tests {
         assert!(heat.total_hops() > 0);
         // Bit-complement on Q_5: every source is distance 5 from its dst.
         assert_eq!(report.stats.total_hops, 32 * 5);
+    }
+
+    #[test]
+    fn run_batch_matches_sequential_runs_and_any_seed_order() {
+        let net = FibonacciNet::classical(9);
+        let template = Experiment::on(&net)
+            .router(RouterSpec::Canonical)
+            .traffic(TrafficSpec::Uniform {
+                count: 300,
+                window: 80,
+            })
+            .cycles(100_000);
+        let seeds = [11u64, 7, 7, 42];
+        let batch = template.run_batch(&seeds).expect("valid configuration");
+        assert_eq!(batch.len(), seeds.len());
+        // Each report equals the sequential run of the same seed …
+        for (report, &seed) in batch.iter().zip(&seeds) {
+            let solo = Experiment::on(&net)
+                .router(RouterSpec::Canonical)
+                .traffic(TrafficSpec::Uniform {
+                    count: 300,
+                    window: 80,
+                })
+                .cycles(100_000)
+                .seed(seed)
+                .run()
+                .unwrap();
+            assert_eq!(report.stats, solo.stats, "seed {seed}");
+            assert_eq!(report.seed, seed);
+        }
+        // … so permuting the seeds permutes the reports identically and
+        // any order-independent aggregate is byte-stable.
+        let permuted = template.run_batch(&[42, 7, 11, 7]).unwrap();
+        assert_eq!(permuted[0].stats, batch[3].stats);
+        assert_eq!(permuted[2].stats, batch[0].stats);
+        assert_eq!(permuted[1].stats, batch[1].stats);
+        let mean =
+            |rs: &[Report]| rs.iter().map(|r| r.stats.mean_latency).sum::<f64>() / rs.len() as f64;
+        assert_eq!(mean(&batch), mean(&permuted));
+    }
+
+    #[test]
+    fn run_batch_with_faults_is_deterministic_per_seed() {
+        let q = Hypercube::new(5);
+        let template = Experiment::on(&q)
+            .traffic(TrafficSpec::Uniform {
+                count: 200,
+                window: 50,
+            })
+            .faults(FaultSpec::Nodes { count: 4 });
+        let a = template.run_batch(&[1, 2, 3]).unwrap();
+        let b = template.run_batch(&[3, 2, 1]).unwrap();
+        for (x, y) in a.iter().zip(b.iter().rev()) {
+            assert_eq!(x.stats, y.stats);
+            assert_eq!(x.failed_nodes, 4);
+            // Uncapped degraded runs conserve packets.
+            assert_eq!(x.stats.delivered + x.stats.dropped(), x.stats.offered);
+        }
+        // Different seeds place different faults (decorrelated draws).
+        assert_ne!(a[0].stats, a[1].stats);
+    }
+
+    #[test]
+    fn run_batch_surfaces_configuration_errors() {
+        let ring = Ring::new(6);
+        let err = Experiment::on(&ring)
+            .router(RouterSpec::Ecube)
+            .run_batch(&[1, 2])
+            .expect_err("no e-cube on a ring");
+        assert!(matches!(err, ExperimentError::UnsupportedRouter { .. }));
+        // An empty batch runs nothing and succeeds.
+        assert!(Experiment::on(&ring).run_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

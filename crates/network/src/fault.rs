@@ -449,6 +449,33 @@ impl FaultSet {
                 .is_err()
     }
 
+    /// Materialises the per-node / per-directed-link liveness masks of
+    /// this set against `g` — the form the live engine, the
+    /// [`DistanceTable`](crate::dist::DistanceTable), and the
+    /// fault-masking router all index in their hot paths. Fault entries
+    /// outside the graph are ignored.
+    pub fn masks(&self, g: &CsrGraph) -> FaultMasks {
+        let n = g.num_vertices();
+        let mut node_dead = vec![false; n];
+        for &v in self.failed_nodes() {
+            if (v as usize) < n {
+                node_dead[v as usize] = true;
+            }
+        }
+        let mut edge_dead = vec![false; g.num_directed_edges()];
+        for u in 0..n as u32 {
+            let base = g.edge_range(u).start;
+            for (slot, &v) in g.neighbors(u).iter().enumerate() {
+                edge_dead[base + slot] =
+                    node_dead[u as usize] || node_dead[v as usize] || !self.link_alive(u, v);
+            }
+        }
+        FaultMasks {
+            node_dead,
+            edge_dead,
+        }
+    }
+
     /// The subgraph of `g` induced by the alive nodes, minus the failed
     /// links, with an id map back to the original network
     /// (`new id → old id`).
@@ -468,6 +495,33 @@ impl FaultSet {
             }
         }
         (builder.build(), survivors)
+    }
+}
+
+/// Boolean liveness masks of a degraded network: one flag per node and
+/// one per CSR *directed* edge (dead when the undirected link failed or
+/// either endpoint did). Produced by [`FaultSet::masks`]; consumed by the
+/// masked BFS of [`DistanceTable::degraded`](crate::dist::DistanceTable::degraded)
+/// and by the [`FaultMaskingRouter`](crate::router::FaultMaskingRouter)'s
+/// per-hop surviving-link checks.
+#[derive(Clone, Debug)]
+pub struct FaultMasks {
+    node_dead: Vec<bool>,
+    edge_dead: Vec<bool>,
+}
+
+impl FaultMasks {
+    /// `true` when node `v` survived the faults.
+    #[inline]
+    pub fn node_alive(&self, v: u32) -> bool {
+        !self.node_dead[v as usize]
+    }
+
+    /// `true` when the directed edge with CSR index `e` survived (its
+    /// undirected link and both endpoints are alive).
+    #[inline]
+    pub fn edge_alive(&self, e: usize) -> bool {
+        !self.edge_dead[e]
     }
 }
 
@@ -498,28 +552,44 @@ pub fn healthy_subgraph(g: &CsrGraph, failed: &[u32]) -> (CsrGraph, Vec<u32>) {
 
 /// Static survivability analysis of one explicit [`FaultSet`]:
 /// component count, reachable-pair fraction, and mean dilation of the
-/// rerouted shortest paths. `O(n²)` distance matrices — meant for the
-/// static comparisons, not the live engine.
+/// rerouted shortest paths. Distances come from one
+/// [`DistanceTable`](crate::dist::DistanceTable) per (graph, fault set) —
+/// the same type the live fault-masking router and the metrics table
+/// share. `O(n²)` — meant for the static comparisons, not the live
+/// engine.
 pub fn fault_set_trial(t: &dyn Topology, set: &FaultSet) -> FaultTrial {
-    let (healthy, survivors) = set.healthy_subgraph(t.graph());
+    fault_set_trial_with(t, set, &crate::dist::DistanceTable::healthy(t.graph()))
+}
+
+/// [`fault_set_trial`] against a caller-provided healthy (pre-fault)
+/// distance table, so repeated trials on the same topology —
+/// [`fault_sweep`] runs `trials × fault_counts` of them — build the
+/// fault-invariant table once instead of per trial.
+fn fault_set_trial_with(
+    t: &dyn Topology,
+    set: &FaultSet,
+    before: &crate::dist::DistanceTable,
+) -> FaultTrial {
+    let g = t.graph();
+    let (healthy, survivors) = set.healthy_subgraph(g);
     let components = fibcube_graph::distance::component_count(&healthy);
-    let before = fibcube_graph::parallel::parallel_distance_matrix(t.graph());
-    let after = fibcube_graph::parallel::parallel_distance_matrix(&healthy);
-    let m = survivors.len();
+    let after = crate::dist::DistanceTable::degraded(g, &set.masks(g));
     let mut reachable = 0u64;
     let mut pairs = 0u64;
     let mut dilation_sum = 0.0f64;
     let mut dilation_count = 0u64;
-    for i in 0..m {
-        for j in 0..m {
-            if i == j {
+    for &u in &survivors {
+        let after_row = after.to_dst(u);
+        let before_row = before.to_dst(u);
+        for &v in &survivors {
+            if u == v {
                 continue;
             }
             pairs += 1;
-            let d_after = after[i][j];
+            let d_after = after_row[v as usize];
             if d_after != INFINITY {
                 reachable += 1;
-                let d_before = before[survivors[i] as usize][survivors[j] as usize];
+                let d_before = before_row[v as usize];
                 if d_before != 0 && d_before != INFINITY {
                     dilation_sum += d_after as f64 / d_before as f64;
                     dilation_count += 1;
@@ -568,13 +638,17 @@ pub fn fault_sweep(
     if trials == 0 {
         return Err(FaultError::ZeroTrials);
     }
+    // The pre-fault distance table depends only on the graph: build it
+    // once for the whole trials × fault_counts grid.
+    let before = crate::dist::DistanceTable::healthy(t.graph());
     fault_counts
         .iter()
         .map(|&k| {
             let mut frac = (0.0, 0u64);
             let mut dil = (0.0, 0u64);
             for s in 0..trials {
-                let tr = fault_trial(t, k, s * 7919 + k as u64)?;
+                let set = FaultSpec::Nodes { count: k }.sample(t.graph(), s * 7919 + k as u64)?;
+                let tr = fault_set_trial_with(t, &set, &before);
                 if let Some(x) = tr.reachable_pair_fraction {
                     frac = (frac.0 + x, frac.1 + 1);
                 }

@@ -17,8 +17,13 @@
 //!   precomputed canonical-path, and load-aware adaptive minimal routing,
 //!   named declaratively by [`RouterSpec`];
 //! * [`simulator`] — synchronous store-and-forward packet simulation with
-//!   latency/throughput statistics (active-set engine, plus the original
-//!   full-scan engine as a reference oracle);
+//!   latency/throughput statistics (arena-backed active-set engine, plus
+//!   the original full-scan engine as a reference oracle);
+//! * [`arena`] — the engine's storage core: the struct-of-arrays
+//!   [`PacketSlab`] and the fixed-stride ring-buffer [`LinkQueues`];
+//! * [`dist`] — the shared [`DistanceTable`] (healthy or degraded by a
+//!   fault set) behind metrics, survivability analysis, and the
+//!   fault-masking router;
 //! * [`observer`] — pluggable [`SimObserver`] hooks compiled into the
 //!   engine (zero-cost when absent), with [`LatencyHistogram`] and
 //!   [`LinkHeatmap`] shipped;
@@ -47,7 +52,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod broadcast;
+pub mod dist;
 pub mod embedding;
 pub mod experiment;
 pub mod fault;
@@ -61,12 +68,14 @@ pub mod sweep;
 pub mod topology;
 pub mod traffic;
 
+pub use arena::{LinkQueues, PacketSlab};
 pub use broadcast::{broadcast_all_port, broadcast_one_port, BroadcastSchedule};
+pub use dist::DistanceTable;
 pub use embedding::{embed_hypercube, embed_path, embed_ring, Embedding};
 pub use experiment::{Experiment, ExperimentError};
 pub use fault::{
-    fault_set_trial, fault_sweep, fault_trial, FaultError, FaultSet, FaultSpec, FaultSweepRow,
-    FaultTrial,
+    fault_set_trial, fault_sweep, fault_trial, FaultError, FaultMasks, FaultSet, FaultSpec,
+    FaultSweepRow, FaultTrial,
 };
 pub use hamilton::{hamiltonian_cycle, hamiltonian_path, HamiltonResult};
 pub use metrics::{metrics, TopologyMetrics};
@@ -74,11 +83,11 @@ pub use observer::{DeliveryTracker, LatencyHistogram, LinkHeatmap, NoopObserver,
 pub use report::{JsonValue, Report};
 pub use router::{
     AdaptiveMinimal, CanonicalRouter, EcubeRouter, FaultMaskingRouter, LinkLoad, NextHopRouter,
-    NoLoad, Router, RouterSpec,
+    NextHopTable, NoLoad, Router, RouterSpec,
 };
 pub use simulator::{
-    simulate, simulate_faulted, simulate_observed, simulate_reference, simulate_with, DropReason,
-    SimStats,
+    simulate, simulate_faulted, simulate_faulted_reference, simulate_observed, simulate_reference,
+    simulate_with, DropReason, SimStats,
 };
 pub use sweep::{
     fault_load_sweep, injection_sweep, injection_sweep_with, rate_ladder, saturation_point,

@@ -25,12 +25,16 @@ pub struct TopologyMetrics {
     pub cost: usize,
 }
 
-/// Computes the full metric row for a topology.
+/// Computes the full metric row for a topology. The two distance
+/// figures (diameter, average distance) come from one shared
+/// [`DistanceTable`](crate::dist::DistanceTable) — previously each ran
+/// its own full all-pairs BFS sweep.
 pub fn metrics(t: &dyn Topology) -> TopologyMetrics {
     let g = t.graph();
     let n = g.num_vertices();
     let degrees: Vec<usize> = (0..n as u32).map(|u| g.degree(u)).collect();
-    let diameter = fibcube_graph::distance::diameter(g).unwrap_or(0);
+    let table = crate::dist::DistanceTable::healthy(g);
+    let diameter = table.diameter().unwrap_or(0);
     TopologyMetrics {
         name: t.name(),
         nodes: n,
@@ -38,7 +42,7 @@ pub fn metrics(t: &dyn Topology) -> TopologyMetrics {
         min_degree: degrees.iter().copied().min().unwrap_or(0),
         max_degree: degrees.iter().copied().max().unwrap_or(0),
         diameter,
-        average_distance: fibcube_graph::distance::average_distance(g),
+        average_distance: table.average_distance(),
         cost: degrees.iter().copied().max().unwrap_or(0) * diameter as usize,
     }
 }

@@ -23,8 +23,12 @@
 //! Every hook has a default empty body and the engine is generic over the
 //! observer type, so [`NoopObserver`] monomorphizes to nothing — the fast
 //! path with no observer attached costs exactly what it did before
-//! observers existed (the `sweep` bench bin asserts the ≥5× envelope over
-//! the seed engine through this path).
+//! observers existed (the `sweep` bench bin asserts the ≥10× envelope over
+//! the seed engine through this path). The event stream is part of the
+//! engine's contract: the arena engine emits exactly the sequence the
+//! original per-link-`VecDeque` engine did, whether it routes per hop or
+//! through a precomputed
+//! [`NextHopTable`](crate::router::NextHopTable).
 //!
 //! Three ready-made observers ship with the crate: [`LatencyHistogram`]
 //! (per-packet latency distribution, independently of [`SimStats`]'s own

@@ -30,15 +30,15 @@
 //! [`RouterSpec`] names a policy and [`RouterSpec::resolve`] builds it
 //! for a concrete topology with a typed capability check.
 
-use core::cell::RefCell;
 use core::fmt;
 use core::str::FromStr;
 
-use fibcube_graph::csr::CsrGraph;
+use fibcube_graph::csr::{CsrGraph, SlotTable};
 use fibcube_words::word::Word;
 
+use crate::dist::DistanceTable;
 use crate::experiment::ExperimentError;
-use crate::fault::FaultSet;
+use crate::fault::{FaultMasks, FaultSet};
 use crate::topology::{FibonacciNet, Hypercube, Topology};
 
 /// A declarative routing-policy choice, the router half of an
@@ -145,6 +145,22 @@ pub trait Router {
     /// `None` when `cur == dst`. Must be progressive: the hop strictly
     /// decreases the distance to `dst`.
     fn next_hop(&self, cur: u32, dst: u32, load: &dyn LinkLoad) -> Option<u32>;
+
+    /// The policy's routes as a dense [`NextHopTable`], or `None` (the
+    /// default) when the policy cannot be tabulated — because it is
+    /// load-dependent ([`AdaptiveMinimal`], [`FaultMaskingRouter`]) or
+    /// has no per-entry-cheap closed form. A returned table must agree
+    /// with [`next_hop`](Router::next_hop) under [`NoLoad`] on every
+    /// `(cur, dst)` pair.
+    ///
+    /// The simulation engine calls this once per run *when the workload
+    /// amortises the `O(n²)` build* (see [`NextHopTable`] for the
+    /// trade-off) and then routes each hop with one table load instead of
+    /// a (possibly virtual) policy call.
+    fn precompute(&self, graph: &CsrGraph) -> Option<NextHopTable> {
+        let _ = graph;
+        None
+    }
 }
 
 impl<R: Router + ?Sized> Router for &R {
@@ -154,6 +170,75 @@ impl<R: Router + ?Sized> Router for &R {
 
     fn next_hop(&self, cur: u32, dst: u32, load: &dyn LinkLoad) -> Option<u32> {
         (**self).next_hop(cur, dst, load)
+    }
+
+    fn precompute(&self, graph: &CsrGraph) -> Option<NextHopTable> {
+        (**self).precompute(graph)
+    }
+}
+
+/// A dense precomputed routing table: `[node × destination] → output
+/// directed edge`, built once per `(graph, policy)` and indexed per hop
+/// with a single load — no virtual dispatch, no per-hop arithmetic, no
+/// neighbor-list search.
+///
+/// # When precomputation pays off
+///
+/// Building the table costs `O(n²)` policy evaluations and `4n²` bytes;
+/// each per-hop route lookup it replaces costs one (often virtual) call.
+/// A run performs roughly `packets × average distance` lookups, so the
+/// table wins once `packets × d̄ ≳ n²` — all-to-all workloads (`n²`
+/// packets) and long saturation sweeps qualify; a few thousand packets on
+/// a 2 500-node network do not, which is why the engine's
+/// [`precompute`](Router::precompute) heuristic skips the build for
+/// light fixed-load runs. Load-aware policies can never be tabulated:
+/// their choices depend on live queue state.
+#[derive(Clone, Debug)]
+pub struct NextHopTable {
+    n: usize,
+    /// `edges[cur * n + dst]` — CSR directed-edge index of the link to
+    /// take, or [`INVALID`] (`cur == dst`, or no route).
+    edges: Vec<u32>,
+}
+
+impl NextHopTable {
+    /// Tabulates `next` (a `(cur, dst) → neighbor` rule, `None` meaning
+    /// "arrived") over all ordered pairs of `g`'s nodes.
+    pub fn build(g: &CsrGraph, mut next: impl FnMut(u32, u32) -> Option<u32>) -> NextHopTable {
+        let n = g.num_vertices();
+        let slots = SlotTable::new(g);
+        let mut edges = vec![INVALID; n * n];
+        for cur in 0..n as u32 {
+            let base = g.edge_range(cur).start;
+            let row = &mut edges[cur as usize * n..][..n];
+            for dst in 0..n as u32 {
+                if let Some(hop) = next(cur, dst) {
+                    let slot = slots.slot(cur, hop).expect("next hop must be a neighbor");
+                    row[dst as usize] = (base + slot as usize) as u32;
+                }
+            }
+        }
+        NextHopTable { n, edges }
+    }
+
+    /// Number of nodes the table covers.
+    pub fn nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The directed-edge index of the output link from `cur` toward
+    /// `dst`, or `None` when `cur == dst` (or the pair is unroutable).
+    #[inline]
+    pub fn next_edge(&self, cur: u32, dst: u32) -> Option<usize> {
+        let e = self.edges[cur as usize * self.n + dst as usize];
+        (e != INVALID).then_some(e as usize)
+    }
+
+    /// The next-hop *node* from `cur` toward `dst` on `g` (which must be
+    /// the graph the table was built for).
+    #[inline]
+    pub fn next_hop(&self, g: &CsrGraph, cur: u32, dst: u32) -> Option<u32> {
+        self.next_edge(cur, dst).map(|e| g.target(e))
     }
 }
 
@@ -182,6 +267,10 @@ impl Router for EcubeRouter {
 
     fn next_hop(&self, cur: u32, dst: u32, _load: &dyn LinkLoad) -> Option<u32> {
         EcubeRouter::hop(cur, dst)
+    }
+
+    fn precompute(&self, graph: &CsrGraph) -> Option<NextHopTable> {
+        Some(NextHopTable::build(graph, EcubeRouter::hop))
     }
 }
 
@@ -261,6 +350,12 @@ impl Router for CanonicalRouter {
         let hop = self.flip[cur as usize * self.d + (p - 1)];
         debug_assert_ne!(hop, INVALID, "canonical flips stay 1^k-free (Prop 3.1)");
         Some(hop)
+    }
+
+    fn precompute(&self, graph: &CsrGraph) -> Option<NextHopTable> {
+        Some(NextHopTable::build(graph, |cur, dst| {
+            self.next_hop(cur, dst, &NoLoad)
+        }))
     }
 }
 
@@ -349,6 +444,15 @@ impl<T: Topology + ?Sized> Router for NextHopRouter<'_, T> {
     fn next_hop(&self, cur: u32, dst: u32, _load: &dyn LinkLoad) -> Option<u32> {
         self.topo.next_hop(cur, dst)
     }
+
+    fn precompute(&self, graph: &CsrGraph) -> Option<NextHopTable> {
+        // Built-in rules are deterministic and load-blind, so they
+        // tabulate; `graph` must be the wrapped topology's own graph.
+        debug_assert_eq!(graph.num_vertices(), self.topo.len());
+        Some(NextHopTable::build(graph, |cur, dst| {
+            self.topo.next_hop(cur, dst)
+        }))
+    }
 }
 
 /// Fault-masking adapter: wraps any [`Router`] and routes around a
@@ -363,104 +467,68 @@ impl<T: Topology + ?Sized> Router for NextHopRouter<'_, T> {
 /// the adapter misroutes relative to the original network: among the
 /// surviving neighbor links whose healthy-subgraph distance to the
 /// destination strictly decreases it forwards on the least-loaded one
-/// (ties toward the smallest slot). Healthy distances are per-destination
-/// BFS runs over the masked adjacency, computed lazily and cached, so a
-/// simulation run pays one BFS per distinct destination.
+/// (ties toward the smallest slot). Healthy distances come from a
+/// [`DistanceTable`] built **eagerly** at construction over the masked
+/// adjacency, so the per-hop path is a plain slice index — no interior
+/// mutability, no lazy-initialisation check. (The first version cached
+/// per-destination BFS rows in a `RefCell`, which borrow-checked on every
+/// hop and made the router `!Sync`; the eager table restores `Send +
+/// Sync`, which the parallel batch runner relies on.) The trade: the
+/// constructor pays one BFS per node and `4n²` bytes up front even when
+/// the run routes toward few destinations — cheap against the fault
+/// sweeps' Bernoulli/all-to-all workloads, which touch essentially every
+/// destination and previously filled the lazy cache to the same size
+/// anyway, but worth knowing for one-shot single-destination queries.
 ///
 /// Every hop strictly decreases the healthy distance, so routes on the
 /// degraded network remain livelock-free; packets whose destination is
 /// unreachable must be dropped by the engine *before* routing
 /// ([`simulate_faulted`](crate::simulator::simulate_faulted) does), and
 /// [`FaultMaskingRouter::reachable`] is the query it uses.
+///
+/// The adapter never tabulates ([`Router::precompute`] stays `None`):
+/// both the inner-policy consult and the detour rule read live link
+/// loads, which a static table cannot capture.
 pub struct FaultMaskingRouter<'a, R: Router + ?Sized> {
     graph: &'a CsrGraph,
     inner: &'a R,
-    node_dead: Vec<bool>,
-    /// Indexed by CSR directed-edge index; dead when the undirected link
-    /// failed or either endpoint did.
-    edge_dead: Vec<bool>,
-    /// `dist[dst]` = healthy-subgraph BFS distances to `dst` (empty until
-    /// first use; `INFINITY` marks unreachable or dead nodes).
-    dist: RefCell<Vec<Vec<u32>>>,
+    /// Per-node / per-directed-edge liveness.
+    masks: FaultMasks,
+    /// Healthy-subgraph distances toward every destination (`INFINITY`
+    /// marks unreachable or dead nodes), shared-form
+    /// [`DistanceTable`], built once up front.
+    dist: DistanceTable,
 }
 
 impl<'a, R: Router + ?Sized> FaultMaskingRouter<'a, R> {
-    /// Wraps `inner` so it routes on `graph` degraded by `faults`.
-    /// Fault entries outside the graph are ignored.
+    /// Wraps `inner` so it routes on `graph` degraded by `faults`,
+    /// building the masked distance table eagerly. Fault entries outside
+    /// the graph are ignored.
     pub fn new(graph: &'a CsrGraph, inner: &'a R, faults: &FaultSet) -> FaultMaskingRouter<'a, R> {
-        let n = graph.num_vertices();
-        let mut node_dead = vec![false; n];
-        for &v in faults.failed_nodes() {
-            if (v as usize) < n {
-                node_dead[v as usize] = true;
-            }
-        }
-        let mut edge_dead = vec![false; graph.num_directed_edges()];
-        for u in 0..n as u32 {
-            let base = graph.edge_range(u).start;
-            for (slot, &v) in graph.neighbors(u).iter().enumerate() {
-                edge_dead[base + slot] =
-                    node_dead[u as usize] || node_dead[v as usize] || !faults.link_alive(u, v);
-            }
-        }
+        let masks = faults.masks(graph);
+        let dist = DistanceTable::degraded(graph, &masks);
         FaultMaskingRouter {
             graph,
             inner,
-            node_dead,
-            edge_dead,
-            dist: RefCell::new(vec![Vec::new(); n]),
+            masks,
+            dist,
         }
     }
 
     /// `true` when node `v` survived the faults.
     pub fn node_alive(&self, v: u32) -> bool {
-        !self.node_dead[v as usize]
+        self.masks.node_alive(v)
     }
 
     /// `true` when `src` can still reach `dst` through surviving nodes
     /// and links (both endpoints must be alive).
     pub fn reachable(&self, src: u32, dst: u32) -> bool {
-        self.node_alive(src)
-            && self.node_alive(dst)
-            && self.with_dist(dst, |dist| {
-                dist[src as usize] != fibcube_graph::bfs::INFINITY
-            })
+        self.node_alive(src) && self.node_alive(dst) && self.dist.reachable(src, dst)
     }
 
-    /// Runs `f` over the healthy-subgraph distance vector toward `dst`,
-    /// computing and caching it on first use.
-    fn with_dist<T>(&self, dst: u32, f: impl FnOnce(&[u32]) -> T) -> T {
-        {
-            let mut cache = self.dist.borrow_mut();
-            if cache[dst as usize].is_empty() {
-                cache[dst as usize] = self.masked_bfs(dst);
-            }
-        }
-        f(&self.dist.borrow()[dst as usize])
-    }
-
-    /// BFS from `dst` over surviving links only.
-    fn masked_bfs(&self, dst: u32) -> Vec<u32> {
-        use fibcube_graph::bfs::INFINITY;
-        let n = self.graph.num_vertices();
-        let mut dist = vec![INFINITY; n];
-        if self.node_dead[dst as usize] {
-            return dist;
-        }
-        dist[dst as usize] = 0;
-        let mut queue = std::collections::VecDeque::with_capacity(16);
-        queue.push_back(dst);
-        while let Some(u) = queue.pop_front() {
-            let next = dist[u as usize] + 1;
-            let base = self.graph.edge_range(u).start;
-            for (slot, &v) in self.graph.neighbors(u).iter().enumerate() {
-                if !self.edge_dead[base + slot] && dist[v as usize] == INFINITY {
-                    dist[v as usize] = next;
-                    queue.push_back(v);
-                }
-            }
-        }
-        dist
+    /// The healthy-subgraph distance table the adapter routes by.
+    pub fn distances(&self) -> &DistanceTable {
+        &self.dist
     }
 }
 
@@ -480,36 +548,35 @@ impl<R: Router + ?Sized> Router for FaultMaskingRouter<'_, R> {
         if cur == dst {
             return None;
         }
-        self.with_dist(dst, |dist| {
-            let dc = dist[cur as usize];
-            debug_assert_ne!(
-                dc,
-                fibcube_graph::bfs::INFINITY,
-                "engine must drop unreachable packets before routing"
-            );
-            let base = self.graph.edge_range(cur).start;
-            // Honour the wrapped policy while its hop survives and still
-            // approaches dst within the healthy subgraph.
-            if let Some(hop) = self.inner.next_hop(cur, dst, load) {
-                if let Some(slot) = self.graph.slot_of(cur, hop) {
-                    if !self.edge_dead[base + slot] && dist[hop as usize] < dc {
-                        return Some(hop);
-                    }
+        let dist = self.dist.to_dst(dst);
+        let dc = dist[cur as usize];
+        debug_assert_ne!(
+            dc,
+            fibcube_graph::bfs::INFINITY,
+            "engine must drop unreachable packets before routing"
+        );
+        let base = self.graph.edge_range(cur).start;
+        // Honour the wrapped policy while its hop survives and still
+        // approaches dst within the healthy subgraph.
+        if let Some(hop) = self.inner.next_hop(cur, dst, load) {
+            if let Some(slot) = self.graph.slot_of(cur, hop) {
+                if self.masks.edge_alive(base + slot) && dist[hop as usize] < dc {
+                    return Some(hop);
                 }
             }
-            // Detour: least-loaded surviving link that makes progress.
-            let mut best: Option<(usize, u32)> = None;
-            for (slot, &v) in self.graph.neighbors(cur).iter().enumerate() {
-                if !self.edge_dead[base + slot] && dist[v as usize] < dc {
-                    let l = load.load(slot);
-                    if best.is_none_or(|(bl, _)| l < bl) {
-                        best = Some((l, v));
-                    }
+        }
+        // Detour: least-loaded surviving link that makes progress.
+        let mut best: Option<(usize, u32)> = None;
+        for (slot, &v) in self.graph.neighbors(cur).iter().enumerate() {
+            if self.masks.edge_alive(base + slot) && dist[v as usize] < dc {
+                let l = load.load(slot);
+                if best.is_none_or(|(bl, _)| l < bl) {
+                    best = Some((l, v));
                 }
             }
-            let (_, hop) = best.expect("reachable destinations always have a progressive hop");
-            Some(hop)
-        })
+        }
+        let (_, hop) = best.expect("reachable destinations always have a progressive hop");
+        Some(hop)
     }
 }
 
@@ -745,6 +812,67 @@ mod tests {
                 assert_eq!(hops, dist[hj], "masked route {src}→{dst} not shortest");
             }
         }
+    }
+
+    #[test]
+    fn precomputed_tables_match_per_hop_routing() {
+        // Every tabulable policy must tabulate to exactly its per-hop
+        // choices — the invariant that lets the engine switch paths
+        // without changing the event stream.
+        let net = FibonacciNet::classical(8);
+        let canonical = CanonicalRouter::for_net(&net);
+        let q = Hypercube::new(5);
+        let ring = Ring::new(11);
+        let ring_router = NextHopRouter::new(&ring);
+        for (topo, router) in [
+            (&net as &dyn Topology, &canonical as &dyn Router),
+            (&q, &EcubeRouter),
+            (&ring, &ring_router),
+        ] {
+            let g = topo.graph();
+            let table = router
+                .precompute(g)
+                .expect("deterministic policies tabulate");
+            assert_eq!(table.nodes(), topo.len());
+            for cur in 0..topo.len() as u32 {
+                for dst in 0..topo.len() as u32 {
+                    assert_eq!(
+                        table.next_hop(g, cur, dst),
+                        router.next_hop(cur, dst, &NoLoad),
+                        "{} {cur}→{dst}",
+                        router.name()
+                    );
+                    if let Some(e) = table.next_edge(cur, dst) {
+                        assert!(g.edge_range(cur).contains(&e), "edge leaves cur");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn load_dependent_policies_refuse_to_tabulate() {
+        let q = Hypercube::new(4);
+        assert!(AdaptiveMinimal::new(&q).precompute(q.graph()).is_none());
+        let masked = FaultMaskingRouter::new(q.graph(), &EcubeRouter, &FaultSet::new([1u32], []));
+        assert!(masked.precompute(q.graph()).is_none());
+        // The &R blanket impl forwards precompute.
+        assert!(<&EcubeRouter as Router>::precompute(&&EcubeRouter, q.graph()).is_some());
+    }
+
+    #[test]
+    fn masked_router_is_send_and_sync_for_the_batch_runner() {
+        // Regression guard: the RefCell distance cache made this router
+        // !Sync; the eager DistanceTable restores Send + Sync, which the
+        // parallel batch runner (run_batch / sweep cells) relies on.
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        let q = Hypercube::new(3);
+        let faults = FaultSet::new([1u32], []);
+        let masked = FaultMaskingRouter::new(q.graph(), &EcubeRouter, &faults);
+        assert_send_sync(&masked);
+        // And it still routes after the eager build.
+        assert_eq!(masked.next_hop(0, 3, &NoLoad), Some(2));
+        assert_eq!(masked.distances().distance(0, 3), 2);
     }
 
     #[test]

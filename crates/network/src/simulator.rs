@@ -10,31 +10,48 @@
 //!
 //! ## Engine
 //!
-//! [`simulate_observed`] is an **active-set** engine: per-link FIFOs live
-//! in one flat vector indexed by the graph's directed-edge index
-//! (`offsets[u] + slot`), the `(node, neighbor) → slot` mapping comes from
-//! a precomputed [`SlotTable`], and each cycle touches only the worklist
-//! of nodes that actually hold packets — so an idle or lightly loaded
-//! cycle costs `O(active · degree)`, not `O(n · degree)`. Empty stretches
-//! between injections are skipped entirely. The function is generic over
-//! the topology, the router, *and* the attached
-//! [`SimObserver`], so concrete callers
-//! monomorphize — [`simulate_with`] (no observer) compiles to the same
-//! hot loop as before observers existed. `&dyn Topology` still works
-//! (the bench bins use it) because the bound is `?Sized`.
+//! [`simulate_observed`] is an **arena-backed active-set** engine. All
+//! per-packet and per-link state lives in flat arrays
+//! (see [`arena`](crate::arena)): in-flight packets sit in a
+//! struct-of-arrays [`PacketSlab`] and are referred to by `u32` id, and
+//! every directed link owns a fixed-stride ring-buffer FIFO in one
+//! contiguous [`LinkQueues`] arena indexed by the graph's directed-edge
+//! index (`offsets[u] + slot`), spilling to an overflow list only when a
+//! link saturates. Each cycle touches only the worklist of nodes that
+//! actually hold packets — so an idle or lightly loaded cycle costs
+//! `O(active · degree)`, not `O(n · degree)` — and empty stretches
+//! between injections are skipped entirely.
+//!
+//! Routing takes one of two monomorphized paths: when the workload
+//! amortises the build, deterministic policies are tabulated once into a
+//! dense [`NextHopTable`] ([`Router::precompute`]) and each hop is a
+//! single load; otherwise the policy is called per hop with the live
+//! link-load view and the `(node, neighbor) → slot` answer comes from a
+//! binary search in the node's (already cache-hot) neighbor slice.
+//! Either way the event stream observers see is identical — the table is
+//! only ever built for policies whose tabulated choice equals their
+//! per-hop choice.
+//!
+//! The function is generic over the topology, the router, *and* the
+//! attached [`SimObserver`], so concrete callers monomorphize —
+//! [`simulate_with`] (no observer) compiles to the same hot loop as
+//! before observers existed. `&dyn Topology` still works (the bench bins
+//! use it) because the bound is `?Sized`.
 //!
 //! The seed's original engine — full node scan every cycle, binary search
 //! per hop — is preserved as [`simulate_reference`]: it is the behavioural
 //! oracle the property tests compare against and the baseline the sweep
-//! binary measures speedups over.
+//! binary measures speedups over. [`simulate_faulted_reference`] extends
+//! the same full-scan oracle to degraded networks.
 
 use std::collections::VecDeque;
 
-use fibcube_graph::csr::SlotTable;
+use fibcube_graph::csr::CsrGraph;
 
+use crate::arena::{LinkQueues, PacketSlab};
 use crate::fault::FaultSet;
 use crate::observer::{NoopObserver, SimObserver};
-use crate::router::{FaultMaskingRouter, LinkLoad, Router};
+use crate::router::{FaultMaskingRouter, LinkLoad, NextHopTable, Router};
 use crate::topology::Topology;
 use crate::traffic::Packet;
 
@@ -89,21 +106,24 @@ impl SimStats {
     }
 }
 
+/// The reference engines' per-packet record (the arena engine keeps this
+/// state in the [`PacketSlab`] columns instead).
 #[derive(Clone, Debug)]
 struct InFlight {
     dst: u32,
     inject_time: u64,
 }
 
-/// Occupancy view of one node's output links, handed to adaptive routers.
+/// Occupancy view of one node's output links, handed to adaptive routers:
+/// a window into the [`LinkQueues`] occupancy column.
 struct NodeLoad<'a> {
-    queues: &'a [VecDeque<InFlight>],
+    loads: &'a [u32],
     base: usize,
 }
 
 impl LinkLoad for NodeLoad<'_> {
     fn load(&self, slot: usize) -> usize {
-        self.queues[self.base + slot].len()
+        self.loads[self.base + slot] as usize
     }
 }
 
@@ -176,29 +196,100 @@ pub fn simulate<T: Topology + ?Sized>(
     simulate_with(topology, &*topology.router(), packets, max_cycles)
 }
 
-/// Routes `pkt` at `node` and enqueues it on the chosen output link —
-/// the one mutation path shared by the injection and arrival phases.
-fn route_and_enqueue<R: Router + ?Sized>(
-    g: &fibcube_graph::csr::CsrGraph,
-    slots: &SlotTable,
-    router: &R,
-    queues: &mut [VecDeque<InFlight>],
-    occupancy: &mut [u32],
-    node: u32,
-    pkt: InFlight,
-) {
-    let base = g.edge_range(node).start;
-    let hop = {
-        let load = NodeLoad { queues, base };
-        router
-            .next_hop(node, pkt.dst, &load)
-            .expect("routing a packet not yet at dst")
-    };
-    let slot = slots
-        .slot(node, hop)
-        .expect("next_hop must return a neighbor");
-    queues[base + slot as usize].push_back(pkt);
-    occupancy[node as usize] += 1;
+/// How the engine resolves each hop: a dense precomputed table (one load
+/// per hop) or per-hop policy calls (live link-load view plus a slot
+/// search in the node's neighbor list — a couple of compares in one
+/// already-hot cache line, which beats any big-table lookup here).
+enum Routing<'t, R: ?Sized> {
+    Table(NextHopTable),
+    PerHop(&'t R),
+}
+
+/// Picks the routing path for one run: tabulate when the expected number
+/// of route lookups (≈ `packets × diameter/2`, a proxy for packets ×
+/// average distance) amortises the `O(n²)` table build *and* the policy
+/// can be tabulated at all. See [`NextHopTable`] for the trade-off.
+fn routing_for<'t, T, R>(topology: &T, router: &'t R, packets: usize) -> Routing<'t, R>
+where
+    T: Topology + ?Sized,
+    R: Router + ?Sized,
+{
+    let g = topology.graph();
+    let n = g.num_vertices() as u64;
+    let lookups = (packets as u64).saturating_mul((topology.diameter_bound() as u64 / 2).max(1));
+    if lookups >= n.saturating_mul(n) {
+        if let Some(table) = router.precompute(g) {
+            return Routing::Table(table);
+        }
+    }
+    Routing::PerHop(router)
+}
+
+/// The engine's mutable link/node state: the ring-buffer FIFOs plus the
+/// per-node occupancy counters and occupied-slot bitmasks that keep the
+/// worklist and the forward scan cheap. Grouped so the routing helper
+/// takes one handle.
+struct Fabric {
+    queues: LinkQueues,
+    /// Queued packets per node (drives the active worklist).
+    occupancy: Vec<u32>,
+    /// Per-node bitmask of output slots holding packets, so the forward
+    /// phase pops exactly the occupied queues instead of probing every
+    /// out-edge of every active node. Empty (disabled — the forward
+    /// phase falls back to the plain edge scan) in the off-design case
+    /// of degrees above 64.
+    slot_mask: Vec<u64>,
+}
+
+impl Fabric {
+    fn new(g: &CsrGraph) -> Fabric {
+        let n = g.num_vertices();
+        let masked_scan = g.max_degree() <= 64;
+        Fabric {
+            queues: LinkQueues::new(g.num_directed_edges()),
+            occupancy: vec![0u32; n],
+            slot_mask: vec![0; if masked_scan { n } else { 0 }],
+        }
+    }
+
+    /// Routes packet `id` at `node`, enqueues it on the chosen output
+    /// link, and marks that link's slot in the node's non-empty bitmask —
+    /// the one mutation path shared by the injection and arrival phases.
+    #[inline]
+    fn route_and_enqueue<R: Router + ?Sized>(
+        &mut self,
+        g: &CsrGraph,
+        routing: &Routing<'_, R>,
+        node: u32,
+        id: u32,
+        dst: u32,
+    ) {
+        let base = g.edge_range(node).start;
+        let e = match routing {
+            Routing::Table(table) => table
+                .next_edge(node, dst)
+                .expect("routing a packet not yet at dst"),
+            Routing::PerHop(router) => {
+                let hop = {
+                    let load = NodeLoad {
+                        loads: self.queues.loads(),
+                        base,
+                    };
+                    router
+                        .next_hop(node, dst, &load)
+                        .expect("routing a packet not yet at dst")
+                };
+                base + g
+                    .slot_of(node, hop)
+                    .expect("next_hop must return a neighbor")
+            }
+        };
+        self.queues.push(e, id);
+        if let Some(mask) = self.slot_mask.get_mut(node as usize) {
+            *mask |= 1u64 << (e - base);
+        }
+        self.occupancy[node as usize] += 1;
+    }
 }
 
 /// Runs the active-set store-and-forward simulation under an explicit
@@ -325,16 +416,18 @@ where
 {
     let n = topology.len();
     let g = topology.graph();
-    let slots = SlotTable::new(g);
+    let routing = routing_for(topology, router, packets.len());
 
-    // Flat per-link FIFOs, indexed by directed-edge index.
-    let mut queues: Vec<VecDeque<InFlight>> = vec![VecDeque::new(); g.num_directed_edges()];
-    // Per-node count of queued packets, and the active-node worklist.
-    let mut occupancy = vec![0u32; n];
+    // The arena core: SoA packet slab + ring-buffer link FIFOs with
+    // their per-node occupancy/bitmask bookkeeping.
+    let mut slab = PacketSlab::new();
+    let mut fabric = Fabric::new(g);
+    let masked_scan = !fabric.slot_mask.is_empty();
+    // The active-node worklist.
     let mut on_list = vec![false; n];
     let mut active: Vec<u32> = Vec::new();
     let mut next_active: Vec<u32> = Vec::new();
-    let mut arrivals: Vec<(u32, InFlight)> = Vec::new();
+    let mut arrivals: Vec<(u32, u32)> = Vec::new();
 
     // Injection list sorted by time.
     let mut inj: Vec<&Packet> = packets.iter().collect();
@@ -379,18 +472,8 @@ where
                 observer.on_deliver(cycle, p.dst, 0);
                 continue;
             }
-            route_and_enqueue(
-                g,
-                &slots,
-                router,
-                &mut queues,
-                &mut occupancy,
-                p.src,
-                InFlight {
-                    dst: p.dst,
-                    inject_time: p.inject_time,
-                },
-            );
+            let id = slab.alloc(p.dst, p.inject_time);
+            fabric.route_and_enqueue(g, &routing, p.src, id, p.dst);
             in_flight += 1;
             if !on_list[p.src as usize] {
                 on_list[p.src as usize] = true;
@@ -404,16 +487,44 @@ where
         active.sort_unstable();
         for &u in &active {
             on_list[u as usize] = false;
-            for e in g.edge_range(u) {
-                if let Some(pkt) = queues[e].pop_front() {
+            let base = g.edge_range(u).start;
+            if masked_scan {
+                // Visit only the occupied slots, lowest slot first — the
+                // same order the plain scan forwards in.
+                let mut mask = fabric.slot_mask[u as usize];
+                let mut remaining = mask;
+                while remaining != 0 {
+                    let slot = remaining.trailing_zeros() as usize;
+                    remaining &= remaining - 1;
+                    let e = base + slot;
+                    let id = fabric
+                        .queues
+                        .pop(e)
+                        .expect("mask bit implies a queued packet");
+                    if fabric.queues.load(e) == 0 {
+                        mask &= !(1u64 << slot);
+                    }
                     let v = g.target(e);
                     observer.on_hop(cycle, u, v, e);
-                    arrivals.push((v, pkt));
-                    occupancy[u as usize] -= 1;
+                    slab.record_hop(id);
+                    arrivals.push((v, id));
+                    fabric.occupancy[u as usize] -= 1;
                     acc.total_hops += 1;
                 }
+                fabric.slot_mask[u as usize] = mask;
+            } else {
+                for e in g.edge_range(u) {
+                    if let Some(id) = fabric.queues.pop(e) {
+                        let v = g.target(e);
+                        observer.on_hop(cycle, u, v, e);
+                        slab.record_hop(id);
+                        arrivals.push((v, id));
+                        fabric.occupancy[u as usize] -= 1;
+                        acc.total_hops += 1;
+                    }
+                }
             }
-            if occupancy[u as usize] > 0 {
+            if fabric.occupancy[u as usize] > 0 {
                 on_list[u as usize] = true;
                 next_active.push(u);
             }
@@ -423,13 +534,20 @@ where
 
         // Process arrivals (at the cycle + 1 boundary).
         let now = cycle + 1;
-        for (node, pkt) in arrivals.drain(..) {
-            if node == pkt.dst {
+        for (node, id) in arrivals.drain(..) {
+            let dst = slab.dst(id);
+            if node == dst {
                 in_flight -= 1;
-                acc.deliver(now, pkt.inject_time);
-                observer.on_deliver(now, node, now - pkt.inject_time);
+                let inject_time = slab.inject(id);
+                debug_assert!(
+                    slab.hops(id) as u64 <= now - inject_time,
+                    "hops can never exceed latency"
+                );
+                acc.deliver(now, inject_time);
+                observer.on_deliver(now, node, now - inject_time);
+                slab.release(id);
             } else {
-                route_and_enqueue(g, &slots, router, &mut queues, &mut occupancy, node, pkt);
+                fabric.route_and_enqueue(g, &routing, node, id, dst);
                 if !on_list[node as usize] {
                     on_list[node as usize] = true;
                     active.push(node);
@@ -506,6 +624,111 @@ pub fn simulate_reference(
             } else {
                 let hop = topology.next_hop(node, pkt.dst).expect("progressive");
                 queues[node as usize][slot_of(node, hop)].push_back(pkt);
+            }
+        }
+        cycle += 1;
+    }
+
+    acc.finish(packets.len())
+}
+
+/// Full-scan oracle for **degraded** runs, mirroring
+/// [`simulate_reference`]: the same admission rules (dead or disconnected
+/// endpoints become typed drops at injection) and the same
+/// [`FaultMaskingRouter`] policy as [`simulate_faulted`], but run through
+/// the seed-style engine — per-node `VecDeque`s, every node scanned every
+/// cycle, routing consulted per hop with the live queue lengths. A test
+/// harness, far too slow for experiments: the property tests compare the
+/// arena engine against it packet for packet.
+pub fn simulate_faulted_reference(
+    topology: &dyn Topology,
+    router: &dyn Router,
+    faults: &FaultSet,
+    packets: &[Packet],
+    max_cycles: u64,
+) -> SimStats {
+    let n = topology.len();
+    let graph = topology.graph();
+    let masked = FaultMaskingRouter::new(graph, &router, faults);
+    let mut queues: Vec<Vec<VecDeque<InFlight>>> = (0..n)
+        .map(|u| vec![VecDeque::new(); graph.degree(u as u32)])
+        .collect();
+    let mut inj: Vec<&Packet> = packets.iter().collect();
+    inj.sort_by_key(|p| p.inject_time);
+    let mut next_inject = 0usize;
+
+    struct RefLoad<'a> {
+        queues: &'a [VecDeque<InFlight>],
+    }
+    impl LinkLoad for RefLoad<'_> {
+        fn load(&self, slot: usize) -> usize {
+            self.queues[slot].len()
+        }
+    }
+    let route = |queues: &mut Vec<Vec<VecDeque<InFlight>>>, node: u32, pkt: InFlight| {
+        let hop = {
+            let load = RefLoad {
+                queues: &queues[node as usize],
+            };
+            masked
+                .next_hop(node, pkt.dst, &load)
+                .expect("routing a packet not yet at dst")
+        };
+        let slot = graph
+            .slot_of(node, hop)
+            .expect("next_hop must return a neighbor");
+        queues[node as usize][slot].push_back(pkt);
+    };
+
+    let mut acc = StatsAcc::default();
+    let mut in_flight = 0usize;
+
+    let mut cycle: u64 = 0;
+    while cycle < max_cycles {
+        while next_inject < inj.len() && inj[next_inject].inject_time <= cycle {
+            let p = inj[next_inject];
+            next_inject += 1;
+            if !masked.node_alive(p.src) || !masked.node_alive(p.dst) {
+                acc.dropped_dead_endpoint += 1;
+                continue;
+            }
+            if p.src != p.dst && !masked.reachable(p.src, p.dst) {
+                acc.dropped_unreachable += 1;
+                continue;
+            }
+            if p.src == p.dst {
+                acc.deliver_instant();
+                continue;
+            }
+            route(
+                &mut queues,
+                p.src,
+                InFlight {
+                    dst: p.dst,
+                    inject_time: p.inject_time,
+                },
+            );
+            in_flight += 1;
+        }
+        if in_flight == 0 && next_inject >= inj.len() {
+            break;
+        }
+        let mut arrivals: Vec<(u32, InFlight)> = Vec::new();
+        for u in 0..n as u32 {
+            for (slot, &v) in graph.neighbors(u).iter().enumerate() {
+                if let Some(pkt) = queues[u as usize][slot].pop_front() {
+                    arrivals.push((v, pkt));
+                    acc.total_hops += 1;
+                }
+            }
+        }
+        let now = cycle + 1;
+        for (node, pkt) in arrivals {
+            if node == pkt.dst {
+                in_flight -= 1;
+                acc.deliver(now, pkt.inject_time);
+            } else {
+                route(&mut queues, node, pkt);
             }
         }
         cycle += 1;
@@ -848,6 +1071,76 @@ mod tests {
                 assert_eq!(tracker.in_flight(), 0);
             }
         }
+    }
+
+    #[test]
+    fn ring_overflow_preserves_fifo_against_reference() {
+        // Funnel far more packets through single links than the ring
+        // stride holds: 40 same-direction packets on a 4-ring, plus a
+        // hot-spot drain on Q_3. The spill/promote path must stay
+        // packet-for-packet identical to the reference engine.
+        let ring = Ring::new(4);
+        let pkts: Vec<Packet> = (0..40)
+            .map(|i| Packet {
+                src: 0,
+                dst: 1,
+                inject_time: i % 3,
+            })
+            .collect();
+        let fast = simulate(&ring, &pkts, 100_000);
+        let slow = simulate_reference(&ring, &pkts, 100_000);
+        assert_eq!(fast, slow);
+        assert_eq!(fast.delivered, 40);
+
+        let q = Hypercube::new(3);
+        let pkts: Vec<Packet> = (0..60)
+            .map(|i| Packet {
+                src: (1 + i % 7) as u32,
+                dst: 0,
+                inject_time: i / 14,
+            })
+            .collect();
+        let fast = simulate(&q, &pkts, 100_000);
+        let slow = simulate_reference(&q, &pkts, 100_000);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn table_routing_path_agrees_with_reference() {
+        // All-to-all workloads trip the precompute heuristic
+        // (packets ≈ n² ≫ n²/d̄), so this exercises the NextHopTable hop
+        // path end to end against the per-hop reference engine.
+        for topo in [
+            &FibonacciNet::classical(7) as &dyn Topology,
+            &Hypercube::new(4),
+            &Ring::new(9),
+        ] {
+            let pkts = all_to_all(topo.len());
+            let fast = simulate(topo, &pkts, 1_000_000);
+            let slow = simulate_reference(topo, &pkts, 1_000_000);
+            assert_eq!(fast, slow, "{}", topo.name());
+        }
+    }
+
+    #[test]
+    fn faulted_engine_agrees_with_faulted_reference() {
+        // The arena engine under faults ≡ the full-scan faulted oracle,
+        // with node faults, link faults, and a cycle cap in the mix.
+        let net = FibonacciNet::classical(8);
+        let router = CanonicalRouter::for_net(&net);
+        let faults = crate::fault::FaultSet::new([3u32, 11, 40], [(0u32, 1u32)]);
+        for (count, window, cap) in [(400usize, 80u64, 100_000u64), (300, 50, 25)] {
+            let pkts = uniform(net.len(), count, window, 5);
+            let fast = simulate_faulted(&net, &router, &faults, &pkts, cap, &mut NoopObserver);
+            let slow = simulate_faulted_reference(&net, &router, &faults, &pkts, cap);
+            assert_eq!(fast, slow, "count={count} cap={cap}");
+        }
+        // And with no faults the oracle degenerates to the healthy
+        // reference engine.
+        let pkts = uniform(net.len(), 200, 60, 9);
+        let empty = crate::fault::FaultSet::empty();
+        let oracle = simulate_faulted_reference(&net, &router, &empty, &pkts, 100_000);
+        assert_eq!(oracle, simulate_with(&net, &router, &pkts, 100_000));
     }
 
     #[test]

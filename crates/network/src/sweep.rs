@@ -19,7 +19,7 @@
 
 use fibcube_graph::parallel::par_map;
 
-use crate::experiment::{Experiment, ExperimentError};
+use crate::experiment::{run_cells, Experiment, ExperimentError};
 use crate::fault::FaultSpec;
 use crate::report::JsonValue;
 use crate::router::{Router, RouterSpec};
@@ -182,7 +182,10 @@ where
         .validate(topo.len())?;
     }
     let seeds = &config.seeds;
-    let runs = par_map(rates.len() * seeds.len(), |j| {
+    // The (rate, seed) cells fan out through the shared experiment batch
+    // runner — same machinery as `Experiment::run_batch`, reports in cell
+    // order regardless of thread scheduling.
+    let reports = run_cells(rates.len() * seeds.len(), |j| {
         let rung = j / seeds.len();
         Experiment::on(topo)
             .router(router)
@@ -192,10 +195,8 @@ where
             })
             .seed(rung_seed(seeds[j % seeds.len()], rung))
             .cycles(config.inject_cycles + config.drain_cycles)
-            .run()
-            .expect("configuration validated before the sweep")
-            .stats
-    });
+    })?;
+    let runs: Vec<SimStats> = reports.into_iter().map(|r| r.stats).collect();
     Ok(SweepCurve {
         topology: topo.name(),
         router: router_name,
@@ -394,7 +395,8 @@ where
     }
     let seeds = &config.seeds;
     let per_rate = fault_counts.len() * seeds.len();
-    let runs = par_map(rates.len() * per_rate, |j| {
+    // (rate, fault, seed) cells through the shared batch runner.
+    let reports = run_cells(rates.len() * per_rate, |j| {
         let ri = j / per_rate;
         let fi = (j % per_rate) / seeds.len();
         let cell = ri * fault_counts.len() + fi;
@@ -409,10 +411,8 @@ where
             })
             .seed(rung_seed(seeds[j % seeds.len()], cell))
             .cycles(config.inject_cycles + config.drain_cycles)
-            .run()
-            .expect("configuration validated before the sweep")
-            .stats
-    });
+    })?;
+    let runs: Vec<SimStats> = reports.into_iter().map(|r| r.stats).collect();
     let m = seeds.len() as f64;
     let mut points = Vec::with_capacity(rates.len() * fault_counts.len());
     for (ri, &rate) in rates.iter().enumerate() {

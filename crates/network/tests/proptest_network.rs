@@ -6,13 +6,17 @@
 //! allows.
 
 use fibcube_graph::bfs::bfs_distances;
-use fibcube_network::fault::{fault_set_trial, FaultSpec};
+use fibcube_network::fault::{fault_set_trial, FaultSet, FaultSpec};
+use fibcube_network::observer::NoopObserver;
 use fibcube_network::router::{
     AdaptiveMinimal, CanonicalRouter, EcubeRouter, NextHopRouter, NoLoad, Router,
 };
-use fibcube_network::simulator::{simulate, simulate_reference, simulate_with};
+use fibcube_network::simulator::{
+    simulate, simulate_faulted, simulate_faulted_reference, simulate_reference, simulate_with,
+};
 use fibcube_network::topology::{FibonacciNet, Hypercube, Mesh, Ring, Topology};
 use fibcube_network::traffic::{Packet, TrafficSpec};
+use fibcube_network::{Experiment, RouterSpec};
 use proptest::prelude::*;
 
 fn uniform(n: usize, count: usize, window: u64, seed: u64) -> Vec<Packet> {
@@ -251,6 +255,57 @@ proptest! {
     }
 
     #[test]
+    fn arena_engine_equals_reference_packet_for_packet(count in 1usize..200, window in 0u64..80, seed in 0u64..10_000, faults in 0usize..5) {
+        // The gating invariant of the arena refactor: the SoA-slab /
+        // ring-queue engine is *packet-for-packet* identical to the
+        // full-scan reference — full SimStats equality (histogram,
+        // makespan, hops, p99, everything), healthy and faulted, on
+        // random mixed traffic (uniform + hot-spot superposition).
+        let mix = TrafficSpec::Mixed(vec![
+            TrafficSpec::Uniform { count, window },
+            TrafficSpec::HotSpot { count: count / 2, window: window.max(1), hot_fraction: 0.4 },
+        ]);
+        for topo in [
+            &FibonacciNet::classical(7) as &dyn Topology,
+            &Hypercube::new(4),
+        ] {
+            let pkts = mix.generate(topo.len(), seed);
+            let healthy_fast = simulate(topo, &pkts, 1_000_000);
+            let healthy_slow = simulate_reference(topo, &pkts, 1_000_000);
+            prop_assert_eq!(&healthy_fast, &healthy_slow, "healthy {}", topo.name());
+
+            let set = FaultSpec::Nodes { count: faults }
+                .sample(topo.graph(), seed ^ 0xF00D)
+                .expect("fault count below node count");
+            let router = topo.router();
+            let faulted_fast =
+                simulate_faulted(topo, &*router, &set, &pkts, 1_000_000, &mut NoopObserver);
+            let faulted_slow =
+                simulate_faulted_reference(topo, &*router, &set, &pkts, 1_000_000);
+            prop_assert_eq!(&faulted_fast, &faulted_slow, "faulted {}", topo.name());
+        }
+    }
+
+    #[test]
+    fn run_batch_is_order_independent(seed_a in 0u64..1_000, seed_b in 0u64..1_000, seed_c in 0u64..1_000) {
+        // Same seeds in any order ⇒ identical per-seed reports, so every
+        // order-independent aggregate (sums, means) is byte-stable.
+        let net = FibonacciNet::classical(7);
+        let template = Experiment::on(&net)
+            .router(RouterSpec::Canonical)
+            .traffic(TrafficSpec::Uniform { count: 120, window: 40 })
+            .cycles(100_000);
+        let fwd = template.run_batch(&[seed_a, seed_b, seed_c]).unwrap();
+        let rev = template.run_batch(&[seed_c, seed_b, seed_a]).unwrap();
+        prop_assert_eq!(&fwd[0].stats, &rev[2].stats);
+        prop_assert_eq!(&fwd[1].stats, &rev[1].stats);
+        prop_assert_eq!(&fwd[2].stats, &rev[0].stats);
+        let total_hops: u64 = fwd.iter().map(|r| r.stats.total_hops).sum();
+        let total_rev: u64 = rev.iter().map(|r| r.stats.total_hops).sum();
+        prop_assert_eq!(total_hops, total_rev);
+    }
+
+    #[test]
     fn adaptive_routing_conserves_and_stays_minimal(count in 1usize..150, seed in 0u64..10_000) {
         // Adaptive minimal routing may pick different links under load but
         // every path is still shortest, so total hops equal the distance sum.
@@ -263,5 +318,44 @@ proptest! {
             dist_sum += bfs_distances(net.graph(), p.src)[p.dst as usize] as u64;
         }
         prop_assert_eq!(stats.total_hops, dist_sum, "minimal ⇒ hop count = Σ distance");
+    }
+}
+
+/// Acceptance criterion at full scale: on the Γ_16 / Q_11 pair the arena
+/// engine is packet-for-packet identical to the reference engines, with
+/// and without faults, on mixed traffic. One deterministic workload per
+/// topology (the reference engines are too slow to property-test at this
+/// size — the randomized sweep above covers the small topologies).
+#[test]
+fn arena_engine_equals_reference_on_the_acceptance_pair() {
+    let gamma = FibonacciNet::classical(16);
+    let q = Hypercube::new(11);
+    let mix = TrafficSpec::Mixed(vec![
+        TrafficSpec::Uniform {
+            count: 400,
+            window: 100,
+        },
+        TrafficSpec::HotSpot {
+            count: 100,
+            window: 100,
+            hot_fraction: 0.3,
+        },
+    ]);
+    for topo in [&gamma as &dyn Topology, &q] {
+        let pkts = mix.generate(topo.len(), 2026);
+        let fast = simulate(topo, &pkts, 1_000_000);
+        let slow = simulate_reference(topo, &pkts, 1_000_000);
+        assert_eq!(fast, slow, "healthy {}", topo.name());
+
+        let faults = FaultSet::new([1u32, 17, 100, 901], [(0u32, 1u32)]);
+        let router = topo.router();
+        let fast = simulate_faulted(topo, &*router, &faults, &pkts, 1_000_000, &mut NoopObserver);
+        let slow = simulate_faulted_reference(topo, &*router, &faults, &pkts, 1_000_000);
+        assert_eq!(fast, slow, "faulted {}", topo.name());
+        assert_eq!(
+            fast.delivered + fast.dropped(),
+            fast.offered,
+            "uncapped degraded runs conserve packets"
+        );
     }
 }
