@@ -10,7 +10,8 @@ use fibcube_network::fault::{fault_sweep, FaultSpec};
 use fibcube_network::hamilton::{hamiltonian_path, verify_hamiltonian, HamiltonResult};
 use fibcube_network::metrics::metrics;
 use fibcube_network::{
-    simulate, Experiment, FibonacciNet, Hypercube, Mesh, Ring, Topology, TrafficSpec,
+    simulate, CollectiveSpec, Experiment, FibonacciNet, Hypercube, Mesh, Port, Ring, Topology,
+    TrafficSpec,
 };
 
 fn main() {
@@ -69,21 +70,34 @@ fn main() {
         println!("{:<10} all {checked} pairs optimal ✓", t.name());
     }
 
-    header("E-N3 — one-to-all broadcast rounds from node 0");
+    header("E-N3 — one-to-all broadcast rounds from node 0 (static vs live)");
     println!(
-        "{:<10} {:>14} {:>14} {:>10}",
-        "network", "all-port", "one-port", "⌈log2 n⌉"
+        "{:<10} {:>14} {:>14} {:>10} {:>14}",
+        "network", "all-port", "one-port", "⌈log2 n⌉", "live one-port"
     );
     for t in &topos {
-        let ap = broadcast_all_port(*t, 0);
-        let op = broadcast_one_port(*t, 0);
+        let ap = broadcast_all_port(*t, 0).expect("shipped topologies are connected");
+        let op = broadcast_one_port(*t, 0).expect("shipped topologies are connected");
         let floor = (t.len() as f64).log2().ceil() as u32;
+        // The live collective path must reproduce the static schedule's
+        // round count exactly on the healthy network.
+        let live = Experiment::on(*t)
+            .collective(CollectiveSpec::Broadcast {
+                source: 0,
+                port: Port::One,
+            })
+            .run()
+            .expect("healthy broadcast runs everywhere");
+        let outcome = live.collective.expect("collective outcome");
+        assert_eq!(outcome.completion_cycles, op.rounds as u64, "{}", t.name());
+        assert_eq!(outcome.reached, t.len() - 1, "{}", t.name());
         println!(
-            "{:<10} {:>14} {:>14} {:>10}",
+            "{:<10} {:>14} {:>14} {:>10} {:>14}",
             t.name(),
             ap.rounds,
             op.rounds,
-            floor
+            floor,
+            outcome.completion_cycles
         );
     }
 

@@ -11,11 +11,14 @@
 //! 3. fault-resilience grids (`fault_load_sweep`): the injection ladder
 //!    re-run under growing node-fault counts, comparing how Γ vs Q
 //!    delivered throughput degrades as processors die;
-//! 4. `BENCH_sim.json` in the working directory — assembled from the
-//!    `Report`/`SweepCurve`/`FaultLoadGrid` JSON trees, seeding the
-//!    performance trajectory with throughput / latency per topology at
-//!    the fixed load, the measured speedups, and the fault-resilience
-//!    section.
+//! 4. collective grids (`collective_sweep`): live one-port and all-port
+//!    broadcasts over {Γ, Q, Ring, Mesh} × the fault grid — completion
+//!    time and target coverage as the network loses processors;
+//! 5. `BENCH_sim.json` in the working directory — assembled from the
+//!    `Report`/`SweepCurve`/`FaultLoadGrid`/`CollectiveGrid` JSON trees,
+//!    seeding the performance trajectory with throughput / latency per
+//!    topology at the fixed load, the measured speedups, and the
+//!    fault-resilience and collectives sections.
 //!
 //! `cargo run --release -p fibcube-bench --bin sweep`
 //!
@@ -31,11 +34,12 @@ use std::time::Instant;
 use fibcube_bench::header;
 use fibcube_network::report::JsonValue;
 use fibcube_network::sweep::{
-    fault_load_sweep, injection_sweep, rate_ladder, saturation_point, FaultLoadGrid, SweepConfig,
+    collective_sweep, fault_load_sweep, injection_sweep, rate_ladder, saturation_point,
+    CollectiveGrid, FaultLoadGrid, SweepConfig,
 };
 use fibcube_network::{
-    simulate_reference, Experiment, FibonacciNet, Hypercube, Mesh, Report, RouterSpec, SweepCurve,
-    Topology, TrafficSpec,
+    simulate_reference, CollectiveSpec, Experiment, FibonacciNet, Hypercube, Mesh, Port, Report,
+    Ring, RouterSpec, SweepCurve, Topology, TrafficSpec,
 };
 
 struct FixedLoadRow {
@@ -152,6 +156,28 @@ fn print_curve(curve: &SweepCurve) {
             p.rate, p.accepted_rate
         ),
         None => println!("  saturated below the lightest rung"),
+    }
+}
+
+fn print_collective_grid(grid: &CollectiveGrid) {
+    println!("\n{} · {} · {} nodes", grid.topology, grid.spec, grid.nodes);
+    println!(
+        "{:>7} {:>9} {:>9} {:>11} {:>12} {:>11} {:>9}",
+        "faults", "targets", "reached", "reach frac", "completion", "sched rnds", "dropped"
+    );
+    for p in &grid.points {
+        println!(
+            "{:>7} {:>9.0} {:>9.1} {:>11} {:>12.1} {:>11} {:>9.1}",
+            p.faults,
+            p.targets,
+            p.reached,
+            p.reached_fraction
+                .map_or_else(|| "n/a".to_string(), |f| format!("{:.1}%", 100.0 * f)),
+            p.completion_cycles,
+            p.schedule_rounds
+                .map_or_else(|| "n/a".to_string(), |r| format!("{r:.1}")),
+            p.dropped_dead_endpoint + p.dropped_unreachable,
+        );
     }
 }
 
@@ -368,6 +394,63 @@ fn main() {
 
     let grids_ms = grids_start.elapsed().as_secs_f64() * 1e3;
 
+    header("E-S4 — collectives as live workloads (broadcast completion vs node faults)");
+    let collectives_start = Instant::now();
+    // Broadcast from node 0 in both port models over {Γ, Q, Ring, Mesh} ×
+    // the fault-fraction grid: the live counterpart of the static
+    // round-count table, degrading to the survivor component.
+    let (ring, mesh_c) = if smoke {
+        (Ring::new(24), Mesh::new(8, 8))
+    } else {
+        (Ring::new(128), Mesh::new(32, 32))
+    };
+    let collective_topos: Vec<&(dyn Topology + Sync)> = vec![&gamma, &q, &ring, &mesh_c];
+    let collective_config = SweepConfig {
+        inject_cycles: 0,
+        drain_cycles: 500_000,
+        seeds: vec![1, 2],
+    };
+    let mut collective_grids: Vec<CollectiveGrid> = Vec::new();
+    for t in &collective_topos {
+        let counts = fault_counts_of(t.len());
+        for port in [Port::One, Port::All] {
+            let spec = CollectiveSpec::Broadcast { source: 0, port };
+            let grid = collective_sweep(*t, &spec, &counts, &collective_config)
+                .expect("broadcast runs on every topology and survivable fault count");
+            // Well-formedness: the healthy column covers everything, and
+            // the one-port healthy completion equals the static oracle.
+            let healthy = &grid.points[0];
+            assert_eq!(healthy.faults, 0);
+            assert_eq!(healthy.reached_fraction, Some(1.0));
+            if port == Port::One {
+                assert_eq!(Some(healthy.completion_cycles), healthy.schedule_rounds);
+            }
+            print_collective_grid(&grid);
+            collective_grids.push(grid);
+        }
+    }
+    let collectives_ms = collectives_start.elapsed().as_secs_f64() * 1e3;
+
+    let collectives = JsonValue::obj([
+        (
+            "workload",
+            JsonValue::Str(format!(
+                "broadcast(source=0) one-port and all-port × fault fractions \
+                 {fault_fractions:?}, {} seeds",
+                collective_config.seeds.len()
+            )),
+        ),
+        (
+            "grids",
+            JsonValue::Arr(
+                collective_grids
+                    .iter()
+                    .map(CollectiveGrid::to_json_value)
+                    .collect(),
+            ),
+        ),
+    ]);
+
     let fault_resilience = JsonValue::obj([
         (
             "workload",
@@ -401,6 +484,7 @@ fn main() {
                 ("fixed_load_ms", JsonValue::Num(fixed_load_ms)),
                 ("injection_sweeps_ms", JsonValue::Num(sweeps_ms)),
                 ("fault_grids_ms", JsonValue::Num(grids_ms)),
+                ("collectives_ms", JsonValue::Num(collectives_ms)),
                 (
                     "total_ms",
                     JsonValue::Num(total_start.elapsed().as_secs_f64() * 1e3),
@@ -425,18 +509,24 @@ fn main() {
             JsonValue::Arr(curves.iter().map(SweepCurve::to_json_value).collect()),
         ),
         ("fault_resilience", fault_resilience),
+        ("collectives", collectives),
     ]);
     let text = json.pretty();
     // The artifact contract the CI smoke step relies on: the
-    // fault-resilience and engine-perf sections exist and carry their
-    // per-cell / per-row figures.
+    // fault-resilience, engine-perf, and collectives sections exist and
+    // carry their per-cell / per-row figures.
     assert!(text.contains("\"fault_resilience\""));
     assert!(text.contains("\"degradation_at_top_rate\""));
     assert!(text.contains("\"delivered_fraction\""));
     assert!(text.contains("\"engine_perf\""));
     assert!(text.contains("\"hops_per_sec\""));
+    assert!(text.contains("\"collectives\""));
+    assert!(text.contains("\"completion_cycles\""));
+    assert!(text.contains("\"reached_fraction\""));
     std::fs::write("BENCH_sim.json", text).expect("write BENCH_sim.json");
-    println!("\nwrote BENCH_sim.json (engine_perf + fault_resilience sections included)");
+    println!(
+        "\nwrote BENCH_sim.json (engine_perf + fault_resilience + collectives sections included)"
+    );
 
     // The acceptance bar holds in both modes: the fixed-load stage always
     // runs the full-scale pair, and the speedup is a same-machine ratio.

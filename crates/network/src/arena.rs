@@ -32,14 +32,25 @@ use std::collections::VecDeque;
 /// beats a roomy one.
 pub const RING_STRIDE: usize = 4;
 
-/// Struct-of-arrays packet arena: destination, injection cycle, and hop
-/// count live in parallel vectors indexed by packet id, with freelist
-/// recycling. The engine's queues and arrival lists carry only the ids.
+/// Sentinel for the [`PacketSlab::next_copy`] column: this packet chains
+/// no follow-up copy (every non-collective packet, and the last sibling
+/// copy of a one-port replication chain).
+pub const NO_COPY: u32 = u32::MAX;
+
+/// Struct-of-arrays packet arena: destination, injection cycle, hop
+/// count, and the collective-replication chain live in parallel vectors
+/// indexed by packet id, with freelist recycling. The engine's queues and
+/// arrival lists carry only the ids.
 #[derive(Clone, Debug, Default)]
 pub struct PacketSlab {
     dst: Vec<u32>,
     inject: Vec<u64>,
     hops: Vec<u32>,
+    /// Collective tree-forwarding chain: the copy-plan edge the packet's
+    /// origin emits next, once this copy departs ([`NO_COPY`] otherwise).
+    /// Lives in the slab so replication allocates nothing per packet —
+    /// spawned copies reuse freelisted ids like every other packet.
+    next_copy: Vec<u32>,
     free: Vec<u32>,
 }
 
@@ -56,22 +67,26 @@ impl PacketSlab {
             dst: Vec::with_capacity(capacity),
             inject: Vec::with_capacity(capacity),
             hops: Vec::with_capacity(capacity),
+            next_copy: Vec::with_capacity(capacity),
             free: Vec::new(),
         }
     }
 
-    /// Admits a packet, reusing a retired id when one is free.
+    /// Admits a packet, reusing a retired id when one is free. The
+    /// replication chain starts empty ([`NO_COPY`]).
     #[inline]
     pub fn alloc(&mut self, dst: u32, inject: u64) -> u32 {
         if let Some(id) = self.free.pop() {
             self.dst[id as usize] = dst;
             self.inject[id as usize] = inject;
             self.hops[id as usize] = 0;
+            self.next_copy[id as usize] = NO_COPY;
             id
         } else {
             self.dst.push(dst);
             self.inject.push(inject);
             self.hops.push(0);
+            self.next_copy.push(NO_COPY);
             (self.dst.len() - 1) as u32
         }
     }
@@ -104,6 +119,20 @@ impl PacketSlab {
     #[inline]
     pub fn record_hop(&mut self, id: u32) {
         self.hops[id as usize] += 1;
+    }
+
+    /// The copy-plan edge the origin of packet `id` emits after this copy
+    /// departs, or [`NO_COPY`] — the one-port tree-forwarding chain of
+    /// [`simulate_collective`](crate::simulator::simulate_collective).
+    #[inline]
+    pub fn next_copy(&self, id: u32) -> u32 {
+        self.next_copy[id as usize]
+    }
+
+    /// Chains the follow-up copy-plan edge `next` onto packet `id`.
+    #[inline]
+    pub fn set_next_copy(&mut self, id: u32, next: u32) {
+        self.next_copy[id as usize] = next;
     }
 
     /// Packets currently live (allocated and not yet released).
@@ -226,6 +255,19 @@ mod tests {
         assert_eq!(slab.hops(c), 0, "recycled ids start fresh");
         assert_eq!(slab.dst(c), 3);
         assert_eq!(slab.live(), 2);
+    }
+
+    #[test]
+    fn copy_chain_column_defaults_clear_and_survives_recycling() {
+        let mut slab = PacketSlab::with_capacity(2);
+        let a = slab.alloc(1, 0);
+        assert_eq!(slab.next_copy(a), NO_COPY, "fresh packets chain nothing");
+        slab.set_next_copy(a, 17);
+        assert_eq!(slab.next_copy(a), 17);
+        slab.release(a);
+        let b = slab.alloc(2, 5);
+        assert_eq!(b, a, "freelist recycles");
+        assert_eq!(slab.next_copy(b), NO_COPY, "recycled ids chain nothing");
     }
 
     #[test]

@@ -14,10 +14,64 @@
 //! coordinate `r` when the target address stays valid). We implement a
 //! greedy one-port scheduler that works on any topology and verify the
 //! round counts against those structural bounds.
+//!
+//! Disconnected networks — routine since
+//! [`FaultSet::healthy_subgraph`](crate::fault::FaultSet::healthy_subgraph)
+//! produces them — are typed [`BroadcastError`]s, not panics: the public
+//! schedulers return `Result`, and the partial-coverage core they share
+//! also powers the *live* collective workloads
+//! ([`CollectiveSpec`](crate::collective::CollectiveSpec)), which
+//! deliberately cover only the source's surviving component.
 
-use std::collections::VecDeque;
+use core::fmt;
 
+use fibcube_graph::csr::CsrGraph;
+
+use crate::experiment::ExperimentError;
 use crate::topology::Topology;
+
+/// A broadcast the scheduler rejected — the disconnected-network failure
+/// mode that used to be an `assert!` (all-port) or a stall (one-port), as
+/// a typed, `?`-friendly error mirroring
+/// [`FaultError`](crate::fault::FaultError) /
+/// [`ExperimentError`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BroadcastError {
+    /// The source cannot reach every node: the network is disconnected
+    /// (e.g. the healthy subgraph of a fault set).
+    Disconnected {
+        /// The broadcast source.
+        source: u32,
+        /// Nodes the source can reach (source included).
+        reached: usize,
+        /// Nodes in the network.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for BroadcastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BroadcastError::Disconnected {
+                source,
+                reached,
+                nodes,
+            } => write!(
+                f,
+                "broadcast from {source} reaches only {reached} of {nodes} nodes: \
+                 the network is disconnected"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BroadcastError {}
+
+impl From<BroadcastError> for ExperimentError {
+    fn from(e: BroadcastError) -> ExperimentError {
+        ExperimentError::Broadcast(e)
+    }
+}
 
 /// Result of a broadcast: per-node round of becoming informed.
 #[derive(Clone, Debug)]
@@ -32,56 +86,81 @@ pub struct BroadcastSchedule {
     pub calls: Vec<(u32, u32)>,
 }
 
-/// All-port broadcast: BFS level = informing round.
-pub fn broadcast_all_port(t: &dyn Topology, source: u32) -> BroadcastSchedule {
-    let dist = fibcube_graph::bfs::bfs_distances(t.graph(), source);
-    let mut calls = Vec::new();
-    let mut round = vec![0u32; t.len()];
-    let mut max = 0;
+/// A schedule over whatever the source can reach: the shared core behind
+/// the public schedulers (which reject partial coverage with a typed
+/// error) and the collective compiler (which wants exactly the reachable
+/// component). `round[v] == u32::MAX` marks unreached nodes; `calls` are
+/// in non-decreasing round order.
+pub(crate) struct PartialSchedule {
+    /// `round[v]`, or `u32::MAX` when `v` is unreachable from the source.
+    pub round: Vec<u32>,
+    /// Rounds until the reachable set is informed (0 when alone).
+    pub rounds: u32,
+    /// Tree edges `(parent, child)` in non-decreasing round order.
+    pub calls: Vec<(u32, u32)>,
+    /// Nodes informed, source included.
+    pub reached: usize,
+}
+
+/// All-port partial schedule: BFS level = informing round, restricted to
+/// the source's component.
+pub(crate) fn partial_all_port(g: &CsrGraph, source: u32) -> PartialSchedule {
+    let dist = fibcube_graph::bfs::bfs_distances(g, source);
+    let mut round = vec![u32::MAX; g.num_vertices()];
+    let mut order: Vec<u32> = Vec::new();
+    let mut rounds = 0;
+    let mut reached = 0usize;
     for (v, &dv) in dist.iter().enumerate() {
-        assert_ne!(
-            dv,
-            fibcube_graph::INFINITY,
-            "broadcast needs a connected network"
-        );
+        if dv == fibcube_graph::INFINITY {
+            continue;
+        }
         round[v] = dv;
-        max = max.max(dv);
+        rounds = rounds.max(dv);
+        reached += 1;
         if dv > 0 {
-            // Parent: any neighbor one level up.
-            let parent = t
-                .graph()
-                .neighbors(v as u32)
-                .iter()
-                .copied()
-                .find(|&u| dist[u as usize] + 1 == dv)
-                .expect("BFS level has a parent");
-            calls.push((parent, v as u32));
+            order.push(v as u32);
         }
     }
-    BroadcastSchedule {
-        source,
+    // Emit calls in round order (BFS levels), parent = any neighbor one
+    // level up.
+    order.sort_by_key(|&v| round[v as usize]);
+    let calls = order
+        .into_iter()
+        .map(|v| {
+            let parent = g
+                .neighbors(v)
+                .iter()
+                .copied()
+                .find(|&u| dist[u as usize] + 1 == dist[v as usize])
+                .expect("BFS level has a parent");
+            (parent, v)
+        })
+        .collect();
+    PartialSchedule {
         round,
-        rounds: max,
+        rounds,
         calls,
+        reached,
     }
 }
 
-/// Greedy one-port (telephone) broadcast: each round, every informed node
-/// calls one uninformed neighbor, preferring the neighbor whose subtree
-/// need is largest (here approximated by highest remaining degree — the
-/// classic greedy heuristic). Returns the achieved schedule.
-pub fn broadcast_one_port(t: &dyn Topology, source: u32) -> BroadcastSchedule {
-    let n = t.len();
-    let g = t.graph();
+/// Greedy one-port partial schedule: each round, every informed node
+/// calls one uninformed neighbor (preferring the neighbor with the most
+/// uninformed neighbors of its own), stopping when a full round makes no
+/// progress — which on a disconnected graph simply leaves the other
+/// components unreached instead of stalling.
+pub(crate) fn partial_one_port(g: &CsrGraph, source: u32) -> PartialSchedule {
+    let n = g.num_vertices();
     let mut informed = vec![false; n];
-    let mut round = vec![0u32; n];
+    let mut round = vec![u32::MAX; n];
     let mut calls = Vec::new();
     informed[source as usize] = true;
-    let mut holders: VecDeque<u32> = VecDeque::from([source]);
+    round[source as usize] = 0;
+    let mut holders: Vec<u32> = vec![source];
     let mut rounds = 0u32;
-    let mut informed_count = 1usize;
-    while informed_count < n {
-        rounds += 1;
+    let mut reached = 1usize;
+    loop {
+        let r = rounds + 1;
         let mut new_holders = Vec::new();
         for &u in holders.iter() {
             // Call the uninformed neighbor with the most uninformed
@@ -101,24 +180,69 @@ pub fn broadcast_one_port(t: &dyn Topology, source: u32) -> BroadcastSchedule {
                 });
             if let Some(v) = candidate {
                 informed[v as usize] = true;
-                round[v as usize] = rounds;
+                round[v as usize] = r;
                 calls.push((u, v));
                 new_holders.push(v);
-                informed_count += 1;
+                reached += 1;
             }
         }
-        assert!(
-            !new_holders.is_empty() || informed_count == n,
-            "connected networks always make progress"
-        );
+        if new_holders.is_empty() {
+            // No informed node found an uninformed neighbor: everything
+            // reachable is informed. On a connected graph this happens
+            // exactly once coverage is complete; on a disconnected one it
+            // is the clean termination the old loop lacked.
+            break;
+        }
+        rounds = r;
         holders.extend(new_holders);
     }
-    BroadcastSchedule {
-        source,
+    PartialSchedule {
         round,
         rounds,
         calls,
+        reached,
     }
+}
+
+fn complete(
+    t: &dyn Topology,
+    source: u32,
+    p: PartialSchedule,
+) -> Result<BroadcastSchedule, BroadcastError> {
+    if p.reached < t.len() {
+        return Err(BroadcastError::Disconnected {
+            source,
+            reached: p.reached,
+            nodes: t.len(),
+        });
+    }
+    Ok(BroadcastSchedule {
+        source,
+        round: p.round,
+        rounds: p.rounds,
+        calls: p.calls,
+    })
+}
+
+/// All-port broadcast: BFS level = informing round. `Err` when the
+/// network is disconnected (the schedule cannot cover every node).
+pub fn broadcast_all_port(
+    t: &dyn Topology,
+    source: u32,
+) -> Result<BroadcastSchedule, BroadcastError> {
+    complete(t, source, partial_all_port(t.graph(), source))
+}
+
+/// Greedy one-port (telephone) broadcast: each round, every informed node
+/// calls one uninformed neighbor, preferring the neighbor whose subtree
+/// need is largest (here approximated by highest remaining degree — the
+/// classic greedy heuristic). Returns the achieved schedule, or `Err`
+/// when the network is disconnected.
+pub fn broadcast_one_port(
+    t: &dyn Topology,
+    source: u32,
+) -> Result<BroadcastSchedule, BroadcastError> {
+    complete(t, source, partial_one_port(t.graph(), source))
 }
 
 /// Validates a schedule: every node informed exactly once, by an informed
@@ -164,17 +288,18 @@ pub fn verify_schedule(t: &dyn Topology, s: &BroadcastSchedule, one_port: bool) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultSet;
     use crate::topology::{FibonacciNet, Hypercube, Ring};
 
     #[test]
     fn all_port_rounds_equal_eccentricity() {
         let q = Hypercube::new(4);
-        let s = broadcast_all_port(&q, 0);
+        let s = broadcast_all_port(&q, 0).expect("Q_4 is connected");
         assert_eq!(s.rounds, 4);
         assert!(verify_schedule(&q, &s, false));
         let net = FibonacciNet::classical(7);
         let zero = net.node_of(&fibcube_words::Word::zeros(7)).unwrap();
-        let s = broadcast_all_port(&net, zero);
+        let s = broadcast_all_port(&net, zero).expect("Γ_7 is connected");
         // ecc(0^d) in Γ_d is ⌈d/2⌉ (the farthest vertex alternates 1s).
         assert_eq!(s.rounds, 4);
         assert!(verify_schedule(&net, &s, false));
@@ -184,7 +309,7 @@ mod tests {
     fn one_port_hypercube_matches_recursive_doubling() {
         for d in 1..=5 {
             let q = Hypercube::new(d);
-            let s = broadcast_one_port(&q, 0);
+            let s = broadcast_one_port(&q, 0).expect("hypercubes are connected");
             assert!(verify_schedule(&q, &s, true), "d={d}");
             // Optimal is exactly d rounds; greedy must not exceed d + 1.
             assert!(s.rounds >= d as u32);
@@ -196,7 +321,7 @@ mod tests {
     fn one_port_fibonacci_close_to_information_bound() {
         for d in 2..=9 {
             let net = FibonacciNet::classical(d);
-            let s = broadcast_one_port(&net, 0);
+            let s = broadcast_one_port(&net, 0).expect("Γ_d is connected");
             assert!(verify_schedule(&net, &s, true), "d={d}");
             let n = net.len() as f64;
             let floor = n.log2().ceil() as u32;
@@ -210,7 +335,7 @@ mod tests {
     #[test]
     fn ring_one_port_takes_about_half_n() {
         let r = Ring::new(12);
-        let s = broadcast_one_port(&r, 0);
+        let s = broadcast_one_port(&r, 0).expect("rings are connected");
         assert!(verify_schedule(&r, &s, true));
         // Two fronts propagate after the initial call: ≥ n/2 rounds.
         assert!(s.rounds >= 6);
@@ -219,8 +344,111 @@ mod tests {
     #[test]
     fn every_node_informed_exactly_once() {
         let net = FibonacciNet::new(8, 3);
-        let s = broadcast_one_port(&net, 5);
+        let s = broadcast_one_port(&net, 5).expect("Q_8(1^3) is connected");
         assert_eq!(s.calls.len(), net.len() - 1);
         assert!(verify_schedule(&net, &s, true));
+    }
+
+    /// A graph-only test topology: the healthy subgraph of a fault set,
+    /// as the collective path sees it. Routing is never consulted by the
+    /// schedulers.
+    struct Subnet {
+        graph: CsrGraph,
+    }
+
+    impl Topology for Subnet {
+        fn name(&self) -> String {
+            "Subnet".into()
+        }
+        fn len(&self) -> usize {
+            self.graph.num_vertices()
+        }
+        fn graph(&self) -> &CsrGraph {
+            &self.graph
+        }
+        fn next_hop(&self, _cur: u32, _dst: u32) -> Option<u32> {
+            unreachable!("broadcast schedulers never route")
+        }
+    }
+
+    #[test]
+    fn disconnected_networks_are_typed_errors_not_panics_or_stalls() {
+        // Satellite regression: isolate node 1 of Γ_16 by failing all its
+        // neighbors, then broadcast on the healthy subgraph — exactly what
+        // `FaultSet::healthy_subgraph` hands the collective path. The old
+        // all-port asserted and the old one-port never terminated here.
+        let net = FibonacciNet::classical(16);
+        // Isolate a node whose neighborhood does not contain the source.
+        let isolated = (1..net.len() as u32)
+            .find(|&v| !net.graph().neighbors(v).contains(&0))
+            .expect("Γ_16 has nodes not adjacent to 0");
+        let cut: Vec<u32> = net.graph().neighbors(isolated).to_vec();
+        let faults = FaultSet::new(cut, []);
+        let (healthy, survivors) = faults.healthy_subgraph(net.graph());
+        let sub = Subnet { graph: healthy };
+        // The isolated node survives but is cut off from the source.
+        let zero = survivors.iter().position(|&v| v == 0).unwrap() as u32;
+        let isolated_new = survivors.iter().position(|&v| v == isolated).unwrap();
+        for schedule in [
+            broadcast_all_port(&sub, zero),
+            broadcast_one_port(&sub, zero),
+        ] {
+            let err = schedule.expect_err("isolated survivor ⇒ disconnected");
+            let BroadcastError::Disconnected {
+                source,
+                reached,
+                nodes,
+            } = err.clone();
+            assert_eq!(source, zero);
+            assert_eq!(nodes, sub.len());
+            assert!(reached < nodes, "{err}");
+            assert!(err.to_string().contains("disconnected"), "{err}");
+            // And the satellite's `?`-friendliness: From<BroadcastError>.
+            let exp: ExperimentError = err.into();
+            assert!(matches!(exp, ExperimentError::Broadcast(_)));
+            assert!(exp.to_string().contains("disconnected"), "{exp}");
+        }
+        // The partial core still schedules the reachable component — the
+        // isolated node stays unreached, everything scheduled got a call.
+        let p = partial_one_port(sub.graph(), zero);
+        assert!(p.reached < sub.len());
+        assert_eq!(p.round[isolated_new], u32::MAX, "isolated node unreached");
+        assert_eq!(p.calls.len(), p.reached - 1);
+    }
+
+    #[test]
+    fn partial_calls_are_in_round_order_with_consecutive_sibling_rounds() {
+        // The property the live one-port replication relies on: the calls
+        // a node makes occupy consecutive rounds starting right after it
+        // was informed, and the call list is round-sorted.
+        for t in [
+            &FibonacciNet::classical(9) as &dyn Topology,
+            &Hypercube::new(5),
+            &Ring::new(14),
+        ] {
+            for port in [
+                partial_one_port(t.graph(), 0),
+                partial_all_port(t.graph(), 0),
+            ] {
+                let rounds: Vec<u32> = port
+                    .calls
+                    .iter()
+                    .map(|&(_, v)| port.round[v as usize])
+                    .collect();
+                assert!(rounds.windows(2).all(|w| w[0] <= w[1]), "{}", t.name());
+            }
+            let p = partial_one_port(t.graph(), 0);
+            let mut next_round: Vec<u32> =
+                (0..t.len()).map(|v| p.round[v].saturating_add(1)).collect();
+            for &(u, v) in &p.calls {
+                assert_eq!(
+                    p.round[v as usize],
+                    next_round[u as usize],
+                    "{}: caller {u} must fire on consecutive rounds",
+                    t.name()
+                );
+                next_round[u as usize] += 1;
+            }
+        }
     }
 }

@@ -68,11 +68,13 @@ use core::fmt;
 
 use fibcube_graph::parallel::par_map;
 
+use crate::broadcast::BroadcastError;
+use crate::collective::{CollectiveOutcome, CollectiveSpec, CollectiveWorkload};
 use crate::fault::{FaultError, FaultSpec};
 use crate::observer::{NoopObserver, SimObserver};
 use crate::report::Report;
 use crate::router::RouterSpec;
-use crate::simulator::{simulate_faulted, simulate_observed};
+use crate::simulator::{simulate_collective, simulate_faulted, simulate_observed};
 use crate::topology::Topology;
 use crate::traffic::TrafficSpec;
 
@@ -105,9 +107,23 @@ pub enum ExperimentError {
         /// Why it was rejected.
         reason: String,
     },
+    /// The collective spec is degenerate for the target network
+    /// (nonexistent source, too many multicast destinations, …).
+    InvalidCollective {
+        /// The offending spec, in canonical text form.
+        spec: String,
+        /// What is wrong with it.
+        reason: String,
+    },
     /// The fault scenario is invalid for the target network (or its spec
     /// text failed to parse) — see [`FaultError`].
     Fault(FaultError),
+    /// A broadcast schedule could not cover the network — see
+    /// [`BroadcastError`]. (The collective path never produces this: it
+    /// deliberately schedules partial coverage and types the rest as
+    /// drops; the variant carries the static schedulers' errors through
+    /// `?`.)
+    Broadcast(BroadcastError),
 }
 
 impl From<FaultError> for ExperimentError {
@@ -132,7 +148,11 @@ impl fmt::Display for ExperimentError {
                 input,
                 reason,
             } => write!(f, "cannot parse {what} spec `{input}`: {reason}"),
+            ExperimentError::InvalidCollective { spec, reason } => {
+                write!(f, "invalid collective `{spec}`: {reason}")
+            }
             ExperimentError::Fault(e) => write!(f, "invalid fault scenario: {e}"),
+            ExperimentError::Broadcast(e) => write!(f, "broadcast failed: {e}"),
         }
     }
 }
@@ -150,6 +170,7 @@ pub struct Experiment<'a, T: Topology + ?Sized, O: SimObserver = NoopObserver> {
     topology: &'a T,
     router: RouterSpec,
     traffic: TrafficSpec,
+    collective: Option<CollectiveSpec>,
     faults: FaultSpec,
     max_cycles: u64,
     seed: u64,
@@ -166,6 +187,7 @@ impl<'a, T: Topology + ?Sized> Experiment<'a, T, NoopObserver> {
                 count: 1000,
                 window: 250,
             },
+            collective: None,
             faults: FaultSpec::None,
             max_cycles: u64::MAX,
             seed: 0,
@@ -178,6 +200,12 @@ impl<'a, T: Topology + ?Sized> Experiment<'a, T, NoopObserver> {
 /// both a pure function of the experiment seed.
 fn fault_seed(seed: u64) -> u64 {
     seed ^ 0xFA17_5EED_0C0D_ED00
+}
+
+/// Decorrelates the collective's random draws (multicast destinations)
+/// from traffic and fault placement.
+fn collective_seed(seed: u64) -> u64 {
+    seed ^ 0xC011_EC71_5EED_0001
 }
 
 /// The shared batch machinery behind [`Experiment::run_batch`] and the
@@ -216,12 +244,14 @@ impl<'a, T: Topology + Sync + ?Sized> Experiment<'a, T, NoopObserver> {
     /// failing seed (in `seeds` order) winning.
     pub fn run_batch(&self, seeds: &[u64]) -> Result<Vec<Report>, ExperimentError> {
         run_cells(seeds.len(), |i| {
-            Experiment::on(self.topology)
+            let mut cell = Experiment::on(self.topology)
                 .router(self.router)
                 .traffic(self.traffic.clone())
                 .faults(self.faults.clone())
                 .cycles(self.max_cycles)
-                .seed(seeds[i])
+                .seed(seeds[i]);
+            cell.collective = self.collective.clone();
+            cell
         })
     }
 }
@@ -236,6 +266,21 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
     /// Selects the workload (default 1000 uniform packets, window 250).
     pub fn traffic(mut self, spec: TrafficSpec) -> Self {
         self.traffic = spec;
+        self
+    }
+
+    /// Runs a collective-communication workload
+    /// ([`CollectiveSpec`]) *instead of* point-to-point traffic: the
+    /// [`traffic`](Experiment::traffic) spec is ignored while a
+    /// collective is set. Tree collectives (broadcast/multicast) execute
+    /// by packet replication over a
+    /// [`CopyPlan`](crate::collective::CopyPlan) compiled against the
+    /// (possibly degraded) network; `alltoallp` runs as routed unicasts.
+    /// The [`Report`] gains a
+    /// [`collective`](crate::report::Report::collective) outcome with the
+    /// completion-time/round statistics.
+    pub fn collective(mut self, spec: CollectiveSpec) -> Self {
+        self.collective = Some(spec);
         self
     }
 
@@ -276,6 +321,7 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
             topology: self.topology,
             router: self.router,
             traffic: self.traffic,
+            collective: self.collective,
             faults: self.faults,
             max_cycles: self.max_cycles,
             seed: self.seed,
@@ -285,13 +331,18 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
 
     /// Validates the configuration, generates the workload, materialises
     /// the fault scenario, resolves the router, runs the engine (healthy
-    /// or degraded), and assembles the [`Report`].
+    /// or degraded), and assembles the [`Report`]. A configured
+    /// [`collective`](Experiment::collective) replaces the traffic
+    /// workload and adds its [`CollectiveOutcome`] to the report.
     pub fn run(mut self) -> Result<Report, ExperimentError> {
         let n = self.topology.len();
-        self.traffic.validate(n)?;
         let fault_set = self
             .faults
             .sample(self.topology.graph(), fault_seed(self.seed))?;
+        if let Some(spec) = self.collective.take() {
+            return self.run_collective(spec, fault_set);
+        }
+        self.traffic.validate(n)?;
         let router = self.router.resolve(self.topology)?;
         // A degraded run executes the fault-masking wrapper, and the
         // report should say so rather than claim the bare policy ran.
@@ -331,6 +382,93 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
             seed: self.seed,
             max_cycles: self.max_cycles,
             stats,
+            collective: None,
+            sections: self.observer.sections(),
+        })
+    }
+
+    /// The collective half of [`run`](Experiment::run): compiles the spec
+    /// against the (possibly degraded) network and executes it — tree
+    /// collectives by replication through
+    /// [`simulate_collective`], the
+    /// personalized exchange as routed unicasts through the ordinary
+    /// (healthy or faulted) engine.
+    fn run_collective(
+        mut self,
+        spec: CollectiveSpec,
+        fault_set: crate::fault::FaultSet,
+    ) -> Result<Report, ExperimentError> {
+        let n = self.topology.len();
+        let workload = spec.compile(
+            self.topology.graph(),
+            &fault_set,
+            collective_seed(self.seed),
+        )?;
+        let (stats, router_name, outcome) = match workload {
+            CollectiveWorkload::Tree(plan) => {
+                let (stats, reached) =
+                    simulate_collective(self.topology, &plan, self.max_cycles, &mut self.observer);
+                let outcome = CollectiveOutcome {
+                    spec: spec.to_string(),
+                    targets: plan.targets(),
+                    reached,
+                    // Only the full broadcast has an exact static oracle;
+                    // pruned multicast trees re-serialize more tightly.
+                    schedule_rounds: spec.is_broadcast().then(|| plan.schedule_rounds()),
+                    completion_cycles: stats.makespan,
+                };
+                // Tree forwarding consults no routing policy: the plan
+                // resolved every edge at compile time.
+                (stats, "tree-forward".to_string(), outcome)
+            }
+            CollectiveWorkload::Unicasts(packets) => {
+                let router = self.router.resolve(self.topology)?;
+                let router_name = if fault_set.is_empty() {
+                    router.name()
+                } else {
+                    crate::router::masked_router_name(&router.name())
+                };
+                let stats = if fault_set.is_empty() {
+                    simulate_observed(
+                        self.topology,
+                        &*router,
+                        &packets,
+                        self.max_cycles,
+                        &mut self.observer,
+                    )
+                } else {
+                    simulate_faulted(
+                        self.topology,
+                        &*router,
+                        &fault_set,
+                        &packets,
+                        self.max_cycles,
+                        &mut self.observer,
+                    )
+                };
+                let outcome = CollectiveOutcome {
+                    spec: spec.to_string(),
+                    targets: packets.len(),
+                    reached: stats.delivered,
+                    schedule_rounds: None,
+                    completion_cycles: stats.makespan,
+                };
+                (stats, router_name, outcome)
+            }
+        };
+        Ok(Report {
+            topology: self.topology.name(),
+            nodes: n,
+            router_spec: self.router.to_string(),
+            router: router_name,
+            traffic: spec.to_string(),
+            faults: self.faults.to_string(),
+            failed_nodes: fault_set.failed_nodes().len(),
+            failed_links: fault_set.failed_links().len(),
+            seed: self.seed,
+            max_cycles: self.max_cycles,
+            stats,
+            collective: Some(outcome),
             sections: self.observer.sections(),
         })
     }
@@ -620,6 +758,290 @@ mod tests {
         assert!(matches!(err, ExperimentError::UnsupportedRouter { .. }));
         // An empty batch runs nothing and succeeds.
         assert!(Experiment::on(&ring).run_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn collective_completion_matches_static_schedule_on_the_acceptance_pair() {
+        // Acceptance criterion of the collective path: on healthy Γ_16
+        // and Q_11 the *simulated* one-port broadcast completes in
+        // exactly the static schedule's round count, and the all-port
+        // broadcast in exactly the source's eccentricity.
+        use crate::broadcast::{broadcast_all_port, broadcast_one_port};
+        use crate::collective::{CollectiveSpec, Port};
+        let gamma = FibonacciNet::classical(16);
+        let q = Hypercube::new(11);
+        for topo in [&gamma as &dyn Topology, &q] {
+            let one = broadcast_one_port(topo, 0).expect("connected");
+            let report = Experiment::on(topo)
+                .collective(CollectiveSpec::Broadcast {
+                    source: 0,
+                    port: Port::One,
+                })
+                .run()
+                .expect("healthy broadcast runs");
+            let outcome = report.collective.as_ref().expect("collective outcome");
+            assert_eq!(
+                outcome.completion_cycles,
+                one.rounds as u64,
+                "{}: live one-port completion must equal static rounds",
+                topo.name()
+            );
+            assert_eq!(outcome.schedule_rounds, Some(one.rounds));
+            assert_eq!(outcome.targets, topo.len() - 1);
+            assert_eq!(outcome.reached, topo.len() - 1);
+            assert_eq!(report.stats.delivered, report.stats.offered);
+            assert_eq!(report.router, "tree-forward");
+            assert_eq!(report.traffic, "broadcast(source=0,port=one)");
+
+            let all = broadcast_all_port(topo, 0).expect("connected");
+            let ecc = fibcube_graph::bfs::bfs_distances(topo.graph(), 0)
+                .iter()
+                .copied()
+                .max()
+                .unwrap() as u64;
+            assert_eq!(all.rounds as u64, ecc);
+            let report = Experiment::on(topo)
+                .collective(CollectiveSpec::Broadcast {
+                    source: 0,
+                    port: Port::All,
+                })
+                .run()
+                .unwrap();
+            let outcome = report.collective.as_ref().unwrap();
+            assert_eq!(
+                outcome.completion_cycles,
+                ecc,
+                "{}: all-port completion must equal source eccentricity",
+                topo.name()
+            );
+            assert_eq!(outcome.reached, topo.len() - 1);
+        }
+    }
+
+    #[test]
+    fn faulted_collective_delivers_exactly_the_survivor_component() {
+        // Acceptance criterion: under node faults the broadcast reaches
+        // exactly the source's surviving component — no more, no less —
+        // with every other intended recipient typed, and conservation
+        // extending to replicated copies.
+        use crate::collective::{CollectiveSpec, Port};
+        use fibcube_graph::bfs::{bfs_distances, INFINITY};
+        let net = FibonacciNet::classical(10); // 144 nodes
+        for seed in [3u64, 17, 99] {
+            let spec = FaultSpec::Nodes { count: 30 };
+            let fault_set = spec
+                .sample(net.graph(), super::fault_seed(seed))
+                .expect("30 of 144 is survivable");
+            // The experiment draws the same fault set from the same seed.
+            let mut delivered_to = crate::observer::DeliveryTracker::new();
+            let report = Experiment::on(&net)
+                .collective(CollectiveSpec::Broadcast {
+                    source: 0,
+                    port: Port::One,
+                })
+                .faults(spec.clone())
+                .seed(seed)
+                .observe(&mut delivered_to)
+                .run()
+                .expect("degraded broadcast runs");
+            let outcome = report.collective.as_ref().unwrap();
+            let s = &report.stats;
+            // Static survivor component of the source.
+            if !fault_set.node_alive(0) {
+                assert_eq!(outcome.reached, 0, "dead source reaches nobody");
+                assert_eq!(s.dropped_dead_endpoint, net.len() - 1);
+                continue;
+            }
+            let (healthy, survivors) = fault_set.healthy_subgraph(net.graph());
+            let src_new = survivors.iter().position(|&v| v == 0).unwrap() as u32;
+            let dist = bfs_distances(&healthy, src_new);
+            let component = dist.iter().filter(|&&d| d != INFINITY).count();
+            assert_eq!(
+                outcome.reached,
+                component - 1,
+                "seed {seed}: broadcast must reach exactly the survivor component"
+            );
+            assert_eq!(s.delivered, component - 1, "pure broadcast has no relays");
+            // Typed drops: dead recipients + disconnected survivors.
+            assert_eq!(s.dropped_dead_endpoint, fault_set.failed_nodes().len());
+            assert_eq!(s.dropped_unreachable, survivors.len() - component);
+            // Copy conservation: offered == delivered + dropped (drained).
+            assert_eq!(s.offered, net.len() - 1);
+            assert_eq!(s.delivered + s.dropped(), s.offered, "seed {seed}");
+            assert_eq!(delivered_to.in_flight(), 0);
+            // Completion still equals the degraded schedule's rounds.
+            assert_eq!(
+                outcome.completion_cycles,
+                outcome.schedule_rounds.unwrap() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn collective_experiments_compose_with_the_rest_of_the_api() {
+        use crate::collective::{CollectiveSpec, Port};
+        // Multicast: seeded targets, pruned tree, relays counted as
+        // deliveries but not as reached targets.
+        let net = FibonacciNet::classical(9);
+        let report = Experiment::on(&net)
+            .collective(CollectiveSpec::Multicast {
+                source: 0,
+                count: 10,
+                port: Port::All,
+            })
+            .seed(5)
+            .run()
+            .unwrap();
+        let outcome = report.collective.as_ref().unwrap();
+        assert_eq!(outcome.targets, 10);
+        assert_eq!(outcome.reached, 10);
+        assert!(report.stats.delivered >= 10, "relays also receive copies");
+        assert_eq!(outcome.schedule_rounds, None, "no oracle for pruned trees");
+        // Same seed ⇒ identical run; different seed ⇒ different targets.
+        let again = Experiment::on(&net)
+            .collective(CollectiveSpec::Multicast {
+                source: 0,
+                count: 10,
+                port: Port::All,
+            })
+            .seed(5)
+            .run()
+            .unwrap();
+        assert_eq!(again.stats, report.stats);
+
+        // alltoallp runs as routed unicasts — with faults it degrades
+        // like ordinary traffic, and the outcome echoes the makespan.
+        let q = Hypercube::new(4);
+        let report = Experiment::on(&q)
+            .collective(CollectiveSpec::AllToAllPersonalized)
+            .faults(FaultSpec::Nodes { count: 2 })
+            .seed(1)
+            .run()
+            .unwrap();
+        let outcome = report.collective.as_ref().unwrap();
+        assert_eq!(outcome.targets, 16 * 15);
+        assert_eq!(outcome.reached, report.stats.delivered);
+        assert_eq!(outcome.completion_cycles, report.stats.makespan);
+        assert!(report.router.starts_with("fault-masked("));
+        assert_eq!(
+            report.stats.delivered + report.stats.dropped(),
+            report.stats.offered
+        );
+
+        // run_batch fans collectives out like any other configuration.
+        let batch = Experiment::on(&net)
+            .collective(CollectiveSpec::Broadcast {
+                source: 0,
+                port: Port::One,
+            })
+            .faults(FaultSpec::Nodes { count: 5 })
+            .run_batch(&[1, 2, 3])
+            .unwrap();
+        assert_eq!(batch.len(), 3);
+        for (r, seed) in batch.iter().zip([1u64, 2, 3]) {
+            let solo = Experiment::on(&net)
+                .collective(CollectiveSpec::Broadcast {
+                    source: 0,
+                    port: Port::One,
+                })
+                .faults(FaultSpec::Nodes { count: 5 })
+                .seed(seed)
+                .run()
+                .unwrap();
+            assert_eq!(r.stats, solo.stats, "seed {seed}");
+            assert_eq!(r.collective, solo.collective, "seed {seed}");
+        }
+
+        // Degenerate configurations are typed errors.
+        let err = Experiment::on(&q)
+            .collective(CollectiveSpec::Broadcast {
+                source: 99,
+                port: Port::One,
+            })
+            .run()
+            .expect_err("source 99 does not exist");
+        assert!(matches!(err, ExperimentError::InvalidCollective { .. }));
+        assert!(err.to_string().contains("collective"), "{err}");
+
+        // And the text form works end to end with `?`.
+        fn text_driven() -> Result<Report, Box<dyn std::error::Error>> {
+            let q = Hypercube::new(5);
+            let spec: crate::collective::CollectiveSpec = "broadcast(source=0,port=all)".parse()?;
+            Ok(Experiment::on(&q).collective(spec).run()?)
+        }
+        let report = text_driven().expect("valid text configuration");
+        assert_eq!(report.collective.unwrap().completion_cycles, 5);
+    }
+
+    #[test]
+    fn ring_all_to_all_loads_both_directions_equally() {
+        // Satellite regression: the even-ring antipodal tie used to break
+        // always clockwise, so Ring_8 all-to-all overloaded that
+        // direction (32 extra clockwise hops from the 8 antipodal pairs).
+        // With the parity tie-break the two directions carry identical
+        // totals.
+        let ring = Ring::new(8);
+        let mut heat = LinkHeatmap::new();
+        let report = Experiment::on(&ring)
+            .traffic(TrafficSpec::AllToAll)
+            .observe(&mut heat)
+            .run()
+            .expect("builtin routing on a ring");
+        assert_eq!(report.stats.delivered, 8 * 7);
+        let g = ring.graph();
+        let mut clockwise = 0u64;
+        let mut counter = 0u64;
+        for u in 0..8u32 {
+            for e in g.edge_range(u) {
+                let v = g.target(e);
+                if v == (u + 1) % 8 {
+                    clockwise += heat.load(e);
+                } else {
+                    counter += heat.load(e);
+                }
+            }
+        }
+        assert_eq!(heat.total_hops(), clockwise + counter);
+        assert_eq!(
+            clockwise, counter,
+            "antipodal ties must balance the two directions"
+        );
+    }
+
+    #[test]
+    fn collective_report_json_carries_the_outcome() {
+        use crate::collective::{CollectiveSpec, Port};
+        let q = Hypercube::new(4);
+        let report = Experiment::on(&q)
+            .collective(CollectiveSpec::Broadcast {
+                source: 3,
+                port: Port::One,
+            })
+            .run()
+            .unwrap();
+        let json = report.to_json();
+        for needle in [
+            "\"traffic\": \"broadcast(source=3,port=one)\"",
+            "\"router\": \"tree-forward\"",
+            "\"collective\": {",
+            "\"schedule_rounds\":",
+            "\"completion_cycles\":",
+            "\"reached_fraction\": 1",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // Traffic-only reports serialise a null collective.
+        let plain = Experiment::on(&q)
+            .traffic(TrafficSpec::AllToAll)
+            .run()
+            .unwrap();
+        assert!(plain.collective.is_none());
+        assert!(plain.to_json().contains("\"collective\": null"));
+        // The human summary mentions the collective.
+        assert!(
+            report.to_string().contains("collective reached"),
+            "{report}"
+        );
     }
 
     #[test]

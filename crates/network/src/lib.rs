@@ -35,8 +35,13 @@
 //! * [`traffic`] — declarative, seeded workload specs ([`TrafficSpec`]:
 //!   uniform, hot-spot, complement permutation, all-to-all, open-loop
 //!   Bernoulli, mixes — all CLI/JSON-parseable);
-//! * [`broadcast`] — one-to-all broadcast in the all-port and one-port
-//!   models;
+//! * [`broadcast`] — one-to-all broadcast schedules in the all-port and
+//!   one-port models (typed [`BroadcastError`] on disconnected networks);
+//! * [`collective`] — collectives as *live* workloads: a
+//!   [`CollectiveSpec`] (broadcast / multicast / all-to-all personalized)
+//!   compiles to a [`CopyPlan`] the engine executes by packet replication
+//!   at intermediate nodes, healthy or faulted, reporting
+//!   completion-time/round statistics ([`CollectiveOutcome`]);
 //! * [`metrics`](mod@metrics) — the static figure-of-merit table (degree, diameter,
 //!   average distance, cost);
 //! * [`hamilton`] — Hamiltonian paths/cycles ("mostly Hamiltonian");
@@ -54,6 +59,7 @@
 
 pub mod arena;
 pub mod broadcast;
+pub mod collective;
 pub mod dist;
 pub mod embedding;
 pub mod experiment;
@@ -69,7 +75,10 @@ pub mod topology;
 pub mod traffic;
 
 pub use arena::{LinkQueues, PacketSlab};
-pub use broadcast::{broadcast_all_port, broadcast_one_port, BroadcastSchedule};
+pub use broadcast::{
+    broadcast_all_port, broadcast_one_port, verify_schedule, BroadcastError, BroadcastSchedule,
+};
+pub use collective::{CollectiveOutcome, CollectiveSpec, CopyPlan, Port};
 pub use dist::DistanceTable;
 pub use embedding::{embed_hypercube, embed_path, embed_ring, Embedding};
 pub use experiment::{Experiment, ExperimentError};
@@ -86,12 +95,13 @@ pub use router::{
     NextHopTable, NoLoad, Router, RouterSpec,
 };
 pub use simulator::{
-    simulate, simulate_faulted, simulate_faulted_reference, simulate_observed, simulate_reference,
-    simulate_with, DropReason, SimStats,
+    simulate, simulate_collective, simulate_faulted, simulate_faulted_reference, simulate_observed,
+    simulate_reference, simulate_with, DropReason, SimStats,
 };
 pub use sweep::{
-    fault_load_sweep, injection_sweep, injection_sweep_with, rate_ladder, saturation_point,
-    FaultLoadGrid, FaultLoadPoint, LoadPoint, SweepConfig, SweepCurve,
+    collective_sweep, fault_load_sweep, injection_sweep, injection_sweep_with, rate_ladder,
+    saturation_point, CollectiveGrid, CollectivePoint, FaultLoadGrid, FaultLoadPoint, LoadPoint,
+    SweepConfig, SweepCurve,
 };
 pub use topology::{FibonacciNet, Hypercube, Mesh, Ring, RouteError, Topology};
 pub use traffic::{Packet, TrafficSpec};

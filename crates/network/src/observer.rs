@@ -30,6 +30,15 @@
 //! through a precomputed
 //! [`NextHopTable`](crate::router::NextHopTable).
 //!
+//! Collective runs
+//! ([`simulate_collective`](crate::simulator::simulate_collective)) emit
+//! the same hooks per *copy*: `on_inject(cycle, origin, child)` when a
+//! replica is spawned at its tree parent (so injections happen throughout
+//! the run, not just in the workload window), `on_drop` at cycle 0 for
+//! intended recipients the fault set killed or disconnected, and one
+//! single-hop `on_hop`/`on_deliver` pair per copy. [`DeliveryTracker`]
+//! therefore accounts collectives copy for copy with no changes.
+//!
 //! Three ready-made observers ship with the crate: [`LatencyHistogram`]
 //! (per-packet latency distribution, independently of [`SimStats`]'s own
 //! accounting), [`LinkHeatmap`] (per-directed-link traversal counts —

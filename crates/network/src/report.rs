@@ -10,6 +10,7 @@
 
 use core::fmt;
 
+use crate::collective::CollectiveOutcome;
 use crate::simulator::SimStats;
 
 /// A JSON document node. Numbers are split into unsigned integers and
@@ -192,8 +193,10 @@ pub struct Report {
     /// The policy that actually ran (`"e-cube"`, `"canonical"`, …;
     /// `"fault-masked(adaptive)"` etc. on degraded runs).
     pub router: String,
-    /// The [`TrafficSpec`](crate::traffic::TrafficSpec), in its canonical
-    /// parseable form.
+    /// The workload spec in its canonical parseable form — a
+    /// [`TrafficSpec`](crate::traffic::TrafficSpec), or the
+    /// [`CollectiveSpec`](crate::collective::CollectiveSpec) when the
+    /// experiment ran a collective.
     pub traffic: String,
     /// The [`FaultSpec`](crate::fault::FaultSpec) in its canonical
     /// parseable form, or `"none"` for a healthy run.
@@ -208,6 +211,9 @@ pub struct Report {
     pub max_cycles: u64,
     /// Aggregate simulation statistics.
     pub stats: SimStats,
+    /// Completion-time/round statistics of the collective workload, when
+    /// the experiment ran one (`None` for point-to-point traffic).
+    pub collective: Option<CollectiveOutcome>,
     /// Named JSON sections contributed by the observers, in attachment
     /// order.
     pub sections: Vec<(String, JsonValue)>,
@@ -233,6 +239,13 @@ impl Report {
             ("seed", JsonValue::Int(self.seed)),
             ("max_cycles", cap),
             ("stats", stats_to_json(&self.stats)),
+            (
+                "collective",
+                match &self.collective {
+                    Some(c) => c.to_json_value(),
+                    None => JsonValue::Null,
+                },
+            ),
             ("observers", JsonValue::Obj(self.sections.clone())),
         ])
     }
@@ -269,6 +282,16 @@ impl fmt::Display for Report {
                 self.stats.dropped_unreachable,
                 self.faults
             )?;
+        }
+        if let Some(c) = &self.collective {
+            write!(
+                f,
+                ", collective reached {}/{} targets in {} cycles",
+                c.reached, c.targets, c.completion_cycles
+            )?;
+            if let Some(r) = c.schedule_rounds {
+                write!(f, " (static schedule: {r} rounds)")?;
+            }
         }
         Ok(())
     }

@@ -43,12 +43,20 @@
 //! oracle the property tests compare against and the baseline the sweep
 //! binary measures speedups over. [`simulate_faulted_reference`] extends
 //! the same full-scan oracle to degraded networks.
+//!
+//! [`simulate_collective`] runs tree collectives
+//! ([`CopyPlan`]) on the same arena storage
+//! with **packet replication at intermediate nodes** instead of
+//! end-to-end routing; its completion oracle is the static
+//! [`BroadcastSchedule`](crate::broadcast::BroadcastSchedule) round
+//! count.
 
 use std::collections::VecDeque;
 
 use fibcube_graph::csr::CsrGraph;
 
-use crate::arena::{LinkQueues, PacketSlab};
+use crate::arena::{LinkQueues, PacketSlab, NO_COPY};
+use crate::collective::CopyPlan;
 use crate::fault::FaultSet;
 use crate::observer::{NoopObserver, SimObserver};
 use crate::router::{FaultMaskingRouter, LinkLoad, NextHopTable, Router};
@@ -290,6 +298,19 @@ impl Fabric {
         }
         self.occupancy[node as usize] += 1;
     }
+
+    /// Enqueues packet `id` directly on the directed edge `e` out of
+    /// `node` — the collective path, where the next-copy table already
+    /// names the edge and no routing policy is consulted.
+    #[inline]
+    fn enqueue_on_edge(&mut self, g: &CsrGraph, node: u32, e: usize, id: u32) {
+        let base = g.edge_range(node).start;
+        self.queues.push(e, id);
+        if let Some(mask) = self.slot_mask.get_mut(node as usize) {
+            *mask |= 1u64 << (e - base);
+        }
+        self.occupancy[node as usize] += 1;
+    }
 }
 
 /// Runs the active-set store-and-forward simulation under an explicit
@@ -359,6 +380,250 @@ where
     let masked = FaultMaskingRouter::new(topology.graph(), router, faults);
     let admission = FaultAdmission { masked: &masked };
     engine(topology, &masked, packets, max_cycles, observer, &admission)
+}
+
+/// Spawns the copy of plan edge `idx` at its parent `u`: allocates the
+/// packet in the slab (chaining the next sibling in one-port mode),
+/// reports the injection, and enqueues it on the tree edge the plan
+/// resolved at compile time. Shared by the cycle-0 source prelude, the
+/// replicate-on-delivery path, and the one-port sibling chain.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn spawn_copy<O: SimObserver>(
+    g: &CsrGraph,
+    plan: &CopyPlan,
+    slab: &mut PacketSlab,
+    fabric: &mut Fabric,
+    on_list: &mut [bool],
+    active: &mut Vec<u32>,
+    observer: &mut O,
+    cycle: u64,
+    u: u32,
+    idx: usize,
+) {
+    let child = plan.child(idx);
+    let id = slab.alloc(child, cycle);
+    if plan.one_port() && idx + 1 < plan.children_range(u).end {
+        slab.set_next_copy(id, (idx + 1) as u32);
+    }
+    observer.on_inject(cycle, u, child);
+    fabric.enqueue_on_edge(g, u, plan.edge(idx), id);
+    if !on_list[u as usize] {
+        on_list[u as usize] = true;
+        active.push(u);
+    }
+}
+
+/// Runs a tree collective ([`CopyPlan`]) through the arena engine:
+/// packets are **replicated at intermediate nodes** instead of routed
+/// end to end. The source emits its first copies at cycle 0; every
+/// delivery informs the receiving node, which starts forwarding to its
+/// own children — all of them at once (all-port), or one per cycle
+/// chained through the slab's next-copy column (one-port: the follow-up
+/// copy is spawned when its predecessor departs, so an informed node
+/// occupies exactly one output port per cycle). Copies travel exactly
+/// one tree edge, so no routing policy is consulted; the plan resolved
+/// every directed edge at compile time.
+///
+/// Intended recipients the plan could not cover (dead or disconnected
+/// by the fault set it was compiled against) are reported as typed
+/// drops at cycle 0 — packet conservation extends to replicated copies:
+/// uncapped, `offered == delivered + dropped` with
+/// `offered = tree copies + drops`; under a cycle cap the remainder is
+/// copies still queued *or not yet spawned* (a truncated chain).
+///
+/// Returns the run's [`SimStats`] plus the number of *intended targets*
+/// reached (relay deliveries count toward `delivered` but not toward
+/// the target tally). On an uncontended network the makespan equals the
+/// static schedule's round count — the gating oracle of the collective
+/// path.
+pub fn simulate_collective<T, O>(
+    topology: &T,
+    plan: &CopyPlan,
+    max_cycles: u64,
+    observer: &mut O,
+) -> (SimStats, usize)
+where
+    T: Topology + ?Sized,
+    O: SimObserver,
+{
+    let n = topology.len();
+    let g = topology.graph();
+    let offered = plan.offered();
+
+    let mut slab = PacketSlab::new();
+    let mut fabric = Fabric::new(g);
+    let masked_scan = !fabric.slot_mask.is_empty();
+    let mut on_list = vec![false; n];
+    let mut active: Vec<u32> = Vec::new();
+    let mut next_active: Vec<u32> = Vec::new();
+    let mut arrivals: Vec<(u32, u32)> = Vec::new();
+    // One-port sibling spawns, deferred past the forward phase so a
+    // follow-up copy never departs in the cycle its predecessor did.
+    let mut chained: Vec<(u32, usize)> = Vec::new();
+
+    let mut acc = StatsAcc::default();
+    let mut in_flight = 0usize;
+    let mut reached_targets = 0usize;
+    let mut started = false;
+
+    let mut cycle: u64 = 0;
+    while cycle < max_cycles {
+        if !started {
+            started = true;
+            // Cycle-0 prelude: type the recipients the plan cannot cover,
+            // then let the source start its children.
+            for &t in plan.dropped_dead() {
+                observer.on_inject(0, plan.source(), t);
+                acc.dropped_dead_endpoint += 1;
+                observer.on_drop(0, plan.source(), t, DropReason::DeadEndpoint);
+            }
+            for &t in plan.dropped_unreachable() {
+                observer.on_inject(0, plan.source(), t);
+                acc.dropped_unreachable += 1;
+                observer.on_drop(0, plan.source(), t, DropReason::Unreachable);
+            }
+            let src = plan.source();
+            let range = plan.children_range(src);
+            let first = if plan.one_port() {
+                range.start..range.end.min(range.start + 1)
+            } else {
+                range
+            };
+            for idx in first {
+                spawn_copy(
+                    g,
+                    plan,
+                    &mut slab,
+                    &mut fabric,
+                    &mut on_list,
+                    &mut active,
+                    observer,
+                    0,
+                    src,
+                    idx,
+                );
+                in_flight += 1;
+            }
+        }
+        if in_flight == 0 {
+            break;
+        }
+
+        // Forward phase: identical FIFO/worklist discipline to the
+        // unicast engine, plus the next-copy chain capture at pop time.
+        active.sort_unstable();
+        for &u in &active {
+            on_list[u as usize] = false;
+            let base = g.edge_range(u).start;
+            if masked_scan {
+                let mut mask = fabric.slot_mask[u as usize];
+                let mut remaining = mask;
+                while remaining != 0 {
+                    let slot = remaining.trailing_zeros() as usize;
+                    remaining &= remaining - 1;
+                    let e = base + slot;
+                    let id = fabric
+                        .queues
+                        .pop(e)
+                        .expect("mask bit implies a queued packet");
+                    if fabric.queues.load(e) == 0 {
+                        mask &= !(1u64 << slot);
+                    }
+                    let v = g.target(e);
+                    observer.on_hop(cycle, u, v, e);
+                    slab.record_hop(id);
+                    let next = slab.next_copy(id);
+                    if next != NO_COPY {
+                        chained.push((u, next as usize));
+                    }
+                    arrivals.push((v, id));
+                    fabric.occupancy[u as usize] -= 1;
+                    acc.total_hops += 1;
+                }
+                fabric.slot_mask[u as usize] = mask;
+            } else {
+                for e in g.edge_range(u) {
+                    if let Some(id) = fabric.queues.pop(e) {
+                        let v = g.target(e);
+                        observer.on_hop(cycle, u, v, e);
+                        slab.record_hop(id);
+                        let next = slab.next_copy(id);
+                        if next != NO_COPY {
+                            chained.push((u, next as usize));
+                        }
+                        arrivals.push((v, id));
+                        fabric.occupancy[u as usize] -= 1;
+                        acc.total_hops += 1;
+                    }
+                }
+            }
+            if fabric.occupancy[u as usize] > 0 {
+                on_list[u as usize] = true;
+                next_active.push(u);
+            }
+        }
+        active.clear();
+        std::mem::swap(&mut active, &mut next_active);
+
+        // Arrivals (at the cycle + 1 boundary): every copy ends exactly
+        // at its tree child — deliver it, then replicate there.
+        let now = cycle + 1;
+        for (node, id) in arrivals.drain(..) {
+            debug_assert_eq!(node, slab.dst(id), "copies travel exactly one tree edge");
+            in_flight -= 1;
+            let inject_time = slab.inject(id);
+            acc.deliver(now, inject_time);
+            observer.on_deliver(now, node, now - inject_time);
+            slab.release(id);
+            if plan.is_target(node) {
+                reached_targets += 1;
+            }
+            let range = plan.children_range(node);
+            let first = if plan.one_port() {
+                range.start..range.end.min(range.start + 1)
+            } else {
+                range
+            };
+            for idx in first {
+                spawn_copy(
+                    g,
+                    plan,
+                    &mut slab,
+                    &mut fabric,
+                    &mut on_list,
+                    &mut active,
+                    observer,
+                    now,
+                    node,
+                    idx,
+                );
+                in_flight += 1;
+            }
+        }
+        // One-port siblings chained off copies that departed this cycle:
+        // enqueued now, so they depart next cycle — one port per node per
+        // cycle, exactly the telephone model.
+        for (u, idx) in chained.drain(..) {
+            spawn_copy(
+                g,
+                plan,
+                &mut slab,
+                &mut fabric,
+                &mut on_list,
+                &mut active,
+                observer,
+                now,
+                u,
+                idx,
+            );
+            in_flight += 1;
+        }
+        observer.on_cycle_end(cycle, in_flight);
+        cycle += 1;
+    }
+
+    (acc.finish(offered), reached_targets)
 }
 
 /// Injection-time admission policy: decides per packet whether the
@@ -1141,6 +1406,140 @@ mod tests {
         let empty = crate::fault::FaultSet::empty();
         let oracle = simulate_faulted_reference(&net, &router, &empty, &pkts, 100_000);
         assert_eq!(oracle, simulate_with(&net, &router, &pkts, 100_000));
+    }
+
+    #[test]
+    fn collective_one_port_completion_equals_static_rounds() {
+        // The gating oracle of the collective path, small scale: the live
+        // replication engine must complete a one-port broadcast in
+        // exactly the static schedule's round count (no cross-traffic, so
+        // the serialization chain is the only latency source).
+        use crate::broadcast::broadcast_one_port;
+        use crate::collective::CopyPlan;
+        for topo in [
+            &FibonacciNet::classical(8) as &dyn Topology,
+            &Hypercube::new(5),
+            &Ring::new(12),
+        ] {
+            for src in [0u32, (topo.len() / 2) as u32] {
+                let schedule = broadcast_one_port(topo, src).expect("connected");
+                let plan = CopyPlan::from_schedule(topo.graph(), &schedule, true);
+                let (stats, reached) =
+                    simulate_collective(topo, &plan, 1_000_000, &mut NoopObserver);
+                assert_eq!(stats.offered, topo.len() - 1, "{}", topo.name());
+                assert_eq!(stats.delivered, topo.len() - 1, "{}", topo.name());
+                assert_eq!(reached, topo.len() - 1);
+                assert_eq!(
+                    stats.makespan,
+                    schedule.rounds as u64,
+                    "{} src={src}: live one-port completion must equal static rounds",
+                    topo.name()
+                );
+                assert_eq!(
+                    stats.total_hops,
+                    (topo.len() - 1) as u64,
+                    "one hop per copy"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn collective_all_port_completion_equals_source_eccentricity() {
+        use crate::broadcast::broadcast_all_port;
+        use crate::collective::CopyPlan;
+        for topo in [
+            &FibonacciNet::classical(8) as &dyn Topology,
+            &Hypercube::new(5),
+        ] {
+            let schedule = broadcast_all_port(topo, 0).expect("connected");
+            let plan = CopyPlan::from_schedule(topo.graph(), &schedule, false);
+            let (stats, _) = simulate_collective(topo, &plan, 1_000_000, &mut NoopObserver);
+            let ecc = fibcube_graph::bfs::bfs_distances(topo.graph(), 0)
+                .iter()
+                .copied()
+                .max()
+                .unwrap() as u64;
+            assert_eq!(stats.makespan, ecc, "{}", topo.name());
+            assert_eq!(stats.delivered, topo.len() - 1);
+            assert_eq!(stats.mean_latency, 1.0, "uncontended copies take one cycle");
+        }
+    }
+
+    #[test]
+    fn collective_copies_conserve_under_a_cycle_cap() {
+        use crate::broadcast::broadcast_one_port;
+        use crate::collective::CopyPlan;
+        let net = FibonacciNet::classical(8);
+        let schedule = broadcast_one_port(&net, 0).unwrap();
+        let plan = CopyPlan::from_schedule(net.graph(), &schedule, true);
+        for cap in [0u64, 1, 3, schedule.rounds as u64, 1_000] {
+            let mut tracker = crate::observer::DeliveryTracker::new();
+            let (stats, reached) = simulate_collective(&net, &plan, cap, &mut tracker);
+            assert_eq!(stats.offered, net.len() - 1, "cap {cap}");
+            assert!(stats.delivered + stats.dropped() <= stats.offered);
+            assert!(reached <= stats.delivered);
+            // Observer and engine accounting agree copy for copy; spawned
+            // copies not yet delivered are the tracker's in-flight.
+            assert_eq!(tracker.delivered() as usize, stats.delivered, "cap {cap}");
+            assert_eq!(
+                tracker.injected() - tracker.delivered(),
+                tracker.in_flight(),
+                "cap {cap}"
+            );
+            if cap >= schedule.rounds as u64 {
+                assert_eq!(stats.delivered, stats.offered, "cap {cap}: drained");
+                assert_eq!(tracker.in_flight(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn collective_observer_sees_replication_events_in_order() {
+        // Q_2 one-port from 0. Verify the event stream shape rather than
+        // one hard-coded tree: every inject names a real link out of an
+        // informed node, and every copy is delivered exactly one cycle
+        // after it was injected (uncontended tree edges).
+        #[derive(Default)]
+        struct Trace {
+            injects: Vec<(u64, u32, u32)>,
+            delivers: Vec<(u64, u32)>,
+        }
+        impl SimObserver for Trace {
+            fn on_inject(&mut self, cycle: u64, src: u32, dst: u32) {
+                self.injects.push((cycle, src, dst));
+            }
+            fn on_deliver(&mut self, cycle: u64, dst: u32, _latency: u64) {
+                self.delivers.push((cycle, dst));
+            }
+        }
+        use crate::broadcast::broadcast_one_port;
+        use crate::collective::CopyPlan;
+        let q = Hypercube::new(2);
+        let schedule = broadcast_one_port(&q, 0).unwrap();
+        let plan = CopyPlan::from_schedule(q.graph(), &schedule, true);
+        let mut trace = Trace::default();
+        let (stats, _) = simulate_collective(&q, &plan, 1_000, &mut trace);
+        assert_eq!(stats.delivered, 3);
+        assert_eq!(trace.injects.len(), 3);
+        let mut informed_at = [u64::MAX; 4];
+        informed_at[0] = 0;
+        // Injects are causal: the caller was informed strictly earlier.
+        for &(cycle, src, dst) in &trace.injects {
+            assert!(q.graph().has_edge(src, dst));
+            assert!(
+                informed_at[src as usize] <= cycle,
+                "caller must already hold the message"
+            );
+            let (dcycle, _) = *trace
+                .delivers
+                .iter()
+                .find(|&&(_, d)| d == dst)
+                .expect("every copy is delivered");
+            assert_eq!(dcycle, cycle + 1, "uncontended copies take one cycle");
+            informed_at[dst as usize] = dcycle;
+        }
+        assert_eq!(stats.makespan, schedule.rounds as u64);
     }
 
     #[test]

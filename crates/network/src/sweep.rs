@@ -16,12 +16,18 @@
 //! ([`FaultSpec::Nodes`]), exposing how delivered throughput degrades as
 //! the network loses processors — the fault-resilience comparison the
 //! 1993 line makes between `Γ_n` and the hypercube.
+//!
+//! [`collective_sweep`] runs the same fault grid under a *collective*
+//! workload ([`CollectiveSpec`]): per fault count it measures broadcast
+//! completion time and target coverage, the live counterpart of the
+//! static round-count tables.
 
 use fibcube_graph::parallel::par_map;
 
+use crate::collective::CollectiveSpec;
 use crate::experiment::{run_cells, Experiment, ExperimentError};
 use crate::fault::FaultSpec;
-use crate::report::JsonValue;
+use crate::report::{JsonValue, Report};
 use crate::router::{Router, RouterSpec};
 use crate::simulator::{simulate_with, SimStats};
 use crate::topology::Topology;
@@ -453,6 +459,186 @@ where
     })
 }
 
+/// One cell of a [`collective_sweep`] grid: the aggregated outcome of a
+/// collective at one node-fault count.
+#[derive(Clone, Debug)]
+pub struct CollectivePoint {
+    /// Node faults injected per run.
+    pub faults: usize,
+    /// Intended recipients per run (constant across seeds for broadcast;
+    /// multicast draws may hit dead nodes, so this is the intended count
+    /// regardless of liveness).
+    pub targets: f64,
+    /// Mean intended recipients actually reached per run.
+    pub reached: f64,
+    /// `reached / targets`, or `None` when the collective had no targets.
+    pub reached_fraction: Option<f64>,
+    /// Mean completion time (cycles until the last copy was delivered).
+    pub completion_cycles: f64,
+    /// Mean static schedule rounds across seeds (`None` when the spec has
+    /// no static oracle — multicast and `alltoallp`). For a healthy
+    /// one-port broadcast this equals `completion_cycles` exactly.
+    pub schedule_rounds: Option<f64>,
+    /// Mean copies dropped per run with a dead endpoint.
+    pub dropped_dead_endpoint: f64,
+    /// Mean copies dropped per run because the faults disconnect them.
+    pub dropped_unreachable: f64,
+}
+
+impl CollectivePoint {
+    /// The cell as a JSON object (for `BENCH_sim.json`-style artifacts).
+    pub fn to_json_value(&self) -> JsonValue {
+        let opt = |x: Option<f64>| match x {
+            Some(v) => JsonValue::Num(v),
+            None => JsonValue::Null,
+        };
+        JsonValue::obj([
+            ("faults", JsonValue::Int(self.faults as u64)),
+            ("targets", JsonValue::Num(self.targets)),
+            ("reached", JsonValue::Num(self.reached)),
+            ("reached_fraction", opt(self.reached_fraction)),
+            ("completion_cycles", JsonValue::Num(self.completion_cycles)),
+            ("schedule_rounds", opt(self.schedule_rounds)),
+            (
+                "dropped_dead_endpoint",
+                JsonValue::Num(self.dropped_dead_endpoint),
+            ),
+            (
+                "dropped_unreachable",
+                JsonValue::Num(self.dropped_unreachable),
+            ),
+        ])
+    }
+}
+
+/// A collective's degradation curve over a node-fault grid for one
+/// topology, produced by [`collective_sweep`].
+#[derive(Clone, Debug)]
+pub struct CollectiveGrid {
+    /// Topology name (`"Γ_16"`, `"Q_11"`, …).
+    pub topology: String,
+    /// The [`CollectiveSpec`] swept, in canonical text form.
+    pub spec: String,
+    /// Node count.
+    pub nodes: usize,
+    /// The node-fault counts swept.
+    pub fault_counts: Vec<usize>,
+    /// One cell per fault count, in `fault_counts` order.
+    pub points: Vec<CollectivePoint>,
+}
+
+impl CollectiveGrid {
+    /// The grid as a JSON object, cells included.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::obj([
+            ("topology", JsonValue::Str(self.topology.clone())),
+            ("spec", JsonValue::Str(self.spec.clone())),
+            ("nodes", JsonValue::Int(self.nodes as u64)),
+            (
+                "fault_counts",
+                JsonValue::Arr(
+                    self.fault_counts
+                        .iter()
+                        .map(|&k| JsonValue::Int(k as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "points",
+                JsonValue::Arr(
+                    self.points
+                        .iter()
+                        .map(CollectivePoint::to_json_value)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Runs `spec` against every node-fault count in `fault_counts`, one
+/// [`Experiment`] per (fault count, seed) cell in parallel on the
+/// workspace pool — the collective-resilience grid behind the
+/// `collectives` section of `BENCH_sim.json`: how broadcast completion
+/// and coverage degrade as processors die. Fault placement and multicast
+/// destinations both derive from the per-cell seed. Configuration
+/// problems fail fast with a typed error before anything runs.
+pub fn collective_sweep<T>(
+    topo: &T,
+    spec: &CollectiveSpec,
+    fault_counts: &[usize],
+    config: &SweepConfig,
+) -> Result<CollectiveGrid, ExperimentError>
+where
+    T: Topology + Sync + ?Sized,
+{
+    assert!(!config.seeds.is_empty(), "sweep needs at least one seed");
+    spec.validate(topo.len())?;
+    for &k in fault_counts {
+        FaultSpec::Nodes { count: k }.validate(topo.graph())?;
+    }
+    let seeds = &config.seeds;
+    let reports = run_cells(fault_counts.len() * seeds.len(), |j| {
+        let fi = j / seeds.len();
+        Experiment::on(topo)
+            .collective(spec.clone())
+            .faults(FaultSpec::Nodes {
+                count: fault_counts[fi],
+            })
+            .seed(rung_seed(seeds[j % seeds.len()], fi))
+            .cycles(config.inject_cycles + config.drain_cycles)
+    })?;
+    let m = seeds.len() as f64;
+    let points = fault_counts
+        .iter()
+        .enumerate()
+        .map(|(fi, &faults)| {
+            let chunk = &reports[fi * seeds.len()..(fi + 1) * seeds.len()];
+            fn outcome(r: &Report) -> &crate::collective::CollectiveOutcome {
+                r.collective
+                    .as_ref()
+                    .expect("collective experiments always report an outcome")
+            }
+            let targets = chunk.iter().map(|r| outcome(r).targets as f64).sum::<f64>() / m;
+            let reached = chunk.iter().map(|r| outcome(r).reached as f64).sum::<f64>() / m;
+            let rounds: Vec<f64> = chunk
+                .iter()
+                .filter_map(|r| outcome(r).schedule_rounds.map(|x| x as f64))
+                .collect();
+            CollectivePoint {
+                faults,
+                targets,
+                reached,
+                reached_fraction: (targets > 0.0).then(|| reached / targets),
+                completion_cycles: chunk
+                    .iter()
+                    .map(|r| outcome(r).completion_cycles as f64)
+                    .sum::<f64>()
+                    / m,
+                schedule_rounds: (rounds.len() == chunk.len())
+                    .then(|| rounds.iter().sum::<f64>() / m),
+                dropped_dead_endpoint: chunk
+                    .iter()
+                    .map(|r| r.stats.dropped_dead_endpoint as f64)
+                    .sum::<f64>()
+                    / m,
+                dropped_unreachable: chunk
+                    .iter()
+                    .map(|r| r.stats.dropped_unreachable as f64)
+                    .sum::<f64>()
+                    / m,
+            }
+        })
+        .collect();
+    Ok(CollectiveGrid {
+        topology: topo.name(),
+        spec: spec.to_string(),
+        nodes: topo.len(),
+        fault_counts: fault_counts.to_vec(),
+        points,
+    })
+}
+
 /// A geometric-ish default ladder from light load up to `max_rate`:
 /// `rungs` evenly spaced rates ending at `max_rate`. Degenerate requests
 /// are handled gracefully — 0 rungs is an empty ladder, 1 rung is just
@@ -650,6 +836,76 @@ mod tests {
         );
         // An empty grid runs nothing and returns no points.
         let grid = fault_load_sweep(&net, RouterSpec::Adaptive, &[], &[], &quick_config()).unwrap();
+        assert!(grid.points.is_empty());
+    }
+
+    #[test]
+    fn collective_sweep_degrades_coverage_not_correctness() {
+        use crate::collective::{CollectiveSpec, Port};
+        let net = FibonacciNet::classical(8); // 55 nodes
+        let spec = CollectiveSpec::Broadcast {
+            source: 0,
+            port: Port::One,
+        };
+        let grid = collective_sweep(&net, &spec, &[0, 10], &quick_config()).unwrap();
+        assert_eq!(grid.topology, "Γ_8");
+        assert_eq!(grid.spec, "broadcast(source=0,port=one)");
+        assert_eq!(grid.points.len(), 2);
+        let healthy = &grid.points[0];
+        let degraded = &grid.points[1];
+        // Healthy column: full coverage, completion == the static rounds
+        // oracle (averaged over seeds, but every seed matches exactly).
+        assert_eq!(healthy.faults, 0);
+        assert_eq!(healthy.reached_fraction, Some(1.0));
+        assert_eq!(healthy.dropped_dead_endpoint, 0.0);
+        assert_eq!(
+            Some(healthy.completion_cycles),
+            healthy.schedule_rounds,
+            "healthy one-port completion equals the static oracle"
+        );
+        // Degraded column: 10 of 55 nodes dead ⇒ coverage must drop, and
+        // every missing target is a typed drop.
+        assert_eq!(degraded.faults, 10);
+        let frac = degraded.reached_fraction.expect("targets exist");
+        assert!(frac < 1.0, "10 dead nodes must cost coverage: {frac}");
+        assert!(degraded.dropped_dead_endpoint > 0.0);
+        assert_eq!(
+            degraded.reached + degraded.dropped_dead_endpoint + degraded.dropped_unreachable,
+            degraded.targets,
+            "copy conservation survives aggregation"
+        );
+        let json = grid.to_json_value().to_string();
+        assert!(
+            json.contains("\"spec\": \"broadcast(source=0,port=one)\""),
+            "{json}"
+        );
+        assert!(json.contains("\"completion_cycles\""), "{json}");
+        assert!(json.contains("\"reached_fraction\""), "{json}");
+    }
+
+    #[test]
+    fn collective_sweep_rejects_bad_grids_up_front() {
+        use crate::collective::{CollectiveSpec, Port};
+        let net = FibonacciNet::classical(6); // 21 nodes
+        let bad_spec = CollectiveSpec::Broadcast {
+            source: 21,
+            port: Port::One,
+        };
+        let err = collective_sweep(&net, &bad_spec, &[0], &quick_config())
+            .expect_err("source outside the network");
+        assert!(matches!(err, ExperimentError::InvalidCollective { .. }));
+        let spec = CollectiveSpec::Broadcast {
+            source: 0,
+            port: Port::All,
+        };
+        let err = collective_sweep(&net, &spec, &[21], &quick_config())
+            .expect_err("failing every node is rejected");
+        assert!(
+            err.to_string().contains("at least one must survive"),
+            "{err}"
+        );
+        // An empty grid runs nothing.
+        let grid = collective_sweep(&net, &spec, &[], &quick_config()).unwrap();
         assert!(grid.points.is_empty());
     }
 

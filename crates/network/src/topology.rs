@@ -325,8 +325,15 @@ pub struct Ring {
 }
 
 impl Ring {
-    /// Builds the `n`-cycle (`n ≥ 3`).
+    /// Builds the `n`-cycle.
+    ///
+    /// # Panics
+    ///
+    /// When `n < 3`: a 0/1/2-"cycle" is not a cycle graph (the generator
+    /// would emit self-loops or parallel edges as a malformed CSR that
+    /// only failed later, deep inside the engine).
     pub fn new(n: usize) -> Ring {
+        assert!(n >= 3, "Ring::new: a cycle needs at least 3 nodes, got {n}");
         Ring {
             n,
             graph: fibcube_graph::generators::cycle(n),
@@ -353,7 +360,18 @@ impl Topology for Ring {
         }
         let n = self.n as u32;
         let forward = (dst + n - cur) % n;
-        Some(if forward <= n - forward {
+        let backward = n - forward;
+        // Even rings have an antipodal tie (forward == backward); always
+        // resolving it clockwise systematically overloads that direction
+        // under symmetric traffic, so the tie alternates by the parity of
+        // the deciding node instead. The rule stays a pure function of
+        // (cur, dst) — deterministic, tabulable, engine-order-independent.
+        let clockwise = if forward != backward {
+            forward < backward
+        } else {
+            cur.is_multiple_of(2)
+        };
+        Some(if clockwise {
             (cur + 1) % n
         } else {
             (cur + n - 1) % n
@@ -375,7 +393,17 @@ pub struct Mesh {
 
 impl Mesh {
     /// Builds the `w × h` grid.
+    ///
+    /// # Panics
+    ///
+    /// When `w == 0` or `h == 0`: a zero-width/height grid has no nodes
+    /// and used to yield a malformed CSR graph that only failed later,
+    /// deep inside the engine.
     pub fn new(w: usize, h: usize) -> Mesh {
+        assert!(
+            w >= 1 && h >= 1,
+            "Mesh::new: grid dimensions must be positive, got {w}x{h}"
+        );
         Mesh {
             w,
             h,
@@ -532,6 +560,65 @@ mod tests {
         let route = q.route(0b00000, 0b10101).unwrap();
         // e-cube fixes ascending bit positions: 0 → 1 → 5 → 21.
         assert_eq!(route, vec![0b00000, 0b00001, 0b00101, 0b10101]);
+    }
+
+    #[test]
+    #[should_panic(expected = "a cycle needs at least 3 nodes")]
+    fn ring_rejects_degenerate_cycles() {
+        let _ = Ring::new(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid dimensions must be positive")]
+    fn mesh_rejects_zero_width() {
+        let _ = Mesh::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid dimensions must be positive")]
+    fn mesh_rejects_zero_height() {
+        let _ = Mesh::new(3, 0);
+    }
+
+    #[test]
+    fn smallest_accepted_shapes_build_clean_graphs() {
+        let r = Ring::new(3);
+        assert_eq!(r.graph().num_edges(), 3);
+        let m = Mesh::new(1, 1);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.graph().num_edges(), 0);
+        routes_are_shortest(&Ring::new(3));
+        routes_are_shortest(&Mesh::new(1, 5));
+    }
+
+    #[test]
+    fn ring_antipodal_tie_alternates_by_source_parity() {
+        // On an even ring the antipodal pair is equidistant both ways;
+        // the tie must alternate with the deciding node's parity instead
+        // of always going clockwise.
+        let r = Ring::new(8);
+        assert_eq!(r.next_hop(0, 4), Some(1), "even node goes clockwise");
+        assert_eq!(r.next_hop(1, 5), Some(0), "odd node goes counter-clockwise");
+        assert_eq!(r.next_hop(2, 6), Some(3));
+        assert_eq!(r.next_hop(3, 7), Some(2));
+        // Non-tied pairs still take the strictly shorter way.
+        assert_eq!(r.next_hop(0, 3), Some(1));
+        assert_eq!(r.next_hop(0, 5), Some(7));
+        // Odd rings have no tie at all.
+        let odd = Ring::new(9);
+        for s in 0..9u32 {
+            for d in 0..9u32 {
+                if s != d {
+                    let fwd = (d + 9 - s) % 9;
+                    let expected = if fwd < 9 - fwd {
+                        (s + 1) % 9
+                    } else {
+                        (s + 8) % 9
+                    };
+                    assert_eq!(odd.next_hop(s, d), Some(expected));
+                }
+            }
+        }
     }
 
     #[test]

@@ -316,25 +316,45 @@ pub(crate) fn split_call(s: &str) -> Result<(&str, Option<&str>), String> {
 /// Parses `key=value` pairs separated by commas, checking that exactly
 /// the expected keys appear (in any order).
 pub(crate) fn parse_kv<'a>(body: &'a str, keys: &[&str]) -> Result<Vec<&'a str>, String> {
-    let mut values: Vec<Option<&str>> = vec![None; keys.len()];
+    let (required, _) = parse_kv_opt(body, keys, &[])?;
+    Ok(required)
+}
+
+/// Like [`parse_kv`], but with a second set of keys that may be omitted:
+/// returns the required values in `required` order and the optional
+/// values (`None` when absent) in `optional` order. Shared with the
+/// [`CollectiveSpec`](crate::collective::CollectiveSpec) parser, whose
+/// `port` key defaults when left out.
+pub(crate) fn parse_kv_opt<'a>(
+    body: &'a str,
+    required: &[&str],
+    optional: &[&str],
+) -> Result<(Vec<&'a str>, Vec<Option<&'a str>>), String> {
+    let mut req: Vec<Option<&str>> = vec![None; required.len()];
+    let mut opt: Vec<Option<&str>> = vec![None; optional.len()];
     for part in body.split(',') {
         let (k, v) = part
             .split_once('=')
             .ok_or_else(|| format!("expected `key=value`, got `{part}`"))?;
         let (k, v) = (k.trim(), v.trim());
-        let slot = keys
-            .iter()
-            .position(|&want| want == k)
-            .ok_or_else(|| format!("unknown key `{k}` (expected {})", keys.join(", ")))?;
-        if values[slot].replace(v).is_some() {
+        let slot = if let Some(i) = required.iter().position(|&want| want == k) {
+            &mut req[i]
+        } else if let Some(i) = optional.iter().position(|&want| want == k) {
+            &mut opt[i]
+        } else {
+            let known: Vec<&str> = required.iter().chain(optional).copied().collect();
+            return Err(format!("unknown key `{k}` (expected {})", known.join(", ")));
+        };
+        if slot.replace(v).is_some() {
             return Err(format!("duplicate key `{k}`"));
         }
     }
-    values
+    let req = req
         .into_iter()
         .enumerate()
-        .map(|(i, v)| v.ok_or_else(|| format!("missing key `{}`", keys[i])))
-        .collect()
+        .map(|(i, v)| v.ok_or_else(|| format!("missing key `{}`", required[i])))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((req, opt))
 }
 
 pub(crate) fn num<T: FromStr>(value: &str, key: &str) -> Result<T, String> {

@@ -6,6 +6,7 @@
 //! allows.
 
 use fibcube_graph::bfs::bfs_distances;
+use fibcube_network::broadcast::{broadcast_all_port, broadcast_one_port, verify_schedule};
 use fibcube_network::fault::{fault_set_trial, FaultSet, FaultSpec};
 use fibcube_network::observer::NoopObserver;
 use fibcube_network::router::{
@@ -303,6 +304,75 @@ proptest! {
         let total_hops: u64 = fwd.iter().map(|r| r.stats.total_hops).sum();
         let total_rev: u64 = rev.iter().map(|r| r.stats.total_hops).sum();
         prop_assert_eq!(total_hops, total_rev);
+    }
+
+    #[test]
+    fn verify_schedule_accepts_schedulers_and_rejects_mutations(
+        d in 2usize..=7,
+        n in 4usize..=16,
+        w in 2usize..=4,
+        h in 2usize..=4,
+        src_seed in 0u64..1000,
+        mutation_seed in 0usize..1000,
+    ) {
+        // Both schedulers' output verifies on every shipped topology
+        // family, and a schedule corrupted in any of the classic ways —
+        // round off-by-one, duplicate inform, non-edge call — is caught.
+        for topo in [
+            &FibonacciNet::classical(d) as &dyn Topology,
+            &Hypercube::new(d.min(5)),
+            &Ring::new(n.max(3)),
+            &Mesh::new(w, h),
+        ] {
+            let src = (src_seed % topo.len() as u64) as u32;
+            for (schedule, one_port) in [
+                (broadcast_all_port(topo, src).expect("connected"), false),
+                (broadcast_one_port(topo, src).expect("connected"), true),
+            ] {
+                prop_assert!(
+                    verify_schedule(topo, &schedule, one_port),
+                    "{} src={src} one_port={one_port}",
+                    topo.name()
+                );
+                if schedule.calls.is_empty() {
+                    continue;
+                }
+                let pick = mutation_seed % schedule.calls.len();
+                // Round off-by-one: pull the child's round down to its
+                // caller's — one earlier than the minimum legal round, so
+                // the call happens before the caller holds the message.
+                let mut off = schedule.clone();
+                let (u, v) = off.calls[pick];
+                off.round[v as usize] = off.round[u as usize];
+                prop_assert!(
+                    !verify_schedule(topo, &off, one_port),
+                    "{}: round mutation must be rejected",
+                    topo.name()
+                );
+                // Duplicate inform: the same node informed twice.
+                let mut dup = schedule.clone();
+                let extra = dup.calls[pick];
+                dup.calls.push(extra);
+                prop_assert!(
+                    !verify_schedule(topo, &dup, one_port),
+                    "{}: duplicate inform must be rejected",
+                    topo.name()
+                );
+                // Non-edge call: reroute a call through a non-neighbor.
+                let (u, v) = schedule.calls[pick];
+                if let Some(far) = (0..topo.len() as u32)
+                    .find(|&w| w != u && w != v && !topo.graph().has_edge(w, v))
+                {
+                    let mut wire = schedule.clone();
+                    wire.calls[pick] = (far, v);
+                    prop_assert!(
+                        !verify_schedule(topo, &wire, one_port),
+                        "{}: non-edge call must be rejected",
+                        topo.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,8 @@ use fibcube::network::fault::{fault_sweep, FaultSpec};
 use fibcube::network::metrics::metrics;
 use fibcube::network::sweep::{injection_sweep, rate_ladder, saturation_point, SweepConfig};
 use fibcube::network::{
-    DeliveryTracker, Experiment, LatencyHistogram, LinkHeatmap, RouterSpec, TrafficSpec,
+    CollectiveSpec, DeliveryTracker, Experiment, LatencyHistogram, LinkHeatmap, Port, RouterSpec,
+    TrafficSpec,
 };
 use fibcube::prelude::*;
 
@@ -83,21 +84,44 @@ fn main() {
         );
     }
 
-    println!("\n== one-to-all broadcast from node 0 ==\n");
+    println!("\n== one-to-all broadcast from node 0 (static schedule vs live collective) ==\n");
     println!(
-        "{:<10} {:>14} {:>14} {:>12}",
-        "network", "all-port rnds", "one-port rnds", "⌈log2 n⌉"
+        "{:<10} {:>14} {:>14} {:>12} {:>10} {:>12}",
+        "network", "all-port rnds", "one-port rnds", "⌈log2 n⌉", "live rnds", "live faulted"
     );
     for t in &topos {
-        let ap = broadcast_all_port(*t, 0);
-        let op = broadcast_one_port(*t, 0);
+        let ap = broadcast_all_port(*t, 0).expect("connected network");
+        let op = broadcast_one_port(*t, 0).expect("connected network");
         let floor = (t.len() as f64).log2().ceil() as u32;
+        // The same broadcast as a live simulated workload: healthy (must
+        // reproduce the static round count) and under 5 node faults
+        // (degrades to the survivor component).
+        let spec = CollectiveSpec::Broadcast {
+            source: 0,
+            port: Port::One,
+        };
+        let live = Experiment::on(*t)
+            .collective(spec.clone())
+            .run()
+            .expect("healthy broadcast runs everywhere");
+        let live = live.collective.expect("collective outcome");
+        assert_eq!(live.completion_cycles, op.rounds as u64);
+        let faulted = Experiment::on(*t)
+            .collective(spec)
+            .faults(FaultSpec::Nodes { count: 5 })
+            .seed(7)
+            .run()
+            .expect("degraded broadcast runs everywhere");
+        let faulted = faulted.collective.expect("collective outcome");
         println!(
-            "{:<10} {:>14} {:>14} {:>12}",
+            "{:<10} {:>14} {:>14} {:>12} {:>10} {:>9}/{:<3}",
             t.name(),
             ap.rounds,
             op.rounds,
-            floor
+            floor,
+            live.completion_cycles,
+            faulted.reached,
+            faulted.targets,
         );
     }
 

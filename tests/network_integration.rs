@@ -142,13 +142,31 @@ fn latency_ordering_matches_topology_quality() {
 fn broadcast_bounds_hold() {
     let net = FibonacciNet::classical(8);
     let zero = net.node_of(&fibcube::words::Word::zeros(8)).unwrap();
-    let ap = broadcast_all_port(&net, zero);
+    let ap = broadcast_all_port(&net, zero).expect("Γ_8 is connected");
     assert!(verify_schedule(&net, &ap, false));
     assert_eq!(ap.rounds, 4, "ecc(0^8) = ⌈8/2⌉");
-    let op = broadcast_one_port(&net, zero);
+    let op = broadcast_one_port(&net, zero).expect("Γ_8 is connected");
     assert!(verify_schedule(&net, &op, true));
     let floor = (net.len() as f64).log2().ceil() as u32;
     assert!(op.rounds >= floor && op.rounds <= 8 + 2);
+}
+
+#[test]
+fn collectives_run_live_through_the_facade() {
+    // Broadcast as a simulated workload reproduces the static schedule,
+    // and its spec round-trips through text like every other spec.
+    let net = FibonacciNet::classical(8);
+    let spec: CollectiveSpec = "broadcast(source=0,port=one)".parse().unwrap();
+    assert_eq!(spec.to_string(), "broadcast(source=0,port=one)");
+    let report = Experiment::on(&net)
+        .collective(spec)
+        .run()
+        .expect("healthy broadcast runs");
+    let op = broadcast_one_port(&net, 0).unwrap();
+    let outcome = report.collective.expect("collective outcome");
+    assert_eq!(outcome.completion_cycles, op.rounds as u64);
+    assert_eq!(outcome.reached, net.len() - 1);
+    assert_eq!(report.stats.delivered, report.stats.offered);
 }
 
 #[test]
