@@ -14,11 +14,16 @@
 //! 4. collective grids (`collective_sweep`): live one-port and all-port
 //!    broadcasts over {Γ, Q, Ring, Mesh} × the fault grid — completion
 //!    time and target coverage as the network loses processors;
-//! 5. `BENCH_sim.json` in the working directory — assembled from the
+//! 5. the `scale` ladder: `ImplicitFibonacciNet` rungs up to Γ_30
+//!    (2,178,309 nodes, full mode; Γ_26 in smoke) — per rung the streamed
+//!    graph-build rate, the implicit routing state per node (gated at
+//!    64 bytes/node by a typed [`BenchError`]), and the steady-state
+//!    engine hops/sec of a live uniform-traffic run;
+//! 6. `BENCH_sim.json` in the working directory — assembled from the
 //!    `Report`/`SweepCurve`/`FaultLoadGrid`/`CollectiveGrid` JSON trees,
 //!    seeding the performance trajectory with throughput / latency per
 //!    topology at the fixed load, the measured speedups, and the
-//!    fault-resilience and collectives sections.
+//!    fault-resilience, collectives, and scale sections.
 //!
 //! `cargo run --release -p fibcube-bench --bin sweep`
 //!
@@ -31,15 +36,15 @@
 
 use std::time::Instant;
 
-use fibcube_bench::header;
+use fibcube_bench::{header, BenchError};
 use fibcube_network::report::JsonValue;
 use fibcube_network::sweep::{
     collective_sweep, fault_load_sweep, injection_sweep, rate_ladder, saturation_point,
     CollectiveGrid, FaultLoadGrid, SweepConfig,
 };
 use fibcube_network::{
-    simulate_reference, CollectiveSpec, Experiment, FibonacciNet, Hypercube, Mesh, Port, Report,
-    Ring, RouterSpec, SweepCurve, Topology, TrafficSpec,
+    simulate_reference, CollectiveSpec, Experiment, FibonacciNet, Hypercube, ImplicitFibonacciNet,
+    Mesh, Port, Report, Ring, RouterSpec, SweepCurve, Topology, TrafficSpec,
 };
 
 struct FixedLoadRow {
@@ -104,7 +109,7 @@ fn time_best_of<T>(mut f: impl FnMut() -> T) -> (T, f64) {
     (result.expect("runs happened"), best)
 }
 
-fn fixed_load(t: &dyn Topology, packets: usize, window: u64) -> FixedLoadRow {
+fn fixed_load(t: &dyn Topology, packets: usize, window: u64) -> Result<FixedLoadRow, BenchError> {
     let traffic = TrafficSpec::Uniform {
         count: packets,
         window,
@@ -121,18 +126,39 @@ fn fixed_load(t: &dyn Topology, packets: usize, window: u64) -> FixedLoadRow {
             .expect("preferred router resolves on every topology")
     });
     let stats = &report.stats;
-    assert_eq!(stats.delivered, stats.offered, "{} must drain", t.name());
+    if stats.delivered != stats.offered {
+        return Err(BenchError::Undrained {
+            topology: t.name(),
+            nodes: t.len(),
+            delivered: stats.delivered,
+            offered: stats.offered,
+        });
+    }
 
     let pkts = traffic.generate(t.len(), seed);
     let (reference, reference_ms) = time_best_of(|| simulate_reference(t, &pkts, cap));
-    assert_eq!(reference.delivered, stats.delivered);
-    assert_eq!(reference.total_hops, stats.total_hops, "engines must agree");
+    if reference.delivered != stats.delivered {
+        return Err(BenchError::EngineMismatch {
+            topology: t.name(),
+            field: "delivered",
+            engine: stats.delivered as u64,
+            reference: reference.delivered as u64,
+        });
+    }
+    if reference.total_hops != stats.total_hops {
+        return Err(BenchError::EngineMismatch {
+            topology: t.name(),
+            field: "total_hops",
+            engine: stats.total_hops,
+            reference: reference.total_hops,
+        });
+    }
 
-    FixedLoadRow {
+    Ok(FixedLoadRow {
         report,
         engine_ms,
         reference_ms,
-    }
+    })
 }
 
 fn print_curve(curve: &SweepCurve) {
@@ -236,7 +262,148 @@ fn degradation_rows(grid: &FaultLoadGrid) -> Vec<JsonValue> {
         .collect()
 }
 
+/// Per-node routing-state ceiling for the scale ladder — the acceptance
+/// bar of the implicit-routing path (the dense `NextHopTable` would cost
+/// `4·n` bytes per node, i.e. ~8.7 MB/node at Γ_30).
+const SCALE_ROUTING_BUDGET_PER_NODE: f64 = 64.0;
+
+/// Peak resident set of this process so far, from `/proc/self/status`
+/// `VmHWM` (kB) — `None` off Linux.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// One rung of the scale ladder: Γ_d built and simulated through the
+/// implicit (table-free) path, with its space and rate figures.
+struct ScaleRung {
+    d: usize,
+    topology: String,
+    nodes: usize,
+    links: usize,
+    graph_build_ms: f64,
+    build_nodes_per_sec: f64,
+    routing_state_bytes: usize,
+    routing_bytes_per_node: f64,
+    graph_bytes_per_node: f64,
+    sim_ms: f64,
+    delivered: usize,
+    hops: u64,
+    hops_per_sec: f64,
+    peak_rss_bytes: Option<u64>,
+}
+
+impl ScaleRung {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::obj([
+            ("d", JsonValue::Int(self.d as u64)),
+            ("topology", JsonValue::Str(self.topology.clone())),
+            ("nodes", JsonValue::Int(self.nodes as u64)),
+            ("links", JsonValue::Int(self.links as u64)),
+            ("graph_build_ms", JsonValue::Num(self.graph_build_ms)),
+            (
+                "build_nodes_per_sec",
+                JsonValue::Num(self.build_nodes_per_sec),
+            ),
+            (
+                "routing_state_bytes",
+                JsonValue::Int(self.routing_state_bytes as u64),
+            ),
+            (
+                "routing_bytes_per_node",
+                JsonValue::Num(self.routing_bytes_per_node),
+            ),
+            (
+                "graph_bytes_per_node",
+                JsonValue::Num(self.graph_bytes_per_node),
+            ),
+            ("sim_ms", JsonValue::Num(self.sim_ms)),
+            ("delivered", JsonValue::Int(self.delivered as u64)),
+            ("hops", JsonValue::Int(self.hops)),
+            ("hops_per_sec", JsonValue::Num(self.hops_per_sec)),
+            (
+                "peak_rss_bytes",
+                self.peak_rss_bytes.map_or(JsonValue::Null, JsonValue::Int),
+            ),
+        ])
+    }
+}
+
+/// Builds Γ_d through [`ImplicitFibonacciNet`] (streamed CSR, no
+/// labels/flip-rows/tables), gates its routing state at
+/// [`SCALE_ROUTING_BUDGET_PER_NODE`], and runs one live uniform-traffic
+/// experiment on it for the steady-state hops/sec figure.
+fn scale_rung(d: usize, packets: usize, window: u64) -> Result<ScaleRung, BenchError> {
+    let net = ImplicitFibonacciNet::classical(d);
+    let nodes = net.len();
+    let routing_state_bytes = net.routing_state_bytes();
+    let routing_bytes_per_node = routing_state_bytes as f64 / nodes as f64;
+    if routing_bytes_per_node > SCALE_ROUTING_BUDGET_PER_NODE {
+        return Err(BenchError::RoutingStateOverBudget {
+            topology: net.name(),
+            nodes,
+            bytes_per_node: routing_bytes_per_node,
+            budget: SCALE_ROUTING_BUDGET_PER_NODE,
+        });
+    }
+
+    let build_start = Instant::now();
+    let g = net.graph();
+    let graph_build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+    let links = g.num_edges();
+    // CSR footprint: `(n + 1)` u32 offsets + `2·links` u32 targets.
+    let graph_bytes = 4 * (nodes + 1 + 2 * links);
+
+    let traffic = TrafficSpec::Uniform {
+        count: packets,
+        window,
+    };
+    let sim_start = Instant::now();
+    let report = Experiment::on(&net)
+        .traffic(traffic)
+        .seed(2026)
+        .cycles(4_000_000)
+        .run()
+        .expect("implicit canonical routing resolves on every Γ_d");
+    let sim_ms = sim_start.elapsed().as_secs_f64() * 1e3;
+    let stats = &report.stats;
+    if stats.delivered != stats.offered {
+        return Err(BenchError::Undrained {
+            topology: net.name(),
+            nodes,
+            delivered: stats.delivered,
+            offered: stats.offered,
+        });
+    }
+
+    Ok(ScaleRung {
+        d,
+        topology: net.name(),
+        nodes,
+        links,
+        graph_build_ms,
+        build_nodes_per_sec: nodes as f64 / (graph_build_ms / 1e3).max(1e-12),
+        routing_state_bytes,
+        routing_bytes_per_node,
+        graph_bytes_per_node: graph_bytes as f64 / nodes as f64,
+        sim_ms,
+        delivered: stats.delivered,
+        hops: stats.total_hops,
+        hops_per_sec: stats.total_hops as f64 / (sim_ms / 1e3).max(1e-12),
+        peak_rss_bytes: peak_rss_bytes(),
+    })
+}
+
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("sweep: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), BenchError> {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let total_start = Instant::now();
     // The fixed-load benchmark always runs the full-scale acceptance pair
@@ -256,7 +423,7 @@ fn main() {
     let fixed_load_start = Instant::now();
     let mut rows = Vec::new();
     for t in [&gamma as &dyn Topology, &q, &mesh] {
-        let row = fixed_load(t, packets, window);
+        let row = fixed_load(t, packets, window)?;
         println!(
             "{:<10} {:>6} {:>10.3} {:>9.2} {:>8} {:>10.1} {:>12.1} {:>7.1}×",
             row.report.topology,
@@ -290,7 +457,7 @@ fn main() {
         }
         println!("  (speedup {min_speedup:.1}× below bar — re-measuring, attempt {attempt})");
         for (i, t) in [&gamma as &dyn Topology, &q].into_iter().enumerate() {
-            let retry = fixed_load(t, packets, window);
+            let retry = fixed_load(t, packets, window)?;
             if retry.speedup() > rows[i].speedup() {
                 rows[i] = retry;
             }
@@ -431,6 +598,75 @@ fn main() {
     }
     let collectives_ms = collectives_start.elapsed().as_secs_f64() * 1e3;
 
+    header("E-S5 — million-node scale ladder (implicit Zeckendorf routing)");
+    let scale_start = Instant::now();
+    // The implicit path end to end: no labels vector, no flip rows, no
+    // O(n²) tables — routing state is the O(d) weight vector alone. Smoke
+    // tops out at Γ_26 (317,811 nodes) for CI; the full run climbs to
+    // Γ_30 (2,178,309 nodes). Packet count is fixed, so the rungs expose
+    // the per-node costs, not a growing workload.
+    let ladder: &[usize] = if smoke {
+        &[16, 20, 23, 26]
+    } else {
+        &[16, 20, 23, 26, 28, 30]
+    };
+    println!(
+        "{:<7} {:>9} {:>10} {:>10} {:>12} {:>9} {:>9} {:>12} {:>10}",
+        "network",
+        "nodes",
+        "links",
+        "build ms",
+        "build n/s",
+        "rt B/n",
+        "csr B/n",
+        "hops/s",
+        "rss MB"
+    );
+    let mut rungs = Vec::new();
+    for &d in ladder {
+        let rung = scale_rung(d, packets, window)?;
+        println!(
+            "{:<7} {:>9} {:>10} {:>10.1} {:>12.0} {:>9.4} {:>9.1} {:>12.0} {:>10}",
+            rung.topology,
+            rung.nodes,
+            rung.links,
+            rung.graph_build_ms,
+            rung.build_nodes_per_sec,
+            rung.routing_bytes_per_node,
+            rung.graph_bytes_per_node,
+            rung.hops_per_sec,
+            rung.peak_rss_bytes
+                .map_or_else(|| "n/a".to_string(), |b| format!("{}", b >> 20)),
+        );
+        rungs.push(rung);
+    }
+    let scale_ms = scale_start.elapsed().as_secs_f64() * 1e3;
+    let top = rungs.last().expect("ladder is non-empty");
+    assert!(
+        top.d >= 26,
+        "scale ladder must end at Γ_26 or beyond (got Γ_{})",
+        top.d
+    );
+
+    let scale = JsonValue::obj([
+        (
+            "workload",
+            JsonValue::Str(format!(
+                "uniform {packets} packets / window {window} per rung, \
+                 implicit canonical routing, ladder Γ_{:?}",
+                ladder
+            )),
+        ),
+        (
+            "routing_byte_budget_per_node",
+            JsonValue::Num(SCALE_ROUTING_BUDGET_PER_NODE),
+        ),
+        (
+            "rungs",
+            JsonValue::Arr(rungs.iter().map(ScaleRung::to_json_value).collect()),
+        ),
+    ]);
+
     let collectives = JsonValue::obj([
         (
             "workload",
@@ -485,6 +721,7 @@ fn main() {
                 ("injection_sweeps_ms", JsonValue::Num(sweeps_ms)),
                 ("fault_grids_ms", JsonValue::Num(grids_ms)),
                 ("collectives_ms", JsonValue::Num(collectives_ms)),
+                ("scale_ms", JsonValue::Num(scale_ms)),
                 (
                     "total_ms",
                     JsonValue::Num(total_start.elapsed().as_secs_f64() * 1e3),
@@ -510,6 +747,7 @@ fn main() {
         ),
         ("fault_resilience", fault_resilience),
         ("collectives", collectives),
+        ("scale", scale),
     ]);
     let text = json.pretty();
     // The artifact contract the CI smoke step relies on: the
@@ -523,16 +761,22 @@ fn main() {
     assert!(text.contains("\"collectives\""));
     assert!(text.contains("\"completion_cycles\""));
     assert!(text.contains("\"reached_fraction\""));
+    assert!(text.contains("\"scale\""));
+    assert!(text.contains("\"routing_bytes_per_node\""));
+    assert!(text.contains("\"build_nodes_per_sec\""));
     std::fs::write("BENCH_sim.json", text).expect("write BENCH_sim.json");
     println!(
-        "\nwrote BENCH_sim.json (engine_perf + fault_resilience + collectives sections included)"
+        "\nwrote BENCH_sim.json (engine_perf + fault_resilience + collectives + scale \
+         sections included)"
     );
 
     // The acceptance bar holds in both modes: the fixed-load stage always
     // runs the full-scale pair, and the speedup is a same-machine ratio.
-    assert!(
-        min_speedup >= 10.0,
-        "acceptance: arena engine must beat the seed engine ≥ 10× on the cube pair \
-         (got {min_speedup:.1}×)"
-    );
+    if min_speedup < 10.0 {
+        return Err(BenchError::SpeedupBelowBar {
+            min_speedup,
+            bar: 10.0,
+        });
+    }
+    Ok(())
 }

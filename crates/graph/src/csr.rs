@@ -43,6 +43,52 @@ impl CsrGraph {
         builder.build()
     }
 
+    /// Builds directly from pre-assembled CSR arrays — the streaming path
+    /// for million-node graphs where a [`GraphBuilder`]'s per-vertex
+    /// `Vec<Vec<u32>>` staging would double peak memory. The caller supplies
+    /// `offsets` (length `n + 1`, starting at 0, non-decreasing, ending at
+    /// `targets.len()`) and `targets` with each neighbor list sorted
+    /// ascending; typically produced by one counting pass and one fill pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the offset array is malformed, a neighbor list is
+    /// unsorted or contains duplicates or self-loops, or a target is out of
+    /// range. Validation is `O(n + m)`.
+    pub fn from_parts(offsets: Vec<u32>, targets: Vec<u32>) -> CsrGraph {
+        assert!(!offsets.is_empty(), "offsets must have length n + 1");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().expect("non-empty") as usize,
+            targets.len(),
+            "offsets must end at targets.len()"
+        );
+        let n = offsets.len() - 1;
+        assert!(n < u32::MAX as usize, "vertex count too large for u32 ids");
+        for u in 0..n {
+            let (lo, hi) = (offsets[u] as usize, offsets[u + 1] as usize);
+            assert!(lo <= hi, "offsets must be non-decreasing at vertex {u}");
+            let list = &targets[lo..hi];
+            assert!(
+                list.windows(2).all(|p| p[0] < p[1]),
+                "neighbor list of vertex {u} must be strictly ascending"
+            );
+            if let Some(&last) = list.last() {
+                assert!((last as usize) < n, "target out of range at vertex {u}");
+            }
+            assert!(
+                list.binary_search(&(u as u32)).is_err(),
+                "self-loop at vertex {u}"
+            );
+        }
+        let g = CsrGraph { offsets, targets };
+        debug_assert!(
+            (0..n as u32).all(|u| g.neighbors(u).iter().all(|&v| g.has_edge(v, u))),
+            "adjacency must be symmetric"
+        );
+        g
+    }
+
     /// The empty graph on `n` vertices.
     pub fn empty(n: usize) -> CsrGraph {
         CsrGraph {
@@ -340,6 +386,31 @@ mod tests {
     #[should_panic(expected = "self-loop")]
     fn rejects_self_loop() {
         CsrGraph::from_edges(2, &[(1, 1)]);
+    }
+
+    #[test]
+    fn from_parts_matches_builder() {
+        let built = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (2, 3)]);
+        let streamed = CsrGraph::from_parts(vec![0, 3, 4, 6, 8], vec![1, 2, 3, 0, 0, 3, 0, 2]);
+        assert_eq!(built, streamed);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn from_parts_rejects_unsorted() {
+        CsrGraph::from_parts(vec![0, 2, 3, 3], vec![2, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must end")]
+    fn from_parts_rejects_bad_offsets() {
+        CsrGraph::from_parts(vec![0, 1], vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn from_parts_rejects_self_loop() {
+        CsrGraph::from_parts(vec![0, 1, 2], vec![0, 0]);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use fibcube_graph::bfs::{bfs_into, BfsScratch, INFINITY};
 use fibcube_graph::csr::CsrGraph;
 use fibcube_graph::parallel::par_map;
 
+use crate::experiment::ExperimentError;
 use crate::fault::FaultMasks;
 
 /// Flat all-pairs hop-distance matrix over a graph (optionally degraded
@@ -30,8 +31,14 @@ pub struct DistanceTable {
 impl DistanceTable {
     /// All-pairs distances of the intact graph — one BFS per source,
     /// parallel across sources on the workspace thread pool.
-    pub fn healthy(g: &CsrGraph) -> DistanceTable {
+    ///
+    /// Refuses with [`ExperimentError::TableTooLarge`] when the `4n²`-byte
+    /// matrix would exceed
+    /// [`TABLE_BYTE_BUDGET`](crate::router::TABLE_BYTE_BUDGET); use
+    /// [`DistanceSample`] for estimates on larger networks.
+    pub fn healthy(g: &CsrGraph) -> Result<DistanceTable, ExperimentError> {
         let n = g.num_vertices();
+        crate::router::check_table_budget(n)?;
         let rows = par_map(n, |s| {
             let mut row = vec![INFINITY; n];
             let mut scratch = BfsScratch::new(n);
@@ -42,7 +49,7 @@ impl DistanceTable {
         for row in rows {
             dist.extend_from_slice(&row);
         }
-        DistanceTable { n, dist }
+        Ok(DistanceTable { n, dist })
     }
 
     /// All-pairs distances of the graph degraded by `masks`: BFS over
@@ -137,6 +144,102 @@ impl DistanceTable {
     }
 }
 
+/// Sampled distance statistics for networks too large for an all-pairs
+/// [`DistanceTable`]: exact BFS from a uniform random sample of `sources`
+/// nodes, `O(s · (n + m))` time and `O(n)` transient space.
+///
+/// Each sampled source contributes its exact mean distance to every other
+/// reachable node; the estimator averages those per-source means, which is
+/// unbiased for the population average distance on a vertex-transitive-ish
+/// graph and comes with a normal-approximation confidence half-width
+/// ([`DistanceSample::average_ci95`]). The largest distance seen is the
+/// exact eccentricity of some sampled source, hence a certified *lower
+/// bound* on the diameter — dense-table consumers that need the exact
+/// diameter must stay below the byte budget and use
+/// [`DistanceTable::healthy`].
+#[derive(Clone, Debug)]
+pub struct DistanceSample {
+    /// Number of distinct BFS sources actually sampled (`min(requested, n)`).
+    pub sources: usize,
+    /// Estimated mean distance over connected ordered pairs (`u ≠ v`).
+    pub average_distance: f64,
+    /// Half-width of the 95% confidence interval on
+    /// [`average_distance`](DistanceSample::average_distance), from the
+    /// spread of per-source means (0 when every source was sampled — on a
+    /// connected graph the estimate is then exact).
+    pub average_ci95: f64,
+    /// Max distance observed = exact eccentricity of a sampled source —
+    /// a lower bound on (and frequently equal to) the diameter.
+    pub diameter_lower_bound: u32,
+}
+
+impl DistanceSample {
+    /// Estimates distance statistics of `g` from `sources` seeded random
+    /// BFS sources (clamped to `n`; sampling every node makes the
+    /// average exact and the CI zero).
+    pub fn estimate(g: &CsrGraph, sources: usize, seed: u64) -> DistanceSample {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let n = g.num_vertices();
+        if n == 0 {
+            return DistanceSample {
+                sources: 0,
+                average_distance: 0.0,
+                average_ci95: 0.0,
+                diameter_lower_bound: 0,
+            };
+        }
+        let s = sources.clamp(1, n);
+        // Distinct sources via partial Fisher–Yates over the id range.
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..s {
+            let j = rng.gen_range(i..n);
+            ids.swap(i, j);
+        }
+        ids.truncate(s);
+
+        let rows = par_map(s, |i| {
+            let mut row = vec![INFINITY; n];
+            let mut scratch = BfsScratch::new(n);
+            bfs_into(g, ids[i], &mut row, &mut scratch);
+            let mut sum = 0u64;
+            let mut pairs = 0u64;
+            let mut ecc = 0u32;
+            for &d in &row {
+                if d != 0 && d != INFINITY {
+                    sum += d as u64;
+                    pairs += 1;
+                    ecc = ecc.max(d);
+                }
+            }
+            let mean = if pairs == 0 {
+                0.0
+            } else {
+                sum as f64 / pairs as f64
+            };
+            (mean, ecc)
+        });
+
+        let means: Vec<f64> = rows.iter().map(|&(m, _)| m).collect();
+        let diameter_lower_bound = rows.iter().map(|&(_, e)| e).max().unwrap_or(0);
+        let avg = means.iter().sum::<f64>() / s as f64;
+        let average_ci95 = if s >= n || s < 2 {
+            0.0
+        } else {
+            let var = means.iter().map(|m| (m - avg) * (m - avg)).sum::<f64>() / (s - 1) as f64;
+            1.96 * (var / s as f64).sqrt()
+        };
+        DistanceSample {
+            sources: s,
+            average_distance: avg,
+            average_ci95,
+            diameter_lower_bound,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,7 +255,7 @@ mod tests {
             &Ring::new(9),
         ] {
             let g = topo.graph();
-            let table = DistanceTable::healthy(g);
+            let table = DistanceTable::healthy(g).unwrap();
             assert_eq!(table.nodes(), topo.len());
             for dst in 0..topo.len() as u32 {
                 let bfs = bfs_distances(g, dst);
@@ -172,7 +275,7 @@ mod tests {
             &Ring::new(12),
         ] {
             let g = topo.graph();
-            let table = DistanceTable::healthy(g);
+            let table = DistanceTable::healthy(g).unwrap();
             assert_eq!(table.diameter(), fibcube_graph::distance::diameter(g));
             let avg = fibcube_graph::distance::average_distance(g);
             assert!((table.average_distance() - avg).abs() < 1e-12);
@@ -213,7 +316,7 @@ mod tests {
     fn empty_masks_make_degraded_equal_healthy() {
         let q = Hypercube::new(4);
         let g = q.graph();
-        let healthy = DistanceTable::healthy(g);
+        let healthy = DistanceTable::healthy(g).unwrap();
         let degraded = DistanceTable::degraded(g, &FaultSet::empty().masks(g));
         for u in 0..16u32 {
             assert_eq!(healthy.to_dst(u), degraded.to_dst(u));
@@ -221,11 +324,65 @@ mod tests {
     }
 
     #[test]
+    fn full_sample_is_exact_on_connected_graphs() {
+        for topo in [
+            &FibonacciNet::classical(8) as &dyn Topology,
+            &Hypercube::new(5),
+            &Ring::new(12),
+        ] {
+            let g = topo.graph();
+            let exact = DistanceTable::healthy(g).unwrap();
+            let sample = DistanceSample::estimate(g, g.num_vertices(), 7);
+            assert_eq!(sample.sources, topo.len(), "{}", topo.name());
+            assert!(
+                (sample.average_distance - exact.average_distance()).abs() < 1e-9,
+                "{}: {} vs {}",
+                topo.name(),
+                sample.average_distance,
+                exact.average_distance()
+            );
+            assert_eq!(sample.average_ci95, 0.0);
+            assert_eq!(sample.diameter_lower_bound, exact.diameter().unwrap());
+        }
+    }
+
+    #[test]
+    fn partial_sample_estimates_with_honest_bounds() {
+        let net = FibonacciNet::classical(10); // 144 nodes
+        let g = net.graph();
+        let exact = DistanceTable::healthy(g).unwrap();
+        let sample = DistanceSample::estimate(g, 24, 2026);
+        assert_eq!(sample.sources, 24);
+        assert!(sample.average_ci95 > 0.0, "partial samples carry a CI");
+        assert!(
+            sample.diameter_lower_bound <= exact.diameter().unwrap(),
+            "lower bound must never exceed the diameter"
+        );
+        assert!(
+            (sample.average_distance - exact.average_distance()).abs() < 0.5,
+            "estimate {} too far from exact {}",
+            sample.average_distance,
+            exact.average_distance()
+        );
+        // Oversized requests clamp to n instead of repeating sources.
+        let clamped = DistanceSample::estimate(g, 10_000, 1);
+        assert_eq!(clamped.sources, 144);
+    }
+
+    #[test]
+    fn sample_of_empty_graph() {
+        let s = DistanceSample::estimate(&CsrGraph::empty(0), 8, 0);
+        assert_eq!(s.sources, 0);
+        assert_eq!(s.average_distance, 0.0);
+        assert_eq!(s.diameter_lower_bound, 0);
+    }
+
+    #[test]
     fn empty_graph_edge_cases() {
-        let empty = DistanceTable::healthy(&CsrGraph::empty(0));
+        let empty = DistanceTable::healthy(&CsrGraph::empty(0)).unwrap();
         assert_eq!(empty.diameter(), None);
         assert_eq!(empty.average_distance(), 0.0);
-        let single = DistanceTable::healthy(&CsrGraph::empty(1));
+        let single = DistanceTable::healthy(&CsrGraph::empty(1)).unwrap();
         assert_eq!(single.diameter(), Some(0));
         assert_eq!(single.average_distance(), 0.0);
     }

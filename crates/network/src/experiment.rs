@@ -124,6 +124,17 @@ pub enum ExperimentError {
     /// drops; the variant carries the static schedulers' errors through
     /// `?`.)
     Broadcast(BroadcastError),
+    /// A dense `O(n²)` table ([`NextHopTable`](crate::router::NextHopTable)
+    /// or [`DistanceTable`](crate::dist::DistanceTable)) was requested for
+    /// a network too large to tabulate within
+    /// [`TABLE_BYTE_BUDGET`](crate::router::TABLE_BYTE_BUDGET) — use the
+    /// implicit / sampled paths instead of a multi-GiB allocation.
+    TableTooLarge {
+        /// Number of nodes the table would cover.
+        nodes: usize,
+        /// Bytes the dense table would occupy.
+        bytes: u128,
+    },
 }
 
 impl From<FaultError> for ExperimentError {
@@ -153,6 +164,12 @@ impl fmt::Display for ExperimentError {
             }
             ExperimentError::Fault(e) => write!(f, "invalid fault scenario: {e}"),
             ExperimentError::Broadcast(e) => write!(f, "broadcast failed: {e}"),
+            ExperimentError::TableTooLarge { nodes, bytes } => write!(
+                f,
+                "dense O(n²) table over {nodes} nodes needs {bytes} bytes, \
+                 over the {} byte budget — use implicit routing / sampled metrics",
+                crate::router::TABLE_BYTE_BUDGET
+            ),
         }
     }
 }

@@ -557,8 +557,16 @@ pub fn healthy_subgraph(g: &CsrGraph, failed: &[u32]) -> (CsrGraph, Vec<u32>) {
 /// the same type the live fault-masking router and the metrics table
 /// share. `O(n²)` — meant for the static comparisons, not the live
 /// engine.
+///
+/// # Panics
+///
+/// Panics when the topology is too large for an all-pairs table (see
+/// [`TABLE_BYTE_BUDGET`](crate::router::TABLE_BYTE_BUDGET)); the static
+/// analysis is inherently dense, so there is no implicit fallback here.
 pub fn fault_set_trial(t: &dyn Topology, set: &FaultSet) -> FaultTrial {
-    fault_set_trial_with(t, set, &crate::dist::DistanceTable::healthy(t.graph()))
+    let before = crate::dist::DistanceTable::healthy(t.graph())
+        .expect("static fault analysis needs an all-pairs table within TABLE_BYTE_BUDGET");
+    fault_set_trial_with(t, set, &before)
 }
 
 /// [`fault_set_trial`] against a caller-provided healthy (pre-fault)
@@ -640,7 +648,8 @@ pub fn fault_sweep(
     }
     // The pre-fault distance table depends only on the graph: build it
     // once for the whole trials × fault_counts grid.
-    let before = crate::dist::DistanceTable::healthy(t.graph());
+    let before = crate::dist::DistanceTable::healthy(t.graph())
+        .expect("static fault sweeps need an all-pairs table within TABLE_BYTE_BUDGET");
     fault_counts
         .iter()
         .map(|&k| {

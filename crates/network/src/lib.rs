@@ -21,9 +21,15 @@
 //!   the original full-scan engine as a reference oracle);
 //! * [`arena`] — the engine's storage core: the struct-of-arrays
 //!   [`PacketSlab`] and the fixed-stride ring-buffer [`LinkQueues`];
+//! * [`implicit`] — million-node scale: [`ImplicitRouter`] computes
+//!   canonical-path and e-cube hops straight from Zeckendorf address
+//!   arithmetic (`O(d)` time, `O(d)` total state — no `O(n²)` table,
+//!   no per-node flip rows) and [`ImplicitFibonacciNet`] materialises
+//!   `Q_d(1^k)` lazily from rank↔word codecs, streaming its CSR graph;
 //! * [`dist`] — the shared [`DistanceTable`] (healthy or degraded by a
 //!   fault set) behind metrics, survivability analysis, and the
-//!   fault-masking router;
+//!   fault-masking router, plus the sampled [`DistanceSample`]
+//!   estimator for networks past the dense-table byte budget;
 //! * [`observer`] — pluggable [`SimObserver`] hooks compiled into the
 //!   engine (zero-cost when absent), with [`LatencyHistogram`] and
 //!   [`LinkHeatmap`] shipped;
@@ -65,6 +71,7 @@ pub mod embedding;
 pub mod experiment;
 pub mod fault;
 pub mod hamilton;
+pub mod implicit;
 pub mod metrics;
 pub mod observer;
 pub mod report;
@@ -79,7 +86,7 @@ pub use broadcast::{
     broadcast_all_port, broadcast_one_port, verify_schedule, BroadcastError, BroadcastSchedule,
 };
 pub use collective::{CollectiveOutcome, CollectiveSpec, CopyPlan, Port};
-pub use dist::DistanceTable;
+pub use dist::{DistanceSample, DistanceTable};
 pub use embedding::{embed_hypercube, embed_path, embed_ring, Embedding};
 pub use experiment::{Experiment, ExperimentError};
 pub use fault::{
@@ -87,16 +94,18 @@ pub use fault::{
     FaultSweepRow, FaultTrial,
 };
 pub use hamilton::{hamiltonian_cycle, hamiltonian_path, HamiltonResult};
-pub use metrics::{metrics, TopologyMetrics};
+pub use implicit::{ImplicitFibonacciNet, ImplicitRouter};
+pub use metrics::{metrics, metrics_sampled, metrics_with, TopologyMetrics};
 pub use observer::{DeliveryTracker, LatencyHistogram, LinkHeatmap, NoopObserver, SimObserver};
 pub use report::{JsonValue, Report};
 pub use router::{
     AdaptiveMinimal, CanonicalRouter, EcubeRouter, FaultMaskingRouter, LinkLoad, NextHopRouter,
-    NextHopTable, NoLoad, Router, RouterSpec,
+    NextHopTable, NoLoad, Router, RouterSpec, TABLE_BYTE_BUDGET,
 };
 pub use simulator::{
     simulate, simulate_collective, simulate_faulted, simulate_faulted_reference, simulate_observed,
-    simulate_reference, simulate_with, DropReason, SimStats,
+    simulate_reference, simulate_with, DropReason, LogHistogram, SimStats,
+    DENSE_HISTOGRAM_NODE_LIMIT,
 };
 pub use sweep::{
     collective_sweep, fault_load_sweep, injection_sweep, injection_sweep_with, rate_ladder,

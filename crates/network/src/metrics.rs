@@ -1,8 +1,27 @@
 //! Static topology metrics — the comparison table of the 1993-era
 //! interconnection papers: order, size, degree, diameter, average distance,
 //! and the degree×diameter "cost".
+//!
+//! Up to [`EXACT_METRICS_LIMIT`] nodes the distance figures come from one
+//! exact all-pairs [`DistanceTable`]; past it
+//! [`metrics`] switches to the sampled
+//! [`DistanceSample`] estimator so the row
+//! stays computable at Γ_30 scale — [`TopologyMetrics::exact_distances`]
+//! and the confidence half-width record which mode produced the numbers.
+//! Callers that already hold a table use [`metrics_with`] and pay no BFS
+//! at all.
 
+use crate::dist::{DistanceSample, DistanceTable};
 use crate::topology::Topology;
+
+/// Largest node count for which [`metrics`] computes exact all-pairs
+/// distances (64 MiB of table); larger networks are sampled.
+pub const EXACT_METRICS_LIMIT: usize = 4096;
+
+/// BFS sources [`metrics`] samples beyond [`EXACT_METRICS_LIMIT`].
+pub const DEFAULT_METRIC_SOURCES: usize = 64;
+
+const METRIC_SAMPLE_SEED: u64 = 0x5EED_D15C;
 
 /// Static figures of merit for one topology.
 #[derive(Clone, Debug)]
@@ -17,33 +36,100 @@ pub struct TopologyMetrics {
     pub min_degree: usize,
     /// Maximum node degree.
     pub max_degree: usize,
-    /// Diameter.
+    /// Diameter — exact when [`exact_distances`](Self::exact_distances),
+    /// otherwise a certified lower bound (max sampled eccentricity).
     pub diameter: u32,
-    /// Mean pairwise hop distance.
+    /// Mean pairwise hop distance (estimated when sampled).
     pub average_distance: f64,
     /// The classic cost measure `max_degree × diameter`.
     pub cost: usize,
+    /// `true` when the distance figures come from an exact all-pairs
+    /// table; `false` when sampled.
+    pub exact_distances: bool,
+    /// BFS sources behind the distance figures (= `nodes` when exact).
+    pub distance_sources: usize,
+    /// Half-width of the 95% confidence interval on
+    /// [`average_distance`](Self::average_distance); 0 when exact.
+    pub average_distance_ci95: f64,
 }
 
-/// Computes the full metric row for a topology. The two distance
-/// figures (diameter, average distance) come from one shared
-/// [`DistanceTable`](crate::dist::DistanceTable) — previously each ran
-/// its own full all-pairs BFS sweep.
+fn degree_row(t: &dyn Topology) -> (usize, usize) {
+    let g = t.graph();
+    let mut min_d = usize::MAX;
+    let mut max_d = 0usize;
+    for u in 0..g.num_vertices() as u32 {
+        let d = g.degree(u);
+        min_d = min_d.min(d);
+        max_d = max_d.max(d);
+    }
+    if g.num_vertices() == 0 {
+        min_d = 0;
+    }
+    (min_d, max_d)
+}
+
+/// Computes the full metric row for a topology: exact all-pairs distances
+/// up to [`EXACT_METRICS_LIMIT`] nodes, sampled
+/// ([`DEFAULT_METRIC_SOURCES`] seeded BFS sources) beyond — so the call
+/// is safe at million-node scale.
 pub fn metrics(t: &dyn Topology) -> TopologyMetrics {
+    if t.len() <= EXACT_METRICS_LIMIT {
+        let table = DistanceTable::healthy(t.graph())
+            .expect("EXACT_METRICS_LIMIT keeps the table within budget");
+        metrics_with(t, &table)
+    } else {
+        metrics_sampled(t, DEFAULT_METRIC_SOURCES, METRIC_SAMPLE_SEED)
+    }
+}
+
+/// The metric row against a caller-supplied (cached) distance table —
+/// repeated calls on the same topology reuse one all-pairs sweep instead
+/// of rebuilding it per call.
+///
+/// # Panics
+///
+/// Panics when `table` does not cover the topology's node count.
+pub fn metrics_with(t: &dyn Topology, table: &DistanceTable) -> TopologyMetrics {
     let g = t.graph();
     let n = g.num_vertices();
-    let degrees: Vec<usize> = (0..n as u32).map(|u| g.degree(u)).collect();
-    let table = crate::dist::DistanceTable::healthy(g);
+    assert_eq!(table.nodes(), n, "distance table does not match topology");
+    let (min_degree, max_degree) = degree_row(t);
     let diameter = table.diameter().unwrap_or(0);
     TopologyMetrics {
         name: t.name(),
         nodes: n,
         links: g.num_edges(),
-        min_degree: degrees.iter().copied().min().unwrap_or(0),
-        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        min_degree,
+        max_degree,
         diameter,
         average_distance: table.average_distance(),
-        cost: degrees.iter().copied().max().unwrap_or(0) * diameter as usize,
+        cost: max_degree * diameter as usize,
+        exact_distances: true,
+        distance_sources: n,
+        average_distance_ci95: 0.0,
+    }
+}
+
+/// The metric row with sampled distance figures: `sources` seeded BFS
+/// sweeps instead of `n` — `O(s · (n + m))` time, `O(n)` space. The
+/// diameter field is the sampled lower bound.
+pub fn metrics_sampled(t: &dyn Topology, sources: usize, seed: u64) -> TopologyMetrics {
+    let g = t.graph();
+    let n = g.num_vertices();
+    let (min_degree, max_degree) = degree_row(t);
+    let sample = DistanceSample::estimate(g, sources, seed);
+    TopologyMetrics {
+        name: t.name(),
+        nodes: n,
+        links: g.num_edges(),
+        min_degree,
+        max_degree,
+        diameter: sample.diameter_lower_bound,
+        average_distance: sample.average_distance,
+        cost: max_degree * sample.diameter_lower_bound as usize,
+        exact_distances: sample.sources >= n,
+        distance_sources: sample.sources,
+        average_distance_ci95: sample.average_ci95,
     }
 }
 
@@ -89,6 +175,75 @@ mod tests {
         let m = metrics(&Mesh::new(4, 4));
         assert_eq!(m.diameter, 6);
         assert_eq!(m.max_degree, 4);
+    }
+
+    #[test]
+    fn exact_mode_is_flagged() {
+        let m = metrics(&Hypercube::new(4));
+        assert!(m.exact_distances);
+        assert_eq!(m.distance_sources, 16);
+        assert_eq!(m.average_distance_ci95, 0.0);
+    }
+
+    #[test]
+    fn metrics_with_reuses_a_cached_table() {
+        let net = FibonacciNet::classical(8);
+        let table = crate::dist::DistanceTable::healthy(net.graph()).unwrap();
+        let direct = metrics(&net);
+        let reused = metrics_with(&net, &table);
+        assert_eq!(reused.diameter, direct.diameter);
+        assert_eq!(reused.average_distance, direct.average_distance);
+        assert_eq!(reused.cost, direct.cost);
+        assert!(reused.exact_distances);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn metrics_with_rejects_mismatched_table() {
+        let table = crate::dist::DistanceTable::healthy(Ring::new(5).graph()).unwrap();
+        metrics_with(&Hypercube::new(4), &table);
+    }
+
+    #[test]
+    fn sampled_metrics_agree_with_exact_on_every_shipped_topology() {
+        for topo in [
+            &FibonacciNet::classical(10) as &dyn Topology,
+            &FibonacciNet::new(8, 3),
+            &Hypercube::new(7),
+            &Ring::new(33),
+            &Mesh::new(8, 8),
+        ] {
+            let exact = metrics(topo);
+            assert!(exact.exact_distances, "{}", topo.name());
+            let sampled = metrics_sampled(topo, 24, 99);
+            assert!(!sampled.exact_distances || sampled.distance_sources >= topo.len());
+            assert_eq!(sampled.nodes, exact.nodes);
+            assert_eq!(sampled.links, exact.links);
+            assert_eq!(sampled.max_degree, exact.max_degree);
+            assert!(
+                sampled.diameter <= exact.diameter,
+                "{}: lower bound {} exceeds diameter {}",
+                topo.name(),
+                sampled.diameter,
+                exact.diameter
+            );
+            assert!(
+                sampled.diameter * 2 >= exact.diameter,
+                "{}: lower bound {} implausibly loose vs {}",
+                topo.name(),
+                sampled.diameter,
+                exact.diameter
+            );
+            let rel =
+                (sampled.average_distance - exact.average_distance).abs() / exact.average_distance;
+            assert!(
+                rel < 0.15,
+                "{}: sampled {} vs exact {} (rel {rel})",
+                topo.name(),
+                sampled.average_distance,
+                exact.average_distance
+            );
+        }
     }
 
     #[test]

@@ -176,6 +176,25 @@ pub fn stats_to_json(stats: &SimStats) -> JsonValue {
                     .collect(),
             ),
         ),
+        (
+            // Sparse `[bucket, count]` pairs of the streaming log₂
+            // histogram — the only latency distribution present past
+            // `DENSE_HISTOGRAM_NODE_LIMIT`, where the dense vector above
+            // is empty.
+            "latency_log2_buckets",
+            JsonValue::Arr(
+                stats
+                    .latency_buckets
+                    .buckets()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(i, &c)| {
+                        JsonValue::Arr(vec![JsonValue::Int(i as u64), JsonValue::Int(c)])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -331,6 +350,9 @@ mod tests {
 
     #[test]
     fn stats_json_carries_the_histogram() {
+        let mut buckets = crate::simulator::LogHistogram::new();
+        buckets.record(1);
+        buckets.record(3);
         let stats = SimStats {
             offered: 3,
             delivered: 2,
@@ -339,6 +361,7 @@ mod tests {
             makespan: 7,
             mean_latency: 3.5,
             latency_histogram: vec![0, 1, 0, 1],
+            latency_buckets: buckets,
             p99_latency: 3,
             total_hops: 7,
             throughput: 2.0 / 7.0,
@@ -346,6 +369,10 @@ mod tests {
         let json = stats_to_json(&stats).to_string();
         assert!(
             json.contains("\"latency_histogram\": [0, 1, 0, 1]"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"latency_log2_buckets\": [[1, 1], [2, 1]]"),
             "{json}"
         );
         assert!(json.contains("\"delivered\": 2"), "{json}");

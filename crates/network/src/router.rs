@@ -148,8 +148,10 @@ pub trait Router {
 
     /// The policy's routes as a dense [`NextHopTable`], or `None` (the
     /// default) when the policy cannot be tabulated — because it is
-    /// load-dependent ([`AdaptiveMinimal`], [`FaultMaskingRouter`]) or
-    /// has no per-entry-cheap closed form. A returned table must agree
+    /// load-dependent ([`AdaptiveMinimal`], [`FaultMaskingRouter`]), has
+    /// no per-entry-cheap closed form, or the `4n²`-byte table would
+    /// exceed [`TABLE_BYTE_BUDGET`] (the engine then routes per hop,
+    /// which the implicit routers make `O(d)`/lookup). A returned table must agree
     /// with [`next_hop`](Router::next_hop) under [`NoLoad`] on every
     /// `(cur, dst)` pair.
     ///
@@ -201,11 +203,38 @@ pub struct NextHopTable {
     edges: Vec<u32>,
 }
 
+/// Ceiling on any dense `O(n²)` table allocation ([`NextHopTable`],
+/// [`DistanceTable`]): 1 GiB, enough for every shipped small topology
+/// (`4n²` bytes crosses it at n ≈ 16 384) while refusing the terabyte
+/// tables a Γ_30-scale network would imply. Builders return
+/// [`ExperimentError::TableTooLarge`] instead of attempting the
+/// allocation; `Router::precompute` degrades to per-hop (implicit)
+/// routing.
+pub const TABLE_BYTE_BUDGET: usize = 1 << 30;
+
+/// Checks an `n × n × 4`-byte dense table against [`TABLE_BYTE_BUDGET`].
+pub(crate) fn check_table_budget(n: usize) -> Result<(), ExperimentError> {
+    let bytes = (n as u128) * (n as u128) * 4;
+    if bytes > TABLE_BYTE_BUDGET as u128 {
+        Err(ExperimentError::TableTooLarge { nodes: n, bytes })
+    } else {
+        Ok(())
+    }
+}
+
 impl NextHopTable {
     /// Tabulates `next` (a `(cur, dst) → neighbor` rule, `None` meaning
     /// "arrived") over all ordered pairs of `g`'s nodes.
-    pub fn build(g: &CsrGraph, mut next: impl FnMut(u32, u32) -> Option<u32>) -> NextHopTable {
+    ///
+    /// Refuses with [`ExperimentError::TableTooLarge`] when the `4n²`-byte
+    /// table would exceed [`TABLE_BYTE_BUDGET`] — callers fall back to
+    /// per-hop (implicit) routing rather than allocating multiple GiB.
+    pub fn build(
+        g: &CsrGraph,
+        mut next: impl FnMut(u32, u32) -> Option<u32>,
+    ) -> Result<NextHopTable, ExperimentError> {
         let n = g.num_vertices();
+        check_table_budget(n)?;
         let slots = SlotTable::new(g);
         let mut edges = vec![INVALID; n * n];
         for cur in 0..n as u32 {
@@ -218,7 +247,7 @@ impl NextHopTable {
                 }
             }
         }
-        NextHopTable { n, edges }
+        Ok(NextHopTable { n, edges })
     }
 
     /// Number of nodes the table covers.
@@ -270,7 +299,7 @@ impl Router for EcubeRouter {
     }
 
     fn precompute(&self, graph: &CsrGraph) -> Option<NextHopTable> {
-        Some(NextHopTable::build(graph, EcubeRouter::hop))
+        NextHopTable::build(graph, EcubeRouter::hop).ok()
     }
 }
 
@@ -353,9 +382,7 @@ impl Router for CanonicalRouter {
     }
 
     fn precompute(&self, graph: &CsrGraph) -> Option<NextHopTable> {
-        Some(NextHopTable::build(graph, |cur, dst| {
-            self.next_hop(cur, dst, &NoLoad)
-        }))
+        NextHopTable::build(graph, |cur, dst| self.next_hop(cur, dst, &NoLoad)).ok()
     }
 }
 
@@ -449,9 +476,7 @@ impl<T: Topology + ?Sized> Router for NextHopRouter<'_, T> {
         // Built-in rules are deterministic and load-blind, so they
         // tabulate; `graph` must be the wrapped topology's own graph.
         debug_assert_eq!(graph.num_vertices(), self.topo.len());
-        Some(NextHopTable::build(graph, |cur, dst| {
-            self.topo.next_hop(cur, dst)
-        }))
+        NextHopTable::build(graph, |cur, dst| self.topo.next_hop(cur, dst)).ok()
     }
 }
 
@@ -873,6 +898,24 @@ mod tests {
         // And it still routes after the eager build.
         assert_eq!(masked.next_hop(0, 3, &NoLoad), Some(2));
         assert_eq!(masked.distances().distance(0, 3), 2);
+    }
+
+    #[test]
+    fn oversized_tables_are_refused_not_allocated() {
+        // 20 000 nodes → 1.6 GB dense table, over the 1 GiB budget: the
+        // builder must return the typed error before touching the heap.
+        let g = CsrGraph::empty(20_000);
+        match NextHopTable::build(&g, |_, _| None) {
+            Err(ExperimentError::TableTooLarge { nodes, bytes }) => {
+                assert_eq!(nodes, 20_000);
+                assert_eq!(bytes, 20_000u128 * 20_000 * 4);
+            }
+            other => panic!("expected TableTooLarge, got {other:?}"),
+        }
+        // And precompute degrades to per-hop routing instead of erroring.
+        assert!(EcubeRouter.precompute(&g).is_none());
+        assert!(check_table_budget(16_384).is_ok());
+        assert!(check_table_budget(16_385).is_err());
     }
 
     #[test]

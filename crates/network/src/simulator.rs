@@ -94,9 +94,18 @@ pub struct SimStats {
     pub makespan: u64,
     /// Mean end-to-end latency (inject → arrival) of delivered packets.
     pub mean_latency: f64,
-    /// Latency histogram: `hist[l]` = packets delivered with latency `l`.
+    /// Exact latency histogram: `hist[l]` = packets delivered with
+    /// latency `l`. Kept only up to [`DENSE_HISTOGRAM_NODE_LIMIT`] nodes
+    /// — empty (not truncated) beyond it, where the streaming
+    /// [`latency_buckets`](SimStats::latency_buckets) carry the
+    /// distribution in constant space.
     pub latency_histogram: Vec<u64>,
-    /// 99th-percentile latency.
+    /// Streaming log₂-bucketed latency histogram — always populated, the
+    /// scale-safe view of the latency distribution.
+    pub latency_buckets: LogHistogram,
+    /// 99th-percentile latency. Exact below
+    /// [`DENSE_HISTOGRAM_NODE_LIMIT`] nodes; the log-bucket upper bound
+    /// beyond.
     pub p99_latency: u64,
     /// Total packet-hops transmitted (link utilisation numerator).
     pub total_hops: u64,
@@ -135,6 +144,85 @@ impl LinkLoad for NodeLoad<'_> {
     }
 }
 
+/// Node count past which the engines stop keeping the dense per-latency
+/// histogram (which grows with the observed max latency) and rely on the
+/// constant-space [`LogHistogram`] instead. 64 Ki nodes keeps every
+/// shipped small/medium topology byte-identical to the seed while the
+/// million-node scale runs stay `O(1)` in histogram memory.
+pub const DENSE_HISTOGRAM_NODE_LIMIT: usize = 65_536;
+
+/// Streaming log₂-bucketed latency histogram: 64 fixed buckets, `O(1)`
+/// record, 512 bytes total — the memory-lean companion to the exact
+/// [`SimStats::latency_histogram`]. Bucket `i` counts deliveries with
+/// latency in `[2^i − 1, 2^{i+1} − 2]` (bucket 0 is exactly latency 0).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; 64],
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram { buckets: [0; 64] }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    /// Records one delivery at `lat` cycles.
+    #[inline]
+    pub fn record(&mut self, lat: u64) {
+        // lat + 1 ∈ [2^i, 2^{i+1}) ⇒ bucket i; lat = u64::MAX saturates
+        // into the top bucket rather than wrapping.
+        let i = 63 - lat.saturating_add(1).leading_zeros() as usize;
+        self.buckets[i] += 1;
+    }
+
+    /// The 64 bucket counts.
+    pub fn buckets(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+
+    /// Inclusive latency range `[lo, hi]` covered by bucket `i`.
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        assert!(i < 64);
+        let lo = (1u64 << i) - 1;
+        let hi = if i == 63 {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 2
+        };
+        (lo, hi)
+    }
+
+    /// Total recorded deliveries.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (0 for the
+    /// empty histogram) — the scale-mode stand-in for an exact
+    /// percentile, never below the true value.
+    pub fn percentile_upper_bound(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let threshold = (total as f64 * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen >= threshold {
+                return LogHistogram::bucket_range(i).1;
+            }
+        }
+        LogHistogram::bucket_range(63).1
+    }
+}
+
 /// Accumulates delivery statistics shared by both engines.
 #[derive(Default)]
 struct StatsAcc {
@@ -143,16 +231,32 @@ struct StatsAcc {
     dropped_unreachable: usize,
     total_latency: u64,
     hist: Vec<u64>,
+    buckets: LogHistogram,
+    /// Keep the dense per-latency vector? Off past
+    /// [`DENSE_HISTOGRAM_NODE_LIMIT`] nodes.
+    dense: bool,
     total_hops: u64,
     makespan: u64,
 }
 
 impl StatsAcc {
+    /// Accumulator sized for an `n`-node network: the dense histogram is
+    /// kept only below [`DENSE_HISTOGRAM_NODE_LIMIT`].
+    fn for_network(n: usize) -> StatsAcc {
+        StatsAcc {
+            dense: n <= DENSE_HISTOGRAM_NODE_LIMIT,
+            ..StatsAcc::default()
+        }
+    }
+
     fn deliver(&mut self, now: u64, inject_time: u64) {
         self.delivered += 1;
         let lat = now - inject_time;
         self.total_latency += lat;
-        bump(&mut self.hist, lat);
+        if self.dense {
+            bump(&mut self.hist, lat);
+        }
+        self.buckets.record(lat);
         self.makespan = self.makespan.max(now);
     }
 
@@ -160,7 +264,10 @@ impl StatsAcc {
     /// the makespan (it never occupied a link — seed semantics).
     fn deliver_instant(&mut self) {
         self.delivered += 1;
-        bump(&mut self.hist, 0);
+        if self.dense {
+            bump(&mut self.hist, 0);
+        }
+        self.buckets.record(0);
     }
 
     fn finish(self, offered: usize) -> SimStats {
@@ -169,7 +276,11 @@ impl StatsAcc {
         } else {
             0.0
         };
-        let p99 = percentile(&self.hist, 0.99);
+        let p99 = if self.dense {
+            percentile(&self.hist, 0.99)
+        } else {
+            self.buckets.percentile_upper_bound(0.99)
+        };
         let throughput = if self.makespan > 0 {
             self.delivered as f64 / self.makespan as f64
         } else {
@@ -183,6 +294,7 @@ impl StatsAcc {
             makespan: self.makespan,
             mean_latency,
             latency_histogram: self.hist,
+            latency_buckets: self.buckets,
             p99_latency: p99,
             total_hops: self.total_hops,
             throughput,
@@ -462,7 +574,7 @@ where
     // follow-up copy never departs in the cycle its predecessor did.
     let mut chained: Vec<(u32, usize)> = Vec::new();
 
-    let mut acc = StatsAcc::default();
+    let mut acc = StatsAcc::for_network(n);
     let mut in_flight = 0usize;
     let mut reached_targets = 0usize;
     let mut started = false;
@@ -699,7 +811,7 @@ where
     inj.sort_by_key(|p| p.inject_time);
     let mut next_inject = 0usize;
 
-    let mut acc = StatsAcc::default();
+    let mut acc = StatsAcc::for_network(n);
     let mut in_flight = 0usize;
 
     let mut cycle: u64 = 0;
@@ -850,7 +962,7 @@ pub fn simulate_reference(
             .expect("next_hop must return a neighbor")
     };
 
-    let mut acc = StatsAcc::default();
+    let mut acc = StatsAcc::for_network(n);
     let mut in_flight = 0usize;
 
     let mut cycle: u64 = 0;
@@ -945,7 +1057,7 @@ pub fn simulate_faulted_reference(
         queues[node as usize][slot].push_back(pkt);
     };
 
-    let mut acc = StatsAcc::default();
+    let mut acc = StatsAcc::for_network(n);
     let mut in_flight = 0usize;
 
     let mut cycle: u64 = 0;
@@ -1566,5 +1678,77 @@ mod tests {
         assert_eq!(fast.delivered, slow.delivered);
         assert_eq!(fast.mean_latency, slow.mean_latency);
         assert_eq!(fast.makespan, slow.makespan);
+    }
+
+    #[test]
+    fn log_histogram_buckets_by_powers_of_two() {
+        let mut h = LogHistogram::new();
+        for lat in [0, 1, 2, 3, 4, 6, 7, 100, u64::MAX] {
+            h.record(lat);
+        }
+        // Bucket i covers [2^i − 1, 2^{i+1} − 2].
+        assert_eq!(h.buckets()[0], 1); // latency 0
+        assert_eq!(h.buckets()[1], 2); // 1, 2
+        assert_eq!(h.buckets()[2], 3); // 3, 4, 6
+        assert_eq!(h.buckets()[3], 1); // 7
+        assert_eq!(h.buckets()[6], 1); // 100 ∈ [63, 126]
+        assert_eq!(h.buckets()[63], 1); // saturates, no overflow
+        assert_eq!(h.count(), 9);
+    }
+
+    #[test]
+    fn log_histogram_ranges_tile_the_latency_axis() {
+        let mut expected_lo = 0u64;
+        for i in 0..64 {
+            let (lo, hi) = LogHistogram::bucket_range(i);
+            assert_eq!(lo, expected_lo, "bucket {i} starts where {} ended", i);
+            assert!(hi >= lo);
+            if i < 63 {
+                expected_lo = hi + 1;
+            } else {
+                assert_eq!(hi, u64::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn log_percentile_upper_bound_never_underestimates() {
+        let mut h = LogHistogram::new();
+        let mut exact = Vec::new();
+        for lat in [0u64, 1, 1, 3, 5, 9, 9, 9, 20, 70] {
+            h.record(lat);
+            exact.push(lat);
+        }
+        exact.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let idx = ((exact.len() as f64 * q).ceil() as usize).max(1) - 1;
+            let truth = exact[idx];
+            let bound = h.percentile_upper_bound(q);
+            assert!(bound >= truth, "q={q}: bound {bound} < exact {truth}");
+        }
+        assert_eq!(LogHistogram::new().percentile_upper_bound(0.99), 0);
+    }
+
+    #[test]
+    fn log_histogram_matches_dense_histogram_on_a_real_run() {
+        // Below DENSE_HISTOGRAM_NODE_LIMIT both forms are filled; the
+        // log buckets must be exactly the dense vector folded by log₂.
+        let net = FibonacciNet::classical(8);
+        let pkts = uniform(net.len(), 400, 64, 9);
+        let stats = simulate(&net, &pkts, 100_000);
+        assert_eq!(
+            stats.latency_buckets.count() as usize,
+            stats.delivered,
+            "every delivery lands in exactly one bucket"
+        );
+        let mut folded = LogHistogram::new();
+        for (lat, &c) in stats.latency_histogram.iter().enumerate() {
+            for _ in 0..c {
+                folded.record(lat as u64);
+            }
+        }
+        assert_eq!(stats.latency_buckets, folded);
+        // The bucketed p99 upper bound dominates the exact dense p99.
+        assert!(stats.latency_buckets.percentile_upper_bound(0.99) >= stats.p99_latency);
     }
 }

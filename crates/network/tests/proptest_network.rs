@@ -17,7 +17,7 @@ use fibcube_network::simulator::{
 };
 use fibcube_network::topology::{FibonacciNet, Hypercube, Mesh, Ring, Topology};
 use fibcube_network::traffic::{Packet, TrafficSpec};
-use fibcube_network::{Experiment, RouterSpec};
+use fibcube_network::{Experiment, ImplicitFibonacciNet, ImplicitRouter, RouterSpec};
 use proptest::prelude::*;
 
 fn uniform(n: usize, count: usize, window: u64, seed: u64) -> Vec<Packet> {
@@ -389,6 +389,96 @@ proptest! {
         }
         prop_assert_eq!(stats.total_hops, dist_sum, "minimal ⇒ hop count = Σ distance");
     }
+}
+
+/// Acceptance criterion of the implicit-routing tentpole, part 1: the
+/// table-free [`ImplicitRouter`] agrees with the dense per-node routers
+/// on *every* (current, destination) pair of every Γ_d up to d = 12 —
+/// the address arithmetic (rank ± weight) must reproduce the flip-row
+/// lookup exactly.
+#[test]
+fn implicit_router_agrees_with_dense_canonical_on_every_gamma_up_to_12() {
+    for d in 0..=12usize {
+        let net = FibonacciNet::classical(d);
+        let dense = CanonicalRouter::for_net(&net);
+        let implicit = ImplicitRouter::for_cube(d, 2);
+        let n = net.len() as u32;
+        for cur in 0..n {
+            for dst in 0..n {
+                assert_eq!(
+                    implicit.next_hop(cur, dst, &NoLoad),
+                    dense.next_hop(cur, dst, &NoLoad),
+                    "Γ_{d}: {cur}→{dst}"
+                );
+            }
+        }
+    }
+}
+
+/// … and on every hypercube up to Q_8, where the identity addressing
+/// makes the implicit e-cube arm the dense [`EcubeRouter`] itself.
+#[test]
+fn implicit_router_agrees_with_ecube_on_every_hypercube_up_to_8() {
+    for k in 0..=8usize {
+        let q = Hypercube::new(k);
+        let implicit = ImplicitRouter::ecube();
+        let n = q.len() as u32;
+        for cur in 0..n {
+            for dst in 0..n {
+                assert_eq!(
+                    implicit.next_hop(cur, dst, &NoLoad),
+                    EcubeRouter.next_hop(cur, dst, &NoLoad),
+                    "Q_{k}: {cur}→{dst}"
+                );
+            }
+        }
+    }
+}
+
+/// Acceptance criterion of the implicit-routing tentpole, part 2: a full
+/// [`Experiment`] on the lazily-materialised [`ImplicitFibonacciNet`]
+/// (implicit canonical routing, streamed CSR) is *packet-for-packet*
+/// identical — full `SimStats` equality, histograms included — to the
+/// dense-table run on the classic [`FibonacciNet`] at acceptance scale
+/// (Γ_16), and the implicit e-cube run matches the dense router on Q_11.
+#[test]
+fn implicit_experiment_equals_dense_table_run_at_acceptance_scale() {
+    let mix = TrafficSpec::Mixed(vec![
+        TrafficSpec::Uniform {
+            count: 400,
+            window: 100,
+        },
+        TrafficSpec::HotSpot {
+            count: 100,
+            window: 100,
+            hot_fraction: 0.3,
+        },
+    ]);
+
+    let implicit_net = ImplicitFibonacciNet::classical(16);
+    let dense_net = FibonacciNet::classical(16);
+    assert_eq!(implicit_net.graph(), dense_net.graph(), "identical Γ_16");
+    let implicit_report = Experiment::on(&implicit_net)
+        .traffic(mix.clone())
+        .seed(2026)
+        .cycles(1_000_000)
+        .run()
+        .expect("implicit canonical resolves");
+    let dense_report = Experiment::on(&dense_net)
+        .router(RouterSpec::Canonical)
+        .traffic(mix.clone())
+        .seed(2026)
+        .cycles(1_000_000)
+        .run()
+        .expect("dense canonical resolves");
+    assert_eq!(implicit_report.router, dense_report.router, "same policy");
+    assert_eq!(implicit_report.stats, dense_report.stats, "Γ_16");
+
+    let q = Hypercube::new(11);
+    let pkts = mix.generate(q.len(), 2026);
+    let implicit_stats = simulate_with(&q, &ImplicitRouter::ecube(), &pkts, 1_000_000);
+    let dense_stats = simulate_with(&q, &EcubeRouter, &pkts, 1_000_000);
+    assert_eq!(implicit_stats, dense_stats, "Q_11");
 }
 
 /// Acceptance criterion at full scale: on the Γ_16 / Q_11 pair the arena

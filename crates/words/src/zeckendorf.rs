@@ -165,6 +165,142 @@ pub fn count_k_free(k: usize, d: usize) -> u128 {
     run_dp(k, d)[d][0]
 }
 
+/// Reusable positional-weight codec between node *ranks* and raw Zeckendorf
+/// bit patterns, the arithmetic core of implicit (table-free) routing.
+///
+/// The counting-based unranking of [`kzeckendorf_encode`] shows that the rank
+/// of a `1^k`-free word `b₁…b_d` in lexicographic order is a plain weighted
+/// sum over its set bits:
+///
+/// ```text
+/// rank(b) = Σ_{i : b_i = 1} W(d − i),   W(j) = #{1^k-free words of length j}
+/// ```
+///
+/// because choosing `b_i = 1` skips exactly the `W(d − i)` words that place a
+/// `0` at position `i` (the trailing-run context is irrelevant once the run
+/// resets — only the `run = 0` column of the DP is ever added). For `k = 2`
+/// the weights are Fibonacci numbers (`W(j) = F_{j+2}`) and this is classical
+/// Zeckendorf arithmetic.
+///
+/// The codec precomputes the `d + 1` weights once (`O(d)` words of state) and
+/// then converts in `O(d)` time with **no allocation**: [`RankCodec::decode`]
+/// iterates set bits, [`RankCodec::encode`] replays the greedy scan. All
+/// weights fit `u64` since there are at most `2^d ≤ 2^63` words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankCodec {
+    k: usize,
+    d: usize,
+    /// `weights[j]` = number of `1^k`-free words of length `j` (the `run = 0`
+    /// DP column), i.e. the rank weight of a set bit at u64 position `j`.
+    weights: Vec<u64>,
+}
+
+impl RankCodec {
+    /// Builds the codec for `1^k`-free words of length `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k < 2` or `d > MAX_LEN`.
+    pub fn new(k: usize, d: usize) -> RankCodec {
+        assert!(k >= 2, "order must be ≥ 2");
+        assert!(d <= MAX_LEN, "length {d} exceeds {MAX_LEN}");
+        let table = run_dp(k, d);
+        let weights = (0..=d)
+            .map(|j| u64::try_from(table[j][0]).expect("counts of length ≤ 63 words fit u64"))
+            .collect();
+        RankCodec { k, d, weights }
+    }
+
+    /// Forbidden-run order `k`.
+    pub fn order(&self) -> usize {
+        self.k
+    }
+
+    /// Word length `d`.
+    pub fn len(&self) -> usize {
+        self.d
+    }
+
+    /// `true` iff the codec addresses zero-length words only.
+    pub fn is_empty(&self) -> bool {
+        self.d == 0
+    }
+
+    /// Number of addressable words: `|V(Q_d(1^k))|`.
+    pub fn total(&self) -> u64 {
+        self.weights[self.d]
+    }
+
+    /// Heap bytes held by the codec — the entire per-lookup routing state.
+    pub fn state_bytes(&self) -> usize {
+        self.weights.len() * std::mem::size_of::<u64>()
+    }
+
+    /// The rank weight of a set bit at u64 position `j` (suffix length
+    /// `j`): flipping bit `j` of a valid word moves its rank by exactly
+    /// `weight(j)`, which is what lets neighbor ranks be computed
+    /// incrementally without re-decoding.
+    #[inline]
+    pub fn weight(&self, j: usize) -> u64 {
+        self.weights[j]
+    }
+
+    /// `true` iff `bits` is a valid address: fits in `d` bits and avoids a
+    /// run of `k` ones. The run check is branch-free in `O(k)` word ops:
+    /// and-ing `m` with `m >> 1` a total of `k − 1` times leaves a set bit
+    /// exactly where `k` consecutive ones occurred.
+    pub fn is_free(&self, bits: u64) -> bool {
+        if self.d < 64 && (bits >> self.d) != 0 {
+            return false;
+        }
+        let mut m = bits;
+        for _ in 1..self.k {
+            m &= m >> 1;
+        }
+        m == 0
+    }
+
+    /// Rank → raw bits of the `rank`-th `1^k`-free word (lexicographic), or
+    /// `None` when `rank ≥ total()`. Bit `b_i` lands at u64 position `d − i`,
+    /// matching [`Word::from_raw`].
+    pub fn encode(&self, rank: u64) -> Option<u64> {
+        if rank >= self.total() {
+            return None;
+        }
+        let mut r = rank;
+        let mut bits = 0u64;
+        for i in 1..=self.d {
+            let zero_cnt = self.weights[self.d - i];
+            if r < zero_cnt {
+                bits <<= 1;
+            } else {
+                r -= zero_cnt;
+                bits = (bits << 1) | 1;
+            }
+        }
+        Some(bits)
+    }
+
+    /// Raw bits → rank, or `None` when `bits` is not a valid address.
+    pub fn decode(&self, bits: u64) -> Option<u64> {
+        if !self.is_free(bits) {
+            return None;
+        }
+        let mut n = 0u64;
+        let mut m = bits;
+        while m != 0 {
+            n += self.weights[m.trailing_zeros() as usize];
+            m &= m - 1;
+        }
+        Some(n)
+    }
+
+    /// Rank → [`Word`] convenience wrapper around [`RankCodec::encode`].
+    pub fn encode_word(&self, rank: u64) -> Option<Word> {
+        self.encode(rank).map(|bits| Word::from_raw(bits, self.d))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +378,46 @@ mod tests {
                 assert_eq!(zeckendorf_encode(n, d), aut.unrank(n, d), "d={d} n={n}");
             }
         }
+    }
+
+    #[test]
+    fn rank_codec_matches_kzeckendorf() {
+        for k in 2..=4usize {
+            for d in 0..=12usize {
+                let codec = RankCodec::new(k, d);
+                let total = count_k_free(k, d);
+                assert_eq!(u128::from(codec.total()), total, "k={k} d={d}");
+                for n in 0..total {
+                    let w = kzeckendorf_encode(k, n, d).expect("in range");
+                    let bits = codec.encode(n as u64).expect("in range");
+                    assert_eq!(bits, w.bits(), "k={k} d={d} n={n}");
+                    assert!(codec.is_free(bits));
+                    assert_eq!(codec.decode(bits), Some(n as u64));
+                    assert_eq!(codec.encode_word(n as u64), Some(w));
+                }
+                assert_eq!(codec.encode(total as u64), None);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_codec_rejects_invalid_bits() {
+        let codec = RankCodec::new(2, 6);
+        assert_eq!(codec.decode(0b011000), None, "contains 11");
+        assert_eq!(codec.decode(1 << 6), None, "out of length range");
+        assert!(codec.decode(0b010101).is_some());
+        let tri = RankCodec::new(3, 6);
+        assert!(tri.decode(0b011000).is_some(), "11 fine for k=3");
+        assert_eq!(tri.decode(0b011100), None, "111 forbidden");
+    }
+
+    #[test]
+    fn rank_codec_state_is_linear() {
+        let codec = RankCodec::new(2, 40);
+        assert_eq!(codec.state_bytes(), 41 * 8);
+        assert_eq!(codec.len(), 40);
+        assert_eq!(codec.order(), 2);
+        assert!(!codec.is_empty());
     }
 
     #[test]
