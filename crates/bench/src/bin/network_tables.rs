@@ -41,7 +41,7 @@ fn main() {
         "network", "nodes", "links", "deg", "diameter", "avg dist", "cost"
     );
     for t in &topos {
-        let m = metrics(*t);
+        let m = metrics(*t).expect("benchmark topologies fit the table budget");
         println!(
             "{:<10} {:>6} {:>7} {:>8} {:>9} {:>10.3} {:>6}",
             m.name,

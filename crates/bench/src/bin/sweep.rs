@@ -19,11 +19,16 @@
 //!    graph-build rate, the implicit routing state per node (gated at
 //!    64 bytes/node by a typed [`BenchError`]), and the steady-state
 //!    engine hops/sec of a live uniform-traffic run;
-//! 6. `BENCH_sim.json` in the working directory — assembled from the
-//!    `Report`/`SweepCurve`/`FaultLoadGrid`/`CollectiveGrid` JSON trees,
-//!    seeding the performance trajectory with throughput / latency per
-//!    topology at the fixed load, the measured speedups, and the
-//!    fault-resilience, collectives, and scale sections.
+//! 6. switching grids (`switching_sweep`): the injection ladder re-run
+//!    under store-and-forward vs flit-level wormhole switching (virtual
+//!    channels, credit backpressure) on Γ vs Q — how the switching model
+//!    moves the latency/saturation picture at identical offered load;
+//! 7. `BENCH_sim.json` in the working directory — assembled from the
+//!    `Report`/`SweepCurve`/`FaultLoadGrid`/`CollectiveGrid`/
+//!    `SwitchingGrid` JSON trees, seeding the performance trajectory with
+//!    throughput / latency per topology at the fixed load, the measured
+//!    speedups, and the fault-resilience, collectives, scale, and
+//!    switching sections.
 //!
 //! `cargo run --release -p fibcube-bench --bin sweep`
 //!
@@ -40,11 +45,11 @@ use fibcube_bench::{header, BenchError};
 use fibcube_network::report::JsonValue;
 use fibcube_network::sweep::{
     collective_sweep, fault_load_sweep, injection_sweep, rate_ladder, saturation_point,
-    CollectiveGrid, FaultLoadGrid, SweepConfig,
+    switching_sweep, CollectiveGrid, FaultLoadGrid, SweepConfig, SwitchingGrid,
 };
 use fibcube_network::{
     simulate_reference, CollectiveSpec, Experiment, FibonacciNet, Hypercube, ImplicitFibonacciNet,
-    Mesh, Port, Report, Ring, RouterSpec, SweepCurve, Topology, TrafficSpec,
+    Mesh, Port, Report, Ring, RouterSpec, SweepCurve, SwitchingSpec, Topology, TrafficSpec,
 };
 
 struct FixedLoadRow {
@@ -203,6 +208,29 @@ fn print_collective_grid(grid: &CollectiveGrid) {
             p.schedule_rounds
                 .map_or_else(|| "n/a".to_string(), |r| format!("{r:.1}")),
             p.dropped_dead_endpoint + p.dropped_unreachable,
+        );
+    }
+}
+
+fn print_switching_grid(grid: &SwitchingGrid) {
+    println!(
+        "\n{} · router {} · {} nodes",
+        grid.topology, grid.router, grid.nodes
+    );
+    println!(
+        "{:>8} {:<36} {:>10} {:>10} {:>10} {:>9} {:>10}",
+        "rate", "switching", "delivered", "accepted", "mean lat", "p99 lat", "makespan"
+    );
+    for p in &grid.points {
+        println!(
+            "{:>8.3} {:<36} {:>10.0} {:>10.4} {:>10.2} {:>9.1} {:>10.0}",
+            p.rate,
+            p.switching,
+            p.delivered,
+            p.accepted_rate,
+            p.mean_latency,
+            p.p99_latency,
+            p.makespan
         );
     }
 }
@@ -648,6 +676,84 @@ fn run() -> Result<(), BenchError> {
         top.d
     );
 
+    header("E-S6 — switching models: store-and-forward vs wormhole (flit level)");
+    let switching_start = Instant::now();
+    // The same injection ladder, re-run per switching model: the flit
+    // engine charges a worm `flits_per_packet` cycles of link occupancy
+    // per hop, so at identical offered load the wormhole rows show the
+    // serialization latency and the earlier saturation knee that the
+    // packet-per-cycle SAF abstraction hides.
+    let switching_specs = vec![
+        SwitchingSpec::StoreAndForward,
+        SwitchingSpec::Wormhole {
+            flit_size: 8,
+            vcs: 2,
+            buf_flits: 4,
+        },
+        SwitchingSpec::Wormhole {
+            flit_size: 16,
+            vcs: 4,
+            buf_flits: 8,
+        },
+    ];
+    let switching_rates = if smoke {
+        vec![0.02, 0.08]
+    } else {
+        vec![0.02, 0.06, 0.12]
+    };
+    let switching_config = SweepConfig {
+        inject_cycles: if smoke { 100 } else { 150 },
+        drain_cycles: 4_000,
+        seeds: vec![1, 2],
+    };
+    let switching_grids: Vec<SwitchingGrid> = [
+        switching_sweep(
+            &gamma,
+            RouterSpec::Canonical,
+            &switching_rates,
+            &switching_specs,
+            &switching_config,
+        ),
+        switching_sweep(
+            &q,
+            RouterSpec::Ecube,
+            &switching_rates,
+            &switching_specs,
+            &switching_config,
+        ),
+    ]
+    .into_iter()
+    .map(|g| g.expect("validated switching specs and supported routers on both cubes"))
+    .collect();
+    for grid in &switching_grids {
+        print_switching_grid(grid);
+        // Well-formedness: a full cell per (rate, spec), the spec column
+        // echoes parseable text, and light load delivers everything under
+        // every switching model (wormhole merely pays more latency).
+        assert_eq!(grid.points.len(), grid.rates.len() * grid.switching.len());
+        assert_eq!(grid.switching[0], "store_and_forward");
+        assert!(grid.switching[1].starts_with("wormhole(flit_size="));
+        for (si, _) in grid.switching.iter().enumerate() {
+            let light = grid.point(0, si);
+            assert!(
+                light.delivered_fraction > 0.999,
+                "{} {}: light load must drain",
+                grid.topology,
+                light.switching
+            );
+        }
+        let saf = grid.point(0, 0);
+        let worm = grid.point(0, 1);
+        assert!(
+            worm.mean_latency > saf.mean_latency,
+            "{}: wormhole serialization must cost latency ({} vs {})",
+            grid.topology,
+            worm.mean_latency,
+            saf.mean_latency
+        );
+    }
+    let switching_ms = switching_start.elapsed().as_secs_f64() * 1e3;
+
     let scale = JsonValue::obj([
         (
             "workload",
@@ -706,6 +812,30 @@ fn run() -> Result<(), BenchError> {
         ),
     ]);
 
+    let switching = JsonValue::obj([
+        (
+            "workload",
+            JsonValue::Str(format!(
+                "bernoulli ladder {switching_rates:?} × switching models \
+                 {:?}, {} seeds",
+                switching_specs
+                    .iter()
+                    .map(SwitchingSpec::to_string)
+                    .collect::<Vec<_>>(),
+                switching_config.seeds.len()
+            )),
+        ),
+        (
+            "grids",
+            JsonValue::Arr(
+                switching_grids
+                    .iter()
+                    .map(SwitchingGrid::to_json_value)
+                    .collect(),
+            ),
+        ),
+    ]);
+
     // Per-topology engine throughput plus per-phase wall-clock — the
     // regression trail for the arena engine.
     let engine_perf = JsonValue::obj([
@@ -722,6 +852,7 @@ fn run() -> Result<(), BenchError> {
                 ("fault_grids_ms", JsonValue::Num(grids_ms)),
                 ("collectives_ms", JsonValue::Num(collectives_ms)),
                 ("scale_ms", JsonValue::Num(scale_ms)),
+                ("switching_ms", JsonValue::Num(switching_ms)),
                 (
                     "total_ms",
                     JsonValue::Num(total_start.elapsed().as_secs_f64() * 1e3),
@@ -748,6 +879,7 @@ fn run() -> Result<(), BenchError> {
         ("fault_resilience", fault_resilience),
         ("collectives", collectives),
         ("scale", scale),
+        ("switching", switching),
     ]);
     let text = json.pretty();
     // The artifact contract the CI smoke step relies on: the
@@ -764,10 +896,14 @@ fn run() -> Result<(), BenchError> {
     assert!(text.contains("\"scale\""));
     assert!(text.contains("\"routing_bytes_per_node\""));
     assert!(text.contains("\"build_nodes_per_sec\""));
+    assert!(text.contains("\"switching\""));
+    assert!(text.contains("\"switching_ms\""));
+    assert!(text.contains("\"store_and_forward\""));
+    assert!(text.contains("\"wormhole(flit_size="));
     std::fs::write("BENCH_sim.json", text).expect("write BENCH_sim.json");
     println!(
         "\nwrote BENCH_sim.json (engine_perf + fault_resilience + collectives + scale \
-         sections included)"
+         + switching sections included)"
     );
 
     // The acceptance bar holds in both modes: the fixed-load stage always

@@ -233,6 +233,102 @@ impl LinkQueues {
     }
 }
 
+/// Fixed-stride ring-buffer flit FIFOs for the wormhole engine: one
+/// buffer per (directed link × virtual channel), in a single contiguous
+/// arena, holding packed `u64` flit records
+/// (see [`simulate_wormhole`](crate::simulator::simulate_wormhole)).
+///
+/// The layout is [`LinkQueues`]' exactly — `RING_STRIDE` slots per buffer
+/// with lazily materialised overflow spill — because the capacity a
+/// wormhole buffer advertises (`buf_flits`) is enforced *logically* by the
+/// engine's credit check, not by the ring allocation: a degenerate
+/// configuration with an effectively unbounded buffer costs no memory
+/// beyond the flits actually queued.
+#[derive(Clone, Debug)]
+pub struct FlitQueues {
+    /// `ring[b * RING_STRIDE + slot]` — the ring window of buffer `b`,
+    /// where `b = edge * vcs + vc`.
+    ring: Vec<u64>,
+    /// Front cursor of each buffer's ring, `0..RING_STRIDE`.
+    head: Vec<u32>,
+    /// Total occupancy per buffer (ring **plus** overflow).
+    len: Vec<u32>,
+    /// Spill lists past the ring, lazily sized like [`LinkQueues`]'.
+    overflow: Vec<VecDeque<u64>>,
+}
+
+impl FlitQueues {
+    /// Empty flit buffers for `links` directed links × `vcs` virtual
+    /// channels. Buffer `b = edge * vcs + vc`.
+    pub fn new(links: usize, vcs: usize) -> FlitQueues {
+        let buffers = links * vcs;
+        FlitQueues {
+            ring: vec![0; buffers * RING_STRIDE],
+            head: vec![0; buffers],
+            len: vec![0; buffers],
+            overflow: Vec::new(),
+        }
+    }
+
+    /// Number of (link × VC) buffers.
+    pub fn buffers(&self) -> usize {
+        self.len.len()
+    }
+
+    /// Enqueues flit record `f` on buffer `b`.
+    #[inline]
+    pub fn push(&mut self, b: usize, f: u64) {
+        let l = self.len[b] as usize;
+        if l < RING_STRIDE {
+            let slot = (self.head[b] as usize + l) & (RING_STRIDE - 1);
+            self.ring[b * RING_STRIDE + slot] = f;
+        } else {
+            if self.overflow.is_empty() {
+                self.overflow = vec![VecDeque::new(); self.len.len()];
+            }
+            self.overflow[b].push_back(f);
+        }
+        self.len[b] = (l + 1) as u32;
+    }
+
+    /// The front flit of buffer `b` without dequeuing it — what the
+    /// wormhole forward phase inspects to decide whether the flit can
+    /// advance before spending the link's cycle on it.
+    #[inline]
+    pub fn front(&self, b: usize) -> Option<u64> {
+        if self.len[b] == 0 {
+            return None;
+        }
+        Some(self.ring[b * RING_STRIDE + self.head[b] as usize])
+    }
+
+    /// Dequeues the front flit of buffer `b`, or `None` when it is idle.
+    #[inline]
+    pub fn pop(&mut self, b: usize) -> Option<u64> {
+        let l = self.len[b] as usize;
+        if l == 0 {
+            return None;
+        }
+        let head = self.head[b] as usize;
+        let f = self.ring[b * RING_STRIDE + head];
+        if l > RING_STRIDE {
+            let promoted = self.overflow[b]
+                .pop_front()
+                .expect("occupancy beyond the stride implies a spill list");
+            self.ring[b * RING_STRIDE + head] = promoted;
+        }
+        self.head[b] = ((head + 1) & (RING_STRIDE - 1)) as u32;
+        self.len[b] = (l - 1) as u32;
+        Some(f)
+    }
+
+    /// Occupancy of buffer `b`.
+    #[inline]
+    pub fn load(&self, b: usize) -> usize {
+        self.len[b] as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +403,29 @@ mod tests {
         // The drained link is immediately reusable.
         q.push(0, 99);
         assert_eq!(q.pop(0), Some(99));
+    }
+
+    #[test]
+    fn flit_queues_front_pop_and_spill_stay_fifo() {
+        // Two links × two VCs; buffer index = edge * vcs + vc.
+        let mut q = FlitQueues::new(2, 2);
+        assert_eq!(q.buffers(), 4);
+        let b = 3; // edge 1, vc 1
+        let total = 3 * RING_STRIDE as u64;
+        for f in 0..total {
+            q.push(b, f << 40 | f); // wide payloads survive intact
+        }
+        assert_eq!(q.load(b), 3 * RING_STRIDE);
+        assert_eq!(q.load(2), 0, "sibling VC untouched");
+        for f in 0..total {
+            assert_eq!(q.front(b), Some(f << 40 | f), "front peeks, no dequeue");
+            assert_eq!(q.pop(b), Some(f << 40 | f));
+        }
+        assert_eq!(q.front(b), None);
+        assert_eq!(q.pop(b), None);
+        // Drained buffers are immediately reusable.
+        q.push(b, 99);
+        assert_eq!(q.pop(b), Some(99));
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! println!("{}", report.to_json());
 //! ```
 //!
-//! An [`Experiment`] is a builder over six orthogonal choices:
+//! An [`Experiment`] is a builder over seven orthogonal choices:
 //!
 //! * **topology** — anything implementing
 //!   [`Topology`] ([`Experiment::on`]);
@@ -28,6 +28,11 @@
 //!   topology with a typed capability check (requesting e-cube on a ring
 //!   is an [`ExperimentError::UnsupportedRouter`], not a panic);
 //! * **traffic** — a [`TrafficSpec`], parseable from CLI/JSON text;
+//! * **switching** — a [`SwitchingSpec`]
+//!   ([`switching`](Experiment::switching), default store-and-forward):
+//!   wormhole specs route the run through the flit-level engine
+//!   ([`simulate_wormhole`]) with virtual channels and credit-based
+//!   backpressure;
 //! * **faults** — a [`FaultSpec`] failure scenario
 //!   ([`faults`](Experiment::faults), default none): the engine routes
 //!   the degraded network through a fault-masking router and counts
@@ -74,7 +79,11 @@ use crate::fault::{FaultError, FaultSpec};
 use crate::observer::{NoopObserver, SimObserver};
 use crate::report::Report;
 use crate::router::RouterSpec;
-use crate::simulator::{simulate_collective, simulate_faulted, simulate_observed};
+use crate::simulator::{
+    simulate_collective, simulate_faulted, simulate_observed, simulate_wormhole,
+    simulate_wormhole_faulted,
+};
+use crate::switching::SwitchingSpec;
 use crate::topology::Topology;
 use crate::traffic::TrafficSpec;
 
@@ -97,15 +106,31 @@ pub enum ExperimentError {
         /// What is wrong with it.
         reason: String,
     },
-    /// A spec string failed to parse (`FromStr` for [`TrafficSpec`] /
-    /// [`RouterSpec`]).
+    /// A spec string failed to parse (`FromStr` for [`TrafficSpec`],
+    /// [`RouterSpec`], [`SwitchingSpec`], …).
     ParseSpec {
-        /// Which kind of spec (`"traffic"` or `"router"`).
+        /// Which kind of spec (`"traffic"`, `"router"`, `"switching"`, …).
         what: &'static str,
         /// The rejected input.
         input: String,
         /// Why it was rejected.
         reason: String,
+    },
+    /// The switching spec is degenerate (zero flit size, zero virtual
+    /// channels, zero buffer capacity) — see
+    /// [`SwitchingSpec::validate`](crate::switching::SwitchingSpec::validate).
+    InvalidSwitching {
+        /// The offending spec, in canonical text form.
+        spec: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// A collective experiment produced a report without a
+    /// [`CollectiveOutcome`] — an internal invariant violation the sweep
+    /// layer surfaces as a typed error instead of a panic.
+    MissingCollectiveOutcome {
+        /// Name of the topology whose report lacked the outcome.
+        topology: String,
     },
     /// The collective spec is degenerate for the target network
     /// (nonexistent source, too many multicast destinations, …).
@@ -159,6 +184,14 @@ impl fmt::Display for ExperimentError {
                 input,
                 reason,
             } => write!(f, "cannot parse {what} spec `{input}`: {reason}"),
+            ExperimentError::InvalidSwitching { spec, reason } => {
+                write!(f, "invalid switching `{spec}`: {reason}")
+            }
+            ExperimentError::MissingCollectiveOutcome { topology } => write!(
+                f,
+                "collective experiment on `{topology}` reported no outcome \
+                 (internal invariant violation)"
+            ),
             ExperimentError::InvalidCollective { spec, reason } => {
                 write!(f, "invalid collective `{spec}`: {reason}")
             }
@@ -187,6 +220,7 @@ pub struct Experiment<'a, T: Topology + ?Sized, O: SimObserver = NoopObserver> {
     topology: &'a T,
     router: RouterSpec,
     traffic: TrafficSpec,
+    switching: SwitchingSpec,
     collective: Option<CollectiveSpec>,
     faults: FaultSpec,
     max_cycles: u64,
@@ -204,6 +238,7 @@ impl<'a, T: Topology + ?Sized> Experiment<'a, T, NoopObserver> {
                 count: 1000,
                 window: 250,
             },
+            switching: SwitchingSpec::StoreAndForward,
             collective: None,
             faults: FaultSpec::None,
             max_cycles: u64::MAX,
@@ -264,6 +299,7 @@ impl<'a, T: Topology + Sync + ?Sized> Experiment<'a, T, NoopObserver> {
             let mut cell = Experiment::on(self.topology)
                 .router(self.router)
                 .traffic(self.traffic.clone())
+                .switching(self.switching.clone())
                 .faults(self.faults.clone())
                 .cycles(self.max_cycles)
                 .seed(seeds[i]);
@@ -283,6 +319,23 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
     /// Selects the workload (default 1000 uniform packets, window 250).
     pub fn traffic(mut self, spec: TrafficSpec) -> Self {
         self.traffic = spec;
+        self
+    }
+
+    /// Selects the switching model (default
+    /// [`SwitchingSpec::StoreAndForward`]). A wormhole spec routes the
+    /// run through the flit-level engine
+    /// ([`simulate_wormhole`] /
+    /// [`simulate_wormhole_faulted`]): packets split into flits, stream
+    /// through per-`(edge × virtual channel)` ring buffers under
+    /// credit-based backpressure, and virtual channels are allocated
+    /// against the topology's
+    /// [`channel_class`](crate::topology::Topology::channel_class) order
+    /// so the run is deadlock-free by construction. Collective
+    /// experiments execute by packet replication and ignore the
+    /// switching model (the report still echoes the spec).
+    pub fn switching(mut self, spec: SwitchingSpec) -> Self {
+        self.switching = spec;
         self
     }
 
@@ -338,6 +391,7 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
             topology: self.topology,
             router: self.router,
             traffic: self.traffic,
+            switching: self.switching,
             collective: self.collective,
             faults: self.faults,
             max_cycles: self.max_cycles,
@@ -353,6 +407,7 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
     /// workload and adds its [`CollectiveOutcome`] to the report.
     pub fn run(mut self) -> Result<Report, ExperimentError> {
         let n = self.topology.len();
+        self.switching.validate()?;
         let fault_set = self
             .faults
             .sample(self.topology.graph(), fault_seed(self.seed))?;
@@ -369,18 +424,23 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
             crate::router::masked_router_name(&router.name())
         };
         let packets = self.traffic.generate(n, self.seed);
+        // `simulate_wormhole*` dispatch on the spec: store-and-forward
+        // runs the packet engine unchanged, wormhole runs the flit-level
+        // engine.
         let stats = if fault_set.is_empty() {
-            simulate_observed(
+            simulate_wormhole(
                 self.topology,
                 &*router,
+                &self.switching,
                 &packets,
                 self.max_cycles,
                 &mut self.observer,
             )
         } else {
-            simulate_faulted(
+            simulate_wormhole_faulted(
                 self.topology,
                 &*router,
+                &self.switching,
                 &fault_set,
                 &packets,
                 self.max_cycles,
@@ -393,6 +453,7 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
             router_spec: self.router.to_string(),
             router: router_name,
             traffic: self.traffic.to_string(),
+            switching: self.switching.to_string(),
             faults: self.faults.to_string(),
             failed_nodes: fault_set.failed_nodes().len(),
             failed_links: fault_set.failed_links().len(),
@@ -479,6 +540,7 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
             router_spec: self.router.to_string(),
             router: router_name,
             traffic: spec.to_string(),
+            switching: self.switching.to_string(),
             faults: self.faults.to_string(),
             failed_nodes: fault_set.failed_nodes().len(),
             failed_links: fault_set.failed_links().len(),
@@ -1059,6 +1121,78 @@ mod tests {
             report.to_string().contains("collective reached"),
             "{report}"
         );
+    }
+
+    #[test]
+    fn switching_spec_is_validated_and_echoed() {
+        use crate::switching::SwitchingSpec;
+        let q = Hypercube::new(4);
+        let plain = Experiment::on(&q)
+            .traffic(TrafficSpec::AllToAll)
+            .run()
+            .unwrap();
+        assert_eq!(plain.switching, "store_and_forward");
+        assert!(
+            plain
+                .to_json()
+                .contains("\"switching\": \"store_and_forward\""),
+            "{}",
+            plain.to_json()
+        );
+
+        let worm = Experiment::on(&q)
+            .traffic(TrafficSpec::AllToAll)
+            .switching(SwitchingSpec::Wormhole {
+                flit_size: 8,
+                vcs: 2,
+                buf_flits: 4,
+            })
+            .run()
+            .expect("wormhole on a hypercube is deadlock-free");
+        assert_eq!(worm.switching, "wormhole(flit_size=8,vcs=2,buf_flits=4)");
+        assert_eq!(worm.stats.delivered, worm.stats.offered);
+
+        let err = Experiment::on(&q)
+            .switching(SwitchingSpec::Wormhole {
+                flit_size: 0,
+                vcs: 1,
+                buf_flits: 1,
+            })
+            .run()
+            .expect_err("zero flit size is degenerate");
+        assert!(matches!(err, ExperimentError::InvalidSwitching { .. }));
+        assert!(err.to_string().contains("switching"), "{err}");
+    }
+
+    #[test]
+    fn run_batch_carries_the_switching_spec() {
+        use crate::switching::SwitchingSpec;
+        let net = FibonacciNet::classical(9);
+        let spec = SwitchingSpec::Wormhole {
+            flit_size: 16,
+            vcs: 2,
+            buf_flits: 4,
+        };
+        let template = Experiment::on(&net)
+            .traffic(TrafficSpec::Uniform {
+                count: 200,
+                window: 60,
+            })
+            .switching(spec.clone());
+        let batch = template.run_batch(&[3, 4]).expect("valid configuration");
+        for (r, seed) in batch.iter().zip([3u64, 4]) {
+            let solo = Experiment::on(&net)
+                .traffic(TrafficSpec::Uniform {
+                    count: 200,
+                    window: 60,
+                })
+                .switching(spec.clone())
+                .seed(seed)
+                .run()
+                .unwrap();
+            assert_eq!(r.stats, solo.stats, "seed {seed}");
+            assert_eq!(r.switching, "wormhole(flit_size=16,vcs=2,buf_flits=4)");
+        }
     }
 
     #[test]

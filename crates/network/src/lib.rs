@@ -35,9 +35,15 @@
 //!   [`LinkHeatmap`] shipped;
 //! * [`report`] — the [`Report`] type and the dependency-free
 //!   [`JsonValue`] document model behind `to_json()`;
+//! * [`switching`] — the switching model as a first-class spec
+//!   ([`SwitchingSpec`]): store-and-forward, or flit-level wormhole
+//!   switching with virtual channels and credit-based backpressure,
+//!   deadlock-free by construction against the topologies' order-based
+//!   channel classes;
 //! * [`sweep`] — injection-rate ladders producing saturation-throughput
 //!   and latency-vs-load curves, parallel across (rate, seed) runs, plus
-//!   the [`fault_load_sweep`] rate × fault-count resilience grid;
+//!   the [`fault_load_sweep`] rate × fault-count resilience grid and the
+//!   [`switching_sweep`] wormhole-vs-store-and-forward comparison;
 //! * [`traffic`] — declarative, seeded workload specs ([`TrafficSpec`]:
 //!   uniform, hot-spot, complement permutation, all-to-all, open-loop
 //!   Bernoulli, mixes — all CLI/JSON-parseable);
@@ -78,6 +84,7 @@ pub mod report;
 pub mod router;
 pub mod simulator;
 pub mod sweep;
+pub mod switching;
 pub mod topology;
 pub mod traffic;
 
@@ -104,13 +111,14 @@ pub use router::{
 };
 pub use simulator::{
     simulate, simulate_collective, simulate_faulted, simulate_faulted_reference, simulate_observed,
-    simulate_reference, simulate_with, DropReason, LogHistogram, SimStats,
-    DENSE_HISTOGRAM_NODE_LIMIT,
+    simulate_reference, simulate_with, simulate_wormhole, simulate_wormhole_faulted, DropReason,
+    LogHistogram, SimStats, DENSE_HISTOGRAM_NODE_LIMIT,
 };
 pub use sweep::{
     collective_sweep, fault_load_sweep, injection_sweep, injection_sweep_with, rate_ladder,
-    saturation_point, CollectiveGrid, CollectivePoint, FaultLoadGrid, FaultLoadPoint, LoadPoint,
-    SweepConfig, SweepCurve,
+    saturation_point, switching_sweep, CollectiveGrid, CollectivePoint, FaultLoadGrid,
+    FaultLoadPoint, LoadPoint, SweepConfig, SweepCurve, SwitchingGrid, SwitchingPoint,
 };
+pub use switching::{SwitchingSpec, VcOccupancy, PACKET_LENGTH_UNITS};
 pub use topology::{FibonacciNet, Hypercube, Mesh, Ring, RouteError, Topology};
 pub use traffic::{Packet, TrafficSpec};

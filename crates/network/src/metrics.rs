@@ -12,6 +12,7 @@
 //! at all.
 
 use crate::dist::{DistanceSample, DistanceTable};
+use crate::experiment::ExperimentError;
 use crate::topology::Topology;
 
 /// Largest node count for which [`metrics`] computes exact all-pairs
@@ -71,14 +72,21 @@ fn degree_row(t: &dyn Topology) -> (usize, usize) {
 /// Computes the full metric row for a topology: exact all-pairs distances
 /// up to [`EXACT_METRICS_LIMIT`] nodes, sampled
 /// ([`DEFAULT_METRIC_SOURCES`] seeded BFS sources) beyond — so the call
-/// is safe at million-node scale.
-pub fn metrics(t: &dyn Topology) -> TopologyMetrics {
+/// is safe at million-node scale. The exact path allocates an `O(n²)`
+/// [`DistanceTable`]; a budget overrun surfaces as
+/// [`ExperimentError::TableTooLarge`] instead of a panic (it cannot
+/// happen while [`EXACT_METRICS_LIMIT`] stays within the table budget,
+/// but the contract is typed rather than asserted).
+pub fn metrics(t: &dyn Topology) -> Result<TopologyMetrics, ExperimentError> {
     if t.len() <= EXACT_METRICS_LIMIT {
-        let table = DistanceTable::healthy(t.graph())
-            .expect("EXACT_METRICS_LIMIT keeps the table within budget");
-        metrics_with(t, &table)
+        let table = DistanceTable::healthy(t.graph())?;
+        Ok(metrics_with(t, &table))
     } else {
-        metrics_sampled(t, DEFAULT_METRIC_SOURCES, METRIC_SAMPLE_SEED)
+        Ok(metrics_sampled(
+            t,
+            DEFAULT_METRIC_SOURCES,
+            METRIC_SAMPLE_SEED,
+        ))
     }
 }
 
@@ -140,7 +148,7 @@ mod tests {
 
     #[test]
     fn hypercube_metrics() {
-        let m = metrics(&Hypercube::new(4));
+        let m = metrics(&Hypercube::new(4)).unwrap();
         assert_eq!(m.nodes, 16);
         assert_eq!(m.links, 32);
         assert_eq!(m.min_degree, 4);
@@ -154,8 +162,8 @@ mod tests {
         // Hsu's selling point: Γ_d has max degree d but *fewer* links per
         // node on average, and diameter d, with order between 2^{d/2} and
         // 2^d — a sparser near-hypercube.
-        let gamma = metrics(&FibonacciNet::classical(8));
-        let q = metrics(&Hypercube::new(6)); // comparable order: 64 vs 55
+        let gamma = metrics(&FibonacciNet::classical(8)).unwrap();
+        let q = metrics(&Hypercube::new(6)).unwrap(); // comparable order: 64 vs 55
         assert_eq!(gamma.nodes, 55);
         assert_eq!(q.nodes, 64);
         assert!(gamma.min_degree < q.min_degree, "sparser at the bottom");
@@ -168,18 +176,18 @@ mod tests {
 
     #[test]
     fn ring_and_mesh_metrics() {
-        let r = metrics(&Ring::new(10));
+        let r = metrics(&Ring::new(10)).unwrap();
         assert_eq!(r.diameter, 5);
         assert_eq!(r.max_degree, 2);
         assert_eq!(r.cost, 10);
-        let m = metrics(&Mesh::new(4, 4));
+        let m = metrics(&Mesh::new(4, 4)).unwrap();
         assert_eq!(m.diameter, 6);
         assert_eq!(m.max_degree, 4);
     }
 
     #[test]
     fn exact_mode_is_flagged() {
-        let m = metrics(&Hypercube::new(4));
+        let m = metrics(&Hypercube::new(4)).unwrap();
         assert!(m.exact_distances);
         assert_eq!(m.distance_sources, 16);
         assert_eq!(m.average_distance_ci95, 0.0);
@@ -189,7 +197,7 @@ mod tests {
     fn metrics_with_reuses_a_cached_table() {
         let net = FibonacciNet::classical(8);
         let table = crate::dist::DistanceTable::healthy(net.graph()).unwrap();
-        let direct = metrics(&net);
+        let direct = metrics(&net).unwrap();
         let reused = metrics_with(&net, &table);
         assert_eq!(reused.diameter, direct.diameter);
         assert_eq!(reused.average_distance, direct.average_distance);
@@ -213,7 +221,7 @@ mod tests {
             &Ring::new(33),
             &Mesh::new(8, 8),
         ] {
-            let exact = metrics(topo);
+            let exact = metrics(topo).unwrap();
             assert!(exact.exact_distances, "{}", topo.name());
             let sampled = metrics_sampled(topo, 24, 99);
             assert!(!sampled.exact_distances || sampled.distance_sources >= topo.len());
@@ -249,10 +257,12 @@ mod tests {
     #[test]
     fn average_distance_ordering() {
         // On comparable orders: Q (densest) < Γ < Mesh < Ring.
-        let q = metrics(&Hypercube::new(5)).average_distance; // 32 nodes
-        let g = metrics(&FibonacciNet::classical(7)).average_distance; // 34
-        let m = metrics(&Mesh::new(6, 6)).average_distance; // 36
-        let r = metrics(&Ring::new(33)).average_distance; // 33
+        let q = metrics(&Hypercube::new(5)).unwrap().average_distance; // 32 nodes
+        let g = metrics(&FibonacciNet::classical(7))
+            .unwrap()
+            .average_distance; // 34
+        let m = metrics(&Mesh::new(6, 6)).unwrap().average_distance; // 36
+        let r = metrics(&Ring::new(33)).unwrap().average_distance; // 33
         assert!(q < g, "hypercube {q} < fibonacci {g}");
         assert!(g < m, "fibonacci {g} < mesh {m}");
         assert!(m < r, "mesh {m} < ring {r}");

@@ -18,7 +18,12 @@
 //! * [`on_cycle_end`](SimObserver::on_cycle_end) — a *simulated* cycle
 //!   finished. The engine fast-forwards across idle stretches, so this
 //!   fires only for cycles in which the network held packets — observers
-//!   must not assume consecutive cycle numbers.
+//!   must not assume consecutive cycle numbers;
+//! * [`on_flit_hop`](SimObserver::on_flit_hop) — **wormhole runs only**
+//!   ([`simulate_wormhole`](crate::simulator::simulate_wormhole)): one
+//!   flit entered an (edge × virtual-channel) buffer. Store-and-forward
+//!   runs never emit it; [`VcOccupancy`](crate::switching::VcOccupancy)
+//!   is the ready-made consumer.
 //!
 //! Every hook has a default empty body and the engine is generic over the
 //! observer type, so [`NoopObserver`] monomorphizes to nothing — the fast
@@ -92,6 +97,17 @@ pub trait SimObserver {
         let _ = (cycle, in_flight);
     }
 
+    /// A flit entered the buffer of directed link `edge`, virtual channel
+    /// `vc`, during `cycle`; `occupancy` is that buffer's flit count
+    /// *after* the push. Fired only by the wormhole engine
+    /// ([`simulate_wormhole`](crate::simulator::simulate_wormhole)) —
+    /// store-and-forward runs emit packet-level
+    /// [`on_hop`](SimObserver::on_hop) events only.
+    #[inline]
+    fn on_flit_hop(&mut self, cycle: u64, edge: usize, vc: u32, occupancy: u32) {
+        let _ = (cycle, edge, vc, occupancy);
+    }
+
     /// Named JSON sections for the experiment [`Report`]
     /// (one `(name, value)` pair per section). Defaults to none.
     ///
@@ -137,6 +153,11 @@ impl<O: SimObserver + ?Sized> SimObserver for &mut O {
         (**self).on_cycle_end(cycle, in_flight);
     }
 
+    #[inline]
+    fn on_flit_hop(&mut self, cycle: u64, edge: usize, vc: u32, occupancy: u32) {
+        (**self).on_flit_hop(cycle, edge, vc, occupancy);
+    }
+
     fn sections(&self) -> Vec<(String, JsonValue)> {
         (**self).sections()
     }
@@ -173,6 +194,12 @@ impl<A: SimObserver, B: SimObserver> SimObserver for (A, B) {
     fn on_cycle_end(&mut self, cycle: u64, in_flight: usize) {
         self.0.on_cycle_end(cycle, in_flight);
         self.1.on_cycle_end(cycle, in_flight);
+    }
+
+    #[inline]
+    fn on_flit_hop(&mut self, cycle: u64, edge: usize, vc: u32, occupancy: u32) {
+        self.0.on_flit_hop(cycle, edge, vc, occupancy);
+        self.1.on_flit_hop(cycle, edge, vc, occupancy);
     }
 
     fn sections(&self) -> Vec<(String, JsonValue)> {

@@ -217,6 +217,12 @@ pub struct Report {
     /// [`CollectiveSpec`](crate::collective::CollectiveSpec) when the
     /// experiment ran a collective.
     pub traffic: String,
+    /// The [`SwitchingSpec`](crate::switching::SwitchingSpec) in its
+    /// canonical parseable form (`"store_and_forward"` or
+    /// `"wormhole(flit_size=…,vcs=…,buf_flits=…)"`). Collective
+    /// experiments echo the spec but execute by packet replication
+    /// regardless of it.
+    pub switching: String,
     /// The [`FaultSpec`](crate::fault::FaultSpec) in its canonical
     /// parseable form, or `"none"` for a healthy run.
     pub faults: String,
@@ -252,6 +258,7 @@ impl Report {
             ("router_spec", JsonValue::Str(self.router_spec.clone())),
             ("router", JsonValue::Str(self.router.clone())),
             ("traffic", JsonValue::Str(self.traffic.clone())),
+            ("switching", JsonValue::Str(self.switching.clone())),
             ("faults", JsonValue::Str(self.faults.clone())),
             ("failed_nodes", JsonValue::Int(self.failed_nodes as u64)),
             ("failed_links", JsonValue::Int(self.failed_links as u64)),

@@ -50,16 +50,29 @@
 //! end-to-end routing; its completion oracle is the static
 //! [`BroadcastSchedule`](crate::broadcast::BroadcastSchedule) round
 //! count.
+//!
+//! [`simulate_wormhole`] / [`simulate_wormhole_faulted`] run the same
+//! workloads under flit-level **wormhole switching** with virtual
+//! channels ([`SwitchingSpec`]): packets stretch across chains of
+//! (link × VC) flit buffers with credit backpressure, and VC selection
+//! follows the topology's
+//! [`channel_class`](crate::topology::Topology::channel_class) order so
+//! blocking is deadlock-free by construction — see the
+//! [`switching`](crate::switching) module for the model and the proof
+//! sketch. A degenerate wormhole configuration (one flit per packet, one
+//! VC, effectively unbounded buffers) reproduces the store-and-forward
+//! engine's results exactly; the property tests gate on that equivalence.
 
 use std::collections::VecDeque;
 
 use fibcube_graph::csr::CsrGraph;
 
-use crate::arena::{LinkQueues, PacketSlab, NO_COPY};
+use crate::arena::{FlitQueues, LinkQueues, PacketSlab, NO_COPY};
 use crate::collective::CopyPlan;
 use crate::fault::FaultSet;
 use crate::observer::{NoopObserver, SimObserver};
 use crate::router::{FaultMaskingRouter, LinkLoad, NextHopTable, Router};
+use crate::switching::SwitchingSpec;
 use crate::topology::Topology;
 use crate::traffic::Packet;
 
@@ -938,6 +951,639 @@ where
     acc.finish(packets.len())
 }
 
+// ---------------------------------------------------------------------
+// Wormhole switching: the flit-level engine.
+// ---------------------------------------------------------------------
+
+/// Head-flit flag in a packed flit record (bit 56).
+const FLIT_HEAD: u64 = 1 << 56;
+/// Tail-flit flag in a packed flit record (bit 57). Single-flit packets
+/// carry both flags.
+const FLIT_TAIL: u64 = 1 << 57;
+/// No packet claims this (edge × VC) buffer.
+const NO_CLAIM: u32 = u32::MAX;
+/// Arrival-list sentinel: the flit leaves the network at its destination
+/// instead of entering a buffer.
+const EJECT: u32 = u32::MAX;
+
+/// Packs one flit: packet id in the low 32 bits, the index of the buffer
+/// it occupies within its packet's reserved chain in bits 32..56, flags
+/// above. Everything the forward phase needs travels in the queue word.
+#[inline]
+fn flit(id: u32, idx: usize, head: bool, tail: bool) -> u64 {
+    debug_assert!(idx < (1 << 24), "path longer than 16M hops");
+    let mut f = id as u64 | ((idx as u64) << 32);
+    if head {
+        f |= FLIT_HEAD;
+    }
+    if tail {
+        f |= FLIT_TAIL;
+    }
+    f
+}
+
+/// The chain index of a packed flit.
+#[inline]
+fn flit_idx(f: u64) -> usize {
+    ((f >> 32) & 0xFF_FFFF) as usize
+}
+
+/// Per-packet wormhole state in parallel columns indexed by slab id
+/// (recycled with the slab's freelist, reset on allocation): the source,
+/// the chain of buffer indices the head has reserved, the VC level and
+/// last channel class driving VC selection, and the source-side streaming
+/// progress.
+#[derive(Default)]
+struct WormState {
+    src: Vec<u32>,
+    /// Buffer indices (`edge * vcs + vc`) the head has claimed, in hop
+    /// order — body flits follow this chain by their flit index.
+    path: Vec<Vec<u32>>,
+    level: Vec<u32>,
+    last_class: Vec<u32>,
+    flits_total: Vec<u32>,
+    flits_sent: Vec<u32>,
+    head_ejected: Vec<bool>,
+}
+
+impl WormState {
+    fn reset(&mut self, id: u32, src: u32, flits: u32) {
+        let i = id as usize;
+        if self.src.len() <= i {
+            let n = i + 1;
+            self.src.resize(n, 0);
+            self.path.resize_with(n, Vec::new);
+            self.level.resize(n, 0);
+            self.last_class.resize(n, 0);
+            self.flits_total.resize(n, 0);
+            self.flits_sent.resize(n, 0);
+            self.head_ejected.resize(n, false);
+        }
+        self.src[i] = src;
+        self.path[i].clear();
+        self.level[i] = 0;
+        self.last_class[i] = 0;
+        self.flits_total[i] = flits;
+        self.flits_sent[i] = 0;
+        self.head_ejected[i] = false;
+    }
+}
+
+/// Resolves the output edge for one hop — [`Fabric::route_and_enqueue`]'s
+/// routing half, shared with the wormhole engine (which reserves buffers
+/// instead of enqueuing packets).
+#[inline]
+fn route_edge<R: Router + ?Sized>(
+    g: &CsrGraph,
+    routing: &Routing<'_, R>,
+    loads: &[u32],
+    node: u32,
+    dst: u32,
+) -> usize {
+    match routing {
+        Routing::Table(table) => table
+            .next_edge(node, dst)
+            .expect("routing a packet not yet at dst"),
+        Routing::PerHop(router) => {
+            let base = g.edge_range(node).start;
+            let hop = {
+                let load = NodeLoad { loads, base };
+                router
+                    .next_hop(node, dst, &load)
+                    .expect("routing a packet not yet at dst")
+            };
+            base + g
+                .slot_of(node, hop)
+                .expect("next_hop must return a neighbor")
+        }
+    }
+}
+
+/// Runs the flit-level wormhole engine under an explicit routing policy.
+/// [`SwitchingSpec::StoreAndForward`] delegates to [`simulate_observed`]
+/// — one entry point covers both switching models.
+///
+/// Model: each packet is [`SwitchingSpec::flits_per_packet`] flits. The
+/// head flit claims a chain of (directed link × virtual channel) buffers
+/// of `buf_flits` capacity, routing one hop per cycle exactly like the
+/// store-and-forward engine; body flits stream behind it through the
+/// same chain (one injected per cycle at the source) and the tail
+/// releases each buffer as it passes — so a blocked packet occupies
+/// buffers along its whole path, the defining wormhole behaviour.
+/// Advancement is credit-based (a flit moves only when the next buffer
+/// has space, counting same-cycle reservations) and each directed link
+/// still moves at most one flit per cycle, scanning VCs lowest-first.
+/// Virtual channels are keyed to
+/// [`Topology::channel_class`]: a hop whose class does not increase
+/// bumps the packet to the next VC level (clamped to `vcs − 1`), which
+/// on order-based routes makes the channel-dependency graph acyclic —
+/// see [`switching`](crate::switching) for the argument.
+///
+/// Packet-level accounting ([`SimStats`], [`SimObserver::on_hop`],
+/// hop counts) follows the **head** flit, so a degenerate configuration
+/// (one flit per packet, one VC, effectively unbounded buffers)
+/// reproduces [`simulate_with`] exactly. Flit-level movement is
+/// observable through [`SimObserver::on_flit_hop`].
+pub fn simulate_wormhole<T, R, O>(
+    topology: &T,
+    router: &R,
+    spec: &SwitchingSpec,
+    packets: &[Packet],
+    max_cycles: u64,
+    observer: &mut O,
+) -> SimStats
+where
+    T: Topology + ?Sized,
+    R: Router + ?Sized,
+    O: SimObserver,
+{
+    match *spec {
+        SwitchingSpec::StoreAndForward => {
+            simulate_observed(topology, router, packets, max_cycles, observer)
+        }
+        SwitchingSpec::Wormhole { vcs, buf_flits, .. } => wormhole_engine(
+            topology,
+            router,
+            spec.flits_per_packet(),
+            vcs,
+            buf_flits,
+            packets,
+            max_cycles,
+            observer,
+            &AdmitAll,
+        ),
+    }
+}
+
+/// [`simulate_wormhole`] on the network degraded by `faults`: the same
+/// [`FaultMaskingRouter`] wrapping and typed injection drops as
+/// [`simulate_faulted`], with flits detouring around dead nodes and
+/// links. An empty fault set delegates to the healthy wormhole engine;
+/// a [`SwitchingSpec::StoreAndForward`] spec delegates to
+/// [`simulate_faulted`].
+///
+/// Fault detours are not order-based, so on degraded networks the VC
+/// level can clamp at `vcs − 1` and deadlock freedom is best-effort —
+/// the experiments keep the conservation invariant
+/// `offered == delivered + dropped + still-in-flight` either way.
+pub fn simulate_wormhole_faulted<T, R, O>(
+    topology: &T,
+    router: &R,
+    spec: &SwitchingSpec,
+    faults: &FaultSet,
+    packets: &[Packet],
+    max_cycles: u64,
+    observer: &mut O,
+) -> SimStats
+where
+    T: Topology + ?Sized,
+    R: Router + ?Sized,
+    O: SimObserver,
+{
+    if faults.is_empty() {
+        return simulate_wormhole(topology, router, spec, packets, max_cycles, observer);
+    }
+    match *spec {
+        SwitchingSpec::StoreAndForward => {
+            simulate_faulted(topology, router, faults, packets, max_cycles, observer)
+        }
+        SwitchingSpec::Wormhole { vcs, buf_flits, .. } => {
+            let masked = FaultMaskingRouter::new(topology.graph(), router, faults);
+            let admission = FaultAdmission { masked: &masked };
+            wormhole_engine(
+                topology,
+                &masked,
+                spec.flits_per_packet(),
+                vcs,
+                buf_flits,
+                packets,
+                max_cycles,
+                observer,
+                &admission,
+            )
+        }
+    }
+}
+
+/// Tries to place packet `id`'s head flit into VC 0 of its first output
+/// link: routes the first hop, checks the buffer's claim (multi-flit
+/// packets need exclusive worm occupancy) and credit, and on success
+/// starts the packet's chain. Shared by fresh injections and the pending
+/// retry queue; a `false` return leaves the packet unplaced (its state
+/// untouched) for retry next cycle.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn try_place_head<T, R, O>(
+    topology: &T,
+    g: &CsrGraph,
+    routing: &Routing<'_, R>,
+    queues: &mut FlitQueues,
+    link_load: &mut [u32],
+    claimed: &mut [u32],
+    reserved: &[u32],
+    worm: &mut WormState,
+    slab: &PacketSlab,
+    occupancy: &mut [u32],
+    on_list: &mut [bool],
+    active: &mut Vec<u32>,
+    streams: &mut Vec<u32>,
+    observer: &mut O,
+    vcs: usize,
+    buf_flits: u64,
+    cycle: u64,
+    id: u32,
+) -> bool
+where
+    T: Topology + ?Sized,
+    R: Router + ?Sized,
+    O: SimObserver,
+{
+    let i = id as usize;
+    let src = worm.src[i];
+    let dst = slab.dst(id);
+    let e0 = route_edge(g, routing, link_load, src, dst);
+    let b0 = e0 * vcs;
+    let multi = worm.flits_total[i] > 1;
+    if multi && claimed[b0] != NO_CLAIM {
+        return false;
+    }
+    if queues.load(b0) as u64 + reserved[b0] as u64 >= buf_flits {
+        return false;
+    }
+    worm.level[i] = 0;
+    worm.last_class[i] = topology.channel_class(src, g.target(e0));
+    worm.path[i].push(b0 as u32);
+    worm.flits_sent[i] = 1;
+    if multi {
+        claimed[b0] = id;
+        streams.push(id);
+    }
+    queues.push(b0, flit(id, 0, true, !multi));
+    link_load[e0] += 1;
+    occupancy[src as usize] += 1;
+    observer.on_flit_hop(cycle, e0, 0, queues.load(b0) as u32);
+    if !on_list[src as usize] {
+        on_list[src as usize] = true;
+        active.push(src);
+    }
+    true
+}
+
+/// The shared flit-level engine body behind [`simulate_wormhole`] and
+/// [`simulate_wormhole_faulted`]. See [`simulate_wormhole`] for the
+/// model; the cycle structure deliberately mirrors [`engine`] phase for
+/// phase (idle fast-forward, injection, forward scan in ascending node
+/// and edge order, arrivals at the `cycle + 1` boundary) so the
+/// degenerate configuration is event-for-event identical.
+#[allow(clippy::too_many_arguments)]
+fn wormhole_engine<T, R, O, A>(
+    topology: &T,
+    router: &R,
+    flits_per_packet: u32,
+    vcs: u32,
+    buf_flits: u32,
+    packets: &[Packet],
+    max_cycles: u64,
+    observer: &mut O,
+    admission: &A,
+) -> SimStats
+where
+    T: Topology + ?Sized,
+    R: Router + ?Sized,
+    O: SimObserver,
+    A: Admission,
+{
+    let n = topology.len();
+    let g = topology.graph();
+    let routing = routing_for(topology, router, packets.len());
+    let vcs = vcs.max(1) as usize;
+    let buf_flits = buf_flits.max(1) as u64;
+    let fpp = flits_per_packet.max(1);
+    let max_level = vcs as u32 - 1;
+
+    let links = g.num_directed_edges();
+    let mut queues = FlitQueues::new(links, vcs);
+    // Aggregated per-link flit occupancy: drives the cheap forward-scan
+    // skip and doubles as the load view adaptive routers consult.
+    let mut link_load: Vec<u32> = vec![0; links];
+    // Which multi-flit packet holds each buffer (worms may not
+    // interleave; single-flit packets are self-contained and bypass
+    // claims entirely).
+    let mut claimed: Vec<u32> = vec![NO_CLAIM; links * vcs];
+    // Same-cycle credit reservations, consumed by the arrival phase.
+    let mut reserved: Vec<u32> = vec![0; links * vcs];
+
+    let mut slab = PacketSlab::new();
+    let mut worm = WormState::default();
+    // Flits queued per node (drives the active worklist).
+    let mut occupancy = vec![0u32; n];
+    let mut on_list = vec![false; n];
+    let mut active: Vec<u32> = Vec::new();
+    let mut next_active: Vec<u32> = Vec::new();
+    // (flit record, buffer index or EJECT, buffer-owning/destination node)
+    let mut arrivals: Vec<(u64, u32, u32)> = Vec::new();
+    // Heads that could not claim their first buffer, in injection order.
+    let mut pending: VecDeque<u32> = VecDeque::new();
+    // Multi-flit packets still streaming body flits from their source.
+    let mut streams: Vec<u32> = Vec::new();
+
+    let mut inj: Vec<&Packet> = packets.iter().collect();
+    inj.sort_by_key(|p| p.inject_time);
+    let mut next_inject = 0usize;
+
+    let mut acc = StatsAcc::for_network(n);
+    let mut in_flight = 0usize;
+
+    let mut cycle: u64 = 0;
+    while cycle < max_cycles {
+        // Skip straight to the next injection when the network is empty.
+        if in_flight == 0 {
+            match inj.get(next_inject) {
+                None => break,
+                Some(p) if p.inject_time > cycle => {
+                    if p.inject_time >= max_cycles {
+                        break;
+                    }
+                    cycle = p.inject_time;
+                }
+                Some(_) => {}
+            }
+        }
+
+        let mut progressed = false;
+
+        // Streaming continuation: each multi-flit packet feeds at most
+        // one body flit per cycle into its claimed first buffer. The
+        // claim is released once the tail has entered the network.
+        streams.retain(|&id| {
+            let i = id as usize;
+            let b0 = worm.path[i][0] as usize;
+            if queues.load(b0) as u64 + reserved[b0] as u64 >= buf_flits {
+                return true;
+            }
+            let sent = worm.flits_sent[i];
+            let is_tail = sent + 1 == worm.flits_total[i];
+            queues.push(b0, flit(id, 0, false, is_tail));
+            let e0 = b0 / vcs;
+            link_load[e0] += 1;
+            let src = worm.src[i] as usize;
+            occupancy[src] += 1;
+            observer.on_flit_hop(cycle, e0, (b0 % vcs) as u32, queues.load(b0) as u32);
+            if !on_list[src] {
+                on_list[src] = true;
+                active.push(src as u32);
+            }
+            worm.flits_sent[i] = sent + 1;
+            progressed = true;
+            if is_tail {
+                if claimed[b0] == id {
+                    claimed[b0] = NO_CLAIM;
+                }
+                false
+            } else {
+                true
+            }
+        });
+
+        // Retry heads that failed to claim their first buffer, oldest
+        // first; failures keep their order without blocking later ones.
+        for _ in 0..pending.len() {
+            let id = pending.pop_front().expect("iteration is len-bounded");
+            if try_place_head(
+                topology,
+                g,
+                &routing,
+                &mut queues,
+                &mut link_load,
+                &mut claimed,
+                &reserved,
+                &mut worm,
+                &slab,
+                &mut occupancy,
+                &mut on_list,
+                &mut active,
+                &mut streams,
+                observer,
+                vcs,
+                buf_flits,
+                cycle,
+                id,
+            ) {
+                progressed = true;
+            } else {
+                pending.push_back(id);
+            }
+        }
+
+        // Inject everything due this cycle (same admission and
+        // self-addressed handling as the store-and-forward engine).
+        while next_inject < inj.len() && inj[next_inject].inject_time <= cycle {
+            let p = inj[next_inject];
+            next_inject += 1;
+            observer.on_inject(cycle, p.src, p.dst);
+            if let Some(reason) = admission.verdict(p.src, p.dst) {
+                match reason {
+                    DropReason::DeadEndpoint => acc.dropped_dead_endpoint += 1,
+                    DropReason::Unreachable => acc.dropped_unreachable += 1,
+                }
+                observer.on_drop(cycle, p.src, p.dst, reason);
+                continue;
+            }
+            if p.src == p.dst {
+                acc.deliver_instant();
+                observer.on_deliver(cycle, p.dst, 0);
+                continue;
+            }
+            let id = slab.alloc(p.dst, p.inject_time);
+            worm.reset(id, p.src, fpp);
+            in_flight += 1;
+            if try_place_head(
+                topology,
+                g,
+                &routing,
+                &mut queues,
+                &mut link_load,
+                &mut claimed,
+                &reserved,
+                &mut worm,
+                &slab,
+                &mut occupancy,
+                &mut on_list,
+                &mut active,
+                &mut streams,
+                observer,
+                vcs,
+                buf_flits,
+                cycle,
+                id,
+            ) {
+                progressed = true;
+            } else {
+                pending.push_back(id);
+            }
+        }
+
+        // Forward phase: each directed link of an active node moves at
+        // most one flit, scanning VCs lowest-first for a front flit that
+        // can advance. Ascending node and edge order matches the
+        // store-and-forward engine's service order exactly.
+        active.sort_unstable();
+        for &u in &active {
+            on_list[u as usize] = false;
+            for e in g.edge_range(u) {
+                if link_load[e] == 0 {
+                    continue;
+                }
+                for vc in 0..vcs {
+                    let b = e * vcs + vc;
+                    let Some(f) = queues.front(b) else { continue };
+                    let id = f as u32;
+                    let i = id as usize;
+                    let idx = flit_idx(f);
+                    if f & FLIT_HEAD != 0 {
+                        let v = g.target(e);
+                        let dst = slab.dst(id);
+                        if v == dst {
+                            queues.pop(b);
+                            link_load[e] -= 1;
+                            occupancy[u as usize] -= 1;
+                            observer.on_hop(cycle, u, v, e);
+                            slab.record_hop(id);
+                            acc.total_hops += 1;
+                            arrivals.push((f, EJECT, v));
+                            progressed = true;
+                            break;
+                        }
+                        let e2 = route_edge(g, &routing, &link_load, v, dst);
+                        let c2 = topology.channel_class(v, g.target(e2));
+                        let mut lvl = worm.level[i];
+                        if c2 <= worm.last_class[i] {
+                            // Class order broken (a ring dateline or a
+                            // fault detour): escape one VC level up.
+                            lvl = (lvl + 1).min(max_level);
+                        }
+                        let b2 = e2 * vcs + lvl as usize;
+                        let multi = worm.flits_total[i] > 1;
+                        if multi && claimed[b2] != NO_CLAIM && claimed[b2] != id {
+                            continue;
+                        }
+                        if queues.load(b2) as u64 + reserved[b2] as u64 >= buf_flits {
+                            continue;
+                        }
+                        queues.pop(b);
+                        link_load[e] -= 1;
+                        occupancy[u as usize] -= 1;
+                        if multi {
+                            claimed[b2] = id;
+                        }
+                        reserved[b2] += 1;
+                        worm.level[i] = lvl;
+                        worm.last_class[i] = c2;
+                        worm.path[i].push(b2 as u32);
+                        observer.on_hop(cycle, u, v, e);
+                        slab.record_hop(id);
+                        acc.total_hops += 1;
+                        arrivals.push((flit(id, idx + 1, true, f & FLIT_TAIL != 0), b2 as u32, v));
+                        progressed = true;
+                        break;
+                    }
+                    // Body/tail flit: follow the head's reserved chain.
+                    let path = &worm.path[i];
+                    if idx + 1 < path.len() {
+                        let b2 = path[idx + 1] as usize;
+                        if queues.load(b2) as u64 + reserved[b2] as u64 >= buf_flits {
+                            continue;
+                        }
+                        queues.pop(b);
+                        link_load[e] -= 1;
+                        occupancy[u as usize] -= 1;
+                        reserved[b2] += 1;
+                        arrivals.push((
+                            flit(id, idx + 1, false, f & FLIT_TAIL != 0),
+                            b2 as u32,
+                            g.target(e),
+                        ));
+                        progressed = true;
+                        break;
+                    }
+                    if worm.head_ejected[i] {
+                        // End of the chain with the head gone: this flit
+                        // crosses the final link into the destination.
+                        queues.pop(b);
+                        link_load[e] -= 1;
+                        occupancy[u as usize] -= 1;
+                        arrivals.push((f, EJECT, g.target(e)));
+                        progressed = true;
+                        break;
+                    }
+                    // Head still parked one buffer ahead: wait.
+                }
+            }
+            if occupancy[u as usize] > 0 {
+                on_list[u as usize] = true;
+                next_active.push(u);
+            }
+        }
+        active.clear();
+        std::mem::swap(&mut active, &mut next_active);
+
+        // Arrivals (at the cycle + 1 boundary): flits enter their
+        // reserved buffers or leave the network at the destination.
+        let now = cycle + 1;
+        for (f, buf, node) in arrivals.drain(..) {
+            let id = f as u32;
+            if buf == EJECT {
+                if f & FLIT_TAIL != 0 {
+                    in_flight -= 1;
+                    let inject_time = slab.inject(id);
+                    acc.deliver(now, inject_time);
+                    observer.on_deliver(now, node, now - inject_time);
+                    slab.release(id);
+                } else if f & FLIT_HEAD != 0 {
+                    worm.head_ejected[id as usize] = true;
+                }
+                // Body flits between head and tail vanish at dst.
+            } else {
+                let b = buf as usize;
+                let e = b / vcs;
+                reserved[b] -= 1;
+                queues.push(b, f);
+                link_load[e] += 1;
+                occupancy[node as usize] += 1;
+                observer.on_flit_hop(now, e, (b % vcs) as u32, queues.load(b) as u32);
+                if f & FLIT_TAIL != 0 && claimed[b] == id {
+                    claimed[b] = NO_CLAIM;
+                }
+                if !on_list[node as usize] {
+                    on_list[node as usize] = true;
+                    active.push(node);
+                }
+            }
+        }
+        observer.on_cycle_end(cycle, in_flight);
+
+        if !progressed && in_flight > 0 {
+            // Nothing moved. With a future injection the network may
+            // unstick (new packets can place on other links): jump there.
+            // With none, this is a genuine deadlock — only reachable off
+            // the order-based configurations — so stop instead of
+            // spinning to the cap; the stranded packets surface as
+            // `offered − delivered − dropped`.
+            match inj.get(next_inject) {
+                Some(p) if p.inject_time >= max_cycles => break,
+                Some(p) => {
+                    cycle = p.inject_time.max(cycle + 1);
+                    continue;
+                }
+                None => break,
+            }
+        }
+        cycle += 1;
+    }
+
+    acc.finish(packets.len())
+}
+
 /// The seed's original engine, kept verbatim as a behavioural oracle and
 /// speedup baseline: scans every node every cycle and binary-searches the
 /// neighbor list on every hop, routing through `Topology::next_hop`.
@@ -1750,5 +2396,312 @@ mod tests {
         assert_eq!(stats.latency_buckets, folded);
         // The bucketed p99 upper bound dominates the exact dense p99.
         assert!(stats.latency_buckets.percentile_upper_bound(0.99) >= stats.p99_latency);
+    }
+}
+
+#[cfg(test)]
+mod wormhole_tests {
+    use super::*;
+    use crate::router::{AdaptiveMinimal, EcubeRouter};
+    use crate::switching::{SwitchingSpec, VcOccupancy, PACKET_LENGTH_UNITS};
+    use crate::topology::{FibonacciNet, Hypercube, Mesh, Ring};
+    use crate::traffic::TrafficSpec;
+
+    /// Degenerate wormhole: one flit per packet, one VC, effectively
+    /// unbounded buffers — structurally the store-and-forward engine.
+    fn degenerate() -> SwitchingSpec {
+        SwitchingSpec::Wormhole {
+            flit_size: PACKET_LENGTH_UNITS,
+            vcs: 1,
+            buf_flits: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn store_and_forward_spec_delegates_to_the_packet_engine() {
+        let q = Hypercube::new(4);
+        let pkts = TrafficSpec::Uniform {
+            count: 200,
+            window: 50,
+        }
+        .generate(q.len(), 5);
+        let saf = simulate_with(&q, &EcubeRouter, &pkts, 100_000);
+        let via_spec = simulate_wormhole(
+            &q,
+            &EcubeRouter,
+            &SwitchingSpec::StoreAndForward,
+            &pkts,
+            100_000,
+            &mut NoopObserver,
+        );
+        assert_eq!(via_spec, saf);
+    }
+
+    #[test]
+    fn degenerate_wormhole_matches_store_and_forward_on_small_topologies() {
+        let spec = degenerate();
+        for topo in [
+            &FibonacciNet::classical(7) as &dyn Topology,
+            &Hypercube::new(4),
+            &Ring::new(13),
+            &Mesh::new(4, 3),
+        ] {
+            for (count, window, seed) in [(60usize, 20u64, 1u64), (300, 80, 2), (1, 0, 3)] {
+                let pkts = TrafficSpec::Uniform { count, window }.generate(topo.len(), seed);
+                let router = topo.router();
+                let saf = simulate_with(topo, &*router, &pkts, 100_000);
+                let worm =
+                    simulate_wormhole(topo, &*router, &spec, &pkts, 100_000, &mut NoopObserver);
+                assert_eq!(worm, saf, "{} count={count} seed={seed}", topo.name());
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_wormhole_matches_faulted_engine() {
+        // The masked router's detour rule is load-aware (least-loaded
+        // progressive link), and the wormhole engine routes heads when
+        // they leave a buffer (credit needs the output known before
+        // crossing) while the packet engine routes on arrival — so the
+        // two can break detour ties differently and shift queueing
+        // latencies by a cycle. The equivalence oracle is therefore the
+        // packet-set one: identical delivered set, identical typed
+        // drops, identical per-packet hop counts. Hops are pinned
+        // exactly: every masked hop strictly decreases the degraded
+        // distance, so each packet's hop count is at least that
+        // distance, and matching both totals against the distance-sum
+        // oracle forces per-packet equality in both engines.
+        #[derive(Default)]
+        struct DeliveryCensus {
+            per_node: Vec<u64>,
+        }
+        impl SimObserver for DeliveryCensus {
+            fn on_deliver(&mut self, _cycle: u64, node: u32, _latency: u64) {
+                let i = node as usize;
+                if self.per_node.len() <= i {
+                    self.per_node.resize(i + 1, 0);
+                }
+                self.per_node[i] += 1;
+            }
+        }
+        let net = FibonacciNet::classical(7);
+        let faults = FaultSet::new([1u32, 5], [(0u32, 2u32)]);
+        let pkts = TrafficSpec::Uniform {
+            count: 250,
+            window: 60,
+        }
+        .generate(net.len(), 9);
+        let router = net.router();
+        let spec = degenerate();
+        let mut saf_census = DeliveryCensus::default();
+        let saf = simulate_faulted(&net, &*router, &faults, &pkts, 100_000, &mut saf_census);
+        let mut worm_census = DeliveryCensus::default();
+        let worm = simulate_wormhole_faulted(
+            &net,
+            &*router,
+            &spec,
+            &faults,
+            &pkts,
+            100_000,
+            &mut worm_census,
+        );
+        assert!(worm.dropped() > 0, "faults must actually bite");
+        assert_eq!(worm.offered, saf.offered);
+        assert_eq!(worm.delivered, saf.delivered);
+        assert_eq!(worm.dropped_dead_endpoint, saf.dropped_dead_endpoint);
+        assert_eq!(worm.dropped_unreachable, saf.dropped_unreachable);
+        assert_eq!(
+            worm_census.per_node, saf_census.per_node,
+            "same delivered packet set"
+        );
+        // Per-packet hop oracle: admitted packets cost exactly their
+        // degraded-graph distance.
+        let masks = faults.masks(net.graph());
+        let dist = crate::dist::DistanceTable::degraded(net.graph(), &masks);
+        let expected: u64 = pkts
+            .iter()
+            .filter(|p| {
+                p.src != p.dst
+                    && masks.node_alive(p.src)
+                    && masks.node_alive(p.dst)
+                    && dist.reachable(p.src, p.dst)
+            })
+            .map(|p| dist.distance(p.src, p.dst) as u64)
+            .sum();
+        assert_eq!(saf.total_hops, expected);
+        assert_eq!(worm.total_hops, expected);
+    }
+
+    #[test]
+    fn empty_fault_set_delegates_to_the_healthy_wormhole_engine() {
+        let q = Hypercube::new(3);
+        let pkts = TrafficSpec::Uniform {
+            count: 40,
+            window: 10,
+        }
+        .generate(q.len(), 3);
+        let spec = SwitchingSpec::Wormhole {
+            flit_size: 8,
+            vcs: 2,
+            buf_flits: 2,
+        };
+        let healthy = simulate_wormhole(&q, &EcubeRouter, &spec, &pkts, 100_000, &mut NoopObserver);
+        let faulted = simulate_wormhole_faulted(
+            &q,
+            &EcubeRouter,
+            &spec,
+            &FaultSet::default(),
+            &pkts,
+            100_000,
+            &mut NoopObserver,
+        );
+        assert_eq!(faulted, healthy);
+    }
+
+    #[test]
+    fn multi_flit_packet_pipelines_at_distance_plus_serialization() {
+        // One 4-flit packet over 4 hops: the tail leaves the source at
+        // cycle 3 and crosses 4 links — latency dist + flits − 1 = 7.
+        let q = Hypercube::new(4);
+        let pkts = vec![Packet {
+            src: 0b0000,
+            dst: 0b1111,
+            inject_time: 0,
+        }];
+        let spec = SwitchingSpec::Wormhole {
+            flit_size: 8, // 32 / 8 = 4 flits
+            vcs: 1,
+            buf_flits: 4,
+        };
+        let stats = simulate_wormhole(&q, &EcubeRouter, &spec, &pkts, 1000, &mut NoopObserver);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.mean_latency, 7.0);
+        assert_eq!(stats.makespan, 7);
+        assert_eq!(stats.total_hops, 4, "hops count the head flit only");
+    }
+
+    #[test]
+    fn tight_buffers_drain_on_order_based_topologies() {
+        // buf_flits = 1 with multi-flit packets is the hardest blocking
+        // regime; order-based VC selection must still drain everything.
+        let spec = SwitchingSpec::Wormhole {
+            flit_size: 8,
+            vcs: 2,
+            buf_flits: 1,
+        };
+        for topo in [
+            &FibonacciNet::classical(7) as &dyn Topology,
+            &Hypercube::new(4),
+            &Ring::new(12),
+            &Mesh::new(4, 3),
+        ] {
+            let pkts = TrafficSpec::Uniform {
+                count: 200,
+                window: 60,
+            }
+            .generate(topo.len(), 11);
+            let router = topo.router();
+            let stats =
+                simulate_wormhole(topo, &*router, &spec, &pkts, 4_000_000, &mut NoopObserver);
+            assert_eq!(
+                stats.delivered + stats.dropped(),
+                stats.offered,
+                "{} must drain under tight buffers",
+                topo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn self_addressed_and_zero_cap_match_packet_engine_conventions() {
+        let q = Hypercube::new(3);
+        let spec = degenerate();
+        let selfed = vec![Packet {
+            src: 2,
+            dst: 2,
+            inject_time: 5,
+        }];
+        let stats = simulate_wormhole(&q, &EcubeRouter, &spec, &selfed, 100, &mut NoopObserver);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.makespan, 0);
+        let capped = simulate_wormhole(
+            &q,
+            &EcubeRouter,
+            &spec,
+            &[Packet {
+                src: 0,
+                dst: 7,
+                inject_time: 0,
+            }],
+            0,
+            &mut NoopObserver,
+        );
+        assert_eq!(capped.delivered, 0);
+        assert_eq!(capped.offered, 1);
+    }
+
+    #[test]
+    fn vc_occupancy_observer_profiles_wormhole_runs() {
+        let r = Ring::new(12);
+        let pkts = TrafficSpec::Uniform {
+            count: 150,
+            window: 40,
+        }
+        .generate(r.len(), 7);
+        let spec = SwitchingSpec::Wormhole {
+            flit_size: 8,
+            vcs: 2,
+            buf_flits: 2,
+        };
+        let router = r.router();
+        let mut occ = VcOccupancy::new();
+        let stats = simulate_wormhole(&r, &*router, &spec, &pkts, 1_000_000, &mut occ);
+        assert_eq!(stats.delivered, stats.offered);
+        assert!(occ.total_flit_hops() > 0);
+        assert!(
+            occ.total_flit_hops() >= stats.total_hops,
+            "every packet hop moves at least its head flit"
+        );
+        // The ring's dateline forces some traffic onto VC level 1.
+        assert!(occ.flit_hops(0) > 0);
+        assert!(occ.flit_hops(1) > 0, "wrap routes must escape to VC 1");
+        // Store-and-forward runs emit no flit events at all.
+        let mut saf_occ = VcOccupancy::new();
+        simulate_wormhole(
+            &r,
+            &*router,
+            &SwitchingSpec::StoreAndForward,
+            &pkts,
+            1_000_000,
+            &mut saf_occ,
+        );
+        assert_eq!(saf_occ.total_flit_hops(), 0);
+    }
+
+    #[test]
+    fn adaptive_routing_still_drains_with_enough_vcs_and_credit() {
+        // Adaptive hops are not order-based; with roomy buffers the run
+        // must still complete (deadlock freedom is best-effort there,
+        // but ample credit keeps the network live).
+        let q = Hypercube::new(4);
+        let pkts = TrafficSpec::Uniform {
+            count: 150,
+            window: 40,
+        }
+        .generate(q.len(), 13);
+        let spec = SwitchingSpec::Wormhole {
+            flit_size: 16,
+            vcs: 3,
+            buf_flits: 64,
+        };
+        let stats = simulate_wormhole(
+            &q,
+            &AdaptiveMinimal::new(&q),
+            &spec,
+            &pkts,
+            4_000_000,
+            &mut NoopObserver,
+        );
+        assert_eq!(stats.delivered, stats.offered);
     }
 }

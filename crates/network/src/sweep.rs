@@ -21,15 +21,22 @@
 //! workload ([`CollectiveSpec`]): per fault count it measures broadcast
 //! completion time and target coverage, the live counterpart of the
 //! static round-count tables.
+//!
+//! [`switching_sweep`] crosses the injection ladder with a set of
+//! [`SwitchingSpec`]s — store-and-forward against one or more wormhole
+//! configurations — exposing where flit-level serialization and
+//! credit-based backpressure move the latency knee relative to the
+//! packet-atomic engine.
 
 use fibcube_graph::parallel::par_map;
 
-use crate::collective::CollectiveSpec;
+use crate::collective::{CollectiveOutcome, CollectiveSpec};
 use crate::experiment::{run_cells, Experiment, ExperimentError};
 use crate::fault::FaultSpec;
-use crate::report::{JsonValue, Report};
+use crate::report::JsonValue;
 use crate::router::{Router, RouterSpec};
 use crate::simulator::{simulate_with, SimStats};
+use crate::switching::SwitchingSpec;
 use crate::topology::Topology;
 use crate::traffic::TrafficSpec;
 
@@ -589,32 +596,38 @@ where
             .cycles(config.inject_cycles + config.drain_cycles)
     })?;
     let m = seeds.len() as f64;
+    // A collective experiment without an outcome would be an internal
+    // invariant violation; surface it as a typed error rather than a
+    // mid-aggregation panic.
+    let outcomes: Vec<&CollectiveOutcome> = reports
+        .iter()
+        .map(|r| {
+            r.collective
+                .as_ref()
+                .ok_or_else(|| ExperimentError::MissingCollectiveOutcome {
+                    topology: r.topology.clone(),
+                })
+        })
+        .collect::<Result<_, _>>()?;
     let points = fault_counts
         .iter()
         .enumerate()
         .map(|(fi, &faults)| {
-            let chunk = &reports[fi * seeds.len()..(fi + 1) * seeds.len()];
-            fn outcome(r: &Report) -> &crate::collective::CollectiveOutcome {
-                r.collective
-                    .as_ref()
-                    .expect("collective experiments always report an outcome")
-            }
-            let targets = chunk.iter().map(|r| outcome(r).targets as f64).sum::<f64>() / m;
-            let reached = chunk.iter().map(|r| outcome(r).reached as f64).sum::<f64>() / m;
-            let rounds: Vec<f64> = chunk
+            let start = fi * seeds.len();
+            let chunk = &reports[start..start + seeds.len()];
+            let outs = &outcomes[start..start + seeds.len()];
+            let targets = outs.iter().map(|o| o.targets as f64).sum::<f64>() / m;
+            let reached = outs.iter().map(|o| o.reached as f64).sum::<f64>() / m;
+            let rounds: Vec<f64> = outs
                 .iter()
-                .filter_map(|r| outcome(r).schedule_rounds.map(|x| x as f64))
+                .filter_map(|o| o.schedule_rounds.map(|x| x as f64))
                 .collect();
             CollectivePoint {
                 faults,
                 targets,
                 reached,
                 reached_fraction: (targets > 0.0).then(|| reached / targets),
-                completion_cycles: chunk
-                    .iter()
-                    .map(|r| outcome(r).completion_cycles as f64)
-                    .sum::<f64>()
-                    / m,
+                completion_cycles: outs.iter().map(|o| o.completion_cycles as f64).sum::<f64>() / m,
                 schedule_rounds: (rounds.len() == chunk.len())
                     .then(|| rounds.iter().sum::<f64>() / m),
                 dropped_dead_endpoint: chunk
@@ -635,6 +648,196 @@ where
         spec: spec.to_string(),
         nodes: topo.len(),
         fault_counts: fault_counts.to_vec(),
+        points,
+    })
+}
+
+/// One cell of a [`switching_sweep`] grid: the aggregated outcome at one
+/// (offered rate, switching model) combination.
+#[derive(Clone, Debug)]
+pub struct SwitchingPoint {
+    /// Offered injection rate (packets per node per cycle).
+    pub rate: f64,
+    /// The [`SwitchingSpec`] this cell ran under, in canonical text form.
+    pub switching: String,
+    /// Mean packets offered per run.
+    pub offered: f64,
+    /// Mean packets delivered per run.
+    pub delivered: f64,
+    /// `delivered / offered` — 1.0 until the network saturates.
+    pub delivered_fraction: f64,
+    /// Accepted rate: delivered packets per node per injection cycle
+    /// (directly comparable to `rate`).
+    pub accepted_rate: f64,
+    /// Mean end-to-end latency of delivered packets. Under wormhole this
+    /// counts head injection to tail arrival, so multi-flit packets pay
+    /// their serialization latency here.
+    pub mean_latency: f64,
+    /// Mean 99th-percentile latency across seeds.
+    pub p99_latency: f64,
+    /// Mean cycles until the network drained (or the cap struck).
+    pub makespan: f64,
+}
+
+impl SwitchingPoint {
+    /// The cell as a JSON object (for `BENCH_sim.json`-style artifacts).
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::obj([
+            ("rate", JsonValue::Num(self.rate)),
+            ("switching", JsonValue::Str(self.switching.clone())),
+            ("offered", JsonValue::Num(self.offered)),
+            ("delivered", JsonValue::Num(self.delivered)),
+            (
+                "delivered_fraction",
+                JsonValue::Num(self.delivered_fraction),
+            ),
+            ("accepted_rate", JsonValue::Num(self.accepted_rate)),
+            ("mean_latency", JsonValue::Num(self.mean_latency)),
+            ("p99_latency", JsonValue::Num(self.p99_latency)),
+            ("makespan", JsonValue::Num(self.makespan)),
+        ])
+    }
+}
+
+/// An injection-rate × switching-model grid for one (topology, router)
+/// pair, produced by [`switching_sweep`]. Points are stored rate-major:
+/// every switching model of the first rate, then the second rate, …
+#[derive(Clone, Debug)]
+pub struct SwitchingGrid {
+    /// Topology name (`"Γ_16"`, `"Q_11"`, …).
+    pub topology: String,
+    /// Router policy name.
+    pub router: String,
+    /// Node count (for normalising across topologies).
+    pub nodes: usize,
+    /// The injection-rate ladder swept.
+    pub rates: Vec<f64>,
+    /// The switching models swept, in canonical text form and sweep order.
+    pub switching: Vec<String>,
+    /// One cell per (rate, switching model), rate-major.
+    pub points: Vec<SwitchingPoint>,
+}
+
+impl SwitchingGrid {
+    /// The cell at `(rate index, switching-model index)`.
+    pub fn point(&self, rate_idx: usize, spec_idx: usize) -> &SwitchingPoint {
+        &self.points[rate_idx * self.switching.len() + spec_idx]
+    }
+
+    /// The grid as a JSON object, cells included.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::obj([
+            ("topology", JsonValue::Str(self.topology.clone())),
+            ("router", JsonValue::Str(self.router.clone())),
+            ("nodes", JsonValue::Int(self.nodes as u64)),
+            (
+                "rates",
+                JsonValue::Arr(self.rates.iter().map(|&r| JsonValue::Num(r)).collect()),
+            ),
+            (
+                "switching",
+                JsonValue::Arr(
+                    self.switching
+                        .iter()
+                        .map(|s| JsonValue::Str(s.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "points",
+                JsonValue::Arr(
+                    self.points
+                        .iter()
+                        .map(SwitchingPoint::to_json_value)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Runs the injection-rate ladder `rates` under every switching model in
+/// `specs` — the wormhole-vs-store-and-forward comparison behind the
+/// `switching` section of `BENCH_sim.json`. One [`Experiment`] per
+/// (rate, switching model, seed) run with open-loop Bernoulli traffic,
+/// parallel across runs like [`injection_sweep`]. Wormhole cells run the
+/// flit-level engine ([`simulate_wormhole`](crate::simulator::simulate_wormhole))
+/// with virtual channels and credit backpressure, so the grid exposes
+/// both the serialization cost at light load and the earlier saturation
+/// knee under finite flit buffering. Configuration problems (unsupported
+/// router, degenerate traffic or switching specs) fail fast with a typed
+/// error before anything runs.
+pub fn switching_sweep<T>(
+    topo: &T,
+    router: RouterSpec,
+    rates: &[f64],
+    specs: &[SwitchingSpec],
+    config: &SweepConfig,
+) -> Result<SwitchingGrid, ExperimentError>
+where
+    T: Topology + Sync + ?Sized,
+{
+    assert!(!config.seeds.is_empty(), "sweep needs at least one seed");
+    let router_name = router.resolve(topo)?.name();
+    for &rate in rates {
+        TrafficSpec::Bernoulli {
+            rate,
+            cycles: config.inject_cycles,
+        }
+        .validate(topo.len())?;
+    }
+    for spec in specs {
+        spec.validate()?;
+    }
+    let seeds = &config.seeds;
+    let per_rate = specs.len() * seeds.len();
+    // (rate, switching, seed) cells through the shared batch runner.
+    let reports = run_cells(rates.len() * per_rate, |j| {
+        let ri = j / per_rate;
+        let si = (j % per_rate) / seeds.len();
+        let cell = ri * specs.len() + si;
+        Experiment::on(topo)
+            .router(router)
+            .traffic(TrafficSpec::Bernoulli {
+                rate: rates[ri],
+                cycles: config.inject_cycles,
+            })
+            .switching(specs[si].clone())
+            .seed(rung_seed(seeds[j % seeds.len()], cell))
+            .cycles(config.inject_cycles + config.drain_cycles)
+    })?;
+    let runs: Vec<SimStats> = reports.into_iter().map(|r| r.stats).collect();
+    let m = seeds.len() as f64;
+    let mut points = Vec::with_capacity(rates.len() * specs.len());
+    for (ri, &rate) in rates.iter().enumerate() {
+        for (si, spec) in specs.iter().enumerate() {
+            let start = ri * per_rate + si * seeds.len();
+            let chunk = &runs[start..start + seeds.len()];
+            let offered = chunk.iter().map(|s| s.offered as f64).sum::<f64>() / m;
+            let delivered = chunk.iter().map(|s| s.delivered as f64).sum::<f64>() / m;
+            points.push(SwitchingPoint {
+                rate,
+                switching: spec.to_string(),
+                offered,
+                delivered,
+                delivered_fraction: if offered > 0.0 {
+                    delivered / offered
+                } else {
+                    1.0
+                },
+                accepted_rate: delivered / (topo.len() as f64 * config.inject_cycles as f64),
+                mean_latency: chunk.iter().map(|s| s.mean_latency).sum::<f64>() / m,
+                p99_latency: chunk.iter().map(|s| s.p99_latency as f64).sum::<f64>() / m,
+                makespan: chunk.iter().map(|s| s.makespan as f64).sum::<f64>() / m,
+            });
+        }
+    }
+    Ok(SwitchingGrid {
+        topology: topo.name(),
+        router: router_name,
+        nodes: topo.len(),
+        rates: rates.to_vec(),
+        switching: specs.iter().map(|s| s.to_string()).collect(),
         points,
     })
 }
@@ -906,6 +1109,74 @@ mod tests {
         );
         // An empty grid runs nothing.
         let grid = collective_sweep(&net, &spec, &[], &quick_config()).unwrap();
+        assert!(grid.points.is_empty());
+    }
+
+    #[test]
+    fn switching_sweep_compares_wormhole_to_store_and_forward() {
+        let net = FibonacciNet::classical(8); // 55 nodes
+        let specs = [
+            SwitchingSpec::StoreAndForward,
+            SwitchingSpec::Wormhole {
+                flit_size: 8,
+                vcs: 2,
+                buf_flits: 4,
+            },
+        ];
+        let grid = switching_sweep(
+            &net,
+            RouterSpec::Canonical,
+            &[0.02, 0.08],
+            &specs,
+            &quick_config(),
+        )
+        .unwrap();
+        assert_eq!(grid.points.len(), 4);
+        assert_eq!(
+            grid.switching,
+            vec![
+                "store_and_forward".to_string(),
+                "wormhole(flit_size=8,vcs=2,buf_flits=4)".to_string()
+            ]
+        );
+        let saf = grid.point(0, 0);
+        let worm = grid.point(0, 1);
+        assert_eq!(saf.switching, "store_and_forward");
+        // Light load: both models deliver everything …
+        assert!(saf.delivered_fraction > 0.999, "{}", saf.delivered_fraction);
+        assert!(
+            worm.delivered_fraction > 0.999,
+            "{}",
+            worm.delivered_fraction
+        );
+        // … but a 4-flit worm pays serialization latency the
+        // packet-atomic engine never sees.
+        assert!(
+            worm.mean_latency > saf.mean_latency,
+            "wormhole {} vs SAF {}",
+            worm.mean_latency,
+            saf.mean_latency
+        );
+        let json = grid.to_json_value().to_string();
+        assert!(json.contains("\"switching\""), "{json}");
+        assert!(json.contains("wormhole(flit_size=8"), "{json}");
+        assert!(json.contains("\"makespan\""), "{json}");
+    }
+
+    #[test]
+    fn switching_sweep_rejects_bad_specs_up_front() {
+        let q = Hypercube::new(4);
+        let bad = SwitchingSpec::Wormhole {
+            flit_size: 0,
+            vcs: 1,
+            buf_flits: 1,
+        };
+        let err = switching_sweep(&q, RouterSpec::Ecube, &[0.05], &[bad], &quick_config())
+            .expect_err("zero flit size is degenerate");
+        assert!(matches!(err, ExperimentError::InvalidSwitching { .. }));
+        assert!(err.to_string().contains("switching"), "{err}");
+        // An empty grid runs nothing and returns no points.
+        let grid = switching_sweep(&q, RouterSpec::Ecube, &[], &[], &quick_config()).unwrap();
         assert!(grid.points.is_empty());
     }
 

@@ -78,6 +78,27 @@ pub trait Topology {
         self.len()
     }
 
+    /// Rank of the directed channel `u → v` in a total order compatible
+    /// with this topology's deterministic routing rule: along any route the
+    /// preferred router produces, consecutive channel classes must be
+    /// strictly increasing (or, for topologies with wraparound links such
+    /// as [`Ring`], decrease at most once — the classic dateline). The
+    /// wormhole engine
+    /// ([`simulate_wormhole`](crate::simulator::simulate_wormhole)) keys
+    /// virtual-channel selection to this order, which is what makes
+    /// flit-level blocking deadlock-free by construction — see the
+    /// [`switching`](crate::switching) module docs for the
+    /// channel-dependency-graph argument.
+    ///
+    /// The default returns `0` for every channel (no ordering
+    /// information): wormhole simulation still runs, but escapes
+    /// class-order blocking only through VC-level clamping, so
+    /// deadlock freedom is best-effort rather than structural.
+    fn channel_class(&self, u: u32, v: u32) -> u32 {
+        let _ = (u, v);
+        0
+    }
+
     /// The topology's preferred split-out [`Router`] — the policy
     /// [`simulate`](crate::simulator::simulate) drives packets with.
     /// Defaults to wrapping [`next_hop`](Topology::next_hop); hypercube
@@ -174,6 +195,12 @@ impl Topology for Hypercube {
 
     fn diameter_bound(&self) -> usize {
         self.d
+    }
+
+    fn channel_class(&self, u: u32, v: u32) -> u32 {
+        // e-cube corrects ascending bit positions, so the flipped
+        // dimension itself is a strictly increasing class along any route.
+        (u ^ v).trailing_zeros()
     }
 
     fn router(&self) -> Box<dyn Router + '_> {
@@ -298,6 +325,27 @@ impl Topology for FibonacciNet {
         self.d
     }
 
+    fn channel_class(&self, u: u32, v: u32) -> u32 {
+        // Canonical-path routing clears 1-bits at ascending positions
+        // first, then sets 0-bits at ascending positions (clearing never
+        // creates new corrections, so the phases don't interleave). Giving
+        // every clearing channel a class below every setting channel, each
+        // phase ascending by position, makes classes strictly increasing
+        // along every canonical route.
+        let cu = self.labels[u as usize];
+        let cv = self.labels[v as usize];
+        for i in 1..=self.d {
+            if cu.at(i) != cv.at(i) {
+                return if cu.at(i) == 1 {
+                    (i - 1) as u32
+                } else {
+                    (self.d + i - 1) as u32
+                };
+            }
+        }
+        unreachable!("channel endpoints must differ in one position")
+    }
+
     fn router(&self) -> Box<dyn Router + '_> {
         // Built on demand: one O(n·d·log n) table pass per simulation run
         // (comparable to the engine's own SlotTable build), so the many
@@ -381,6 +429,20 @@ impl Topology for Ring {
     fn diameter_bound(&self) -> usize {
         self.n / 2
     }
+
+    fn channel_class(&self, u: u32, v: u32) -> u32 {
+        // Clockwise channels rank by source node; counter-clockwise ones
+        // continue the order with descending sources. Either direction is
+        // ascending except across its wrap link (the dateline), so any
+        // minimal route — which keeps one direction and wraps at most once
+        // — sees at most one class decrease: two VC levels suffice.
+        let n = self.n as u32;
+        if v == (u + 1) % n {
+            u
+        } else {
+            n + (n - 1 - u)
+        }
+    }
 }
 
 /// A `w × h` mesh with X-then-Y dimension-ordered routing.
@@ -446,6 +508,29 @@ impl Topology for Mesh {
 
     fn diameter_bound(&self) -> usize {
         self.w + self.h - 2
+    }
+
+    fn channel_class(&self, u: u32, v: u32) -> u32 {
+        // X-then-Y routing moves monotonically in one x direction, then
+        // one y direction. Ordering the channels +x (by column), then −x
+        // (by descending column), then +y (by row), then −y (by descending
+        // row) keeps classes strictly increasing along every such route:
+        // within a leg the coordinate is monotone, and every y class
+        // (≥ 2(w−1)) exceeds every x class (≤ 2w−3).
+        let (w, h) = (self.w as u32, self.h as u32);
+        let (cx, cy) = (u % w, u / w);
+        let (vx, vy) = (v % w, v / w);
+        if vy == cy {
+            if vx == cx + 1 {
+                cx
+            } else {
+                (w - 1) + (w - 1 - cx)
+            }
+        } else if vy == cy + 1 {
+            2 * (w - 1) + cy
+        } else {
+            2 * (w - 1) + (h - 1) + (h - 1 - cy)
+        }
     }
 }
 
@@ -619,6 +704,64 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Channel classes along every preferred route must decrease at most
+    /// `wraps` times — 0 for the order-based topologies, 1 for the ring's
+    /// dateline. This is the premise of the wormhole deadlock argument.
+    fn classes_increase_along_routes(t: &dyn Topology, wraps: usize) {
+        let n = t.len() as u32;
+        for s in 0..n {
+            for d in 0..n {
+                let route = t.route(s, d).expect("progressive routers converge");
+                let mut decreases = 0;
+                let mut last = None;
+                for hop in route.windows(2) {
+                    let c = t.channel_class(hop[0], hop[1]);
+                    if let Some(prev) = last {
+                        if c <= prev {
+                            decreases += 1;
+                        }
+                    }
+                    last = Some(c);
+                }
+                assert!(
+                    decreases <= wraps,
+                    "{}: route {s}→{d} has {decreases} class decreases",
+                    t.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn channel_classes_are_route_monotone() {
+        classes_increase_along_routes(&Hypercube::new(4), 0);
+        classes_increase_along_routes(&FibonacciNet::classical(7), 0);
+        classes_increase_along_routes(&FibonacciNet::new(6, 3), 0);
+        classes_increase_along_routes(&Mesh::new(4, 3), 0);
+        classes_increase_along_routes(&Mesh::new(1, 5), 0);
+        classes_increase_along_routes(&Ring::new(9), 1);
+        classes_increase_along_routes(&Ring::new(10), 1);
+    }
+
+    #[test]
+    fn channel_classes_distinguish_directions() {
+        // Opposite directions of one physical link get distinct classes on
+        // every override (the default is the constant 0).
+        let r = Ring::new(6);
+        assert_ne!(r.channel_class(2, 3), r.channel_class(3, 2));
+        let m = Mesh::new(3, 3);
+        assert_ne!(m.channel_class(0, 1), m.channel_class(1, 0));
+        assert_ne!(m.channel_class(0, 3), m.channel_class(3, 0));
+        let q = Hypercube::new(3);
+        assert_eq!(q.channel_class(0, 4), 2, "dimension index is the class");
+        let g = FibonacciNet::classical(5);
+        // Setting a position classes d−1 above clearing it.
+        let (u, v) = (0u32, 1u32);
+        let set = g.channel_class(u, v);
+        let clear = g.channel_class(v, u);
+        assert_eq!(set, clear + 5);
     }
 
     #[test]

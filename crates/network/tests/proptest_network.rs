@@ -8,16 +8,21 @@
 use fibcube_graph::bfs::bfs_distances;
 use fibcube_network::broadcast::{broadcast_all_port, broadcast_one_port, verify_schedule};
 use fibcube_network::fault::{fault_set_trial, FaultSet, FaultSpec};
-use fibcube_network::observer::NoopObserver;
+use fibcube_network::observer::{NoopObserver, SimObserver};
 use fibcube_network::router::{
     AdaptiveMinimal, CanonicalRouter, EcubeRouter, NextHopRouter, NoLoad, Router,
 };
 use fibcube_network::simulator::{
     simulate, simulate_faulted, simulate_faulted_reference, simulate_reference, simulate_with,
+    simulate_wormhole, simulate_wormhole_faulted,
 };
+use fibcube_network::switching::{SwitchingSpec, PACKET_LENGTH_UNITS};
 use fibcube_network::topology::{FibonacciNet, Hypercube, Mesh, Ring, Topology};
 use fibcube_network::traffic::{Packet, TrafficSpec};
-use fibcube_network::{Experiment, ImplicitFibonacciNet, ImplicitRouter, RouterSpec};
+use fibcube_network::{
+    CollectiveSpec, DistanceTable, Experiment, ImplicitFibonacciNet, ImplicitRouter, Port,
+    RouterSpec,
+};
 use proptest::prelude::*;
 
 fn uniform(n: usize, count: usize, window: u64, seed: u64) -> Vec<Packet> {
@@ -376,6 +381,121 @@ proptest! {
     }
 
     #[test]
+    fn wormhole_with_single_flit_buffers_always_drains(
+        count in 1usize..120,
+        window in 0u64..60,
+        seed in 0u64..10_000,
+        flit_size in 1u32..=PACKET_LENGTH_UNITS,
+    ) {
+        // The deadlock-freedom acceptance property: with the *minimum*
+        // buffer (one flit per link × VC — the configuration where cyclic
+        // credit waits would wedge first), every healthy run drains
+        // completely under a generous cap on all four topology families.
+        // The order-based channel classes make the channel-dependency
+        // graph acyclic, so no drop and no strand is possible.
+        let spec = SwitchingSpec::Wormhole { flit_size, vcs: 2, buf_flits: 1 };
+        for topo in [
+            &FibonacciNet::classical(7) as &dyn Topology,
+            &Hypercube::new(4),
+            &Ring::new(9),
+            &Mesh::new(4, 3),
+        ] {
+            let pkts = uniform(topo.len(), count, window, seed);
+            let router = topo.router();
+            let stats =
+                simulate_wormhole(topo, &*router, &spec, &pkts, 5_000_000, &mut NoopObserver);
+            prop_assert_eq!(stats.offered, pkts.len(), "{}", topo.name());
+            prop_assert_eq!(stats.dropped(), 0, "healthy {}", topo.name());
+            prop_assert_eq!(
+                stats.delivered, stats.offered,
+                "wormhole deadlock/strand on {} (flit_size={}, buf=1)",
+                topo.name(), flit_size
+            );
+        }
+    }
+
+    #[test]
+    fn every_spec_display_round_trips_through_its_parser(
+        sel in 0u64..100_000,
+        a in 0u64..5_000,
+        b in 1u64..5_000,
+        c in 1u64..100,
+    ) {
+        // One shared harness over all five spec families: the canonical
+        // text form (`Display`) must parse back (`FromStr`) to exactly
+        // the value it came from. Each family picks its variant from an
+        // independent slice of `sel`.
+        fn round_trip<T>(x: &T)
+        where
+            T: std::fmt::Display + std::str::FromStr + PartialEq + std::fmt::Debug,
+            T::Err: std::fmt::Debug,
+        {
+            let text = x.to_string();
+            let back: T = text.parse().unwrap_or_else(|e| {
+                panic!("`{text}` must parse back: {e:?}")
+            });
+            assert_eq!(&back, x, "`{text}` round-trips");
+        }
+
+        let traffic = match sel % 6 {
+            0 => TrafficSpec::Uniform { count: a as usize, window: b },
+            1 => TrafficSpec::HotSpot {
+                count: a as usize,
+                window: b,
+                hot_fraction: c as f64 / 100.0,
+            },
+            2 => TrafficSpec::Bernoulli { rate: c as f64 / 100.0, cycles: b },
+            3 => TrafficSpec::ComplementPermutation { window: b },
+            4 => TrafficSpec::AllToAll,
+            _ => TrafficSpec::Mixed(vec![
+                TrafficSpec::Uniform { count: a as usize, window: b },
+                TrafficSpec::ComplementPermutation { window: b },
+            ]),
+        };
+        round_trip(&traffic);
+
+        let fault = match (sel / 6) % 6 {
+            0 => FaultSpec::None,
+            1 => FaultSpec::Nodes { count: a as usize },
+            2 => FaultSpec::Links { count: a as usize },
+            3 => FaultSpec::NodeList(vec![a as u32, (a + c) as u32]),
+            4 => FaultSpec::LinkList(vec![(a as u32, (a + 1) as u32), (c as u32, 0)]),
+            _ => FaultSpec::Mixed(vec![
+                FaultSpec::Nodes { count: a as usize },
+                FaultSpec::Links { count: c as usize },
+            ]),
+        };
+        round_trip(&fault);
+
+        let port = if sel & 1 == 0 { Port::One } else { Port::All };
+        let collective = match (sel / 36) % 3 {
+            0 => CollectiveSpec::Broadcast { source: a as u32, port },
+            1 => CollectiveSpec::Multicast { source: a as u32, count: c as usize, port },
+            _ => CollectiveSpec::AllToAllPersonalized,
+        };
+        round_trip(&collective);
+
+        let router = match (sel / 108) % 5 {
+            0 => RouterSpec::Preferred,
+            1 => RouterSpec::Builtin,
+            2 => RouterSpec::Ecube,
+            3 => RouterSpec::Canonical,
+            _ => RouterSpec::Adaptive,
+        };
+        round_trip(&router);
+
+        let switching = match (sel / 540) % 2 {
+            0 => SwitchingSpec::StoreAndForward,
+            _ => SwitchingSpec::Wormhole {
+                flit_size: 1 + (a % 64) as u32,
+                vcs: 1 + (c % 8) as u32,
+                buf_flits: 1 + (b % 64) as u32,
+            },
+        };
+        round_trip(&switching);
+    }
+
+    #[test]
     fn adaptive_routing_conserves_and_stays_minimal(count in 1usize..150, seed in 0u64..10_000) {
         // Adaptive minimal routing may pick different links under load but
         // every path is still shortest, so total hops equal the distance sum.
@@ -516,6 +636,235 @@ fn arena_engine_equals_reference_on_the_acceptance_pair() {
             fast.delivered + fast.dropped(),
             fast.offered,
             "uncapped degraded runs conserve packets"
+        );
+    }
+}
+
+/// Malformed spec text is rejected by every parser — the flip side of the
+/// round-trip property (which only exercises canonical forms).
+#[test]
+fn every_spec_parser_rejects_malformed_input() {
+    for bad in [
+        "",
+        "uniform",
+        "uniform(count=10",
+        "uniform(count=ten,window=5)",
+        "uniform(count=10,window=5,extra=1)",
+        "warp(count=10)",
+    ] {
+        assert!(bad.parse::<TrafficSpec>().is_err(), "traffic `{bad}`");
+    }
+    for bad in ["", "ecube3", "e cube", "canonical(x=1)"] {
+        assert!(bad.parse::<RouterSpec>().is_err(), "router `{bad}`");
+    }
+    for bad in [
+        "",
+        "nodes",
+        "nodes(count=-1)",
+        "node_list(1,two)",
+        "link_list(3)",
+        "mix(nodes(count=1)+)",
+    ] {
+        assert!(bad.parse::<FaultSpec>().is_err(), "fault `{bad}`");
+    }
+    for bad in [
+        "",
+        "broadcast",
+        "broadcast(source=x)",
+        "broadcast(source=0,port=two)",
+        "multicast(source=0)",
+        "alltoallp(n=1)",
+    ] {
+        assert!(bad.parse::<CollectiveSpec>().is_err(), "collective `{bad}`");
+    }
+    for bad in [
+        "",
+        "wormhole",
+        "store_and_forward(x=1)",
+        "wormhole(flit_size=8)",
+        "wormhole(flit_size=8,vcs=2,buf_flits=nope)",
+        "wormhole(flit_size=8,vcs=2,buf_flits=4,extra=1)",
+        "cut_through(flit_size=8)",
+    ] {
+        assert!(bad.parse::<SwitchingSpec>().is_err(), "switching `{bad}`");
+    }
+}
+
+/// Per-node delivery census: which destinations received how many
+/// packets — the packet-*set* fingerprint the degenerate-equivalence
+/// oracle compares across engines.
+#[derive(Default)]
+struct DeliveryCensus {
+    per_node: Vec<u64>,
+}
+
+impl SimObserver for DeliveryCensus {
+    fn on_deliver(&mut self, _cycle: u64, dst: u32, _latency: u64) {
+        if self.per_node.len() <= dst as usize {
+            self.per_node.resize(dst as usize + 1, 0);
+        }
+        self.per_node[dst as usize] += 1;
+    }
+}
+
+/// Acceptance criterion of the switching tentpole: wormhole switching in
+/// its degenerate configuration (one flit per packet, one VC, effectively
+/// unbounded buffers) collapses to store-and-forward on the Γ_16 / Q_11
+/// acceptance pair.
+///
+/// Healthy runs use deterministic routers, where pop-time routing
+/// (wormhole) and arrival-time routing (store-and-forward) pick identical
+/// paths — so full `SimStats` equality holds, histograms included.
+#[test]
+fn degenerate_wormhole_equals_store_and_forward_on_the_acceptance_pair() {
+    let gamma = FibonacciNet::classical(16);
+    let q = Hypercube::new(11);
+    let degenerate = SwitchingSpec::Wormhole {
+        flit_size: PACKET_LENGTH_UNITS,
+        vcs: 1,
+        buf_flits: 1_000_000,
+    };
+    let mix = TrafficSpec::Mixed(vec![
+        TrafficSpec::Uniform {
+            count: 400,
+            window: 100,
+        },
+        TrafficSpec::HotSpot {
+            count: 100,
+            window: 100,
+            hot_fraction: 0.3,
+        },
+    ]);
+    for topo in [&gamma as &dyn Topology, &q] {
+        let pkts = mix.generate(topo.len(), 2026);
+        let router = topo.router();
+        let saf = simulate_wormhole(
+            topo,
+            &*router,
+            &SwitchingSpec::StoreAndForward,
+            &pkts,
+            1_000_000,
+            &mut NoopObserver,
+        );
+        let worm = simulate_wormhole(
+            topo,
+            &*router,
+            &degenerate,
+            &pkts,
+            1_000_000,
+            &mut NoopObserver,
+        );
+        assert_eq!(
+            saf,
+            worm,
+            "healthy degenerate wormhole ≡ SAF on {}",
+            topo.name()
+        );
+        assert_eq!(
+            saf.delivered,
+            saf.offered,
+            "healthy runs drain {}",
+            topo.name()
+        );
+    }
+}
+
+/// … and under faults, where the load-aware [`FaultMaskingRouter`] detour
+/// rule may legally pick different (equally progressive) links at the two
+/// engines' different routing instants, the oracle is the packet-set one:
+/// the same packets are delivered to the same destinations with the same
+/// typed drops, and both engines' per-packet hop counts equal the
+/// degraded-graph distance (every masked hop strictly decreases it, so
+/// `Σ hops = Σ distance` forces per-packet equality through the
+/// shortest-path lower bound).
+#[test]
+fn degenerate_wormhole_matches_faulted_packet_set_on_the_acceptance_pair() {
+    let gamma = FibonacciNet::classical(16);
+    let q = Hypercube::new(11);
+    let degenerate = SwitchingSpec::Wormhole {
+        flit_size: PACKET_LENGTH_UNITS,
+        vcs: 1,
+        buf_flits: 1_000_000,
+    };
+    let mix = TrafficSpec::Mixed(vec![
+        TrafficSpec::Uniform {
+            count: 400,
+            window: 100,
+        },
+        TrafficSpec::HotSpot {
+            count: 100,
+            window: 100,
+            hot_fraction: 0.3,
+        },
+    ]);
+    // 60 dead nodes (all ids valid on both Γ_16's 2584 and Q_11's 2048
+    // nodes) plus one dead link — enough for the mixed workload to hit
+    // dead endpoints and force detours on both topologies.
+    let dead_nodes: Vec<u32> = (1..=60u32).map(|i| i * 31).collect();
+    let faults = FaultSet::new(dead_nodes, [(0u32, 1u32)]);
+    for topo in [&gamma as &dyn Topology, &q] {
+        let pkts = mix.generate(topo.len(), 2026);
+        let router = topo.router();
+
+        let mut saf_census = DeliveryCensus::default();
+        let saf = simulate_faulted(topo, &*router, &faults, &pkts, 1_000_000, &mut saf_census);
+        let mut worm_census = DeliveryCensus::default();
+        let worm = simulate_wormhole_faulted(
+            topo,
+            &*router,
+            &degenerate,
+            &faults,
+            &pkts,
+            1_000_000,
+            &mut worm_census,
+        );
+
+        assert!(
+            saf.dropped() > 0,
+            "the fault set must bite on {}",
+            topo.name()
+        );
+        assert_eq!(saf.offered, worm.offered, "{}", topo.name());
+        assert_eq!(saf.delivered, worm.delivered, "{}", topo.name());
+        assert_eq!(
+            saf.dropped_dead_endpoint,
+            worm.dropped_dead_endpoint,
+            "{}",
+            topo.name()
+        );
+        assert_eq!(
+            saf.dropped_unreachable,
+            worm.dropped_unreachable,
+            "{}",
+            topo.name()
+        );
+        assert_eq!(
+            saf_census.per_node,
+            worm_census.per_node,
+            "same packet set delivered on {}",
+            topo.name()
+        );
+
+        // Hop oracle: every surviving packet takes exactly its
+        // degraded-graph distance in both engines.
+        let masks = faults.masks(topo.graph());
+        let dist = DistanceTable::degraded(topo.graph(), &masks);
+        let expected: u64 = pkts
+            .iter()
+            .filter(|p| {
+                p.src != p.dst
+                    && masks.node_alive(p.src)
+                    && masks.node_alive(p.dst)
+                    && dist.reachable(p.src, p.dst)
+            })
+            .map(|p| dist.distance(p.src, p.dst) as u64)
+            .sum();
+        assert_eq!(saf.total_hops, expected, "SAF hops on {}", topo.name());
+        assert_eq!(
+            worm.total_hops,
+            expected,
+            "wormhole hops on {}",
+            topo.name()
         );
     }
 }

@@ -29,7 +29,7 @@ fn main() {
         "network", "nodes", "links", "degmin", "degmax", "diameter", "avg dist", "cost"
     );
     for t in &topos {
-        let m = metrics(*t);
+        let m = metrics(*t).expect("example topologies fit the table budget");
         println!(
             "{:<10} {:>6} {:>7} {:>7} {:>7} {:>9} {:>10.3} {:>6}",
             m.name,

@@ -185,8 +185,8 @@ fn fibonacci_cubes_have_hamiltonian_paths_through_d8() {
 #[test]
 fn metrics_shape_vs_hypercube() {
     // E-N1's qualitative claims on the metric table.
-    let gamma = metrics(&FibonacciNet::classical(8));
-    let q = metrics(&Hypercube::new(6));
+    let gamma = metrics(&FibonacciNet::classical(8)).unwrap();
+    let q = metrics(&Hypercube::new(6)).unwrap();
     assert!(gamma.nodes < q.nodes);
     assert!((gamma.links as f64 / gamma.nodes as f64) < (q.links as f64 / q.nodes as f64));
     assert!(gamma.average_distance < 1.25 * q.average_distance);
