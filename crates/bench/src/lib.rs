@@ -60,6 +60,24 @@ pub enum BenchError {
         /// The acceptance bar.
         bar: f64,
     },
+    /// The sharded parallel engine diverged from the serial run at some
+    /// thread count — a determinism bug, never a tolerance issue.
+    ThreadCountMismatch {
+        /// Topology display name.
+        topology: String,
+        /// The thread count whose run diverged from serial.
+        threads: usize,
+    },
+    /// The fixed-load parallel speedup bar was missed on a host with
+    /// enough cores for the bar to be meaningful.
+    ParallelSpeedupBelowBar {
+        /// The thread count the bar applies to.
+        threads: usize,
+        /// Measured speedup over the serial run.
+        speedup: f64,
+        /// The acceptance bar.
+        bar: f64,
+    },
     /// A scale-ladder rung needed more per-node routing state than the
     /// implicit-routing budget allows.
     RoutingStateOverBudget {
@@ -100,6 +118,20 @@ impl fmt::Display for BenchError {
                 f,
                 "acceptance: arena engine must beat the seed engine ≥ {bar}× \
                  on the cube pair (got {min_speedup:.1}×)"
+            ),
+            BenchError::ThreadCountMismatch { topology, threads } => write!(
+                f,
+                "{topology}: sharded engine at {threads} threads diverged from \
+                 the serial run — SimStats must be bit-identical at any thread count"
+            ),
+            BenchError::ParallelSpeedupBelowBar {
+                threads,
+                speedup,
+                bar,
+            } => write!(
+                f,
+                "acceptance: sharded engine must reach ≥ {bar}× over serial at \
+                 {threads} threads on this host (got {speedup:.2}×)"
             ),
             BenchError::RoutingStateOverBudget {
                 topology,

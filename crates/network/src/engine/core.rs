@@ -1,0 +1,543 @@
+//! The unified store-and-forward engine core: one cycle skeleton
+//! (injection → forward scan → arrivals), one arena-backed link fabric,
+//! and the [`ReplicationPolicy`] workloads that specialize it into the
+//! unicast and collective engines. The historical `simulate_*` variants
+//! are thin monomorphizations of [`run_core`] over the policy axes in
+//! [`policy`](super::policy).
+
+use fibcube_graph::csr::CsrGraph;
+
+use crate::arena::{LinkQueues, PacketSlab, NO_COPY};
+use crate::collective::CopyPlan;
+use crate::observer::SimObserver;
+use crate::router::{LinkLoad, NextHopTable, Router};
+use crate::topology::Topology;
+use crate::traffic::Packet;
+
+use super::policy::{FaultPolicy, ReplicationPolicy};
+use super::stats::{DropReason, SimStats, StatsAcc};
+
+/// Occupancy view of one node's output links, handed to adaptive routers:
+/// a window into the [`LinkQueues`] occupancy column.
+pub(crate) struct NodeLoad<'a> {
+    pub(crate) loads: &'a [u32],
+    pub(crate) base: usize,
+}
+
+impl LinkLoad for NodeLoad<'_> {
+    fn load(&self, slot: usize) -> usize {
+        self.loads[self.base + slot] as usize
+    }
+}
+
+/// How the engine resolves each hop: a dense precomputed table (one load
+/// per hop) or per-hop policy calls (live link-load view plus a slot
+/// search in the node's neighbor list — a couple of compares in one
+/// already-hot cache line, which beats any big-table lookup here).
+pub(crate) enum Routing<'t, R: ?Sized> {
+    Table(NextHopTable),
+    PerHop(&'t R),
+}
+
+/// Picks the routing path for one run: tabulate when the expected number
+/// of route lookups (≈ `packets × diameter/2`, a proxy for packets ×
+/// average distance) amortises the `O(n²)` table build *and* the policy
+/// can be tabulated at all. See [`NextHopTable`] for the trade-off.
+pub(crate) fn routing_for<'t, T, R>(topology: &T, router: &'t R, packets: usize) -> Routing<'t, R>
+where
+    T: Topology + ?Sized,
+    R: Router + ?Sized,
+{
+    let g = topology.graph();
+    let n = g.num_vertices() as u64;
+    let lookups = (packets as u64).saturating_mul((topology.diameter_bound() as u64 / 2).max(1));
+    if lookups >= n.saturating_mul(n) {
+        if let Some(table) = router.precompute(g) {
+            return Routing::Table(table);
+        }
+    }
+    Routing::PerHop(router)
+}
+
+/// Resolves the output edge for one hop — [`Fabric::route_and_enqueue`]'s
+/// routing half, shared with the wormhole engine (which reserves buffers
+/// instead of enqueuing packets) and the sharded parallel engine (which
+/// views its link loads at a shard-local offset).
+#[inline]
+pub(crate) fn route_edge<R: Router + ?Sized>(
+    g: &CsrGraph,
+    routing: &Routing<'_, R>,
+    loads: &[u32],
+    node: u32,
+    dst: u32,
+) -> usize {
+    match routing {
+        Routing::Table(table) => table
+            .next_edge(node, dst)
+            .expect("routing a packet not yet at dst"),
+        Routing::PerHop(router) => {
+            let base = g.edge_range(node).start;
+            let hop = {
+                let load = NodeLoad { loads, base };
+                router
+                    .next_hop(node, dst, &load)
+                    .expect("routing a packet not yet at dst")
+            };
+            base + g
+                .slot_of(node, hop)
+                .expect("next_hop must return a neighbor")
+        }
+    }
+}
+
+/// The engine's mutable link/node state: the ring-buffer FIFOs plus the
+/// per-node occupancy counters and occupied-slot bitmasks that keep the
+/// worklist and the forward scan cheap. Grouped so the routing helper
+/// takes one handle.
+pub(crate) struct Fabric {
+    pub(crate) queues: LinkQueues,
+    /// Queued packets per node (drives the active worklist).
+    pub(crate) occupancy: Vec<u32>,
+    /// Per-node bitmask of output slots holding packets, so the forward
+    /// phase pops exactly the occupied queues instead of probing every
+    /// out-edge of every active node. Empty (disabled — the forward
+    /// phase falls back to the plain edge scan) in the off-design case
+    /// of degrees above 64.
+    pub(crate) slot_mask: Vec<u64>,
+}
+
+impl Fabric {
+    pub(crate) fn new(g: &CsrGraph) -> Fabric {
+        let n = g.num_vertices();
+        let masked_scan = g.max_degree() <= 64;
+        Fabric {
+            queues: LinkQueues::new(g.num_directed_edges()),
+            occupancy: vec![0u32; n],
+            slot_mask: vec![0; if masked_scan { n } else { 0 }],
+        }
+    }
+
+    /// Routes packet `id` at `node`, enqueues it on the chosen output
+    /// link, and marks that link's slot in the node's non-empty bitmask —
+    /// the one mutation path shared by the injection and arrival phases.
+    #[inline]
+    pub(crate) fn route_and_enqueue<R: Router + ?Sized>(
+        &mut self,
+        g: &CsrGraph,
+        routing: &Routing<'_, R>,
+        node: u32,
+        id: u32,
+        dst: u32,
+    ) {
+        let base = g.edge_range(node).start;
+        let e = route_edge(g, routing, self.queues.loads(), node, dst);
+        self.queues.push(e, id);
+        if let Some(mask) = self.slot_mask.get_mut(node as usize) {
+            *mask |= 1u64 << (e - base);
+        }
+        self.occupancy[node as usize] += 1;
+    }
+
+    /// Enqueues packet `id` directly on the directed edge `e` out of
+    /// `node` — the collective path, where the next-copy table already
+    /// names the edge and no routing policy is consulted.
+    #[inline]
+    pub(crate) fn enqueue_on_edge(&mut self, g: &CsrGraph, node: u32, e: usize, id: u32) {
+        let base = g.edge_range(node).start;
+        self.queues.push(e, id);
+        if let Some(mask) = self.slot_mask.get_mut(node as usize) {
+            *mask |= 1u64 << (e - base);
+        }
+        self.occupancy[node as usize] += 1;
+    }
+}
+
+/// The mutable state one engine run threads through its
+/// [`ReplicationPolicy`] hooks: the arena core (packet slab + link
+/// fabric), the active-node worklist, the statistics accumulator, and
+/// the attached observer. Constructed and driven only by
+/// [`run_core`](crate::engine) — the fields are crate-internal; the
+/// struct is public so the [`ReplicationPolicy`] hook signatures can
+/// name it.
+pub struct Core<'g, 'o, O: SimObserver> {
+    pub(crate) g: &'g CsrGraph,
+    pub(crate) slab: PacketSlab,
+    pub(crate) fabric: Fabric,
+    pub(crate) on_list: Vec<bool>,
+    pub(crate) active: Vec<u32>,
+    pub(crate) next_active: Vec<u32>,
+    pub(crate) observer: &'o mut O,
+    pub(crate) acc: StatsAcc,
+    pub(crate) in_flight: usize,
+}
+
+impl<O: SimObserver> Core<'_, '_, O> {
+    /// Adds `u` to the current cycle's worklist if absent.
+    #[inline]
+    pub(crate) fn worklist_add(&mut self, u: u32) {
+        if !self.on_list[u as usize] {
+            self.on_list[u as usize] = true;
+            self.active.push(u);
+        }
+    }
+}
+
+/// The shared active-set engine skeleton behind every store-and-forward
+/// variant: per cycle, the workload's `begin_cycle` (injection /
+/// fast-forward / termination), the forward scan (each directed link of
+/// an active node moves one packet, ascending node and edge order so
+/// same-cycle FIFO tie-breaking matches the reference engine's full
+/// scan), arrivals at the `cycle + 1` boundary through the workload's
+/// `arrive`, then `end_cycle` and the observer's cycle event. Returns
+/// the finished stats and the workload (which may carry run outputs,
+/// e.g. the collective's reached-target tally).
+pub(crate) fn run_core<T, O, W>(
+    topology: &T,
+    offered: usize,
+    max_cycles: u64,
+    observer: &mut O,
+    mut workload: W,
+) -> (SimStats, W)
+where
+    T: Topology + ?Sized,
+    O: SimObserver,
+    W: ReplicationPolicy<O>,
+{
+    let n = topology.len();
+    let g = topology.graph();
+
+    // The arena core: SoA packet slab + ring-buffer link FIFOs with
+    // their per-node occupancy/bitmask bookkeeping.
+    let fabric = Fabric::new(g);
+    let masked_scan = !fabric.slot_mask.is_empty();
+    let mut core = Core {
+        g,
+        slab: PacketSlab::new(),
+        fabric,
+        on_list: vec![false; n],
+        active: Vec::new(),
+        next_active: Vec::new(),
+        observer,
+        acc: StatsAcc::for_network(n),
+        in_flight: 0,
+    };
+    let mut arrivals: Vec<(u32, u32)> = Vec::new();
+
+    let mut cycle: u64 = 0;
+    while cycle < max_cycles {
+        if !workload.begin_cycle(&mut cycle, max_cycles, &mut core) {
+            break;
+        }
+
+        // Each directed link of an active node forwards one packet.
+        // Ascending node order makes same-cycle FIFO tie-breaking match
+        // the reference engine's full scan exactly.
+        core.active.sort_unstable();
+        for i in 0..core.active.len() {
+            let u = core.active[i];
+            core.on_list[u as usize] = false;
+            let base = core.g.edge_range(u).start;
+            if masked_scan {
+                // Visit only the occupied slots, lowest slot first — the
+                // same order the plain scan forwards in.
+                let mut mask = core.fabric.slot_mask[u as usize];
+                let mut remaining = mask;
+                while remaining != 0 {
+                    let slot = remaining.trailing_zeros() as usize;
+                    remaining &= remaining - 1;
+                    let e = base + slot;
+                    let id = core
+                        .fabric
+                        .queues
+                        .pop(e)
+                        .expect("mask bit implies a queued packet");
+                    if core.fabric.queues.load(e) == 0 {
+                        mask &= !(1u64 << slot);
+                    }
+                    let v = core.g.target(e);
+                    core.observer.on_hop(cycle, u, v, e);
+                    core.slab.record_hop(id);
+                    workload.on_depart(u, id, &core.slab);
+                    arrivals.push((v, id));
+                    core.fabric.occupancy[u as usize] -= 1;
+                    core.acc.total_hops += 1;
+                }
+                core.fabric.slot_mask[u as usize] = mask;
+            } else {
+                for e in core.g.edge_range(u) {
+                    if let Some(id) = core.fabric.queues.pop(e) {
+                        let v = core.g.target(e);
+                        core.observer.on_hop(cycle, u, v, e);
+                        core.slab.record_hop(id);
+                        workload.on_depart(u, id, &core.slab);
+                        arrivals.push((v, id));
+                        core.fabric.occupancy[u as usize] -= 1;
+                        core.acc.total_hops += 1;
+                    }
+                }
+            }
+            if core.fabric.occupancy[u as usize] > 0 {
+                core.on_list[u as usize] = true;
+                core.next_active.push(u);
+            }
+        }
+        core.active.clear();
+        std::mem::swap(&mut core.active, &mut core.next_active);
+
+        // Process arrivals (at the cycle + 1 boundary).
+        let now = cycle + 1;
+        for (node, id) in arrivals.drain(..) {
+            workload.arrive(now, node, id, &mut core);
+        }
+        workload.end_cycle(now, &mut core);
+        core.observer.on_cycle_end(cycle, core.in_flight);
+        cycle += 1;
+    }
+
+    (core.acc.finish(offered), workload)
+}
+
+/// The unicast workload: time-sorted injection with admission control,
+/// policy routing at every hop, delivery at the destination.
+pub(crate) struct Unicast<'p, 't, 'f, R: Router + ?Sized, F: FaultPolicy> {
+    inj: Vec<&'p Packet>,
+    next_inject: usize,
+    routing: Routing<'t, R>,
+    admission: &'f F,
+}
+
+impl<'p, 't, 'f, R: Router + ?Sized, F: FaultPolicy> Unicast<'p, 't, 'f, R, F> {
+    pub(crate) fn new<T: Topology + ?Sized>(
+        topology: &T,
+        router: &'t R,
+        packets: &'p [Packet],
+        admission: &'f F,
+    ) -> Unicast<'p, 't, 'f, R, F> {
+        // Injection list sorted by time (stable, so same-cycle packets
+        // keep their generation order).
+        let mut inj: Vec<&Packet> = packets.iter().collect();
+        inj.sort_by_key(|p| p.inject_time);
+        Unicast {
+            inj,
+            next_inject: 0,
+            routing: routing_for(topology, router, packets.len()),
+            admission,
+        }
+    }
+}
+
+impl<O, R, F> ReplicationPolicy<O> for Unicast<'_, '_, '_, R, F>
+where
+    O: SimObserver,
+    R: Router + ?Sized,
+    F: FaultPolicy,
+{
+    fn begin_cycle(
+        &mut self,
+        cycle: &mut u64,
+        max_cycles: u64,
+        core: &mut Core<'_, '_, O>,
+    ) -> bool {
+        // Skip straight to the next injection when the network is empty.
+        if core.in_flight == 0 {
+            match self.inj.get(self.next_inject) {
+                None => return false,
+                Some(p) if p.inject_time > *cycle => {
+                    if p.inject_time >= max_cycles {
+                        return false;
+                    }
+                    *cycle = p.inject_time;
+                }
+                Some(_) => {}
+            }
+        }
+
+        // Inject everything due this cycle.
+        while self.next_inject < self.inj.len() && self.inj[self.next_inject].inject_time <= *cycle
+        {
+            let p = self.inj[self.next_inject];
+            self.next_inject += 1;
+            core.observer.on_inject(*cycle, p.src, p.dst);
+            if let Some(reason) = self.admission.verdict(p.src, p.dst) {
+                match reason {
+                    DropReason::DeadEndpoint => core.acc.dropped_dead_endpoint += 1,
+                    DropReason::Unreachable => core.acc.dropped_unreachable += 1,
+                }
+                core.observer.on_drop(*cycle, p.src, p.dst, reason);
+                continue;
+            }
+            if p.src == p.dst {
+                // Degenerate: counts as instantly delivered.
+                core.acc.deliver_instant();
+                core.observer.on_deliver(*cycle, p.dst, 0);
+                continue;
+            }
+            let id = core.slab.alloc(p.dst, p.inject_time);
+            core.fabric
+                .route_and_enqueue(core.g, &self.routing, p.src, id, p.dst);
+            core.in_flight += 1;
+            core.worklist_add(p.src);
+        }
+        true
+    }
+
+    #[inline]
+    fn on_depart(&mut self, _u: u32, _id: u32, _slab: &PacketSlab) {}
+
+    #[inline]
+    fn arrive(&mut self, now: u64, node: u32, id: u32, core: &mut Core<'_, '_, O>) {
+        let dst = core.slab.dst(id);
+        if node == dst {
+            core.in_flight -= 1;
+            let inject_time = core.slab.inject(id);
+            debug_assert!(
+                core.slab.hops(id) as u64 <= now - inject_time,
+                "hops can never exceed latency"
+            );
+            core.acc.deliver(now, inject_time);
+            core.observer.on_deliver(now, node, now - inject_time);
+            core.slab.release(id);
+        } else {
+            core.fabric
+                .route_and_enqueue(core.g, &self.routing, node, id, dst);
+            core.worklist_add(node);
+        }
+    }
+
+    #[inline]
+    fn end_cycle(&mut self, _now: u64, _core: &mut Core<'_, '_, O>) {}
+}
+
+/// The one-port/all-port first-children slice of `u`'s plan edges: all
+/// of them at once (all-port) or just the first (one-port — the rest
+/// chain through the slab's next-copy column).
+fn first_children(plan: &CopyPlan, u: u32) -> std::ops::Range<usize> {
+    let range = plan.children_range(u);
+    if plan.one_port() {
+        range.start..range.end.min(range.start + 1)
+    } else {
+        range
+    }
+}
+
+/// Spawns the copy of plan edge `idx` at its parent `u`: allocates the
+/// packet in the slab (chaining the next sibling in one-port mode),
+/// reports the injection, and enqueues it on the tree edge the plan
+/// resolved at compile time. Shared by the cycle-0 source prelude, the
+/// replicate-on-delivery path, and the one-port sibling chain.
+#[inline]
+fn spawn_copy<O: SimObserver>(
+    plan: &CopyPlan,
+    core: &mut Core<'_, '_, O>,
+    cycle: u64,
+    u: u32,
+    idx: usize,
+) {
+    let child = plan.child(idx);
+    let id = core.slab.alloc(child, cycle);
+    if plan.one_port() && idx + 1 < plan.children_range(u).end {
+        core.slab.set_next_copy(id, (idx + 1) as u32);
+    }
+    core.observer.on_inject(cycle, u, child);
+    core.fabric.enqueue_on_edge(core.g, u, plan.edge(idx), id);
+    core.worklist_add(u);
+    core.in_flight += 1;
+}
+
+/// The collective workload: packets are **replicated at intermediate
+/// nodes** along a [`CopyPlan`] tree instead of routed end to end. Every
+/// copy travels exactly one tree edge; a delivery informs the receiving
+/// node, which spawns its own children (all at once, or chained one per
+/// cycle in one-port mode).
+pub(crate) struct Replicate<'p> {
+    plan: &'p CopyPlan,
+    started: bool,
+    /// One-port sibling spawns, deferred past the forward phase so a
+    /// follow-up copy never departs in the cycle its predecessor did.
+    chained: Vec<(u32, usize)>,
+    pub(crate) reached_targets: usize,
+}
+
+impl<'p> Replicate<'p> {
+    pub(crate) fn new(plan: &'p CopyPlan) -> Replicate<'p> {
+        Replicate {
+            plan,
+            started: false,
+            chained: Vec::new(),
+            reached_targets: 0,
+        }
+    }
+}
+
+impl<O: SimObserver> ReplicationPolicy<O> for Replicate<'_> {
+    fn begin_cycle(
+        &mut self,
+        _cycle: &mut u64,
+        _max_cycles: u64,
+        core: &mut Core<'_, '_, O>,
+    ) -> bool {
+        if !self.started {
+            self.started = true;
+            // Cycle-0 prelude: type the recipients the plan cannot cover,
+            // then let the source start its children.
+            for &t in self.plan.dropped_dead() {
+                core.observer.on_inject(0, self.plan.source(), t);
+                core.acc.dropped_dead_endpoint += 1;
+                core.observer
+                    .on_drop(0, self.plan.source(), t, DropReason::DeadEndpoint);
+            }
+            for &t in self.plan.dropped_unreachable() {
+                core.observer.on_inject(0, self.plan.source(), t);
+                core.acc.dropped_unreachable += 1;
+                core.observer
+                    .on_drop(0, self.plan.source(), t, DropReason::Unreachable);
+            }
+            let src = self.plan.source();
+            for idx in first_children(self.plan, src) {
+                spawn_copy(self.plan, core, 0, src, idx);
+            }
+        }
+        core.in_flight > 0
+    }
+
+    /// Captures the one-port next-copy chain at pop time.
+    #[inline]
+    fn on_depart(&mut self, u: u32, id: u32, slab: &PacketSlab) {
+        let next = slab.next_copy(id);
+        if next != NO_COPY {
+            self.chained.push((u, next as usize));
+        }
+    }
+
+    /// Every copy ends exactly at its tree child — deliver it, then
+    /// replicate there.
+    fn arrive(&mut self, now: u64, node: u32, id: u32, core: &mut Core<'_, '_, O>) {
+        debug_assert_eq!(
+            node,
+            core.slab.dst(id),
+            "copies travel exactly one tree edge"
+        );
+        core.in_flight -= 1;
+        let inject_time = core.slab.inject(id);
+        core.acc.deliver(now, inject_time);
+        core.observer.on_deliver(now, node, now - inject_time);
+        core.slab.release(id);
+        if self.plan.is_target(node) {
+            self.reached_targets += 1;
+        }
+        for idx in first_children(self.plan, node) {
+            spawn_copy(self.plan, core, now, node, idx);
+        }
+    }
+
+    /// One-port siblings chained off copies that departed this cycle:
+    /// enqueued now, so they depart next cycle — one port per node per
+    /// cycle, exactly the telephone model.
+    fn end_cycle(&mut self, now: u64, core: &mut Core<'_, '_, O>) {
+        for i in 0..self.chained.len() {
+            let (u, idx) = self.chained[i];
+            spawn_copy(self.plan, core, now, u, idx);
+        }
+        self.chained.clear();
+    }
+}

@@ -1,0 +1,245 @@
+//! The compile-time policy axes of the unified engine core.
+//!
+//! One engine, three orthogonal policies (plus the [`SimObserver`]
+//! event axis):
+//!
+//! - [`SwitchingPolicy`] — how packets occupy links: whole-packet
+//!   store-and-forward ([`StoreAndForward`]) or flit-level wormhole with
+//!   virtual channels ([`FlitWormhole`]).
+//! - [`FaultPolicy`] — injection admission: admit everything
+//!   ([`AdmitAll`]) or drop packets whose endpoints are dead or
+//!   disconnected, with typed reasons ([`MaskedAdmission`]).
+//! - [`ReplicationPolicy`] — what happens to a packet at the far end of
+//!   a hop: unicast routing toward a destination, or tree replication at
+//!   intermediate nodes (the collective path).
+//!
+//! Every policy is a zero-sized or reference-carrying struct resolved at
+//! compile time, so each combination monomorphizes to the same
+//! specialized loop the pre-unification engine variants compiled to —
+//! the "zero-cost gate" the equivalence tests pin down.
+
+use crate::arena::PacketSlab;
+use crate::observer::SimObserver;
+use crate::router::{FaultMaskingRouter, Router};
+use crate::topology::Topology;
+use crate::traffic::Packet;
+
+use super::core::{run_core, Core, Unicast};
+use super::stats::{DropReason, SimStats};
+use super::wormhole::wormhole_engine;
+
+/// Injection-time admission policy: decides per packet whether the
+/// engine routes it or drops it with a typed reason.
+///
+/// # Invariants
+///
+/// - `verdict` must be **pure and stable for the whole run**: the same
+///   `(src, dst)` pair always gets the same answer (the parallel engine
+///   calls it from several threads and the serial/parallel equivalence
+///   depends on it).
+/// - A `Some(reason)` verdict means the packet never enters the network:
+///   it is counted under the matching typed-drop statistic at its inject
+///   cycle and no link state changes.
+/// - Healthy runs use [`AdmitAll`], which monomorphizes the drop branch
+///   away entirely — attaching a fault policy must cost nothing when
+///   there are no faults.
+pub trait FaultPolicy {
+    /// `Some(reason)` to drop the packet at injection, `None` to route.
+    fn verdict(&self, src: u32, dst: u32) -> Option<DropReason>;
+}
+
+/// Admits everything — monomorphizes the drop branch away entirely.
+pub struct AdmitAll;
+
+impl FaultPolicy for AdmitAll {
+    #[inline]
+    fn verdict(&self, _src: u32, _dst: u32) -> Option<DropReason> {
+        None
+    }
+}
+
+/// Admission against a [`FaultMaskingRouter`]'s masks and healthy-BFS
+/// reachability: dead endpoints drop as
+/// [`DropReason::DeadEndpoint`], surviving-but-disconnected pairs as
+/// [`DropReason::Unreachable`].
+pub struct MaskedAdmission<'a, 'b, R: Router + ?Sized> {
+    masked: &'a FaultMaskingRouter<'b, R>,
+}
+
+impl<'a, 'b, R: Router + ?Sized> MaskedAdmission<'a, 'b, R> {
+    /// Admission checked against `masked`'s node liveness and
+    /// reachability — the same masked router the degraded run routes
+    /// through, so admitted packets are guaranteed routable.
+    pub fn new(masked: &'a FaultMaskingRouter<'b, R>) -> MaskedAdmission<'a, 'b, R> {
+        MaskedAdmission { masked }
+    }
+}
+
+impl<R: Router + ?Sized> FaultPolicy for MaskedAdmission<'_, '_, R> {
+    fn verdict(&self, src: u32, dst: u32) -> Option<DropReason> {
+        if !self.masked.node_alive(src) || !self.masked.node_alive(dst) {
+            Some(DropReason::DeadEndpoint)
+        } else if src != dst && !self.masked.reachable(src, dst) {
+            Some(DropReason::Unreachable)
+        } else {
+            None
+        }
+    }
+}
+
+/// The workload half of the store-and-forward engine core: what enters
+/// the network each cycle and what happens when a packet crosses a link.
+/// The crate-internal `run_core` owns the shared cycle skeleton (idle
+/// fast-forward,
+/// forward scan in ascending node/edge order, arrivals at the
+/// `cycle + 1` boundary); the replication policy fills in the
+/// per-workload phases. Crate-internal impls cover unicast routing and
+/// collective tree replication — the trait is public for documentation,
+/// but a [`Core`] can only be driven from inside the crate.
+///
+/// # Invariants
+///
+/// - `begin_cycle` runs before the forward phase. It may inject packets
+///   (bumping `Core::in_flight` per packet entering the network), may
+///   fast-forward `cycle` over idle stretches (never past `max_cycles`,
+///   never backwards), and returns `false` to end the run — in which
+///   case the cycle has no forward/arrival phase and no
+///   `on_cycle_end` event, matching the historical engines' `break`.
+/// - `on_depart` observes each packet the forward phase pops, **before**
+///   it is appended to the arrival list; it must not touch link state.
+/// - `arrive` consumes one popped packet at its hop's far end: deliver
+///   it (decrementing `Core::in_flight`) or re-enqueue it toward its
+///   next hop. Arrivals are presented in the forward phase's pop order
+///   (ascending node, then edge), which is what makes same-cycle FIFO
+///   tie-breaking — and therefore the full `SimStats` — deterministic.
+/// - `end_cycle` runs after all arrivals and before the cycle's
+///   `on_cycle_end` event (the one-port collective uses it to spawn
+///   follow-up copies that must not depart until the next cycle).
+pub trait ReplicationPolicy<O: SimObserver> {
+    /// Start-of-cycle hook: injection, idle fast-forward, termination.
+    /// Returns `false` to stop the run before this cycle's forward
+    /// phase.
+    fn begin_cycle(&mut self, cycle: &mut u64, max_cycles: u64, core: &mut Core<'_, '_, O>)
+        -> bool;
+
+    /// A packet popped by the forward phase at node `u`, about to arrive
+    /// across its link.
+    fn on_depart(&mut self, u: u32, id: u32, slab: &PacketSlab);
+
+    /// One packet arriving at `node` at cycle `now`: deliver or forward.
+    fn arrive(&mut self, now: u64, node: u32, id: u32, core: &mut Core<'_, '_, O>);
+
+    /// End-of-cycle hook, after every arrival of cycle `now` resolved.
+    fn end_cycle(&mut self, now: u64, core: &mut Core<'_, '_, O>);
+}
+
+/// How packets occupy links while crossing the network. The policy owns
+/// the whole engine loop for its model (the two models differ in their
+/// per-link state — packet FIFOs vs flit buffers × virtual channels —
+/// not just in a hook), parameterized over the same topology, router,
+/// observer, and fault axes.
+///
+/// # Invariants
+///
+/// - Injection admission, idle fast-forward, self-addressed delivery,
+///   forward-scan order (ascending node, then edge), and the
+///   `cycle + 1` arrival boundary are identical across implementations
+///   — a degenerate wormhole configuration (1 flit/packet, 1 VC,
+///   unbounded buffers) must reproduce [`StoreAndForward`] exactly.
+/// - Packet-level accounting ([`SimStats`], `on_hop`, hop counts)
+///   follows the packet's head; flit-level movement is observable only
+///   through `on_flit_hop`.
+/// - `offered == delivered + dropped + still-in-flight` holds under any
+///   cycle cap.
+pub trait SwitchingPolicy {
+    /// Runs a unicast packet workload under this switching model.
+    fn run_unicast<T, R, O, F>(
+        &self,
+        topology: &T,
+        router: &R,
+        packets: &[Packet],
+        max_cycles: u64,
+        observer: &mut O,
+        faults: &F,
+    ) -> SimStats
+    where
+        T: Topology + ?Sized,
+        R: Router + ?Sized,
+        O: SimObserver,
+        F: FaultPolicy;
+}
+
+/// Whole-packet store-and-forward switching: every directed link moves
+/// at most one packet per cycle between unbounded FIFO queues.
+pub struct StoreAndForward;
+
+impl SwitchingPolicy for StoreAndForward {
+    fn run_unicast<T, R, O, F>(
+        &self,
+        topology: &T,
+        router: &R,
+        packets: &[Packet],
+        max_cycles: u64,
+        observer: &mut O,
+        faults: &F,
+    ) -> SimStats
+    where
+        T: Topology + ?Sized,
+        R: Router + ?Sized,
+        O: SimObserver,
+        F: FaultPolicy,
+    {
+        let (stats, _) = run_core(
+            topology,
+            packets.len(),
+            max_cycles,
+            observer,
+            Unicast::new(topology, router, packets, faults),
+        );
+        stats
+    }
+}
+
+/// Flit-level wormhole switching with virtual channels and credit
+/// backpressure: each packet is `flits_per_packet` flits streaming
+/// through a chain of (link × VC) buffers of `buf_flits` capacity. See
+/// [`simulate_wormhole`](crate::simulate_wormhole) for the model and
+/// [`switching`](crate::switching) for the deadlock-freedom argument.
+pub struct FlitWormhole {
+    /// Flits per packet (≥ 1); 1 degenerates to packet switching.
+    pub flits_per_packet: u32,
+    /// Virtual channels per directed link (≥ 1).
+    pub vcs: u32,
+    /// Flit capacity of each (link × VC) buffer (≥ 1).
+    pub buf_flits: u32,
+}
+
+impl SwitchingPolicy for FlitWormhole {
+    fn run_unicast<T, R, O, F>(
+        &self,
+        topology: &T,
+        router: &R,
+        packets: &[Packet],
+        max_cycles: u64,
+        observer: &mut O,
+        faults: &F,
+    ) -> SimStats
+    where
+        T: Topology + ?Sized,
+        R: Router + ?Sized,
+        O: SimObserver,
+        F: FaultPolicy,
+    {
+        wormhole_engine(
+            topology,
+            router,
+            self.flits_per_packet,
+            self.vcs,
+            self.buf_flits,
+            packets,
+            max_cycles,
+            observer,
+            faults,
+        )
+    }
+}

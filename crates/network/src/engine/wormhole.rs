@@ -1,0 +1,514 @@
+//! The flit-level wormhole engine body behind
+//! [`simulate_wormhole`](crate::simulate_wormhole) /
+//! [`simulate_wormhole_faulted`](crate::simulate_wormhole_faulted) —
+//! the [`FlitWormhole`](super::policy::FlitWormhole) switching policy.
+//! The cycle structure deliberately mirrors the store-and-forward core
+//! ([`run_core`](super::core::run_core)) phase for phase, so the
+//! degenerate configuration is event-for-event identical.
+
+use std::collections::VecDeque;
+
+use crate::arena::{FlitQueues, PacketSlab};
+use crate::observer::SimObserver;
+use crate::router::Router;
+use crate::topology::Topology;
+use crate::traffic::Packet;
+
+use super::core::{route_edge, routing_for, Routing};
+use super::policy::FaultPolicy;
+use super::stats::{DropReason, SimStats, StatsAcc};
+
+/// Head-flit flag in a packed flit record (bit 56).
+const FLIT_HEAD: u64 = 1 << 56;
+/// Tail-flit flag in a packed flit record (bit 57). Single-flit packets
+/// carry both flags.
+const FLIT_TAIL: u64 = 1 << 57;
+/// No packet claims this (edge × VC) buffer.
+const NO_CLAIM: u32 = u32::MAX;
+/// Arrival-list sentinel: the flit leaves the network at its destination
+/// instead of entering a buffer.
+const EJECT: u32 = u32::MAX;
+
+/// Packs one flit: packet id in the low 32 bits, the index of the buffer
+/// it occupies within its packet's reserved chain in bits 32..56, flags
+/// above. Everything the forward phase needs travels in the queue word.
+#[inline]
+fn flit(id: u32, idx: usize, head: bool, tail: bool) -> u64 {
+    debug_assert!(idx < (1 << 24), "path longer than 16M hops");
+    let mut f = id as u64 | ((idx as u64) << 32);
+    if head {
+        f |= FLIT_HEAD;
+    }
+    if tail {
+        f |= FLIT_TAIL;
+    }
+    f
+}
+
+/// The chain index of a packed flit.
+#[inline]
+fn flit_idx(f: u64) -> usize {
+    ((f >> 32) & 0xFF_FFFF) as usize
+}
+
+/// Per-packet wormhole state in parallel columns indexed by slab id
+/// (recycled with the slab's freelist, reset on allocation): the source,
+/// the chain of buffer indices the head has reserved, the VC level and
+/// last channel class driving VC selection, and the source-side streaming
+/// progress.
+#[derive(Default)]
+struct WormState {
+    src: Vec<u32>,
+    /// Buffer indices (`edge * vcs + vc`) the head has claimed, in hop
+    /// order — body flits follow this chain by their flit index.
+    path: Vec<Vec<u32>>,
+    level: Vec<u32>,
+    last_class: Vec<u32>,
+    flits_total: Vec<u32>,
+    flits_sent: Vec<u32>,
+    head_ejected: Vec<bool>,
+}
+
+impl WormState {
+    fn reset(&mut self, id: u32, src: u32, flits: u32) {
+        let i = id as usize;
+        if self.src.len() <= i {
+            let n = i + 1;
+            self.src.resize(n, 0);
+            self.path.resize_with(n, Vec::new);
+            self.level.resize(n, 0);
+            self.last_class.resize(n, 0);
+            self.flits_total.resize(n, 0);
+            self.flits_sent.resize(n, 0);
+            self.head_ejected.resize(n, false);
+        }
+        self.src[i] = src;
+        self.path[i].clear();
+        self.level[i] = 0;
+        self.last_class[i] = 0;
+        self.flits_total[i] = flits;
+        self.flits_sent[i] = 0;
+        self.head_ejected[i] = false;
+    }
+}
+
+/// Tries to place packet `id`'s head flit into VC 0 of its first output
+/// link: routes the first hop, checks the buffer's claim (multi-flit
+/// packets need exclusive worm occupancy) and credit, and on success
+/// starts the packet's chain. Shared by fresh injections and the pending
+/// retry queue; a `false` return leaves the packet unplaced (its state
+/// untouched) for retry next cycle.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn try_place_head<T, R, O>(
+    topology: &T,
+    g: &fibcube_graph::csr::CsrGraph,
+    routing: &Routing<'_, R>,
+    queues: &mut FlitQueues,
+    link_load: &mut [u32],
+    claimed: &mut [u32],
+    reserved: &[u32],
+    worm: &mut WormState,
+    slab: &PacketSlab,
+    occupancy: &mut [u32],
+    on_list: &mut [bool],
+    active: &mut Vec<u32>,
+    streams: &mut Vec<u32>,
+    observer: &mut O,
+    vcs: usize,
+    buf_flits: u64,
+    cycle: u64,
+    id: u32,
+) -> bool
+where
+    T: Topology + ?Sized,
+    R: Router + ?Sized,
+    O: SimObserver,
+{
+    let i = id as usize;
+    let src = worm.src[i];
+    let dst = slab.dst(id);
+    let e0 = route_edge(g, routing, link_load, src, dst);
+    let b0 = e0 * vcs;
+    let multi = worm.flits_total[i] > 1;
+    if multi && claimed[b0] != NO_CLAIM {
+        return false;
+    }
+    if queues.load(b0) as u64 + reserved[b0] as u64 >= buf_flits {
+        return false;
+    }
+    worm.level[i] = 0;
+    worm.last_class[i] = topology.channel_class(src, g.target(e0));
+    worm.path[i].push(b0 as u32);
+    worm.flits_sent[i] = 1;
+    if multi {
+        claimed[b0] = id;
+        streams.push(id);
+    }
+    queues.push(b0, flit(id, 0, true, !multi));
+    link_load[e0] += 1;
+    occupancy[src as usize] += 1;
+    observer.on_flit_hop(cycle, e0, 0, queues.load(b0) as u32);
+    if !on_list[src as usize] {
+        on_list[src as usize] = true;
+        active.push(src);
+    }
+    true
+}
+
+/// The shared flit-level engine body behind
+/// [`simulate_wormhole`](crate::simulate_wormhole) and
+/// [`simulate_wormhole_faulted`](crate::simulate_wormhole_faulted). See
+/// [`simulate_wormhole`](crate::simulate_wormhole) for the model; the
+/// cycle structure deliberately mirrors the store-and-forward core phase
+/// for phase (idle fast-forward, injection, forward scan in ascending
+/// node and edge order, arrivals at the `cycle + 1` boundary) so the
+/// degenerate configuration is event-for-event identical.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn wormhole_engine<T, R, O, F>(
+    topology: &T,
+    router: &R,
+    flits_per_packet: u32,
+    vcs: u32,
+    buf_flits: u32,
+    packets: &[Packet],
+    max_cycles: u64,
+    observer: &mut O,
+    admission: &F,
+) -> SimStats
+where
+    T: Topology + ?Sized,
+    R: Router + ?Sized,
+    O: SimObserver,
+    F: FaultPolicy,
+{
+    let n = topology.len();
+    let g = topology.graph();
+    let routing = routing_for(topology, router, packets.len());
+    let vcs = vcs.max(1) as usize;
+    let buf_flits = buf_flits.max(1) as u64;
+    let fpp = flits_per_packet.max(1);
+    let max_level = vcs as u32 - 1;
+
+    let links = g.num_directed_edges();
+    let mut queues = FlitQueues::new(links, vcs);
+    // Aggregated per-link flit occupancy: drives the cheap forward-scan
+    // skip and doubles as the load view adaptive routers consult.
+    let mut link_load: Vec<u32> = vec![0; links];
+    // Which multi-flit packet holds each buffer (worms may not
+    // interleave; single-flit packets are self-contained and bypass
+    // claims entirely).
+    let mut claimed: Vec<u32> = vec![NO_CLAIM; links * vcs];
+    // Same-cycle credit reservations, consumed by the arrival phase.
+    let mut reserved: Vec<u32> = vec![0; links * vcs];
+
+    let mut slab = PacketSlab::new();
+    let mut worm = WormState::default();
+    // Flits queued per node (drives the active worklist).
+    let mut occupancy = vec![0u32; n];
+    let mut on_list = vec![false; n];
+    let mut active: Vec<u32> = Vec::new();
+    let mut next_active: Vec<u32> = Vec::new();
+    // (flit record, buffer index or EJECT, buffer-owning/destination node)
+    let mut arrivals: Vec<(u64, u32, u32)> = Vec::new();
+    // Heads that could not claim their first buffer, in injection order.
+    let mut pending: VecDeque<u32> = VecDeque::new();
+    // Multi-flit packets still streaming body flits from their source.
+    let mut streams: Vec<u32> = Vec::new();
+
+    let mut inj: Vec<&Packet> = packets.iter().collect();
+    inj.sort_by_key(|p| p.inject_time);
+    let mut next_inject = 0usize;
+
+    let mut acc = StatsAcc::for_network(n);
+    let mut in_flight = 0usize;
+
+    let mut cycle: u64 = 0;
+    while cycle < max_cycles {
+        // Skip straight to the next injection when the network is empty.
+        if in_flight == 0 {
+            match inj.get(next_inject) {
+                None => break,
+                Some(p) if p.inject_time > cycle => {
+                    if p.inject_time >= max_cycles {
+                        break;
+                    }
+                    cycle = p.inject_time;
+                }
+                Some(_) => {}
+            }
+        }
+
+        let mut progressed = false;
+
+        // Streaming continuation: each multi-flit packet feeds at most
+        // one body flit per cycle into its claimed first buffer. The
+        // claim is released once the tail has entered the network.
+        streams.retain(|&id| {
+            let i = id as usize;
+            let b0 = worm.path[i][0] as usize;
+            if queues.load(b0) as u64 + reserved[b0] as u64 >= buf_flits {
+                return true;
+            }
+            let sent = worm.flits_sent[i];
+            let is_tail = sent + 1 == worm.flits_total[i];
+            queues.push(b0, flit(id, 0, false, is_tail));
+            let e0 = b0 / vcs;
+            link_load[e0] += 1;
+            let src = worm.src[i] as usize;
+            occupancy[src] += 1;
+            observer.on_flit_hop(cycle, e0, (b0 % vcs) as u32, queues.load(b0) as u32);
+            if !on_list[src] {
+                on_list[src] = true;
+                active.push(src as u32);
+            }
+            worm.flits_sent[i] = sent + 1;
+            progressed = true;
+            if is_tail {
+                if claimed[b0] == id {
+                    claimed[b0] = NO_CLAIM;
+                }
+                false
+            } else {
+                true
+            }
+        });
+
+        // Retry heads that failed to claim their first buffer, oldest
+        // first; failures keep their order without blocking later ones.
+        for _ in 0..pending.len() {
+            let id = pending.pop_front().expect("iteration is len-bounded");
+            if try_place_head(
+                topology,
+                g,
+                &routing,
+                &mut queues,
+                &mut link_load,
+                &mut claimed,
+                &reserved,
+                &mut worm,
+                &slab,
+                &mut occupancy,
+                &mut on_list,
+                &mut active,
+                &mut streams,
+                observer,
+                vcs,
+                buf_flits,
+                cycle,
+                id,
+            ) {
+                progressed = true;
+            } else {
+                pending.push_back(id);
+            }
+        }
+
+        // Inject everything due this cycle (same admission and
+        // self-addressed handling as the store-and-forward engine).
+        while next_inject < inj.len() && inj[next_inject].inject_time <= cycle {
+            let p = inj[next_inject];
+            next_inject += 1;
+            observer.on_inject(cycle, p.src, p.dst);
+            if let Some(reason) = admission.verdict(p.src, p.dst) {
+                match reason {
+                    DropReason::DeadEndpoint => acc.dropped_dead_endpoint += 1,
+                    DropReason::Unreachable => acc.dropped_unreachable += 1,
+                }
+                observer.on_drop(cycle, p.src, p.dst, reason);
+                continue;
+            }
+            if p.src == p.dst {
+                acc.deliver_instant();
+                observer.on_deliver(cycle, p.dst, 0);
+                continue;
+            }
+            let id = slab.alloc(p.dst, p.inject_time);
+            worm.reset(id, p.src, fpp);
+            in_flight += 1;
+            if try_place_head(
+                topology,
+                g,
+                &routing,
+                &mut queues,
+                &mut link_load,
+                &mut claimed,
+                &reserved,
+                &mut worm,
+                &slab,
+                &mut occupancy,
+                &mut on_list,
+                &mut active,
+                &mut streams,
+                observer,
+                vcs,
+                buf_flits,
+                cycle,
+                id,
+            ) {
+                progressed = true;
+            } else {
+                pending.push_back(id);
+            }
+        }
+
+        // Forward phase: each directed link of an active node moves at
+        // most one flit, scanning VCs lowest-first for a front flit that
+        // can advance. Ascending node and edge order matches the
+        // store-and-forward engine's service order exactly.
+        active.sort_unstable();
+        for &u in &active {
+            on_list[u as usize] = false;
+            for e in g.edge_range(u) {
+                if link_load[e] == 0 {
+                    continue;
+                }
+                for vc in 0..vcs {
+                    let b = e * vcs + vc;
+                    let Some(f) = queues.front(b) else { continue };
+                    let id = f as u32;
+                    let i = id as usize;
+                    let idx = flit_idx(f);
+                    if f & FLIT_HEAD != 0 {
+                        let v = g.target(e);
+                        let dst = slab.dst(id);
+                        if v == dst {
+                            queues.pop(b);
+                            link_load[e] -= 1;
+                            occupancy[u as usize] -= 1;
+                            observer.on_hop(cycle, u, v, e);
+                            slab.record_hop(id);
+                            acc.total_hops += 1;
+                            arrivals.push((f, EJECT, v));
+                            progressed = true;
+                            break;
+                        }
+                        let e2 = route_edge(g, &routing, &link_load, v, dst);
+                        let c2 = topology.channel_class(v, g.target(e2));
+                        let mut lvl = worm.level[i];
+                        if c2 <= worm.last_class[i] {
+                            // Class order broken (a ring dateline or a
+                            // fault detour): escape one VC level up.
+                            lvl = (lvl + 1).min(max_level);
+                        }
+                        let b2 = e2 * vcs + lvl as usize;
+                        let multi = worm.flits_total[i] > 1;
+                        if multi && claimed[b2] != NO_CLAIM && claimed[b2] != id {
+                            continue;
+                        }
+                        if queues.load(b2) as u64 + reserved[b2] as u64 >= buf_flits {
+                            continue;
+                        }
+                        queues.pop(b);
+                        link_load[e] -= 1;
+                        occupancy[u as usize] -= 1;
+                        if multi {
+                            claimed[b2] = id;
+                        }
+                        reserved[b2] += 1;
+                        worm.level[i] = lvl;
+                        worm.last_class[i] = c2;
+                        worm.path[i].push(b2 as u32);
+                        observer.on_hop(cycle, u, v, e);
+                        slab.record_hop(id);
+                        acc.total_hops += 1;
+                        arrivals.push((flit(id, idx + 1, true, f & FLIT_TAIL != 0), b2 as u32, v));
+                        progressed = true;
+                        break;
+                    }
+                    // Body/tail flit: follow the head's reserved chain.
+                    let path = &worm.path[i];
+                    if idx + 1 < path.len() {
+                        let b2 = path[idx + 1] as usize;
+                        if queues.load(b2) as u64 + reserved[b2] as u64 >= buf_flits {
+                            continue;
+                        }
+                        queues.pop(b);
+                        link_load[e] -= 1;
+                        occupancy[u as usize] -= 1;
+                        reserved[b2] += 1;
+                        arrivals.push((
+                            flit(id, idx + 1, false, f & FLIT_TAIL != 0),
+                            b2 as u32,
+                            g.target(e),
+                        ));
+                        progressed = true;
+                        break;
+                    }
+                    if worm.head_ejected[i] {
+                        // End of the chain with the head gone: this flit
+                        // crosses the final link into the destination.
+                        queues.pop(b);
+                        link_load[e] -= 1;
+                        occupancy[u as usize] -= 1;
+                        arrivals.push((f, EJECT, g.target(e)));
+                        progressed = true;
+                        break;
+                    }
+                    // Head still parked one buffer ahead: wait.
+                }
+            }
+            if occupancy[u as usize] > 0 {
+                on_list[u as usize] = true;
+                next_active.push(u);
+            }
+        }
+        active.clear();
+        std::mem::swap(&mut active, &mut next_active);
+
+        // Arrivals (at the cycle + 1 boundary): flits enter their
+        // reserved buffers or leave the network at the destination.
+        let now = cycle + 1;
+        for (f, buf, node) in arrivals.drain(..) {
+            let id = f as u32;
+            if buf == EJECT {
+                if f & FLIT_TAIL != 0 {
+                    in_flight -= 1;
+                    let inject_time = slab.inject(id);
+                    acc.deliver(now, inject_time);
+                    observer.on_deliver(now, node, now - inject_time);
+                    slab.release(id);
+                } else if f & FLIT_HEAD != 0 {
+                    worm.head_ejected[id as usize] = true;
+                }
+                // Body flits between head and tail vanish at dst.
+            } else {
+                let b = buf as usize;
+                let e = b / vcs;
+                reserved[b] -= 1;
+                queues.push(b, f);
+                link_load[e] += 1;
+                occupancy[node as usize] += 1;
+                observer.on_flit_hop(now, e, (b % vcs) as u32, queues.load(b) as u32);
+                if f & FLIT_TAIL != 0 && claimed[b] == id {
+                    claimed[b] = NO_CLAIM;
+                }
+                if !on_list[node as usize] {
+                    on_list[node as usize] = true;
+                    active.push(node);
+                }
+            }
+        }
+        observer.on_cycle_end(cycle, in_flight);
+
+        if !progressed && in_flight > 0 {
+            // Nothing moved. With a future injection the network may
+            // unstick (new packets can place on other links): jump there.
+            // With none, this is a genuine deadlock — only reachable off
+            // the order-based configurations — so stop instead of
+            // spinning to the cap; the stranded packets surface as
+            // `offered − delivered − dropped`.
+            match inj.get(next_inject) {
+                Some(p) if p.inject_time >= max_cycles => break,
+                Some(p) => {
+                    cycle = p.inject_time.max(cycle + 1);
+                    continue;
+                }
+                None => break,
+            }
+        }
+        cycle += 1;
+    }
+
+    acc.finish(packets.len())
+}

@@ -45,7 +45,7 @@
 //!
 //! [`run`](Experiment::run) feeds the generated packets through the
 //! monomorphized active-set engine
-//! ([`simulate_observed`]) and
+//! ([`simulate_observed`](crate::simulator::simulate_observed)) and
 //! returns a [`Report`]: the configuration echo, the engine's
 //! [`SimStats`](crate::simulator::SimStats), and one JSON section per
 //! observer. [`run_batch`](Experiment::run_batch) fans the same
@@ -75,14 +75,12 @@ use fibcube_graph::parallel::par_map;
 
 use crate::broadcast::BroadcastError;
 use crate::collective::{CollectiveOutcome, CollectiveSpec, CollectiveWorkload};
+use crate::engine::simulate_parallel;
 use crate::fault::{FaultError, FaultSpec};
 use crate::observer::{NoopObserver, SimObserver};
 use crate::report::Report;
 use crate::router::RouterSpec;
-use crate::simulator::{
-    simulate_collective, simulate_faulted, simulate_observed, simulate_wormhole,
-    simulate_wormhole_faulted,
-};
+use crate::simulator::{simulate_collective, simulate_wormhole, simulate_wormhole_faulted};
 use crate::switching::SwitchingSpec;
 use crate::topology::Topology;
 use crate::traffic::TrafficSpec;
@@ -140,6 +138,17 @@ pub enum ExperimentError {
         /// What is wrong with it.
         reason: String,
     },
+    /// The experiment combines features that have no defined execution
+    /// path — e.g. a tree collective (replication-based) under wormhole
+    /// switching, which used to ignore the switching spec silently. See
+    /// the support table in the [`collective`](Experiment::collective) /
+    /// [`switching`](Experiment::switching) docs.
+    UnsupportedCombination {
+        /// The collective spec, in canonical text form.
+        collective: String,
+        /// The switching spec, in canonical text form.
+        switching: String,
+    },
     /// The fault scenario is invalid for the target network (or its spec
     /// text failed to parse) — see [`FaultError`].
     Fault(FaultError),
@@ -195,6 +204,17 @@ impl fmt::Display for ExperimentError {
             ExperimentError::InvalidCollective { spec, reason } => {
                 write!(f, "invalid collective `{spec}`: {reason}")
             }
+            ExperimentError::UnsupportedCombination {
+                collective,
+                switching,
+            } => write!(
+                f,
+                "collective `{collective}` cannot run under switching \
+                 `{switching}`: tree collectives execute by packet \
+                 replication, which has no flit-level wormhole model \
+                 (use store_and_forward, or alltoallp, which runs as \
+                 routed unicasts under either switching model)"
+            ),
             ExperimentError::Fault(e) => write!(f, "invalid fault scenario: {e}"),
             ExperimentError::Broadcast(e) => write!(f, "broadcast failed: {e}"),
             ExperimentError::TableTooLarge { nodes, bytes } => write!(
@@ -225,6 +245,7 @@ pub struct Experiment<'a, T: Topology + ?Sized, O: SimObserver = NoopObserver> {
     faults: FaultSpec,
     max_cycles: u64,
     seed: u64,
+    threads: usize,
     observer: O,
 }
 
@@ -243,8 +264,41 @@ impl<'a, T: Topology + ?Sized> Experiment<'a, T, NoopObserver> {
             faults: FaultSpec::None,
             max_cycles: u64::MAX,
             seed: 0,
+            threads: 1,
             observer: NoopObserver,
         }
+    }
+}
+
+/// The supported (collective × switching) grid — one explicit table
+/// instead of scattered silent fallbacks:
+///
+/// | collective              | store-and-forward | wormhole |
+/// |-------------------------|-------------------|----------|
+/// | none (point-to-point)   | ✓                 | ✓        |
+/// | broadcast / multicast   | ✓                 | ✗        |
+/// | alltoallp (unicasts)    | ✓                 | ✓        |
+///
+/// Tree collectives execute by packet replication, which has no
+/// flit-level wormhole model, so that combination is a typed error
+/// rather than a silently ignored switching spec.
+fn check_combination(
+    collective: Option<&CollectiveSpec>,
+    switching: &SwitchingSpec,
+) -> Result<(), ExperimentError> {
+    let supported = match (collective, switching) {
+        (None, _) => true,
+        (Some(CollectiveSpec::AllToAllPersonalized), _) => true,
+        (Some(_), SwitchingSpec::StoreAndForward) => true,
+        (Some(_), SwitchingSpec::Wormhole { .. }) => false,
+    };
+    if supported {
+        Ok(())
+    } else {
+        Err(ExperimentError::UnsupportedCombination {
+            collective: collective.map(|c| c.to_string()).unwrap_or_default(),
+            switching: switching.to_string(),
+        })
     }
 }
 
@@ -331,9 +385,11 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
     /// credit-based backpressure, and virtual channels are allocated
     /// against the topology's
     /// [`channel_class`](crate::topology::Topology::channel_class) order
-    /// so the run is deadlock-free by construction. Collective
-    /// experiments execute by packet replication and ignore the
-    /// switching model (the report still echoes the spec).
+    /// so the run is deadlock-free by construction. Tree collectives
+    /// (broadcast/multicast) execute by packet replication, which has no
+    /// wormhole model: combining them with a wormhole spec is a typed
+    /// [`ExperimentError::UnsupportedCombination`]; `alltoallp` runs as
+    /// routed unicasts under either switching model.
     pub fn switching(mut self, spec: SwitchingSpec) -> Self {
         self.switching = spec;
         self
@@ -383,6 +439,21 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
         self
     }
 
+    /// Shards the run across `n` worker threads via
+    /// [`simulate_parallel`] (default 1 —
+    /// serial). The parallel engine is **bit-identical** to the serial
+    /// one at any thread count, so this is purely a throughput knob.
+    /// It engages only for observer-free
+    /// ([`SimObserver::IS_NOOP`]) store-and-forward point-to-point
+    /// runs; every other configuration (wormhole, collectives, attached
+    /// observers) runs serially regardless.
+    /// [`run_batch`](Experiment::run_batch) cells always run serially —
+    /// the batch already parallelizes across seeds.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
     /// Attaches an observer, replacing the current one. Pass a tuple to
     /// attach several (`.observe((hist, heatmap))`), or a `&mut` to keep
     /// ownership outside the experiment (`.observe(&mut hist)`).
@@ -396,6 +467,7 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
             faults: self.faults,
             max_cycles: self.max_cycles,
             seed: self.seed,
+            threads: self.threads,
             observer,
         }
     }
@@ -408,6 +480,7 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
     pub fn run(mut self) -> Result<Report, ExperimentError> {
         let n = self.topology.len();
         self.switching.validate()?;
+        check_combination(self.collective.as_ref(), &self.switching)?;
         let fault_set = self
             .faults
             .sample(self.topology.graph(), fault_seed(self.seed))?;
@@ -426,8 +499,22 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
         let packets = self.traffic.generate(n, self.seed);
         // `simulate_wormhole*` dispatch on the spec: store-and-forward
         // runs the packet engine unchanged, wormhole runs the flit-level
-        // engine.
-        let stats = if fault_set.is_empty() {
+        // engine. Observer-free store-and-forward runs with a thread
+        // budget shard across the parallel engine instead — bit-identical
+        // results, so the choice is invisible in the report.
+        let stats = if O::IS_NOOP
+            && self.threads > 1
+            && matches!(self.switching, SwitchingSpec::StoreAndForward)
+        {
+            simulate_parallel(
+                self.topology,
+                &*router,
+                &fault_set,
+                &packets,
+                self.max_cycles,
+                self.threads,
+            )
+        } else if fault_set.is_empty() {
             simulate_wormhole(
                 self.topology,
                 &*router,
@@ -506,18 +593,23 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
                 } else {
                     crate::router::masked_router_name(&router.name())
                 };
+                // Routed unicasts honor the switching spec (the
+                // `simulate_wormhole*` entry points delegate
+                // store-and-forward specs to the packet engine).
                 let stats = if fault_set.is_empty() {
-                    simulate_observed(
+                    simulate_wormhole(
                         self.topology,
                         &*router,
+                        &self.switching,
                         &packets,
                         self.max_cycles,
                         &mut self.observer,
                     )
                 } else {
-                    simulate_faulted(
+                    simulate_wormhole_faulted(
                         self.topology,
                         &*router,
+                        &self.switching,
                         &fault_set,
                         &packets,
                         self.max_cycles,
@@ -1192,6 +1284,95 @@ mod tests {
                 .unwrap();
             assert_eq!(r.stats, solo.stats, "seed {seed}");
             assert_eq!(r.switching, "wormhole(flit_size=16,vcs=2,buf_flits=4)");
+        }
+    }
+
+    #[test]
+    fn collective_switching_combinations_follow_the_support_table() {
+        use crate::collective::{CollectiveSpec, Port};
+        use crate::switching::SwitchingSpec;
+        let q = Hypercube::new(4);
+        let worm = SwitchingSpec::Wormhole {
+            flit_size: 8,
+            vcs: 2,
+            buf_flits: 4,
+        };
+        // Tree collectives + wormhole: a typed error, not a silently
+        // ignored switching spec (the pre-table behaviour).
+        for spec in [
+            CollectiveSpec::Broadcast {
+                source: 0,
+                port: Port::One,
+            },
+            CollectiveSpec::Multicast {
+                source: 0,
+                count: 5,
+                port: Port::All,
+            },
+        ] {
+            let err = Experiment::on(&q)
+                .collective(spec)
+                .switching(worm.clone())
+                .run()
+                .expect_err("tree replication has no wormhole model");
+            assert!(
+                matches!(err, ExperimentError::UnsupportedCombination { .. }),
+                "{err:?}"
+            );
+            assert!(err.to_string().contains("store_and_forward"), "{err}");
+        }
+        // The personalized exchange runs as routed unicasts and honors
+        // the wormhole spec: multi-flit serialization must cost cycles.
+        let saf = Experiment::on(&q)
+            .collective(CollectiveSpec::AllToAllPersonalized)
+            .run()
+            .unwrap();
+        let worm_run = Experiment::on(&q)
+            .collective(CollectiveSpec::AllToAllPersonalized)
+            .switching(worm)
+            .run()
+            .expect("alltoallp supports wormhole");
+        assert_eq!(worm_run.stats.delivered, worm_run.stats.offered);
+        assert!(
+            worm_run.stats.makespan > saf.stats.makespan,
+            "flit serialization must show up: wormhole {} vs SAF {}",
+            worm_run.stats.makespan,
+            saf.stats.makespan
+        );
+        // Tree collectives under store-and-forward remain supported.
+        assert!(Experiment::on(&q)
+            .collective(CollectiveSpec::Broadcast {
+                source: 0,
+                port: Port::One,
+            })
+            .run()
+            .is_ok());
+    }
+
+    #[test]
+    fn threaded_experiments_match_serial_bit_for_bit() {
+        // The threads knob must be invisible in the results: healthy and
+        // degraded runs shard onto the parallel engine and reproduce the
+        // serial stats exactly, histograms included.
+        let net = FibonacciNet::classical(12);
+        let run_with = |threads: usize, faults: FaultSpec| {
+            Experiment::on(&net)
+                .traffic(TrafficSpec::Uniform {
+                    count: 2_000,
+                    window: 200,
+                })
+                .faults(faults)
+                .seed(9)
+                .threads(threads)
+                .run()
+                .unwrap()
+        };
+        for faults in [FaultSpec::None, FaultSpec::Nodes { count: 10 }] {
+            let serial = run_with(1, faults.clone());
+            for t in [2usize, 4, 8] {
+                let par = run_with(t, faults.clone());
+                assert_eq!(par.stats, serial.stats, "threads={t} faults={faults}");
+            }
         }
     }
 

@@ -338,11 +338,11 @@ impl Topology for ImplicitFibonacciNet {
         self.d
     }
 
-    fn router(&self) -> Box<dyn Router + '_> {
+    fn router(&self) -> Box<dyn Router + Send + Sync + '_> {
         Box::new(ImplicitRouter::canonical(self.codec.clone()))
     }
 
-    fn resolve_router(&self, spec: RouterSpec) -> Option<Box<dyn Router + '_>> {
+    fn resolve_router(&self, spec: RouterSpec) -> Option<Box<dyn Router + Send + Sync + '_>> {
         match spec {
             RouterSpec::Preferred | RouterSpec::Canonical => {
                 Some(Box::new(ImplicitRouter::canonical(self.codec.clone())))

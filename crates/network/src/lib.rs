@@ -16,9 +16,16 @@
 //! * [`router`] — routing *policies* split out of the topologies: e-cube,
 //!   precomputed canonical-path, and load-aware adaptive minimal routing,
 //!   named declaratively by [`RouterSpec`];
-//! * [`simulator`] — synchronous store-and-forward packet simulation with
-//!   latency/throughput statistics (arena-backed active-set engine, plus
-//!   the original full-scan engine as a reference oracle);
+//! * [`engine`] — the unified simulation engine: one composable,
+//!   arena-backed active-set core parameterized by compile-time policy
+//!   traits ([`engine::policy`] — switching × faults × replication ×
+//!   observer) behind every `simulate*` entry point, the original
+//!   full-scan engines as reference oracles, and
+//!   [`simulate_parallel`] — the same run sharded across a scoped
+//!   thread pool with a propose/commit cycle, bit-identical to the
+//!   serial engine at any thread count;
+//! * [`simulator`] — source-compatibility facade re-exporting the
+//!   engine's entry points under their historical paths;
 //! * [`arena`] — the engine's storage core: the struct-of-arrays
 //!   [`PacketSlab`] and the fixed-stride ring-buffer [`LinkQueues`];
 //! * [`implicit`] — million-node scale: [`ImplicitRouter`] computes
@@ -74,6 +81,7 @@ pub mod broadcast;
 pub mod collective;
 pub mod dist;
 pub mod embedding;
+pub mod engine;
 pub mod experiment;
 pub mod fault;
 pub mod hamilton;
@@ -95,6 +103,7 @@ pub use broadcast::{
 pub use collective::{CollectiveOutcome, CollectiveSpec, CopyPlan, Port};
 pub use dist::{DistanceSample, DistanceTable};
 pub use embedding::{embed_hypercube, embed_path, embed_ring, Embedding};
+pub use engine::simulate_parallel;
 pub use experiment::{Experiment, ExperimentError};
 pub use fault::{
     fault_set_trial, fault_sweep, fault_trial, FaultError, FaultMasks, FaultSet, FaultSpec,

@@ -60,6 +60,15 @@ use crate::simulator::{bump, percentile, DropReason};
 /// no-ops; implement only what you need. See the [module
 /// docs](self) for the exact contract of each event.
 pub trait SimObserver {
+    /// `true` when every hook is statically known to be a no-op —
+    /// [`NoopObserver`] and compositions of it. The experiment layer
+    /// uses this to route observer-free runs onto the parallel engine
+    /// ([`simulate_parallel`](crate::simulate_parallel)), which supports
+    /// no observers; an implementation that overrides any hook must
+    /// leave this `false`, or its events are silently lost on
+    /// multi-threaded runs.
+    const IS_NOOP: bool = false;
+
     /// A packet from `src` to `dst` entered the network at `cycle`.
     #[inline]
     fn on_inject(&mut self, cycle: u64, src: u32, dst: u32) {
@@ -122,12 +131,16 @@ pub trait SimObserver {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NoopObserver;
 
-impl SimObserver for NoopObserver {}
+impl SimObserver for NoopObserver {
+    const IS_NOOP: bool = true;
+}
 
 /// Mutable references observe through to the referent, so an experiment
 /// can borrow an observer (`.observe(&mut hist)`) and the caller keeps
 /// ownership for inspection after the run.
 impl<O: SimObserver + ?Sized> SimObserver for &mut O {
+    const IS_NOOP: bool = O::IS_NOOP;
+
     #[inline]
     fn on_inject(&mut self, cycle: u64, src: u32, dst: u32) {
         (**self).on_inject(cycle, src, dst);
@@ -166,6 +179,8 @@ impl<O: SimObserver + ?Sized> SimObserver for &mut O {
 /// Pairs compose: both observers see every event (left first), and their
 /// report sections concatenate. Nest pairs for three or more.
 impl<A: SimObserver, B: SimObserver> SimObserver for (A, B) {
+    const IS_NOOP: bool = A::IS_NOOP && B::IS_NOOP;
+
     #[inline]
     fn on_inject(&mut self, cycle: u64, src: u32, dst: u32) {
         self.0.on_inject(cycle, src, dst);

@@ -76,7 +76,7 @@ impl RouterSpec {
     pub fn resolve<T: Topology + ?Sized>(
         self,
         topo: &T,
-    ) -> Result<Box<dyn Router + '_>, ExperimentError> {
+    ) -> Result<Box<dyn Router + Send + Sync + '_>, ExperimentError> {
         topo.resolve_router(self)
             .ok_or_else(|| ExperimentError::UnsupportedRouter {
                 router: self,

@@ -1,1796 +1,25 @@
-//! Synchronous store-and-forward network simulator.
-//!
-//! Model: time advances in cycles. Every node has one FIFO output queue per
-//! neighbor (virtual-channel-free store-and-forward); each directed link
-//! moves at most one packet per cycle. Arriving packets are re-enqueued
-//! toward their next hop (computed by a [`Router`]) or retired with their
-//! latency recorded. The model is deliberately simple — the experiments
-//! compare *topologies under identical rules*, which is the shape of the
-//! 1993-era evaluations.
-//!
-//! ## Engine
-//!
-//! [`simulate_observed`] is an **arena-backed active-set** engine. All
-//! per-packet and per-link state lives in flat arrays
-//! (see [`arena`](crate::arena)): in-flight packets sit in a
-//! struct-of-arrays [`PacketSlab`] and are referred to by `u32` id, and
-//! every directed link owns a fixed-stride ring-buffer FIFO in one
-//! contiguous [`LinkQueues`] arena indexed by the graph's directed-edge
-//! index (`offsets[u] + slot`), spilling to an overflow list only when a
-//! link saturates. Each cycle touches only the worklist of nodes that
-//! actually hold packets — so an idle or lightly loaded cycle costs
-//! `O(active · degree)`, not `O(n · degree)` — and empty stretches
-//! between injections are skipped entirely.
-//!
-//! Routing takes one of two monomorphized paths: when the workload
-//! amortises the build, deterministic policies are tabulated once into a
-//! dense [`NextHopTable`] ([`Router::precompute`]) and each hop is a
-//! single load; otherwise the policy is called per hop with the live
-//! link-load view and the `(node, neighbor) → slot` answer comes from a
-//! binary search in the node's (already cache-hot) neighbor slice.
-//! Either way the event stream observers see is identical — the table is
-//! only ever built for policies whose tabulated choice equals their
-//! per-hop choice.
-//!
-//! The function is generic over the topology, the router, *and* the
-//! attached [`SimObserver`], so concrete callers monomorphize —
-//! [`simulate_with`] (no observer) compiles to the same hot loop as
-//! before observers existed. `&dyn Topology` still works (the bench bins
-//! use it) because the bound is `?Sized`.
-//!
-//! The seed's original engine — full node scan every cycle, binary search
-//! per hop — is preserved as [`simulate_reference`]: it is the behavioural
-//! oracle the property tests compare against and the baseline the sweep
-//! binary measures speedups over. [`simulate_faulted_reference`] extends
-//! the same full-scan oracle to degraded networks.
-//!
-//! [`simulate_collective`] runs tree collectives
-//! ([`CopyPlan`]) on the same arena storage
-//! with **packet replication at intermediate nodes** instead of
-//! end-to-end routing; its completion oracle is the static
-//! [`BroadcastSchedule`](crate::broadcast::BroadcastSchedule) round
-//! count.
-//!
-//! [`simulate_wormhole`] / [`simulate_wormhole_faulted`] run the same
-//! workloads under flit-level **wormhole switching** with virtual
-//! channels ([`SwitchingSpec`]): packets stretch across chains of
-//! (link × VC) flit buffers with credit backpressure, and VC selection
-//! follows the topology's
-//! [`channel_class`](crate::topology::Topology::channel_class) order so
-//! blocking is deadlock-free by construction — see the
-//! [`switching`](crate::switching) module for the model and the proof
-//! sketch. A degenerate wormhole configuration (one flit per packet, one
-//! VC, effectively unbounded buffers) reproduces the store-and-forward
-//! engine's results exactly; the property tests gate on that equivalence.
-
-use std::collections::VecDeque;
-
-use fibcube_graph::csr::CsrGraph;
-
-use crate::arena::{FlitQueues, LinkQueues, PacketSlab, NO_COPY};
-use crate::collective::CopyPlan;
-use crate::fault::FaultSet;
-use crate::observer::{NoopObserver, SimObserver};
-use crate::router::{FaultMaskingRouter, LinkLoad, NextHopTable, Router};
-use crate::switching::SwitchingSpec;
-use crate::topology::Topology;
-use crate::traffic::Packet;
-
-/// Why a packet was dropped at injection instead of routed — the typed
-/// accounting behind [`SimStats::dropped_dead_endpoint`] /
-/// [`SimStats::dropped_unreachable`] and the
-/// [`on_drop`](SimObserver::on_drop) observer hook. Drops only happen on
-/// degraded networks ([`simulate_faulted`]); the healthy engine never
-/// drops.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum DropReason {
-    /// The packet's source or destination node failed.
-    DeadEndpoint,
-    /// Both endpoints survive, but the faults disconnect them.
-    Unreachable,
-}
-
-/// Aggregate results of one simulation run.
-#[derive(Clone, Debug, PartialEq)]
-pub struct SimStats {
-    /// Packets handed to the simulator.
-    pub offered: usize,
-    /// Packets delivered before the cycle cap.
-    pub delivered: usize,
-    /// Packets dropped at injection because their source or destination
-    /// node failed (degraded runs only).
-    pub dropped_dead_endpoint: usize,
-    /// Packets dropped at injection because the faults disconnect their
-    /// (surviving) endpoints (degraded runs only).
-    pub dropped_unreachable: usize,
-    /// Cycle at which the last packet was delivered (0 when none).
-    pub makespan: u64,
-    /// Mean end-to-end latency (inject → arrival) of delivered packets.
-    pub mean_latency: f64,
-    /// Exact latency histogram: `hist[l]` = packets delivered with
-    /// latency `l`. Kept only up to [`DENSE_HISTOGRAM_NODE_LIMIT`] nodes
-    /// — empty (not truncated) beyond it, where the streaming
-    /// [`latency_buckets`](SimStats::latency_buckets) carry the
-    /// distribution in constant space.
-    pub latency_histogram: Vec<u64>,
-    /// Streaming log₂-bucketed latency histogram — always populated, the
-    /// scale-safe view of the latency distribution.
-    pub latency_buckets: LogHistogram,
-    /// 99th-percentile latency. Exact below
-    /// [`DENSE_HISTOGRAM_NODE_LIMIT`] nodes; the log-bucket upper bound
-    /// beyond.
-    pub p99_latency: u64,
-    /// Total packet-hops transmitted (link utilisation numerator).
-    pub total_hops: u64,
-    /// Delivered packets per cycle (throughput).
-    pub throughput: f64,
-}
-
-impl SimStats {
-    /// Total typed drops. Packet conservation reads
-    /// `offered == delivered + dropped() + still-in-flight`, where the
-    /// in-flight remainder is nonzero only when the cycle cap truncated
-    /// the run.
-    pub fn dropped(&self) -> usize {
-        self.dropped_dead_endpoint + self.dropped_unreachable
-    }
-}
-
-/// The reference engines' per-packet record (the arena engine keeps this
-/// state in the [`PacketSlab`] columns instead).
-#[derive(Clone, Debug)]
-struct InFlight {
-    dst: u32,
-    inject_time: u64,
-}
-
-/// Occupancy view of one node's output links, handed to adaptive routers:
-/// a window into the [`LinkQueues`] occupancy column.
-struct NodeLoad<'a> {
-    loads: &'a [u32],
-    base: usize,
-}
-
-impl LinkLoad for NodeLoad<'_> {
-    fn load(&self, slot: usize) -> usize {
-        self.loads[self.base + slot] as usize
-    }
-}
-
-/// Node count past which the engines stop keeping the dense per-latency
-/// histogram (which grows with the observed max latency) and rely on the
-/// constant-space [`LogHistogram`] instead. 64 Ki nodes keeps every
-/// shipped small/medium topology byte-identical to the seed while the
-/// million-node scale runs stay `O(1)` in histogram memory.
-pub const DENSE_HISTOGRAM_NODE_LIMIT: usize = 65_536;
-
-/// Streaming log₂-bucketed latency histogram: 64 fixed buckets, `O(1)`
-/// record, 512 bytes total — the memory-lean companion to the exact
-/// [`SimStats::latency_histogram`]. Bucket `i` counts deliveries with
-/// latency in `[2^i − 1, 2^{i+1} − 2]` (bucket 0 is exactly latency 0).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct LogHistogram {
-    buckets: [u64; 64],
-}
-
-impl Default for LogHistogram {
-    fn default() -> LogHistogram {
-        LogHistogram { buckets: [0; 64] }
-    }
-}
-
-impl LogHistogram {
-    /// An empty histogram.
-    pub fn new() -> LogHistogram {
-        LogHistogram::default()
-    }
-
-    /// Records one delivery at `lat` cycles.
-    #[inline]
-    pub fn record(&mut self, lat: u64) {
-        // lat + 1 ∈ [2^i, 2^{i+1}) ⇒ bucket i; lat = u64::MAX saturates
-        // into the top bucket rather than wrapping.
-        let i = 63 - lat.saturating_add(1).leading_zeros() as usize;
-        self.buckets[i] += 1;
-    }
-
-    /// The 64 bucket counts.
-    pub fn buckets(&self) -> &[u64; 64] {
-        &self.buckets
-    }
-
-    /// Inclusive latency range `[lo, hi]` covered by bucket `i`.
-    pub fn bucket_range(i: usize) -> (u64, u64) {
-        assert!(i < 64);
-        let lo = (1u64 << i) - 1;
-        let hi = if i == 63 {
-            u64::MAX
-        } else {
-            (1u64 << (i + 1)) - 2
-        };
-        (lo, hi)
-    }
-
-    /// Total recorded deliveries.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().sum()
-    }
-
-    /// Upper bound of the bucket containing the `q`-quantile (0 for the
-    /// empty histogram) — the scale-mode stand-in for an exact
-    /// percentile, never below the true value.
-    pub fn percentile_upper_bound(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let threshold = (total as f64 * q).ceil() as u64;
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if c > 0 && seen >= threshold {
-                return LogHistogram::bucket_range(i).1;
-            }
-        }
-        LogHistogram::bucket_range(63).1
-    }
-}
-
-/// Accumulates delivery statistics shared by both engines.
-#[derive(Default)]
-struct StatsAcc {
-    delivered: usize,
-    dropped_dead_endpoint: usize,
-    dropped_unreachable: usize,
-    total_latency: u64,
-    hist: Vec<u64>,
-    buckets: LogHistogram,
-    /// Keep the dense per-latency vector? Off past
-    /// [`DENSE_HISTOGRAM_NODE_LIMIT`] nodes.
-    dense: bool,
-    total_hops: u64,
-    makespan: u64,
-}
-
-impl StatsAcc {
-    /// Accumulator sized for an `n`-node network: the dense histogram is
-    /// kept only below [`DENSE_HISTOGRAM_NODE_LIMIT`].
-    fn for_network(n: usize) -> StatsAcc {
-        StatsAcc {
-            dense: n <= DENSE_HISTOGRAM_NODE_LIMIT,
-            ..StatsAcc::default()
-        }
-    }
-
-    fn deliver(&mut self, now: u64, inject_time: u64) {
-        self.delivered += 1;
-        let lat = now - inject_time;
-        self.total_latency += lat;
-        if self.dense {
-            bump(&mut self.hist, lat);
-        }
-        self.buckets.record(lat);
-        self.makespan = self.makespan.max(now);
-    }
-
-    /// A self-addressed packet: delivered at latency 0 without touching
-    /// the makespan (it never occupied a link — seed semantics).
-    fn deliver_instant(&mut self) {
-        self.delivered += 1;
-        if self.dense {
-            bump(&mut self.hist, 0);
-        }
-        self.buckets.record(0);
-    }
-
-    fn finish(self, offered: usize) -> SimStats {
-        let mean_latency = if self.delivered > 0 {
-            self.total_latency as f64 / self.delivered as f64
-        } else {
-            0.0
-        };
-        let p99 = if self.dense {
-            percentile(&self.hist, 0.99)
-        } else {
-            self.buckets.percentile_upper_bound(0.99)
-        };
-        let throughput = if self.makespan > 0 {
-            self.delivered as f64 / self.makespan as f64
-        } else {
-            self.delivered as f64
-        };
-        SimStats {
-            offered,
-            delivered: self.delivered,
-            dropped_dead_endpoint: self.dropped_dead_endpoint,
-            dropped_unreachable: self.dropped_unreachable,
-            makespan: self.makespan,
-            mean_latency,
-            latency_histogram: self.hist,
-            latency_buckets: self.buckets,
-            p99_latency: p99,
-            total_hops: self.total_hops,
-            throughput,
-        }
-    }
-}
-
-/// Runs the store-and-forward simulation with the topology's preferred
-/// router (e-cube on hypercubes, precomputed canonical-path on Fibonacci
-/// networks, the built-in rule elsewhere).
-///
-/// `max_cycles` caps the run so that pathological configurations
-/// terminate; undelivered packets are reported via `offered − delivered`.
-pub fn simulate<T: Topology + ?Sized>(
-    topology: &T,
-    packets: &[Packet],
-    max_cycles: u64,
-) -> SimStats {
-    simulate_with(topology, &*topology.router(), packets, max_cycles)
-}
-
-/// How the engine resolves each hop: a dense precomputed table (one load
-/// per hop) or per-hop policy calls (live link-load view plus a slot
-/// search in the node's neighbor list — a couple of compares in one
-/// already-hot cache line, which beats any big-table lookup here).
-enum Routing<'t, R: ?Sized> {
-    Table(NextHopTable),
-    PerHop(&'t R),
-}
-
-/// Picks the routing path for one run: tabulate when the expected number
-/// of route lookups (≈ `packets × diameter/2`, a proxy for packets ×
-/// average distance) amortises the `O(n²)` table build *and* the policy
-/// can be tabulated at all. See [`NextHopTable`] for the trade-off.
-fn routing_for<'t, T, R>(topology: &T, router: &'t R, packets: usize) -> Routing<'t, R>
-where
-    T: Topology + ?Sized,
-    R: Router + ?Sized,
-{
-    let g = topology.graph();
-    let n = g.num_vertices() as u64;
-    let lookups = (packets as u64).saturating_mul((topology.diameter_bound() as u64 / 2).max(1));
-    if lookups >= n.saturating_mul(n) {
-        if let Some(table) = router.precompute(g) {
-            return Routing::Table(table);
-        }
-    }
-    Routing::PerHop(router)
-}
-
-/// The engine's mutable link/node state: the ring-buffer FIFOs plus the
-/// per-node occupancy counters and occupied-slot bitmasks that keep the
-/// worklist and the forward scan cheap. Grouped so the routing helper
-/// takes one handle.
-struct Fabric {
-    queues: LinkQueues,
-    /// Queued packets per node (drives the active worklist).
-    occupancy: Vec<u32>,
-    /// Per-node bitmask of output slots holding packets, so the forward
-    /// phase pops exactly the occupied queues instead of probing every
-    /// out-edge of every active node. Empty (disabled — the forward
-    /// phase falls back to the plain edge scan) in the off-design case
-    /// of degrees above 64.
-    slot_mask: Vec<u64>,
-}
-
-impl Fabric {
-    fn new(g: &CsrGraph) -> Fabric {
-        let n = g.num_vertices();
-        let masked_scan = g.max_degree() <= 64;
-        Fabric {
-            queues: LinkQueues::new(g.num_directed_edges()),
-            occupancy: vec![0u32; n],
-            slot_mask: vec![0; if masked_scan { n } else { 0 }],
-        }
-    }
-
-    /// Routes packet `id` at `node`, enqueues it on the chosen output
-    /// link, and marks that link's slot in the node's non-empty bitmask —
-    /// the one mutation path shared by the injection and arrival phases.
-    #[inline]
-    fn route_and_enqueue<R: Router + ?Sized>(
-        &mut self,
-        g: &CsrGraph,
-        routing: &Routing<'_, R>,
-        node: u32,
-        id: u32,
-        dst: u32,
-    ) {
-        let base = g.edge_range(node).start;
-        let e = match routing {
-            Routing::Table(table) => table
-                .next_edge(node, dst)
-                .expect("routing a packet not yet at dst"),
-            Routing::PerHop(router) => {
-                let hop = {
-                    let load = NodeLoad {
-                        loads: self.queues.loads(),
-                        base,
-                    };
-                    router
-                        .next_hop(node, dst, &load)
-                        .expect("routing a packet not yet at dst")
-                };
-                base + g
-                    .slot_of(node, hop)
-                    .expect("next_hop must return a neighbor")
-            }
-        };
-        self.queues.push(e, id);
-        if let Some(mask) = self.slot_mask.get_mut(node as usize) {
-            *mask |= 1u64 << (e - base);
-        }
-        self.occupancy[node as usize] += 1;
-    }
-
-    /// Enqueues packet `id` directly on the directed edge `e` out of
-    /// `node` — the collective path, where the next-copy table already
-    /// names the edge and no routing policy is consulted.
-    #[inline]
-    fn enqueue_on_edge(&mut self, g: &CsrGraph, node: u32, e: usize, id: u32) {
-        let base = g.edge_range(node).start;
-        self.queues.push(e, id);
-        if let Some(mask) = self.slot_mask.get_mut(node as usize) {
-            *mask |= 1u64 << (e - base);
-        }
-        self.occupancy[node as usize] += 1;
-    }
-}
-
-/// Runs the active-set store-and-forward simulation under an explicit
-/// routing policy, with no observer attached. Equivalent to
-/// [`simulate_observed`] with a [`NoopObserver`] — which monomorphizes
-/// to the identical hot loop.
-pub fn simulate_with<T, R>(
-    topology: &T,
-    router: &R,
-    packets: &[Packet],
-    max_cycles: u64,
-) -> SimStats
-where
-    T: Topology + ?Sized,
-    R: Router + ?Sized,
-{
-    simulate_observed(topology, router, packets, max_cycles, &mut NoopObserver)
-}
-
-/// Runs the active-set store-and-forward simulation under an explicit
-/// routing policy, reporting every event to `observer` (see
-/// [`SimObserver`] for the event contract). Generic over all three
-/// parameters, so concrete call sites monomorphize the hot loop and a
-/// no-op observer costs nothing; `?Sized` keeps `&dyn` topology/router
-/// callers working.
-pub fn simulate_observed<T, R, O>(
-    topology: &T,
-    router: &R,
-    packets: &[Packet],
-    max_cycles: u64,
-    observer: &mut O,
-) -> SimStats
-where
-    T: Topology + ?Sized,
-    R: Router + ?Sized,
-    O: SimObserver,
-{
-    engine(topology, router, packets, max_cycles, observer, &AdmitAll)
-}
-
-/// Runs the active-set engine on the network degraded by `faults`: the
-/// given `router` is wrapped in a [`FaultMaskingRouter`] so live packets
-/// detour around dead nodes and links, while packets that *cannot* be
-/// routed are counted as typed drops at injection ([`DropReason`]) —
-/// dead source or destination, or surviving endpoints the faults
-/// disconnect. Nothing is silently stranded:
-/// `offered == delivered + dropped + still-in-flight` always holds.
-///
-/// An empty `faults` set delegates to [`simulate_observed`] — the
-/// zero-fault run is packet-for-packet identical to the healthy engine.
-pub fn simulate_faulted<T, R, O>(
-    topology: &T,
-    router: &R,
-    faults: &FaultSet,
-    packets: &[Packet],
-    max_cycles: u64,
-    observer: &mut O,
-) -> SimStats
-where
-    T: Topology + ?Sized,
-    R: Router + ?Sized,
-    O: SimObserver,
-{
-    if faults.is_empty() {
-        return simulate_observed(topology, router, packets, max_cycles, observer);
-    }
-    let masked = FaultMaskingRouter::new(topology.graph(), router, faults);
-    let admission = FaultAdmission { masked: &masked };
-    engine(topology, &masked, packets, max_cycles, observer, &admission)
-}
-
-/// Spawns the copy of plan edge `idx` at its parent `u`: allocates the
-/// packet in the slab (chaining the next sibling in one-port mode),
-/// reports the injection, and enqueues it on the tree edge the plan
-/// resolved at compile time. Shared by the cycle-0 source prelude, the
-/// replicate-on-delivery path, and the one-port sibling chain.
-#[allow(clippy::too_many_arguments)]
-#[inline]
-fn spawn_copy<O: SimObserver>(
-    g: &CsrGraph,
-    plan: &CopyPlan,
-    slab: &mut PacketSlab,
-    fabric: &mut Fabric,
-    on_list: &mut [bool],
-    active: &mut Vec<u32>,
-    observer: &mut O,
-    cycle: u64,
-    u: u32,
-    idx: usize,
-) {
-    let child = plan.child(idx);
-    let id = slab.alloc(child, cycle);
-    if plan.one_port() && idx + 1 < plan.children_range(u).end {
-        slab.set_next_copy(id, (idx + 1) as u32);
-    }
-    observer.on_inject(cycle, u, child);
-    fabric.enqueue_on_edge(g, u, plan.edge(idx), id);
-    if !on_list[u as usize] {
-        on_list[u as usize] = true;
-        active.push(u);
-    }
-}
-
-/// Runs a tree collective ([`CopyPlan`]) through the arena engine:
-/// packets are **replicated at intermediate nodes** instead of routed
-/// end to end. The source emits its first copies at cycle 0; every
-/// delivery informs the receiving node, which starts forwarding to its
-/// own children — all of them at once (all-port), or one per cycle
-/// chained through the slab's next-copy column (one-port: the follow-up
-/// copy is spawned when its predecessor departs, so an informed node
-/// occupies exactly one output port per cycle). Copies travel exactly
-/// one tree edge, so no routing policy is consulted; the plan resolved
-/// every directed edge at compile time.
-///
-/// Intended recipients the plan could not cover (dead or disconnected
-/// by the fault set it was compiled against) are reported as typed
-/// drops at cycle 0 — packet conservation extends to replicated copies:
-/// uncapped, `offered == delivered + dropped` with
-/// `offered = tree copies + drops`; under a cycle cap the remainder is
-/// copies still queued *or not yet spawned* (a truncated chain).
-///
-/// Returns the run's [`SimStats`] plus the number of *intended targets*
-/// reached (relay deliveries count toward `delivered` but not toward
-/// the target tally). On an uncontended network the makespan equals the
-/// static schedule's round count — the gating oracle of the collective
-/// path.
-pub fn simulate_collective<T, O>(
-    topology: &T,
-    plan: &CopyPlan,
-    max_cycles: u64,
-    observer: &mut O,
-) -> (SimStats, usize)
-where
-    T: Topology + ?Sized,
-    O: SimObserver,
-{
-    let n = topology.len();
-    let g = topology.graph();
-    let offered = plan.offered();
-
-    let mut slab = PacketSlab::new();
-    let mut fabric = Fabric::new(g);
-    let masked_scan = !fabric.slot_mask.is_empty();
-    let mut on_list = vec![false; n];
-    let mut active: Vec<u32> = Vec::new();
-    let mut next_active: Vec<u32> = Vec::new();
-    let mut arrivals: Vec<(u32, u32)> = Vec::new();
-    // One-port sibling spawns, deferred past the forward phase so a
-    // follow-up copy never departs in the cycle its predecessor did.
-    let mut chained: Vec<(u32, usize)> = Vec::new();
-
-    let mut acc = StatsAcc::for_network(n);
-    let mut in_flight = 0usize;
-    let mut reached_targets = 0usize;
-    let mut started = false;
-
-    let mut cycle: u64 = 0;
-    while cycle < max_cycles {
-        if !started {
-            started = true;
-            // Cycle-0 prelude: type the recipients the plan cannot cover,
-            // then let the source start its children.
-            for &t in plan.dropped_dead() {
-                observer.on_inject(0, plan.source(), t);
-                acc.dropped_dead_endpoint += 1;
-                observer.on_drop(0, plan.source(), t, DropReason::DeadEndpoint);
-            }
-            for &t in plan.dropped_unreachable() {
-                observer.on_inject(0, plan.source(), t);
-                acc.dropped_unreachable += 1;
-                observer.on_drop(0, plan.source(), t, DropReason::Unreachable);
-            }
-            let src = plan.source();
-            let range = plan.children_range(src);
-            let first = if plan.one_port() {
-                range.start..range.end.min(range.start + 1)
-            } else {
-                range
-            };
-            for idx in first {
-                spawn_copy(
-                    g,
-                    plan,
-                    &mut slab,
-                    &mut fabric,
-                    &mut on_list,
-                    &mut active,
-                    observer,
-                    0,
-                    src,
-                    idx,
-                );
-                in_flight += 1;
-            }
-        }
-        if in_flight == 0 {
-            break;
-        }
-
-        // Forward phase: identical FIFO/worklist discipline to the
-        // unicast engine, plus the next-copy chain capture at pop time.
-        active.sort_unstable();
-        for &u in &active {
-            on_list[u as usize] = false;
-            let base = g.edge_range(u).start;
-            if masked_scan {
-                let mut mask = fabric.slot_mask[u as usize];
-                let mut remaining = mask;
-                while remaining != 0 {
-                    let slot = remaining.trailing_zeros() as usize;
-                    remaining &= remaining - 1;
-                    let e = base + slot;
-                    let id = fabric
-                        .queues
-                        .pop(e)
-                        .expect("mask bit implies a queued packet");
-                    if fabric.queues.load(e) == 0 {
-                        mask &= !(1u64 << slot);
-                    }
-                    let v = g.target(e);
-                    observer.on_hop(cycle, u, v, e);
-                    slab.record_hop(id);
-                    let next = slab.next_copy(id);
-                    if next != NO_COPY {
-                        chained.push((u, next as usize));
-                    }
-                    arrivals.push((v, id));
-                    fabric.occupancy[u as usize] -= 1;
-                    acc.total_hops += 1;
-                }
-                fabric.slot_mask[u as usize] = mask;
-            } else {
-                for e in g.edge_range(u) {
-                    if let Some(id) = fabric.queues.pop(e) {
-                        let v = g.target(e);
-                        observer.on_hop(cycle, u, v, e);
-                        slab.record_hop(id);
-                        let next = slab.next_copy(id);
-                        if next != NO_COPY {
-                            chained.push((u, next as usize));
-                        }
-                        arrivals.push((v, id));
-                        fabric.occupancy[u as usize] -= 1;
-                        acc.total_hops += 1;
-                    }
-                }
-            }
-            if fabric.occupancy[u as usize] > 0 {
-                on_list[u as usize] = true;
-                next_active.push(u);
-            }
-        }
-        active.clear();
-        std::mem::swap(&mut active, &mut next_active);
-
-        // Arrivals (at the cycle + 1 boundary): every copy ends exactly
-        // at its tree child — deliver it, then replicate there.
-        let now = cycle + 1;
-        for (node, id) in arrivals.drain(..) {
-            debug_assert_eq!(node, slab.dst(id), "copies travel exactly one tree edge");
-            in_flight -= 1;
-            let inject_time = slab.inject(id);
-            acc.deliver(now, inject_time);
-            observer.on_deliver(now, node, now - inject_time);
-            slab.release(id);
-            if plan.is_target(node) {
-                reached_targets += 1;
-            }
-            let range = plan.children_range(node);
-            let first = if plan.one_port() {
-                range.start..range.end.min(range.start + 1)
-            } else {
-                range
-            };
-            for idx in first {
-                spawn_copy(
-                    g,
-                    plan,
-                    &mut slab,
-                    &mut fabric,
-                    &mut on_list,
-                    &mut active,
-                    observer,
-                    now,
-                    node,
-                    idx,
-                );
-                in_flight += 1;
-            }
-        }
-        // One-port siblings chained off copies that departed this cycle:
-        // enqueued now, so they depart next cycle — one port per node per
-        // cycle, exactly the telephone model.
-        for (u, idx) in chained.drain(..) {
-            spawn_copy(
-                g,
-                plan,
-                &mut slab,
-                &mut fabric,
-                &mut on_list,
-                &mut active,
-                observer,
-                now,
-                u,
-                idx,
-            );
-            in_flight += 1;
-        }
-        observer.on_cycle_end(cycle, in_flight);
-        cycle += 1;
-    }
-
-    (acc.finish(offered), reached_targets)
-}
-
-/// Injection-time admission policy: decides per packet whether the
-/// engine routes it or drops it with a typed reason. The healthy engine
-/// uses the zero-cost [`AdmitAll`]; the degraded engine consults the
-/// fault masks.
-trait Admission {
-    /// `Some(reason)` to drop the packet at injection, `None` to route.
-    fn verdict(&self, src: u32, dst: u32) -> Option<DropReason>;
-}
-
-/// Admits everything — monomorphizes the drop branch away entirely.
-struct AdmitAll;
-
-impl Admission for AdmitAll {
-    #[inline]
-    fn verdict(&self, _src: u32, _dst: u32) -> Option<DropReason> {
-        None
-    }
-}
-
-/// Admission against a [`FaultMaskingRouter`]'s masks and healthy-BFS
-/// reachability.
-struct FaultAdmission<'a, 'b, R: Router + ?Sized> {
-    masked: &'a FaultMaskingRouter<'b, R>,
-}
-
-impl<R: Router + ?Sized> Admission for FaultAdmission<'_, '_, R> {
-    fn verdict(&self, src: u32, dst: u32) -> Option<DropReason> {
-        if !self.masked.node_alive(src) || !self.masked.node_alive(dst) {
-            Some(DropReason::DeadEndpoint)
-        } else if src != dst && !self.masked.reachable(src, dst) {
-            Some(DropReason::Unreachable)
-        } else {
-            None
-        }
-    }
-}
-
-/// The shared active-set engine body behind [`simulate_observed`] and
-/// [`simulate_faulted`].
-fn engine<T, R, O, A>(
-    topology: &T,
-    router: &R,
-    packets: &[Packet],
-    max_cycles: u64,
-    observer: &mut O,
-    admission: &A,
-) -> SimStats
-where
-    T: Topology + ?Sized,
-    R: Router + ?Sized,
-    O: SimObserver,
-    A: Admission,
-{
-    let n = topology.len();
-    let g = topology.graph();
-    let routing = routing_for(topology, router, packets.len());
-
-    // The arena core: SoA packet slab + ring-buffer link FIFOs with
-    // their per-node occupancy/bitmask bookkeeping.
-    let mut slab = PacketSlab::new();
-    let mut fabric = Fabric::new(g);
-    let masked_scan = !fabric.slot_mask.is_empty();
-    // The active-node worklist.
-    let mut on_list = vec![false; n];
-    let mut active: Vec<u32> = Vec::new();
-    let mut next_active: Vec<u32> = Vec::new();
-    let mut arrivals: Vec<(u32, u32)> = Vec::new();
-
-    // Injection list sorted by time.
-    let mut inj: Vec<&Packet> = packets.iter().collect();
-    inj.sort_by_key(|p| p.inject_time);
-    let mut next_inject = 0usize;
-
-    let mut acc = StatsAcc::for_network(n);
-    let mut in_flight = 0usize;
-
-    let mut cycle: u64 = 0;
-    while cycle < max_cycles {
-        // Skip straight to the next injection when the network is empty.
-        if in_flight == 0 {
-            match inj.get(next_inject) {
-                None => break,
-                Some(p) if p.inject_time > cycle => {
-                    if p.inject_time >= max_cycles {
-                        break;
-                    }
-                    cycle = p.inject_time;
-                }
-                Some(_) => {}
-            }
-        }
-
-        // Inject everything due this cycle.
-        while next_inject < inj.len() && inj[next_inject].inject_time <= cycle {
-            let p = inj[next_inject];
-            next_inject += 1;
-            observer.on_inject(cycle, p.src, p.dst);
-            if let Some(reason) = admission.verdict(p.src, p.dst) {
-                match reason {
-                    DropReason::DeadEndpoint => acc.dropped_dead_endpoint += 1,
-                    DropReason::Unreachable => acc.dropped_unreachable += 1,
-                }
-                observer.on_drop(cycle, p.src, p.dst, reason);
-                continue;
-            }
-            if p.src == p.dst {
-                // Degenerate: counts as instantly delivered.
-                acc.deliver_instant();
-                observer.on_deliver(cycle, p.dst, 0);
-                continue;
-            }
-            let id = slab.alloc(p.dst, p.inject_time);
-            fabric.route_and_enqueue(g, &routing, p.src, id, p.dst);
-            in_flight += 1;
-            if !on_list[p.src as usize] {
-                on_list[p.src as usize] = true;
-                active.push(p.src);
-            }
-        }
-
-        // Each directed link of an active node forwards one packet.
-        // Ascending node order makes same-cycle FIFO tie-breaking match
-        // the reference engine's full scan exactly.
-        active.sort_unstable();
-        for &u in &active {
-            on_list[u as usize] = false;
-            let base = g.edge_range(u).start;
-            if masked_scan {
-                // Visit only the occupied slots, lowest slot first — the
-                // same order the plain scan forwards in.
-                let mut mask = fabric.slot_mask[u as usize];
-                let mut remaining = mask;
-                while remaining != 0 {
-                    let slot = remaining.trailing_zeros() as usize;
-                    remaining &= remaining - 1;
-                    let e = base + slot;
-                    let id = fabric
-                        .queues
-                        .pop(e)
-                        .expect("mask bit implies a queued packet");
-                    if fabric.queues.load(e) == 0 {
-                        mask &= !(1u64 << slot);
-                    }
-                    let v = g.target(e);
-                    observer.on_hop(cycle, u, v, e);
-                    slab.record_hop(id);
-                    arrivals.push((v, id));
-                    fabric.occupancy[u as usize] -= 1;
-                    acc.total_hops += 1;
-                }
-                fabric.slot_mask[u as usize] = mask;
-            } else {
-                for e in g.edge_range(u) {
-                    if let Some(id) = fabric.queues.pop(e) {
-                        let v = g.target(e);
-                        observer.on_hop(cycle, u, v, e);
-                        slab.record_hop(id);
-                        arrivals.push((v, id));
-                        fabric.occupancy[u as usize] -= 1;
-                        acc.total_hops += 1;
-                    }
-                }
-            }
-            if fabric.occupancy[u as usize] > 0 {
-                on_list[u as usize] = true;
-                next_active.push(u);
-            }
-        }
-        active.clear();
-        std::mem::swap(&mut active, &mut next_active);
-
-        // Process arrivals (at the cycle + 1 boundary).
-        let now = cycle + 1;
-        for (node, id) in arrivals.drain(..) {
-            let dst = slab.dst(id);
-            if node == dst {
-                in_flight -= 1;
-                let inject_time = slab.inject(id);
-                debug_assert!(
-                    slab.hops(id) as u64 <= now - inject_time,
-                    "hops can never exceed latency"
-                );
-                acc.deliver(now, inject_time);
-                observer.on_deliver(now, node, now - inject_time);
-                slab.release(id);
-            } else {
-                fabric.route_and_enqueue(g, &routing, node, id, dst);
-                if !on_list[node as usize] {
-                    on_list[node as usize] = true;
-                    active.push(node);
-                }
-            }
-        }
-        observer.on_cycle_end(cycle, in_flight);
-        cycle += 1;
-    }
-
-    acc.finish(packets.len())
-}
-
-// ---------------------------------------------------------------------
-// Wormhole switching: the flit-level engine.
-// ---------------------------------------------------------------------
-
-/// Head-flit flag in a packed flit record (bit 56).
-const FLIT_HEAD: u64 = 1 << 56;
-/// Tail-flit flag in a packed flit record (bit 57). Single-flit packets
-/// carry both flags.
-const FLIT_TAIL: u64 = 1 << 57;
-/// No packet claims this (edge × VC) buffer.
-const NO_CLAIM: u32 = u32::MAX;
-/// Arrival-list sentinel: the flit leaves the network at its destination
-/// instead of entering a buffer.
-const EJECT: u32 = u32::MAX;
-
-/// Packs one flit: packet id in the low 32 bits, the index of the buffer
-/// it occupies within its packet's reserved chain in bits 32..56, flags
-/// above. Everything the forward phase needs travels in the queue word.
-#[inline]
-fn flit(id: u32, idx: usize, head: bool, tail: bool) -> u64 {
-    debug_assert!(idx < (1 << 24), "path longer than 16M hops");
-    let mut f = id as u64 | ((idx as u64) << 32);
-    if head {
-        f |= FLIT_HEAD;
-    }
-    if tail {
-        f |= FLIT_TAIL;
-    }
-    f
-}
-
-/// The chain index of a packed flit.
-#[inline]
-fn flit_idx(f: u64) -> usize {
-    ((f >> 32) & 0xFF_FFFF) as usize
-}
-
-/// Per-packet wormhole state in parallel columns indexed by slab id
-/// (recycled with the slab's freelist, reset on allocation): the source,
-/// the chain of buffer indices the head has reserved, the VC level and
-/// last channel class driving VC selection, and the source-side streaming
-/// progress.
-#[derive(Default)]
-struct WormState {
-    src: Vec<u32>,
-    /// Buffer indices (`edge * vcs + vc`) the head has claimed, in hop
-    /// order — body flits follow this chain by their flit index.
-    path: Vec<Vec<u32>>,
-    level: Vec<u32>,
-    last_class: Vec<u32>,
-    flits_total: Vec<u32>,
-    flits_sent: Vec<u32>,
-    head_ejected: Vec<bool>,
-}
-
-impl WormState {
-    fn reset(&mut self, id: u32, src: u32, flits: u32) {
-        let i = id as usize;
-        if self.src.len() <= i {
-            let n = i + 1;
-            self.src.resize(n, 0);
-            self.path.resize_with(n, Vec::new);
-            self.level.resize(n, 0);
-            self.last_class.resize(n, 0);
-            self.flits_total.resize(n, 0);
-            self.flits_sent.resize(n, 0);
-            self.head_ejected.resize(n, false);
-        }
-        self.src[i] = src;
-        self.path[i].clear();
-        self.level[i] = 0;
-        self.last_class[i] = 0;
-        self.flits_total[i] = flits;
-        self.flits_sent[i] = 0;
-        self.head_ejected[i] = false;
-    }
-}
-
-/// Resolves the output edge for one hop — [`Fabric::route_and_enqueue`]'s
-/// routing half, shared with the wormhole engine (which reserves buffers
-/// instead of enqueuing packets).
-#[inline]
-fn route_edge<R: Router + ?Sized>(
-    g: &CsrGraph,
-    routing: &Routing<'_, R>,
-    loads: &[u32],
-    node: u32,
-    dst: u32,
-) -> usize {
-    match routing {
-        Routing::Table(table) => table
-            .next_edge(node, dst)
-            .expect("routing a packet not yet at dst"),
-        Routing::PerHop(router) => {
-            let base = g.edge_range(node).start;
-            let hop = {
-                let load = NodeLoad { loads, base };
-                router
-                    .next_hop(node, dst, &load)
-                    .expect("routing a packet not yet at dst")
-            };
-            base + g
-                .slot_of(node, hop)
-                .expect("next_hop must return a neighbor")
-        }
-    }
-}
-
-/// Runs the flit-level wormhole engine under an explicit routing policy.
-/// [`SwitchingSpec::StoreAndForward`] delegates to [`simulate_observed`]
-/// — one entry point covers both switching models.
-///
-/// Model: each packet is [`SwitchingSpec::flits_per_packet`] flits. The
-/// head flit claims a chain of (directed link × virtual channel) buffers
-/// of `buf_flits` capacity, routing one hop per cycle exactly like the
-/// store-and-forward engine; body flits stream behind it through the
-/// same chain (one injected per cycle at the source) and the tail
-/// releases each buffer as it passes — so a blocked packet occupies
-/// buffers along its whole path, the defining wormhole behaviour.
-/// Advancement is credit-based (a flit moves only when the next buffer
-/// has space, counting same-cycle reservations) and each directed link
-/// still moves at most one flit per cycle, scanning VCs lowest-first.
-/// Virtual channels are keyed to
-/// [`Topology::channel_class`]: a hop whose class does not increase
-/// bumps the packet to the next VC level (clamped to `vcs − 1`), which
-/// on order-based routes makes the channel-dependency graph acyclic —
-/// see [`switching`](crate::switching) for the argument.
-///
-/// Packet-level accounting ([`SimStats`], [`SimObserver::on_hop`],
-/// hop counts) follows the **head** flit, so a degenerate configuration
-/// (one flit per packet, one VC, effectively unbounded buffers)
-/// reproduces [`simulate_with`] exactly. Flit-level movement is
-/// observable through [`SimObserver::on_flit_hop`].
-pub fn simulate_wormhole<T, R, O>(
-    topology: &T,
-    router: &R,
-    spec: &SwitchingSpec,
-    packets: &[Packet],
-    max_cycles: u64,
-    observer: &mut O,
-) -> SimStats
-where
-    T: Topology + ?Sized,
-    R: Router + ?Sized,
-    O: SimObserver,
-{
-    match *spec {
-        SwitchingSpec::StoreAndForward => {
-            simulate_observed(topology, router, packets, max_cycles, observer)
-        }
-        SwitchingSpec::Wormhole { vcs, buf_flits, .. } => wormhole_engine(
-            topology,
-            router,
-            spec.flits_per_packet(),
-            vcs,
-            buf_flits,
-            packets,
-            max_cycles,
-            observer,
-            &AdmitAll,
-        ),
-    }
-}
-
-/// [`simulate_wormhole`] on the network degraded by `faults`: the same
-/// [`FaultMaskingRouter`] wrapping and typed injection drops as
-/// [`simulate_faulted`], with flits detouring around dead nodes and
-/// links. An empty fault set delegates to the healthy wormhole engine;
-/// a [`SwitchingSpec::StoreAndForward`] spec delegates to
-/// [`simulate_faulted`].
-///
-/// Fault detours are not order-based, so on degraded networks the VC
-/// level can clamp at `vcs − 1` and deadlock freedom is best-effort —
-/// the experiments keep the conservation invariant
-/// `offered == delivered + dropped + still-in-flight` either way.
-pub fn simulate_wormhole_faulted<T, R, O>(
-    topology: &T,
-    router: &R,
-    spec: &SwitchingSpec,
-    faults: &FaultSet,
-    packets: &[Packet],
-    max_cycles: u64,
-    observer: &mut O,
-) -> SimStats
-where
-    T: Topology + ?Sized,
-    R: Router + ?Sized,
-    O: SimObserver,
-{
-    if faults.is_empty() {
-        return simulate_wormhole(topology, router, spec, packets, max_cycles, observer);
-    }
-    match *spec {
-        SwitchingSpec::StoreAndForward => {
-            simulate_faulted(topology, router, faults, packets, max_cycles, observer)
-        }
-        SwitchingSpec::Wormhole { vcs, buf_flits, .. } => {
-            let masked = FaultMaskingRouter::new(topology.graph(), router, faults);
-            let admission = FaultAdmission { masked: &masked };
-            wormhole_engine(
-                topology,
-                &masked,
-                spec.flits_per_packet(),
-                vcs,
-                buf_flits,
-                packets,
-                max_cycles,
-                observer,
-                &admission,
-            )
-        }
-    }
-}
-
-/// Tries to place packet `id`'s head flit into VC 0 of its first output
-/// link: routes the first hop, checks the buffer's claim (multi-flit
-/// packets need exclusive worm occupancy) and credit, and on success
-/// starts the packet's chain. Shared by fresh injections and the pending
-/// retry queue; a `false` return leaves the packet unplaced (its state
-/// untouched) for retry next cycle.
-#[allow(clippy::too_many_arguments)]
-#[inline]
-fn try_place_head<T, R, O>(
-    topology: &T,
-    g: &CsrGraph,
-    routing: &Routing<'_, R>,
-    queues: &mut FlitQueues,
-    link_load: &mut [u32],
-    claimed: &mut [u32],
-    reserved: &[u32],
-    worm: &mut WormState,
-    slab: &PacketSlab,
-    occupancy: &mut [u32],
-    on_list: &mut [bool],
-    active: &mut Vec<u32>,
-    streams: &mut Vec<u32>,
-    observer: &mut O,
-    vcs: usize,
-    buf_flits: u64,
-    cycle: u64,
-    id: u32,
-) -> bool
-where
-    T: Topology + ?Sized,
-    R: Router + ?Sized,
-    O: SimObserver,
-{
-    let i = id as usize;
-    let src = worm.src[i];
-    let dst = slab.dst(id);
-    let e0 = route_edge(g, routing, link_load, src, dst);
-    let b0 = e0 * vcs;
-    let multi = worm.flits_total[i] > 1;
-    if multi && claimed[b0] != NO_CLAIM {
-        return false;
-    }
-    if queues.load(b0) as u64 + reserved[b0] as u64 >= buf_flits {
-        return false;
-    }
-    worm.level[i] = 0;
-    worm.last_class[i] = topology.channel_class(src, g.target(e0));
-    worm.path[i].push(b0 as u32);
-    worm.flits_sent[i] = 1;
-    if multi {
-        claimed[b0] = id;
-        streams.push(id);
-    }
-    queues.push(b0, flit(id, 0, true, !multi));
-    link_load[e0] += 1;
-    occupancy[src as usize] += 1;
-    observer.on_flit_hop(cycle, e0, 0, queues.load(b0) as u32);
-    if !on_list[src as usize] {
-        on_list[src as usize] = true;
-        active.push(src);
-    }
-    true
-}
-
-/// The shared flit-level engine body behind [`simulate_wormhole`] and
-/// [`simulate_wormhole_faulted`]. See [`simulate_wormhole`] for the
-/// model; the cycle structure deliberately mirrors [`engine`] phase for
-/// phase (idle fast-forward, injection, forward scan in ascending node
-/// and edge order, arrivals at the `cycle + 1` boundary) so the
-/// degenerate configuration is event-for-event identical.
-#[allow(clippy::too_many_arguments)]
-fn wormhole_engine<T, R, O, A>(
-    topology: &T,
-    router: &R,
-    flits_per_packet: u32,
-    vcs: u32,
-    buf_flits: u32,
-    packets: &[Packet],
-    max_cycles: u64,
-    observer: &mut O,
-    admission: &A,
-) -> SimStats
-where
-    T: Topology + ?Sized,
-    R: Router + ?Sized,
-    O: SimObserver,
-    A: Admission,
-{
-    let n = topology.len();
-    let g = topology.graph();
-    let routing = routing_for(topology, router, packets.len());
-    let vcs = vcs.max(1) as usize;
-    let buf_flits = buf_flits.max(1) as u64;
-    let fpp = flits_per_packet.max(1);
-    let max_level = vcs as u32 - 1;
-
-    let links = g.num_directed_edges();
-    let mut queues = FlitQueues::new(links, vcs);
-    // Aggregated per-link flit occupancy: drives the cheap forward-scan
-    // skip and doubles as the load view adaptive routers consult.
-    let mut link_load: Vec<u32> = vec![0; links];
-    // Which multi-flit packet holds each buffer (worms may not
-    // interleave; single-flit packets are self-contained and bypass
-    // claims entirely).
-    let mut claimed: Vec<u32> = vec![NO_CLAIM; links * vcs];
-    // Same-cycle credit reservations, consumed by the arrival phase.
-    let mut reserved: Vec<u32> = vec![0; links * vcs];
-
-    let mut slab = PacketSlab::new();
-    let mut worm = WormState::default();
-    // Flits queued per node (drives the active worklist).
-    let mut occupancy = vec![0u32; n];
-    let mut on_list = vec![false; n];
-    let mut active: Vec<u32> = Vec::new();
-    let mut next_active: Vec<u32> = Vec::new();
-    // (flit record, buffer index or EJECT, buffer-owning/destination node)
-    let mut arrivals: Vec<(u64, u32, u32)> = Vec::new();
-    // Heads that could not claim their first buffer, in injection order.
-    let mut pending: VecDeque<u32> = VecDeque::new();
-    // Multi-flit packets still streaming body flits from their source.
-    let mut streams: Vec<u32> = Vec::new();
-
-    let mut inj: Vec<&Packet> = packets.iter().collect();
-    inj.sort_by_key(|p| p.inject_time);
-    let mut next_inject = 0usize;
-
-    let mut acc = StatsAcc::for_network(n);
-    let mut in_flight = 0usize;
-
-    let mut cycle: u64 = 0;
-    while cycle < max_cycles {
-        // Skip straight to the next injection when the network is empty.
-        if in_flight == 0 {
-            match inj.get(next_inject) {
-                None => break,
-                Some(p) if p.inject_time > cycle => {
-                    if p.inject_time >= max_cycles {
-                        break;
-                    }
-                    cycle = p.inject_time;
-                }
-                Some(_) => {}
-            }
-        }
-
-        let mut progressed = false;
-
-        // Streaming continuation: each multi-flit packet feeds at most
-        // one body flit per cycle into its claimed first buffer. The
-        // claim is released once the tail has entered the network.
-        streams.retain(|&id| {
-            let i = id as usize;
-            let b0 = worm.path[i][0] as usize;
-            if queues.load(b0) as u64 + reserved[b0] as u64 >= buf_flits {
-                return true;
-            }
-            let sent = worm.flits_sent[i];
-            let is_tail = sent + 1 == worm.flits_total[i];
-            queues.push(b0, flit(id, 0, false, is_tail));
-            let e0 = b0 / vcs;
-            link_load[e0] += 1;
-            let src = worm.src[i] as usize;
-            occupancy[src] += 1;
-            observer.on_flit_hop(cycle, e0, (b0 % vcs) as u32, queues.load(b0) as u32);
-            if !on_list[src] {
-                on_list[src] = true;
-                active.push(src as u32);
-            }
-            worm.flits_sent[i] = sent + 1;
-            progressed = true;
-            if is_tail {
-                if claimed[b0] == id {
-                    claimed[b0] = NO_CLAIM;
-                }
-                false
-            } else {
-                true
-            }
-        });
-
-        // Retry heads that failed to claim their first buffer, oldest
-        // first; failures keep their order without blocking later ones.
-        for _ in 0..pending.len() {
-            let id = pending.pop_front().expect("iteration is len-bounded");
-            if try_place_head(
-                topology,
-                g,
-                &routing,
-                &mut queues,
-                &mut link_load,
-                &mut claimed,
-                &reserved,
-                &mut worm,
-                &slab,
-                &mut occupancy,
-                &mut on_list,
-                &mut active,
-                &mut streams,
-                observer,
-                vcs,
-                buf_flits,
-                cycle,
-                id,
-            ) {
-                progressed = true;
-            } else {
-                pending.push_back(id);
-            }
-        }
-
-        // Inject everything due this cycle (same admission and
-        // self-addressed handling as the store-and-forward engine).
-        while next_inject < inj.len() && inj[next_inject].inject_time <= cycle {
-            let p = inj[next_inject];
-            next_inject += 1;
-            observer.on_inject(cycle, p.src, p.dst);
-            if let Some(reason) = admission.verdict(p.src, p.dst) {
-                match reason {
-                    DropReason::DeadEndpoint => acc.dropped_dead_endpoint += 1,
-                    DropReason::Unreachable => acc.dropped_unreachable += 1,
-                }
-                observer.on_drop(cycle, p.src, p.dst, reason);
-                continue;
-            }
-            if p.src == p.dst {
-                acc.deliver_instant();
-                observer.on_deliver(cycle, p.dst, 0);
-                continue;
-            }
-            let id = slab.alloc(p.dst, p.inject_time);
-            worm.reset(id, p.src, fpp);
-            in_flight += 1;
-            if try_place_head(
-                topology,
-                g,
-                &routing,
-                &mut queues,
-                &mut link_load,
-                &mut claimed,
-                &reserved,
-                &mut worm,
-                &slab,
-                &mut occupancy,
-                &mut on_list,
-                &mut active,
-                &mut streams,
-                observer,
-                vcs,
-                buf_flits,
-                cycle,
-                id,
-            ) {
-                progressed = true;
-            } else {
-                pending.push_back(id);
-            }
-        }
-
-        // Forward phase: each directed link of an active node moves at
-        // most one flit, scanning VCs lowest-first for a front flit that
-        // can advance. Ascending node and edge order matches the
-        // store-and-forward engine's service order exactly.
-        active.sort_unstable();
-        for &u in &active {
-            on_list[u as usize] = false;
-            for e in g.edge_range(u) {
-                if link_load[e] == 0 {
-                    continue;
-                }
-                for vc in 0..vcs {
-                    let b = e * vcs + vc;
-                    let Some(f) = queues.front(b) else { continue };
-                    let id = f as u32;
-                    let i = id as usize;
-                    let idx = flit_idx(f);
-                    if f & FLIT_HEAD != 0 {
-                        let v = g.target(e);
-                        let dst = slab.dst(id);
-                        if v == dst {
-                            queues.pop(b);
-                            link_load[e] -= 1;
-                            occupancy[u as usize] -= 1;
-                            observer.on_hop(cycle, u, v, e);
-                            slab.record_hop(id);
-                            acc.total_hops += 1;
-                            arrivals.push((f, EJECT, v));
-                            progressed = true;
-                            break;
-                        }
-                        let e2 = route_edge(g, &routing, &link_load, v, dst);
-                        let c2 = topology.channel_class(v, g.target(e2));
-                        let mut lvl = worm.level[i];
-                        if c2 <= worm.last_class[i] {
-                            // Class order broken (a ring dateline or a
-                            // fault detour): escape one VC level up.
-                            lvl = (lvl + 1).min(max_level);
-                        }
-                        let b2 = e2 * vcs + lvl as usize;
-                        let multi = worm.flits_total[i] > 1;
-                        if multi && claimed[b2] != NO_CLAIM && claimed[b2] != id {
-                            continue;
-                        }
-                        if queues.load(b2) as u64 + reserved[b2] as u64 >= buf_flits {
-                            continue;
-                        }
-                        queues.pop(b);
-                        link_load[e] -= 1;
-                        occupancy[u as usize] -= 1;
-                        if multi {
-                            claimed[b2] = id;
-                        }
-                        reserved[b2] += 1;
-                        worm.level[i] = lvl;
-                        worm.last_class[i] = c2;
-                        worm.path[i].push(b2 as u32);
-                        observer.on_hop(cycle, u, v, e);
-                        slab.record_hop(id);
-                        acc.total_hops += 1;
-                        arrivals.push((flit(id, idx + 1, true, f & FLIT_TAIL != 0), b2 as u32, v));
-                        progressed = true;
-                        break;
-                    }
-                    // Body/tail flit: follow the head's reserved chain.
-                    let path = &worm.path[i];
-                    if idx + 1 < path.len() {
-                        let b2 = path[idx + 1] as usize;
-                        if queues.load(b2) as u64 + reserved[b2] as u64 >= buf_flits {
-                            continue;
-                        }
-                        queues.pop(b);
-                        link_load[e] -= 1;
-                        occupancy[u as usize] -= 1;
-                        reserved[b2] += 1;
-                        arrivals.push((
-                            flit(id, idx + 1, false, f & FLIT_TAIL != 0),
-                            b2 as u32,
-                            g.target(e),
-                        ));
-                        progressed = true;
-                        break;
-                    }
-                    if worm.head_ejected[i] {
-                        // End of the chain with the head gone: this flit
-                        // crosses the final link into the destination.
-                        queues.pop(b);
-                        link_load[e] -= 1;
-                        occupancy[u as usize] -= 1;
-                        arrivals.push((f, EJECT, g.target(e)));
-                        progressed = true;
-                        break;
-                    }
-                    // Head still parked one buffer ahead: wait.
-                }
-            }
-            if occupancy[u as usize] > 0 {
-                on_list[u as usize] = true;
-                next_active.push(u);
-            }
-        }
-        active.clear();
-        std::mem::swap(&mut active, &mut next_active);
-
-        // Arrivals (at the cycle + 1 boundary): flits enter their
-        // reserved buffers or leave the network at the destination.
-        let now = cycle + 1;
-        for (f, buf, node) in arrivals.drain(..) {
-            let id = f as u32;
-            if buf == EJECT {
-                if f & FLIT_TAIL != 0 {
-                    in_flight -= 1;
-                    let inject_time = slab.inject(id);
-                    acc.deliver(now, inject_time);
-                    observer.on_deliver(now, node, now - inject_time);
-                    slab.release(id);
-                } else if f & FLIT_HEAD != 0 {
-                    worm.head_ejected[id as usize] = true;
-                }
-                // Body flits between head and tail vanish at dst.
-            } else {
-                let b = buf as usize;
-                let e = b / vcs;
-                reserved[b] -= 1;
-                queues.push(b, f);
-                link_load[e] += 1;
-                occupancy[node as usize] += 1;
-                observer.on_flit_hop(now, e, (b % vcs) as u32, queues.load(b) as u32);
-                if f & FLIT_TAIL != 0 && claimed[b] == id {
-                    claimed[b] = NO_CLAIM;
-                }
-                if !on_list[node as usize] {
-                    on_list[node as usize] = true;
-                    active.push(node);
-                }
-            }
-        }
-        observer.on_cycle_end(cycle, in_flight);
-
-        if !progressed && in_flight > 0 {
-            // Nothing moved. With a future injection the network may
-            // unstick (new packets can place on other links): jump there.
-            // With none, this is a genuine deadlock — only reachable off
-            // the order-based configurations — so stop instead of
-            // spinning to the cap; the stranded packets surface as
-            // `offered − delivered − dropped`.
-            match inj.get(next_inject) {
-                Some(p) if p.inject_time >= max_cycles => break,
-                Some(p) => {
-                    cycle = p.inject_time.max(cycle + 1);
-                    continue;
-                }
-                None => break,
-            }
-        }
-        cycle += 1;
-    }
-
-    acc.finish(packets.len())
-}
-
-/// The seed's original engine, kept verbatim as a behavioural oracle and
-/// speedup baseline: scans every node every cycle and binary-searches the
-/// neighbor list on every hop, routing through `Topology::next_hop`.
-pub fn simulate_reference(
-    topology: &dyn Topology,
-    packets: &[Packet],
-    max_cycles: u64,
-) -> SimStats {
-    let n = topology.len();
-    let graph = topology.graph();
-    let mut queues: Vec<Vec<VecDeque<InFlight>>> = (0..n)
-        .map(|u| vec![VecDeque::new(); graph.degree(u as u32)])
-        .collect();
-    let mut inj: Vec<&Packet> = packets.iter().collect();
-    inj.sort_by_key(|p| p.inject_time);
-    let mut next_inject = 0usize;
-
-    let slot_of = |u: u32, v: u32| -> usize {
-        graph
-            .neighbors(u)
-            .binary_search(&v)
-            .expect("next_hop must return a neighbor")
-    };
-
-    let mut acc = StatsAcc::for_network(n);
-    let mut in_flight = 0usize;
-
-    let mut cycle: u64 = 0;
-    while cycle < max_cycles {
-        while next_inject < inj.len() && inj[next_inject].inject_time <= cycle {
-            let p = inj[next_inject];
-            next_inject += 1;
-            if p.src == p.dst {
-                acc.deliver_instant();
-                continue;
-            }
-            let hop = topology.next_hop(p.src, p.dst).expect("src ≠ dst");
-            queues[p.src as usize][slot_of(p.src, hop)].push_back(InFlight {
-                dst: p.dst,
-                inject_time: p.inject_time,
-            });
-            in_flight += 1;
-        }
-        if in_flight == 0 && next_inject >= inj.len() {
-            break;
-        }
-        let mut arrivals: Vec<(u32, InFlight)> = Vec::new();
-        for u in 0..n as u32 {
-            for (slot, &v) in graph.neighbors(u).iter().enumerate() {
-                if let Some(pkt) = queues[u as usize][slot].pop_front() {
-                    arrivals.push((v, pkt));
-                    acc.total_hops += 1;
-                }
-            }
-        }
-        let now = cycle + 1;
-        for (node, pkt) in arrivals {
-            if node == pkt.dst {
-                in_flight -= 1;
-                acc.deliver(now, pkt.inject_time);
-            } else {
-                let hop = topology.next_hop(node, pkt.dst).expect("progressive");
-                queues[node as usize][slot_of(node, hop)].push_back(pkt);
-            }
-        }
-        cycle += 1;
-    }
-
-    acc.finish(packets.len())
-}
-
-/// Full-scan oracle for **degraded** runs, mirroring
-/// [`simulate_reference`]: the same admission rules (dead or disconnected
-/// endpoints become typed drops at injection) and the same
-/// [`FaultMaskingRouter`] policy as [`simulate_faulted`], but run through
-/// the seed-style engine — per-node `VecDeque`s, every node scanned every
-/// cycle, routing consulted per hop with the live queue lengths. A test
-/// harness, far too slow for experiments: the property tests compare the
-/// arena engine against it packet for packet.
-pub fn simulate_faulted_reference(
-    topology: &dyn Topology,
-    router: &dyn Router,
-    faults: &FaultSet,
-    packets: &[Packet],
-    max_cycles: u64,
-) -> SimStats {
-    let n = topology.len();
-    let graph = topology.graph();
-    let masked = FaultMaskingRouter::new(graph, &router, faults);
-    let mut queues: Vec<Vec<VecDeque<InFlight>>> = (0..n)
-        .map(|u| vec![VecDeque::new(); graph.degree(u as u32)])
-        .collect();
-    let mut inj: Vec<&Packet> = packets.iter().collect();
-    inj.sort_by_key(|p| p.inject_time);
-    let mut next_inject = 0usize;
-
-    struct RefLoad<'a> {
-        queues: &'a [VecDeque<InFlight>],
-    }
-    impl LinkLoad for RefLoad<'_> {
-        fn load(&self, slot: usize) -> usize {
-            self.queues[slot].len()
-        }
-    }
-    let route = |queues: &mut Vec<Vec<VecDeque<InFlight>>>, node: u32, pkt: InFlight| {
-        let hop = {
-            let load = RefLoad {
-                queues: &queues[node as usize],
-            };
-            masked
-                .next_hop(node, pkt.dst, &load)
-                .expect("routing a packet not yet at dst")
-        };
-        let slot = graph
-            .slot_of(node, hop)
-            .expect("next_hop must return a neighbor");
-        queues[node as usize][slot].push_back(pkt);
-    };
-
-    let mut acc = StatsAcc::for_network(n);
-    let mut in_flight = 0usize;
-
-    let mut cycle: u64 = 0;
-    while cycle < max_cycles {
-        while next_inject < inj.len() && inj[next_inject].inject_time <= cycle {
-            let p = inj[next_inject];
-            next_inject += 1;
-            if !masked.node_alive(p.src) || !masked.node_alive(p.dst) {
-                acc.dropped_dead_endpoint += 1;
-                continue;
-            }
-            if p.src != p.dst && !masked.reachable(p.src, p.dst) {
-                acc.dropped_unreachable += 1;
-                continue;
-            }
-            if p.src == p.dst {
-                acc.deliver_instant();
-                continue;
-            }
-            route(
-                &mut queues,
-                p.src,
-                InFlight {
-                    dst: p.dst,
-                    inject_time: p.inject_time,
-                },
-            );
-            in_flight += 1;
-        }
-        if in_flight == 0 && next_inject >= inj.len() {
-            break;
-        }
-        let mut arrivals: Vec<(u32, InFlight)> = Vec::new();
-        for u in 0..n as u32 {
-            for (slot, &v) in graph.neighbors(u).iter().enumerate() {
-                if let Some(pkt) = queues[u as usize][slot].pop_front() {
-                    arrivals.push((v, pkt));
-                    acc.total_hops += 1;
-                }
-            }
-        }
-        let now = cycle + 1;
-        for (node, pkt) in arrivals {
-            if node == pkt.dst {
-                in_flight -= 1;
-                acc.deliver(now, pkt.inject_time);
-            } else {
-                route(&mut queues, node, pkt);
-            }
-        }
-        cycle += 1;
-    }
-
-    acc.finish(packets.len())
-}
-
-pub(crate) fn bump(hist: &mut Vec<u64>, lat: u64) {
-    let lat = lat as usize;
-    if hist.len() <= lat {
-        hist.resize(lat + 1, 0);
-    }
-    hist[lat] += 1;
-}
-
-pub(crate) fn percentile(hist: &[u64], q: f64) -> u64 {
-    let total: u64 = hist.iter().sum();
-    if total == 0 {
-        return 0;
-    }
-    let target = ((total as f64) * q).ceil() as u64;
-    let mut acc = 0u64;
-    for (lat, &c) in hist.iter().enumerate() {
-        acc += c;
-        if acc >= target {
-            return lat as u64;
-        }
-    }
-    hist.len() as u64 - 1
-}
+//! Facade over the unified [`engine`](crate::engine) subsystem, kept for
+//! source compatibility: every historical `crate::simulator::*` path
+//! still resolves here. The engine core, its policy traits, and the
+//! seven entry points live in [`crate::engine`]; see that module for the
+//! model and the policy-axis architecture, and
+//! [`crate::engine::policy`] for the traits a new switching, fault, or
+//! replication behaviour implements.
+
+pub(crate) use crate::engine::stats::{bump, percentile};
+pub use crate::engine::{
+    simulate, simulate_collective, simulate_faulted, simulate_faulted_reference, simulate_observed,
+    simulate_reference, simulate_with, simulate_wormhole, simulate_wormhole_faulted, DropReason,
+    LogHistogram, SimStats, DENSE_HISTOGRAM_NODE_LIMIT,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::observer::{LatencyHistogram, LinkHeatmap};
+    use crate::observer::{LatencyHistogram, LinkHeatmap, NoopObserver, SimObserver};
     use crate::router::{AdaptiveMinimal, CanonicalRouter, EcubeRouter};
-    use crate::topology::{FibonacciNet, Hypercube, Ring};
-    use crate::traffic::TrafficSpec;
+    use crate::topology::{FibonacciNet, Hypercube, Ring, Topology};
+    use crate::traffic::{Packet, TrafficSpec};
 
     fn uniform(n: usize, count: usize, window: u64, seed: u64) -> Vec<Packet> {
         TrafficSpec::Uniform { count, window }.generate(n, seed)
@@ -2402,10 +631,12 @@ mod tests {
 #[cfg(test)]
 mod wormhole_tests {
     use super::*;
+    use crate::fault::FaultSet;
+    use crate::observer::{NoopObserver, SimObserver};
     use crate::router::{AdaptiveMinimal, EcubeRouter};
     use crate::switching::{SwitchingSpec, VcOccupancy, PACKET_LENGTH_UNITS};
-    use crate::topology::{FibonacciNet, Hypercube, Mesh, Ring};
-    use crate::traffic::TrafficSpec;
+    use crate::topology::{FibonacciNet, Hypercube, Mesh, Ring, Topology};
+    use crate::traffic::{Packet, TrafficSpec};
 
     /// Degenerate wormhole: one flit per packet, one VC, effectively
     /// unbounded buffers — structurally the store-and-forward engine.

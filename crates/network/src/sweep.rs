@@ -169,9 +169,8 @@ fn aggregate(rates: &[f64], runs: &[SimStats], n: usize, config: &SweepConfig) -
 /// an unsupported policy fails fast with a typed error instead of
 /// panicking mid-sweep.
 ///
-/// Each parallel job resolves its own router instance: a shared
-/// `Box<dyn Router>` would need a `Sync` bound that
-/// [`Topology::resolve_router`] cannot promise for `?Sized` topologies,
+/// Each parallel job resolves its own router instance: sharing one
+/// would serialize construction order into the sweep's cell fan-out,
 /// and a rebuild (`O(n·d)` for the canonical flip table, the most
 /// expensive case) is microseconds against the milliseconds each
 /// simulation run costs. Callers holding a concrete `Router + Sync` can

@@ -46,7 +46,13 @@ impl std::error::Error for RouteError {}
 
 /// A static interconnection topology: a node set with materialised links
 /// and a (distributed) routing rule.
-pub trait Topology {
+///
+/// `Send + Sync` is a supertrait: topologies are immutable once built
+/// (interior caches like the implicit network's lazy CSR use
+/// thread-safe cells), and the parallel engine
+/// ([`simulate_parallel`](crate::simulate_parallel)) shares them across
+/// its shard workers.
+pub trait Topology: Send + Sync {
     /// Human-readable name (`"Γ_8"`, `"Q_6"`, `"Ring_64"`, …).
     fn name(&self) -> String;
 
@@ -103,7 +109,7 @@ pub trait Topology {
     /// [`simulate`](crate::simulator::simulate) drives packets with.
     /// Defaults to wrapping [`next_hop`](Topology::next_hop); hypercube
     /// and Fibonacci networks override with their `O(1)`-per-hop routers.
-    fn router(&self) -> Box<dyn Router + '_> {
+    fn router(&self) -> Box<dyn Router + Send + Sync + '_> {
         Box::new(NextHopRouter::new(self))
     }
 
@@ -116,7 +122,7 @@ pub trait Topology {
     /// The default supports [`RouterSpec::Preferred`] (via
     /// [`router`](Topology::router)) and [`RouterSpec::Builtin`];
     /// topologies with specialised policies override.
-    fn resolve_router(&self, spec: RouterSpec) -> Option<Box<dyn Router + '_>> {
+    fn resolve_router(&self, spec: RouterSpec) -> Option<Box<dyn Router + Send + Sync + '_>> {
         match spec {
             RouterSpec::Preferred => Some(self.router()),
             RouterSpec::Builtin => Some(Box::new(NextHopRouter::new(self))),
@@ -203,11 +209,11 @@ impl Topology for Hypercube {
         (u ^ v).trailing_zeros()
     }
 
-    fn router(&self) -> Box<dyn Router + '_> {
+    fn router(&self) -> Box<dyn Router + Send + Sync + '_> {
         Box::new(EcubeRouter)
     }
 
-    fn resolve_router(&self, spec: RouterSpec) -> Option<Box<dyn Router + '_>> {
+    fn resolve_router(&self, spec: RouterSpec) -> Option<Box<dyn Router + Send + Sync + '_>> {
         match spec {
             RouterSpec::Preferred | RouterSpec::Ecube => Some(Box::new(EcubeRouter)),
             RouterSpec::Builtin => Some(Box::new(NextHopRouter::new(self))),
@@ -346,14 +352,14 @@ impl Topology for FibonacciNet {
         unreachable!("channel endpoints must differ in one position")
     }
 
-    fn router(&self) -> Box<dyn Router + '_> {
+    fn router(&self) -> Box<dyn Router + Send + Sync + '_> {
         // Built on demand: one O(n·d·log n) table pass per simulation run
         // (comparable to the engine's own SlotTable build), so the many
         // non-routing analyses don't pay for it at construction.
         Box::new(CanonicalRouter::for_net(self))
     }
 
-    fn resolve_router(&self, spec: RouterSpec) -> Option<Box<dyn Router + '_>> {
+    fn resolve_router(&self, spec: RouterSpec) -> Option<Box<dyn Router + Send + Sync + '_>> {
         match spec {
             RouterSpec::Preferred | RouterSpec::Canonical => {
                 Some(Box::new(CanonicalRouter::for_net(self)))

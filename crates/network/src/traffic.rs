@@ -7,12 +7,11 @@
 //! [`TrafficSpec::generate`] is deterministic in `(spec, n, seed)`, and
 //! [`Display`](core::fmt::Display)/[`FromStr`]
 //! round-trip, so scenarios can live on a CLI flag or in a JSON report
-//! and reproduce exactly.
-//!
-//! The pre-`Experiment` free functions ([`uniform`], [`hot_spot`],
-//! [`complement_permutation`], [`bernoulli`], [`all_to_all`]) survive as
-//! deprecated shims for one release; they produce identical packet
-//! streams to the corresponding spec.
+//! and reproduce exactly. (The pre-`Experiment` free functions —
+//! `uniform`, `hot_spot`, `complement_permutation`, `bernoulli`,
+//! `all_to_all` — were deprecated for one release and are now gone;
+//! the corresponding [`TrafficSpec`] variant generates the identical
+//! packet stream.)
 
 use core::fmt;
 use core::str::FromStr;
@@ -34,7 +33,7 @@ pub struct Packet {
 }
 
 // ---------------------------------------------------------------------------
-// Generator implementations (shared by TrafficSpec and the deprecated shims)
+// Generator implementations
 // ---------------------------------------------------------------------------
 
 fn gen_uniform(n: usize, count: usize, window: u64, seed: u64) -> Vec<Packet> {
@@ -456,57 +455,6 @@ impl FromStr for TrafficSpec {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated free-function shims (one release)
-// ---------------------------------------------------------------------------
-
-/// Uniform random traffic: `count` packets, sources and destinations drawn
-/// uniformly (src ≠ dst), injection times uniform in `0..window`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `TrafficSpec::Uniform { count, window }.generate(n, seed)` or drive an `Experiment`"
-)]
-pub fn uniform(n: usize, count: usize, window: u64, seed: u64) -> Vec<Packet> {
-    gen_uniform(n, count, window, seed)
-}
-
-/// Hot-spot traffic: like uniform, but a `hot_fraction` of packets aim at
-/// a single hot node (node 0) — the classic contention stressor.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `TrafficSpec::HotSpot { count, window, hot_fraction }.generate(n, seed)` or drive an `Experiment`"
-)]
-pub fn hot_spot(n: usize, count: usize, window: u64, hot_fraction: f64, seed: u64) -> Vec<Packet> {
-    gen_hot_spot(n, count, window, hot_fraction, seed)
-}
-
-/// Complement permutation: node `i` sends to node `n − 1 − i`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `TrafficSpec::ComplementPermutation { window }.generate(n, seed)` or drive an `Experiment`"
-)]
-pub fn complement_permutation(n: usize, window: u64) -> Vec<Packet> {
-    gen_complement(n, window)
-}
-
-/// Open-loop Bernoulli injection — the workload of saturation sweeps.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `TrafficSpec::Bernoulli { rate, cycles }.generate(n, seed)` or drive an `Experiment`"
-)]
-pub fn bernoulli(n: usize, rate: f64, cycles: u64, seed: u64) -> Vec<Packet> {
-    gen_bernoulli(n, rate, cycles, seed)
-}
-
-/// All-to-all: every ordered pair once (quadratic — small nets only).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `TrafficSpec::AllToAll.generate(n, seed)` or drive an `Experiment`"
-)]
-pub fn all_to_all(n: usize) -> Vec<Packet> {
-    gen_all_to_all(n)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -727,36 +675,5 @@ mod tests {
         .validate(8)
         .is_err());
         assert!(TrafficSpec::AllToAll.validate(1).is_ok());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_their_specs() {
-        assert_eq!(
-            uniform(10, 100, 50, 7),
-            uniform_spec(100, 50).generate(10, 7)
-        );
-        assert_eq!(
-            hot_spot(16, 200, 100, 0.5, 3),
-            TrafficSpec::HotSpot {
-                count: 200,
-                window: 100,
-                hot_fraction: 0.5
-            }
-            .generate(16, 3)
-        );
-        assert_eq!(
-            complement_permutation(8, 2),
-            TrafficSpec::ComplementPermutation { window: 2 }.generate(8, 0)
-        );
-        assert_eq!(
-            bernoulli(12, 0.1, 30, 5),
-            TrafficSpec::Bernoulli {
-                rate: 0.1,
-                cycles: 30
-            }
-            .generate(12, 5)
-        );
-        assert_eq!(all_to_all(5), TrafficSpec::AllToAll.generate(5, 0));
     }
 }

@@ -20,8 +20,8 @@ use fibcube_network::switching::{SwitchingSpec, PACKET_LENGTH_UNITS};
 use fibcube_network::topology::{FibonacciNet, Hypercube, Mesh, Ring, Topology};
 use fibcube_network::traffic::{Packet, TrafficSpec};
 use fibcube_network::{
-    CollectiveSpec, DistanceTable, Experiment, ImplicitFibonacciNet, ImplicitRouter, Port,
-    RouterSpec,
+    simulate_parallel, CollectiveSpec, DistanceTable, Experiment, ImplicitFibonacciNet,
+    ImplicitRouter, Port, RouterSpec,
 };
 use proptest::prelude::*;
 
@@ -493,6 +493,58 @@ proptest! {
             },
         };
         round_trip(&switching);
+    }
+
+    #[test]
+    fn parallel_engine_is_thread_count_independent(count in 1usize..100, window in 0u64..60, seed in 0u64..10_000, faults in 0usize..5) {
+        // Acceptance property of the sharded engine: the propose/commit
+        // cycle makes the run a pure function of the workload — one, two,
+        // four, or eight shards produce *identical* `SimStats` (histograms
+        // included), healthy and faulted, across all five topology
+        // families. Wormhole runs take the documented serial fallback
+        // through the builder, so thread count must be invisible there too.
+        for topo in [
+            &FibonacciNet::classical(7) as &dyn Topology,
+            &Hypercube::new(4),
+            &Ring::new(11),
+            &Mesh::new(4, 3),
+            &ImplicitFibonacciNet::classical(7),
+        ] {
+            let pkts = uniform(topo.len(), count, window, seed);
+            let router = topo.router();
+            let fault_sets = [
+                FaultSet::default(),
+                FaultSpec::Nodes { count: faults.min(topo.len() - 2) }
+                    .sample(topo.graph(), seed ^ 0xBEEF)
+                    .expect("fault count below node count"),
+            ];
+            for set in &fault_sets {
+                let serial =
+                    simulate_faulted(topo, &*router, set, &pkts, 1_000_000, &mut NoopObserver);
+                for t in [1usize, 2, 4, 8] {
+                    let sharded = simulate_parallel(topo, &*router, set, &pkts, 1_000_000, t);
+                    prop_assert_eq!(
+                        &sharded, &serial,
+                        "{} with {} faults at {t} threads",
+                        topo.name(), set.failed_nodes().len()
+                    );
+                }
+            }
+            // Wormhole through the builder: threads are accepted but the
+            // run stays serial — reports must be bit-identical anyway.
+            let worm = |threads: usize| {
+                Experiment::on(topo)
+                    .traffic(TrafficSpec::Uniform { count, window })
+                    .switching(SwitchingSpec::Wormhole { flit_size: 4, vcs: 2, buf_flits: 2 })
+                    .seed(seed)
+                    .cycles(1_000_000)
+                    .threads(threads)
+                    .run()
+                    .expect("wormhole experiment resolves")
+            };
+            let worm_serial = worm(1);
+            prop_assert_eq!(&worm(4).stats, &worm_serial.stats, "wormhole {}", topo.name());
+        }
     }
 
     #[test]
