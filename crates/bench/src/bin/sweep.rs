@@ -23,12 +23,17 @@
 //!    under store-and-forward vs flit-level wormhole switching (virtual
 //!    channels, credit backpressure) on Γ vs Q — how the switching model
 //!    moves the latency/saturation picture at identical offered load;
-//! 7. `BENCH_sim.json` in the working directory — assembled from the
+//! 7. churn grids (`churn_sweep`): dynamic fault churn over
+//!    {Γ, Q, Ring, Mesh} across a mean-time-to-repair ladder, with the
+//!    SLO tracker reporting per-fail-event time-to-recover, recovered
+//!    fraction, and the worst windowed p99.9 tail — the
+//!    recovery-vs-MTTR picture of the robustness story;
+//! 8. `BENCH_sim.json` in the working directory — assembled from the
 //!    `Report`/`SweepCurve`/`FaultLoadGrid`/`CollectiveGrid`/
-//!    `SwitchingGrid` JSON trees, seeding the performance trajectory with
-//!    throughput / latency per topology at the fixed load, the measured
-//!    speedups, and the fault-resilience, collectives, scale, and
-//!    switching sections.
+//!    `SwitchingGrid`/`ChurnGrid` JSON trees, seeding the performance
+//!    trajectory with throughput / latency per topology at the fixed
+//!    load, the measured speedups, and the fault-resilience,
+//!    collectives, scale, switching, and churn sections.
 //!
 //! `cargo run --release -p fibcube-bench --bin sweep`
 //!
@@ -44,22 +49,24 @@
 //! with ≥8 CPUs, and the `asserted` flag records which case ran).
 //!
 //! Pass `--check-threads N` for the standalone determinism check CI
-//! runs as a thread matrix: the Γ_16 fixed load, healthy and faulted,
-//! serial vs `N` shard workers — full `SimStats` equality or exit 1.
+//! runs as a thread matrix: the Γ_16 fixed load — healthy, statically
+//! faulted, and under a mid-run churn timeline — serial vs `N` shard
+//! workers, full `SimStats` equality or exit 1.
 
 use std::time::Instant;
 
 use fibcube_bench::{header, BenchError};
-use fibcube_network::fault::FaultSet;
+use fibcube_network::fault::{ChurnTimeline, FaultSet};
 use fibcube_network::report::JsonValue;
 use fibcube_network::sweep::{
-    collective_sweep, fault_load_sweep, injection_sweep, rate_ladder, saturation_point,
-    switching_sweep, CollectiveGrid, FaultLoadGrid, SweepConfig, SwitchingGrid,
+    churn_sweep, collective_sweep, fault_load_sweep, injection_sweep, rate_ladder,
+    saturation_point, switching_sweep, ChurnGrid, CollectiveGrid, FaultLoadGrid, SweepConfig,
+    SwitchingGrid,
 };
 use fibcube_network::{
-    simulate_parallel, simulate_reference, CollectiveSpec, Experiment, FibonacciNet, Hypercube,
-    ImplicitFibonacciNet, Mesh, Port, Report, Ring, RouterSpec, SweepCurve, SwitchingSpec,
-    Topology, TrafficSpec,
+    simulate_parallel, simulate_parallel_churn, simulate_reference, CollectiveSpec, Experiment,
+    FibonacciNet, Hypercube, ImplicitFibonacciNet, Mesh, Port, Report, Ring, RouterSpec,
+    SweepCurve, SwitchingSpec, Topology, TrafficSpec,
 };
 
 struct FixedLoadRow {
@@ -241,6 +248,37 @@ fn print_switching_grid(grid: &SwitchingGrid) {
             p.mean_latency,
             p.p99_latency,
             p.makespan
+        );
+    }
+}
+
+fn print_churn_grid(grid: &ChurnGrid) {
+    println!(
+        "\n{} · router {} · {} nodes · rate {} · node/link churn {}/{}",
+        grid.topology, grid.router, grid.nodes, grid.rate, grid.node_rate, grid.link_rate
+    );
+    println!(
+        "{:>8} {:>7} {:>7} {:>11} {:>11} {:>10} {:>10} {:>10}",
+        "mttr", "events", "fails", "recovered", "mean TTR", "deliv frac", "died drops", "w p99.9"
+    );
+    for p in &grid.points {
+        println!(
+            "{:>8} {:>7.1} {:>7.1} {:>11} {:>11} {:>10} {:>10.1} {:>10.1}",
+            if p.mttr.is_finite() {
+                format!("{:.0}", p.mttr)
+            } else {
+                "∞".to_string()
+            },
+            p.events,
+            p.fail_events,
+            p.recovered_fraction
+                .map_or_else(|| "n/a".to_string(), |f| format!("{:.0}%", 100.0 * f)),
+            p.mean_time_to_recover
+                .map_or_else(|| "n/a".to_string(), |t| format!("{t:.0}")),
+            p.delivered_fraction
+                .map_or_else(|| "n/a".to_string(), |f| format!("{:.1}%", 100.0 * f)),
+            p.dropped_link_died + p.dropped_node_died,
+            p.worst_window_p999,
         );
     }
 }
@@ -475,6 +513,23 @@ fn check_threads(threads: usize) -> Result<(), BenchError> {
             faults.failed_nodes().len()
         );
     }
+    // The churned configuration: a seeded mid-run fail/recover timeline
+    // applied at cycle boundaries — the dynamic engine must shard
+    // bit-identically too.
+    let timeline = ChurnTimeline::generate(gamma.graph(), 0.002, 0.002, 300.0, 2026, 10_000);
+    let serial = simulate_parallel_churn(&gamma, &*router, &timeline, &pkts, cap, 1);
+    let sharded = simulate_parallel_churn(&gamma, &*router, &timeline, &pkts, cap, threads);
+    if sharded != serial {
+        return Err(BenchError::ThreadCountMismatch {
+            topology: gamma.name(),
+            threads,
+        });
+    }
+    println!(
+        "check-threads: Γ_16 fixed load under churn ({} timeline events) at {threads} \
+         threads ≡ serial (full SimStats, histograms included)",
+        timeline.len()
+    );
     Ok(())
 }
 
@@ -930,6 +985,61 @@ fn run() -> Result<(), BenchError> {
     }
     let switching_ms = switching_start.elapsed().as_secs_f64() * 1e3;
 
+    header("E-S7 — dynamic fault churn (recovery time vs MTTR, SLO-grade reporting)");
+    let churn_start = Instant::now();
+    // A seeded mid-run fail/recover timeline over {Γ, Q, Ring, Mesh},
+    // swept across a mean-time-to-repair ladder at fixed churn
+    // intensity: the SLO tracker measures how long after each fail event
+    // the delivered fraction meets its target again, and what the churn
+    // costs in typed drops (packets on dying links/nodes) and windowed
+    // tail latency.
+    // Open-loop runs end when the last packet drains, so the injection
+    // phase must be long enough for the timeline to land events inside
+    // it: at 0.01 expected failures/cycle the smoke run commits ~8
+    // fails, the full run ~15.
+    let (churn_node_rate, churn_link_rate) = (0.005, 0.005);
+    let churn_mttrs: Vec<f64> = if smoke {
+        vec![60.0, f64::INFINITY]
+    } else {
+        vec![50.0, 200.0, 800.0, f64::INFINITY]
+    };
+    let churn_config = SweepConfig {
+        inject_cycles: if smoke { 800 } else { 1_500 },
+        drain_cycles: 2_500,
+        seeds: vec![1, 2],
+    };
+    let churn_topos: Vec<&(dyn Topology + Sync)> = vec![&gamma, &q, &ring, &mesh_c];
+    let mut churn_grids: Vec<ChurnGrid> = Vec::new();
+    for t in &churn_topos {
+        let grid = churn_sweep(
+            *t,
+            RouterSpec::Builtin,
+            0.05,
+            churn_node_rate,
+            churn_link_rate,
+            &churn_mttrs,
+            &churn_config,
+        )
+        .expect("the built-in router and validated churn parameters run everywhere");
+        // Well-formedness: one cell per MTTR, traffic flowed in every
+        // cell, and the infinite-MTTR cell commits no recover events.
+        assert_eq!(grid.points.len(), churn_mttrs.len());
+        let permanent = grid.points.last().expect("the MTTR ladder is non-empty");
+        assert!(permanent.mttr.is_infinite());
+        assert_eq!(permanent.events, permanent.fail_events);
+        for p in &grid.points {
+            assert!(p.offered > 0.0, "{}: churn cell offered nothing", t.name());
+            assert!(
+                p.fail_events > 0.0,
+                "{}: the run ended before any churn event committed",
+                t.name()
+            );
+        }
+        print_churn_grid(&grid);
+        churn_grids.push(grid);
+    }
+    let churn_ms = churn_start.elapsed().as_secs_f64() * 1e3;
+
     let scale = JsonValue::obj([
         (
             "workload",
@@ -1012,6 +1122,21 @@ fn run() -> Result<(), BenchError> {
         ),
     ]);
 
+    let churn = JsonValue::obj([
+        (
+            "workload",
+            JsonValue::Str(format!(
+                "bernoulli 0.05 × churn(node_rate={churn_node_rate},link_rate={churn_link_rate}) \
+                 × mttr ladder {churn_mttrs:?}, built-in routing, {} seeds",
+                churn_config.seeds.len()
+            )),
+        ),
+        (
+            "grids",
+            JsonValue::Arr(churn_grids.iter().map(ChurnGrid::to_json_value).collect()),
+        ),
+    ]);
+
     // Per-topology engine throughput plus per-phase wall-clock — the
     // regression trail for the arena engine.
     let engine_perf = JsonValue::obj([
@@ -1031,6 +1156,7 @@ fn run() -> Result<(), BenchError> {
                 ("collectives_ms", JsonValue::Num(collectives_ms)),
                 ("scale_ms", JsonValue::Num(scale_ms)),
                 ("switching_ms", JsonValue::Num(switching_ms)),
+                ("churn_ms", JsonValue::Num(churn_ms)),
                 (
                     "total_ms",
                     JsonValue::Num(total_start.elapsed().as_secs_f64() * 1e3),
@@ -1058,6 +1184,7 @@ fn run() -> Result<(), BenchError> {
         ("collectives", collectives),
         ("scale", scale),
         ("switching", switching),
+        ("churn", churn),
     ]);
     let text = json.pretty();
     // The artifact contract the CI smoke step relies on: the
@@ -1082,10 +1209,16 @@ fn run() -> Result<(), BenchError> {
     assert!(text.contains("\"switching_ms\""));
     assert!(text.contains("\"store_and_forward\""));
     assert!(text.contains("\"wormhole(flit_size="));
+    assert!(text.contains("\"churn\""));
+    assert!(text.contains("\"mttrs\""));
+    assert!(text.contains("\"mean_time_to_recover\""));
+    assert!(text.contains("\"recovered_fraction\""));
+    assert!(text.contains("\"worst_window_p999\""));
+    assert!(text.contains("\"dropped_link_died\""));
     std::fs::write("BENCH_sim.json", text).expect("write BENCH_sim.json");
     println!(
         "\nwrote BENCH_sim.json (engine_perf + fault_resilience + collectives + scale \
-         + switching sections included)"
+         + switching + churn sections included)"
     );
 
     // The acceptance bar holds in both modes: the fixed-load stage always

@@ -1,0 +1,679 @@
+//! The dynamic-fault (churn) store-and-forward engine: the same
+//! arena-backed cycle skeleton as the static engine ([`run_core`]), with
+//! a [`ChurnTimeline`] of fail/recover events applied at cycle
+//! boundaries and an optional closed-loop request/reply workload with
+//! timeout-and-retry delivery.
+//!
+//! ## Event semantics
+//!
+//! Events commit **between cycles**: all events with `cycle <= c` are
+//! applied at the top of cycle `c`, after the previous cycle's arrivals
+//! and before cycle `c`'s injections — so every admission verdict and
+//! routing decision within one cycle sees one consistent fault epoch
+//! (the stability contract of
+//! [`ChurnAdmission`](super::policy::ChurnAdmission)). Applying an event
+//! flips the [`FaultMaskingRouter`]'s masks and **incrementally patches**
+//! its distance table ([`FaultMaskingRouter::apply_event`]); packets
+//! queued on a dying link or node are flushed as typed drops
+//! ([`DropReason::LinkDied`] / [`DropReason::NodeDied`]). Deliveries at
+//! the `c + 1` arrival boundary precede deaths at cycle `c + 1`.
+//!
+//! ## Equivalence gates
+//!
+//! - An **empty timeline** delegates to the healthy engine — the
+//!   zero-churn run is packet-for-packet identical to
+//!   [`simulate_observed`](crate::simulate_observed).
+//! - A timeline whose failures all commit at cycle 0 and never recover
+//!   is packet-for-packet identical to the static degraded engine
+//!   ([`simulate_faulted`](crate::simulate_faulted)): both route per-hop
+//!   through the same [`FaultMaskingRouter`] state, with the same
+//!   injection admission and the same cycle skeleton.
+//!
+//! ## Closed-loop delivery
+//!
+//! [`simulate_request_reply`] replaces the open-loop packet list with
+//! `clients` sessions. Each session thinks (seeded exponential holding
+//! time), then issues a request to a fresh random destination; the
+//! destination answers with a reply packet, and the transaction
+//! completes when the reply returns. A reply that misses its deadline
+//! triggers a retry with seeded exponential backoff (jittered delay,
+//! doubling window, fresh destination — a failover probe); an exhausted
+//! retry budget is a typed [`DropReason::RetriesExhausted`] drop.
+//! `SimStats` counts **transactions**, not packets: `offered` is
+//! transactions started, a delivery's latency spans first request to
+//! final reply (retries included), and request/reply hops contribute to
+//! `total_hops` and link contention like any other traffic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fault::{ChurnEvent, ChurnTarget, ChurnTimeline, FaultSet};
+use crate::observer::SimObserver;
+use crate::router::{FaultMaskingRouter, Router};
+use crate::topology::Topology;
+use crate::traffic::Packet;
+
+use super::core::{run_core, Core, Routing};
+use super::policy::{ChurnAdmission, FaultPolicy, ReplicationPolicy};
+use super::stats::{DropReason, SimStats};
+
+/// Runs the store-and-forward engine under a churn timeline: faults
+/// fail and recover mid-run, routes repair incrementally, and packets
+/// caught on dying elements become typed drops. See the
+/// module-level docs for the event semantics and equivalence gates.
+///
+/// An empty timeline delegates to the healthy engine.
+pub fn simulate_churn<T, R, O>(
+    topology: &T,
+    router: &R,
+    timeline: &ChurnTimeline,
+    packets: &[Packet],
+    max_cycles: u64,
+    observer: &mut O,
+) -> SimStats
+where
+    T: Topology + ?Sized,
+    R: Router + ?Sized,
+    O: SimObserver,
+{
+    if timeline.is_empty() {
+        return super::simulate_observed(topology, router, packets, max_cycles, observer);
+    }
+    let masked = FaultMaskingRouter::new(topology.graph(), router, &FaultSet::empty());
+    let mut inj: Vec<&Packet> = packets.iter().collect();
+    inj.sort_by_key(|p| p.inject_time);
+    let workload = ChurnUnicast {
+        router: masked,
+        events: timeline.events(),
+        next_event: 0,
+        mode: Mode::Open {
+            inj,
+            next_inject: 0,
+        },
+    };
+    let (stats, _) = run_core(topology, packets.len(), max_cycles, observer, workload);
+    stats
+}
+
+/// The closed-loop request/reply workload of [`simulate_request_reply`]:
+/// `clients` sessions cycling think → request → reply with
+/// timeout-and-retry delivery. Parsed from
+/// [`TrafficSpec::RequestReply`](crate::traffic::TrafficSpec).
+#[derive(Clone, Copy, Debug)]
+pub struct RequestReplyLoad {
+    /// Concurrent client sessions.
+    pub clients: usize,
+    /// Mean think time between transactions (cycles, exponential).
+    pub think: f64,
+    /// Base reply deadline (cycles); doubles per retry attempt.
+    pub timeout: u64,
+    /// Retry budget beyond the first attempt.
+    pub retries: u32,
+    /// Seed for session placement, destinations, think times, backoff.
+    pub seed: u64,
+}
+
+/// Runs the closed-loop request/reply workload under a churn timeline
+/// (which may be empty — retries then only cover congestion). Requires
+/// at least 2 nodes and a finite `max_cycles` (the closed loop never
+/// drains on its own); the experiment layer enforces both with typed
+/// errors. See the module-level docs for the transaction accounting.
+pub fn simulate_request_reply<T, R, O>(
+    topology: &T,
+    router: &R,
+    timeline: &ChurnTimeline,
+    load: &RequestReplyLoad,
+    max_cycles: u64,
+    observer: &mut O,
+) -> SimStats
+where
+    T: Topology + ?Sized,
+    R: Router + ?Sized,
+    O: SimObserver,
+{
+    assert!(
+        topology.len() >= 2,
+        "request/reply needs a peer to talk to (>= 2 nodes)"
+    );
+    let masked = FaultMaskingRouter::new(topology.graph(), router, &FaultSet::empty());
+    let sessions = Sessions::new(load, topology.len() as u32);
+    let workload = ChurnUnicast {
+        router: masked,
+        events: timeline.events(),
+        next_event: 0,
+        mode: Mode::Closed(sessions),
+    };
+    let (mut stats, workload) = run_core(topology, 0, max_cycles, observer, workload);
+    if let Mode::Closed(sessions) = workload.mode {
+        stats.offered = sessions.offered;
+    }
+    stats
+}
+
+/// Traffic side of the churn engine: the open-loop time-sorted packet
+/// list, or the closed-loop session machine.
+enum Mode<'p> {
+    Open {
+        inj: Vec<&'p Packet>,
+        next_inject: usize,
+    },
+    Closed(Sessions),
+}
+
+/// The churn workload: a [`ReplicationPolicy`] owning the masked router
+/// *mutably*, so fault events can flip its masks and patch its distance
+/// table mid-run — the one capability the static [`Unicast`] workload's
+/// shared borrow rules out.
+///
+/// [`Unicast`]: super::core::Unicast
+struct ChurnUnicast<'g, 'p, R: Router + ?Sized> {
+    router: FaultMaskingRouter<'g, R>,
+    events: &'p [ChurnEvent],
+    next_event: usize,
+    mode: Mode<'p>,
+}
+
+impl<'g, 'p, R: Router + ?Sized> ChurnUnicast<'g, 'p, R> {
+    /// Applies every event due at or before `cycle`, in timeline order:
+    /// router masks and distance rows first, then the queue flushes for
+    /// failures. Flushes only ever find packets when `event.cycle` is
+    /// the current cycle — the engine fast-forwards only over empty
+    /// networks.
+    fn apply_due_events<O: SimObserver>(&mut self, cycle: u64, core: &mut Core<'_, '_, O>) {
+        while self.next_event < self.events.len() && self.events[self.next_event].cycle <= cycle {
+            let ev = self.events[self.next_event];
+            self.next_event += 1;
+            self.router.apply_event(&ev);
+            if ev.failed {
+                // In the closed loop, stranded packets vanish silently:
+                // the session's timeout observes the loss and the
+                // transaction-level accounting stays conserved.
+                let silent = matches!(self.mode, Mode::Closed(_));
+                match ev.target {
+                    ChurnTarget::Link(u, v) => {
+                        // u < v, so the u→v directed edge flushes first —
+                        // ascending directed-edge order.
+                        for (a, b) in [(u, v), (v, u)] {
+                            let g = core.g;
+                            if let Some(slot) = g.slot_of(a, b) {
+                                let e = g.edge_range(a).start + slot;
+                                flush_directed_edge(
+                                    core,
+                                    a,
+                                    e,
+                                    ev.cycle,
+                                    DropReason::LinkDied,
+                                    silent,
+                                );
+                            }
+                        }
+                    }
+                    ChurnTarget::Node(x) => {
+                        let g = core.g;
+                        for e in g.edge_range(x) {
+                            flush_directed_edge(core, x, e, ev.cycle, DropReason::NodeDied, silent);
+                        }
+                        for &y in g.neighbors(x) {
+                            if let Some(back) = g.slot_of(y, x) {
+                                let e = g.edge_range(y).start + back;
+                                flush_directed_edge(
+                                    core,
+                                    y,
+                                    e,
+                                    ev.cycle,
+                                    DropReason::NodeDied,
+                                    silent,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            core.observer.on_fault_event(ev.cycle, ev.failed);
+        }
+    }
+}
+
+/// Drains the FIFO of directed edge `e` out of `node` as typed drops
+/// (or silent losses for the closed loop), fixing the occupancy and
+/// slot-mask bookkeeping the forward scan relies on.
+fn flush_directed_edge<O: SimObserver>(
+    core: &mut Core<'_, '_, O>,
+    node: u32,
+    e: usize,
+    cycle: u64,
+    reason: DropReason,
+    silent: bool,
+) {
+    while let Some(id) = core.fabric.queues.pop(e) {
+        core.fabric.occupancy[node as usize] -= 1;
+        core.in_flight -= 1;
+        let dst = core.slab.dst(id);
+        if !silent {
+            core.acc.drop_packet(reason);
+            core.observer.on_drop(cycle, node, dst, reason);
+        }
+        core.slab.release(id);
+    }
+    let base = core.g.edge_range(node).start;
+    if let Some(mask) = core.fabric.slot_mask.get_mut(node as usize) {
+        *mask &= !(1u64 << (e - base));
+    }
+}
+
+impl<O, R> ReplicationPolicy<O> for ChurnUnicast<'_, '_, R>
+where
+    O: SimObserver,
+    R: Router + ?Sized,
+{
+    fn begin_cycle(
+        &mut self,
+        cycle: &mut u64,
+        max_cycles: u64,
+        core: &mut Core<'_, '_, O>,
+    ) -> bool {
+        // Idle fast-forward, exactly the static engine's rule: with the
+        // network empty, jump to the next traffic action or stop.
+        // Pending fault events between here and there commit at the
+        // jumped-to cycle — with no packets anywhere they cannot change
+        // any statistic, only the mask state future injections see.
+        if core.in_flight == 0 {
+            let next = match &mut self.mode {
+                Mode::Open { inj, next_inject } => inj.get(*next_inject).map(|p| p.inject_time),
+                Mode::Closed(sessions) => sessions.next_action_cycle(),
+            };
+            match next {
+                None => return false,
+                Some(t) if t > *cycle => {
+                    if t >= max_cycles {
+                        return false;
+                    }
+                    *cycle = t;
+                }
+                Some(_) => {}
+            }
+        }
+
+        self.apply_due_events(*cycle, core);
+
+        let ChurnUnicast { router, mode, .. } = self;
+        match mode {
+            Mode::Open { inj, next_inject } => {
+                while *next_inject < inj.len() && inj[*next_inject].inject_time <= *cycle {
+                    let p = inj[*next_inject];
+                    *next_inject += 1;
+                    core.observer.on_inject(*cycle, p.src, p.dst);
+                    if let Some(reason) = ChurnAdmission::new(router).verdict(p.src, p.dst) {
+                        core.acc.drop_packet(reason);
+                        core.observer.on_drop(*cycle, p.src, p.dst, reason);
+                        continue;
+                    }
+                    if p.src == p.dst {
+                        core.acc.deliver_instant();
+                        core.observer.on_deliver(*cycle, p.dst, 0);
+                        continue;
+                    }
+                    let id = core.slab.alloc(p.dst, p.inject_time);
+                    core.fabric.route_and_enqueue(
+                        core.g,
+                        &Routing::PerHop(&*router),
+                        p.src,
+                        id,
+                        p.dst,
+                    );
+                    core.in_flight += 1;
+                    core.worklist_add(p.src);
+                }
+            }
+            Mode::Closed(sessions) => sessions.process_due(*cycle, router, core),
+        }
+        true
+    }
+
+    #[inline]
+    fn on_depart(&mut self, _u: u32, _id: u32, _slab: &crate::arena::PacketSlab) {}
+
+    fn arrive(&mut self, now: u64, node: u32, id: u32, core: &mut Core<'_, '_, O>) {
+        let dst = core.slab.dst(id);
+        let ChurnUnicast { router, mode, .. } = self;
+        match mode {
+            Mode::Open { .. } => {
+                if node == dst {
+                    core.in_flight -= 1;
+                    let inject_time = core.slab.inject(id);
+                    core.acc.deliver(now, inject_time);
+                    core.observer.on_deliver(now, node, now - inject_time);
+                    core.slab.release(id);
+                } else if !router.node_alive(dst) {
+                    // The destination died while the packet was in flight.
+                    core.in_flight -= 1;
+                    core.acc.drop_packet(DropReason::NodeDied);
+                    core.observer.on_drop(now, node, dst, DropReason::NodeDied);
+                    core.slab.release(id);
+                } else if !router.reachable(node, dst) {
+                    // Churn partitioned the network under the packet.
+                    core.in_flight -= 1;
+                    core.acc.drop_packet(DropReason::Unreachable);
+                    core.observer
+                        .on_drop(now, node, dst, DropReason::Unreachable);
+                    core.slab.release(id);
+                } else {
+                    core.fabric.route_and_enqueue(
+                        core.g,
+                        &Routing::PerHop(&*router),
+                        node,
+                        id,
+                        dst,
+                    );
+                    core.worklist_add(node);
+                }
+            }
+            Mode::Closed(sessions) => sessions.arrive(now, node, id, dst, router, core),
+        }
+    }
+
+    #[inline]
+    fn end_cycle(&mut self, _now: u64, _core: &mut Core<'_, '_, O>) {}
+}
+
+/// What a session is waiting for (exactly one pending action each).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Action {
+    /// Thinking; start the next transaction when due.
+    Start,
+    /// Waiting for a reply; fire the timeout when due.
+    Timeout,
+    /// Backing off; inject the retry attempt when due.
+    Retry,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Session {
+    src: u32,
+    dst: u32,
+    /// Current transaction number (0 before the first).
+    txn: u64,
+    /// Attempt within the current transaction (0 = first request).
+    attempt: u32,
+    /// Inject cycle of the transaction's *first* request — the latency
+    /// baseline a successful reply is measured against.
+    t0: u64,
+    pending: Action,
+    /// Sequence stamp of the live heap entry; older entries are stale.
+    pending_seq: u64,
+}
+
+/// Per-packet transaction tag, indexed by slab id (ids recycle; the
+/// entry is overwritten at alloc time).
+#[derive(Clone, Copy, Debug, Default)]
+struct Meta {
+    session: u32,
+    txn: u64,
+    attempt: u32,
+    reply: bool,
+}
+
+/// The closed-loop session machine. All scheduling goes through one
+/// min-heap of `(cycle, seq, session)` entries; a session transition
+/// bumps its `pending_seq`, implicitly cancelling any earlier entry
+/// (e.g. the timeout of a reply that did arrive).
+struct Sessions {
+    rng: StdRng,
+    n: u32,
+    think: f64,
+    timeout: u64,
+    retries: u32,
+    sessions: Vec<Session>,
+    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    seq: u64,
+    meta: Vec<Meta>,
+    /// Transactions started — the run's `offered`.
+    offered: usize,
+}
+
+/// 53 random bits → uniform in (0, 1], so `ln` stays finite.
+fn exp_draw(rng: &mut StdRng, mean: f64) -> u64 {
+    if mean.is_nan() || mean <= 0.0 {
+        return 0;
+    }
+    let u = ((rng.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+    (-u.ln() * mean).ceil() as u64
+}
+
+impl Sessions {
+    fn new(load: &RequestReplyLoad, n: u32) -> Sessions {
+        let mut s = Sessions {
+            rng: StdRng::seed_from_u64(load.seed),
+            n,
+            think: load.think,
+            timeout: load.timeout.max(1),
+            retries: load.retries,
+            sessions: Vec::with_capacity(load.clients),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            meta: Vec::new(),
+            offered: 0,
+        };
+        for i in 0..load.clients {
+            let src = s.rng.gen_range(0..n);
+            s.sessions.push(Session {
+                src,
+                dst: src,
+                txn: 0,
+                attempt: 0,
+                t0: 0,
+                pending: Action::Start,
+                pending_seq: 0,
+            });
+            // Stagger the first transactions with think-time draws.
+            let start = exp_draw(&mut s.rng, s.think);
+            s.schedule(i as u32, start, Action::Start);
+        }
+        s
+    }
+
+    fn schedule(&mut self, session: u32, cycle: u64, action: Action) {
+        self.seq += 1;
+        let s = &mut self.sessions[session as usize];
+        s.pending = action;
+        s.pending_seq = self.seq;
+        self.heap.push(Reverse((cycle, self.seq, session)));
+    }
+
+    /// Earliest live scheduled action, discarding stale heap entries.
+    fn next_action_cycle(&mut self) -> Option<u64> {
+        while let Some(&Reverse((cycle, seq, session))) = self.heap.peek() {
+            if self.sessions[session as usize].pending_seq == seq {
+                return Some(cycle);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// The attempt's reply deadline window: the base timeout doubling
+    /// per retry (shift capped — the window saturates, never wraps).
+    fn window(&self, attempt: u32) -> u64 {
+        self.timeout.saturating_mul(1u64 << attempt.min(16))
+    }
+
+    fn sample_dst(&mut self, src: u32) -> u32 {
+        loop {
+            let d = self.rng.gen_range(0..self.n);
+            if d != src {
+                return d;
+            }
+        }
+    }
+
+    /// Injects the current attempt's request, if admission permits. A
+    /// rejected attempt (dead or disconnected endpoints) is simply a
+    /// lost request: the pending timeout observes it.
+    fn try_inject_request<O: SimObserver, R: Router + ?Sized>(
+        &mut self,
+        session: u32,
+        cycle: u64,
+        router: &FaultMaskingRouter<'_, R>,
+        core: &mut Core<'_, '_, O>,
+    ) {
+        let s = self.sessions[session as usize];
+        if ChurnAdmission::new(router).verdict(s.src, s.dst).is_some() {
+            return;
+        }
+        let id = core.slab.alloc(s.dst, cycle);
+        set_meta(
+            &mut self.meta,
+            id,
+            Meta {
+                session,
+                txn: s.txn,
+                attempt: s.attempt,
+                reply: false,
+            },
+        );
+        core.fabric
+            .route_and_enqueue(core.g, &Routing::PerHop(router), s.src, id, s.dst);
+        core.in_flight += 1;
+        core.worklist_add(s.src);
+    }
+
+    /// Fires every session action due at `cycle`: transaction starts,
+    /// reply timeouts (retry or give up), and backoff-delayed retries.
+    /// Heap order `(cycle, seq)` makes the firing order deterministic.
+    fn process_due<O: SimObserver, R: Router + ?Sized>(
+        &mut self,
+        cycle: u64,
+        router: &FaultMaskingRouter<'_, R>,
+        core: &mut Core<'_, '_, O>,
+    ) {
+        loop {
+            let Some(&Reverse((due, seq, session))) = self.heap.peek() else {
+                return;
+            };
+            if due > cycle {
+                return;
+            }
+            self.heap.pop();
+            if self.sessions[session as usize].pending_seq != seq {
+                continue; // cancelled by a reply or a state change
+            }
+            let action = self.sessions[session as usize].pending;
+            match action {
+                Action::Start => {
+                    let (src, dst) = {
+                        let src = self.sessions[session as usize].src;
+                        (src, self.sample_dst(src))
+                    };
+                    {
+                        let s = &mut self.sessions[session as usize];
+                        s.txn += 1;
+                        s.attempt = 0;
+                        s.t0 = cycle;
+                        s.dst = dst;
+                    }
+                    self.offered += 1;
+                    core.observer.on_inject(cycle, src, dst);
+                    self.try_inject_request(session, cycle, router, core);
+                    let deadline = cycle + self.window(0);
+                    self.schedule(session, deadline, Action::Timeout);
+                }
+                Action::Timeout => {
+                    let (src, dst, attempt) = {
+                        let s = &self.sessions[session as usize];
+                        (s.src, s.dst, s.attempt)
+                    };
+                    if attempt >= self.retries {
+                        // Budget exhausted: the transaction is a typed
+                        // drop, and the session thinks before retrying
+                        // with a fresh transaction.
+                        core.acc.drop_packet(DropReason::RetriesExhausted);
+                        core.observer
+                            .on_drop(cycle, src, dst, DropReason::RetriesExhausted);
+                        let start = cycle + 1 + exp_draw(&mut self.rng, self.think);
+                        self.schedule(session, start, Action::Start);
+                    } else {
+                        // Seeded exponential backoff: a uniform jitter
+                        // inside the attempt's (doubling) window.
+                        self.sessions[session as usize].attempt = attempt + 1;
+                        let window = self.window(attempt);
+                        let delay = self.rng.gen_range(0..window.max(1));
+                        self.schedule(session, cycle + delay, Action::Retry);
+                    }
+                }
+                Action::Retry => {
+                    let src = self.sessions[session as usize].src;
+                    let dst = self.sample_dst(src);
+                    self.sessions[session as usize].dst = dst;
+                    self.try_inject_request(session, cycle, router, core);
+                    let attempt = self.sessions[session as usize].attempt;
+                    let deadline = cycle + self.window(attempt);
+                    self.schedule(session, deadline, Action::Timeout);
+                }
+            }
+        }
+    }
+
+    /// One packet arriving at `node`: route it onward, complete the
+    /// request→reply turn at its destination, or finish the transaction
+    /// at the client. Stale packets (their session moved on) vanish
+    /// silently; mid-flight losses are covered by the session timeout.
+    fn arrive<O: SimObserver, R: Router + ?Sized>(
+        &mut self,
+        now: u64,
+        node: u32,
+        id: u32,
+        dst: u32,
+        router: &FaultMaskingRouter<'_, R>,
+        core: &mut Core<'_, '_, O>,
+    ) {
+        if node != dst {
+            if !router.node_alive(dst) || !router.reachable(node, dst) {
+                core.in_flight -= 1;
+                core.slab.release(id);
+            } else {
+                core.fabric
+                    .route_and_enqueue(core.g, &Routing::PerHop(router), node, id, dst);
+                core.worklist_add(node);
+            }
+            return;
+        }
+        core.in_flight -= 1;
+        core.slab.release(id);
+        let m = self.meta[id as usize];
+        let s = self.sessions[m.session as usize];
+        let current = s.txn == m.txn && s.attempt == m.attempt && s.pending == Action::Timeout;
+        if !current {
+            return; // the session retried or gave up: stale packet
+        }
+        if !m.reply {
+            // Request reached the server: turn it around as a reply, if
+            // the client is still there to receive it.
+            if node != s.src && router.node_alive(s.src) && router.reachable(node, s.src) {
+                let rid = core.slab.alloc(s.src, now);
+                set_meta(&mut self.meta, rid, Meta { reply: true, ..m });
+                core.fabric
+                    .route_and_enqueue(core.g, &Routing::PerHop(router), node, rid, s.src);
+                core.in_flight += 1;
+                core.worklist_add(node);
+            }
+        } else {
+            // Reply reached the client: the transaction completes, with
+            // latency measured from the transaction's first request.
+            core.acc.deliver(now, s.t0);
+            core.observer.on_deliver(now, node, now - s.t0);
+            let start = now + exp_draw(&mut self.rng, self.think);
+            self.schedule(m.session, start, Action::Start);
+        }
+    }
+}
+
+fn set_meta(meta: &mut Vec<Meta>, id: u32, m: Meta) {
+    let i = id as usize;
+    if meta.len() <= i {
+        meta.resize(i + 1, Meta::default());
+    }
+    meta[i] = m;
+}

@@ -359,10 +359,7 @@ where
             self.next_inject += 1;
             core.observer.on_inject(*cycle, p.src, p.dst);
             if let Some(reason) = self.admission.verdict(p.src, p.dst) {
-                match reason {
-                    DropReason::DeadEndpoint => core.acc.dropped_dead_endpoint += 1,
-                    DropReason::Unreachable => core.acc.dropped_unreachable += 1,
-                }
+                core.acc.drop_packet(reason);
                 core.observer.on_drop(*cycle, p.src, p.dst, reason);
                 continue;
             }

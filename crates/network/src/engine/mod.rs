@@ -63,6 +63,7 @@
 //! Its module documentation (`engine/parallel.rs`) lays out the
 //! protocol and the determinism argument.
 
+mod churn;
 mod core;
 mod parallel;
 pub mod policy;
@@ -70,11 +71,12 @@ mod reference;
 pub mod stats;
 mod wormhole;
 
+pub use self::churn::{simulate_churn, simulate_request_reply, RequestReplyLoad};
 pub use self::core::Core;
-pub use self::parallel::simulate_parallel;
+pub use self::parallel::{simulate_parallel, simulate_parallel_churn};
 pub use self::policy::{
-    AdmitAll, FaultPolicy, FlitWormhole, MaskedAdmission, ReplicationPolicy, StoreAndForward,
-    SwitchingPolicy,
+    AdmitAll, ChurnAdmission, FaultPolicy, FlitWormhole, MaskedAdmission, ReplicationPolicy,
+    StoreAndForward, SwitchingPolicy,
 };
 pub use self::reference::{simulate_faulted_reference, simulate_reference};
 pub use self::stats::{DropReason, LogHistogram, SimStats, DENSE_HISTOGRAM_NODE_LIMIT};
@@ -168,8 +170,28 @@ where
         return simulate_observed(topology, router, packets, max_cycles, observer);
     }
     let masked = FaultMaskingRouter::new(topology.graph(), router, faults);
-    let admission = MaskedAdmission::new(&masked);
-    StoreAndForward.run_unicast(topology, &masked, packets, max_cycles, observer, &admission)
+    simulate_premasked(topology, &masked, packets, max_cycles, observer)
+}
+
+/// [`simulate_faulted`] against a caller-prepared [`FaultMaskingRouter`]
+/// — sweeps that replay many workloads over one fault set build the
+/// masked router (and the `O(n·m)` degraded distance table inside it)
+/// once and run every workload through it, instead of paying the
+/// rebuild per run.
+pub(crate) fn simulate_premasked<T, R, O>(
+    topology: &T,
+    masked: &FaultMaskingRouter<'_, R>,
+    packets: &[Packet],
+    max_cycles: u64,
+    observer: &mut O,
+) -> SimStats
+where
+    T: Topology + ?Sized,
+    R: Router + ?Sized,
+    O: SimObserver,
+{
+    let admission = MaskedAdmission::new(masked);
+    StoreAndForward.run_unicast(topology, masked, packets, max_cycles, observer, &admission)
 }
 
 /// Runs a tree collective ([`CopyPlan`]) through the arena engine:

@@ -36,14 +36,15 @@ use std::sync::{Barrier, RwLock};
 use fibcube_graph::csr::CsrGraph;
 
 use crate::arena::{LinkQueues, PacketSlab};
-use crate::fault::FaultSet;
+use crate::fault::{ChurnEvent, ChurnTarget, ChurnTimeline, FaultSet};
 use crate::observer::NoopObserver;
 use crate::router::{FaultMaskingRouter, Router};
 use crate::topology::Topology;
 use crate::traffic::Packet;
 
+use super::churn::simulate_churn;
 use super::core::{routing_for, NodeLoad, Routing};
-use super::policy::{AdmitAll, FaultPolicy, MaskedAdmission};
+use super::policy::{AdmitAll, ChurnAdmission, FaultPolicy, MaskedAdmission};
 use super::stats::{DropReason, SimStats, StatsAcc};
 
 /// Runs the store-and-forward simulation sharded across `threads` OS
@@ -91,6 +92,105 @@ where
         let admission = MaskedAdmission::new(&masked);
         run_sharded(topology, &masked, &admission, packets, max_cycles, threads)
     }
+}
+
+/// [`simulate_churn`] sharded across `threads` OS threads — the same
+/// propose/commit protocol as [`simulate_parallel`], with one masked
+/// router shared under an [`RwLock`] and a fault-event phase spliced in
+/// at the top of event cycles. Bit-identical to the serial churn engine
+/// at any thread count.
+///
+/// Every worker advances an identical cursor over the (shared, sorted)
+/// timeline, so all make the same "events due" decision; on an event
+/// cycle, worker 0 applies the events to the router under the write
+/// lock (incremental mask/distance repair) while every worker flushes
+/// the dying queues *it owns* as typed drops, and an extra barrier
+/// orders the writes before any routing read. The router is then only
+/// read (per-cycle read guard spanning propose + commit) until the next
+/// event cycle — verdicts stay stable within a cycle, exactly the
+/// serial engine's epoch semantics.
+pub fn simulate_parallel_churn<T, R>(
+    topology: &T,
+    router: &R,
+    timeline: &ChurnTimeline,
+    packets: &[Packet],
+    max_cycles: u64,
+    threads: usize,
+) -> SimStats
+where
+    T: Topology + ?Sized,
+    R: Router + Sync + ?Sized,
+{
+    let n = topology.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        return simulate_churn(
+            topology,
+            router,
+            timeline,
+            packets,
+            max_cycles,
+            &mut NoopObserver,
+        );
+    }
+    if timeline.is_empty() {
+        // Zero churn is the healthy network: take the lock-free path.
+        return simulate_parallel(
+            topology,
+            router,
+            &FaultSet::empty(),
+            packets,
+            max_cycles,
+            threads,
+        );
+    }
+    let g = topology.graph();
+    let masked = RwLock::new(FaultMaskingRouter::new(g, router, &FaultSet::empty()));
+    let masked_scan = g.max_degree() <= 64;
+
+    let mut inj: Vec<&Packet> = packets.iter().collect();
+    inj.sort_by_key(|p| p.inject_time);
+    let bounds: Vec<usize> = (0..=threads).map(|s| s * n / threads).collect();
+    let mut shard_inj: Vec<Vec<&Packet>> = (0..threads).map(|_| Vec::new()).collect();
+    for p in &inj {
+        let s = bounds.partition_point(|&b| b <= p.src as usize) - 1;
+        shard_inj[s].push(p);
+    }
+
+    let slots: Vec<ShardSlot> = shard_inj
+        .iter()
+        .map(|inj_s| ShardSlot {
+            queued: AtomicU64::new(0),
+            next_time: AtomicU64::new(inj_s.first().map_or(u64::MAX, |p| p.inject_time)),
+        })
+        .collect();
+    let outboxes: Vec<RwLock<Vec<Arrival>>> =
+        (0..threads).map(|_| RwLock::new(Vec::new())).collect();
+    let barrier = Barrier::new(threads);
+    let events = timeline.events();
+
+    let mut accs: Vec<StatsAcc> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for (s, inj_s) in shard_inj.into_iter().enumerate() {
+            let (slots, outboxes, barrier, masked) = (&slots, &outboxes, &barrier, &masked);
+            let bounds = &bounds;
+            handles.push(scope.spawn(move || {
+                let mut shard = Shard::new(g, bounds[s], bounds[s + 1], masked_scan, inj_s, n);
+                shard.run_churn(g, masked, events, slots, outboxes, barrier, max_cycles, s);
+                shard.acc
+            }));
+        }
+        for h in handles {
+            accs.push(h.join().expect("shard worker panicked"));
+        }
+    });
+
+    let mut acc = StatsAcc::for_network(n);
+    for a in accs {
+        acc.merge(a);
+    }
+    acc.finish(packets.len())
 }
 
 /// One packet crossing a shard boundary (or any link — arrivals always
@@ -229,10 +329,7 @@ impl<'p> Shard<'p> {
             let p = self.inj[self.next_inject];
             self.next_inject += 1;
             if let Some(reason) = admission.verdict(p.src, p.dst) {
-                match reason {
-                    DropReason::DeadEndpoint => self.acc.dropped_dead_endpoint += 1,
-                    DropReason::Unreachable => self.acc.dropped_unreachable += 1,
-                }
+                self.acc.drop_packet(reason);
                 continue;
             }
             if p.src == p.dst {
@@ -381,6 +478,164 @@ impl<'p> Shard<'p> {
             );
             barrier.wait();
             cycle += 1;
+        }
+    }
+
+    /// The churned worker loop: [`Shard::run`]'s propose/commit cycle
+    /// with an event phase at the top of event cycles and the serial
+    /// churn engine's arrival-time death/partition drops in commit.
+    #[allow(clippy::too_many_arguments)]
+    fn run_churn<R: Router + ?Sized>(
+        &mut self,
+        g: &CsrGraph,
+        router: &RwLock<FaultMaskingRouter<'_, R>>,
+        events: &[ChurnEvent],
+        slots: &[ShardSlot],
+        outboxes: &[RwLock<Vec<Arrival>>],
+        barrier: &Barrier,
+        max_cycles: u64,
+        me: usize,
+    ) {
+        let mut next_event = 0usize;
+        let mut cycle: u64 = 0;
+        while cycle < max_cycles {
+            let total_queued: u64 = slots.iter().map(|s| s.queued.load(Ordering::Relaxed)).sum();
+            if total_queued == 0 {
+                let t = slots
+                    .iter()
+                    .map(|s| s.next_time.load(Ordering::Relaxed))
+                    .min()
+                    .unwrap_or(u64::MAX);
+                if t == u64::MAX {
+                    break;
+                }
+                if t > cycle {
+                    if t >= max_cycles {
+                        break;
+                    }
+                    cycle = t;
+                }
+            }
+
+            // Event phase: every worker advances the same cursor over
+            // the shared timeline, so all agree on "events due" and the
+            // extra barrier below never starves. Worker 0 owns the
+            // router mutation; each worker flushes its own dying queues
+            // concurrently (local state only).
+            let due_start = next_event;
+            while next_event < events.len() && events[next_event].cycle <= cycle {
+                next_event += 1;
+            }
+            if due_start != next_event {
+                let due = &events[due_start..next_event];
+                if me == 0 {
+                    let mut r = router.write().expect("router lock");
+                    for ev in due {
+                        r.apply_event(ev);
+                    }
+                }
+                for ev in due {
+                    if ev.failed {
+                        self.flush_event(g, ev);
+                    }
+                }
+                barrier.wait();
+            }
+
+            // The rest of the cycle reads one consistent router epoch.
+            {
+                let r = router.read().expect("router lock");
+                let routing = Routing::PerHop(&*r);
+                {
+                    let mut outbox = outboxes[me].write().expect("outbox lock");
+                    outbox.clear();
+                    self.inject(g, &routing, &ChurnAdmission::new(&r), cycle);
+                    self.forward(g, &mut outbox);
+                }
+                barrier.wait();
+
+                let now = cycle + 1;
+                for ob in outboxes {
+                    let ob = ob.read().expect("outbox lock");
+                    for a in ob.iter() {
+                        if (a.node as usize) < self.lo || (a.node as usize) >= self.hi {
+                            continue;
+                        }
+                        if a.node == a.dst {
+                            self.lat_scratch.push(now - a.inject);
+                        } else if !r.node_alive(a.dst) {
+                            self.acc.drop_packet(DropReason::NodeDied);
+                        } else if !r.reachable(a.node, a.dst) {
+                            self.acc.drop_packet(DropReason::Unreachable);
+                        } else {
+                            self.route_and_enqueue(g, &routing, a.node, a.dst, a.inject);
+                        }
+                    }
+                }
+                self.acc.deliver_batch(now, &self.lat_scratch);
+                self.lat_scratch.clear();
+            }
+
+            slots[me].queued.store(self.queued, Ordering::Relaxed);
+            slots[me].next_time.store(
+                self.inj
+                    .get(self.next_inject)
+                    .map_or(u64::MAX, |p| p.inject_time),
+                Ordering::Relaxed,
+            );
+            barrier.wait();
+            cycle += 1;
+        }
+    }
+
+    /// Flushes the queues this shard owns that a failure event kills,
+    /// as typed drops — the shard-local half of the serial engine's
+    /// flush (counts merge exactly; the flushed set is partitioned by
+    /// queue ownership).
+    fn flush_event(&mut self, g: &CsrGraph, ev: &ChurnEvent) {
+        match ev.target {
+            ChurnTarget::Link(u, v) => {
+                for (a, b) in [(u, v), (v, u)] {
+                    if (a as usize) >= self.lo && (a as usize) < self.hi {
+                        if let Some(slot) = g.slot_of(a, b) {
+                            let e = g.edge_range(a).start + slot;
+                            self.flush_edge_local(g, a, e, DropReason::LinkDied);
+                        }
+                    }
+                }
+            }
+            ChurnTarget::Node(x) => {
+                if (x as usize) >= self.lo && (x as usize) < self.hi {
+                    for e in g.edge_range(x) {
+                        self.flush_edge_local(g, x, e, DropReason::NodeDied);
+                    }
+                }
+                for &y in g.neighbors(x) {
+                    if (y as usize) >= self.lo && (y as usize) < self.hi {
+                        if let Some(back) = g.slot_of(y, x) {
+                            let e = g.edge_range(y).start + back;
+                            self.flush_edge_local(g, y, e, DropReason::NodeDied);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains the local FIFO of global directed edge `e` out of `node`
+    /// as typed drops, fixing the shard's occupancy/mask bookkeeping.
+    fn flush_edge_local(&mut self, g: &CsrGraph, node: u32, e: usize, reason: DropReason) {
+        let le = e - self.edge_lo;
+        let li = node as usize - self.lo;
+        while let Some(id) = self.queues.pop(le) {
+            self.slab.release(id);
+            self.occupancy[li] -= 1;
+            self.queued -= 1;
+            self.acc.drop_packet(reason);
+        }
+        let base = g.edge_range(node).start;
+        if let Some(mask) = self.slot_mask.get_mut(li) {
+            *mask &= !(1u64 << (e - base));
         }
     }
 }

@@ -33,10 +33,15 @@ use super::wormhole::wormhole_engine;
 ///
 /// # Invariants
 ///
-/// - `verdict` must be **pure and stable for the whole run**: the same
-///   `(src, dst)` pair always gets the same answer (the parallel engine
+/// - `verdict` must be **pure and stable between fault-epoch
+///   boundaries**: the same `(src, dst)` pair always gets the same
+///   answer while the fault state is unchanged (the parallel engine
 ///   calls it from several threads and the serial/parallel equivalence
-///   depends on it).
+///   depends on it). Policies over static fault sets ([`AdmitAll`],
+///   [`MaskedAdmission`]) are stable for the whole run; under churn the
+///   engine applies fault events only at cycle boundaries, between the
+///   arrival phase and the next injection phase, so every verdict
+///   within one cycle sees one consistent epoch ([`ChurnAdmission`]).
 /// - A `Some(reason)` verdict means the packet never enters the network:
 ///   it is counted under the matching typed-drop statistic at its inject
 ///   cycle and no link state changes.
@@ -76,6 +81,37 @@ impl<'a, 'b, R: Router + ?Sized> MaskedAdmission<'a, 'b, R> {
 }
 
 impl<R: Router + ?Sized> FaultPolicy for MaskedAdmission<'_, '_, R> {
+    fn verdict(&self, src: u32, dst: u32) -> Option<DropReason> {
+        if !self.masked.node_alive(src) || !self.masked.node_alive(dst) {
+            Some(DropReason::DeadEndpoint)
+        } else if src != dst && !self.masked.reachable(src, dst) {
+            Some(DropReason::Unreachable)
+        } else {
+            None
+        }
+    }
+}
+
+/// Epoch-scoped admission for churned runs: the same liveness and
+/// reachability checks as [`MaskedAdmission`], but against a
+/// [`FaultMaskingRouter`] whose masks change mid-run as churn events
+/// apply. The churn engine constructs one per borrow *after* the
+/// cycle's events commit, so every verdict in a cycle sees the same
+/// fault epoch — the weakest stability [`FaultPolicy`] permits.
+pub struct ChurnAdmission<'a, 'b, R: Router + ?Sized> {
+    masked: &'a FaultMaskingRouter<'b, R>,
+}
+
+impl<'a, 'b, R: Router + ?Sized> ChurnAdmission<'a, 'b, R> {
+    /// Admission against `masked`'s *current* epoch. The borrow must not
+    /// outlive the cycle that created it: the next event application
+    /// invalidates its verdicts.
+    pub fn new(masked: &'a FaultMaskingRouter<'b, R>) -> ChurnAdmission<'a, 'b, R> {
+        ChurnAdmission { masked }
+    }
+}
+
+impl<R: Router + ?Sized> FaultPolicy for ChurnAdmission<'_, '_, R> {
     fn verdict(&self, src: u32, dst: u32) -> Option<DropReason> {
         if !self.masked.node_alive(src) || !self.masked.node_alive(dst) {
             Some(DropReason::DeadEndpoint)

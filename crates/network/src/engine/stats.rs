@@ -7,19 +7,30 @@
 //! on. The derived floats (mean, throughput) are computed once, in
 //! `StatsAcc::finish`, from the merged integers.
 
-/// Why a packet was dropped at injection instead of routed — the typed
-/// accounting behind [`SimStats::dropped_dead_endpoint`] /
-/// [`SimStats::dropped_unreachable`] and the
+/// Why a packet was dropped instead of delivered — the typed accounting
+/// behind the `dropped_*` fields of [`SimStats`] and the
 /// [`on_drop`](crate::observer::SimObserver::on_drop) observer hook.
-/// Drops only happen on degraded networks
-/// ([`simulate_faulted`](crate::simulate_faulted)); the healthy engine
-/// never drops.
+/// Drops only happen on degraded runs
+/// ([`simulate_faulted`](crate::simulate_faulted) or churned runs);
+/// the healthy engine never drops. The first two reasons are
+/// injection-time verdicts; the `LinkDied`/`NodeDied` reasons hit
+/// packets already in flight when a churn event removes the link or
+/// node holding them, and `RetriesExhausted` is the closed-loop
+/// session giving up on a request after its retry budget.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DropReason {
     /// The packet's source or destination node failed.
     DeadEndpoint,
     /// Both endpoints survive, but the faults disconnect them.
     Unreachable,
+    /// The packet was queued on a link that failed mid-run.
+    LinkDied,
+    /// The packet was queued on (or addressed to) a node that failed
+    /// mid-run.
+    NodeDied,
+    /// A closed-loop request exhausted its retry budget without a reply
+    /// ([`TrafficSpec::RequestReply`](crate::traffic::TrafficSpec)).
+    RetriesExhausted,
 }
 
 /// Aggregate results of one simulation run.
@@ -35,6 +46,14 @@ pub struct SimStats {
     /// Packets dropped at injection because the faults disconnect their
     /// (surviving) endpoints (degraded runs only).
     pub dropped_unreachable: usize,
+    /// Packets caught in flight on a link a churn event failed.
+    pub dropped_link_died: usize,
+    /// Packets caught in flight on (or addressed to) a node a churn
+    /// event failed.
+    pub dropped_node_died: usize,
+    /// Closed-loop requests abandoned after their retry budget
+    /// ([`DropReason::RetriesExhausted`]).
+    pub dropped_retries_exhausted: usize,
     /// Cycle at which the last packet was delivered (0 when none).
     pub makespan: u64,
     /// Mean end-to-end latency (inject → arrival) of delivered packets.
@@ -64,7 +83,11 @@ impl SimStats {
     /// in-flight remainder is nonzero only when the cycle cap truncated
     /// the run.
     pub fn dropped(&self) -> usize {
-        self.dropped_dead_endpoint + self.dropped_unreachable
+        self.dropped_dead_endpoint
+            + self.dropped_unreachable
+            + self.dropped_link_died
+            + self.dropped_node_died
+            + self.dropped_retries_exhausted
     }
 }
 
@@ -164,6 +187,9 @@ pub(crate) struct StatsAcc {
     pub(crate) delivered: usize,
     pub(crate) dropped_dead_endpoint: usize,
     pub(crate) dropped_unreachable: usize,
+    pub(crate) dropped_link_died: usize,
+    pub(crate) dropped_node_died: usize,
+    pub(crate) dropped_retries_exhausted: usize,
     pub(crate) total_latency: u64,
     pub(crate) hist: Vec<u64>,
     pub(crate) buckets: LogHistogram,
@@ -181,6 +207,17 @@ impl StatsAcc {
         StatsAcc {
             dense: n <= DENSE_HISTOGRAM_NODE_LIMIT,
             ..StatsAcc::default()
+        }
+    }
+
+    /// Counts one typed drop under its matching statistic.
+    pub(crate) fn drop_packet(&mut self, reason: DropReason) {
+        match reason {
+            DropReason::DeadEndpoint => self.dropped_dead_endpoint += 1,
+            DropReason::Unreachable => self.dropped_unreachable += 1,
+            DropReason::LinkDied => self.dropped_link_died += 1,
+            DropReason::NodeDied => self.dropped_node_died += 1,
+            DropReason::RetriesExhausted => self.dropped_retries_exhausted += 1,
         }
     }
 
@@ -238,6 +275,9 @@ impl StatsAcc {
         self.delivered += other.delivered;
         self.dropped_dead_endpoint += other.dropped_dead_endpoint;
         self.dropped_unreachable += other.dropped_unreachable;
+        self.dropped_link_died += other.dropped_link_died;
+        self.dropped_node_died += other.dropped_node_died;
+        self.dropped_retries_exhausted += other.dropped_retries_exhausted;
         self.total_latency += other.total_latency;
         if self.hist.len() < other.hist.len() {
             self.hist.resize(other.hist.len(), 0);
@@ -271,6 +311,9 @@ impl StatsAcc {
             delivered: self.delivered,
             dropped_dead_endpoint: self.dropped_dead_endpoint,
             dropped_unreachable: self.dropped_unreachable,
+            dropped_link_died: self.dropped_link_died,
+            dropped_node_died: self.dropped_node_died,
+            dropped_retries_exhausted: self.dropped_retries_exhausted,
             makespan: self.makespan,
             mean_latency,
             latency_histogram: self.hist,

@@ -16,7 +16,7 @@ use crate::traffic::Packet;
 
 use super::core::{route_edge, routing_for, Routing};
 use super::policy::FaultPolicy;
-use super::stats::{DropReason, SimStats, StatsAcc};
+use super::stats::{SimStats, StatsAcc};
 
 /// Head-flit flag in a packed flit record (bit 56).
 const FLIT_HEAD: u64 = 1 << 56;
@@ -311,10 +311,7 @@ where
             next_inject += 1;
             observer.on_inject(cycle, p.src, p.dst);
             if let Some(reason) = admission.verdict(p.src, p.dst) {
-                match reason {
-                    DropReason::DeadEndpoint => acc.dropped_dead_endpoint += 1,
-                    DropReason::Unreachable => acc.dropped_unreachable += 1,
-                }
+                acc.drop_packet(reason);
                 observer.on_drop(cycle, p.src, p.dst, reason);
                 continue;
             }

@@ -75,12 +75,15 @@ use fibcube_graph::parallel::par_map;
 
 use crate::broadcast::BroadcastError;
 use crate::collective::{CollectiveOutcome, CollectiveSpec, CollectiveWorkload};
-use crate::engine::simulate_parallel;
-use crate::fault::{FaultError, FaultSpec};
+use crate::engine::{simulate_parallel, simulate_parallel_churn, RequestReplyLoad};
+use crate::fault::{ChurnEvent, ChurnTarget, ChurnTimeline, FaultError, FaultSet, FaultSpec};
 use crate::observer::{NoopObserver, SimObserver};
 use crate::report::Report;
 use crate::router::RouterSpec;
-use crate::simulator::{simulate_collective, simulate_wormhole, simulate_wormhole_faulted};
+use crate::simulator::{
+    simulate_churn, simulate_collective, simulate_request_reply, simulate_wormhole,
+    simulate_wormhole_faulted,
+};
 use crate::switching::SwitchingSpec;
 use crate::topology::Topology;
 use crate::traffic::TrafficSpec;
@@ -149,6 +152,17 @@ pub enum ExperimentError {
         /// The switching spec, in canonical text form.
         switching: String,
     },
+    /// A dynamic-path feature (fault churn, closed-loop `request_reply`
+    /// traffic) was combined with a configuration the churn engine does
+    /// not model — wormhole switching or a collective workload. Both
+    /// run on the store-and-forward point-to-point engine only.
+    UnsupportedDynamic {
+        /// The dynamic feature, in canonical text form
+        /// (`churn(...)` or `request_reply(...)`).
+        feature: String,
+        /// What it was combined with, in canonical text form.
+        with: String,
+    },
     /// The fault scenario is invalid for the target network (or its spec
     /// text failed to parse) — see [`FaultError`].
     Fault(FaultError),
@@ -168,6 +182,15 @@ pub enum ExperimentError {
         nodes: usize,
         /// Bytes the dense table would occupy.
         bytes: u128,
+    },
+    /// A caller-supplied cached [`DistanceTable`](crate::dist::DistanceTable)
+    /// covers a different node count than the topology it was paired
+    /// with (see [`metrics_with`](crate::metrics::metrics_with)).
+    TableMismatch {
+        /// Nodes the cached table covers.
+        table_nodes: usize,
+        /// Nodes in the topology.
+        topology_nodes: usize,
     },
 }
 
@@ -215,6 +238,11 @@ impl fmt::Display for ExperimentError {
                  (use store_and_forward, or alltoallp, which runs as \
                  routed unicasts under either switching model)"
             ),
+            ExperimentError::UnsupportedDynamic { feature, with } => write!(
+                f,
+                "`{feature}` runs on the store-and-forward point-to-point \
+                 engine only and cannot combine with `{with}`"
+            ),
             ExperimentError::Fault(e) => write!(f, "invalid fault scenario: {e}"),
             ExperimentError::Broadcast(e) => write!(f, "broadcast failed: {e}"),
             ExperimentError::TableTooLarge { nodes, bytes } => write!(
@@ -222,6 +250,14 @@ impl fmt::Display for ExperimentError {
                 "dense O(n²) table over {nodes} nodes needs {bytes} bytes, \
                  over the {} byte budget — use implicit routing / sampled metrics",
                 crate::router::TABLE_BYTE_BUDGET
+            ),
+            ExperimentError::TableMismatch {
+                table_nodes,
+                topology_nodes,
+            } => write!(
+                f,
+                "cached distance table covers {table_nodes} nodes but the \
+                 topology has {topology_nodes} — rebuild the table for this network"
             ),
         }
     }
@@ -303,8 +339,10 @@ fn check_combination(
 }
 
 /// Decorrelates fault placement from the traffic stream while keeping
-/// both a pure function of the experiment seed.
-fn fault_seed(seed: u64) -> u64 {
+/// both a pure function of the experiment seed. Shared with the sweep
+/// grids so a sweep cell draws the same faults an equally-seeded
+/// [`Experiment`] would.
+pub(crate) fn fault_seed(seed: u64) -> u64 {
     seed ^ 0xFA17_5EED_0C0D_ED00
 }
 
@@ -481,6 +519,14 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
         let n = self.topology.len();
         self.switching.validate()?;
         check_combination(self.collective.as_ref(), &self.switching)?;
+        if self.faults.is_churn() {
+            if let Some(spec) = &self.collective {
+                return Err(ExperimentError::UnsupportedDynamic {
+                    feature: self.faults.to_string(),
+                    with: spec.to_string(),
+                });
+            }
+        }
         let fault_set = self
             .faults
             .sample(self.topology.graph(), fault_seed(self.seed))?;
@@ -488,6 +534,9 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
             return self.run_collective(spec, fault_set);
         }
         self.traffic.validate(n)?;
+        if self.faults.is_churn() || matches!(self.traffic, TrafficSpec::RequestReply { .. }) {
+            return self.run_dynamic(fault_set);
+        }
         let router = self.router.resolve(self.topology)?;
         // A degraded run executes the fault-masking wrapper, and the
         // report should say so rather than claim the bare policy ran.
@@ -533,6 +582,144 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
                 self.max_cycles,
                 &mut self.observer,
             )
+        };
+        Ok(Report {
+            topology: self.topology.name(),
+            nodes: n,
+            router_spec: self.router.to_string(),
+            router: router_name,
+            traffic: self.traffic.to_string(),
+            switching: self.switching.to_string(),
+            faults: self.faults.to_string(),
+            failed_nodes: fault_set.failed_nodes().len(),
+            failed_links: fault_set.failed_links().len(),
+            seed: self.seed,
+            max_cycles: self.max_cycles,
+            stats,
+            collective: None,
+            sections: self.observer.sections(),
+        })
+    }
+
+    /// The dynamic half of [`run`](Experiment::run): fault churn and/or
+    /// closed-loop `request_reply` traffic, both executed by the churn
+    /// engine ([`simulate_churn`] / [`simulate_request_reply`], or
+    /// [`simulate_parallel_churn`] for threaded observer-free open-loop
+    /// runs). A churn spec draws its event timeline from the experiment
+    /// seed over the `[0, max_cycles)` horizon; a *static* fault set
+    /// under closed-loop traffic becomes the equivalent timeline of
+    /// fail events pinned to cycle 0.
+    fn run_dynamic(mut self, fault_set: FaultSet) -> Result<Report, ExperimentError> {
+        let n = self.topology.len();
+        let closed_loop = matches!(self.traffic, TrafficSpec::RequestReply { .. });
+        let feature = if self.faults.is_churn() {
+            self.faults.to_string()
+        } else {
+            self.traffic.to_string()
+        };
+        if !matches!(self.switching, SwitchingSpec::StoreAndForward) {
+            return Err(ExperimentError::UnsupportedDynamic {
+                feature,
+                with: self.switching.to_string(),
+            });
+        }
+        if self.max_cycles == u64::MAX {
+            // Churn needs a horizon to bound its event timeline, and a
+            // closed loop never drains — both require an explicit cap.
+            return if closed_loop {
+                Err(ExperimentError::InvalidTraffic {
+                    spec: self.traffic.to_string(),
+                    reason: "closed-loop sources never drain; set a finite cycles(..) cap"
+                        .to_string(),
+                })
+            } else {
+                Err(ExperimentError::Fault(FaultError::InvalidChurn {
+                    reason: "churn needs a finite cycles(..) cap to bound its event timeline"
+                        .to_string(),
+                }))
+            };
+        }
+        let timeline = match self.faults {
+            FaultSpec::Churn {
+                node_rate,
+                link_rate,
+                mttr,
+            } => ChurnTimeline::generate(
+                self.topology.graph(),
+                node_rate,
+                link_rate,
+                mttr,
+                fault_seed(self.seed),
+                self.max_cycles,
+            ),
+            _ => ChurnTimeline::from_events(
+                fault_set
+                    .failed_nodes()
+                    .iter()
+                    .map(|&x| ChurnEvent {
+                        cycle: 0,
+                        target: ChurnTarget::Node(x),
+                        failed: true,
+                    })
+                    .chain(fault_set.failed_links().iter().map(|&(u, v)| ChurnEvent {
+                        cycle: 0,
+                        target: ChurnTarget::Link(u, v),
+                        failed: true,
+                    })),
+            ),
+        };
+        let router = self.router.resolve(self.topology)?;
+        let router_name = if timeline.is_empty() {
+            router.name()
+        } else {
+            crate::router::masked_router_name(&router.name())
+        };
+        let stats = if closed_loop {
+            let TrafficSpec::RequestReply {
+                clients,
+                think,
+                timeout,
+                retries,
+            } = self.traffic
+            else {
+                unreachable!("closed_loop implies RequestReply")
+            };
+            let load = RequestReplyLoad {
+                clients,
+                think,
+                timeout,
+                retries,
+                seed: self.seed,
+            };
+            simulate_request_reply(
+                self.topology,
+                &*router,
+                &timeline,
+                &load,
+                self.max_cycles,
+                &mut self.observer,
+            )
+        } else {
+            let packets = self.traffic.generate(n, self.seed);
+            if O::IS_NOOP && self.threads > 1 {
+                simulate_parallel_churn(
+                    self.topology,
+                    &*router,
+                    &timeline,
+                    &packets,
+                    self.max_cycles,
+                    self.threads,
+                )
+            } else {
+                simulate_churn(
+                    self.topology,
+                    &*router,
+                    &timeline,
+                    &packets,
+                    self.max_cycles,
+                    &mut self.observer,
+                )
+            }
         };
         Ok(Report {
             topology: self.topology.name(),

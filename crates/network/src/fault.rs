@@ -23,10 +23,12 @@
 
 use core::fmt;
 use core::str::FromStr;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use fibcube_graph::bfs::INFINITY;
 use fibcube_graph::csr::{CsrGraph, GraphBuilder};
@@ -69,6 +71,21 @@ pub enum FaultError {
     },
     /// A sweep over zero trials has no mean to report.
     ZeroTrials,
+    /// A churn scenario with unusable parameters (negative or non-finite
+    /// rates, non-positive MTTR, or churn nested inside `mix`).
+    InvalidChurn {
+        /// What made the scenario unusable.
+        reason: String,
+    },
+    /// A static analysis needs an all-pairs distance table and the
+    /// topology exceeds the table byte budget
+    /// ([`TABLE_BYTE_BUDGET`](crate::router::TABLE_BYTE_BUDGET)).
+    TableTooLarge {
+        /// Nodes in the network.
+        nodes: usize,
+        /// Bytes the all-pairs table would need.
+        bytes: u128,
+    },
     /// A spec string failed to parse (`FromStr` for [`FaultSpec`]).
     ParseSpec {
         /// The rejected input.
@@ -95,6 +112,14 @@ impl fmt::Display for FaultError {
                 write!(f, "link {from}-{to} is not an edge of the network")
             }
             FaultError::ZeroTrials => write!(f, "a fault sweep needs at least one trial"),
+            FaultError::InvalidChurn { reason } => {
+                write!(f, "invalid churn scenario: {reason}")
+            }
+            FaultError::TableTooLarge { nodes, bytes } => write!(
+                f,
+                "static fault analysis needs an all-pairs table: {nodes} nodes would take \
+                 {bytes} bytes, over the table byte budget"
+            ),
             FaultError::ParseSpec { input, reason } => {
                 write!(f, "cannot parse fault spec `{input}`: {reason}")
             }
@@ -108,6 +133,22 @@ fn parse_err(input: &str, reason: impl Into<String>) -> FaultError {
     FaultError::ParseSpec {
         input: input.to_string(),
         reason: reason.into(),
+    }
+}
+
+/// Maps the experiment-layer table-budget refusal into the fault
+/// vocabulary. [`DistanceTable::healthy`](crate::dist::DistanceTable::healthy)
+/// fails only on the byte budget; any other variant is passed through
+/// rendered so no information is lost.
+fn table_err(e: crate::experiment::ExperimentError) -> FaultError {
+    match e {
+        crate::experiment::ExperimentError::TableTooLarge { nodes, bytes } => {
+            FaultError::TableTooLarge { nodes, bytes }
+        }
+        other => FaultError::ParseSpec {
+            input: "distance table".to_string(),
+            reason: other.to_string(),
+        },
     }
 }
 
@@ -126,6 +167,7 @@ fn parse_err(input: &str, reason: impl Into<String>) -> FaultError {
 /// | `NodeList` | `node_list(0,3,9)` |
 /// | `LinkList` | `link_list(0-1,4-7)` |
 /// | `Mixed` | `mix(nodes(count=2)+links(count=3))` |
+/// | `Churn` | `churn(node_rate=0.001,link_rate=0.002,mttr=500)` |
 #[derive(Clone, Debug, PartialEq)]
 pub enum FaultSpec {
     /// No faults: the healthy network. An `Experiment` with this spec is
@@ -149,6 +191,20 @@ pub enum FaultSpec {
     /// Union of component scenarios; random components draw from
     /// decorrelated seeds.
     Mixed(Vec<FaultSpec>),
+    /// Dynamic churn: failures arrive *during* the run as a seeded
+    /// Poisson-like event stream and (when `mttr` is finite) heal after
+    /// an exponentially distributed repair time. Materialised not as a
+    /// static [`FaultSet`] but as a [`ChurnTimeline`] of fail/recover
+    /// events the churn engine commits at cycle boundaries.
+    Churn {
+        /// Expected node failures per cycle, network-wide.
+        node_rate: f64,
+        /// Expected link failures per cycle, network-wide.
+        link_rate: f64,
+        /// Mean time to repair, cycles. `f64::INFINITY` (spelled `inf`
+        /// in the text form) means failures never heal.
+        mttr: f64,
+    },
 }
 
 impl FaultSpec {
@@ -210,8 +266,45 @@ impl FaultSpec {
                 }
                 Ok(())
             }
-            FaultSpec::Mixed(parts) => parts.iter().try_for_each(|p| p.validate(g)),
+            FaultSpec::Mixed(parts) => {
+                for p in parts {
+                    if matches!(p, FaultSpec::Churn { .. }) {
+                        return Err(FaultError::InvalidChurn {
+                            reason: "churn cannot be a `mix` component; use it standalone"
+                                .to_string(),
+                        });
+                    }
+                    p.validate(g)?;
+                }
+                Ok(())
+            }
+            FaultSpec::Churn {
+                node_rate,
+                link_rate,
+                mttr,
+            } => {
+                for (name, rate) in [("node_rate", *node_rate), ("link_rate", *link_rate)] {
+                    if !rate.is_finite() || rate < 0.0 {
+                        return Err(FaultError::InvalidChurn {
+                            reason: format!("`{name}` must be finite and ≥ 0, got {rate}"),
+                        });
+                    }
+                }
+                if mttr.is_nan() || *mttr <= 0.0 {
+                    return Err(FaultError::InvalidChurn {
+                        reason: format!("`mttr` must be > 0 (or inf), got {mttr}"),
+                    });
+                }
+                Ok(())
+            }
         }
+    }
+
+    /// `true` for the dynamic [`Churn`](FaultSpec::Churn) scenario, whose
+    /// faults materialise as a [`ChurnTimeline`] rather than a static
+    /// [`FaultSet`].
+    pub fn is_churn(&self) -> bool {
+        matches!(self, FaultSpec::Churn { .. })
     }
 
     /// Materialises the spec against `g`: random variants draw from
@@ -249,6 +342,9 @@ impl FaultSpec {
             }
             FaultSpec::NodeList(list) => nodes.extend_from_slice(list),
             FaultSpec::LinkList(list) => links.extend_from_slice(list),
+            // Churn contributes no *static* faults: its failures live on
+            // the timeline (`ChurnTimeline::generate`), not in the set.
+            FaultSpec::Churn { .. } => {}
             FaultSpec::Mixed(parts) => {
                 for (i, part) in parts.iter().enumerate() {
                     // Golden-ratio stride decorrelates component draws.
@@ -296,6 +392,14 @@ impl fmt::Display for FaultSpec {
                 }
                 write!(f, ")")
             }
+            FaultSpec::Churn {
+                node_rate,
+                link_rate,
+                mttr,
+            } => write!(
+                f,
+                "churn(node_rate={node_rate},link_rate={link_rate},mttr={mttr})"
+            ),
         }
     }
 }
@@ -368,11 +472,20 @@ impl FromStr for FaultSpec {
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(FaultSpec::Mixed(parts))
             }
+            "churn" => {
+                let v = parse_kv(body_or("churn")?, &["node_rate", "link_rate", "mttr"])
+                    .map_err(|e| parse_err(s, e))?;
+                Ok(FaultSpec::Churn {
+                    node_rate: num(v[0], "node_rate").map_err(|e| parse_err(s, e))?,
+                    link_rate: num(v[1], "link_rate").map_err(|e| parse_err(s, e))?,
+                    mttr: num(v[2], "mttr").map_err(|e| parse_err(s, e))?,
+                })
+            }
             other => Err(parse_err(
                 s,
                 format!(
                     "unknown scenario `{other}` (expected none, nodes, links, node_list, \
-                     link_list, mix)"
+                     link_list, mix, churn)"
                 ),
             )),
         }
@@ -523,6 +636,210 @@ impl FaultMasks {
     pub fn edge_alive(&self, e: usize) -> bool {
         !self.edge_dead[e]
     }
+
+    /// Flips node `v`'s liveness — churn support. The caller (the
+    /// fault-masking router) is responsible for refreshing the composite
+    /// per-edge flags of `v`'s incident links afterwards.
+    pub(crate) fn set_node(&mut self, v: u32, dead: bool) {
+        self.node_dead[v as usize] = dead;
+    }
+
+    /// Flips the composite liveness of directed edge `e` — churn support.
+    pub(crate) fn set_edge(&mut self, e: usize, dead: bool) {
+        self.edge_dead[e] = dead;
+    }
+}
+
+/// Backstop on the number of events one timeline may carry — far above
+/// any realistic run, so a runaway rate cannot allocate unboundedly.
+pub const MAX_CHURN_EVENTS: usize = 1 << 16;
+
+/// What a single churn event fails or recovers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ChurnTarget {
+    /// A node; its incident links die and revive with it.
+    Node(u32),
+    /// An undirected link, stored as `(min, max)`. Endpoints stay alive.
+    Link(u32, u32),
+}
+
+/// One scheduled churn event: at the boundary of `cycle` (before that
+/// cycle's injections), `target` fails (`failed`) or recovers
+/// (`!failed`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// Cycle boundary at which the event commits.
+    pub cycle: u64,
+    /// The node or link affected.
+    pub target: ChurnTarget,
+    /// `true` to fail the target, `false` to bring it back.
+    pub failed: bool,
+}
+
+/// A precomputed per-run timeline of fail/recover events — the
+/// materialised form of [`FaultSpec::Churn`], playing the role
+/// [`FaultSet`] plays for static scenarios. Events are sorted by cycle
+/// (recoveries due at a cycle precede failures at the same cycle) and
+/// alternate fail/recover per target, so replaying them in order keeps
+/// every mask consistent.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChurnTimeline {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnTimeline {
+    /// A timeline from explicit events (sorted by cycle, stably, so
+    /// same-cycle events keep their given order). The caller is
+    /// responsible for per-target fail/recover alternation.
+    pub fn from_events(events: impl IntoIterator<Item = ChurnEvent>) -> ChurnTimeline {
+        let mut events: Vec<ChurnEvent> = events.into_iter().collect();
+        events.sort_by_key(|e| e.cycle);
+        ChurnTimeline { events }
+    }
+
+    /// Samples a timeline for `g` over `[0, horizon)` cycles,
+    /// deterministic in `(g, rates, mttr, seed)`. Failures arrive as a
+    /// Poisson-like process with `node_rate + link_rate` expected events
+    /// per cycle (exponential inter-arrival, rounded up to ≥ 1 cycle),
+    /// targets drawn uniformly; each finite-`mttr` failure schedules a
+    /// recovery an exponential(`mttr`) time later. Already-down targets
+    /// are skipped (strict per-target alternation), the last alive node
+    /// never fails, and generation stops at [`MAX_CHURN_EVENTS`].
+    pub fn generate(
+        g: &CsrGraph,
+        node_rate: f64,
+        link_rate: f64,
+        mttr: f64,
+        seed: u64,
+        horizon: u64,
+    ) -> ChurnTimeline {
+        let n = g.num_vertices();
+        let total = node_rate + link_rate;
+        if n == 0 || total.is_nan() || total <= 0.0 || horizon == 0 {
+            return ChurnTimeline::default();
+        }
+        let edges: Vec<(u32, u32)> = g.edges().collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // 53 random bits → uniform in (0, 1], so `ln` stays finite.
+        fn unit(rng: &mut StdRng) -> f64 {
+            ((rng.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+        }
+        let mut node_down = vec![false; n];
+        let mut link_down = vec![false; edges.len()];
+        let mut alive_nodes = n;
+        let mut events: Vec<ChurnEvent> = Vec::new();
+        // Pending recoveries, earliest first; `seq` breaks ties
+        // deterministically. Entries are `(cycle, seq, index, is_node)`.
+        let mut pending: BinaryHeap<Reverse<(u64, u64, usize, bool)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let commit_recovery =
+            |events: &mut Vec<ChurnEvent>,
+             node_down: &mut Vec<bool>,
+             link_down: &mut Vec<bool>,
+             alive_nodes: &mut usize,
+             (cycle, _, idx, is_node): (u64, u64, usize, bool)| {
+                let target = if is_node {
+                    node_down[idx] = false;
+                    *alive_nodes += 1;
+                    ChurnTarget::Node(idx as u32)
+                } else {
+                    link_down[idx] = false;
+                    let (u, v) = edges[idx];
+                    ChurnTarget::Link(u, v)
+                };
+                events.push(ChurnEvent {
+                    cycle,
+                    target,
+                    failed: false,
+                });
+            };
+        let mut cycle = 0u64;
+        loop {
+            let dt = ((-unit(&mut rng).ln() / total).ceil() as u64).max(1);
+            cycle = cycle.saturating_add(dt);
+            if cycle >= horizon || events.len() >= MAX_CHURN_EVENTS {
+                break;
+            }
+            // Recoveries due at or before this failure commit first.
+            while let Some(&Reverse(entry)) = pending.peek() {
+                if entry.0 > cycle || events.len() >= MAX_CHURN_EVENTS {
+                    break;
+                }
+                pending.pop();
+                commit_recovery(
+                    &mut events,
+                    &mut node_down,
+                    &mut link_down,
+                    &mut alive_nodes,
+                    entry,
+                );
+            }
+            let pick_node = rng.gen_bool(node_rate / total);
+            let (idx, is_node) = if pick_node {
+                (rng.gen_range(0..n), true)
+            } else if edges.is_empty() {
+                continue;
+            } else {
+                (rng.gen_range(0..edges.len()), false)
+            };
+            let down = if is_node {
+                node_down[idx] || alive_nodes <= 1
+            } else {
+                link_down[idx]
+            };
+            if down {
+                continue; // already failed (or last survivor): no event
+            }
+            let target = if is_node {
+                node_down[idx] = true;
+                alive_nodes -= 1;
+                ChurnTarget::Node(idx as u32)
+            } else {
+                link_down[idx] = true;
+                let (u, v) = edges[idx];
+                ChurnTarget::Link(u, v)
+            };
+            events.push(ChurnEvent {
+                cycle,
+                target,
+                failed: true,
+            });
+            if mttr.is_finite() {
+                let repair = ((-unit(&mut rng).ln() * mttr).ceil() as u64).max(1);
+                pending.push(Reverse((cycle.saturating_add(repair), seq, idx, is_node)));
+                seq += 1;
+            }
+        }
+        // Recoveries still pending inside the horizon.
+        while let Some(Reverse(entry)) = pending.pop() {
+            if entry.0 >= horizon || events.len() >= MAX_CHURN_EVENTS {
+                break;
+            }
+            commit_recovery(
+                &mut events,
+                &mut node_down,
+                &mut link_down,
+                &mut alive_nodes,
+                entry,
+            );
+        }
+        ChurnTimeline { events }
+    }
+
+    /// The events, sorted by commit cycle.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// `true` when the timeline holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
 }
 
 /// Outcome of one fault-injection trial (static analysis).
@@ -558,15 +875,13 @@ pub fn healthy_subgraph(g: &CsrGraph, failed: &[u32]) -> (CsrGraph, Vec<u32>) {
 /// share. `O(n²)` — meant for the static comparisons, not the live
 /// engine.
 ///
-/// # Panics
-///
-/// Panics when the topology is too large for an all-pairs table (see
-/// [`TABLE_BYTE_BUDGET`](crate::router::TABLE_BYTE_BUDGET)); the static
-/// analysis is inherently dense, so there is no implicit fallback here.
-pub fn fault_set_trial(t: &dyn Topology, set: &FaultSet) -> FaultTrial {
-    let before = crate::dist::DistanceTable::healthy(t.graph())
-        .expect("static fault analysis needs an all-pairs table within TABLE_BYTE_BUDGET");
-    fault_set_trial_with(t, set, &before)
+/// The static analysis is inherently dense, so there is no implicit
+/// fallback: topologies over the table byte budget
+/// ([`TABLE_BYTE_BUDGET`](crate::router::TABLE_BYTE_BUDGET)) are a
+/// typed [`FaultError::TableTooLarge`], not a panic.
+pub fn fault_set_trial(t: &dyn Topology, set: &FaultSet) -> Result<FaultTrial, FaultError> {
+    let before = crate::dist::DistanceTable::healthy(t.graph()).map_err(table_err)?;
+    Ok(fault_set_trial_with(t, set, &before))
 }
 
 /// [`fault_set_trial`] against a caller-provided healthy (pre-fault)
@@ -619,7 +934,7 @@ fn fault_set_trial_with(
 /// survivor.
 pub fn fault_trial(t: &dyn Topology, faults: usize, seed: u64) -> Result<FaultTrial, FaultError> {
     let set = FaultSpec::Nodes { count: faults }.sample(t.graph(), seed)?;
-    Ok(fault_set_trial(t, &set))
+    fault_set_trial(t, &set)
 }
 
 /// One aggregated row of a [`fault_sweep`].
@@ -648,8 +963,7 @@ pub fn fault_sweep(
     }
     // The pre-fault distance table depends only on the graph: build it
     // once for the whole trials × fault_counts grid.
-    let before = crate::dist::DistanceTable::healthy(t.graph())
-        .expect("static fault sweeps need an all-pairs table within TABLE_BYTE_BUDGET");
+    let before = crate::dist::DistanceTable::healthy(t.graph()).map_err(table_err)?;
     fault_counts
         .iter()
         .map(|&k| {
@@ -895,6 +1209,139 @@ mod tests {
             let err = bad.parse::<FaultSpec>().expect_err(bad);
             assert!(err.to_string().contains("fault spec"), "{bad}: {err}");
         }
+    }
+
+    #[test]
+    fn churn_spec_round_trips_and_validates() {
+        let q = Hypercube::new(3);
+        for spec in [
+            FaultSpec::Churn {
+                node_rate: 0.001,
+                link_rate: 0.002,
+                mttr: 500.0,
+            },
+            FaultSpec::Churn {
+                node_rate: 0.0,
+                link_rate: 0.0,
+                mttr: f64::INFINITY,
+            },
+        ] {
+            let text = spec.to_string();
+            let parsed: FaultSpec = text.parse().unwrap_or_else(|e| panic!("`{text}`: {e}"));
+            assert_eq!(parsed, spec, "round-trip of `{text}`");
+            assert!(spec.validate(q.graph()).is_ok(), "{text}");
+            assert!(spec.is_churn());
+            // Churn carries no static faults: sampling yields the empty set.
+            assert!(spec.sample(q.graph(), 7).unwrap().is_empty());
+        }
+        assert!("churn(node_rate=0,link_rate=0.01,mttr=inf)"
+            .parse::<FaultSpec>()
+            .is_ok());
+        for (bad, why) in [
+            (
+                FaultSpec::Churn {
+                    node_rate: -0.1,
+                    link_rate: 0.0,
+                    mttr: 1.0,
+                },
+                "node_rate",
+            ),
+            (
+                FaultSpec::Churn {
+                    node_rate: 0.0,
+                    link_rate: f64::NAN,
+                    mttr: 1.0,
+                },
+                "link_rate",
+            ),
+            (
+                FaultSpec::Churn {
+                    node_rate: 0.1,
+                    link_rate: 0.0,
+                    mttr: 0.0,
+                },
+                "mttr",
+            ),
+        ] {
+            let err = bad.validate(q.graph()).unwrap_err();
+            assert!(err.to_string().contains(why), "{err}");
+        }
+        // Churn is standalone: nesting it in `mix` is a typed error.
+        let nested = FaultSpec::Mixed(vec![FaultSpec::Churn {
+            node_rate: 0.1,
+            link_rate: 0.0,
+            mttr: 1.0,
+        }]);
+        assert!(matches!(
+            nested.validate(q.graph()).unwrap_err(),
+            FaultError::InvalidChurn { .. }
+        ));
+        // Malformed text forms are parse errors.
+        for bad in [
+            "churn",
+            "churn(node_rate=1)",
+            "churn(node_rate=x,link_rate=0,mttr=1)",
+        ] {
+            assert!(bad.parse::<FaultSpec>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn churn_timeline_is_seeded_ordered_and_alternating() {
+        let net = FibonacciNet::classical(8);
+        let g = net.graph();
+        let gen = |seed| ChurnTimeline::generate(g, 0.01, 0.02, 50.0, seed, 4_000);
+        let a = gen(42);
+        assert_eq!(a, gen(42), "deterministic in the seed");
+        assert_ne!(a, gen(43), "distinct seeds decorrelate");
+        assert!(!a.is_empty(), "these rates over 4k cycles must fire");
+        assert!(a.len() <= MAX_CHURN_EVENTS);
+        // Sorted by cycle, inside the horizon, strictly alternating per
+        // target, starting with a failure.
+        let mut last = 0u64;
+        let mut state: std::collections::HashMap<ChurnTarget, bool> = Default::default();
+        for e in a.events() {
+            assert!(e.cycle >= last, "events out of order");
+            assert!(e.cycle < 4_000);
+            last = e.cycle;
+            let down = state.entry(e.target).or_insert(false);
+            assert_ne!(*down, e.failed, "fail/recover must alternate: {e:?}");
+            *down = e.failed;
+        }
+        // Finite MTTR heals: some recoveries appear.
+        assert!(a.events().iter().any(|e| !e.failed), "no recoveries");
+        // Infinite MTTR never heals.
+        let forever = ChurnTimeline::generate(g, 0.01, 0.02, f64::INFINITY, 42, 4_000);
+        assert!(forever.events().iter().all(|e| e.failed));
+        // Zero rate → empty timeline.
+        assert!(ChurnTimeline::generate(g, 0.0, 0.0, 50.0, 1, 4_000).is_empty());
+    }
+
+    #[test]
+    fn oversized_static_analyses_are_typed_errors() {
+        // Satellite: `fault_set_trial`/`fault_sweep` used to `expect` on
+        // the table budget. 20 000 isolated nodes → 1.6 GB dense table.
+        struct Big(CsrGraph);
+        impl Topology for Big {
+            fn name(&self) -> String {
+                "big".to_string()
+            }
+            fn len(&self) -> usize {
+                self.0.num_vertices()
+            }
+            fn graph(&self) -> &CsrGraph {
+                &self.0
+            }
+            fn next_hop(&self, _cur: u32, _dst: u32) -> Option<u32> {
+                None
+            }
+        }
+        let big = Big(CsrGraph::empty(20_000));
+        let err = fault_set_trial(&big, &FaultSet::empty()).unwrap_err();
+        assert!(matches!(err, FaultError::TableTooLarge { .. }), "{err}");
+        assert!(err.to_string().contains("byte budget"), "{err}");
+        let err = fault_sweep(&big, &[1], 2).unwrap_err();
+        assert!(matches!(err, FaultError::TableTooLarge { .. }), "{err}");
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //!   full-scan engines as reference oracles, and
 //!   [`simulate_parallel`] — the same run sharded across a scoped
 //!   thread pool with a propose/commit cycle, bit-identical to the
-//!   serial engine at any thread count;
+//!   serial engine at any thread count (including churned runs via
+//!   [`simulate_parallel_churn`]), plus the dynamic-fault engines:
+//!   [`simulate_churn`] applies a seeded mid-run fail/recover event
+//!   timeline at cycle boundaries, and [`simulate_request_reply`]
+//!   drives closed-loop clients with timeout-and-retry delivery;
 //! * [`simulator`] — source-compatibility facade re-exporting the
 //!   engine's entry points under their historical paths;
 //! * [`arena`] — the engine's storage core: the struct-of-arrays
@@ -38,8 +42,10 @@
 //!   fault-masking router, plus the sampled [`DistanceSample`]
 //!   estimator for networks past the dense-table byte budget;
 //! * [`observer`] — pluggable [`SimObserver`] hooks compiled into the
-//!   engine (zero-cost when absent), with [`LatencyHistogram`] and
-//!   [`LinkHeatmap`] shipped;
+//!   engine (zero-cost when absent), with [`LatencyHistogram`],
+//!   [`LinkHeatmap`], and the SLO-grade [`SloTracker`] (windowed
+//!   delivered fraction, windowed tail latency, time-to-recover after
+//!   each fault event) shipped;
 //! * [`report`] — the [`Report`] type and the dependency-free
 //!   [`JsonValue`] document model behind `to_json()`;
 //! * [`switching`] — the switching model as a first-class spec
@@ -49,8 +55,10 @@
 //!   channel classes;
 //! * [`sweep`] — injection-rate ladders producing saturation-throughput
 //!   and latency-vs-load curves, parallel across (rate, seed) runs, plus
-//!   the [`fault_load_sweep`] rate × fault-count resilience grid and the
-//!   [`switching_sweep`] wormhole-vs-store-and-forward comparison;
+//!   the [`fault_load_sweep`] rate × fault-count resilience grid, the
+//!   [`switching_sweep`] wormhole-vs-store-and-forward comparison, and
+//!   the [`churn_sweep`] recovery-time-vs-MTTR grid under dynamic
+//!   fault churn;
 //! * [`traffic`] — declarative, seeded workload specs ([`TrafficSpec`]:
 //!   uniform, hot-spot, complement permutation, all-to-all, open-loop
 //!   Bernoulli, mixes — all CLI/JSON-parseable);
@@ -70,8 +78,9 @@
 //!   [`FaultSet`]): live fault-aware simulation through
 //!   [`Experiment::faults`](Experiment::faults) (dead packets become
 //!   typed drops, survivors detour via the
-//!   [`FaultMaskingRouter`]), plus the
-//!   static survivability/dilation analysis.
+//!   [`FaultMaskingRouter`]), dynamic fault churn as a precomputed
+//!   seeded event timeline ([`ChurnTimeline`]) with incremental route
+//!   repair, plus the static survivability/dilation analysis.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -103,30 +112,35 @@ pub use broadcast::{
 pub use collective::{CollectiveOutcome, CollectiveSpec, CopyPlan, Port};
 pub use dist::{DistanceSample, DistanceTable};
 pub use embedding::{embed_hypercube, embed_path, embed_ring, Embedding};
-pub use engine::simulate_parallel;
+pub use engine::{simulate_parallel, simulate_parallel_churn};
 pub use experiment::{Experiment, ExperimentError};
 pub use fault::{
-    fault_set_trial, fault_sweep, fault_trial, FaultError, FaultMasks, FaultSet, FaultSpec,
-    FaultSweepRow, FaultTrial,
+    fault_set_trial, fault_sweep, fault_trial, ChurnEvent, ChurnTarget, ChurnTimeline, FaultError,
+    FaultMasks, FaultSet, FaultSpec, FaultSweepRow, FaultTrial,
 };
 pub use hamilton::{hamiltonian_cycle, hamiltonian_path, HamiltonResult};
 pub use implicit::{ImplicitFibonacciNet, ImplicitRouter};
 pub use metrics::{metrics, metrics_sampled, metrics_with, TopologyMetrics};
-pub use observer::{DeliveryTracker, LatencyHistogram, LinkHeatmap, NoopObserver, SimObserver};
+pub use observer::{
+    DeliveryTracker, LatencyHistogram, LinkHeatmap, NoopObserver, SimObserver, SloRecovery,
+    SloTracker, SloWindow, SLO_DELIVERED_TARGET,
+};
 pub use report::{JsonValue, Report};
 pub use router::{
     AdaptiveMinimal, CanonicalRouter, EcubeRouter, FaultMaskingRouter, LinkLoad, NextHopRouter,
     NextHopTable, NoLoad, Router, RouterSpec, TABLE_BYTE_BUDGET,
 };
 pub use simulator::{
-    simulate, simulate_collective, simulate_faulted, simulate_faulted_reference, simulate_observed,
-    simulate_reference, simulate_with, simulate_wormhole, simulate_wormhole_faulted, DropReason,
-    LogHistogram, SimStats, DENSE_HISTOGRAM_NODE_LIMIT,
+    simulate, simulate_churn, simulate_collective, simulate_faulted, simulate_faulted_reference,
+    simulate_observed, simulate_reference, simulate_request_reply, simulate_with,
+    simulate_wormhole, simulate_wormhole_faulted, DropReason, LogHistogram, RequestReplyLoad,
+    SimStats, DENSE_HISTOGRAM_NODE_LIMIT,
 };
 pub use sweep::{
-    collective_sweep, fault_load_sweep, injection_sweep, injection_sweep_with, rate_ladder,
-    saturation_point, switching_sweep, CollectiveGrid, CollectivePoint, FaultLoadGrid,
-    FaultLoadPoint, LoadPoint, SweepConfig, SweepCurve, SwitchingGrid, SwitchingPoint,
+    churn_sweep, collective_sweep, fault_load_sweep, injection_sweep, injection_sweep_with,
+    rate_ladder, saturation_point, switching_sweep, ChurnGrid, ChurnPoint, CollectiveGrid,
+    CollectivePoint, FaultLoadGrid, FaultLoadPoint, LoadPoint, SweepConfig, SweepCurve,
+    SwitchingGrid, SwitchingPoint,
 };
 pub use switching::{SwitchingSpec, VcOccupancy, PACKET_LENGTH_UNITS};
 pub use topology::{FibonacciNet, Hypercube, Mesh, Ring, RouteError, Topology};

@@ -80,7 +80,7 @@ fn degree_row(t: &dyn Topology) -> (usize, usize) {
 pub fn metrics(t: &dyn Topology) -> Result<TopologyMetrics, ExperimentError> {
     if t.len() <= EXACT_METRICS_LIMIT {
         let table = DistanceTable::healthy(t.graph())?;
-        Ok(metrics_with(t, &table))
+        metrics_with(t, &table)
     } else {
         Ok(metrics_sampled(
             t,
@@ -92,18 +92,24 @@ pub fn metrics(t: &dyn Topology) -> Result<TopologyMetrics, ExperimentError> {
 
 /// The metric row against a caller-supplied (cached) distance table —
 /// repeated calls on the same topology reuse one all-pairs sweep instead
-/// of rebuilding it per call.
-///
-/// # Panics
-///
-/// Panics when `table` does not cover the topology's node count.
-pub fn metrics_with(t: &dyn Topology, table: &DistanceTable) -> TopologyMetrics {
+/// of rebuilding it per call. A table covering a different node count
+/// than the topology is a typed
+/// [`ExperimentError::TableMismatch`], not a panic.
+pub fn metrics_with(
+    t: &dyn Topology,
+    table: &DistanceTable,
+) -> Result<TopologyMetrics, ExperimentError> {
     let g = t.graph();
     let n = g.num_vertices();
-    assert_eq!(table.nodes(), n, "distance table does not match topology");
+    if table.nodes() != n {
+        return Err(ExperimentError::TableMismatch {
+            table_nodes: table.nodes(),
+            topology_nodes: n,
+        });
+    }
     let (min_degree, max_degree) = degree_row(t);
     let diameter = table.diameter().unwrap_or(0);
-    TopologyMetrics {
+    Ok(TopologyMetrics {
         name: t.name(),
         nodes: n,
         links: g.num_edges(),
@@ -115,7 +121,7 @@ pub fn metrics_with(t: &dyn Topology, table: &DistanceTable) -> TopologyMetrics 
         exact_distances: true,
         distance_sources: n,
         average_distance_ci95: 0.0,
-    }
+    })
 }
 
 /// The metric row with sampled distance figures: `sources` seeded BFS
@@ -198,7 +204,7 @@ mod tests {
         let net = FibonacciNet::classical(8);
         let table = crate::dist::DistanceTable::healthy(net.graph()).unwrap();
         let direct = metrics(&net).unwrap();
-        let reused = metrics_with(&net, &table);
+        let reused = metrics_with(&net, &table).unwrap();
         assert_eq!(reused.diameter, direct.diameter);
         assert_eq!(reused.average_distance, direct.average_distance);
         assert_eq!(reused.cost, direct.cost);
@@ -206,10 +212,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not match")]
     fn metrics_with_rejects_mismatched_table() {
         let table = crate::dist::DistanceTable::healthy(Ring::new(5).graph()).unwrap();
-        metrics_with(&Hypercube::new(4), &table);
+        let err = metrics_with(&Hypercube::new(4), &table)
+            .expect_err("a 5-node table cannot describe a 16-node cube");
+        assert!(
+            matches!(
+                err,
+                crate::experiment::ExperimentError::TableMismatch {
+                    table_nodes: 5,
+                    topology_nodes: 16,
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("5"), "{err}");
     }
 
     #[test]

@@ -117,6 +117,16 @@ pub trait SimObserver {
         let _ = (cycle, edge, vc, occupancy);
     }
 
+    /// A churn event committed at the boundary of `cycle`: `failed` is
+    /// `true` for a fail event, `false` for a recovery. Fired only by the
+    /// churn engine
+    /// ([`simulate_churn`](crate::simulator::simulate_churn)) — static
+    /// fault runs never emit it. Fires before the cycle's injections.
+    #[inline]
+    fn on_fault_event(&mut self, cycle: u64, failed: bool) {
+        let _ = (cycle, failed);
+    }
+
     /// Named JSON sections for the experiment [`Report`]
     /// (one `(name, value)` pair per section). Defaults to none.
     ///
@@ -171,6 +181,11 @@ impl<O: SimObserver + ?Sized> SimObserver for &mut O {
         (**self).on_flit_hop(cycle, edge, vc, occupancy);
     }
 
+    #[inline]
+    fn on_fault_event(&mut self, cycle: u64, failed: bool) {
+        (**self).on_fault_event(cycle, failed);
+    }
+
     fn sections(&self) -> Vec<(String, JsonValue)> {
         (**self).sections()
     }
@@ -215,6 +230,12 @@ impl<A: SimObserver, B: SimObserver> SimObserver for (A, B) {
     fn on_flit_hop(&mut self, cycle: u64, edge: usize, vc: u32, occupancy: u32) {
         self.0.on_flit_hop(cycle, edge, vc, occupancy);
         self.1.on_flit_hop(cycle, edge, vc, occupancy);
+    }
+
+    #[inline]
+    fn on_fault_event(&mut self, cycle: u64, failed: bool) {
+        self.0.on_fault_event(cycle, failed);
+        self.1.on_fault_event(cycle, failed);
     }
 
     fn sections(&self) -> Vec<(String, JsonValue)> {
@@ -392,6 +413,9 @@ pub struct DeliveryTracker {
     delivered: u64,
     dropped_dead_endpoint: u64,
     dropped_unreachable: u64,
+    dropped_link_died: u64,
+    dropped_node_died: u64,
+    dropped_retries_exhausted: u64,
 }
 
 impl DeliveryTracker {
@@ -420,9 +444,30 @@ impl DeliveryTracker {
         self.dropped_unreachable
     }
 
+    /// Packets dropped mid-run because their queued link failed.
+    pub fn dropped_link_died(&self) -> u64 {
+        self.dropped_link_died
+    }
+
+    /// Packets dropped mid-run because a node they occupied (or were
+    /// addressed to) failed.
+    pub fn dropped_node_died(&self) -> u64 {
+        self.dropped_node_died
+    }
+
+    /// Closed-loop requests abandoned after exhausting their retry
+    /// budget.
+    pub fn dropped_retries_exhausted(&self) -> u64 {
+        self.dropped_retries_exhausted
+    }
+
     /// Total typed drops.
     pub fn dropped(&self) -> u64 {
-        self.dropped_dead_endpoint + self.dropped_unreachable
+        self.dropped_dead_endpoint
+            + self.dropped_unreachable
+            + self.dropped_link_died
+            + self.dropped_node_died
+            + self.dropped_retries_exhausted
     }
 
     /// Packets neither delivered nor dropped — still queued when the run
@@ -472,6 +517,9 @@ impl SimObserver for DeliveryTracker {
         match reason {
             DropReason::DeadEndpoint => self.dropped_dead_endpoint += 1,
             DropReason::Unreachable => self.dropped_unreachable += 1,
+            DropReason::LinkDied => self.dropped_link_died += 1,
+            DropReason::NodeDied => self.dropped_node_died += 1,
+            DropReason::RetriesExhausted => self.dropped_retries_exhausted += 1,
         }
     }
 
@@ -489,6 +537,12 @@ impl SimObserver for DeliveryTracker {
                     "dropped_unreachable",
                     JsonValue::Int(self.dropped_unreachable),
                 ),
+                ("dropped_link_died", JsonValue::Int(self.dropped_link_died)),
+                ("dropped_node_died", JsonValue::Int(self.dropped_node_died)),
+                (
+                    "dropped_retries_exhausted",
+                    JsonValue::Int(self.dropped_retries_exhausted),
+                ),
                 ("in_flight", JsonValue::Int(self.in_flight())),
                 (
                     "delivered_fraction",
@@ -499,6 +553,246 @@ impl SimObserver for DeliveryTracker {
                     "undeliverable_fraction",
                     fraction_json(self.undeliverable_fraction()),
                 ),
+            ]),
+        )]
+    }
+}
+
+/// Delivered-fraction threshold at which [`SloTracker`] considers
+/// service recovered after a fault event.
+pub const SLO_DELIVERED_TARGET: f64 = 0.99;
+
+/// One aggregation window of an [`SloTracker`] run. Windows are sparse:
+/// only windows in which at least one event fired are recorded, so
+/// consumers must not assume consecutive [`start`](SloWindow::start)
+/// values.
+#[derive(Clone, Debug)]
+pub struct SloWindow {
+    start: u64,
+    end: u64,
+    injected: u64,
+    delivered: u64,
+    dropped: u64,
+    hist: Vec<u64>,
+}
+
+impl SloWindow {
+    /// First cycle covered by this window (inclusive).
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// One past the last cycle covered by this window.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Packets injected during this window.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Packets delivered during this window.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Packets dropped (any [`DropReason`]) during this window.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// `delivered / injected` for this window, or `None` when nothing
+    /// was injected in it.
+    pub fn delivered_fraction(&self) -> Option<f64> {
+        (self.injected > 0).then(|| self.delivered as f64 / self.injected as f64)
+    }
+
+    /// 99th-percentile latency of packets delivered in this window.
+    pub fn p99(&self) -> u64 {
+        percentile(&self.hist, 0.99)
+    }
+
+    /// 99.9th-percentile latency of packets delivered in this window.
+    pub fn p999(&self) -> u64 {
+        percentile(&self.hist, 0.999)
+    }
+}
+
+/// Per-fault-event recovery record computed by
+/// [`SloTracker::recoveries`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SloRecovery {
+    /// Cycle boundary at which the event committed.
+    pub cycle: u64,
+    /// `true` for a fail event, `false` for a recovery event.
+    pub failed: bool,
+    /// Cycles from the event until the end of the first window at or
+    /// after it whose delivered fraction met
+    /// [`SLO_DELIVERED_TARGET`]; `None` when service never recovered
+    /// before the run ended.
+    pub time_to_recover: Option<u64>,
+}
+
+/// Service-level observer for churn runs: windowed
+/// delivered-fraction-over-time, windowed tail latency (p99/p99.9),
+/// and time-to-recover after each fault event.
+///
+/// Attach to a churn run
+/// ([`simulate_churn`](crate::simulator::simulate_churn)) and read the
+/// typed accessors, or let [`sections`](SimObserver::sections) emit an
+/// `"slo"` report section. Windows aggregate `window` cycles each and
+/// are recorded sparsely (idle windows are absent).
+#[derive(Clone, Debug)]
+pub struct SloTracker {
+    window: u64,
+    windows: Vec<SloWindow>,
+    fault_events: Vec<(u64, bool)>,
+}
+
+impl SloTracker {
+    /// A fresh tracker aggregating `window` cycles per window
+    /// (clamped to at least 1).
+    pub fn new(window: u64) -> SloTracker {
+        SloTracker {
+            window: window.max(1),
+            windows: Vec::new(),
+            fault_events: Vec::new(),
+        }
+    }
+
+    /// Cycles per aggregation window.
+    pub fn window_cycles(&self) -> u64 {
+        self.window
+    }
+
+    /// The recorded windows, ordered by start cycle (sparse — idle
+    /// windows are skipped).
+    pub fn windows(&self) -> &[SloWindow] {
+        &self.windows
+    }
+
+    /// Every `(cycle, failed)` churn event observed, in commit order.
+    pub fn fault_events(&self) -> &[(u64, bool)] {
+        &self.fault_events
+    }
+
+    /// Time-to-recover per observed churn event: the first window at or
+    /// after the event with traffic whose delivered fraction meets
+    /// [`SLO_DELIVERED_TARGET`] closes the recovery, and
+    /// `time_to_recover` is measured from the event to that window's
+    /// end.
+    pub fn recoveries(&self) -> Vec<SloRecovery> {
+        self.fault_events
+            .iter()
+            .map(|&(cycle, failed)| {
+                let time_to_recover = self
+                    .windows
+                    .iter()
+                    .filter(|w| w.end > cycle && w.injected > 0)
+                    .find(|w| {
+                        w.delivered_fraction()
+                            .is_some_and(|f| f >= SLO_DELIVERED_TARGET)
+                    })
+                    .map(|w| w.end - cycle);
+                SloRecovery {
+                    cycle,
+                    failed,
+                    time_to_recover,
+                }
+            })
+            .collect()
+    }
+
+    fn window_mut(&mut self, cycle: u64) -> &mut SloWindow {
+        let start = cycle - cycle % self.window;
+        // Events arrive in non-decreasing cycle order, so the right
+        // window is almost always the last one.
+        let pos = match self.windows.iter().rposition(|w| w.start == start) {
+            Some(pos) => pos,
+            None => {
+                let pos = self.windows.partition_point(|w| w.start < start);
+                self.windows.insert(
+                    pos,
+                    SloWindow {
+                        start,
+                        end: start + self.window,
+                        injected: 0,
+                        delivered: 0,
+                        dropped: 0,
+                        hist: Vec::new(),
+                    },
+                );
+                pos
+            }
+        };
+        &mut self.windows[pos]
+    }
+}
+
+impl SimObserver for SloTracker {
+    #[inline]
+    fn on_inject(&mut self, cycle: u64, _src: u32, _dst: u32) {
+        self.window_mut(cycle).injected += 1;
+    }
+
+    #[inline]
+    fn on_deliver(&mut self, cycle: u64, _dst: u32, latency: u64) {
+        let w = self.window_mut(cycle);
+        w.delivered += 1;
+        bump(&mut w.hist, latency);
+    }
+
+    #[inline]
+    fn on_drop(&mut self, cycle: u64, _src: u32, _dst: u32, _reason: DropReason) {
+        self.window_mut(cycle).dropped += 1;
+    }
+
+    #[inline]
+    fn on_fault_event(&mut self, cycle: u64, failed: bool) {
+        self.fault_events.push((cycle, failed));
+    }
+
+    fn sections(&self) -> Vec<(String, JsonValue)> {
+        let windows = self
+            .windows
+            .iter()
+            .map(|w| {
+                JsonValue::obj([
+                    ("start", JsonValue::Int(w.start)),
+                    ("end", JsonValue::Int(w.end)),
+                    ("injected", JsonValue::Int(w.injected)),
+                    ("delivered", JsonValue::Int(w.delivered)),
+                    ("dropped", JsonValue::Int(w.dropped)),
+                    ("delivered_fraction", fraction_json(w.delivered_fraction())),
+                    ("p99_latency", JsonValue::Int(w.p99())),
+                    ("p999_latency", JsonValue::Int(w.p999())),
+                ])
+            })
+            .collect();
+        let events = self
+            .recoveries()
+            .into_iter()
+            .map(|r| {
+                JsonValue::obj([
+                    ("cycle", JsonValue::Int(r.cycle)),
+                    ("failed", JsonValue::Bool(r.failed)),
+                    (
+                        "time_to_recover",
+                        match r.time_to_recover {
+                            Some(t) => JsonValue::Int(t),
+                            None => JsonValue::Null,
+                        },
+                    ),
+                ])
+            })
+            .collect();
+        vec![(
+            "slo".to_string(),
+            JsonValue::obj([
+                ("window_cycles", JsonValue::Int(self.window)),
+                ("windows", JsonValue::Arr(windows)),
+                ("fault_events", JsonValue::Arr(events)),
             ]),
         )]
     }
@@ -535,6 +829,47 @@ mod tests {
         let json = sections[0].1.to_string();
         assert!(json.contains("\"delivered_fraction\": 0.6"), "{json}");
         assert!(json.contains("\"in_flight\": 1"), "{json}");
+    }
+
+    #[test]
+    fn slo_tracker_windows_and_recoveries() {
+        let mut t = SloTracker::new(10);
+        assert_eq!(t.window_cycles(), 10);
+        // Window [0, 10): healthy traffic, all delivered.
+        for c in 0..4 {
+            t.on_inject(c, 0, 1);
+            t.on_deliver(c, 1, 2);
+        }
+        // Fault at cycle 12; window [10, 20) degrades to 50%.
+        t.on_fault_event(12, true);
+        for c in [12, 14] {
+            t.on_inject(c, 0, 1);
+        }
+        t.on_deliver(14, 1, 2);
+        t.on_drop(12, 0, 1, DropReason::LinkDied);
+        // Recovery at 20; window [30, 40) is healthy again (windows are
+        // sparse: [20, 30) saw no events and is absent).
+        t.on_fault_event(20, false);
+        t.on_inject(33, 0, 1);
+        t.on_deliver(33, 1, 7);
+        let w = t.windows();
+        assert_eq!(w.len(), 3, "sparse windows: {w:?}");
+        assert_eq!((w[0].start(), w[0].end()), (0, 10));
+        assert_eq!(w[0].delivered_fraction(), Some(1.0));
+        assert_eq!(w[1].delivered_fraction(), Some(0.5));
+        assert_eq!(w[1].dropped(), 1);
+        assert_eq!(w[2].p999(), 7);
+        let rec = t.recoveries();
+        assert_eq!(rec.len(), 2);
+        // First healthy window at/after cycle 12 is [30, 40).
+        assert_eq!(rec[0].time_to_recover, Some(40 - 12));
+        assert_eq!(rec[1].time_to_recover, Some(40 - 20));
+        let sections = t.sections();
+        assert_eq!(sections[0].0, "slo");
+        let json = sections[0].1.to_string();
+        assert!(json.contains("\"window_cycles\": 10"), "{json}");
+        assert!(json.contains("\"p999_latency\""), "{json}");
+        assert!(json.contains("\"time_to_recover\": 28"), "{json}");
     }
 
     #[test]

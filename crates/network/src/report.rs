@@ -161,6 +161,18 @@ pub fn stats_to_json(stats: &SimStats) -> JsonValue {
             "dropped_unreachable",
             JsonValue::Int(stats.dropped_unreachable as u64),
         ),
+        (
+            "dropped_link_died",
+            JsonValue::Int(stats.dropped_link_died as u64),
+        ),
+        (
+            "dropped_node_died",
+            JsonValue::Int(stats.dropped_node_died as u64),
+        ),
+        (
+            "dropped_retries_exhausted",
+            JsonValue::Int(stats.dropped_retries_exhausted as u64),
+        ),
         ("makespan", JsonValue::Int(stats.makespan)),
         ("mean_latency", JsonValue::Num(stats.mean_latency)),
         ("p99_latency", JsonValue::Int(stats.p99_latency)),
@@ -302,10 +314,14 @@ impl fmt::Display for Report {
         if self.stats.dropped() > 0 {
             write!(
                 f,
-                ", dropped {} (dead endpoint {}, unreachable {}) under faults {}",
+                ", dropped {} (dead endpoint {}, unreachable {}, link died {}, node died {}, \
+                 retries exhausted {}) under faults {}",
                 self.stats.dropped(),
                 self.stats.dropped_dead_endpoint,
                 self.stats.dropped_unreachable,
+                self.stats.dropped_link_died,
+                self.stats.dropped_node_died,
+                self.stats.dropped_retries_exhausted,
                 self.faults
             )?;
         }
@@ -365,6 +381,9 @@ mod tests {
             delivered: 2,
             dropped_dead_endpoint: 1,
             dropped_unreachable: 0,
+            dropped_link_died: 0,
+            dropped_node_died: 0,
+            dropped_retries_exhausted: 0,
             makespan: 7,
             mean_latency: 3.5,
             latency_histogram: vec![0, 1, 0, 1],

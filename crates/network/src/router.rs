@@ -38,7 +38,7 @@ use fibcube_words::word::Word;
 
 use crate::dist::DistanceTable;
 use crate::experiment::ExperimentError;
-use crate::fault::{FaultMasks, FaultSet};
+use crate::fault::{ChurnEvent, ChurnTarget, FaultMasks, FaultSet};
 use crate::topology::{FibonacciNet, Hypercube, Topology};
 
 /// A declarative routing-policy choice, the router half of an
@@ -519,9 +519,15 @@ pub struct FaultMaskingRouter<'a, R: Router + ?Sized> {
     inner: &'a R,
     /// Per-node / per-directed-edge liveness.
     masks: FaultMasks,
+    /// Pure per-directed-edge link failure state, independent of
+    /// endpoint deaths, so recovering a node under churn does not
+    /// resurrect a link that failed on its own. The composite mask is
+    /// `node_dead(u) || node_dead(v) || link_down[e]`.
+    link_down: Vec<bool>,
     /// Healthy-subgraph distances toward every destination (`INFINITY`
     /// marks unreachable or dead nodes), shared-form
-    /// [`DistanceTable`], built once up front.
+    /// [`DistanceTable`], built once up front and patched incrementally
+    /// under churn ([`apply_event`](FaultMaskingRouter::apply_event)).
     dist: DistanceTable,
 }
 
@@ -532,10 +538,32 @@ impl<'a, R: Router + ?Sized> FaultMaskingRouter<'a, R> {
     pub fn new(graph: &'a CsrGraph, inner: &'a R, faults: &FaultSet) -> FaultMaskingRouter<'a, R> {
         let masks = faults.masks(graph);
         let dist = DistanceTable::degraded(graph, &masks);
+        FaultMaskingRouter::with_table(graph, inner, faults, masks, dist)
+    }
+
+    /// [`new`](FaultMaskingRouter::new) against a caller-provided
+    /// degraded table (which must match `graph` + `faults`), so sweeps
+    /// that revisit the same fault set skip the `O(n·m)` rebuild.
+    pub(crate) fn with_table(
+        graph: &'a CsrGraph,
+        inner: &'a R,
+        faults: &FaultSet,
+        masks: FaultMasks,
+        dist: DistanceTable,
+    ) -> FaultMaskingRouter<'a, R> {
+        let mut link_down = vec![false; graph.num_directed_edges()];
+        for &(u, v) in faults.failed_links() {
+            for (a, b) in [(u, v), (v, u)] {
+                if let Some(slot) = graph.slot_of(a, b) {
+                    link_down[graph.edge_range(a).start + slot] = true;
+                }
+            }
+        }
         FaultMaskingRouter {
             graph,
             inner,
             masks,
+            link_down,
             dist,
         }
     }
@@ -554,6 +582,57 @@ impl<'a, R: Router + ?Sized> FaultMaskingRouter<'a, R> {
     /// The healthy-subgraph distance table the adapter routes by.
     pub fn distances(&self) -> &DistanceTable {
         &self.dist
+    }
+
+    /// The current liveness masks (post any applied churn events).
+    pub fn masks(&self) -> &FaultMasks {
+        &self.masks
+    }
+
+    /// Applies one churn event: flips the liveness masks, then patches
+    /// the distance table *incrementally*
+    /// ([`DistanceTable::apply_event`]) instead of rebuilding it — the
+    /// masked-BFS work is limited to the affected frontier, and the
+    /// table's epoch tags record exactly which rows changed.
+    pub fn apply_event(&mut self, event: &ChurnEvent) {
+        match event.target {
+            ChurnTarget::Node(x) => self.set_node(x, event.failed),
+            ChurnTarget::Link(u, v) => self.set_link(u, v, event.failed),
+        }
+        self.dist.apply_event(self.graph, &self.masks, event);
+    }
+
+    /// Flips the pure link state of `u–v` (both directions) and
+    /// refreshes the composite edge masks.
+    fn set_link(&mut self, u: u32, v: u32, down: bool) {
+        let g = self.graph;
+        for (a, b) in [(u, v), (v, u)] {
+            if let Some(slot) = g.slot_of(a, b) {
+                let e = g.edge_range(a).start + slot;
+                self.link_down[e] = down;
+                self.refresh_edge(e, a, b);
+            }
+        }
+    }
+
+    /// Flips node `x`'s liveness and refreshes the composite masks of
+    /// every incident directed edge, both directions.
+    fn set_node(&mut self, x: u32, dead: bool) {
+        let g = self.graph;
+        self.masks.set_node(x, dead);
+        let base = g.edge_range(x).start;
+        for slot in 0..g.neighbors(x).len() {
+            let y = g.neighbors(x)[slot];
+            self.refresh_edge(base + slot, x, y);
+            if let Some(back) = g.slot_of(y, x) {
+                self.refresh_edge(g.edge_range(y).start + back, y, x);
+            }
+        }
+    }
+
+    fn refresh_edge(&mut self, e: usize, a: u32, b: u32) {
+        let dead = self.link_down[e] || !self.masks.node_alive(a) || !self.masks.node_alive(b);
+        self.masks.set_edge(e, dead);
     }
 }
 
@@ -898,6 +977,56 @@ mod tests {
         // And it still routes after the eager build.
         assert_eq!(masked.next_hop(0, 3, &NoLoad), Some(2));
         assert_eq!(masked.distances().distance(0, 3), 2);
+    }
+
+    #[test]
+    fn churn_events_keep_masked_router_consistent() {
+        // After every applied event the live router must equal one
+        // rebuilt from scratch for the same net fault state — masks,
+        // liveness and distances alike. Covers the node-recovery case
+        // where an independently failed link must stay down.
+        let q = Hypercube::new(4);
+        let g = q.graph();
+        let mut live = FaultMaskingRouter::new(g, &EcubeRouter, &FaultSet::empty());
+        let ev = |target, failed| ChurnEvent {
+            cycle: 0,
+            target,
+            failed,
+        };
+        let seq = [
+            (
+                ev(ChurnTarget::Link(0, 1), true),
+                FaultSet::new([], [(0u32, 1u32)]),
+            ),
+            (
+                ev(ChurnTarget::Node(3), true),
+                FaultSet::new([3u32], [(0u32, 1u32)]),
+            ),
+            (
+                ev(ChurnTarget::Node(3), false),
+                FaultSet::new([], [(0u32, 1u32)]),
+            ),
+            (ev(ChurnTarget::Link(0, 1), false), FaultSet::empty()),
+        ];
+        for (event, set) in seq {
+            live.apply_event(&event);
+            let fresh = FaultMaskingRouter::new(g, &EcubeRouter, &set);
+            for v in 0..16u32 {
+                assert_eq!(live.node_alive(v), fresh.node_alive(v), "{event:?}");
+                assert_eq!(
+                    live.distances().to_dst(v),
+                    fresh.distances().to_dst(v),
+                    "{event:?} dst {v}"
+                );
+            }
+            for e in 0..g.num_directed_edges() {
+                assert_eq!(
+                    live.masks().edge_alive(e),
+                    fresh.masks().edge_alive(e),
+                    "{event:?} edge {e}"
+                );
+            }
+        }
     }
 
     #[test]

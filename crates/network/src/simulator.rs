@@ -8,9 +8,10 @@
 
 pub(crate) use crate::engine::stats::{bump, percentile};
 pub use crate::engine::{
-    simulate, simulate_collective, simulate_faulted, simulate_faulted_reference, simulate_observed,
-    simulate_reference, simulate_with, simulate_wormhole, simulate_wormhole_faulted, DropReason,
-    LogHistogram, SimStats, DENSE_HISTOGRAM_NODE_LIMIT,
+    simulate, simulate_churn, simulate_collective, simulate_faulted, simulate_faulted_reference,
+    simulate_observed, simulate_reference, simulate_request_reply, simulate_with,
+    simulate_wormhole, simulate_wormhole_faulted, DropReason, LogHistogram, RequestReplyLoad,
+    SimStats, DENSE_HISTOGRAM_NODE_LIMIT,
 };
 
 #[cfg(test)]

@@ -27,15 +27,25 @@
 //! configurations — exposing where flit-level serialization and
 //! credit-based backpressure move the latency knee relative to the
 //! packet-atomic engine.
+//!
+//! [`churn_sweep`] leaves the static-fault world entirely: it runs the
+//! dynamic-churn engine ([`simulate_churn`]) across a ladder of
+//! mean-time-to-repair values with an [`SloTracker`] attached, producing
+//! the recovery-time-vs-MTTR grid — how long after each fail event the
+//! network takes to meet its delivered-fraction target again, and what
+//! the churn costs in typed drops and tail latency.
 
 use fibcube_graph::parallel::par_map;
 
 use crate::collective::{CollectiveOutcome, CollectiveSpec};
-use crate::experiment::{run_cells, Experiment, ExperimentError};
-use crate::fault::FaultSpec;
+use crate::dist::DistanceTable;
+use crate::engine::simulate_premasked;
+use crate::experiment::{fault_seed, run_cells, Experiment, ExperimentError};
+use crate::fault::{ChurnTimeline, FaultSpec};
+use crate::observer::{NoopObserver, SloRecovery, SloTracker, SloWindow};
 use crate::report::JsonValue;
-use crate::router::{Router, RouterSpec};
-use crate::simulator::{simulate_with, SimStats};
+use crate::router::{FaultMaskingRouter, Router, RouterSpec};
+use crate::simulator::{simulate_churn, simulate_with, SimStats};
 use crate::switching::SwitchingSpec;
 use crate::topology::Topology;
 use crate::traffic::TrafficSpec;
@@ -376,13 +386,17 @@ impl FaultLoadGrid {
 
 /// Runs the injection-rate ladder `rates` against every node-fault count
 /// in `fault_counts` — the fault-resilience grid behind the paper's
-/// graceful-degradation claims. One [`Experiment`] per
-/// (rate, fault count, seed) run with seeded random node faults
-/// ([`FaultSpec::Nodes`]; fault placement varies per run, so a cell
-/// averages over both traffic and fault draws), parallel across runs
-/// like [`injection_sweep`]. Configuration problems (unsupported
-/// router, degenerate traffic, fault counts the topology cannot
-/// express) fail fast with a typed error before anything runs.
+/// graceful-degradation claims. Fault placement derives from the
+/// (fault count, seed) column alone: each column draws its
+/// [`FaultSpec::Nodes`] set once, builds one
+/// [`FaultMaskingRouter`] — including the `O(n·m)` degraded
+/// [`DistanceTable`] — and replays every rate of the ladder through it,
+/// so the table cost is paid per column rather than per
+/// (rate, fault count, seed) run. Traffic streams stay decorrelated per
+/// cell exactly as before; the columns fan out in parallel like
+/// [`injection_sweep`]. Configuration problems (unsupported router,
+/// degenerate traffic, fault counts the topology cannot express) fail
+/// fast with a typed error before anything runs.
 pub fn fault_load_sweep<T>(
     topo: &T,
     router: RouterSpec,
@@ -402,35 +416,56 @@ where
         }
         .validate(topo.len())?;
     }
-    for &k in fault_counts {
-        FaultSpec::Nodes { count: k }.validate(topo.graph())?;
-    }
+    let g = topo.graph();
+    let n = topo.len();
     let seeds = &config.seeds;
-    let per_rate = fault_counts.len() * seeds.len();
-    // (rate, fault, seed) cells through the shared batch runner.
-    let reports = run_cells(rates.len() * per_rate, |j| {
-        let ri = j / per_rate;
-        let fi = (j % per_rate) / seeds.len();
-        let cell = ri * fault_counts.len() + fi;
-        Experiment::on(topo)
-            .router(router)
-            .traffic(TrafficSpec::Bernoulli {
+    // One fault draw per (fault count, seed) column, sampled up front so
+    // the parallel section below is infallible — `sample` revalidates
+    // each count, keeping the fail-fast contract.
+    let mut fault_sets = Vec::with_capacity(fault_counts.len() * seeds.len());
+    for (fi, &count) in fault_counts.iter().enumerate() {
+        for &seed in seeds.iter() {
+            fault_sets.push(FaultSpec::Nodes { count }.sample(g, fault_seed(rung_seed(seed, fi)))?);
+        }
+    }
+    let cap = config.inject_cycles + config.drain_cycles;
+    // (fault count, seed) columns fan out across the workspace pool; the
+    // rate ladder replays serially inside each column against its cached
+    // masked router. Empty columns (zero faults) run the healthy engine
+    // directly, mirroring `simulate_faulted`'s empty-set delegation.
+    let runs: Vec<Vec<SimStats>> = par_map(fault_sets.len(), |j| {
+        let fi = j / seeds.len();
+        let faults = &fault_sets[j];
+        let router = router
+            .resolve(topo)
+            .expect("router capability was checked above");
+        let traffic = |ri: usize| {
+            let cell = ri * fault_counts.len() + fi;
+            TrafficSpec::Bernoulli {
                 rate: rates[ri],
                 cycles: config.inject_cycles,
-            })
-            .faults(FaultSpec::Nodes {
-                count: fault_counts[fi],
-            })
-            .seed(rung_seed(seeds[j % seeds.len()], cell))
-            .cycles(config.inject_cycles + config.drain_cycles)
-    })?;
-    let runs: Vec<SimStats> = reports.into_iter().map(|r| r.stats).collect();
+            }
+            .generate(n, rung_seed(seeds[j % seeds.len()], cell))
+        };
+        if faults.is_empty() {
+            return (0..rates.len())
+                .map(|ri| simulate_with(topo, &*router, &traffic(ri), cap))
+                .collect();
+        }
+        let masks = faults.masks(g);
+        let dist = DistanceTable::degraded(g, &masks);
+        let masked = FaultMaskingRouter::with_table(g, &*router, faults, masks, dist);
+        (0..rates.len())
+            .map(|ri| simulate_premasked(topo, &masked, &traffic(ri), cap, &mut NoopObserver))
+            .collect()
+    });
     let m = seeds.len() as f64;
     let mut points = Vec::with_capacity(rates.len() * fault_counts.len());
     for (ri, &rate) in rates.iter().enumerate() {
         for (fi, &faults) in fault_counts.iter().enumerate() {
-            let start = ri * per_rate + fi * seeds.len();
-            let chunk = &runs[start..start + seeds.len()];
+            let chunk: Vec<&SimStats> = (0..seeds.len())
+                .map(|sj| &runs[fi * seeds.len() + sj][ri])
+                .collect();
             let offered = chunk.iter().map(|s| s.offered as f64).sum::<f64>() / m;
             let delivered = chunk.iter().map(|s| s.delivered as f64).sum::<f64>() / m;
             points.push(FaultLoadPoint {
@@ -449,7 +484,7 @@ where
                     .map(|s| s.dropped_unreachable as f64)
                     .sum::<f64>()
                     / m,
-                accepted_rate: delivered / (topo.len() as f64 * config.inject_cycles as f64),
+                accepted_rate: delivered / (n as f64 * config.inject_cycles as f64),
                 mean_latency: chunk.iter().map(|s| s.mean_latency).sum::<f64>() / m,
                 p99_latency: chunk.iter().map(|s| s.p99_latency as f64).sum::<f64>() / m,
             });
@@ -841,6 +876,276 @@ where
     })
 }
 
+/// One cell of a [`churn_sweep`] grid: the aggregated outcome at one
+/// mean-time-to-repair value. Fractions follow the `Option` convention
+/// of [`FaultLoadPoint`]: `None` means the denominator was zero (no
+/// traffic offered, no fail events, nothing recovered), serialised as
+/// JSON `null` rather than a misleading number.
+#[derive(Clone, Debug)]
+pub struct ChurnPoint {
+    /// Mean time to repair swept at this cell (cycles;
+    /// `f64::INFINITY` = failures never heal, serialised as `null`).
+    pub mttr: f64,
+    /// Mean churn events committed per run (fail + recover).
+    pub events: f64,
+    /// Mean fail events committed per run.
+    pub fail_events: f64,
+    /// Mean packets offered per run.
+    pub offered: f64,
+    /// Mean packets delivered per run.
+    pub delivered: f64,
+    /// `delivered / offered`, or `None` when nothing was offered.
+    pub delivered_fraction: Option<f64>,
+    /// Mean packets dropped per run on a link that died under them.
+    pub dropped_link_died: f64,
+    /// Mean packets dropped per run on a node that died holding them.
+    pub dropped_node_died: f64,
+    /// Mean packets dropped per run with a dead source or destination
+    /// at injection.
+    pub dropped_dead_endpoint: f64,
+    /// Mean packets dropped per run whose endpoints the current fault
+    /// state disconnects.
+    pub dropped_unreachable: f64,
+    /// Mean end-to-end latency of delivered packets.
+    pub mean_latency: f64,
+    /// Mean 99th-percentile latency across seeds.
+    pub p99_latency: f64,
+    /// Mean (across seeds) of the worst per-window p99.9 latency the
+    /// run's [`SloTracker`] recorded — the tail during the churn, not
+    /// the whole-run tail.
+    pub worst_window_p999: f64,
+    /// Fraction of fail events after which service met
+    /// [`SLO_DELIVERED_TARGET`](crate::observer::SLO_DELIVERED_TARGET)
+    /// again before the run ended, or `None` with no fail events.
+    pub recovered_fraction: Option<f64>,
+    /// Mean cycles from a fail event to the close of the first
+    /// SLO-meeting window, over the recovered fail events — `None` when
+    /// none recovered.
+    pub mean_time_to_recover: Option<f64>,
+}
+
+impl ChurnPoint {
+    /// The cell as a JSON object (for `BENCH_sim.json`-style artifacts).
+    pub fn to_json_value(&self) -> JsonValue {
+        let opt = |x: Option<f64>| match x {
+            Some(v) => JsonValue::Num(v),
+            None => JsonValue::Null,
+        };
+        JsonValue::obj([
+            ("mttr", JsonValue::Num(self.mttr)),
+            ("events", JsonValue::Num(self.events)),
+            ("fail_events", JsonValue::Num(self.fail_events)),
+            ("offered", JsonValue::Num(self.offered)),
+            ("delivered", JsonValue::Num(self.delivered)),
+            ("delivered_fraction", opt(self.delivered_fraction)),
+            ("dropped_link_died", JsonValue::Num(self.dropped_link_died)),
+            ("dropped_node_died", JsonValue::Num(self.dropped_node_died)),
+            (
+                "dropped_dead_endpoint",
+                JsonValue::Num(self.dropped_dead_endpoint),
+            ),
+            (
+                "dropped_unreachable",
+                JsonValue::Num(self.dropped_unreachable),
+            ),
+            ("mean_latency", JsonValue::Num(self.mean_latency)),
+            ("p99_latency", JsonValue::Num(self.p99_latency)),
+            ("worst_window_p999", JsonValue::Num(self.worst_window_p999)),
+            ("recovered_fraction", opt(self.recovered_fraction)),
+            ("mean_time_to_recover", opt(self.mean_time_to_recover)),
+        ])
+    }
+}
+
+/// A recovery-vs-MTTR grid for one (topology, router) pair under
+/// dynamic fault churn, produced by [`churn_sweep`].
+#[derive(Clone, Debug)]
+pub struct ChurnGrid {
+    /// Topology name (`"Γ_16"`, `"Q_11"`, …).
+    pub topology: String,
+    /// Router policy name (the inner policy; churn wraps it in the
+    /// fault-masking adapter at run time).
+    pub router: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Offered injection rate (packets per node per cycle).
+    pub rate: f64,
+    /// Per-cycle node-failure intensity of the churn process.
+    pub node_rate: f64,
+    /// Per-cycle link-failure intensity of the churn process.
+    pub link_rate: f64,
+    /// Cycles per [`SloTracker`] aggregation window (the granularity of
+    /// the recovery-time figures).
+    pub slo_window: u64,
+    /// The mean-time-to-repair ladder swept.
+    pub mttrs: Vec<f64>,
+    /// One cell per MTTR value, in `mttrs` order.
+    pub points: Vec<ChurnPoint>,
+}
+
+impl ChurnGrid {
+    /// The grid as a JSON object, cells included.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::obj([
+            ("topology", JsonValue::Str(self.topology.clone())),
+            ("router", JsonValue::Str(self.router.clone())),
+            ("nodes", JsonValue::Int(self.nodes as u64)),
+            ("rate", JsonValue::Num(self.rate)),
+            ("node_rate", JsonValue::Num(self.node_rate)),
+            ("link_rate", JsonValue::Num(self.link_rate)),
+            ("slo_window", JsonValue::Int(self.slo_window)),
+            (
+                "mttrs",
+                JsonValue::Arr(self.mttrs.iter().map(|&x| JsonValue::Num(x)).collect()),
+            ),
+            (
+                "points",
+                JsonValue::Arr(self.points.iter().map(ChurnPoint::to_json_value).collect()),
+            ),
+        ])
+    }
+}
+
+/// Per-run churn outcome carried from the parallel cells to the
+/// aggregation pass.
+struct ChurnRun {
+    stats: SimStats,
+    events: u64,
+    fail_events: u64,
+    recovered: u64,
+    recover_cycles: u64,
+    worst_window_p999: u64,
+}
+
+/// Runs the dynamic-churn engine across a ladder of mean-time-to-repair
+/// values — the recovery-vs-MTTR grid behind the `churn` section of
+/// `BENCH_sim.json`. Each (MTTR, seed) cell generates a seeded
+/// [`ChurnTimeline`] at the given per-cycle node/link failure
+/// intensities, drives open-loop Bernoulli traffic at `rate` through
+/// [`simulate_churn`] with an [`SloTracker`] attached, and reports
+/// SLO-grade aggregates: per-fail-event time-to-recover, the fraction
+/// of fail events service recovered from, windowed worst-case tail
+/// latency, and the typed drop taxonomy (packets lost on dying
+/// links/nodes vs. rejected at injection). Cells fan out in parallel on
+/// the workspace pool; configuration problems (unsupported router,
+/// degenerate traffic or churn parameters) fail fast with a typed error
+/// before anything runs.
+pub fn churn_sweep<T>(
+    topo: &T,
+    router: RouterSpec,
+    rate: f64,
+    node_rate: f64,
+    link_rate: f64,
+    mttrs: &[f64],
+    config: &SweepConfig,
+) -> Result<ChurnGrid, ExperimentError>
+where
+    T: Topology + Sync + ?Sized,
+{
+    assert!(!config.seeds.is_empty(), "sweep needs at least one seed");
+    let router_name = router.resolve(topo)?.name();
+    TrafficSpec::Bernoulli {
+        rate,
+        cycles: config.inject_cycles,
+    }
+    .validate(topo.len())?;
+    let g = topo.graph();
+    for &mttr in mttrs {
+        FaultSpec::Churn {
+            node_rate,
+            link_rate,
+            mttr,
+        }
+        .validate(g)?;
+    }
+    let n = topo.len();
+    let seeds = &config.seeds;
+    let cap = config.inject_cycles + config.drain_cycles;
+    // Recovery times are measured at window granularity; an eighth of
+    // the injection phase keeps several windows inside it without
+    // starving each of traffic.
+    let slo_window = (config.inject_cycles / 8).max(1);
+    let runs: Vec<ChurnRun> = par_map(mttrs.len() * seeds.len(), |j| {
+        let mi = j / seeds.len();
+        let seed = rung_seed(seeds[j % seeds.len()], mi);
+        let router = router
+            .resolve(topo)
+            .expect("router capability was checked above");
+        let timeline =
+            ChurnTimeline::generate(g, node_rate, link_rate, mttrs[mi], fault_seed(seed), cap);
+        let pkts = TrafficSpec::Bernoulli {
+            rate,
+            cycles: config.inject_cycles,
+        }
+        .generate(n, seed);
+        let mut slo = SloTracker::new(slo_window);
+        let stats = simulate_churn(topo, &*router, &timeline, &pkts, cap, &mut slo);
+        let fails: Vec<SloRecovery> = slo.recoveries().into_iter().filter(|r| r.failed).collect();
+        ChurnRun {
+            stats,
+            events: slo.fault_events().len() as u64,
+            fail_events: fails.len() as u64,
+            recovered: fails.iter().filter(|r| r.time_to_recover.is_some()).count() as u64,
+            recover_cycles: fails.iter().filter_map(|r| r.time_to_recover).sum(),
+            worst_window_p999: slo.windows().iter().map(SloWindow::p999).max().unwrap_or(0),
+        }
+    });
+    let m = seeds.len() as f64;
+    let points = mttrs
+        .iter()
+        .enumerate()
+        .map(|(mi, &mttr)| {
+            let chunk = &runs[mi * seeds.len()..(mi + 1) * seeds.len()];
+            let offered = chunk.iter().map(|r| r.stats.offered as f64).sum::<f64>() / m;
+            let delivered = chunk.iter().map(|r| r.stats.delivered as f64).sum::<f64>() / m;
+            let fail_events: u64 = chunk.iter().map(|r| r.fail_events).sum();
+            let recovered: u64 = chunk.iter().map(|r| r.recovered).sum();
+            let recover_cycles: u64 = chunk.iter().map(|r| r.recover_cycles).sum();
+            let mean_drop = |f: fn(&SimStats) -> usize| {
+                chunk.iter().map(|r| f(&r.stats) as f64).sum::<f64>() / m
+            };
+            ChurnPoint {
+                mttr,
+                events: chunk.iter().map(|r| r.events as f64).sum::<f64>() / m,
+                fail_events: fail_events as f64 / m,
+                offered,
+                delivered,
+                delivered_fraction: (offered > 0.0).then(|| delivered / offered),
+                dropped_link_died: mean_drop(|s| s.dropped_link_died),
+                dropped_node_died: mean_drop(|s| s.dropped_node_died),
+                dropped_dead_endpoint: mean_drop(|s| s.dropped_dead_endpoint),
+                dropped_unreachable: mean_drop(|s| s.dropped_unreachable),
+                mean_latency: chunk.iter().map(|r| r.stats.mean_latency).sum::<f64>() / m,
+                p99_latency: chunk
+                    .iter()
+                    .map(|r| r.stats.p99_latency as f64)
+                    .sum::<f64>()
+                    / m,
+                worst_window_p999: chunk
+                    .iter()
+                    .map(|r| r.worst_window_p999 as f64)
+                    .sum::<f64>()
+                    / m,
+                recovered_fraction: (fail_events > 0)
+                    .then(|| recovered as f64 / fail_events as f64),
+                mean_time_to_recover: (recovered > 0)
+                    .then(|| recover_cycles as f64 / recovered as f64),
+            }
+        })
+        .collect();
+    Ok(ChurnGrid {
+        topology: topo.name(),
+        router: router_name,
+        nodes: n,
+        rate,
+        node_rate,
+        link_rate,
+        slo_window,
+        mttrs: mttrs.to_vec(),
+        points,
+    })
+}
+
 /// A geometric-ish default ladder from light load up to `max_rate`:
 /// `rungs` evenly spaced rates ending at `max_rate`. Degenerate requests
 /// are handled gracefully — 0 rungs is an empty ladder, 1 rung is just
@@ -1038,6 +1343,161 @@ mod tests {
         );
         // An empty grid runs nothing and returns no points.
         let grid = fault_load_sweep(&net, RouterSpec::Adaptive, &[], &[], &quick_config()).unwrap();
+        assert!(grid.points.is_empty());
+    }
+
+    #[test]
+    fn fault_load_grid_cells_are_stable_under_ladder_extension() {
+        // Satellite regression for the cached-table restructure: a
+        // column's fault draw depends only on (fault count, seed), and a
+        // cell's traffic only on its own (rate, fault) indices — so
+        // extending the rate ladder must not perturb existing cells.
+        let net = FibonacciNet::classical(7); // 34 nodes
+        let short = fault_load_sweep(
+            &net,
+            RouterSpec::Adaptive,
+            &[0.05],
+            &[0, 6],
+            &quick_config(),
+        )
+        .unwrap();
+        let long = fault_load_sweep(
+            &net,
+            RouterSpec::Adaptive,
+            &[0.05, 0.2],
+            &[0, 6],
+            &quick_config(),
+        )
+        .unwrap();
+        for fi in 0..2 {
+            let a = short.point(0, fi);
+            let b = long.point(0, fi);
+            assert_eq!(a.offered, b.offered, "fault column {fi}");
+            assert_eq!(a.delivered, b.delivered, "fault column {fi}");
+            assert_eq!(a.dropped_dead_endpoint, b.dropped_dead_endpoint);
+            assert_eq!(a.mean_latency, b.mean_latency);
+            assert_eq!(a.p99_latency, b.p99_latency);
+        }
+    }
+
+    #[test]
+    fn churn_sweep_reports_recovery_grid() {
+        let net = FibonacciNet::classical(8); // 55 nodes
+        let grid = churn_sweep(
+            &net,
+            RouterSpec::Canonical,
+            0.05,
+            0.005,
+            0.005,
+            &[50.0, f64::INFINITY],
+            &quick_config(),
+        )
+        .unwrap();
+        assert_eq!(grid.topology, "Γ_8");
+        assert_eq!(grid.router, "canonical");
+        assert_eq!(grid.mttrs.len(), 2);
+        assert_eq!(grid.points.len(), 2);
+        assert_eq!(grid.slo_window, 15); // inject_cycles 120 / 8
+        let healing = &grid.points[0];
+        let permanent = &grid.points[1];
+        // ~0.005/cycle over 2120 cycles: both cells must see failures.
+        assert!(healing.fail_events > 0.0, "{}", healing.fail_events);
+        assert!(permanent.fail_events > 0.0, "{}", permanent.fail_events);
+        // Finite MTTR commits recover events on top of the fails;
+        // mttr = ∞ never heals, so every committed event is a fail.
+        assert!(
+            healing.events > healing.fail_events,
+            "{} vs {}",
+            healing.events,
+            healing.fail_events
+        );
+        assert_eq!(permanent.events, permanent.fail_events);
+        assert!(permanent.mttr.is_infinite());
+        // Traffic flowed and the SLO machinery produced figures.
+        let frac = healing.delivered_fraction.expect("packets were offered");
+        assert!(frac > 0.0 && frac <= 1.0, "{frac}");
+        assert!(
+            healing.recovered_fraction.is_some(),
+            "fail events exist, so the fraction is defined"
+        );
+        if let Some(ttr) = healing.mean_time_to_recover {
+            assert!(ttr > 0.0, "recovery takes at least one window: {ttr}");
+        }
+        let json = grid.to_json_value().to_string();
+        assert!(json.contains("\"mttrs\""), "{json}");
+        assert!(json.contains("\"mean_time_to_recover\""), "{json}");
+        assert!(json.contains("\"worst_window_p999\""), "{json}");
+        // Infinite MTTR serialises as null, keeping the artifact valid
+        // JSON.
+        assert!(json.contains("\"mttrs\": [50, null]"), "{json}");
+    }
+
+    #[test]
+    fn churn_sweep_with_zero_rates_matches_the_quiet_network() {
+        // node_rate = link_rate = 0 generates an empty timeline: no
+        // events, nothing to recover from, full delivery at light load.
+        let q = Hypercube::new(4);
+        let grid = churn_sweep(
+            &q,
+            RouterSpec::Ecube,
+            0.02,
+            0.0,
+            0.0,
+            &[100.0],
+            &quick_config(),
+        )
+        .unwrap();
+        let p = &grid.points[0];
+        assert_eq!(p.events, 0.0);
+        assert_eq!(p.fail_events, 0.0);
+        assert_eq!(p.recovered_fraction, None);
+        assert_eq!(p.mean_time_to_recover, None);
+        assert_eq!(p.dropped_link_died, 0.0);
+        assert_eq!(p.dropped_node_died, 0.0);
+        let frac = p.delivered_fraction.expect("packets were offered");
+        assert!(frac > 0.999, "quiet light load delivers everything: {frac}");
+        assert!(grid
+            .to_json_value()
+            .to_string()
+            .contains("\"recovered_fraction\": null"));
+    }
+
+    #[test]
+    fn churn_sweep_rejects_bad_grids_up_front() {
+        let net = FibonacciNet::classical(6);
+        let err = churn_sweep(
+            &net,
+            RouterSpec::Canonical,
+            0.05,
+            0.001,
+            0.0,
+            &[0.0],
+            &quick_config(),
+        )
+        .expect_err("zero MTTR is degenerate");
+        assert!(err.to_string().contains("mttr"), "{err}");
+        let err = churn_sweep(
+            &net,
+            RouterSpec::Ecube,
+            0.05,
+            0.001,
+            0.0,
+            &[50.0],
+            &quick_config(),
+        )
+        .expect_err("no e-cube on a Fibonacci net");
+        assert!(matches!(err, ExperimentError::UnsupportedRouter { .. }));
+        // An empty MTTR ladder runs nothing.
+        let grid = churn_sweep(
+            &net,
+            RouterSpec::Canonical,
+            0.05,
+            0.001,
+            0.001,
+            &[],
+            &quick_config(),
+        )
+        .unwrap();
         assert!(grid.points.is_empty());
     }
 

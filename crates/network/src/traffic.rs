@@ -138,6 +138,7 @@ fn gen_all_to_all(n: usize) -> Vec<Packet> {
 /// | `Bernoulli` | `bernoulli(rate=0.05,cycles=400)` |
 /// | `ComplementPermutation` | `complement(window=8)` |
 /// | `AllToAll` | `alltoall` |
+/// | `RequestReply` | `request_reply(clients=64,think=50,timeout=200,retries=3)` |
 /// | `Mixed` | `mix(uniform(count=100,window=50)+alltoall)` |
 #[derive(Clone, Debug, PartialEq)]
 pub enum TrafficSpec {
@@ -180,6 +181,25 @@ pub enum TrafficSpec {
     },
     /// Every ordered pair once, all at cycle 0 (quadratic — small nets).
     AllToAll,
+    /// Closed-loop request–reply clients with timeout-and-retry
+    /// delivery: `clients` sessions each run think → request → reply
+    /// transactions, re-sending after `timeout` cycles of silence with
+    /// seeded exponential backoff until the `retries` budget is spent
+    /// (then the transaction drops as `retries_exhausted`). Closed-loop
+    /// sources react to the network, so this variant has no finite
+    /// packet list — [`generate`](TrafficSpec::generate) panics and
+    /// [`Experiment`](crate::experiment::Experiment) dispatches it to
+    /// [`simulate_request_reply`](crate::simulate_request_reply).
+    RequestReply {
+        /// Number of concurrent client sessions.
+        clients: usize,
+        /// Mean think time between transactions (cycles, exponential).
+        think: f64,
+        /// Cycles of silence before a transaction attempt is retried.
+        timeout: u64,
+        /// Retry budget per transaction (0 = fail on first timeout).
+        retries: u32,
+    },
     /// Superposition of component workloads; component `i` draws from a
     /// decorrelated seed, and the packet streams concatenate.
     Mixed(Vec<TrafficSpec>),
@@ -212,9 +232,35 @@ impl TrafficSpec {
             TrafficSpec::Bernoulli { rate, .. } if !(0.0..=1.0).contains(rate) => {
                 invalid(format!("rate {rate} is not a probability"))
             }
+            TrafficSpec::RequestReply {
+                clients,
+                think,
+                timeout,
+                ..
+            } => {
+                if n < 2 {
+                    invalid(format!("needs at least 2 nodes, topology has {n}"))
+                } else if *clients == 0 {
+                    invalid("needs at least one client session".to_string())
+                } else if !think.is_finite() || *think < 0.0 {
+                    invalid(format!("think time {think} must be finite and ≥ 0"))
+                } else if *timeout == 0 {
+                    invalid("timeout must be at least 1 cycle".to_string())
+                } else {
+                    Ok(())
+                }
+            }
             TrafficSpec::Mixed(parts) => {
                 if parts.is_empty() {
                     return invalid("mix needs at least one component".to_string());
+                }
+                if parts
+                    .iter()
+                    .any(|p| matches!(p, TrafficSpec::RequestReply { .. }))
+                {
+                    return invalid(
+                        "request_reply is closed-loop and cannot be a mix component".to_string(),
+                    );
                 }
                 parts.iter().try_for_each(|p| p.validate(n))
             }
@@ -228,7 +274,11 @@ impl TrafficSpec {
     ///
     /// # Panics
     ///
-    /// On specs that [`validate`](TrafficSpec::validate) would reject.
+    /// On specs that [`validate`](TrafficSpec::validate) would reject,
+    /// and on [`RequestReply`](TrafficSpec::RequestReply), whose
+    /// closed-loop sources react to the network and therefore have no
+    /// precomputable packet list (the experiment layer dispatches it to
+    /// [`simulate_request_reply`](crate::simulate_request_reply)).
     pub fn generate(&self, n: usize, seed: u64) -> Vec<Packet> {
         match *self {
             TrafficSpec::Uniform { count, window } => gen_uniform(n, count, window, seed),
@@ -240,6 +290,9 @@ impl TrafficSpec {
             TrafficSpec::Bernoulli { rate, cycles } => gen_bernoulli(n, rate, cycles, seed),
             TrafficSpec::ComplementPermutation { window } => gen_complement(n, window),
             TrafficSpec::AllToAll => gen_all_to_all(n),
+            TrafficSpec::RequestReply { .. } => {
+                panic!("request_reply is closed-loop: no packet list exists before the run")
+            }
             TrafficSpec::Mixed(ref parts) => {
                 assert!(!parts.is_empty(), "mix needs at least one component");
                 let mut packets = Vec::new();
@@ -275,6 +328,15 @@ impl fmt::Display for TrafficSpec {
                 write!(f, "complement(window={window})")
             }
             TrafficSpec::AllToAll => write!(f, "alltoall"),
+            TrafficSpec::RequestReply {
+                clients,
+                think,
+                timeout,
+                retries,
+            } => write!(
+                f,
+                "request_reply(clients={clients},think={think},timeout={timeout},retries={retries})"
+            ),
             TrafficSpec::Mixed(parts) => {
                 write!(f, "mix(")?;
                 for (i, p) in parts.iter().enumerate() {
@@ -433,6 +495,19 @@ impl FromStr for TrafficSpec {
                     format!("`alltoall` takes no arguments: `{extra}`"),
                 )),
             },
+            "request_reply" => {
+                let v = parse_kv(
+                    body_or("request_reply")?,
+                    &["clients", "think", "timeout", "retries"],
+                )
+                .map_err(|e| parse_err(s, e))?;
+                Ok(TrafficSpec::RequestReply {
+                    clients: num(v[0], "clients").map_err(|e| parse_err(s, e))?,
+                    think: num(v[1], "think").map_err(|e| parse_err(s, e))?,
+                    timeout: num(v[2], "timeout").map_err(|e| parse_err(s, e))?,
+                    retries: num(v[3], "retries").map_err(|e| parse_err(s, e))?,
+                })
+            }
             "mix" => {
                 let body = body_or("mix")?;
                 if body.trim().is_empty() {
@@ -448,7 +523,7 @@ impl FromStr for TrafficSpec {
                 s,
                 format!(
                     "unknown generator `{other}` (expected uniform, hotspot, bernoulli, \
-                     complement, alltoall, mix)"
+                     complement, alltoall, request_reply, mix)"
                 ),
             )),
         }
@@ -608,6 +683,12 @@ mod tests {
             },
             TrafficSpec::ComplementPermutation { window: 8 },
             TrafficSpec::AllToAll,
+            TrafficSpec::RequestReply {
+                clients: 64,
+                think: 50.0,
+                timeout: 200,
+                retries: 3,
+            },
             TrafficSpec::Mixed(vec![
                 uniform_spec(10, 5),
                 TrafficSpec::AllToAll,
@@ -642,6 +723,9 @@ mod tests {
             "uniform(count=10,window=5",
             "hotspot(count=10,window=5)",
             "alltoall(3)",
+            "request_reply",
+            "request_reply(clients=2)",
+            "request_reply(clients=2,think=1,timeout=0x,retries=1)",
             "mix()",
             "",
         ] {
@@ -675,5 +759,61 @@ mod tests {
         .validate(8)
         .is_err());
         assert!(TrafficSpec::AllToAll.validate(1).is_ok());
+    }
+
+    #[test]
+    fn request_reply_validation_and_closed_loop_gating() {
+        let good = TrafficSpec::RequestReply {
+            clients: 8,
+            think: 20.0,
+            timeout: 100,
+            retries: 2,
+        };
+        assert!(good.validate(4).is_ok());
+        assert!(good.validate(1).is_err(), "needs two nodes");
+        for bad in [
+            TrafficSpec::RequestReply {
+                clients: 0,
+                think: 20.0,
+                timeout: 100,
+                retries: 2,
+            },
+            TrafficSpec::RequestReply {
+                clients: 8,
+                think: -1.0,
+                timeout: 100,
+                retries: 2,
+            },
+            TrafficSpec::RequestReply {
+                clients: 8,
+                think: f64::INFINITY,
+                timeout: 100,
+                retries: 2,
+            },
+            TrafficSpec::RequestReply {
+                clients: 8,
+                think: 20.0,
+                timeout: 0,
+                retries: 2,
+            },
+        ] {
+            assert!(bad.validate(8).is_err(), "{bad}");
+        }
+        // Closed-loop sources cannot superpose with open-loop streams.
+        assert!(TrafficSpec::Mixed(vec![uniform_spec(10, 5), good])
+            .validate(8)
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "closed-loop")]
+    fn request_reply_generate_panics() {
+        TrafficSpec::RequestReply {
+            clients: 8,
+            think: 20.0,
+            timeout: 100,
+            retries: 2,
+        }
+        .generate(8, 1);
     }
 }

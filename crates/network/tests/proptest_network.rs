@@ -7,21 +7,24 @@
 
 use fibcube_graph::bfs::bfs_distances;
 use fibcube_network::broadcast::{broadcast_all_port, broadcast_one_port, verify_schedule};
-use fibcube_network::fault::{fault_set_trial, FaultSet, FaultSpec};
+use fibcube_network::fault::{
+    fault_set_trial, ChurnEvent, ChurnTarget, ChurnTimeline, FaultSet, FaultSpec,
+};
 use fibcube_network::observer::{NoopObserver, SimObserver};
 use fibcube_network::router::{
-    AdaptiveMinimal, CanonicalRouter, EcubeRouter, NextHopRouter, NoLoad, Router,
+    AdaptiveMinimal, CanonicalRouter, EcubeRouter, FaultMaskingRouter, NextHopRouter, NoLoad,
+    Router,
 };
 use fibcube_network::simulator::{
-    simulate, simulate_faulted, simulate_faulted_reference, simulate_reference, simulate_with,
-    simulate_wormhole, simulate_wormhole_faulted,
+    simulate, simulate_churn, simulate_faulted, simulate_faulted_reference, simulate_reference,
+    simulate_with, simulate_wormhole, simulate_wormhole_faulted,
 };
 use fibcube_network::switching::{SwitchingSpec, PACKET_LENGTH_UNITS};
 use fibcube_network::topology::{FibonacciNet, Hypercube, Mesh, Ring, Topology};
 use fibcube_network::traffic::{Packet, TrafficSpec};
 use fibcube_network::{
-    simulate_parallel, CollectiveSpec, DistanceTable, Experiment, ImplicitFibonacciNet,
-    ImplicitRouter, Port, RouterSpec,
+    simulate_parallel, simulate_parallel_churn, CollectiveSpec, DistanceTable, Experiment,
+    ImplicitFibonacciNet, ImplicitRouter, Port, RouterSpec,
 };
 use proptest::prelude::*;
 
@@ -222,6 +225,7 @@ proptest! {
         let n = net.len() as f64;
         let m = n - faults as f64;
         let static_bound = fault_set_trial(&net, &set)
+            .expect("a sampled fault set is always valid for its own graph")
             .reachable_pair_fraction
             .unwrap_or(0.0)
             * (m * (m - 1.0))
@@ -437,7 +441,7 @@ proptest! {
             assert_eq!(&back, x, "`{text}` round-trips");
         }
 
-        let traffic = match sel % 6 {
+        let traffic = match sel % 7 {
             0 => TrafficSpec::Uniform { count: a as usize, window: b },
             1 => TrafficSpec::HotSpot {
                 count: a as usize,
@@ -447,6 +451,12 @@ proptest! {
             2 => TrafficSpec::Bernoulli { rate: c as f64 / 100.0, cycles: b },
             3 => TrafficSpec::ComplementPermutation { window: b },
             4 => TrafficSpec::AllToAll,
+            5 => TrafficSpec::RequestReply {
+                clients: a as usize,
+                think: a as f64 / 4.0,
+                timeout: b,
+                retries: c as u32,
+            },
             _ => TrafficSpec::Mixed(vec![
                 TrafficSpec::Uniform { count: a as usize, window: b },
                 TrafficSpec::ComplementPermutation { window: b },
@@ -454,12 +464,17 @@ proptest! {
         };
         round_trip(&traffic);
 
-        let fault = match (sel / 6) % 6 {
+        let fault = match (sel / 7) % 7 {
             0 => FaultSpec::None,
             1 => FaultSpec::Nodes { count: a as usize },
             2 => FaultSpec::Links { count: a as usize },
             3 => FaultSpec::NodeList(vec![a as u32, (a + c) as u32]),
             4 => FaultSpec::LinkList(vec![(a as u32, (a + 1) as u32), (c as u32, 0)]),
+            5 => FaultSpec::Churn {
+                node_rate: a as f64 / 1000.0,
+                link_rate: c as f64 / 100.0,
+                mttr: if sel & 1 == 0 { b as f64 } else { f64::INFINITY },
+            },
             _ => FaultSpec::Mixed(vec![
                 FaultSpec::Nodes { count: a as usize },
                 FaultSpec::Links { count: c as usize },
@@ -468,14 +483,14 @@ proptest! {
         round_trip(&fault);
 
         let port = if sel & 1 == 0 { Port::One } else { Port::All };
-        let collective = match (sel / 36) % 3 {
+        let collective = match (sel / 49) % 3 {
             0 => CollectiveSpec::Broadcast { source: a as u32, port },
             1 => CollectiveSpec::Multicast { source: a as u32, count: c as usize, port },
             _ => CollectiveSpec::AllToAllPersonalized,
         };
         round_trip(&collective);
 
-        let router = match (sel / 108) % 5 {
+        let router = match (sel / 147) % 5 {
             0 => RouterSpec::Preferred,
             1 => RouterSpec::Builtin,
             2 => RouterSpec::Ecube,
@@ -484,7 +499,7 @@ proptest! {
         };
         round_trip(&router);
 
-        let switching = match (sel / 540) % 2 {
+        let switching = match (sel / 735) % 2 {
             0 => SwitchingSpec::StoreAndForward,
             _ => SwitchingSpec::Wormhole {
                 flit_size: 1 + (a % 64) as u32,
@@ -560,6 +575,114 @@ proptest! {
             dist_sum += bfs_distances(net.graph(), p.src)[p.dst as usize] as u64;
         }
         prop_assert_eq!(stats.total_hops, dist_sum, "minimal ⇒ hop count = Σ distance");
+    }
+
+    #[test]
+    fn zero_rate_churn_equals_the_healthy_engine(count in 1usize..150, window in 0u64..80, seed in 0u64..10_000) {
+        // Equivalence gate of the churn engine, quiet end: zero failure
+        // rates generate an empty timeline, and running the churn engine
+        // with it must be *identical* to the healthy engine — full
+        // SimStats equality on every topology family.
+        for topo in [
+            &FibonacciNet::classical(7) as &dyn Topology,
+            &Hypercube::new(4),
+            &Ring::new(11),
+            &Mesh::new(4, 3),
+        ] {
+            let timeline =
+                ChurnTimeline::generate(topo.graph(), 0.0, 0.0, 100.0, seed, 1_000_000);
+            prop_assert!(timeline.is_empty(), "zero rates must generate no events");
+            let pkts = uniform(topo.len(), count, window, seed);
+            let router = topo.router();
+            let churned =
+                simulate_churn(topo, &*router, &timeline, &pkts, 1_000_000, &mut NoopObserver);
+            let healthy = simulate_with(topo, &*router, &pkts, 1_000_000);
+            prop_assert_eq!(&churned, &healthy, "{}", topo.name());
+        }
+    }
+
+    #[test]
+    fn parallel_churn_is_thread_count_independent(count in 1usize..100, window in 0u64..60, seed in 0u64..10_000) {
+        // The churned extension of the sharded-engine determinism gate:
+        // with a live mid-run fail/recover timeline, one, two, four, or
+        // eight shards must produce SimStats identical to the serial
+        // churn engine — histograms, typed drops, makespan, everything.
+        for topo in [
+            &FibonacciNet::classical(7) as &dyn Topology,
+            &Hypercube::new(4),
+            &Ring::new(11),
+            &Mesh::new(4, 3),
+        ] {
+            let timeline =
+                ChurnTimeline::generate(topo.graph(), 0.01, 0.01, 40.0, seed, 500);
+            let pkts = uniform(topo.len(), count, window, seed);
+            let router = topo.router();
+            let serial =
+                simulate_churn(topo, &*router, &timeline, &pkts, 100_000, &mut NoopObserver);
+            for t in [1usize, 2, 4, 8] {
+                let sharded =
+                    simulate_parallel_churn(topo, &*router, &timeline, &pkts, 100_000, t);
+                prop_assert_eq!(
+                    &sharded, &serial,
+                    "{} with {} events at {t} threads",
+                    topo.name(), timeline.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_repair_matches_from_scratch_rebuild(d in 3usize..=7, steps in 1usize..20, seed in 0u64..10_000) {
+        // The incremental-repair invariant (see `dist.rs`): after *every*
+        // applied churn event, the patched distance table must equal a
+        // from-scratch masked BFS over the current liveness masks, on all
+        // pairs — and the epoch counter must advance once per event.
+        let net = FibonacciNet::classical(d);
+        let g = net.graph();
+        let router = net.router();
+        let mut masked = FaultMaskingRouter::new(g, &*router, &FaultSet::empty());
+        let edges: Vec<(u32, u32)> = g.edges().collect();
+        let n = g.num_vertices();
+        let mut node_down = vec![false; n];
+        let mut link_down = vec![false; edges.len()];
+        // Small xorshift so the event sequence is a pure function of the
+        // proptest seed (state must be nonzero).
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..steps {
+            // Flip a random element: fail it if up, recover it if down —
+            // the strict alternation `apply_event` is specified against.
+            let (target, failed) = if next() & 1 == 0 {
+                let idx = (next() % n as u64) as usize;
+                node_down[idx] = !node_down[idx];
+                (ChurnTarget::Node(idx as u32), node_down[idx])
+            } else {
+                let idx = (next() % edges.len() as u64) as usize;
+                link_down[idx] = !link_down[idx];
+                let (u, v) = edges[idx];
+                (ChurnTarget::Link(u, v), link_down[idx])
+            };
+            masked.apply_event(&ChurnEvent { cycle: step as u64, target, failed });
+            for v in 0..n as u32 {
+                prop_assert_eq!(masked.node_alive(v), !node_down[v as usize]);
+            }
+            let fresh = DistanceTable::degraded(g, masked.masks());
+            for u in 0..n as u32 {
+                for v in 0..n as u32 {
+                    prop_assert_eq!(
+                        masked.distances().distance(u, v),
+                        fresh.distance(u, v),
+                        "Γ_{d}: {u}→{v} diverges after event {step} ({target:?}, failed={failed})"
+                    );
+                }
+            }
+            prop_assert_eq!(masked.distances().epoch(), step as u64 + 1);
+        }
     }
 }
 
@@ -703,6 +826,8 @@ fn every_spec_parser_rejects_malformed_input() {
         "uniform(count=ten,window=5)",
         "uniform(count=10,window=5,extra=1)",
         "warp(count=10)",
+        "request_reply(clients=4)",
+        "request_reply(clients=4,think=1,timeout=2,retries=nope)",
     ] {
         assert!(bad.parse::<TrafficSpec>().is_err(), "traffic `{bad}`");
     }
@@ -716,6 +841,8 @@ fn every_spec_parser_rejects_malformed_input() {
         "node_list(1,two)",
         "link_list(3)",
         "mix(nodes(count=1)+)",
+        "churn(node_rate=0.1)",
+        "churn(node_rate=x,link_rate=0,mttr=1)",
     ] {
         assert!(bad.parse::<FaultSpec>().is_err(), "fault `{bad}`");
     }
@@ -916,6 +1043,75 @@ fn degenerate_wormhole_matches_faulted_packet_set_on_the_acceptance_pair() {
             worm.total_hops,
             expected,
             "wormhole hops on {}",
+            topo.name()
+        );
+    }
+}
+
+/// Acceptance criterion of the churn tentpole: a timeline that fails a
+/// static fault set's nodes and links at cycle 0 and never recovers them
+/// (mttr = ∞ ⇒ no recovery events) is *packet-for-packet* identical to
+/// the static fault engine on the Γ_16 / Q_11 acceptance pair — full
+/// `SimStats` equality, histograms and typed drops included. Events
+/// commit at the cycle-0 boundary before any injection, so the churn
+/// engine sees exactly the degraded network the static engine builds up
+/// front.
+#[test]
+fn cycle_zero_permanent_churn_equals_the_static_fault_engine() {
+    let gamma = FibonacciNet::classical(16);
+    let q = Hypercube::new(11);
+    let mix = TrafficSpec::Mixed(vec![
+        TrafficSpec::Uniform {
+            count: 400,
+            window: 100,
+        },
+        TrafficSpec::HotSpot {
+            count: 100,
+            window: 100,
+            hot_fraction: 0.3,
+        },
+    ]);
+    let dead_nodes: Vec<u32> = (1..=60u32).map(|i| i * 31).collect();
+    for topo in [&gamma as &dyn Topology, &q] {
+        let g = topo.graph();
+        // A real link of each graph, so the link fault actually bites.
+        let (lu, lv) = g
+            .edges()
+            .find(|&(u, v)| !dead_nodes.contains(&u) && !dead_nodes.contains(&v))
+            .expect("a live link exists");
+        let faults = FaultSet::new(dead_nodes.clone(), [(lu, lv)]);
+        let pkts = mix.generate(topo.len(), 2026);
+        let router = topo.router();
+        let static_run =
+            simulate_faulted(topo, &*router, &faults, &pkts, 1_000_000, &mut NoopObserver);
+        assert!(static_run.dropped() > 0, "faults must bite {}", topo.name());
+
+        let timeline = ChurnTimeline::from_events(
+            dead_nodes
+                .iter()
+                .map(|&x| ChurnEvent {
+                    cycle: 0,
+                    target: ChurnTarget::Node(x),
+                    failed: true,
+                })
+                .chain(std::iter::once(ChurnEvent {
+                    cycle: 0,
+                    target: ChurnTarget::Link(lu.min(lv), lu.max(lv)),
+                    failed: true,
+                })),
+        );
+        let churned = simulate_churn(
+            topo,
+            &*router,
+            &timeline,
+            &pkts,
+            1_000_000,
+            &mut NoopObserver,
+        );
+        assert_eq!(
+            churned,
+            static_run,
+            "cycle-0 permanent churn ≡ static faults on {}",
             topo.name()
         );
     }
