@@ -44,14 +44,16 @@
 //! modes. (Speedup is a same-machine ratio, so the bar is meaningful on
 //! slow CI hosts too.) The `engine_perf` section also carries a
 //! `parallel` block: the Γ_16 fixed load re-run through the sharded
-//! engine at 1/2/4/8 threads (bit-identical stats enforced at every
-//! rung; the ≥2× speedup bar at 8 threads is asserted only on hosts
-//! with ≥8 CPUs, and the `asserted` flag records which case ran).
+//! engine at 1/2/4/8 threads — store-and-forward, wormhole, and
+//! tree-collective ladders (bit-identical stats enforced at every rung;
+//! the ≥2× speedup bar at 8 threads is asserted only on hosts with ≥8
+//! CPUs, and the `asserted` flag records which case ran).
 //!
 //! Pass `--check-threads N` for the standalone determinism check CI
 //! runs as a thread matrix: the Γ_16 fixed load — healthy, statically
-//! faulted, and under a mid-run churn timeline — serial vs `N` shard
-//! workers, full `SimStats` equality or exit 1.
+//! faulted, under a mid-run churn timeline, through the wormhole flit
+//! engine, and as a tree collective — serial vs `N` shard workers, full
+//! `SimStats` equality or exit 1.
 
 use std::time::Instant;
 
@@ -64,9 +66,10 @@ use fibcube_network::sweep::{
     SwitchingGrid,
 };
 use fibcube_network::{
-    simulate_parallel, simulate_parallel_churn, simulate_reference, CollectiveSpec, Experiment,
-    FibonacciNet, Hypercube, ImplicitFibonacciNet, Mesh, Port, Report, Ring, RouterSpec,
-    SweepCurve, SwitchingSpec, Topology, TrafficSpec,
+    broadcast_one_port, simulate_parallel, simulate_parallel_churn, simulate_parallel_collective,
+    simulate_parallel_wormhole, simulate_reference, CollectiveSpec, CopyPlan, Experiment,
+    FibonacciNet, Hypercube, ImplicitFibonacciNet, Mesh, NoopObserver, Port, Report, Ring,
+    RouterSpec, SweepCurve, SwitchingSpec, Topology, TrafficSpec,
 };
 
 struct FixedLoadRow {
@@ -480,6 +483,84 @@ fn parallel_speedup(rows: &[(usize, f64)], threads: usize) -> f64 {
         .map_or(0.0, |&(_, ms)| serial / ms.max(1e-9))
 }
 
+/// One policy's fixed-load thread ladder: `run(t)` at 1/2/4/8 shard
+/// workers, timed best-of. Every rung's output must equal the serial
+/// rung's — bit-identical results on every host, or a typed error. With
+/// `barred` set and ≥8 host CPUs, a loaded host gets two re-measurements
+/// before the caller's ≥2× @ 8 threads bar can see a low number.
+fn thread_ladder<S: PartialEq>(
+    topology: &str,
+    host_cpus: usize,
+    barred: bool,
+    mut run: impl FnMut(usize) -> S,
+) -> Result<Vec<(usize, f64)>, BenchError> {
+    let mut rows: Vec<(usize, f64)> = Vec::new();
+    let mut serial: Option<S> = None;
+    for attempt in 0..3 {
+        rows.clear();
+        for t in [1usize, 2, 4, 8] {
+            let (out, ms) = time_best_of(|| run(t));
+            match &serial {
+                None => serial = Some(out),
+                Some(first) => {
+                    if &out != first {
+                        return Err(BenchError::ThreadCountMismatch {
+                            topology: topology.to_string(),
+                            threads: t,
+                        });
+                    }
+                }
+            }
+            rows.push((t, ms));
+        }
+        if !barred || host_cpus < 8 || parallel_speedup(&rows, 8) >= 2.0 {
+            break;
+        }
+        println!("  (8-thread speedup below bar — re-measuring, attempt {attempt})");
+    }
+    Ok(rows)
+}
+
+/// Prints one thread ladder under its policy label.
+fn print_ladder(label: &str, rows: &[(usize, f64)]) {
+    let serial = rows[0].1;
+    println!("\n{label}:");
+    println!("{:>8} {:>12} {:>9}", "threads", "engine ms", "speedup");
+    for &(t, ms) in rows {
+        println!("{:>8} {:>12.1} {:>8.2}×", t, ms, serial / ms.max(1e-9));
+    }
+}
+
+/// One thread ladder's per-rung rows as a JSON array.
+fn ladder_rows_json(rows: &[(usize, f64)]) -> JsonValue {
+    let serial = rows[0].1;
+    JsonValue::Arr(
+        rows.iter()
+            .map(|&(t, ms)| {
+                JsonValue::obj([
+                    ("threads", JsonValue::Int(t as u64)),
+                    ("engine_ms", JsonValue::Num(ms)),
+                    ("speedup", JsonValue::Num(serial / ms.max(1e-9))),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// One ladder's `engine_perf.parallel` sub-block.
+fn ladder_json(workload: String, rows: &[(usize, f64)], asserted: bool) -> JsonValue {
+    JsonValue::obj([
+        ("workload", JsonValue::Str(workload)),
+        ("serial_ms", JsonValue::Num(rows[0].1)),
+        ("rows", ladder_rows_json(rows)),
+        (
+            "speedup_at_8_threads",
+            JsonValue::Num(parallel_speedup(rows, 8)),
+        ),
+        ("asserted", JsonValue::Bool(asserted)),
+    ])
+}
+
 /// The `--check-threads N` mode: one Γ_16 fixed-load workload, healthy
 /// and degraded, run serially and through the sharded engine at
 /// `threads` workers. Any divergence in the full `SimStats` (histograms
@@ -529,6 +610,73 @@ fn check_threads(threads: usize) -> Result<(), BenchError> {
         "check-threads: Γ_16 fixed load under churn ({} timeline events) at {threads} \
          threads ≡ serial (full SimStats, histograms included)",
         timeline.len()
+    );
+    // The wormhole configuration: the flit engine sharded under
+    // replicated arbitration, healthy and statically faulted. A smaller
+    // packet budget keeps the flit-level run CI-sized.
+    let worm_spec = SwitchingSpec::Wormhole {
+        flit_size: 4,
+        vcs: 2,
+        buf_flits: 4,
+    };
+    let worm_pkts = TrafficSpec::Uniform {
+        count: 2_000,
+        window: 500,
+    }
+    .generate(gamma.len(), 2026);
+    let dead_nodes: Vec<u32> = (1..=40u32).map(|i| i * 37).collect();
+    for faults in [
+        FaultSet::default(),
+        FaultSet::new(dead_nodes, [(0u32, 1u32)]),
+    ] {
+        let serial = simulate_parallel_wormhole(
+            &gamma,
+            &*router,
+            &worm_spec,
+            &faults,
+            &worm_pkts,
+            cap,
+            1,
+            &mut NoopObserver,
+        );
+        let sharded = simulate_parallel_wormhole(
+            &gamma,
+            &*router,
+            &worm_spec,
+            &faults,
+            &worm_pkts,
+            cap,
+            threads,
+            &mut NoopObserver,
+        );
+        if sharded != serial {
+            return Err(BenchError::ThreadCountMismatch {
+                topology: gamma.name(),
+                threads,
+            });
+        }
+        println!(
+            "check-threads: Γ_16 wormhole ({} faults) at {threads} threads ≡ serial \
+             (full SimStats, histograms included)",
+            faults.failed_nodes().len()
+        );
+    }
+    // The collective configuration: a one-port broadcast tree executed
+    // by replication, sharded by spawning-node ownership.
+    let schedule =
+        broadcast_one_port(&gamma, 0).expect("healthy Γ_16 always schedules a broadcast");
+    let plan = CopyPlan::from_schedule(gamma.graph(), &schedule, true);
+    let serial = simulate_parallel_collective(&gamma, &plan, cap, 1, &mut NoopObserver);
+    let sharded = simulate_parallel_collective(&gamma, &plan, cap, threads, &mut NoopObserver);
+    if sharded != serial {
+        return Err(BenchError::ThreadCountMismatch {
+            topology: gamma.name(),
+            threads,
+        });
+    }
+    println!(
+        "check-threads: Γ_16 one-port broadcast collective at {threads} threads ≡ serial \
+         (full SimStats and reached-target tally)"
     );
     Ok(())
 }
@@ -617,15 +765,16 @@ fn run() -> Result<(), BenchError> {
     let fixed_load_ms = fixed_load_start.elapsed().as_secs_f64() * 1e3;
     println!("\nminimum cube-pair speedup over the seed engine: {min_speedup:.1}× (target ≥ 10×)");
 
-    header("E-S1b — sharded parallel engine (fixed-load thread ladder)");
+    header("E-S1b — sharded parallel engine (fixed-load thread ladders)");
     let parallel_start = Instant::now();
-    // The Γ_16 fixed load re-run through `simulate_parallel` at 1/2/4/8
-    // shard workers. Two gates: every rung's SimStats must be
-    // bit-identical to the 1-thread run (determinism — enforced on every
-    // host), and on machines with ≥8 CPUs the 8-thread rung must reach
-    // ≥2× over serial (the speedup bar is meaningless on the 1-CPU
-    // containers CI sometimes lands on, so it is recorded but not
-    // asserted there).
+    // The Γ_16 fixed load re-run through the pooled stepper at 1/2/4/8
+    // shard workers, once per switching/workload policy. Two gates per
+    // ladder: every rung's SimStats must be bit-identical to the
+    // 1-thread run (determinism — enforced on every host), and on
+    // machines with ≥8 CPUs the 8-thread rung of the store-and-forward
+    // and wormhole ladders must reach ≥2× over serial (the speedup bar
+    // is meaningless on the 1-CPU containers CI sometimes lands on, so
+    // it is recorded but not asserted there).
     let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
     let parallel_pkts = TrafficSpec::Uniform {
         count: packets,
@@ -634,51 +783,22 @@ fn run() -> Result<(), BenchError> {
     .generate(gamma.len(), 2026);
     let gamma_router = gamma.router();
     let no_faults = FaultSet::default();
-    let thread_ladder = [1usize, 2, 4, 8];
-    println!("host CPUs: {host_cpus}");
-    println!("{:>8} {:>12} {:>9}", "threads", "engine ms", "speedup");
-    let mut ladder_rows: Vec<(usize, f64)> = Vec::new();
-    let mut serial_stats = None;
-    for attempt in 0..3 {
-        ladder_rows.clear();
-        for &t in &thread_ladder {
-            let (stats, ms) = time_best_of(|| {
-                simulate_parallel(
-                    &gamma,
-                    &*gamma_router,
-                    &no_faults,
-                    &parallel_pkts,
-                    4_000_000,
-                    t,
-                )
-            });
-            match &serial_stats {
-                None => serial_stats = Some(stats),
-                Some(serial) => {
-                    if &stats != serial {
-                        return Err(BenchError::ThreadCountMismatch {
-                            topology: gamma.name(),
-                            threads: t,
-                        });
-                    }
-                }
-            }
-            ladder_rows.push((t, ms));
-        }
-        // Same noise policy as the cube bar: a loaded host gets two
-        // re-measurements before the (host-gated) bar can fail.
-        let bar_ok = host_cpus < 8 || parallel_speedup(&ladder_rows, 8) >= 2.0;
-        if bar_ok {
-            break;
-        }
-        println!("  (8-thread speedup below bar — re-measuring, attempt {attempt})");
-    }
-    let serial_ms = ladder_rows[0].1;
-    for &(t, ms) in &ladder_rows {
-        println!("{:>8} {:>12.1} {:>8.2}×", t, ms, serial_ms / ms.max(1e-9));
-    }
-    let speedup_at_8 = parallel_speedup(&ladder_rows, 8);
     let parallel_asserted = host_cpus >= 8;
+    println!("host CPUs: {host_cpus}");
+
+    let ladder_rows = thread_ladder(&gamma.name(), host_cpus, true, |t| {
+        simulate_parallel(
+            &gamma,
+            &*gamma_router,
+            &no_faults,
+            &parallel_pkts,
+            4_000_000,
+            t,
+        )
+    })?;
+    print_ladder("store-and-forward", &ladder_rows);
+    let serial_ms = ladder_rows[0].1;
+    let speedup_at_8 = parallel_speedup(&ladder_rows, 8);
     if parallel_asserted && speedup_at_8 < 2.0 {
         return Err(BenchError::ParallelSpeedupBelowBar {
             threads: 8,
@@ -686,8 +806,58 @@ fn run() -> Result<(), BenchError> {
             bar: 2.0,
         });
     }
+
+    // The wormhole ladder: the flit engine sharded under replicated
+    // arbitration. A smaller packet budget keeps the flit-level run
+    // (flits × arbitration per cycle) comparable in wall-clock to the
+    // packet ladder above.
+    let worm_spec = SwitchingSpec::Wormhole {
+        flit_size: 4,
+        vcs: 2,
+        buf_flits: 4,
+    };
+    let worm_pkts = TrafficSpec::Uniform {
+        count: 2_000,
+        window: 500,
+    }
+    .generate(gamma.len(), 2026);
+    let worm_rows = thread_ladder(&gamma.name(), host_cpus, true, |t| {
+        simulate_parallel_wormhole(
+            &gamma,
+            &*gamma_router,
+            &worm_spec,
+            &no_faults,
+            &worm_pkts,
+            4_000_000,
+            t,
+            &mut NoopObserver,
+        )
+    })?;
+    print_ladder("wormhole (flit_size=4, vcs=2, buf_flits=4)", &worm_rows);
+    let worm_speedup_at_8 = parallel_speedup(&worm_rows, 8);
+    if parallel_asserted && worm_speedup_at_8 < 2.0 {
+        return Err(BenchError::ParallelSpeedupBelowBar {
+            threads: 8,
+            speedup: worm_speedup_at_8,
+            bar: 2.0,
+        });
+    }
+
+    // The collective ladder: a one-port broadcast tree executed by
+    // replication. Recorded but never asserted — the whole workload is
+    // n−1 copies over ~log n rounds, small enough that barrier overhead
+    // legitimately dominates; the determinism gate still holds per rung.
+    let bcast_schedule =
+        broadcast_one_port(&gamma, 0).expect("healthy Γ_16 always schedules a broadcast");
+    let bcast_plan = CopyPlan::from_schedule(gamma.graph(), &bcast_schedule, true);
+    let coll_rows = thread_ladder(&gamma.name(), host_cpus, false, |t| {
+        simulate_parallel_collective(&gamma, &bcast_plan, 4_000_000, t, &mut NoopObserver)
+    })?;
+    print_ladder("collective (one-port broadcast)", &coll_rows);
+
     println!(
-        "\n8-thread speedup over serial: {speedup_at_8:.2}× (bar ≥ 2× {})",
+        "\n8-thread speedup over serial: {speedup_at_8:.2}× store-and-forward, \
+         {worm_speedup_at_8:.2}× wormhole (bar ≥ 2× {})",
         if parallel_asserted {
             "asserted — host has ≥8 CPUs"
         } else {
@@ -695,6 +865,9 @@ fn run() -> Result<(), BenchError> {
         }
     );
     let parallel_ms_total = parallel_start.elapsed().as_secs_f64() * 1e3;
+    // The top-level fields keep describing the store-and-forward ladder
+    // (the artifact contract CI pins); the wormhole and collective
+    // ladders ride along as sub-blocks of the same shape.
     let parallel_perf = JsonValue::obj([
         ("topology", JsonValue::Str(gamma.name())),
         (
@@ -705,23 +878,25 @@ fn run() -> Result<(), BenchError> {
         ),
         ("host_cpus", JsonValue::Int(host_cpus as u64)),
         ("serial_ms", JsonValue::Num(serial_ms)),
-        (
-            "rows",
-            JsonValue::Arr(
-                ladder_rows
-                    .iter()
-                    .map(|&(t, ms)| {
-                        JsonValue::obj([
-                            ("threads", JsonValue::Int(t as u64)),
-                            ("engine_ms", JsonValue::Num(ms)),
-                            ("speedup", JsonValue::Num(serial_ms / ms.max(1e-9))),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
+        ("rows", ladder_rows_json(&ladder_rows)),
         ("speedup_at_8_threads", JsonValue::Num(speedup_at_8)),
         ("asserted", JsonValue::Bool(parallel_asserted)),
+        (
+            "wormhole",
+            ladder_json(
+                format!("{worm_spec}, uniform 2000 packets / window 500, seed 2026"),
+                &worm_rows,
+                parallel_asserted,
+            ),
+        ),
+        (
+            "collective",
+            ladder_json(
+                "broadcast(source=0,port=one), healthy".to_string(),
+                &coll_rows,
+                false,
+            ),
+        ),
     ]);
     // The router borrows `gamma`, which smoke mode is about to move.
     drop(gamma_router);

@@ -121,6 +121,15 @@ impl PacketSlab {
         self.hops[id as usize] += 1;
     }
 
+    /// Restores a carried hop count onto a freshly allocated id — the
+    /// sharded engine releases a packet's slot when it departs a lane
+    /// and re-allocates at the committing lane, so the cumulative count
+    /// rides along in the outbox message.
+    #[inline]
+    pub fn set_hops(&mut self, id: u32, hops: u32) {
+        self.hops[id as usize] = hops;
+    }
+
     /// The copy-plan edge the origin of packet `id` emits after this copy
     /// departs, or [`NO_COPY`] — the one-port tree-forwarding chain of
     /// [`simulate_collective`](crate::simulator::simulate_collective).

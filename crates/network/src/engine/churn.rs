@@ -1,14 +1,15 @@
-//! The dynamic-fault (churn) store-and-forward engine: the same
-//! arena-backed cycle skeleton as the static engine ([`run_core`]), with
-//! a [`ChurnTimeline`] of fail/recover events applied at cycle
-//! boundaries and an optional closed-loop request/reply workload with
+//! The dynamic-fault (churn) store-and-forward workload: the same
+//! unified stepper as the static engine ([`run_core`]), with a
+//! [`ChurnTimeline`] of fail/recover events applied in the event-commit
+//! stage and an optional closed-loop request/reply workload with
 //! timeout-and-retry delivery.
 //!
 //! ## Event semantics
 //!
 //! Events commit **between cycles**: all events with `cycle <= c` are
-//! applied at the top of cycle `c`, after the previous cycle's arrivals
-//! and before cycle `c`'s injections — so every admission verdict and
+//! applied at the top of cycle `c` (the [`ReplicationPolicy::
+//! commit_events`] stage), after the previous cycle's arrivals and
+//! before cycle `c`'s injections — so every admission verdict and
 //! routing decision within one cycle sees one consistent fault epoch
 //! (the stability contract of
 //! [`ChurnAdmission`](super::policy::ChurnAdmission)). Applying an event
@@ -17,6 +18,17 @@
 //! queued on a dying link or node are flushed as typed drops
 //! ([`DropReason::LinkDied`] / [`DropReason::NodeDied`]). Deliveries at
 //! the `c + 1` arrival boundary precede deaths at cycle `c + 1`.
+//!
+//! ## Sharding
+//!
+//! Each lane owns a **replica** of the masked router, built from the
+//! same timeline and patched by the same deterministic
+//! [`FaultMaskingRouter::apply_event`] calls — so every lane's routing
+//! and admission decisions agree without any shared lock (this replaced
+//! the old worker-0 `RwLock`'d event application). Queue flushes and
+//! drop accounting are gated on node ownership; the closed-loop session
+//! machine is replicated the same way, with every RNG draw executing on
+//! every lane and only the owning lane touching real packets.
 //!
 //! ## Equivalence gates
 //!
@@ -47,16 +59,18 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use fibcube_graph::csr::CsrGraph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::arena::PacketSlab;
 use crate::fault::{ChurnEvent, ChurnTarget, ChurnTimeline, FaultSet};
 use crate::observer::SimObserver;
 use crate::router::{FaultMaskingRouter, Router};
 use crate::topology::Topology;
 use crate::traffic::Packet;
 
-use super::core::{run_core, Core, Routing};
+use super::core::{run_core, Core, Routing, SafMsg};
 use super::policy::{ChurnAdmission, FaultPolicy, ReplicationPolicy};
 use super::stats::{DropReason, SimStats};
 
@@ -82,18 +96,8 @@ where
     if timeline.is_empty() {
         return super::simulate_observed(topology, router, packets, max_cycles, observer);
     }
-    let masked = FaultMaskingRouter::new(topology.graph(), router, &FaultSet::empty());
-    let mut inj: Vec<&Packet> = packets.iter().collect();
-    inj.sort_by_key(|p| p.inject_time);
-    let workload = ChurnUnicast {
-        router: masked,
-        events: timeline.events(),
-        next_event: 0,
-        mode: Mode::Open {
-            inj,
-            next_inject: 0,
-        },
-    };
+    let n = topology.len() as u32;
+    let workload = ChurnUnicast::open(topology.graph(), router, timeline.events(), packets, 0, n);
     let (stats, _) = run_core(topology, packets.len(), max_cycles, observer, workload);
     stats
 }
@@ -138,23 +142,21 @@ where
         topology.len() >= 2,
         "request/reply needs a peer to talk to (>= 2 nodes)"
     );
-    let masked = FaultMaskingRouter::new(topology.graph(), router, &FaultSet::empty());
-    let sessions = Sessions::new(load, topology.len() as u32);
-    let workload = ChurnUnicast {
-        router: masked,
-        events: timeline.events(),
-        next_event: 0,
-        mode: Mode::Closed(sessions),
-    };
+    let workload = ChurnUnicast::closed(
+        topology.graph(),
+        router,
+        timeline.events(),
+        load,
+        topology.len() as u32,
+    );
     let (mut stats, workload) = run_core(topology, 0, max_cycles, observer, workload);
-    if let Mode::Closed(sessions) = workload.mode {
-        stats.offered = sessions.offered;
-    }
+    stats.offered = workload.offered();
     stats
 }
 
-/// Traffic side of the churn engine: the open-loop time-sorted packet
-/// list, or the closed-loop session machine.
+/// Traffic side of the churn workload: the open-loop time-sorted packet
+/// list (this lane's sources only), or the closed-loop session machine
+/// (replicated on every lane).
 enum Mode<'p> {
     Open {
         inj: Vec<&'p Packet>,
@@ -163,13 +165,12 @@ enum Mode<'p> {
     Closed(Sessions),
 }
 
-/// The churn workload: a [`ReplicationPolicy`] owning the masked router
-/// *mutably*, so fault events can flip its masks and patch its distance
-/// table mid-run — the one capability the static [`Unicast`] workload's
-/// shared borrow rules out.
-///
-/// [`Unicast`]: super::core::Unicast
-struct ChurnUnicast<'g, 'p, R: Router + ?Sized> {
+/// The churn workload: a [`ReplicationPolicy`] owning a lane-local
+/// **replica** of the masked router, so fault events can flip its masks
+/// and patch its distance table mid-run without any cross-lane lock —
+/// every lane applies the same deterministic event stream, so the
+/// replicas never diverge.
+pub(crate) struct ChurnUnicast<'g, 'p, R: Router + ?Sized> {
     router: FaultMaskingRouter<'g, R>,
     events: &'p [ChurnEvent],
     next_event: usize,
@@ -177,12 +178,83 @@ struct ChurnUnicast<'g, 'p, R: Router + ?Sized> {
 }
 
 impl<'g, 'p, R: Router + ?Sized> ChurnUnicast<'g, 'p, R> {
+    /// The open-loop churn workload for one lane: injects the packets
+    /// sourced in `[lo, hi)`, time-sorted (stable — the serial order
+    /// restricted to the lane).
+    pub(crate) fn open(
+        g: &'g CsrGraph,
+        inner: &'g R,
+        events: &'p [ChurnEvent],
+        packets: &'p [Packet],
+        lo: u32,
+        hi: u32,
+    ) -> ChurnUnicast<'g, 'p, R> {
+        let mut inj: Vec<&Packet> = packets
+            .iter()
+            .filter(|p| lo <= p.src && p.src < hi)
+            .collect();
+        inj.sort_by_key(|p| p.inject_time);
+        ChurnUnicast {
+            router: FaultMaskingRouter::new(g, inner, &FaultSet::empty()),
+            events,
+            next_event: 0,
+            mode: Mode::Open {
+                inj,
+                next_inject: 0,
+            },
+        }
+    }
+
+    /// The closed-loop churn workload for one lane: the full session
+    /// machine, replicated identically on every lane (same seed, same
+    /// draws); the lane bounds live in the [`Core`] it runs against.
+    pub(crate) fn closed(
+        g: &'g CsrGraph,
+        inner: &'g R,
+        events: &'p [ChurnEvent],
+        load: &RequestReplyLoad,
+        n: u32,
+    ) -> ChurnUnicast<'g, 'p, R> {
+        ChurnUnicast {
+            router: FaultMaskingRouter::new(g, inner, &FaultSet::empty()),
+            events,
+            next_event: 0,
+            mode: Mode::Closed(Sessions::new(load, n)),
+        }
+    }
+
+    /// Transactions started — the closed loop's `offered` (0 for open).
+    pub(crate) fn offered(&self) -> usize {
+        match &self.mode {
+            Mode::Open { .. } => 0,
+            Mode::Closed(sessions) => sessions.offered,
+        }
+    }
+}
+
+impl<O, R> ReplicationPolicy<O> for ChurnUnicast<'_, '_, R>
+where
+    O: SimObserver,
+    R: Router + ?Sized,
+{
+    fn next_pending(&mut self) -> Option<u64> {
+        // Traffic actions only: pending fault events between here and
+        // the next action commit late, at the jumped-to cycle — with no
+        // packets anywhere they cannot change any statistic, only the
+        // mask state future injections see.
+        match &mut self.mode {
+            Mode::Open { inj, next_inject } => inj.get(*next_inject).map(|p| p.inject_time),
+            Mode::Closed(sessions) => sessions.next_action_cycle(),
+        }
+    }
+
     /// Applies every event due at or before `cycle`, in timeline order:
-    /// router masks and distance rows first, then the queue flushes for
-    /// failures. Flushes only ever find packets when `event.cycle` is
-    /// the current cycle — the engine fast-forwards only over empty
+    /// router masks and distance rows on **every** lane's replica, then
+    /// the queue flushes for failures at the lanes owning the affected
+    /// queues. Flushes only ever find packets when `event.cycle` is the
+    /// current cycle — the engine fast-forwards only over empty
     /// networks.
-    fn apply_due_events<O: SimObserver>(&mut self, cycle: u64, core: &mut Core<'_, '_, O>) {
+    fn commit_events(&mut self, cycle: u64, core: &mut Core<'_, O>) {
         while self.next_event < self.events.len() && self.events[self.next_event].cycle <= cycle {
             let ev = self.events[self.next_event];
             self.next_event += 1;
@@ -197,11 +269,13 @@ impl<'g, 'p, R: Router + ?Sized> ChurnUnicast<'g, 'p, R> {
                         // u < v, so the u→v directed edge flushes first —
                         // ascending directed-edge order.
                         for (a, b) in [(u, v), (v, u)] {
+                            if !core.owns(a) {
+                                continue;
+                            }
                             let g = core.g;
                             if let Some(slot) = g.slot_of(a, b) {
                                 let e = g.edge_range(a).start + slot;
-                                flush_directed_edge(
-                                    core,
+                                core.flush_directed_edge(
                                     a,
                                     e,
                                     ev.cycle,
@@ -213,14 +287,24 @@ impl<'g, 'p, R: Router + ?Sized> ChurnUnicast<'g, 'p, R> {
                     }
                     ChurnTarget::Node(x) => {
                         let g = core.g;
-                        for e in g.edge_range(x) {
-                            flush_directed_edge(core, x, e, ev.cycle, DropReason::NodeDied, silent);
+                        if core.owns(x) {
+                            for e in g.edge_range(x) {
+                                core.flush_directed_edge(
+                                    x,
+                                    e,
+                                    ev.cycle,
+                                    DropReason::NodeDied,
+                                    silent,
+                                );
+                            }
                         }
                         for &y in g.neighbors(x) {
+                            if !core.owns(y) {
+                                continue;
+                            }
                             if let Some(back) = g.slot_of(y, x) {
                                 let e = g.edge_range(y).start + back;
-                                flush_directed_edge(
-                                    core,
+                                core.flush_directed_edge(
                                     y,
                                     e,
                                     ev.cycle,
@@ -232,151 +316,79 @@ impl<'g, 'p, R: Router + ?Sized> ChurnUnicast<'g, 'p, R> {
                     }
                 }
             }
+            // Every lane's observer fork sees the (global) fault event;
+            // the merge hook deduplicates.
             core.observer.on_fault_event(ev.cycle, ev.failed);
         }
     }
-}
 
-/// Drains the FIFO of directed edge `e` out of `node` as typed drops
-/// (or silent losses for the closed loop), fixing the occupancy and
-/// slot-mask bookkeeping the forward scan relies on.
-fn flush_directed_edge<O: SimObserver>(
-    core: &mut Core<'_, '_, O>,
-    node: u32,
-    e: usize,
-    cycle: u64,
-    reason: DropReason,
-    silent: bool,
-) {
-    while let Some(id) = core.fabric.queues.pop(e) {
-        core.fabric.occupancy[node as usize] -= 1;
-        core.in_flight -= 1;
-        let dst = core.slab.dst(id);
-        if !silent {
-            core.acc.drop_packet(reason);
-            core.observer.on_drop(cycle, node, dst, reason);
-        }
-        core.slab.release(id);
-    }
-    let base = core.g.edge_range(node).start;
-    if let Some(mask) = core.fabric.slot_mask.get_mut(node as usize) {
-        *mask &= !(1u64 << (e - base));
-    }
-}
-
-impl<O, R> ReplicationPolicy<O> for ChurnUnicast<'_, '_, R>
-where
-    O: SimObserver,
-    R: Router + ?Sized,
-{
-    fn begin_cycle(
-        &mut self,
-        cycle: &mut u64,
-        max_cycles: u64,
-        core: &mut Core<'_, '_, O>,
-    ) -> bool {
-        // Idle fast-forward, exactly the static engine's rule: with the
-        // network empty, jump to the next traffic action or stop.
-        // Pending fault events between here and there commit at the
-        // jumped-to cycle — with no packets anywhere they cannot change
-        // any statistic, only the mask state future injections see.
-        if core.in_flight == 0 {
-            let next = match &mut self.mode {
-                Mode::Open { inj, next_inject } => inj.get(*next_inject).map(|p| p.inject_time),
-                Mode::Closed(sessions) => sessions.next_action_cycle(),
-            };
-            match next {
-                None => return false,
-                Some(t) if t > *cycle => {
-                    if t >= max_cycles {
-                        return false;
-                    }
-                    *cycle = t;
-                }
-                Some(_) => {}
-            }
-        }
-
-        self.apply_due_events(*cycle, core);
-
+    fn inject(&mut self, cycle: u64, core: &mut Core<'_, O>) {
         let ChurnUnicast { router, mode, .. } = self;
         match mode {
             Mode::Open { inj, next_inject } => {
-                while *next_inject < inj.len() && inj[*next_inject].inject_time <= *cycle {
+                while *next_inject < inj.len() && inj[*next_inject].inject_time <= cycle {
                     let p = inj[*next_inject];
                     *next_inject += 1;
-                    core.observer.on_inject(*cycle, p.src, p.dst);
+                    core.observer.on_inject(cycle, p.src, p.dst);
                     if let Some(reason) = ChurnAdmission::new(router).verdict(p.src, p.dst) {
                         core.acc.drop_packet(reason);
-                        core.observer.on_drop(*cycle, p.src, p.dst, reason);
+                        core.observer.on_drop(cycle, p.src, p.dst, reason);
                         continue;
                     }
                     if p.src == p.dst {
                         core.acc.deliver_instant();
-                        core.observer.on_deliver(*cycle, p.dst, 0);
+                        core.observer.on_deliver(cycle, p.dst, 0);
                         continue;
                     }
                     let id = core.slab.alloc(p.dst, p.inject_time);
-                    core.fabric.route_and_enqueue(
-                        core.g,
-                        &Routing::PerHop(&*router),
-                        p.src,
-                        id,
-                        p.dst,
-                    );
-                    core.in_flight += 1;
-                    core.worklist_add(p.src);
+                    core.route_and_enqueue(Routing::PerHop(&*router), p.src, id, p.dst);
                 }
             }
-            Mode::Closed(sessions) => sessions.process_due(*cycle, router, core),
+            Mode::Closed(sessions) => sessions.process_due(cycle, router, core),
         }
-        true
     }
 
+    /// The closed loop tags each departing packet with its transaction
+    /// identity (session, txn, attempt, direction) so the committing
+    /// lane can reconstruct the [`Meta`] sidecar without shared state.
     #[inline]
-    fn on_depart(&mut self, _u: u32, _id: u32, _slab: &crate::arena::PacketSlab) {}
+    fn depart(&mut self, _u: u32, id: u32, _slab: &PacketSlab, msg: &mut SafMsg) {
+        if let Mode::Closed(sessions) = &self.mode {
+            let m = sessions.meta[id as usize];
+            msg.inject = m.txn;
+            msg.hops = m.attempt;
+            msg.tag = m.session | if m.reply { REPLY_BIT } else { 0 };
+        }
+    }
 
-    fn arrive(&mut self, now: u64, node: u32, id: u32, core: &mut Core<'_, '_, O>) {
-        let dst = core.slab.dst(id);
+    fn commit(&mut self, now: u64, msg: &SafMsg, core: &mut Core<'_, O>) {
         let ChurnUnicast { router, mode, .. } = self;
         match mode {
             Mode::Open { .. } => {
-                if node == dst {
-                    core.in_flight -= 1;
-                    let inject_time = core.slab.inject(id);
-                    core.acc.deliver(now, inject_time);
-                    core.observer.on_deliver(now, node, now - inject_time);
-                    core.slab.release(id);
-                } else if !router.node_alive(dst) {
+                if !core.owns(msg.node) {
+                    return;
+                }
+                if msg.node == msg.dst {
+                    core.deliver(now, msg.node, now - msg.inject);
+                } else if !router.node_alive(msg.dst) {
                     // The destination died while the packet was in flight.
-                    core.in_flight -= 1;
                     core.acc.drop_packet(DropReason::NodeDied);
-                    core.observer.on_drop(now, node, dst, DropReason::NodeDied);
-                    core.slab.release(id);
-                } else if !router.reachable(node, dst) {
+                    core.observer
+                        .on_drop(now, msg.node, msg.dst, DropReason::NodeDied);
+                } else if !router.reachable(msg.node, msg.dst) {
                     // Churn partitioned the network under the packet.
-                    core.in_flight -= 1;
                     core.acc.drop_packet(DropReason::Unreachable);
                     core.observer
-                        .on_drop(now, node, dst, DropReason::Unreachable);
-                    core.slab.release(id);
+                        .on_drop(now, msg.node, msg.dst, DropReason::Unreachable);
                 } else {
-                    core.fabric.route_and_enqueue(
-                        core.g,
-                        &Routing::PerHop(&*router),
-                        node,
-                        id,
-                        dst,
-                    );
-                    core.worklist_add(node);
+                    let id = core.slab.alloc(msg.dst, msg.inject);
+                    core.slab.set_hops(id, msg.hops);
+                    core.route_and_enqueue(Routing::PerHop(&*router), msg.node, id, msg.dst);
                 }
             }
-            Mode::Closed(sessions) => sessions.arrive(now, node, id, dst, router, core),
+            Mode::Closed(sessions) => sessions.commit(now, msg, router, core),
         }
     }
-
-    #[inline]
-    fn end_cycle(&mut self, _now: u64, _core: &mut Core<'_, '_, O>) {}
 }
 
 /// What a session is waiting for (exactly one pending action each).
@@ -407,7 +419,9 @@ struct Session {
 }
 
 /// Per-packet transaction tag, indexed by slab id (ids recycle; the
-/// entry is overwritten at alloc time).
+/// entry is overwritten at alloc time). Lane-local: only the lane that
+/// holds the packet writes or reads its entry, and the identity rides
+/// across lane hops in the [`SafMsg`]'s overloaded fields.
 #[derive(Clone, Copy, Debug, Default)]
 struct Meta {
     session: u32,
@@ -416,10 +430,20 @@ struct Meta {
     reply: bool,
 }
 
+/// Reply-direction flag packed into [`SafMsg::tag`]'s top bit, above
+/// the session id.
+const REPLY_BIT: u32 = 1 << 31;
+
 /// The closed-loop session machine. All scheduling goes through one
 /// min-heap of `(cycle, seq, session)` entries; a session transition
 /// bumps its `pending_seq`, implicitly cancelling any earlier entry
 /// (e.g. the timeout of a reply that did arrive).
+///
+/// Sharded, the whole machine is **replicated on every lane**: every
+/// heap transition and every RNG draw executes identically everywhere
+/// (so the replicas never diverge), while real packet effects —
+/// allocations, routing, drop/delivery accounting, observer events —
+/// are gated on the lane owning the acting node.
 struct Sessions {
     rng: StdRng,
     n: u32,
@@ -511,16 +535,21 @@ impl Sessions {
 
     /// Injects the current attempt's request, if admission permits. A
     /// rejected attempt (dead or disconnected endpoints) is simply a
-    /// lost request: the pending timeout observes it.
+    /// lost request: the pending timeout observes it. The verdict is
+    /// evaluated on every lane (replicated router — same answer); the
+    /// packet itself exists only at the lane owning the client.
     fn try_inject_request<O: SimObserver, R: Router + ?Sized>(
         &mut self,
         session: u32,
         cycle: u64,
         router: &FaultMaskingRouter<'_, R>,
-        core: &mut Core<'_, '_, O>,
+        core: &mut Core<'_, O>,
     ) {
         let s = self.sessions[session as usize];
         if ChurnAdmission::new(router).verdict(s.src, s.dst).is_some() {
+            return;
+        }
+        if !core.owns(s.src) {
             return;
         }
         let id = core.slab.alloc(s.dst, cycle);
@@ -534,20 +563,19 @@ impl Sessions {
                 reply: false,
             },
         );
-        core.fabric
-            .route_and_enqueue(core.g, &Routing::PerHop(router), s.src, id, s.dst);
-        core.in_flight += 1;
-        core.worklist_add(s.src);
+        core.route_and_enqueue(Routing::PerHop(router), s.src, id, s.dst);
     }
 
     /// Fires every session action due at `cycle`: transaction starts,
     /// reply timeouts (retry or give up), and backoff-delayed retries.
-    /// Heap order `(cycle, seq)` makes the firing order deterministic.
+    /// Heap order `(cycle, seq)` makes the firing order deterministic,
+    /// and every lane fires every action (the RNG must advance in
+    /// lockstep); only the owning lane touches packets and statistics.
     fn process_due<O: SimObserver, R: Router + ?Sized>(
         &mut self,
         cycle: u64,
         router: &FaultMaskingRouter<'_, R>,
-        core: &mut Core<'_, '_, O>,
+        core: &mut Core<'_, O>,
     ) {
         loop {
             let Some(&Reverse((due, seq, session))) = self.heap.peek() else {
@@ -575,7 +603,9 @@ impl Sessions {
                         s.dst = dst;
                     }
                     self.offered += 1;
-                    core.observer.on_inject(cycle, src, dst);
+                    if core.owns(src) {
+                        core.observer.on_inject(cycle, src, dst);
+                    }
                     self.try_inject_request(session, cycle, router, core);
                     let deadline = cycle + self.window(0);
                     self.schedule(session, deadline, Action::Timeout);
@@ -589,9 +619,11 @@ impl Sessions {
                         // Budget exhausted: the transaction is a typed
                         // drop, and the session thinks before retrying
                         // with a fresh transaction.
-                        core.acc.drop_packet(DropReason::RetriesExhausted);
-                        core.observer
-                            .on_drop(cycle, src, dst, DropReason::RetriesExhausted);
+                        if core.owns(src) {
+                            core.acc.drop_packet(DropReason::RetriesExhausted);
+                            core.observer
+                                .on_drop(cycle, src, dst, DropReason::RetriesExhausted);
+                        }
                         let start = cycle + 1 + exp_draw(&mut self.rng, self.think);
                         self.schedule(session, start, Action::Start);
                     } else {
@@ -616,33 +648,40 @@ impl Sessions {
         }
     }
 
-    /// One packet arriving at `node`: route it onward, complete the
-    /// request→reply turn at its destination, or finish the transaction
-    /// at the client. Stale packets (their session moved on) vanish
-    /// silently; mid-flight losses are covered by the session timeout.
-    fn arrive<O: SimObserver, R: Router + ?Sized>(
+    /// One packet committing at `msg.node`: route it onward, complete
+    /// the request→reply turn at its destination, or finish the
+    /// transaction at the client. Stale packets (their session moved
+    /// on) vanish silently; mid-flight losses are covered by the
+    /// session timeout. Session-state transitions (including their RNG
+    /// draws) run on **every** lane; packet and statistic effects only
+    /// at the owner.
+    fn commit<O: SimObserver, R: Router + ?Sized>(
         &mut self,
         now: u64,
-        node: u32,
-        id: u32,
-        dst: u32,
+        msg: &SafMsg,
         router: &FaultMaskingRouter<'_, R>,
-        core: &mut Core<'_, '_, O>,
+        core: &mut Core<'_, O>,
     ) {
-        if node != dst {
-            if !router.node_alive(dst) || !router.reachable(node, dst) {
-                core.in_flight -= 1;
-                core.slab.release(id);
-            } else {
-                core.fabric
-                    .route_and_enqueue(core.g, &Routing::PerHop(router), node, id, dst);
-                core.worklist_add(node);
+        let m = Meta {
+            session: msg.tag & !REPLY_BIT,
+            txn: msg.inject,
+            attempt: msg.hops,
+            reply: msg.tag & REPLY_BIT != 0,
+        };
+        if msg.node != msg.dst {
+            // Mid-route: owner-only, no session transition. A packet
+            // whose destination died or was partitioned away vanishes
+            // silently (the pop already discounted it).
+            if !core.owns(msg.node) {
+                return;
+            }
+            if router.node_alive(msg.dst) && router.reachable(msg.node, msg.dst) {
+                let id = core.slab.alloc(msg.dst, now);
+                set_meta(&mut self.meta, id, m);
+                core.route_and_enqueue(Routing::PerHop(router), msg.node, id, msg.dst);
             }
             return;
         }
-        core.in_flight -= 1;
-        core.slab.release(id);
-        let m = self.meta[id as usize];
         let s = self.sessions[m.session as usize];
         let current = s.txn == m.txn && s.attempt == m.attempt && s.pending == Action::Timeout;
         if !current {
@@ -651,19 +690,21 @@ impl Sessions {
         if !m.reply {
             // Request reached the server: turn it around as a reply, if
             // the client is still there to receive it.
-            if node != s.src && router.node_alive(s.src) && router.reachable(node, s.src) {
+            if msg.node != s.src
+                && router.node_alive(s.src)
+                && router.reachable(msg.node, s.src)
+                && core.owns(msg.node)
+            {
                 let rid = core.slab.alloc(s.src, now);
                 set_meta(&mut self.meta, rid, Meta { reply: true, ..m });
-                core.fabric
-                    .route_and_enqueue(core.g, &Routing::PerHop(router), node, rid, s.src);
-                core.in_flight += 1;
-                core.worklist_add(node);
+                core.route_and_enqueue(Routing::PerHop(router), msg.node, rid, s.src);
             }
         } else {
             // Reply reached the client: the transaction completes, with
             // latency measured from the transaction's first request.
-            core.acc.deliver(now, s.t0);
-            core.observer.on_deliver(now, node, now - s.t0);
+            if core.owns(msg.node) {
+                core.deliver(now, msg.node, now - s.t0);
+            }
             let start = now + exp_draw(&mut self.rng, self.think);
             self.schedule(m.session, start, Action::Start);
         }

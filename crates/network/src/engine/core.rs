@@ -1,9 +1,10 @@
-//! The unified store-and-forward engine core: one cycle skeleton
-//! (injection → forward scan → arrivals), one arena-backed link fabric,
-//! and the [`ReplicationPolicy`] workloads that specialize it into the
-//! unicast and collective engines. The historical `simulate_*` variants
-//! are thin monomorphizations of [`run_core`] over the policy axes in
-//! [`policy`](super::policy).
+//! The store-and-forward lane: the per-lane arena state ([`Core`]) and
+//! the [`ReplicationPolicy`] workloads (unicast, collective) that
+//! specialize the unified stepper ([`super::stepper`]) into every
+//! packet-switched engine variant. The historical `simulate_*` entry
+//! points are [`Solo`] (one-lane) monomorphizations of [`run_core`];
+//! the sharded entry points build one [`SafLane`] per node shard and
+//! drive the **same** stage methods under the pooled protocol.
 
 use fibcube_graph::csr::CsrGraph;
 
@@ -14,8 +15,10 @@ use crate::router::{LinkLoad, NextHopTable, Router};
 use crate::topology::Topology;
 use crate::traffic::Packet;
 
+use super::parallel::run_pool;
 use super::policy::{FaultPolicy, ReplicationPolicy};
 use super::stats::{DropReason, SimStats, StatsAcc};
+use super::stepper::{lane_bounds, run_lane, LaneWorkload, Solo};
 
 /// Occupancy view of one node's output links, handed to adaptive routers:
 /// a window into the [`LinkQueues`] occupancy column.
@@ -34,16 +37,47 @@ impl LinkLoad for NodeLoad<'_> {
 /// per hop) or per-hop policy calls (live link-load view plus a slot
 /// search in the node's neighbor list — a couple of compares in one
 /// already-hot cache line, which beats any big-table lookup here).
+/// `Copy`, so every lane of a sharded run borrows the same plan.
 pub(crate) enum Routing<'t, R: ?Sized> {
+    Table(&'t NextHopTable),
+    PerHop(&'t R),
+}
+
+impl<R: ?Sized> Clone for Routing<'_, R> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<R: ?Sized> Copy for Routing<'_, R> {}
+
+/// The owned result of [`routing_for`]: holds the tabulated next-hop
+/// table (when one is built) so the per-lane [`Routing`] views can all
+/// borrow it.
+pub(crate) enum RoutingPlan<'t, R: ?Sized> {
     Table(NextHopTable),
     PerHop(&'t R),
+}
+
+impl<'t, R: ?Sized> RoutingPlan<'t, R> {
+    pub(crate) fn as_ref(&self) -> Routing<'_, R> {
+        match self {
+            RoutingPlan::Table(t) => Routing::Table(t),
+            RoutingPlan::PerHop(r) => Routing::PerHop(r),
+        }
+    }
 }
 
 /// Picks the routing path for one run: tabulate when the expected number
 /// of route lookups (≈ `packets × diameter/2`, a proxy for packets ×
 /// average distance) amortises the `O(n²)` table build *and* the policy
 /// can be tabulated at all. See [`NextHopTable`] for the trade-off.
-pub(crate) fn routing_for<'t, T, R>(topology: &T, router: &'t R, packets: usize) -> Routing<'t, R>
+/// Sharded runs call this **once** (with the global packet count) so
+/// every lane takes the same path the serial engine would.
+pub(crate) fn routing_for<'t, T, R>(
+    topology: &T,
+    router: &'t R,
+    packets: usize,
+) -> RoutingPlan<'t, R>
 where
     T: Topology + ?Sized,
     R: Router + ?Sized,
@@ -53,21 +87,23 @@ where
     let lookups = (packets as u64).saturating_mul((topology.diameter_bound() as u64 / 2).max(1));
     if lookups >= n.saturating_mul(n) {
         if let Some(table) = router.precompute(g) {
-            return Routing::Table(table);
+            return RoutingPlan::Table(table);
         }
     }
-    Routing::PerHop(router)
+    RoutingPlan::PerHop(router)
 }
 
-/// Resolves the output edge for one hop — [`Fabric::route_and_enqueue`]'s
+/// Resolves the output edge for one hop — [`Core::route_and_enqueue`]'s
 /// routing half, shared with the wormhole engine (which reserves buffers
-/// instead of enqueuing packets) and the sharded parallel engine (which
-/// views its link loads at a shard-local offset).
+/// instead of enqueuing packets). `loads` is the caller's link-load
+/// column indexed from global edge `edge_lo` (0 for a whole-network
+/// view); the returned edge id is global.
 #[inline]
 pub(crate) fn route_edge<R: Router + ?Sized>(
     g: &CsrGraph,
-    routing: &Routing<'_, R>,
+    routing: Routing<'_, R>,
     loads: &[u32],
+    edge_lo: usize,
     node: u32,
     dst: u32,
 ) -> usize {
@@ -78,7 +114,10 @@ pub(crate) fn route_edge<R: Router + ?Sized>(
         Routing::PerHop(router) => {
             let base = g.edge_range(node).start;
             let hop = {
-                let load = NodeLoad { loads, base };
+                let load = NodeLoad {
+                    loads,
+                    base: base - edge_lo,
+                };
                 router
                     .next_hop(node, dst, &load)
                     .expect("routing a packet not yet at dst")
@@ -90,113 +129,342 @@ pub(crate) fn route_edge<R: Router + ?Sized>(
     }
 }
 
-/// The engine's mutable link/node state: the ring-buffer FIFOs plus the
-/// per-node occupancy counters and occupied-slot bitmasks that keep the
-/// worklist and the forward scan cheap. Grouped so the routing helper
-/// takes one handle.
-pub(crate) struct Fabric {
-    pub(crate) queues: LinkQueues,
-    /// Queued packets per node (drives the active worklist).
-    pub(crate) occupancy: Vec<u32>,
-    /// Per-node bitmask of output slots holding packets, so the forward
-    /// phase pops exactly the occupied queues instead of probing every
-    /// out-edge of every active node. Empty (disabled — the forward
-    /// phase falls back to the plain edge scan) in the off-design case
-    /// of degrees above 64.
-    pub(crate) slot_mask: Vec<u64>,
+/// One cross-lane effect of the store-and-forward stepper: a packet
+/// crossing a link, committed at the far end at the `cycle + 1`
+/// boundary. Two fields are workload-overloaded so the message stays
+/// one cache-line-quarter wide: the request/reply workload carries its
+/// transaction id in `inject`, its attempt number in `hops`, and its
+/// session tag in `tag` (unused and zero everywhere else).
+#[derive(Clone, Copy, Debug)]
+pub struct SafMsg {
+    /// Arrival node (the popped link's target).
+    pub(crate) node: u32,
+    /// Final destination (unicast) / tree child (collective).
+    pub(crate) dst: u32,
+    /// Injection cycle — or the transaction id (request/reply).
+    pub(crate) inject: u64,
+    /// Cumulative hop count — or the attempt number (request/reply).
+    pub(crate) hops: u32,
+    /// Session id | reply bit (request/reply); zero otherwise.
+    pub(crate) tag: u32,
 }
 
-impl Fabric {
-    pub(crate) fn new(g: &CsrGraph) -> Fabric {
-        let n = g.num_vertices();
+/// One lane's mutable arena state: the packet slab, this lane's window
+/// of the link-FIFO arena, the per-node occupancy counters and
+/// occupied-slot bitmasks, the active worklist, the statistics
+/// accumulator, and the lane's observer (the caller's `&mut O` in a
+/// serial run, a fork in a sharded one). A serial engine is exactly one
+/// `Core` spanning `[0, n)`; a sharded engine is `k` of them over
+/// contiguous node shards. The fields are crate-internal; the struct is
+/// public so the [`ReplicationPolicy`] stage signatures can name it.
+pub struct Core<'g, O: SimObserver> {
+    pub(crate) g: &'g CsrGraph,
+    /// This lane owns nodes `[lo, hi)` and their output edges
+    /// `[edge_lo, ..)` — all node/edge-indexed columns below are local
+    /// to that window.
+    pub(crate) lo: u32,
+    pub(crate) hi: u32,
+    pub(crate) edge_lo: usize,
+    pub(crate) slab: PacketSlab,
+    pub(crate) queues: LinkQueues,
+    /// Queued packets per owned node (drives the active worklist).
+    pub(crate) occupancy: Vec<u32>,
+    /// Per-node bitmask of output slots holding packets, so the forward
+    /// phase pops exactly the occupied queues (a `trailing_zeros` word
+    /// walk) instead of probing every out-edge of every active node.
+    /// Empty (disabled — the forward phase falls back to the plain edge
+    /// scan) in the off-design case of degrees above 64.
+    pub(crate) slot_mask: Vec<u64>,
+    pub(crate) on_list: Vec<bool>,
+    pub(crate) active: Vec<u32>,
+    pub(crate) next_active: Vec<u32>,
+    pub(crate) observer: O,
+    pub(crate) acc: StatsAcc,
+    /// Packets currently queued on this lane — the lane's share of the
+    /// global in-flight count the stepper's drain check sums.
+    pub(crate) queued: u64,
+    /// Latencies delivered this cycle, batch-accounted at `end_cycle`
+    /// through [`StatsAcc::deliver_batch`].
+    pub(crate) lat_scratch: Vec<u64>,
+}
+
+impl<'g, O: SimObserver> Core<'g, O> {
+    pub(crate) fn new(g: &'g CsrGraph, n: usize, lo: u32, hi: u32, observer: O) -> Core<'g, O> {
+        let local = (hi - lo) as usize;
+        let (edge_lo, edge_hi) = if hi > lo {
+            (g.edge_range(lo).start, g.edge_range(hi - 1).end)
+        } else {
+            (0, 0)
+        };
         let masked_scan = g.max_degree() <= 64;
-        Fabric {
-            queues: LinkQueues::new(g.num_directed_edges()),
-            occupancy: vec![0u32; n],
-            slot_mask: vec![0; if masked_scan { n } else { 0 }],
+        Core {
+            g,
+            lo,
+            hi,
+            edge_lo,
+            slab: PacketSlab::new(),
+            queues: LinkQueues::new(edge_hi - edge_lo),
+            occupancy: vec![0u32; local],
+            slot_mask: vec![0; if masked_scan { local } else { 0 }],
+            on_list: vec![false; local],
+            active: Vec::new(),
+            next_active: Vec::new(),
+            observer,
+            acc: StatsAcc::for_network(n),
+            queued: 0,
+            lat_scratch: Vec::new(),
         }
     }
 
-    /// Routes packet `id` at `node`, enqueues it on the chosen output
-    /// link, and marks that link's slot in the node's non-empty bitmask —
-    /// the one mutation path shared by the injection and arrival phases.
+    /// Does this lane own node `v`?
+    #[inline]
+    pub(crate) fn owns(&self, v: u32) -> bool {
+        self.lo <= v && v < self.hi
+    }
+
+    /// Adds owned node `u` to the current cycle's worklist if absent.
+    #[inline]
+    pub(crate) fn worklist_add(&mut self, u: u32) {
+        let li = (u - self.lo) as usize;
+        if !self.on_list[li] {
+            self.on_list[li] = true;
+            self.active.push(u);
+        }
+    }
+
+    /// Routes packet `id` at owned node `node`, enqueues it on the
+    /// chosen output link, and fixes the occupancy/bitmask/worklist
+    /// bookkeeping — the one mutation path shared by the injection and
+    /// arrival-commit stages.
     #[inline]
     pub(crate) fn route_and_enqueue<R: Router + ?Sized>(
         &mut self,
-        g: &CsrGraph,
-        routing: &Routing<'_, R>,
+        routing: Routing<'_, R>,
         node: u32,
         id: u32,
         dst: u32,
     ) {
-        let base = g.edge_range(node).start;
-        let e = route_edge(g, routing, self.queues.loads(), node, dst);
-        self.queues.push(e, id);
-        if let Some(mask) = self.slot_mask.get_mut(node as usize) {
-            *mask |= 1u64 << (e - base);
-        }
-        self.occupancy[node as usize] += 1;
+        let base = self.g.edge_range(node).start;
+        let e = route_edge(
+            self.g,
+            routing,
+            self.queues.loads(),
+            self.edge_lo,
+            node,
+            dst,
+        );
+        self.enqueue(node, base, e, id);
     }
 
     /// Enqueues packet `id` directly on the directed edge `e` out of
-    /// `node` — the collective path, where the next-copy table already
-    /// names the edge and no routing policy is consulted.
+    /// owned node `node` — the collective path, where the next-copy
+    /// table already names the edge and no routing policy is consulted.
     #[inline]
-    pub(crate) fn enqueue_on_edge(&mut self, g: &CsrGraph, node: u32, e: usize, id: u32) {
-        let base = g.edge_range(node).start;
-        self.queues.push(e, id);
-        if let Some(mask) = self.slot_mask.get_mut(node as usize) {
+    pub(crate) fn enqueue_on_edge(&mut self, node: u32, e: usize, id: u32) {
+        let base = self.g.edge_range(node).start;
+        self.enqueue(node, base, e, id);
+    }
+
+    #[inline]
+    fn enqueue(&mut self, node: u32, base: usize, e: usize, id: u32) {
+        self.queues.push(e - self.edge_lo, id);
+        let li = (node - self.lo) as usize;
+        if let Some(mask) = self.slot_mask.get_mut(li) {
             *mask |= 1u64 << (e - base);
         }
-        self.occupancy[node as usize] += 1;
+        self.occupancy[li] += 1;
+        self.queued += 1;
+        self.worklist_add(node);
     }
-}
 
-/// The mutable state one engine run threads through its
-/// [`ReplicationPolicy`] hooks: the arena core (packet slab + link
-/// fabric), the active-node worklist, the statistics accumulator, and
-/// the attached observer. Constructed and driven only by
-/// [`run_core`](crate::engine) — the fields are crate-internal; the
-/// struct is public so the [`ReplicationPolicy`] hook signatures can
-/// name it.
-pub struct Core<'g, 'o, O: SimObserver> {
-    pub(crate) g: &'g CsrGraph,
-    pub(crate) slab: PacketSlab,
-    pub(crate) fabric: Fabric,
-    pub(crate) on_list: Vec<bool>,
-    pub(crate) active: Vec<u32>,
-    pub(crate) next_active: Vec<u32>,
-    pub(crate) observer: &'o mut O,
-    pub(crate) acc: StatsAcc,
-    pub(crate) in_flight: usize,
-}
-
-impl<O: SimObserver> Core<'_, '_, O> {
-    /// Adds `u` to the current cycle's worklist if absent.
+    /// Records one delivery at owned node `node`: the observer event
+    /// now, the latency batched for `end_cycle`'s
+    /// [`StatsAcc::deliver_batch`].
     #[inline]
-    pub(crate) fn worklist_add(&mut self, u: u32) {
-        if !self.on_list[u as usize] {
-            self.on_list[u as usize] = true;
-            self.active.push(u);
+    pub(crate) fn deliver(&mut self, now: u64, node: u32, latency: u64) {
+        self.observer.on_deliver(now, node, latency);
+        self.lat_scratch.push(latency);
+    }
+
+    /// Batch-accounts the cycle's delivered latencies.
+    #[inline]
+    pub(crate) fn flush_latencies(&mut self, now: u64) {
+        if !self.lat_scratch.is_empty() {
+            let lats = std::mem::take(&mut self.lat_scratch);
+            self.acc.deliver_batch(now, &lats);
+            self.lat_scratch = lats;
+            self.lat_scratch.clear();
+        }
+    }
+
+    /// Drains the FIFO of directed edge `e` out of owned node `node` as
+    /// typed drops (or silent losses for the closed loop), fixing the
+    /// occupancy and slot-mask bookkeeping — the churn engine's
+    /// event-commit stage.
+    pub(crate) fn flush_directed_edge(
+        &mut self,
+        node: u32,
+        e: usize,
+        cycle: u64,
+        reason: DropReason,
+        silent: bool,
+    ) {
+        let li = (node - self.lo) as usize;
+        while let Some(id) = self.queues.pop(e - self.edge_lo) {
+            self.occupancy[li] -= 1;
+            self.queued -= 1;
+            let dst = self.slab.dst(id);
+            if !silent {
+                self.acc.drop_packet(reason);
+                self.observer.on_drop(cycle, node, dst, reason);
+            }
+            self.slab.release(id);
+        }
+        let base = self.g.edge_range(node).start;
+        if let Some(mask) = self.slot_mask.get_mut(li) {
+            *mask &= !(1u64 << (e - base));
         }
     }
 }
 
-/// The shared active-set engine skeleton behind every store-and-forward
-/// variant: per cycle, the workload's `begin_cycle` (injection /
-/// fast-forward / termination), the forward scan (each directed link of
-/// an active node moves one packet, ascending node and edge order so
-/// same-cycle FIFO tie-breaking matches the reference engine's full
-/// scan), arrivals at the `cycle + 1` boundary through the workload's
-/// `arrive`, then `end_cycle` and the observer's cycle event. Returns
-/// the finished stats and the workload (which may carry run outputs,
-/// e.g. the collective's reached-target tally).
+/// One store-and-forward lane: the arena state plus the workload's
+/// policy hooks, wired into the unified stepper. Serial runs use one
+/// lane over `[0, n)` under [`Solo`]; sharded runs use `k` of them
+/// under the pooled protocol — the same monomorphized stage code
+/// either way.
+pub(crate) struct SafLane<'g, O: SimObserver, W> {
+    pub(crate) core: Core<'g, O>,
+    pub(crate) workload: W,
+}
+
+impl<O: SimObserver, W: ReplicationPolicy<O>> LaneWorkload for SafLane<'_, O, W> {
+    type Msg = SafMsg;
+
+    #[inline]
+    fn queued(&self) -> u64 {
+        self.core.queued
+    }
+
+    #[inline]
+    fn next_pending(&mut self) -> Option<u64> {
+        self.workload.next_pending()
+    }
+
+    fn begin(&mut self, cycle: u64) {
+        self.workload.commit_events(cycle, &mut self.core);
+        self.workload.inject(cycle, &mut self.core);
+    }
+
+    /// The forward scan: each directed link of an active owned node
+    /// moves one packet, ascending node and edge order — so the
+    /// concatenation of lane outboxes in lane order is exactly the
+    /// serial engine's pop order. On masked-scan networks the occupied
+    /// slots are visited by a `u64` `trailing_zeros` word walk.
+    fn propose(&mut self, cycle: u64, out: &mut Vec<SafMsg>) {
+        let core = &mut self.core;
+        let w = &mut self.workload;
+        core.active.sort_unstable();
+        let masked = !core.slot_mask.is_empty();
+        for i in 0..core.active.len() {
+            let u = core.active[i];
+            let li = (u - core.lo) as usize;
+            core.on_list[li] = false;
+            let base = core.g.edge_range(u).start;
+            if masked {
+                // Visit only the occupied slots, lowest slot first —
+                // the same order the plain scan forwards in.
+                let mut mask = core.slot_mask[li];
+                let mut remaining = mask;
+                while remaining != 0 {
+                    let slot = remaining.trailing_zeros() as usize;
+                    remaining &= remaining - 1;
+                    let e = base + slot;
+                    let id = core
+                        .queues
+                        .pop(e - core.edge_lo)
+                        .expect("mask bit implies a queued packet");
+                    if core.queues.load(e - core.edge_lo) == 0 {
+                        mask &= !(1u64 << slot);
+                    }
+                    pop_step(core, w, cycle, u, li, e, id, out);
+                }
+                core.slot_mask[li] = mask;
+            } else {
+                for e in core.g.edge_range(u) {
+                    if let Some(id) = core.queues.pop(e - core.edge_lo) {
+                        pop_step(core, w, cycle, u, li, e, id, out);
+                    }
+                }
+            }
+            if core.occupancy[li] > 0 {
+                core.on_list[li] = true;
+                core.next_active.push(u);
+            }
+        }
+        core.active.clear();
+        std::mem::swap(&mut core.active, &mut core.next_active);
+    }
+
+    #[inline]
+    fn commit(&mut self, now: u64, msg: &SafMsg) {
+        self.workload.commit(now, msg, &mut self.core);
+    }
+
+    fn end_cycle(&mut self, now: u64) {
+        self.workload.end_cycle(now, &mut self.core);
+        self.core.flush_latencies(now);
+    }
+
+    #[inline]
+    fn observe(&mut self, cycle: u64, in_flight: u64) {
+        self.core.observer.on_cycle_end(cycle, in_flight as usize);
+    }
+}
+
+/// One popped packet: the hop event, the outbox message (with the
+/// workload's `depart` hook filling workload-specific fields), and the
+/// pop-side bookkeeping. The packet's slab slot is released here — the
+/// committing lane re-allocates on arrival, with the cumulative hop
+/// count riding in the message.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn pop_step<O: SimObserver, W: ReplicationPolicy<O>>(
+    core: &mut Core<'_, O>,
+    w: &mut W,
+    cycle: u64,
+    u: u32,
+    li: usize,
+    e: usize,
+    id: u32,
+    out: &mut Vec<SafMsg>,
+) {
+    let v = core.g.target(e);
+    core.observer.on_hop(cycle, u, v, e);
+    let mut msg = SafMsg {
+        node: v,
+        dst: core.slab.dst(id),
+        inject: core.slab.inject(id),
+        hops: core.slab.hops(id) + 1,
+        tag: 0,
+    };
+    w.depart(u, id, &core.slab, &mut msg);
+    core.slab.release(id);
+    core.occupancy[li] -= 1;
+    core.queued -= 1;
+    core.acc.total_hops += 1;
+    out.push(msg);
+}
+
+/// Runs one whole-network lane of `workload` through the unified
+/// stepper — the serial store-and-forward engine. Returns the finished
+/// stats and the workload (which may carry run outputs, e.g. the
+/// collective's reached-target tally).
 pub(crate) fn run_core<T, O, W>(
     topology: &T,
     offered: usize,
     max_cycles: u64,
-    observer: &mut O,
-    mut workload: W,
+    observer: O,
+    workload: W,
 ) -> (SimStats, W)
 where
     T: Topology + ?Sized,
@@ -204,101 +472,74 @@ where
     W: ReplicationPolicy<O>,
 {
     let n = topology.len();
-    let g = topology.graph();
-
-    // The arena core: SoA packet slab + ring-buffer link FIFOs with
-    // their per-node occupancy/bitmask bookkeeping.
-    let fabric = Fabric::new(g);
-    let masked_scan = !fabric.slot_mask.is_empty();
-    let mut core = Core {
-        g,
-        slab: PacketSlab::new(),
-        fabric,
-        on_list: vec![false; n],
-        active: Vec::new(),
-        next_active: Vec::new(),
-        observer,
-        acc: StatsAcc::for_network(n),
-        in_flight: 0,
+    let mut lane = SafLane {
+        core: Core::new(topology.graph(), n, 0, n as u32, observer),
+        workload,
     };
-    let mut arrivals: Vec<(u32, u32)> = Vec::new();
+    run_lane(&mut lane, &Solo::default(), 0, max_cycles);
+    (lane.core.acc.finish(offered), lane.workload)
+}
 
-    let mut cycle: u64 = 0;
-    while cycle < max_cycles {
-        if !workload.begin_cycle(&mut cycle, max_cycles, &mut core) {
-            break;
+/// Runs `make_workload(lo, hi)`-built lanes of a store-and-forward
+/// workload across `threads` lanes of the pooled stepper, forking the
+/// observer per lane and merging accumulators and observer forks back
+/// in ascending lane order. Returns the finished stats and the lane
+/// workloads (lane order).
+///
+/// # Panics
+///
+/// Panics if `observer` does not support forking
+/// ([`SimObserver::fork`] returns `None`); the experiment layer
+/// pre-checks and reports a typed error instead.
+pub(crate) fn run_core_pool<T, O, W, F>(
+    topology: &T,
+    offered: usize,
+    max_cycles: u64,
+    observer: &mut O,
+    threads: usize,
+    mut make_workload: F,
+) -> (SimStats, Vec<W>)
+where
+    T: Topology + ?Sized,
+    O: SimObserver + Send,
+    W: ReplicationPolicy<O> + Send,
+    F: FnMut(u32, u32) -> W,
+{
+    let n = topology.len();
+    let g = topology.graph();
+    let lanes: Vec<SafLane<'_, O, W>> = lane_bounds(n, threads)
+        .into_iter()
+        .map(|(lo, hi)| SafLane {
+            core: Core::new(g, n, lo, hi, fork_observer(observer)),
+            workload: make_workload(lo, hi),
+        })
+        .collect();
+    let lanes = run_pool(lanes, max_cycles);
+    let mut acc: Option<StatsAcc> = None;
+    let mut workloads = Vec::with_capacity(lanes.len());
+    for lane in lanes {
+        observer.merge(lane.core.observer);
+        match &mut acc {
+            None => acc = Some(lane.core.acc),
+            Some(a) => a.merge(lane.core.acc),
         }
-
-        // Each directed link of an active node forwards one packet.
-        // Ascending node order makes same-cycle FIFO tie-breaking match
-        // the reference engine's full scan exactly.
-        core.active.sort_unstable();
-        for i in 0..core.active.len() {
-            let u = core.active[i];
-            core.on_list[u as usize] = false;
-            let base = core.g.edge_range(u).start;
-            if masked_scan {
-                // Visit only the occupied slots, lowest slot first — the
-                // same order the plain scan forwards in.
-                let mut mask = core.fabric.slot_mask[u as usize];
-                let mut remaining = mask;
-                while remaining != 0 {
-                    let slot = remaining.trailing_zeros() as usize;
-                    remaining &= remaining - 1;
-                    let e = base + slot;
-                    let id = core
-                        .fabric
-                        .queues
-                        .pop(e)
-                        .expect("mask bit implies a queued packet");
-                    if core.fabric.queues.load(e) == 0 {
-                        mask &= !(1u64 << slot);
-                    }
-                    let v = core.g.target(e);
-                    core.observer.on_hop(cycle, u, v, e);
-                    core.slab.record_hop(id);
-                    workload.on_depart(u, id, &core.slab);
-                    arrivals.push((v, id));
-                    core.fabric.occupancy[u as usize] -= 1;
-                    core.acc.total_hops += 1;
-                }
-                core.fabric.slot_mask[u as usize] = mask;
-            } else {
-                for e in core.g.edge_range(u) {
-                    if let Some(id) = core.fabric.queues.pop(e) {
-                        let v = core.g.target(e);
-                        core.observer.on_hop(cycle, u, v, e);
-                        core.slab.record_hop(id);
-                        workload.on_depart(u, id, &core.slab);
-                        arrivals.push((v, id));
-                        core.fabric.occupancy[u as usize] -= 1;
-                        core.acc.total_hops += 1;
-                    }
-                }
-            }
-            if core.fabric.occupancy[u as usize] > 0 {
-                core.on_list[u as usize] = true;
-                core.next_active.push(u);
-            }
-        }
-        core.active.clear();
-        std::mem::swap(&mut core.active, &mut core.next_active);
-
-        // Process arrivals (at the cycle + 1 boundary).
-        let now = cycle + 1;
-        for (node, id) in arrivals.drain(..) {
-            workload.arrive(now, node, id, &mut core);
-        }
-        workload.end_cycle(now, &mut core);
-        core.observer.on_cycle_end(cycle, core.in_flight);
-        cycle += 1;
+        workloads.push(lane.workload);
     }
+    (acc.expect("at least one lane").finish(offered), workloads)
+}
 
-    (core.acc.finish(offered), workload)
+/// Forks `observer` for one lane of a sharded run, with the engine's
+/// documented panic on observers that opted out of sharding.
+pub(crate) fn fork_observer<O: SimObserver>(observer: &O) -> O {
+    observer.fork().expect(
+        "this observer does not implement SimObserver::fork/merge; \
+         it cannot attach to a sharded run (use threads = 1)",
+    )
 }
 
 /// The unicast workload: time-sorted injection with admission control,
-/// policy routing at every hop, delivery at the destination.
+/// policy routing at every hop, delivery at the destination. A lane
+/// injects only the packets sourced in its node range.
 pub(crate) struct Unicast<'p, 't, 'f, R: Router + ?Sized, F: FaultPolicy> {
     inj: Vec<&'p Packet>,
     next_inject: usize,
@@ -307,20 +548,26 @@ pub(crate) struct Unicast<'p, 't, 'f, R: Router + ?Sized, F: FaultPolicy> {
 }
 
 impl<'p, 't, 'f, R: Router + ?Sized, F: FaultPolicy> Unicast<'p, 't, 'f, R, F> {
-    pub(crate) fn new<T: Topology + ?Sized>(
-        topology: &T,
-        router: &'t R,
+    /// The lane-restricted injection list: `packets` with `src` in
+    /// `[lo, hi)`, time-sorted (stable, so same-cycle packets keep
+    /// their generation order — the serial order restricted to the
+    /// lane).
+    pub(crate) fn for_range(
+        routing: Routing<'t, R>,
         packets: &'p [Packet],
+        lo: u32,
+        hi: u32,
         admission: &'f F,
     ) -> Unicast<'p, 't, 'f, R, F> {
-        // Injection list sorted by time (stable, so same-cycle packets
-        // keep their generation order).
-        let mut inj: Vec<&Packet> = packets.iter().collect();
+        let mut inj: Vec<&Packet> = packets
+            .iter()
+            .filter(|p| lo <= p.src && p.src < hi)
+            .collect();
         inj.sort_by_key(|p| p.inject_time);
         Unicast {
             inj,
             next_inject: 0,
-            routing: routing_for(topology, router, packets.len()),
+            routing,
             admission,
         }
     }
@@ -332,77 +579,48 @@ where
     R: Router + ?Sized,
     F: FaultPolicy,
 {
-    fn begin_cycle(
-        &mut self,
-        cycle: &mut u64,
-        max_cycles: u64,
-        core: &mut Core<'_, '_, O>,
-    ) -> bool {
-        // Skip straight to the next injection when the network is empty.
-        if core.in_flight == 0 {
-            match self.inj.get(self.next_inject) {
-                None => return false,
-                Some(p) if p.inject_time > *cycle => {
-                    if p.inject_time >= max_cycles {
-                        return false;
-                    }
-                    *cycle = p.inject_time;
-                }
-                Some(_) => {}
-            }
-        }
+    #[inline]
+    fn next_pending(&mut self) -> Option<u64> {
+        self.inj.get(self.next_inject).map(|p| p.inject_time)
+    }
 
-        // Inject everything due this cycle.
-        while self.next_inject < self.inj.len() && self.inj[self.next_inject].inject_time <= *cycle
-        {
+    fn inject(&mut self, cycle: u64, core: &mut Core<'_, O>) {
+        while self.next_inject < self.inj.len() && self.inj[self.next_inject].inject_time <= cycle {
             let p = self.inj[self.next_inject];
             self.next_inject += 1;
-            core.observer.on_inject(*cycle, p.src, p.dst);
+            core.observer.on_inject(cycle, p.src, p.dst);
             if let Some(reason) = self.admission.verdict(p.src, p.dst) {
                 core.acc.drop_packet(reason);
-                core.observer.on_drop(*cycle, p.src, p.dst, reason);
+                core.observer.on_drop(cycle, p.src, p.dst, reason);
                 continue;
             }
             if p.src == p.dst {
                 // Degenerate: counts as instantly delivered.
                 core.acc.deliver_instant();
-                core.observer.on_deliver(*cycle, p.dst, 0);
+                core.observer.on_deliver(cycle, p.dst, 0);
                 continue;
             }
             let id = core.slab.alloc(p.dst, p.inject_time);
-            core.fabric
-                .route_and_enqueue(core.g, &self.routing, p.src, id, p.dst);
-            core.in_flight += 1;
-            core.worklist_add(p.src);
+            core.route_and_enqueue(self.routing, p.src, id, p.dst);
         }
-        true
     }
 
-    #[inline]
-    fn on_depart(&mut self, _u: u32, _id: u32, _slab: &PacketSlab) {}
-
-    #[inline]
-    fn arrive(&mut self, now: u64, node: u32, id: u32, core: &mut Core<'_, '_, O>) {
-        let dst = core.slab.dst(id);
-        if node == dst {
-            core.in_flight -= 1;
-            let inject_time = core.slab.inject(id);
+    fn commit(&mut self, now: u64, msg: &SafMsg, core: &mut Core<'_, O>) {
+        if !core.owns(msg.node) {
+            return;
+        }
+        if msg.node == msg.dst {
             debug_assert!(
-                core.slab.hops(id) as u64 <= now - inject_time,
+                msg.hops as u64 <= now - msg.inject,
                 "hops can never exceed latency"
             );
-            core.acc.deliver(now, inject_time);
-            core.observer.on_deliver(now, node, now - inject_time);
-            core.slab.release(id);
+            core.deliver(now, msg.node, now - msg.inject);
         } else {
-            core.fabric
-                .route_and_enqueue(core.g, &self.routing, node, id, dst);
-            core.worklist_add(node);
+            let id = core.slab.alloc(msg.dst, msg.inject);
+            core.slab.set_hops(id, msg.hops);
+            core.route_and_enqueue(self.routing, msg.node, id, msg.dst);
         }
     }
-
-    #[inline]
-    fn end_cycle(&mut self, _now: u64, _core: &mut Core<'_, '_, O>) {}
 }
 
 /// The one-port/all-port first-children slice of `u`'s plan edges: all
@@ -417,15 +635,16 @@ fn first_children(plan: &CopyPlan, u: u32) -> std::ops::Range<usize> {
     }
 }
 
-/// Spawns the copy of plan edge `idx` at its parent `u`: allocates the
-/// packet in the slab (chaining the next sibling in one-port mode),
-/// reports the injection, and enqueues it on the tree edge the plan
-/// resolved at compile time. Shared by the cycle-0 source prelude, the
-/// replicate-on-delivery path, and the one-port sibling chain.
+/// Spawns the copy of plan edge `idx` at its parent `u` (owned by the
+/// calling lane): allocates the packet in the slab (chaining the next
+/// sibling in one-port mode), reports the injection, and enqueues it on
+/// the tree edge the plan resolved at compile time. Shared by the
+/// cycle-0 source prelude, the replicate-on-delivery path, and the
+/// one-port sibling chain.
 #[inline]
 fn spawn_copy<O: SimObserver>(
     plan: &CopyPlan,
-    core: &mut Core<'_, '_, O>,
+    core: &mut Core<'_, O>,
     cycle: u64,
     u: u32,
     idx: usize,
@@ -436,16 +655,16 @@ fn spawn_copy<O: SimObserver>(
         core.slab.set_next_copy(id, (idx + 1) as u32);
     }
     core.observer.on_inject(cycle, u, child);
-    core.fabric.enqueue_on_edge(core.g, u, plan.edge(idx), id);
-    core.worklist_add(u);
-    core.in_flight += 1;
+    core.enqueue_on_edge(u, plan.edge(idx), id);
 }
 
 /// The collective workload: packets are **replicated at intermediate
 /// nodes** along a [`CopyPlan`] tree instead of routed end to end. Every
 /// copy travels exactly one tree edge; a delivery informs the receiving
 /// node, which spawns its own children (all at once, or chained one per
-/// cycle in one-port mode).
+/// cycle in one-port mode). Sharded, every spawn happens at the lane
+/// that owns the spawning node — the prelude at the source's lane, the
+/// replication fan-out at the arrival-committing lane.
 pub(crate) struct Replicate<'p> {
     plan: &'p CopyPlan,
     started: bool,
@@ -467,39 +686,46 @@ impl<'p> Replicate<'p> {
 }
 
 impl<O: SimObserver> ReplicationPolicy<O> for Replicate<'_> {
-    fn begin_cycle(
-        &mut self,
-        _cycle: &mut u64,
-        _max_cycles: u64,
-        core: &mut Core<'_, '_, O>,
-    ) -> bool {
-        if !self.started {
-            self.started = true;
-            // Cycle-0 prelude: type the recipients the plan cannot cover,
-            // then let the source start its children.
-            for &t in self.plan.dropped_dead() {
-                core.observer.on_inject(0, self.plan.source(), t);
-                core.acc.dropped_dead_endpoint += 1;
-                core.observer
-                    .on_drop(0, self.plan.source(), t, DropReason::DeadEndpoint);
-            }
-            for &t in self.plan.dropped_unreachable() {
-                core.observer.on_inject(0, self.plan.source(), t);
-                core.acc.dropped_unreachable += 1;
-                core.observer
-                    .on_drop(0, self.plan.source(), t, DropReason::Unreachable);
-            }
-            let src = self.plan.source();
-            for idx in first_children(self.plan, src) {
-                spawn_copy(self.plan, core, 0, src, idx);
-            }
+    #[inline]
+    fn next_pending(&mut self) -> Option<u64> {
+        // The whole tree starts at cycle 0; after that only in-flight
+        // copies (the stepper's drain check) keep the run alive.
+        if self.started {
+            None
+        } else {
+            Some(0)
         }
-        core.in_flight > 0
+    }
+
+    fn inject(&mut self, _cycle: u64, core: &mut Core<'_, O>) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let src = self.plan.source();
+        if !core.owns(src) {
+            return;
+        }
+        // Cycle-0 prelude at the source's lane: type the recipients the
+        // plan cannot cover, then let the source start its children.
+        for &t in self.plan.dropped_dead() {
+            core.observer.on_inject(0, src, t);
+            core.acc.dropped_dead_endpoint += 1;
+            core.observer.on_drop(0, src, t, DropReason::DeadEndpoint);
+        }
+        for &t in self.plan.dropped_unreachable() {
+            core.observer.on_inject(0, src, t);
+            core.acc.dropped_unreachable += 1;
+            core.observer.on_drop(0, src, t, DropReason::Unreachable);
+        }
+        for idx in first_children(self.plan, src) {
+            spawn_copy(self.plan, core, 0, src, idx);
+        }
     }
 
     /// Captures the one-port next-copy chain at pop time.
     #[inline]
-    fn on_depart(&mut self, u: u32, id: u32, slab: &PacketSlab) {
+    fn depart(&mut self, u: u32, id: u32, slab: &PacketSlab, _msg: &mut SafMsg) {
         let next = slab.next_copy(id);
         if next != NO_COPY {
             self.chained.push((u, next as usize));
@@ -508,29 +734,24 @@ impl<O: SimObserver> ReplicationPolicy<O> for Replicate<'_> {
 
     /// Every copy ends exactly at its tree child — deliver it, then
     /// replicate there.
-    fn arrive(&mut self, now: u64, node: u32, id: u32, core: &mut Core<'_, '_, O>) {
-        debug_assert_eq!(
-            node,
-            core.slab.dst(id),
-            "copies travel exactly one tree edge"
-        );
-        core.in_flight -= 1;
-        let inject_time = core.slab.inject(id);
-        core.acc.deliver(now, inject_time);
-        core.observer.on_deliver(now, node, now - inject_time);
-        core.slab.release(id);
-        if self.plan.is_target(node) {
+    fn commit(&mut self, now: u64, msg: &SafMsg, core: &mut Core<'_, O>) {
+        if !core.owns(msg.node) {
+            return;
+        }
+        debug_assert_eq!(msg.node, msg.dst, "copies travel exactly one tree edge");
+        core.deliver(now, msg.node, now - msg.inject);
+        if self.plan.is_target(msg.node) {
             self.reached_targets += 1;
         }
-        for idx in first_children(self.plan, node) {
-            spawn_copy(self.plan, core, now, node, idx);
+        for idx in first_children(self.plan, msg.node) {
+            spawn_copy(self.plan, core, now, msg.node, idx);
         }
     }
 
     /// One-port siblings chained off copies that departed this cycle:
     /// enqueued now, so they depart next cycle — one port per node per
     /// cycle, exactly the telephone model.
-    fn end_cycle(&mut self, now: u64, core: &mut Core<'_, '_, O>) {
+    fn end_cycle(&mut self, now: u64, core: &mut Core<'_, O>) {
         for i in 0..self.chained.len() {
             let (u, idx) = self.chained[i];
             spawn_copy(self.plan, core, now, u, idx);

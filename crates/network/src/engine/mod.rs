@@ -55,13 +55,20 @@
 //! tests compare against and the baseline the sweep binary measures
 //! speedups over.
 //!
-//! ## The sharded parallel engine
+//! ## One stepper, serial and sharded
 //!
-//! [`simulate_parallel`] runs the same store-and-forward model sharded
-//! across a scoped thread pool with a double-buffered propose/commit
-//! cycle — **bit-identical to the serial engine at any thread count**.
-//! Its module documentation (`engine/parallel.rs`) lays out the
-//! protocol and the determinism argument.
+//! Every run — serial or sharded — executes the *same* cycle stepper
+//! (`engine/stepper.rs`): a `LaneWorkload` advances through fixed
+//! stages (begin → propose → commit → end-cycle → observe → advance)
+//! under a pluggable lane `Protocol`. Serial entry points drive one
+//! lane under the no-sync `Solo` protocol; the `simulate_parallel*`
+//! family drives `k` lanes under the barrier-synchronized `Pooled`
+//! protocol (`engine/parallel.rs`) — **bit-identical to the serial
+//! engine at any thread count**, for every policy combination:
+//! store-and-forward, wormhole ([`simulate_parallel_wormhole`]),
+//! churned and closed-loop dynamic runs, collectives, and forked
+//! observers. The parallel module's docs lay out the outbox protocol
+//! and the determinism argument.
 
 mod churn;
 mod core;
@@ -69,17 +76,22 @@ mod parallel;
 pub mod policy;
 mod reference;
 pub mod stats;
+mod stepper;
 mod wormhole;
 
 pub use self::churn::{simulate_churn, simulate_request_reply, RequestReplyLoad};
 pub use self::core::Core;
-pub use self::parallel::{simulate_parallel, simulate_parallel_churn};
+pub use self::parallel::{
+    simulate_parallel, simulate_parallel_churn, simulate_parallel_churn_observed,
+    simulate_parallel_collective, simulate_parallel_observed, simulate_parallel_request_reply,
+};
 pub use self::policy::{
     AdmitAll, ChurnAdmission, FaultPolicy, FlitWormhole, MaskedAdmission, ReplicationPolicy,
     StoreAndForward, SwitchingPolicy,
 };
 pub use self::reference::{simulate_faulted_reference, simulate_reference};
 pub use self::stats::{DropReason, LogHistogram, SimStats, DENSE_HISTOGRAM_NODE_LIMIT};
+pub use self::wormhole::simulate_parallel_wormhole;
 
 use crate::collective::CopyPlan;
 use crate::fault::FaultSet;

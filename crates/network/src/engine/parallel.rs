@@ -1,66 +1,130 @@
-//! The sharded parallel store-and-forward engine: one simulation run
-//! spread across a scoped thread pool, **bit-identical to the serial
-//! engine at any thread count**.
+//! The pooled driver of the unified stepper: `k` lanes on a scoped
+//! thread pool, exchanging outbox messages under a barrier protocol.
 //!
-//! Nodes are partitioned into `threads` contiguous shards. Each shard
-//! exclusively owns its nodes' output FIFOs (a shard-local
-//! [`LinkQueues`] arena over the contiguous CSR edge range), its own
-//! packet slab, worklist, and statistics accumulator — so the hot
-//! propose phase touches no shared mutable state at all. Cycles run as
-//! a double-buffered **propose/commit** protocol with two barriers:
-//!
-//! 1. **Propose** — every shard injects its due packets and runs the
-//!    forward scan over its own active nodes (ascending node/edge
-//!    order, same as serial), appending each popped packet to its
-//!    shard-public outbox instead of enqueuing it directly.
-//! 2. **Commit** — after a barrier, every shard scans *all* outboxes in
-//!    shard order and consumes exactly the arrivals addressed to its
-//!    own nodes: deliveries are batch-accounted, the rest are routed
-//!    and re-enqueued locally. A second barrier publishes the
-//!    post-commit queue counts and next-injection times that drive the
-//!    next cycle's shared idle-skip/termination decision.
-//!
-//! Determinism: every piece of state is node-owned, and every order the
-//! engine depends on is preserved relative to the serial engine —
-//! injection order is the globally time-sorted list restricted to each
-//! shard, the concatenation of outboxes in shard order is exactly the
-//! serial forward scan's ascending `(node, edge)` pop order, and a
-//! node's arrivals are committed by a single shard in that same order.
-//! Since the accumulator is all integers ([`StatsAcc::merge`]), merging
-//! the shard accumulators in node order reproduces the serial
-//! [`SimStats`] bit for bit, at any thread count.
+//! This module contains **no cycle logic**: the per-cycle stages live on
+//! the workloads ([`LaneWorkload`]), and the one stepper driving them,
+//! [`run_lane`](super::stepper::run_lane), is the same function the
+//! serial entry points run under the no-sync
+//! [`Solo`](super::stepper::Solo) protocol. Here the protocol is
+//! [`Pooled`]: per-lane `RwLock`'d outboxes and published atomic
+//! counters, with two [`Barrier`] waits per cycle — one after
+//! **propose** (every outbox is filled, so commit may read them all in
+//! ascending lane order, exactly the serial scan order) and one inside
+//! **exchange** (every lane has published its queued/next-pending pair;
+//! the wait fences this cycle's commit reads from the next cycle's
+//! propose writes). Every control-flow decision derives from the
+//! exchanged global pair or from deterministically replicated state, so
+//! all lanes hit the same barriers the same number of times, and
+//! blocking waits make oversubscription safe — slower, never wrong.
+//! Lane `s` owns the node shard `[s·n/k, (s+1)·n/k)`, stages touch only
+//! lane-local arena state, and cross-lane effects travel as typed
+//! outbox messages committed in lane order, so merged statistics and
+//! observer output are **bit-identical at any thread count** — the
+//! property the proptests and `sweep --check-threads` pin down for
+//! every policy combination.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Barrier, RwLock};
 
-use fibcube_graph::csr::CsrGraph;
-
-use crate::arena::{LinkQueues, PacketSlab};
-use crate::fault::{ChurnEvent, ChurnTarget, ChurnTimeline, FaultSet};
-use crate::observer::NoopObserver;
+use crate::collective::CopyPlan;
+use crate::fault::{ChurnTimeline, FaultSet};
+use crate::observer::{NoopObserver, SimObserver};
 use crate::router::{FaultMaskingRouter, Router};
 use crate::topology::Topology;
 use crate::traffic::Packet;
 
-use super::churn::simulate_churn;
-use super::core::{routing_for, NodeLoad, Routing};
-use super::policy::{AdmitAll, ChurnAdmission, FaultPolicy, MaskedAdmission};
-use super::stats::{DropReason, SimStats, StatsAcc};
+use super::churn::{simulate_churn, simulate_request_reply, ChurnUnicast, RequestReplyLoad};
+use super::core::{routing_for, run_core_pool, Replicate, Unicast};
+use super::policy::{AdmitAll, MaskedAdmission};
+use super::stats::SimStats;
+use super::stepper::{run_lane, LaneWorkload, Protocol};
+
+/// Sentinel for "no pending traffic" in the published atomic.
+const NO_PENDING: u64 = u64::MAX;
+
+/// One lane's published counters: its queued packet count and the cycle
+/// of its next pending traffic action (`NO_PENDING` if none).
+struct ShardSlot {
+    queued: AtomicU64,
+    next: AtomicU64,
+}
+
+/// The pooled lane protocol — see the module docs for the barrier
+/// schedule and the determinism argument.
+struct Pooled<'a, M> {
+    outboxes: &'a [RwLock<Vec<M>>],
+    slots: &'a [ShardSlot],
+    barrier: &'a Barrier,
+}
+
+impl<M> Protocol<M> for Pooled<'_, M> {
+    fn exchange(&self, me: usize, queued: u64, next: Option<u64>) -> (u64, Option<u64>) {
+        let slot = &self.slots[me];
+        slot.queued.store(queued, Ordering::Relaxed);
+        slot.next
+            .store(next.unwrap_or(NO_PENDING), Ordering::Relaxed);
+        self.barrier.wait();
+        let mut sum = 0u64;
+        let mut min = NO_PENDING;
+        for s in self.slots {
+            sum += s.queued.load(Ordering::Relaxed);
+            min = min.min(s.next.load(Ordering::Relaxed));
+        }
+        (sum, (min != NO_PENDING).then_some(min))
+    }
+
+    fn propose(&self, me: usize, fill: impl FnOnce(&mut Vec<M>)) {
+        let mut out = self.outboxes[me].write().unwrap();
+        out.clear();
+        fill(&mut out);
+        drop(out);
+        self.barrier.wait();
+    }
+
+    fn commit(&self, _me: usize, mut visit: impl FnMut(&M)) {
+        for outbox in self.outboxes {
+            for msg in outbox.read().unwrap().iter() {
+                visit(msg);
+            }
+        }
+    }
+}
+
+/// Runs the given lanes to completion on a scoped thread pool (one OS
+/// thread per lane) and hands them back for the caller's ordered merge.
+pub(crate) fn run_pool<W>(mut lanes: Vec<W>, max_cycles: u64) -> Vec<W>
+where
+    W: LaneWorkload + Send,
+    W::Msg: Send + Sync,
+{
+    let k = lanes.len();
+    let outboxes: Vec<RwLock<Vec<W::Msg>>> = (0..k).map(|_| RwLock::new(Vec::new())).collect();
+    let slots: Vec<ShardSlot> = (0..k)
+        .map(|_| ShardSlot {
+            queued: AtomicU64::new(0),
+            next: AtomicU64::new(NO_PENDING),
+        })
+        .collect();
+    let barrier = Barrier::new(k);
+    std::thread::scope(|scope| {
+        for (me, lane) in lanes.iter_mut().enumerate() {
+            let proto = Pooled {
+                outboxes: &outboxes,
+                slots: &slots,
+                barrier: &barrier,
+            };
+            scope.spawn(move || run_lane(lane, &proto, me, max_cycles));
+        }
+    });
+    lanes
+}
 
 /// Runs the store-and-forward simulation sharded across `threads` OS
-/// threads, returning **exactly** the [`SimStats`] the serial engine
-/// produces — bit-identical at any thread count, including both latency
-/// histograms. `threads` is clamped to `[1, nodes]`; `threads <= 1`
-/// runs the serial engine directly. An empty `faults` set is the
-/// healthy network; a non-empty one applies the same
-/// [`FaultMaskingRouter`] detours and typed injection drops as
+/// threads (clamped to `[1, nodes]`; `<= 1` runs the serial engine),
+/// returning **exactly** the serial [`SimStats`], histograms included.
+/// A non-empty `faults` set applies the same [`FaultMaskingRouter`]
+/// detours and typed drops as
 /// [`simulate_faulted`](crate::simulate_faulted).
-///
-/// Observers are not supported: the parallel engine is the throughput
-/// path, equivalent to the serial engine with a
-/// [`NoopObserver`] attached. Workers block on barriers between phases
-/// (no spinning), so oversubscribing the host's cores is safe — the run
-/// is slower, never wrong.
 pub fn simulate_parallel<T, R>(
     topology: &T,
     router: &R,
@@ -73,42 +137,55 @@ where
     T: Topology + ?Sized,
     R: Router + Sync + ?Sized,
 {
+    let o = &mut NoopObserver;
+    simulate_parallel_observed(topology, router, faults, packets, max_cycles, threads, o)
+}
+
+/// [`simulate_parallel`] with an observer attached: each lane runs a
+/// [`SimObserver::fork`] of `observer`, and the forks merge back in
+/// ascending lane order — the merged output equals the serial run's.
+///
+/// # Panics
+///
+/// Panics if `threads > 1` and [`SimObserver::fork`] returns `None`;
+/// the experiment layer pre-checks and reports a typed error instead.
+pub fn simulate_parallel_observed<T, R, O>(
+    topology: &T,
+    router: &R,
+    faults: &FaultSet,
+    packets: &[Packet],
+    max_cycles: u64,
+    threads: usize,
+    observer: &mut O,
+) -> SimStats
+where
+    T: Topology + ?Sized,
+    R: Router + Sync + ?Sized,
+    O: SimObserver + Send,
+{
     let n = topology.len();
     let threads = threads.max(1).min(n.max(1));
     if threads <= 1 {
-        return super::simulate_faulted(
-            topology,
-            router,
-            faults,
-            packets,
-            max_cycles,
-            &mut NoopObserver,
-        );
+        return super::simulate_faulted(topology, router, faults, packets, max_cycles, observer);
     }
+    let admit = AdmitAll;
     if faults.is_empty() {
-        run_sharded(topology, router, &AdmitAll, packets, max_cycles, threads)
+        let plan = routing_for(topology, router, packets.len());
+        let make = |lo, hi| Unicast::for_range(plan.as_ref(), packets, lo, hi, &admit);
+        run_core_pool(topology, packets.len(), max_cycles, observer, threads, make).0
     } else {
         let masked = FaultMaskingRouter::new(topology.graph(), router, faults);
         let admission = MaskedAdmission::new(&masked);
-        run_sharded(topology, &masked, &admission, packets, max_cycles, threads)
+        let plan = routing_for(topology, &masked, packets.len());
+        let make = |lo, hi| Unicast::for_range(plan.as_ref(), packets, lo, hi, &admission);
+        run_core_pool(topology, packets.len(), max_cycles, observer, threads, make).0
     }
 }
 
-/// [`simulate_churn`] sharded across `threads` OS threads — the same
-/// propose/commit protocol as [`simulate_parallel`], with one masked
-/// router shared under an [`RwLock`] and a fault-event phase spliced in
-/// at the top of event cycles. Bit-identical to the serial churn engine
-/// at any thread count.
-///
-/// Every worker advances an identical cursor over the (shared, sorted)
-/// timeline, so all make the same "events due" decision; on an event
-/// cycle, worker 0 applies the events to the router under the write
-/// lock (incremental mask/distance repair) while every worker flushes
-/// the dying queues *it owns* as typed drops, and an extra barrier
-/// orders the writes before any routing read. The router is then only
-/// read (per-cycle read guard spanning propose + commit) until the next
-/// event cycle — verdicts stay stable within a cycle, exactly the
-/// serial engine's epoch semantics.
+/// [`simulate_churn`] sharded across `threads` OS threads. Each lane
+/// owns a **replica** of the masked router and applies the same event
+/// stream in its event-commit stage — no shared lock anywhere, and
+/// bit-identical to the serial churn engine at any thread count.
 pub fn simulate_parallel_churn<T, R>(
     topology: &T,
     router: &R,
@@ -121,589 +198,102 @@ where
     T: Topology + ?Sized,
     R: Router + Sync + ?Sized,
 {
-    let n = topology.len();
-    let threads = threads.max(1).min(n.max(1));
-    if threads <= 1 {
-        return simulate_churn(
-            topology,
-            router,
-            timeline,
-            packets,
-            max_cycles,
-            &mut NoopObserver,
-        );
-    }
-    if timeline.is_empty() {
-        // Zero churn is the healthy network: take the lock-free path.
-        return simulate_parallel(
-            topology,
-            router,
-            &FaultSet::empty(),
-            packets,
-            max_cycles,
-            threads,
-        );
-    }
-    let g = topology.graph();
-    let masked = RwLock::new(FaultMaskingRouter::new(g, router, &FaultSet::empty()));
-    let masked_scan = g.max_degree() <= 64;
-
-    let mut inj: Vec<&Packet> = packets.iter().collect();
-    inj.sort_by_key(|p| p.inject_time);
-    let bounds: Vec<usize> = (0..=threads).map(|s| s * n / threads).collect();
-    let mut shard_inj: Vec<Vec<&Packet>> = (0..threads).map(|_| Vec::new()).collect();
-    for p in &inj {
-        let s = bounds.partition_point(|&b| b <= p.src as usize) - 1;
-        shard_inj[s].push(p);
-    }
-
-    let slots: Vec<ShardSlot> = shard_inj
-        .iter()
-        .map(|inj_s| ShardSlot {
-            queued: AtomicU64::new(0),
-            next_time: AtomicU64::new(inj_s.first().map_or(u64::MAX, |p| p.inject_time)),
-        })
-        .collect();
-    let outboxes: Vec<RwLock<Vec<Arrival>>> =
-        (0..threads).map(|_| RwLock::new(Vec::new())).collect();
-    let barrier = Barrier::new(threads);
-    let events = timeline.events();
-
-    let mut accs: Vec<StatsAcc> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for (s, inj_s) in shard_inj.into_iter().enumerate() {
-            let (slots, outboxes, barrier, masked) = (&slots, &outboxes, &barrier, &masked);
-            let bounds = &bounds;
-            handles.push(scope.spawn(move || {
-                let mut shard = Shard::new(g, bounds[s], bounds[s + 1], masked_scan, inj_s, n);
-                shard.run_churn(g, masked, events, slots, outboxes, barrier, max_cycles, s);
-                shard.acc
-            }));
-        }
-        for h in handles {
-            accs.push(h.join().expect("shard worker panicked"));
-        }
-    });
-
-    let mut acc = StatsAcc::for_network(n);
-    for a in accs {
-        acc.merge(a);
-    }
-    acc.finish(packets.len())
+    let o = &mut NoopObserver;
+    simulate_parallel_churn_observed(topology, router, timeline, packets, max_cycles, threads, o)
 }
 
-/// One packet crossing a shard boundary (or any link — arrivals always
-/// go through the outbox): everything the committing shard needs, so
-/// the proposing shard can release its slab entry at pop time.
-struct Arrival {
-    node: u32,
-    dst: u32,
-    inject: u64,
-}
-
-/// A shard's published state, read by every worker at the top of each
-/// cycle to replicate the serial engine's idle-skip and termination
-/// decisions. Plain stores/loads with `Relaxed` ordering — the phase
-/// barriers already order them.
-struct ShardSlot {
-    /// Packets currently queued in this shard's FIFOs.
-    queued: AtomicU64,
-    /// Inject time of this shard's next pending packet (`u64::MAX` when
-    /// drained).
-    next_time: AtomicU64,
-}
-
-/// The per-worker state: a contiguous node range with exclusively owned
-/// FIFO/slab/worklist/stats arenas, indexed locally (`node - lo`,
-/// `edge - edge_lo`).
-struct Shard<'p> {
-    lo: usize,
-    hi: usize,
-    edge_lo: usize,
-    queues: LinkQueues,
-    occupancy: Vec<u32>,
-    slot_mask: Vec<u64>,
-    on_list: Vec<bool>,
-    active: Vec<u32>,
-    next_active: Vec<u32>,
-    slab: PacketSlab,
-    inj: Vec<&'p Packet>,
-    next_inject: usize,
-    acc: StatsAcc,
-    queued: u64,
-    /// Commit-phase delivery latencies, batch-folded into the
-    /// accumulator once per cycle ([`StatsAcc::deliver_batch`]).
-    lat_scratch: Vec<u64>,
-}
-
-impl<'p> Shard<'p> {
-    fn new(
-        g: &CsrGraph,
-        lo: usize,
-        hi: usize,
-        masked_scan: bool,
-        inj: Vec<&'p Packet>,
-        n: usize,
-    ) -> Shard<'p> {
-        debug_assert!(lo < hi, "shards are non-empty (threads <= nodes)");
-        let edge_lo = g.edge_range(lo as u32).start;
-        let edge_hi = g.edge_range(hi as u32 - 1).end;
-        let local = hi - lo;
-        Shard {
-            lo,
-            hi,
-            edge_lo,
-            queues: LinkQueues::new(edge_hi - edge_lo),
-            occupancy: vec![0; local],
-            slot_mask: vec![0; if masked_scan { local } else { 0 }],
-            on_list: vec![false; local],
-            active: Vec::new(),
-            next_active: Vec::new(),
-            slab: PacketSlab::new(),
-            inj,
-            next_inject: 0,
-            acc: StatsAcc::for_network(n),
-            queued: 0,
-            lat_scratch: Vec::new(),
-        }
-    }
-
-    /// Routes and enqueues one packet at `node` (which this shard owns):
-    /// the shard-local mirror of `Fabric::route_and_enqueue`, with the
-    /// adaptive-router load view windowed at the shard's edge offset.
-    #[inline]
-    fn route_and_enqueue<R: Router + ?Sized>(
-        &mut self,
-        g: &CsrGraph,
-        routing: &Routing<'_, R>,
-        node: u32,
-        dst: u32,
-        inject: u64,
-    ) {
-        let id = self.slab.alloc(dst, inject);
-        let base = g.edge_range(node).start;
-        let e = match routing {
-            Routing::Table(table) => table
-                .next_edge(node, dst)
-                .expect("routing a packet not yet at dst"),
-            Routing::PerHop(router) => {
-                let hop = {
-                    let load = NodeLoad {
-                        loads: self.queues.loads(),
-                        base: base - self.edge_lo,
-                    };
-                    router
-                        .next_hop(node, dst, &load)
-                        .expect("routing a packet not yet at dst")
-                };
-                base + g
-                    .slot_of(node, hop)
-                    .expect("next_hop must return a neighbor")
-            }
-        };
-        self.queues.push(e - self.edge_lo, id);
-        let li = node as usize - self.lo;
-        if let Some(mask) = self.slot_mask.get_mut(li) {
-            *mask |= 1u64 << (e - base);
-        }
-        self.occupancy[li] += 1;
-        self.queued += 1;
-        if !self.on_list[li] {
-            self.on_list[li] = true;
-            self.active.push(node);
-        }
-    }
-
-    /// Injects every packet due at `cycle` — same admission, typed-drop,
-    /// and self-addressed handling as the serial engine, restricted to
-    /// this shard's sources in the global time-sorted order.
-    fn inject<R: Router + ?Sized, F: FaultPolicy>(
-        &mut self,
-        g: &CsrGraph,
-        routing: &Routing<'_, R>,
-        admission: &F,
-        cycle: u64,
-    ) {
-        while self.next_inject < self.inj.len() && self.inj[self.next_inject].inject_time <= cycle {
-            let p = self.inj[self.next_inject];
-            self.next_inject += 1;
-            if let Some(reason) = admission.verdict(p.src, p.dst) {
-                self.acc.drop_packet(reason);
-                continue;
-            }
-            if p.src == p.dst {
-                self.acc.deliver_instant();
-                continue;
-            }
-            self.route_and_enqueue(g, routing, p.src, p.dst, p.inject_time);
-        }
-    }
-
-    /// The forward scan over this shard's active nodes, ascending node
-    /// and edge order — each pop appends to the outbox (releasing the
-    /// local slab entry; the arrival record carries the packet) instead
-    /// of enqueuing directly.
-    fn forward(&mut self, g: &CsrGraph, outbox: &mut Vec<Arrival>) {
-        self.active.sort_unstable();
-        for i in 0..self.active.len() {
-            let u = self.active[i];
-            let li = u as usize - self.lo;
-            self.on_list[li] = false;
-            let base = g.edge_range(u).start;
-            if !self.slot_mask.is_empty() {
-                let mut mask = self.slot_mask[li];
-                let mut remaining = mask;
-                while remaining != 0 {
-                    let slot = remaining.trailing_zeros() as usize;
-                    remaining &= remaining - 1;
-                    let e = base + slot - self.edge_lo;
-                    let id = self
-                        .queues
-                        .pop(e)
-                        .expect("mask bit implies a queued packet");
-                    if self.queues.load(e) == 0 {
-                        mask &= !(1u64 << slot);
-                    }
-                    outbox.push(Arrival {
-                        node: g.target(base + slot),
-                        dst: self.slab.dst(id),
-                        inject: self.slab.inject(id),
-                    });
-                    self.slab.release(id);
-                    self.occupancy[li] -= 1;
-                    self.queued -= 1;
-                    self.acc.total_hops += 1;
-                }
-                self.slot_mask[li] = mask;
-            } else {
-                for ge in g.edge_range(u) {
-                    if let Some(id) = self.queues.pop(ge - self.edge_lo) {
-                        outbox.push(Arrival {
-                            node: g.target(ge),
-                            dst: self.slab.dst(id),
-                            inject: self.slab.inject(id),
-                        });
-                        self.slab.release(id);
-                        self.occupancy[li] -= 1;
-                        self.queued -= 1;
-                        self.acc.total_hops += 1;
-                    }
-                }
-            }
-            if self.occupancy[li] > 0 {
-                self.on_list[li] = true;
-                self.next_active.push(u);
-            }
-        }
-        self.active.clear();
-        std::mem::swap(&mut self.active, &mut self.next_active);
-    }
-
-    /// The worker loop: lockstep cycles of propose / barrier / commit /
-    /// barrier. Every worker reads the same published slot values at the
-    /// top of each cycle, so all make identical skip/stop decisions and
-    /// the barriers never starve.
-    #[allow(clippy::too_many_arguments)]
-    fn run<R: Router + ?Sized, F: FaultPolicy>(
-        &mut self,
-        g: &CsrGraph,
-        routing: &Routing<'_, R>,
-        admission: &F,
-        slots: &[ShardSlot],
-        outboxes: &[RwLock<Vec<Arrival>>],
-        barrier: &Barrier,
-        max_cycles: u64,
-        me: usize,
-    ) {
-        let mut cycle: u64 = 0;
-        while cycle < max_cycles {
-            // Shared top-of-cycle decision, replicating the serial
-            // engine's idle fast-forward: when nothing is queued
-            // anywhere, jump to the earliest pending injection or stop.
-            let total_queued: u64 = slots.iter().map(|s| s.queued.load(Ordering::Relaxed)).sum();
-            if total_queued == 0 {
-                let t = slots
-                    .iter()
-                    .map(|s| s.next_time.load(Ordering::Relaxed))
-                    .min()
-                    .unwrap_or(u64::MAX);
-                if t == u64::MAX {
-                    break;
-                }
-                if t > cycle {
-                    if t >= max_cycles {
-                        break;
-                    }
-                    cycle = t;
-                }
-            }
-
-            // Propose: inject + forward into this shard's outbox.
-            {
-                let mut outbox = outboxes[me].write().expect("outbox lock");
-                outbox.clear();
-                self.inject(g, routing, admission, cycle);
-                self.forward(g, &mut outbox);
-            }
-            barrier.wait();
-
-            // Commit: consume arrivals addressed to this shard, in
-            // global (node, edge) pop order = shard order × outbox
-            // order. Deliveries batch into the accumulator.
-            let now = cycle + 1;
-            for ob in outboxes {
-                let ob = ob.read().expect("outbox lock");
-                for a in ob.iter() {
-                    if (a.node as usize) < self.lo || (a.node as usize) >= self.hi {
-                        continue;
-                    }
-                    if a.node == a.dst {
-                        self.lat_scratch.push(now - a.inject);
-                    } else {
-                        self.route_and_enqueue(g, routing, a.node, a.dst, a.inject);
-                    }
-                }
-            }
-            self.acc.deliver_batch(now, &self.lat_scratch);
-            self.lat_scratch.clear();
-
-            // Publish post-commit state for the next shared decision.
-            slots[me].queued.store(self.queued, Ordering::Relaxed);
-            slots[me].next_time.store(
-                self.inj
-                    .get(self.next_inject)
-                    .map_or(u64::MAX, |p| p.inject_time),
-                Ordering::Relaxed,
-            );
-            barrier.wait();
-            cycle += 1;
-        }
-    }
-
-    /// The churned worker loop: [`Shard::run`]'s propose/commit cycle
-    /// with an event phase at the top of event cycles and the serial
-    /// churn engine's arrival-time death/partition drops in commit.
-    #[allow(clippy::too_many_arguments)]
-    fn run_churn<R: Router + ?Sized>(
-        &mut self,
-        g: &CsrGraph,
-        router: &RwLock<FaultMaskingRouter<'_, R>>,
-        events: &[ChurnEvent],
-        slots: &[ShardSlot],
-        outboxes: &[RwLock<Vec<Arrival>>],
-        barrier: &Barrier,
-        max_cycles: u64,
-        me: usize,
-    ) {
-        let mut next_event = 0usize;
-        let mut cycle: u64 = 0;
-        while cycle < max_cycles {
-            let total_queued: u64 = slots.iter().map(|s| s.queued.load(Ordering::Relaxed)).sum();
-            if total_queued == 0 {
-                let t = slots
-                    .iter()
-                    .map(|s| s.next_time.load(Ordering::Relaxed))
-                    .min()
-                    .unwrap_or(u64::MAX);
-                if t == u64::MAX {
-                    break;
-                }
-                if t > cycle {
-                    if t >= max_cycles {
-                        break;
-                    }
-                    cycle = t;
-                }
-            }
-
-            // Event phase: every worker advances the same cursor over
-            // the shared timeline, so all agree on "events due" and the
-            // extra barrier below never starves. Worker 0 owns the
-            // router mutation; each worker flushes its own dying queues
-            // concurrently (local state only).
-            let due_start = next_event;
-            while next_event < events.len() && events[next_event].cycle <= cycle {
-                next_event += 1;
-            }
-            if due_start != next_event {
-                let due = &events[due_start..next_event];
-                if me == 0 {
-                    let mut r = router.write().expect("router lock");
-                    for ev in due {
-                        r.apply_event(ev);
-                    }
-                }
-                for ev in due {
-                    if ev.failed {
-                        self.flush_event(g, ev);
-                    }
-                }
-                barrier.wait();
-            }
-
-            // The rest of the cycle reads one consistent router epoch.
-            {
-                let r = router.read().expect("router lock");
-                let routing = Routing::PerHop(&*r);
-                {
-                    let mut outbox = outboxes[me].write().expect("outbox lock");
-                    outbox.clear();
-                    self.inject(g, &routing, &ChurnAdmission::new(&r), cycle);
-                    self.forward(g, &mut outbox);
-                }
-                barrier.wait();
-
-                let now = cycle + 1;
-                for ob in outboxes {
-                    let ob = ob.read().expect("outbox lock");
-                    for a in ob.iter() {
-                        if (a.node as usize) < self.lo || (a.node as usize) >= self.hi {
-                            continue;
-                        }
-                        if a.node == a.dst {
-                            self.lat_scratch.push(now - a.inject);
-                        } else if !r.node_alive(a.dst) {
-                            self.acc.drop_packet(DropReason::NodeDied);
-                        } else if !r.reachable(a.node, a.dst) {
-                            self.acc.drop_packet(DropReason::Unreachable);
-                        } else {
-                            self.route_and_enqueue(g, &routing, a.node, a.dst, a.inject);
-                        }
-                    }
-                }
-                self.acc.deliver_batch(now, &self.lat_scratch);
-                self.lat_scratch.clear();
-            }
-
-            slots[me].queued.store(self.queued, Ordering::Relaxed);
-            slots[me].next_time.store(
-                self.inj
-                    .get(self.next_inject)
-                    .map_or(u64::MAX, |p| p.inject_time),
-                Ordering::Relaxed,
-            );
-            barrier.wait();
-            cycle += 1;
-        }
-    }
-
-    /// Flushes the queues this shard owns that a failure event kills,
-    /// as typed drops — the shard-local half of the serial engine's
-    /// flush (counts merge exactly; the flushed set is partitioned by
-    /// queue ownership).
-    fn flush_event(&mut self, g: &CsrGraph, ev: &ChurnEvent) {
-        match ev.target {
-            ChurnTarget::Link(u, v) => {
-                for (a, b) in [(u, v), (v, u)] {
-                    if (a as usize) >= self.lo && (a as usize) < self.hi {
-                        if let Some(slot) = g.slot_of(a, b) {
-                            let e = g.edge_range(a).start + slot;
-                            self.flush_edge_local(g, a, e, DropReason::LinkDied);
-                        }
-                    }
-                }
-            }
-            ChurnTarget::Node(x) => {
-                if (x as usize) >= self.lo && (x as usize) < self.hi {
-                    for e in g.edge_range(x) {
-                        self.flush_edge_local(g, x, e, DropReason::NodeDied);
-                    }
-                }
-                for &y in g.neighbors(x) {
-                    if (y as usize) >= self.lo && (y as usize) < self.hi {
-                        if let Some(back) = g.slot_of(y, x) {
-                            let e = g.edge_range(y).start + back;
-                            self.flush_edge_local(g, y, e, DropReason::NodeDied);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Drains the local FIFO of global directed edge `e` out of `node`
-    /// as typed drops, fixing the shard's occupancy/mask bookkeeping.
-    fn flush_edge_local(&mut self, g: &CsrGraph, node: u32, e: usize, reason: DropReason) {
-        let le = e - self.edge_lo;
-        let li = node as usize - self.lo;
-        while let Some(id) = self.queues.pop(le) {
-            self.slab.release(id);
-            self.occupancy[li] -= 1;
-            self.queued -= 1;
-            self.acc.drop_packet(reason);
-        }
-        let base = g.edge_range(node).start;
-        if let Some(mask) = self.slot_mask.get_mut(li) {
-            *mask &= !(1u64 << (e - base));
-        }
-    }
-}
-
-fn run_sharded<T, R, F>(
+/// [`simulate_parallel_churn`] with a forked observer — see
+/// [`simulate_parallel_observed`] for the fork/merge contract.
+pub fn simulate_parallel_churn_observed<T, R, O>(
     topology: &T,
     router: &R,
-    admission: &F,
+    timeline: &ChurnTimeline,
     packets: &[Packet],
     max_cycles: u64,
     threads: usize,
+    observer: &mut O,
 ) -> SimStats
 where
     T: Topology + ?Sized,
     R: Router + Sync + ?Sized,
-    F: FaultPolicy + Sync,
+    O: SimObserver + Send,
 {
     let n = topology.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        return simulate_churn(topology, router, timeline, packets, max_cycles, observer);
+    }
+    if timeline.is_empty() {
+        // Zero churn is the healthy network: skip the replica builds.
+        let empty = FaultSet::empty();
+        return simulate_parallel_observed(
+            topology, router, &empty, packets, max_cycles, threads, observer,
+        );
+    }
     let g = topology.graph();
-    let routing = routing_for(topology, router, packets.len());
-    let masked_scan = g.max_degree() <= 64;
+    let make = |lo, hi| ChurnUnicast::open(g, router, timeline.events(), packets, lo, hi);
+    run_core_pool(topology, packets.len(), max_cycles, observer, threads, make).0
+}
 
-    // Global time-sorted injection order (stable), split per shard —
-    // each shard's list keeps the global relative order.
-    let mut inj: Vec<&Packet> = packets.iter().collect();
-    inj.sort_by_key(|p| p.inject_time);
-    let bounds: Vec<usize> = (0..=threads).map(|s| s * n / threads).collect();
-    let mut shard_inj: Vec<Vec<&Packet>> = (0..threads).map(|_| Vec::new()).collect();
-    for p in &inj {
-        let s = bounds.partition_point(|&b| b <= p.src as usize) - 1;
-        shard_inj[s].push(p);
+/// [`simulate_request_reply`] sharded across `threads` OS threads: the
+/// session machine is replicated on every lane (identical RNG streams),
+/// with packet effects gated on node ownership. `stats.offered` comes
+/// from lane 0's replica, exactly the serial machine's tally.
+pub fn simulate_parallel_request_reply<T, R, O>(
+    topology: &T,
+    router: &R,
+    timeline: &ChurnTimeline,
+    load: &RequestReplyLoad,
+    max_cycles: u64,
+    threads: usize,
+    observer: &mut O,
+) -> SimStats
+where
+    T: Topology + ?Sized,
+    R: Router + Sync + ?Sized,
+    O: SimObserver + Send,
+{
+    let n = topology.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        return simulate_request_reply(topology, router, timeline, load, max_cycles, observer);
     }
-
-    let slots: Vec<ShardSlot> = shard_inj
-        .iter()
-        .map(|inj_s| ShardSlot {
-            queued: AtomicU64::new(0),
-            next_time: AtomicU64::new(inj_s.first().map_or(u64::MAX, |p| p.inject_time)),
-        })
-        .collect();
-    let outboxes: Vec<RwLock<Vec<Arrival>>> =
-        (0..threads).map(|_| RwLock::new(Vec::new())).collect();
-    let barrier = Barrier::new(threads);
-
-    let mut accs: Vec<StatsAcc> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for (s, inj_s) in shard_inj.into_iter().enumerate() {
-            let (slots, outboxes, barrier) = (&slots, &outboxes, &barrier);
-            let (routing, bounds) = (&routing, &bounds);
-            handles.push(scope.spawn(move || {
-                let mut shard = Shard::new(g, bounds[s], bounds[s + 1], masked_scan, inj_s, n);
-                shard.run(
-                    g, routing, admission, slots, outboxes, barrier, max_cycles, s,
-                );
-                shard.acc
-            }));
-        }
-        for h in handles {
-            accs.push(h.join().expect("shard worker panicked"));
-        }
+    assert!(n >= 2, "request/reply needs a peer to talk to (>= 2 nodes)");
+    let g = topology.graph();
+    let (mut stats, lanes) = run_core_pool(topology, 0, max_cycles, observer, threads, |_, _| {
+        ChurnUnicast::closed(g, router, timeline.events(), load, n as u32)
     });
+    stats.offered = lanes[0].offered();
+    stats
+}
 
-    // Merge in shard (node) order — exact integer folds, so the result
-    // equals the serial accumulator bit for bit.
-    let mut acc = StatsAcc::for_network(n);
-    for a in accs {
-        acc.merge(a);
+/// [`simulate_collective`](crate::simulate_collective) sharded across
+/// `threads` OS threads: copies spawn at the lane owning the spawning
+/// node and the reached-target tally sums over lanes.
+pub fn simulate_parallel_collective<T, O>(
+    topology: &T,
+    plan: &CopyPlan,
+    max_cycles: u64,
+    threads: usize,
+    observer: &mut O,
+) -> (SimStats, usize)
+where
+    T: Topology + ?Sized,
+    O: SimObserver + Send,
+{
+    let n = topology.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        return super::simulate_collective(topology, plan, max_cycles, observer);
     }
-    acc.finish(packets.len())
+    let make = |_, _| Replicate::new(plan);
+    let (stats, lanes) = run_core_pool(
+        topology,
+        plan.offered(),
+        max_cycles,
+        observer,
+        threads,
+        make,
+    );
+    (stats, lanes.iter().map(|w| w.reached_targets).sum())
 }

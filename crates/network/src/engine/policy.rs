@@ -24,7 +24,7 @@ use crate::router::{FaultMaskingRouter, Router};
 use crate::topology::Topology;
 use crate::traffic::Packet;
 
-use super::core::{run_core, Core, Unicast};
+use super::core::{routing_for, run_core, Core, SafMsg, Unicast};
 use super::stats::{DropReason, SimStats};
 use super::wormhole::wormhole_engine;
 
@@ -123,50 +123,70 @@ impl<R: Router + ?Sized> FaultPolicy for ChurnAdmission<'_, '_, R> {
     }
 }
 
-/// The workload half of the store-and-forward engine core: what enters
-/// the network each cycle and what happens when a packet crosses a link.
-/// The crate-internal `run_core` owns the shared cycle skeleton (idle
-/// fast-forward,
-/// forward scan in ascending node/edge order, arrivals at the
-/// `cycle + 1` boundary); the replication policy fills in the
-/// per-workload phases. Crate-internal impls cover unicast routing and
-/// collective tree replication — the trait is public for documentation,
-/// but a [`Core`] can only be driven from inside the crate.
+/// The workload half of the store-and-forward engine: the per-cycle
+/// *stages* the unified stepper (`engine/stepper.rs`)
+/// drives against one lane's [`Core`]. A lane is a contiguous node
+/// shard — the whole network in a serial run, one of `k` shards in a
+/// sharded one — and the **same** monomorphized stage code runs either
+/// way; only the outbox protocol between stages differs. Crate-internal
+/// impls cover unicast routing, collective tree replication, and the
+/// churn/request-reply workloads — the trait is public for
+/// documentation, but a [`Core`] can only be driven from inside the
+/// crate.
 ///
-/// # Invariants
+/// # Invariants (the sharding contract)
 ///
-/// - `begin_cycle` runs before the forward phase. It may inject packets
-///   (bumping `Core::in_flight` per packet entering the network), may
-///   fast-forward `cycle` over idle stretches (never past `max_cycles`,
-///   never backwards), and returns `false` to end the run — in which
-///   case the cycle has no forward/arrival phase and no
-///   `on_cycle_end` event, matching the historical engines' `break`.
-/// - `on_depart` observes each packet the forward phase pops, **before**
-///   it is appended to the arrival list; it must not touch link state.
-/// - `arrive` consumes one popped packet at its hop's far end: deliver
-///   it (decrementing `Core::in_flight`) or re-enqueue it toward its
-///   next hop. Arrivals are presented in the forward phase's pop order
-///   (ascending node, then edge), which is what makes same-cycle FIFO
-///   tie-breaking — and therefore the full `SimStats` — deterministic.
-/// - `end_cycle` runs after all arrivals and before the cycle's
+/// - `next_pending` feeds the lockstep idle-skip/termination decision:
+///   min-folded over lanes it must equal the serial engine's
+///   next-traffic cycle. It must not touch arena state.
+/// - `commit_events` (the churn event-commit stage) runs first each
+///   executed cycle. Event *decisions* must be lane-invariant
+///   (replicated deterministic state); event *effects* (queue flushes,
+///   drop accounting) must be gated on node ownership.
+/// - `inject` may create packets only at nodes the lane owns
+///   (`Core::owns`); admission verdicts must be identical on every
+///   lane that evaluates them (same fault epoch — see [`FaultPolicy`]).
+/// - `depart` observes each packet the forward scan pops **before** its
+///   slab slot is released, and may fill the workload-overloaded
+///   `SafMsg` fields; it must not touch link state.
+/// - `commit` is called for **every** lane's messages in ascending lane
+///   order — the serial pop order. Real effects (delivery, re-enqueue,
+///   drop accounting) must be gated on `core.owns(msg.node)`; mirror
+///   state that every lane replicates (the request/reply session
+///   machine) updates unconditionally and identically on every lane.
+/// - `end_cycle` runs after all of the cycle's commits and before the
 ///   `on_cycle_end` event (the one-port collective uses it to spawn
 ///   follow-up copies that must not depart until the next cycle).
 pub trait ReplicationPolicy<O: SimObserver> {
-    /// Start-of-cycle hook: injection, idle fast-forward, termination.
-    /// Returns `false` to stop the run before this cycle's forward
-    /// phase.
-    fn begin_cycle(&mut self, cycle: &mut u64, max_cycles: u64, core: &mut Core<'_, '_, O>)
-        -> bool;
+    /// The earliest future cycle at which this lane can add new traffic,
+    /// or `None` if it never will. Drives the idle fast-forward and the
+    /// drained-run termination check.
+    fn next_pending(&mut self) -> Option<u64>;
 
-    /// A packet popped by the forward phase at node `u`, about to arrive
-    /// across its link.
-    fn on_depart(&mut self, u: u32, id: u32, slab: &PacketSlab);
+    /// Event-commit stage: applies due fault/repair events (churn).
+    /// Default: no events.
+    fn commit_events(&mut self, cycle: u64, core: &mut Core<'_, O>) {
+        let _ = (cycle, core);
+    }
 
-    /// One packet arriving at `node` at cycle `now`: deliver or forward.
-    fn arrive(&mut self, now: u64, node: u32, id: u32, core: &mut Core<'_, '_, O>);
+    /// Injection stage: admits due traffic at this lane's own nodes.
+    fn inject(&mut self, cycle: u64, core: &mut Core<'_, O>);
 
-    /// End-of-cycle hook, after every arrival of cycle `now` resolved.
-    fn end_cycle(&mut self, now: u64, core: &mut Core<'_, '_, O>);
+    /// Pop-time hook: fills workload-specific `SafMsg` fields before
+    /// the slab slot is released. Default: the unicast fields stand.
+    fn depart(&mut self, u: u32, id: u32, slab: &PacketSlab, msg: &mut SafMsg) {
+        let _ = (u, id, slab, msg);
+    }
+
+    /// Arrival-commit stage: one message, presented to every lane in
+    /// the serial pop order at the `cycle + 1` boundary.
+    fn commit(&mut self, now: u64, msg: &SafMsg, core: &mut Core<'_, O>);
+
+    /// End-of-cycle stage, after every commit of cycle `now` resolved.
+    /// Default: nothing deferred.
+    fn end_cycle(&mut self, now: u64, core: &mut Core<'_, O>) {
+        let _ = (now, core);
+    }
 }
 
 /// How packets occupy links while crossing the network. The policy owns
@@ -225,12 +245,14 @@ impl SwitchingPolicy for StoreAndForward {
         O: SimObserver,
         F: FaultPolicy,
     {
+        let plan = routing_for(topology, router, packets.len());
+        let n = topology.len() as u32;
         let (stats, _) = run_core(
             topology,
             packets.len(),
             max_cycles,
             observer,
-            Unicast::new(topology, router, packets, faults),
+            Unicast::for_range(plan.as_ref(), packets, 0, n, faults),
         );
         stats
     }

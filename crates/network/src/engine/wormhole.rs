@@ -1,22 +1,67 @@
-//! The flit-level wormhole engine body behind
-//! [`simulate_wormhole`](crate::simulate_wormhole) /
-//! [`simulate_wormhole_faulted`](crate::simulate_wormhole_faulted) —
-//! the [`FlitWormhole`](super::policy::FlitWormhole) switching policy.
-//! The cycle structure deliberately mirrors the store-and-forward core
-//! ([`run_core`](super::core::run_core)) phase for phase, so the
-//! degenerate configuration is event-for-event identical.
+//! The flit-level wormhole workload of the unified stepper — the
+//! engine body behind [`simulate_wormhole`](crate::simulate_wormhole),
+//! [`simulate_wormhole_faulted`](crate::simulate_wormhole_faulted) and
+//! [`simulate_parallel_wormhole`], i.e. the
+//! [`FlitWormhole`](super::policy::FlitWormhole) switching policy.
+//!
+//! Like the store-and-forward core, the cycle body lives in stage
+//! methods driven by [`run_lane`](super::stepper::run_lane); the serial
+//! entry points are the one-lane [`Solo`] monomorphization and the
+//! sharded entry runs the identical stages under the pooled protocol.
+//!
+//! ## Sharding model: replicated arbitration
+//!
+//! Wormhole advancement is a global arbitration: whether a flit may
+//! move depends on claims, credits and (for adaptive routers) link
+//! loads that earlier moves of the *same* cycle just changed, anywhere
+//! in the network. Instead of exchanging that state, every lane keeps a
+//! full **mirror** of it (`link_load`, per-buffer occupancy, claims,
+//! reservations, the packet slab and worm chains, the pending/stream
+//! FIFOs and the injection cursor) and updates the mirror identically:
+//!
+//! - the **begin** stage (streaming, head retries, injection) runs the
+//!   same deterministic decisions on every lane, touching real flit
+//!   queues, per-node occupancy, statistics and the observer only on
+//!   the lane that owns the node;
+//! - the **propose** stage snapshots the front flit of every non-empty
+//!   (edge × VC) buffer of the lane's own active nodes — the only state
+//!   a lane alone knows — in ascending node/edge/VC order;
+//! - the **commit** stage replays the serial forward scan over the
+//!   concatenated snapshots (lane order == node order, so the replay
+//!   order *is* the serial scan order) on **every** lane, deciding each
+//!   move against the mirror exactly as the serial scan decides it
+//!   against live state, which keeps the mirrors in lockstep — adaptive
+//!   routers included, because the mirror loads evolve move by move in
+//!   serial order;
+//! - the **end** stage applies the deferred arrival list (identical on
+//!   every lane) at the `cycle + 1` boundary, again gating real effects
+//!   on ownership.
+//!
+//! Front-flit snapshots equal what the serial scan would read because a
+//! scan pops only from the buffer it is currently serving (each edge is
+//! served once per cycle) and every push is deferred to the arrival
+//! boundary. The result is **bit-identical** [`SimStats`] and observer
+//! output at any thread count. The mirrors cost O(E · vcs) per lane —
+//! the trade the replicated-arbitration design makes for running the
+//! serial decision procedure unchanged.
 
 use std::collections::VecDeque;
 
+use fibcube_graph::csr::CsrGraph;
+
 use crate::arena::{FlitQueues, PacketSlab};
+use crate::fault::FaultSet;
 use crate::observer::SimObserver;
-use crate::router::Router;
+use crate::router::{FaultMaskingRouter, Router};
+use crate::switching::SwitchingSpec;
 use crate::topology::Topology;
 use crate::traffic::Packet;
 
-use super::core::{route_edge, routing_for, Routing};
-use super::policy::FaultPolicy;
+use super::core::{fork_observer, route_edge, routing_for, Routing};
+use super::parallel::run_pool;
+use super::policy::{AdmitAll, FaultPolicy, MaskedAdmission};
 use super::stats::{SimStats, StatsAcc};
+use super::stepper::{lane_bounds, run_lane, LaneWorkload, Solo};
 
 /// Head-flit flag in a packed flit record (bit 56).
 const FLIT_HEAD: u64 = 1 << 56;
@@ -28,6 +73,8 @@ const NO_CLAIM: u32 = u32::MAX;
 /// Arrival-list sentinel: the flit leaves the network at its destination
 /// instead of entering a buffer.
 const EJECT: u32 = u32::MAX;
+/// Replay-cursor sentinel: no edge arbitrated yet this cycle.
+const NO_EDGE: u32 = u32::MAX;
 
 /// Packs one flit: packet id in the low 32 bits, the index of the buffer
 /// it occupies within its packet's reserved chain in bits 32..56, flags
@@ -49,6 +96,23 @@ fn flit(id: u32, idx: usize, head: bool, tail: bool) -> u64 {
 #[inline]
 fn flit_idx(f: u64) -> usize {
     ((f >> 32) & 0xFF_FFFF) as usize
+}
+
+/// One forward-scan candidate: the front flit of one (edge × VC) buffer
+/// of an active node, snapshotted at propose time. The commit replay
+/// consumes these in ascending (node, edge, VC) order — the serial scan
+/// order — granting at most one move per directed edge.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct WormProbe {
+    /// The scanning node (the edge's source); grants gate real effects
+    /// on its owner lane.
+    node: u32,
+    /// Global directed edge id.
+    edge: u32,
+    /// Virtual channel of the snapshotted buffer.
+    vc: u32,
+    /// The buffer's front flit record.
+    flit: u64,
 }
 
 /// Per-packet wormhole state in parallel columns indexed by slab id
@@ -92,78 +156,533 @@ impl WormState {
     }
 }
 
-/// Tries to place packet `id`'s head flit into VC 0 of its first output
-/// link: routes the first hop, checks the buffer's claim (multi-flit
-/// packets need exclusive worm occupancy) and credit, and on success
-/// starts the packet's chain. Shared by fresh injections and the pending
-/// retry queue; a `false` return leaves the packet unplaced (its state
-/// untouched) for retry next cycle.
-#[allow(clippy::too_many_arguments)]
-#[inline]
-fn try_place_head<T, R, O>(
-    topology: &T,
-    g: &fibcube_graph::csr::CsrGraph,
-    routing: &Routing<'_, R>,
-    queues: &mut FlitQueues,
-    link_load: &mut [u32],
-    claimed: &mut [u32],
-    reserved: &[u32],
-    worm: &mut WormState,
-    slab: &PacketSlab,
-    occupancy: &mut [u32],
-    on_list: &mut [bool],
-    active: &mut Vec<u32>,
-    streams: &mut Vec<u32>,
-    observer: &mut O,
+/// [`Topology::channel_class`] tabulated per directed edge, so lanes
+/// consult a shared plain slice instead of the topology object.
+fn edge_classes<T: Topology + ?Sized>(topology: &T) -> Vec<u32> {
+    let g = topology.graph();
+    let mut classes = vec![0u32; g.num_directed_edges()];
+    for u in 0..topology.len() as u32 {
+        for e in g.edge_range(u) {
+            classes[e] = topology.channel_class(u, g.target(e));
+        }
+    }
+    classes
+}
+
+/// One lane of the wormhole workload — see the [module docs](self) for
+/// the replicated-arbitration sharding model. A [`Solo`] run over
+/// `[0, n)` *is* the serial engine.
+struct WormLane<'a, R: Router + ?Sized, F: FaultPolicy, O: SimObserver> {
+    // Static, shared across lanes.
+    g: &'a CsrGraph,
+    edge_class: &'a [u32],
+    routing: Routing<'a, R>,
+    admission: &'a F,
     vcs: usize,
     buf_flits: u64,
-    cycle: u64,
-    id: u32,
-) -> bool
-where
-    T: Topology + ?Sized,
-    R: Router + ?Sized,
-    O: SimObserver,
-{
-    let i = id as usize;
-    let src = worm.src[i];
-    let dst = slab.dst(id);
-    let e0 = route_edge(g, routing, link_load, src, dst);
-    let b0 = e0 * vcs;
-    let multi = worm.flits_total[i] > 1;
-    if multi && claimed[b0] != NO_CLAIM {
-        return false;
+    fpp: u32,
+    max_level: u32,
+    // Ownership: nodes `[lo, hi)`, whose out-edge buffers start at
+    // global buffer index `buf_lo`.
+    lo: u32,
+    hi: u32,
+    buf_lo: usize,
+    /// Lane 0 alone reports `in_flight` through `queued()`, so the
+    /// exchanged global sum equals the serial count.
+    lead: bool,
+    // Real, lane-owned state.
+    queues: FlitQueues,
+    occupancy: Vec<u32>,
+    on_list: Vec<bool>,
+    active: Vec<u32>,
+    scanned: Vec<u32>,
+    lat_scratch: Vec<u64>,
+    acc: StatsAcc,
+    observer: O,
+    // Replicated mirrors — identical on every lane at every stage edge.
+    link_load: Vec<u32>,
+    occ_b: Vec<u32>,
+    claimed: Vec<u32>,
+    reserved: Vec<u32>,
+    slab: PacketSlab,
+    worm: WormState,
+    arrivals: Vec<(u64, u32, u32)>,
+    pending: VecDeque<u32>,
+    streams: Vec<u32>,
+    inj: Vec<&'a Packet>,
+    next_inject: usize,
+    in_flight: usize,
+    progressed: bool,
+    // Replay cursor: the edge currently arbitrated and whether it
+    // already granted its one move this cycle.
+    replay_edge: u32,
+    replay_done: bool,
+}
+
+impl<'a, R: Router + ?Sized, F: FaultPolicy, O: SimObserver> WormLane<'a, R, F, O> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        g: &'a CsrGraph,
+        edge_class: &'a [u32],
+        routing: Routing<'a, R>,
+        admission: &'a F,
+        observer: O,
+        fpp: u32,
+        vcs: usize,
+        buf_flits: u64,
+        packets: &'a [Packet],
+        n: usize,
+        lo: u32,
+        hi: u32,
+    ) -> WormLane<'a, R, F, O> {
+        let edge_lo = if hi > lo { g.edge_range(lo).start } else { 0 };
+        let edge_hi = if hi > lo { g.edge_range(hi - 1).end } else { 0 };
+        let links = g.num_directed_edges();
+        let mut inj: Vec<&Packet> = packets.iter().collect();
+        inj.sort_by_key(|p| p.inject_time);
+        WormLane {
+            g,
+            edge_class,
+            routing,
+            admission,
+            vcs,
+            buf_flits,
+            fpp,
+            max_level: vcs as u32 - 1,
+            lo,
+            hi,
+            buf_lo: edge_lo * vcs,
+            lead: lo == 0,
+            queues: FlitQueues::new(edge_hi - edge_lo, vcs),
+            occupancy: vec![0; (hi - lo) as usize],
+            on_list: vec![false; (hi - lo) as usize],
+            active: Vec::new(),
+            scanned: Vec::new(),
+            lat_scratch: Vec::new(),
+            acc: StatsAcc::for_network(n),
+            observer,
+            link_load: vec![0; links],
+            occ_b: vec![0; links * vcs],
+            claimed: vec![NO_CLAIM; links * vcs],
+            reserved: vec![0; links * vcs],
+            slab: PacketSlab::new(),
+            worm: WormState::default(),
+            arrivals: Vec::new(),
+            pending: VecDeque::new(),
+            streams: Vec::new(),
+            inj,
+            next_inject: 0,
+            in_flight: 0,
+            progressed: false,
+            replay_edge: NO_EDGE,
+            replay_done: false,
+        }
     }
-    if queues.load(b0) as u64 + reserved[b0] as u64 >= buf_flits {
-        return false;
+
+    #[inline]
+    fn owns(&self, node: u32) -> bool {
+        self.lo <= node && node < self.hi
     }
-    worm.level[i] = 0;
-    worm.last_class[i] = topology.channel_class(src, g.target(e0));
-    worm.path[i].push(b0 as u32);
-    worm.flits_sent[i] = 1;
-    if multi {
-        claimed[b0] = id;
-        streams.push(id);
+
+    /// Tries to place packet `id`'s head flit into VC 0 of its first
+    /// output link: routes the first hop against the mirror loads,
+    /// checks the buffer's claim and credit (multi-flit packets need
+    /// exclusive worm occupancy), and on success starts the packet's
+    /// chain. Every decision reads replicated state, so all lanes
+    /// agree; the real queue push, occupancy, worklist and observer
+    /// event happen on the source's owner only. A `false` return leaves
+    /// the packet unplaced (its state untouched) for retry next cycle.
+    fn try_place_head(&mut self, cycle: u64, id: u32) -> bool {
+        let i = id as usize;
+        let src = self.worm.src[i];
+        let dst = self.slab.dst(id);
+        let e0 = route_edge(self.g, self.routing, &self.link_load, 0, src, dst);
+        let b0 = e0 * self.vcs;
+        let multi = self.worm.flits_total[i] > 1;
+        if multi && self.claimed[b0] != NO_CLAIM {
+            return false;
+        }
+        if self.occ_b[b0] as u64 + self.reserved[b0] as u64 >= self.buf_flits {
+            return false;
+        }
+        self.worm.level[i] = 0;
+        self.worm.last_class[i] = self.edge_class[e0];
+        self.worm.path[i].push(b0 as u32);
+        self.worm.flits_sent[i] = 1;
+        if multi {
+            self.claimed[b0] = id;
+            self.streams.push(id);
+        }
+        self.occ_b[b0] += 1;
+        self.link_load[e0] += 1;
+        if self.owns(src) {
+            self.queues
+                .push(b0 - self.buf_lo, flit(id, 0, true, !multi));
+            let s = (src - self.lo) as usize;
+            self.occupancy[s] += 1;
+            self.observer.on_flit_hop(cycle, e0, 0, self.occ_b[b0]);
+            if !self.on_list[s] {
+                self.on_list[s] = true;
+                self.active.push(src);
+            }
+        }
+        true
     }
-    queues.push(b0, flit(id, 0, true, !multi));
-    link_load[e0] += 1;
-    occupancy[src as usize] += 1;
-    observer.on_flit_hop(cycle, e0, 0, queues.load(b0) as u32);
-    if !on_list[src as usize] {
-        on_list[src as usize] = true;
-        active.push(src);
+
+    /// Removes a granted flit from its buffer: mirror decrements on
+    /// every lane; the real pop (which must yield exactly the
+    /// snapshotted flit) and node occupancy, plus — for head moves
+    /// (`hop`) — the hop statistics and observer event, on the scanning
+    /// node's owner.
+    fn pop_flit(&mut self, cycle: u64, u: u32, e: usize, vc: u32, f: u64, hop: bool) {
+        let b = e * self.vcs + vc as usize;
+        self.occ_b[b] -= 1;
+        self.link_load[e] -= 1;
+        if hop {
+            self.slab.record_hop(f as u32);
+        }
+        if self.owns(u) {
+            let popped = self.queues.pop(b - self.buf_lo);
+            debug_assert_eq!(popped, Some(f), "replayed flit must front its buffer");
+            self.occupancy[(u - self.lo) as usize] -= 1;
+            if hop {
+                self.observer.on_hop(cycle, u, self.g.target(e), e);
+                self.acc.total_hops += 1;
+            }
+        }
     }
-    true
+}
+
+impl<R: Router + ?Sized, F: FaultPolicy, O: SimObserver> LaneWorkload for WormLane<'_, R, F, O> {
+    type Msg = WormProbe;
+
+    fn queued(&self) -> u64 {
+        // `in_flight` is replicated; only the lead lane reports it so
+        // the exchanged sum equals the serial count.
+        if self.lead {
+            self.in_flight as u64
+        } else {
+            0
+        }
+    }
+
+    fn next_pending(&mut self) -> Option<u64> {
+        self.inj.get(self.next_inject).map(|p| p.inject_time)
+    }
+
+    /// Streaming continuation, head retries, then injection — all three
+    /// run the identical decision sequence on every lane against the
+    /// mirrors (keeping claims, credits, slab ids and the FIFOs in
+    /// lockstep); flit pushes, statistics and observer events fire on
+    /// the owning lane only.
+    fn begin(&mut self, cycle: u64) {
+        self.progressed = false;
+        self.replay_edge = NO_EDGE;
+        self.replay_done = false;
+
+        // Streaming continuation: each multi-flit packet feeds at most
+        // one body flit per cycle into its claimed first buffer. The
+        // claim is released once the tail has entered the network.
+        let mut streams = std::mem::take(&mut self.streams);
+        streams.retain(|&id| {
+            let i = id as usize;
+            let b0 = self.worm.path[i][0] as usize;
+            if self.occ_b[b0] as u64 + self.reserved[b0] as u64 >= self.buf_flits {
+                return true;
+            }
+            let sent = self.worm.flits_sent[i];
+            let is_tail = sent + 1 == self.worm.flits_total[i];
+            let e0 = b0 / self.vcs;
+            self.occ_b[b0] += 1;
+            self.link_load[e0] += 1;
+            let src = self.worm.src[i];
+            if self.owns(src) {
+                self.queues
+                    .push(b0 - self.buf_lo, flit(id, 0, false, is_tail));
+                let s = (src - self.lo) as usize;
+                self.occupancy[s] += 1;
+                self.observer
+                    .on_flit_hop(cycle, e0, (b0 % self.vcs) as u32, self.occ_b[b0]);
+                if !self.on_list[s] {
+                    self.on_list[s] = true;
+                    self.active.push(src);
+                }
+            }
+            self.worm.flits_sent[i] = sent + 1;
+            self.progressed = true;
+            if is_tail {
+                if self.claimed[b0] == id {
+                    self.claimed[b0] = NO_CLAIM;
+                }
+                false
+            } else {
+                true
+            }
+        });
+        self.streams = streams;
+
+        // Retry heads that failed to claim their first buffer, oldest
+        // first; failures keep their order without blocking later ones.
+        for _ in 0..self.pending.len() {
+            let id = self.pending.pop_front().expect("iteration is len-bounded");
+            if self.try_place_head(cycle, id) {
+                self.progressed = true;
+            } else {
+                self.pending.push_back(id);
+            }
+        }
+
+        // Inject everything due this cycle (same admission and
+        // self-addressed handling as the store-and-forward engine).
+        while self.next_inject < self.inj.len() && self.inj[self.next_inject].inject_time <= cycle {
+            let p = self.inj[self.next_inject];
+            self.next_inject += 1;
+            let (src, dst) = (p.src, p.dst);
+            let own = self.owns(src);
+            if own {
+                self.observer.on_inject(cycle, src, dst);
+            }
+            if let Some(reason) = self.admission.verdict(src, dst) {
+                if own {
+                    self.acc.drop_packet(reason);
+                    self.observer.on_drop(cycle, src, dst, reason);
+                }
+                continue;
+            }
+            if src == dst {
+                if own {
+                    self.acc.deliver_instant();
+                    self.observer.on_deliver(cycle, dst, 0);
+                }
+                continue;
+            }
+            let id = self.slab.alloc(dst, p.inject_time);
+            self.worm.reset(id, src, self.fpp);
+            self.in_flight += 1;
+            if self.try_place_head(cycle, id) {
+                self.progressed = true;
+            } else {
+                self.pending.push_back(id);
+            }
+        }
+    }
+
+    /// Snapshots the front flit of every non-empty (edge × VC) buffer
+    /// of this lane's active nodes, in ascending node/edge/VC order.
+    /// Pure reads — every mutation waits for the commit replay — so the
+    /// snapshots equal what the serial scan would read live (a scan
+    /// pops only from the buffer it is currently serving, and pushes
+    /// are deferred to the arrival boundary).
+    fn propose(&mut self, _cycle: u64, out: &mut Vec<WormProbe>) {
+        self.active.sort_unstable();
+        std::mem::swap(&mut self.active, &mut self.scanned);
+        let mut k = 0;
+        while k < self.scanned.len() {
+            let u = self.scanned[k];
+            k += 1;
+            self.on_list[(u - self.lo) as usize] = false;
+            for e in self.g.edge_range(u) {
+                if self.link_load[e] == 0 {
+                    continue;
+                }
+                for vc in 0..self.vcs {
+                    let b = e * self.vcs + vc;
+                    if let Some(f) = self.queues.front(b - self.buf_lo) {
+                        out.push(WormProbe {
+                            node: u,
+                            edge: e as u32,
+                            vc: vc as u32,
+                            flit: f,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replays the serial forward scan, one candidate at a time, on
+    /// **every** lane: per directed edge the first candidate (lowest
+    /// VC) that can advance — claim and credit checks against the
+    /// mirror, which evolves move by move in serial order — wins the
+    /// edge's one move per cycle; later VCs of a granted edge are
+    /// skipped. Mirror updates run everywhere; the real pop and hop
+    /// accounting fire on the scanning node's owner only.
+    fn commit(&mut self, now: u64, m: &WormProbe) {
+        if m.edge != self.replay_edge {
+            self.replay_edge = m.edge;
+            self.replay_done = false;
+        }
+        if self.replay_done {
+            return;
+        }
+        let cycle = now - 1;
+        let e = m.edge as usize;
+        let f = m.flit;
+        let id = f as u32;
+        let i = id as usize;
+        if f & FLIT_HEAD != 0 {
+            let v = self.g.target(e);
+            let dst = self.slab.dst(id);
+            if v == dst {
+                self.pop_flit(cycle, m.node, e, m.vc, f, true);
+                self.arrivals.push((f, EJECT, v));
+            } else {
+                let e2 = route_edge(self.g, self.routing, &self.link_load, 0, v, dst);
+                let c2 = self.edge_class[e2];
+                let mut lvl = self.worm.level[i];
+                if c2 <= self.worm.last_class[i] {
+                    // Class order broken (a ring dateline or a fault
+                    // detour): escape one VC level up.
+                    lvl = (lvl + 1).min(self.max_level);
+                }
+                let b2 = e2 * self.vcs + lvl as usize;
+                let multi = self.worm.flits_total[i] > 1;
+                if multi && self.claimed[b2] != NO_CLAIM && self.claimed[b2] != id {
+                    return;
+                }
+                if self.occ_b[b2] as u64 + self.reserved[b2] as u64 >= self.buf_flits {
+                    return;
+                }
+                self.pop_flit(cycle, m.node, e, m.vc, f, true);
+                if multi {
+                    self.claimed[b2] = id;
+                }
+                self.reserved[b2] += 1;
+                self.worm.level[i] = lvl;
+                self.worm.last_class[i] = c2;
+                self.worm.path[i].push(b2 as u32);
+                self.arrivals.push((
+                    flit(id, flit_idx(f) + 1, true, f & FLIT_TAIL != 0),
+                    b2 as u32,
+                    v,
+                ));
+            }
+        } else {
+            // Body/tail flit: follow the head's reserved chain.
+            let idx = flit_idx(f);
+            if idx + 1 < self.worm.path[i].len() {
+                let b2 = self.worm.path[i][idx + 1] as usize;
+                if self.occ_b[b2] as u64 + self.reserved[b2] as u64 >= self.buf_flits {
+                    return;
+                }
+                self.pop_flit(cycle, m.node, e, m.vc, f, false);
+                self.reserved[b2] += 1;
+                self.arrivals.push((
+                    flit(id, idx + 1, false, f & FLIT_TAIL != 0),
+                    b2 as u32,
+                    self.g.target(e),
+                ));
+            } else if self.worm.head_ejected[i] {
+                // End of the chain with the head gone: this flit
+                // crosses the final link into the destination.
+                self.pop_flit(cycle, m.node, e, m.vc, f, false);
+                self.arrivals.push((f, EJECT, self.g.target(e)));
+            } else {
+                // Head still parked one buffer ahead: wait.
+                return;
+            }
+        }
+        self.replay_done = true;
+        self.progressed = true;
+    }
+
+    /// Re-activates scanned nodes that still hold flits (before
+    /// arrivals, matching the serial order), then applies the
+    /// replicated arrival list at the `cycle + 1` boundary: flits enter
+    /// their reserved buffers or leave the network at the destination.
+    /// Mirror credits, claims and the in-flight count update on every
+    /// lane; queue pushes, worklists, observer events and the batched
+    /// latency accounting ([`StatsAcc::deliver_batch`]) fire on the
+    /// owning lane only.
+    fn end_cycle(&mut self, now: u64) {
+        let mut k = 0;
+        while k < self.scanned.len() {
+            let u = self.scanned[k];
+            k += 1;
+            let s = (u - self.lo) as usize;
+            if self.occupancy[s] > 0 {
+                self.on_list[s] = true;
+                self.active.push(u);
+            }
+        }
+        self.scanned.clear();
+
+        let mut arrivals = std::mem::take(&mut self.arrivals);
+        for &(f, buf, node) in &arrivals {
+            let id = f as u32;
+            if buf == EJECT {
+                if f & FLIT_TAIL != 0 {
+                    self.in_flight -= 1;
+                    let inject_time = self.slab.inject(id);
+                    if self.owns(node) {
+                        self.lat_scratch.push(now - inject_time);
+                        self.observer.on_deliver(now, node, now - inject_time);
+                    }
+                    self.slab.release(id);
+                } else if f & FLIT_HEAD != 0 {
+                    self.worm.head_ejected[id as usize] = true;
+                }
+                // Body flits between head and tail vanish at dst.
+            } else {
+                let b = buf as usize;
+                let e = b / self.vcs;
+                self.reserved[b] -= 1;
+                self.occ_b[b] += 1;
+                self.link_load[e] += 1;
+                if f & FLIT_TAIL != 0 && self.claimed[b] == id {
+                    self.claimed[b] = NO_CLAIM;
+                }
+                if self.owns(node) {
+                    self.queues.push(b - self.buf_lo, f);
+                    let s = (node - self.lo) as usize;
+                    self.occupancy[s] += 1;
+                    self.observer
+                        .on_flit_hop(now, e, (b % self.vcs) as u32, self.occ_b[b]);
+                    if !self.on_list[s] {
+                        self.on_list[s] = true;
+                        self.active.push(node);
+                    }
+                }
+            }
+        }
+        arrivals.clear();
+        self.arrivals = arrivals;
+        self.acc.deliver_batch(now, &self.lat_scratch);
+        self.lat_scratch.clear();
+    }
+
+    fn observe(&mut self, cycle: u64, in_flight: u64) {
+        self.observer.on_cycle_end(cycle, in_flight as usize);
+    }
+
+    /// Replicates the serial deadlock handling: when nothing moved with
+    /// flits still in flight, jump to the next injection (new packets
+    /// may place on other links) or stop on a genuine deadlock — only
+    /// reachable off the order-based configurations; the stranded
+    /// packets surface as `offered − delivered − dropped`. All inputs
+    /// (`progressed`, `in_flight`, the injection cursor) are
+    /// replicated, so every lane decides identically.
+    fn advance(&mut self, cycle: u64, max_cycles: u64) -> Option<u64> {
+        if !self.progressed && self.in_flight > 0 {
+            return match self.inj.get(self.next_inject) {
+                Some(p) if p.inject_time >= max_cycles => None,
+                Some(p) => Some(p.inject_time.max(cycle + 1)),
+                None => None,
+            };
+        }
+        Some(cycle + 1)
+    }
 }
 
 /// The shared flit-level engine body behind
 /// [`simulate_wormhole`](crate::simulate_wormhole) and
-/// [`simulate_wormhole_faulted`](crate::simulate_wormhole_faulted). See
+/// [`simulate_wormhole_faulted`](crate::simulate_wormhole_faulted): one
+/// [`WormLane`] covering every node, driven by the unified stepper
+/// under the [`Solo`] protocol. See
 /// [`simulate_wormhole`](crate::simulate_wormhole) for the model; the
-/// cycle structure deliberately mirrors the store-and-forward core phase
-/// for phase (idle fast-forward, injection, forward scan in ascending
-/// node and edge order, arrivals at the `cycle + 1` boundary) so the
-/// degenerate configuration is event-for-event identical.
+/// stage structure deliberately mirrors the store-and-forward core
+/// phase for phase, so the degenerate configuration is event-for-event
+/// identical.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn wormhole_engine<T, R, O, F>(
     topology: &T,
@@ -183,329 +702,140 @@ where
     F: FaultPolicy,
 {
     let n = topology.len();
-    let g = topology.graph();
-    let routing = routing_for(topology, router, packets.len());
-    let vcs = vcs.max(1) as usize;
-    let buf_flits = buf_flits.max(1) as u64;
-    let fpp = flits_per_packet.max(1);
-    let max_level = vcs as u32 - 1;
+    let plan = routing_for(topology, router, packets.len());
+    let classes = edge_classes(topology);
+    let mut lane = WormLane::new(
+        topology.graph(),
+        &classes,
+        plan.as_ref(),
+        admission,
+        observer,
+        flits_per_packet.max(1),
+        vcs.max(1) as usize,
+        buf_flits.max(1) as u64,
+        packets,
+        n,
+        0,
+        n as u32,
+    );
+    run_lane(&mut lane, &Solo::default(), 0, max_cycles);
+    lane.acc.finish(packets.len())
+}
 
-    let links = g.num_directed_edges();
-    let mut queues = FlitQueues::new(links, vcs);
-    // Aggregated per-link flit occupancy: drives the cheap forward-scan
-    // skip and doubles as the load view adaptive routers consult.
-    let mut link_load: Vec<u32> = vec![0; links];
-    // Which multi-flit packet holds each buffer (worms may not
-    // interleave; single-flit packets are self-contained and bypass
-    // claims entirely).
-    let mut claimed: Vec<u32> = vec![NO_CLAIM; links * vcs];
-    // Same-cycle credit reservations, consumed by the arrival phase.
-    let mut reserved: Vec<u32> = vec![0; links * vcs];
-
-    let mut slab = PacketSlab::new();
-    let mut worm = WormState::default();
-    // Flits queued per node (drives the active worklist).
-    let mut occupancy = vec![0u32; n];
-    let mut on_list = vec![false; n];
-    let mut active: Vec<u32> = Vec::new();
-    let mut next_active: Vec<u32> = Vec::new();
-    // (flit record, buffer index or EJECT, buffer-owning/destination node)
-    let mut arrivals: Vec<(u64, u32, u32)> = Vec::new();
-    // Heads that could not claim their first buffer, in injection order.
-    let mut pending: VecDeque<u32> = VecDeque::new();
-    // Multi-flit packets still streaming body flits from their source.
-    let mut streams: Vec<u32> = Vec::new();
-
-    let mut inj: Vec<&Packet> = packets.iter().collect();
-    inj.sort_by_key(|p| p.inject_time);
-    let mut next_inject = 0usize;
-
-    let mut acc = StatsAcc::for_network(n);
-    let mut in_flight = 0usize;
-
-    let mut cycle: u64 = 0;
-    while cycle < max_cycles {
-        // Skip straight to the next injection when the network is empty.
-        if in_flight == 0 {
-            match inj.get(next_inject) {
-                None => break,
-                Some(p) if p.inject_time > cycle => {
-                    if p.inject_time >= max_cycles {
-                        break;
-                    }
-                    cycle = p.inject_time;
-                }
-                Some(_) => {}
-            }
-        }
-
-        let mut progressed = false;
-
-        // Streaming continuation: each multi-flit packet feeds at most
-        // one body flit per cycle into its claimed first buffer. The
-        // claim is released once the tail has entered the network.
-        streams.retain(|&id| {
-            let i = id as usize;
-            let b0 = worm.path[i][0] as usize;
-            if queues.load(b0) as u64 + reserved[b0] as u64 >= buf_flits {
-                return true;
-            }
-            let sent = worm.flits_sent[i];
-            let is_tail = sent + 1 == worm.flits_total[i];
-            queues.push(b0, flit(id, 0, false, is_tail));
-            let e0 = b0 / vcs;
-            link_load[e0] += 1;
-            let src = worm.src[i] as usize;
-            occupancy[src] += 1;
-            observer.on_flit_hop(cycle, e0, (b0 % vcs) as u32, queues.load(b0) as u32);
-            if !on_list[src] {
-                on_list[src] = true;
-                active.push(src as u32);
-            }
-            worm.flits_sent[i] = sent + 1;
-            progressed = true;
-            if is_tail {
-                if claimed[b0] == id {
-                    claimed[b0] = NO_CLAIM;
-                }
-                false
-            } else {
-                true
-            }
-        });
-
-        // Retry heads that failed to claim their first buffer, oldest
-        // first; failures keep their order without blocking later ones.
-        for _ in 0..pending.len() {
-            let id = pending.pop_front().expect("iteration is len-bounded");
-            if try_place_head(
-                topology,
-                g,
-                &routing,
-                &mut queues,
-                &mut link_load,
-                &mut claimed,
-                &reserved,
-                &mut worm,
-                &slab,
-                &mut occupancy,
-                &mut on_list,
-                &mut active,
-                &mut streams,
-                observer,
-                vcs,
-                buf_flits,
-                cycle,
-                id,
-            ) {
-                progressed = true;
-            } else {
-                pending.push_back(id);
-            }
-        }
-
-        // Inject everything due this cycle (same admission and
-        // self-addressed handling as the store-and-forward engine).
-        while next_inject < inj.len() && inj[next_inject].inject_time <= cycle {
-            let p = inj[next_inject];
-            next_inject += 1;
-            observer.on_inject(cycle, p.src, p.dst);
-            if let Some(reason) = admission.verdict(p.src, p.dst) {
-                acc.drop_packet(reason);
-                observer.on_drop(cycle, p.src, p.dst, reason);
-                continue;
-            }
-            if p.src == p.dst {
-                acc.deliver_instant();
-                observer.on_deliver(cycle, p.dst, 0);
-                continue;
-            }
-            let id = slab.alloc(p.dst, p.inject_time);
-            worm.reset(id, p.src, fpp);
-            in_flight += 1;
-            if try_place_head(
-                topology,
-                g,
-                &routing,
-                &mut queues,
-                &mut link_load,
-                &mut claimed,
-                &reserved,
-                &mut worm,
-                &slab,
-                &mut occupancy,
-                &mut on_list,
-                &mut active,
-                &mut streams,
-                observer,
-                vcs,
-                buf_flits,
-                cycle,
-                id,
-            ) {
-                progressed = true;
-            } else {
-                pending.push_back(id);
-            }
-        }
-
-        // Forward phase: each directed link of an active node moves at
-        // most one flit, scanning VCs lowest-first for a front flit that
-        // can advance. Ascending node and edge order matches the
-        // store-and-forward engine's service order exactly.
-        active.sort_unstable();
-        for &u in &active {
-            on_list[u as usize] = false;
-            for e in g.edge_range(u) {
-                if link_load[e] == 0 {
-                    continue;
-                }
-                for vc in 0..vcs {
-                    let b = e * vcs + vc;
-                    let Some(f) = queues.front(b) else { continue };
-                    let id = f as u32;
-                    let i = id as usize;
-                    let idx = flit_idx(f);
-                    if f & FLIT_HEAD != 0 {
-                        let v = g.target(e);
-                        let dst = slab.dst(id);
-                        if v == dst {
-                            queues.pop(b);
-                            link_load[e] -= 1;
-                            occupancy[u as usize] -= 1;
-                            observer.on_hop(cycle, u, v, e);
-                            slab.record_hop(id);
-                            acc.total_hops += 1;
-                            arrivals.push((f, EJECT, v));
-                            progressed = true;
-                            break;
-                        }
-                        let e2 = route_edge(g, &routing, &link_load, v, dst);
-                        let c2 = topology.channel_class(v, g.target(e2));
-                        let mut lvl = worm.level[i];
-                        if c2 <= worm.last_class[i] {
-                            // Class order broken (a ring dateline or a
-                            // fault detour): escape one VC level up.
-                            lvl = (lvl + 1).min(max_level);
-                        }
-                        let b2 = e2 * vcs + lvl as usize;
-                        let multi = worm.flits_total[i] > 1;
-                        if multi && claimed[b2] != NO_CLAIM && claimed[b2] != id {
-                            continue;
-                        }
-                        if queues.load(b2) as u64 + reserved[b2] as u64 >= buf_flits {
-                            continue;
-                        }
-                        queues.pop(b);
-                        link_load[e] -= 1;
-                        occupancy[u as usize] -= 1;
-                        if multi {
-                            claimed[b2] = id;
-                        }
-                        reserved[b2] += 1;
-                        worm.level[i] = lvl;
-                        worm.last_class[i] = c2;
-                        worm.path[i].push(b2 as u32);
-                        observer.on_hop(cycle, u, v, e);
-                        slab.record_hop(id);
-                        acc.total_hops += 1;
-                        arrivals.push((flit(id, idx + 1, true, f & FLIT_TAIL != 0), b2 as u32, v));
-                        progressed = true;
-                        break;
-                    }
-                    // Body/tail flit: follow the head's reserved chain.
-                    let path = &worm.path[i];
-                    if idx + 1 < path.len() {
-                        let b2 = path[idx + 1] as usize;
-                        if queues.load(b2) as u64 + reserved[b2] as u64 >= buf_flits {
-                            continue;
-                        }
-                        queues.pop(b);
-                        link_load[e] -= 1;
-                        occupancy[u as usize] -= 1;
-                        reserved[b2] += 1;
-                        arrivals.push((
-                            flit(id, idx + 1, false, f & FLIT_TAIL != 0),
-                            b2 as u32,
-                            g.target(e),
-                        ));
-                        progressed = true;
-                        break;
-                    }
-                    if worm.head_ejected[i] {
-                        // End of the chain with the head gone: this flit
-                        // crosses the final link into the destination.
-                        queues.pop(b);
-                        link_load[e] -= 1;
-                        occupancy[u as usize] -= 1;
-                        arrivals.push((f, EJECT, g.target(e)));
-                        progressed = true;
-                        break;
-                    }
-                    // Head still parked one buffer ahead: wait.
-                }
-            }
-            if occupancy[u as usize] > 0 {
-                on_list[u as usize] = true;
-                next_active.push(u);
-            }
-        }
-        active.clear();
-        std::mem::swap(&mut active, &mut next_active);
-
-        // Arrivals (at the cycle + 1 boundary): flits enter their
-        // reserved buffers or leave the network at the destination.
-        let now = cycle + 1;
-        for (f, buf, node) in arrivals.drain(..) {
-            let id = f as u32;
-            if buf == EJECT {
-                if f & FLIT_TAIL != 0 {
-                    in_flight -= 1;
-                    let inject_time = slab.inject(id);
-                    acc.deliver(now, inject_time);
-                    observer.on_deliver(now, node, now - inject_time);
-                    slab.release(id);
-                } else if f & FLIT_HEAD != 0 {
-                    worm.head_ejected[id as usize] = true;
-                }
-                // Body flits between head and tail vanish at dst.
-            } else {
-                let b = buf as usize;
-                let e = b / vcs;
-                reserved[b] -= 1;
-                queues.push(b, f);
-                link_load[e] += 1;
-                occupancy[node as usize] += 1;
-                observer.on_flit_hop(now, e, (b % vcs) as u32, queues.load(b) as u32);
-                if f & FLIT_TAIL != 0 && claimed[b] == id {
-                    claimed[b] = NO_CLAIM;
-                }
-                if !on_list[node as usize] {
-                    on_list[node as usize] = true;
-                    active.push(node);
-                }
-            }
-        }
-        observer.on_cycle_end(cycle, in_flight);
-
-        if !progressed && in_flight > 0 {
-            // Nothing moved. With a future injection the network may
-            // unstick (new packets can place on other links): jump there.
-            // With none, this is a genuine deadlock — only reachable off
-            // the order-based configurations — so stop instead of
-            // spinning to the cap; the stranded packets surface as
-            // `offered − delivered − dropped`.
-            match inj.get(next_inject) {
-                Some(p) if p.inject_time >= max_cycles => break,
-                Some(p) => {
-                    cycle = p.inject_time.max(cycle + 1);
-                    continue;
-                }
-                None => break,
-            }
-        }
-        cycle += 1;
+/// [`simulate_wormhole_faulted`](crate::simulate_wormhole_faulted)
+/// sharded across `threads` OS threads through the
+/// replicated-arbitration protocol (see `engine/wormhole.rs`'s docs) —
+/// bit-identical [`SimStats`] and merged observer output at any thread
+/// count, for table-routed *and* adaptive configurations. `threads` is
+/// clamped to `[1, nodes]`; `threads <= 1` runs the serial engine
+/// directly, and a [`SwitchingSpec::StoreAndForward`] spec delegates to
+/// [`simulate_parallel_observed`](super::simulate_parallel_observed).
+///
+/// # Panics
+///
+/// Panics if `observer` does not support forking
+/// ([`SimObserver::fork`] returns `None`) and `threads > 1`; the
+/// experiment layer pre-checks and reports a typed error instead.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_parallel_wormhole<T, R, O>(
+    topology: &T,
+    router: &R,
+    spec: &SwitchingSpec,
+    faults: &FaultSet,
+    packets: &[Packet],
+    max_cycles: u64,
+    threads: usize,
+    observer: &mut O,
+) -> SimStats
+where
+    T: Topology + ?Sized,
+    R: Router + Sync + ?Sized,
+    O: SimObserver + Send,
+{
+    let n = topology.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        return super::simulate_wormhole_faulted(
+            topology, router, spec, faults, packets, max_cycles, observer,
+        );
     }
+    match *spec {
+        SwitchingSpec::StoreAndForward => super::parallel::simulate_parallel_observed(
+            topology, router, faults, packets, max_cycles, threads, observer,
+        ),
+        SwitchingSpec::Wormhole { vcs, buf_flits, .. } => {
+            let fpp = spec.flits_per_packet();
+            if faults.is_empty() {
+                let admit = AdmitAll;
+                wormhole_pool(
+                    topology, router, fpp, vcs, buf_flits, packets, max_cycles, threads, observer,
+                    &admit,
+                )
+            } else {
+                let masked = FaultMaskingRouter::new(topology.graph(), router, faults);
+                let admission = MaskedAdmission::new(&masked);
+                wormhole_pool(
+                    topology, &masked, fpp, vcs, buf_flits, packets, max_cycles, threads, observer,
+                    &admission,
+                )
+            }
+        }
+    }
+}
 
-    acc.finish(packets.len())
+/// Builds one [`WormLane`] per thread (forking the observer), runs them
+/// under the pooled protocol, and merges accumulators and observer
+/// forks back in ascending lane order.
+#[allow(clippy::too_many_arguments)]
+fn wormhole_pool<T, R, O, F>(
+    topology: &T,
+    router: &R,
+    flits_per_packet: u32,
+    vcs: u32,
+    buf_flits: u32,
+    packets: &[Packet],
+    max_cycles: u64,
+    threads: usize,
+    observer: &mut O,
+    admission: &F,
+) -> SimStats
+where
+    T: Topology + ?Sized,
+    R: Router + Sync + ?Sized,
+    O: SimObserver + Send,
+    F: FaultPolicy + Sync,
+{
+    let n = topology.len();
+    let g = topology.graph();
+    let plan = routing_for(topology, router, packets.len());
+    let classes = edge_classes(topology);
+    let lanes: Vec<WormLane<'_, R, F, O>> = lane_bounds(n, threads)
+        .into_iter()
+        .map(|(lo, hi)| {
+            WormLane::new(
+                g,
+                &classes,
+                plan.as_ref(),
+                admission,
+                fork_observer(observer),
+                flits_per_packet.max(1),
+                vcs.max(1) as usize,
+                buf_flits.max(1) as u64,
+                packets,
+                n,
+                lo,
+                hi,
+            )
+        })
+        .collect();
+    let lanes = run_pool(lanes, max_cycles);
+    let mut acc: Option<StatsAcc> = None;
+    for lane in lanes {
+        observer.merge(lane.observer);
+        match &mut acc {
+            None => acc = Some(lane.acc),
+            Some(a) => a.merge(lane.acc),
+        }
+    }
+    acc.expect("at least one lane").finish(packets.len())
 }

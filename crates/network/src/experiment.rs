@@ -75,7 +75,10 @@ use fibcube_graph::parallel::par_map;
 
 use crate::broadcast::BroadcastError;
 use crate::collective::{CollectiveOutcome, CollectiveSpec, CollectiveWorkload};
-use crate::engine::{simulate_parallel, simulate_parallel_churn, RequestReplyLoad};
+use crate::engine::{
+    simulate_parallel_churn_observed, simulate_parallel_collective,
+    simulate_parallel_request_reply, simulate_parallel_wormhole, RequestReplyLoad,
+};
 use crate::fault::{ChurnEvent, ChurnTarget, ChurnTimeline, FaultError, FaultSet, FaultSpec};
 use crate::observer::{NoopObserver, SimObserver};
 use crate::report::Report;
@@ -163,6 +166,19 @@ pub enum ExperimentError {
         /// What it was combined with, in canonical text form.
         with: String,
     },
+    /// A thread budget above 1 was combined with an observer that does
+    /// not implement [`SimObserver::fork`] / [`SimObserver::merge`]. The
+    /// sharded engine runs one observer fork per lane and merges them
+    /// back in lane order; an observer that cannot fork cannot attach to
+    /// a sharded run. Use `threads(1)`, or implement `fork`/`merge` on
+    /// the observer.
+    UnforkableObserver {
+        /// Rust type name of the offending observer
+        /// (`std::any::type_name`).
+        observer: String,
+        /// The requested thread count.
+        threads: usize,
+    },
     /// The fault scenario is invalid for the target network (or its spec
     /// text failed to parse) — see [`FaultError`].
     Fault(FaultError),
@@ -242,6 +258,13 @@ impl fmt::Display for ExperimentError {
                 f,
                 "`{feature}` runs on the store-and-forward point-to-point \
                  engine only and cannot combine with `{with}`"
+            ),
+            ExperimentError::UnforkableObserver { observer, threads } => write!(
+                f,
+                "observer `{observer}` does not implement \
+                 SimObserver::fork/merge and cannot attach to a run \
+                 sharded across {threads} threads (use threads(1), or \
+                 implement fork/merge so the lanes can each run a fork)"
             ),
             ExperimentError::Fault(e) => write!(f, "invalid fault scenario: {e}"),
             ExperimentError::Broadcast(e) => write!(f, "broadcast failed: {e}"),
@@ -477,16 +500,18 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
         self
     }
 
-    /// Shards the run across `n` worker threads via
-    /// [`simulate_parallel`] (default 1 —
-    /// serial). The parallel engine is **bit-identical** to the serial
-    /// one at any thread count, so this is purely a throughput knob.
-    /// It engages only for observer-free
-    /// ([`SimObserver::IS_NOOP`]) store-and-forward point-to-point
-    /// runs; every other configuration (wormhole, collectives, attached
-    /// observers) runs serially regardless.
-    /// [`run_batch`](Experiment::run_batch) cells always run serially —
-    /// the batch already parallelizes across seeds.
+    /// Shards the run across `n` worker threads (default 1 — serial).
+    /// The pooled engine executes the *same* stepper as the serial one
+    /// and is **bit-identical** to it at any thread count, so this is
+    /// purely a throughput knob. Every configuration shards: wormhole
+    /// switching, collectives, fault churn, closed-loop `request_reply`
+    /// traffic, and attached observers (each lane runs a
+    /// [`SimObserver::fork`] and the forks merge back in lane order).
+    /// The one configuration that cannot shard — an observer whose
+    /// `fork` returns `None` — is a typed
+    /// [`ExperimentError::UnforkableObserver`], never a silent serial
+    /// fallback. [`run_batch`](Experiment::run_batch) cells always run
+    /// serially — the batch already parallelizes across seeds.
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
         self
@@ -515,9 +540,13 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
     /// or degraded), and assembles the [`Report`]. A configured
     /// [`collective`](Experiment::collective) replaces the traffic
     /// workload and adds its [`CollectiveOutcome`] to the report.
-    pub fn run(mut self) -> Result<Report, ExperimentError> {
+    pub fn run(mut self) -> Result<Report, ExperimentError>
+    where
+        O: Send,
+    {
         let n = self.topology.len();
         self.switching.validate()?;
+        self.ensure_forkable()?;
         check_combination(self.collective.as_ref(), &self.switching)?;
         if self.faults.is_churn() {
             if let Some(spec) = &self.collective {
@@ -546,22 +575,21 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
             crate::router::masked_router_name(&router.name())
         };
         let packets = self.traffic.generate(n, self.seed);
-        // `simulate_wormhole*` dispatch on the spec: store-and-forward
-        // runs the packet engine unchanged, wormhole runs the flit-level
-        // engine. Observer-free store-and-forward runs with a thread
-        // budget shard across the parallel engine instead — bit-identical
+        // `simulate_wormhole*` / `simulate_parallel_wormhole` dispatch
+        // on the spec: store-and-forward runs the packet engine,
+        // wormhole runs the flit-level engine. A thread budget above 1
+        // shards either through the pooled stepper — bit-identical
         // results, so the choice is invisible in the report.
-        let stats = if O::IS_NOOP
-            && self.threads > 1
-            && matches!(self.switching, SwitchingSpec::StoreAndForward)
-        {
-            simulate_parallel(
+        let stats = if self.threads > 1 {
+            simulate_parallel_wormhole(
                 self.topology,
                 &*router,
+                &self.switching,
                 &fault_set,
                 &packets,
                 self.max_cycles,
                 self.threads,
+                &mut self.observer,
             )
         } else if fault_set.is_empty() {
             simulate_wormhole(
@@ -601,15 +629,34 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
         })
     }
 
+    /// Rejects a thread budget the observer cannot follow: the pooled
+    /// engine runs one [`SimObserver::fork`] per lane, so an observer
+    /// whose `fork` returns `None` cannot attach to a sharded run.
+    /// Checked up front so the failure is a typed error naming the
+    /// observer type, never a mid-run panic or a silent serial fallback.
+    fn ensure_forkable(&self) -> Result<(), ExperimentError> {
+        if self.threads > 1 && self.topology.len() > 1 && self.observer.fork().is_none() {
+            return Err(ExperimentError::UnforkableObserver {
+                observer: std::any::type_name::<O>().to_string(),
+                threads: self.threads,
+            });
+        }
+        Ok(())
+    }
+
     /// The dynamic half of [`run`](Experiment::run): fault churn and/or
     /// closed-loop `request_reply` traffic, both executed by the churn
-    /// engine ([`simulate_churn`] / [`simulate_request_reply`], or
-    /// [`simulate_parallel_churn`] for threaded observer-free open-loop
-    /// runs). A churn spec draws its event timeline from the experiment
-    /// seed over the `[0, max_cycles)` horizon; a *static* fault set
-    /// under closed-loop traffic becomes the equivalent timeline of
-    /// fail events pinned to cycle 0.
-    fn run_dynamic(mut self, fault_set: FaultSet) -> Result<Report, ExperimentError> {
+    /// engine — [`simulate_churn`] / [`simulate_request_reply`] serially,
+    /// [`simulate_parallel_churn_observed`] /
+    /// [`simulate_parallel_request_reply`] under a thread budget. A
+    /// churn spec draws its event timeline from the experiment seed over
+    /// the `[0, max_cycles)` horizon; a *static* fault set under
+    /// closed-loop traffic becomes the equivalent timeline of fail
+    /// events pinned to cycle 0.
+    fn run_dynamic(mut self, fault_set: FaultSet) -> Result<Report, ExperimentError>
+    where
+        O: Send,
+    {
         let n = self.topology.len();
         let closed_loop = matches!(self.traffic, TrafficSpec::RequestReply { .. });
         let feature = if self.faults.is_churn() {
@@ -691,24 +738,37 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
                 retries,
                 seed: self.seed,
             };
-            simulate_request_reply(
-                self.topology,
-                &*router,
-                &timeline,
-                &load,
-                self.max_cycles,
-                &mut self.observer,
-            )
+            if self.threads > 1 {
+                simulate_parallel_request_reply(
+                    self.topology,
+                    &*router,
+                    &timeline,
+                    &load,
+                    self.max_cycles,
+                    self.threads,
+                    &mut self.observer,
+                )
+            } else {
+                simulate_request_reply(
+                    self.topology,
+                    &*router,
+                    &timeline,
+                    &load,
+                    self.max_cycles,
+                    &mut self.observer,
+                )
+            }
         } else {
             let packets = self.traffic.generate(n, self.seed);
-            if O::IS_NOOP && self.threads > 1 {
-                simulate_parallel_churn(
+            if self.threads > 1 {
+                simulate_parallel_churn_observed(
                     self.topology,
                     &*router,
                     &timeline,
                     &packets,
                     self.max_cycles,
                     self.threads,
+                    &mut self.observer,
                 )
             } else {
                 simulate_churn(
@@ -741,15 +801,18 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
 
     /// The collective half of [`run`](Experiment::run): compiles the spec
     /// against the (possibly degraded) network and executes it — tree
-    /// collectives by replication through
-    /// [`simulate_collective`], the
+    /// collectives by replication through [`simulate_collective`]
+    /// ([`simulate_parallel_collective`] under a thread budget), the
     /// personalized exchange as routed unicasts through the ordinary
     /// (healthy or faulted) engine.
     fn run_collective(
         mut self,
         spec: CollectiveSpec,
         fault_set: crate::fault::FaultSet,
-    ) -> Result<Report, ExperimentError> {
+    ) -> Result<Report, ExperimentError>
+    where
+        O: Send,
+    {
         let n = self.topology.len();
         let workload = spec.compile(
             self.topology.graph(),
@@ -758,8 +821,17 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
         )?;
         let (stats, router_name, outcome) = match workload {
             CollectiveWorkload::Tree(plan) => {
-                let (stats, reached) =
-                    simulate_collective(self.topology, &plan, self.max_cycles, &mut self.observer);
+                let (stats, reached) = if self.threads > 1 {
+                    simulate_parallel_collective(
+                        self.topology,
+                        &plan,
+                        self.max_cycles,
+                        self.threads,
+                        &mut self.observer,
+                    )
+                } else {
+                    simulate_collective(self.topology, &plan, self.max_cycles, &mut self.observer)
+                };
                 let outcome = CollectiveOutcome {
                     spec: spec.to_string(),
                     targets: plan.targets(),
@@ -783,7 +855,18 @@ impl<'a, T: Topology + ?Sized, O: SimObserver> Experiment<'a, T, O> {
                 // Routed unicasts honor the switching spec (the
                 // `simulate_wormhole*` entry points delegate
                 // store-and-forward specs to the packet engine).
-                let stats = if fault_set.is_empty() {
+                let stats = if self.threads > 1 {
+                    simulate_parallel_wormhole(
+                        self.topology,
+                        &*router,
+                        &self.switching,
+                        &fault_set,
+                        &packets,
+                        self.max_cycles,
+                        self.threads,
+                        &mut self.observer,
+                    )
+                } else if fault_set.is_empty() {
                     simulate_wormhole(
                         self.topology,
                         &*router,
@@ -928,6 +1011,67 @@ mod tests {
         assert!(json.contains("\"failed_nodes\": 20"), "{json}");
         // The human summary surfaces the drops.
         assert!(report.to_string().contains("dropped"), "{report}");
+    }
+
+    #[test]
+    fn unforkable_observer_with_threads_is_a_typed_error() {
+        // An observer that leaves `fork` at its `None` default cannot
+        // attach to a sharded run: the builder must say so up front with
+        // a typed error naming the observer type — never fall back to a
+        // silent serial run, never panic mid-run.
+        struct TapeObserver(Vec<u64>);
+        impl SimObserver for TapeObserver {
+            fn on_deliver(&mut self, cycle: u64, _dst: u32, _latency: u64) {
+                self.0.push(cycle);
+            }
+        }
+        let net = FibonacciNet::classical(7);
+        let err = Experiment::on(&net)
+            .observe(TapeObserver(Vec::new()))
+            .threads(4)
+            .run()
+            .expect_err("an observer without fork/merge cannot shard");
+        match &err {
+            ExperimentError::UnforkableObserver { observer, threads } => {
+                assert!(observer.contains("TapeObserver"), "{observer}");
+                assert_eq!(*threads, 4);
+            }
+            other => panic!("expected UnforkableObserver, got {other:?}"),
+        }
+        assert!(err.to_string().contains("fork"), "{err}");
+        // The same observer runs fine serially.
+        let report = Experiment::on(&net)
+            .observe(TapeObserver(Vec::new()))
+            .threads(1)
+            .run()
+            .expect("serial run needs no fork");
+        assert!(report.stats.delivered > 0);
+    }
+
+    #[test]
+    fn threaded_request_reply_matches_serial_through_the_builder() {
+        // Closed-loop traffic used to ignore the thread knob silently;
+        // now it shards — and the report must not be able to tell.
+        let net = FibonacciNet::classical(7);
+        let run = |threads: usize| {
+            Experiment::on(&net)
+                .traffic(TrafficSpec::RequestReply {
+                    clients: 6,
+                    think: 2.0,
+                    timeout: 40,
+                    retries: 1,
+                })
+                .cycles(10_000)
+                .seed(11)
+                .threads(threads)
+                .run()
+                .expect("request/reply configuration resolves")
+        };
+        let serial = run(1);
+        assert!(serial.stats.offered > 0);
+        for t in [2usize, 4, 8] {
+            assert_eq!(run(t).stats, serial.stats, "{t} threads");
+        }
     }
 
     #[test]

@@ -20,11 +20,13 @@
 //!   arena-backed active-set core parameterized by compile-time policy
 //!   traits ([`engine::policy`] — switching × faults × replication ×
 //!   observer) behind every `simulate*` entry point, the original
-//!   full-scan engines as reference oracles, and
-//!   [`simulate_parallel`] — the same run sharded across a scoped
-//!   thread pool with a propose/commit cycle, bit-identical to the
-//!   serial engine at any thread count (including churned runs via
-//!   [`simulate_parallel_churn`]), plus the dynamic-fault engines:
+//!   full-scan engines as reference oracles, and **one cycle stepper**
+//!   both drivers execute: the serial entry points run it on one lane,
+//!   the `simulate_parallel*` family shards it across a scoped thread
+//!   pool with a propose/commit outbox protocol — bit-identical to the
+//!   serial engine at any thread count for every policy combination
+//!   (store-and-forward, wormhole, churn, request/reply, collectives,
+//!   forked observers), plus the dynamic-fault engines:
 //!   [`simulate_churn`] applies a seeded mid-run fail/recover event
 //!   timeline at cycle boundaries, and [`simulate_request_reply`]
 //!   drives closed-loop clients with timeout-and-retry delivery;
@@ -112,7 +114,11 @@ pub use broadcast::{
 pub use collective::{CollectiveOutcome, CollectiveSpec, CopyPlan, Port};
 pub use dist::{DistanceSample, DistanceTable};
 pub use embedding::{embed_hypercube, embed_path, embed_ring, Embedding};
-pub use engine::{simulate_parallel, simulate_parallel_churn};
+pub use engine::{
+    simulate_parallel, simulate_parallel_churn, simulate_parallel_churn_observed,
+    simulate_parallel_collective, simulate_parallel_observed, simulate_parallel_request_reply,
+    simulate_parallel_wormhole,
+};
 pub use experiment::{Experiment, ExperimentError};
 pub use fault::{
     fault_set_trial, fault_sweep, fault_trial, ChurnEvent, ChurnTarget, ChurnTimeline, FaultError,

@@ -61,13 +61,43 @@ use crate::simulator::{bump, percentile, DropReason};
 /// docs](self) for the exact contract of each event.
 pub trait SimObserver {
     /// `true` when every hook is statically known to be a no-op —
-    /// [`NoopObserver`] and compositions of it. The experiment layer
-    /// uses this to route observer-free runs onto the parallel engine
-    /// ([`simulate_parallel`](crate::simulate_parallel)), which supports
-    /// no observers; an implementation that overrides any hook must
-    /// leave this `false`, or its events are silently lost on
-    /// multi-threaded runs.
+    /// [`NoopObserver`] and compositions of it. Purely an optimization
+    /// hint (a no-op observer monomorphizes every hook away); sharded
+    /// runs attach any observer through [`fork`](SimObserver::fork) /
+    /// [`merge`](SimObserver::merge) regardless of this flag.
     const IS_NOOP: bool = false;
+
+    /// Creates the per-lane instance a sharded run gives each lane, or
+    /// `None` if this observer cannot shard (the experiment layer then
+    /// reports a typed error for `threads > 1`).
+    ///
+    /// # Contract
+    ///
+    /// The engine partitions *packet* events (`on_inject`, `on_hop`,
+    /// `on_drop`, `on_deliver`, `on_flit_hop`) across forks by the node
+    /// that owns them, preserving relative order within a lane, and
+    /// replays *global* events (`on_cycle_end` with the global in-flight
+    /// count, `on_fault_event`) identically on **every** fork. A correct
+    /// implementation therefore sums packet-event state and deduplicates
+    /// global-event state in [`merge`](SimObserver::merge), such that
+    /// fork → events → merge (in ascending lane order) reproduces the
+    /// serial observer bit for bit.
+    fn fork(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
+
+    /// Folds one lane's fork back into `self`. Called once per fork, in
+    /// ascending lane order, after the run completes — see
+    /// [`fork`](SimObserver::fork) for the exactness contract.
+    fn merge(&mut self, fork: Self)
+    where
+        Self: Sized,
+    {
+        let _ = fork;
+    }
 
     /// A packet from `src` to `dst` entered the network at `cycle`.
     #[inline]
@@ -143,6 +173,10 @@ pub struct NoopObserver;
 
 impl SimObserver for NoopObserver {
     const IS_NOOP: bool = true;
+
+    fn fork(&self) -> Option<Self> {
+        Some(NoopObserver)
+    }
 }
 
 /// Mutable references observe through to the referent, so an experiment
@@ -195,6 +229,15 @@ impl<O: SimObserver + ?Sized> SimObserver for &mut O {
 /// report sections concatenate. Nest pairs for three or more.
 impl<A: SimObserver, B: SimObserver> SimObserver for (A, B) {
     const IS_NOOP: bool = A::IS_NOOP && B::IS_NOOP;
+
+    fn fork(&self) -> Option<Self> {
+        Some((self.0.fork()?, self.1.fork()?))
+    }
+
+    fn merge(&mut self, fork: Self) {
+        self.0.merge(fork.0);
+        self.1.merge(fork.1);
+    }
 
     #[inline]
     fn on_inject(&mut self, cycle: u64, src: u32, dst: u32) {
@@ -289,6 +332,22 @@ impl LatencyHistogram {
 }
 
 impl SimObserver for LatencyHistogram {
+    fn fork(&self) -> Option<Self> {
+        Some(LatencyHistogram::new())
+    }
+
+    /// Deliveries partition across lanes, so the counts just add.
+    fn merge(&mut self, fork: Self) {
+        if self.hist.len() < fork.hist.len() {
+            self.hist.resize(fork.hist.len(), 0);
+        }
+        for (lat, c) in fork.hist.into_iter().enumerate() {
+            self.hist[lat] += c;
+        }
+        self.delivered += fork.delivered;
+        self.total_latency += fork.total_latency;
+    }
+
     #[inline]
     fn on_deliver(&mut self, _cycle: u64, _dst: u32, latency: u64) {
         bump(&mut self.hist, latency);
@@ -364,6 +423,27 @@ impl LinkHeatmap {
 }
 
 impl SimObserver for LinkHeatmap {
+    fn fork(&self) -> Option<Self> {
+        Some(LinkHeatmap::new())
+    }
+
+    /// Hops partition across lanes by the popping node, so per-edge
+    /// counts add; endpoints come from whichever side saw the edge.
+    fn merge(&mut self, fork: Self) {
+        if self.counts.len() < fork.counts.len() {
+            self.counts.resize(fork.counts.len(), 0);
+            self.endpoints
+                .resize(fork.counts.len(), (u32::MAX, u32::MAX));
+        }
+        for (e, c) in fork.counts.into_iter().enumerate() {
+            self.counts[e] += c;
+            if c > 0 {
+                self.endpoints[e] = fork.endpoints[e];
+            }
+        }
+        self.total += fork.total;
+    }
+
     #[inline]
     fn on_hop(&mut self, _cycle: u64, from: u32, to: u32, edge: usize) {
         if self.counts.len() <= edge {
@@ -502,6 +582,21 @@ fn fraction_json(x: Option<f64>) -> JsonValue {
 }
 
 impl SimObserver for DeliveryTracker {
+    fn fork(&self) -> Option<Self> {
+        Some(DeliveryTracker::new())
+    }
+
+    /// Every tracked event is a partitioned packet event: sum.
+    fn merge(&mut self, fork: Self) {
+        self.injected += fork.injected;
+        self.delivered += fork.delivered;
+        self.dropped_dead_endpoint += fork.dropped_dead_endpoint;
+        self.dropped_unreachable += fork.dropped_unreachable;
+        self.dropped_link_died += fork.dropped_link_died;
+        self.dropped_node_died += fork.dropped_node_died;
+        self.dropped_retries_exhausted += fork.dropped_retries_exhausted;
+    }
+
     #[inline]
     fn on_inject(&mut self, _cycle: u64, _src: u32, _dst: u32) {
         self.injected += 1;
@@ -566,7 +661,7 @@ pub const SLO_DELIVERED_TARGET: f64 = 0.99;
 /// only windows in which at least one event fired are recorded, so
 /// consumers must not assume consecutive [`start`](SloWindow::start)
 /// values.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SloWindow {
     start: u64,
     end: u64,
@@ -731,6 +826,36 @@ impl SloTracker {
 }
 
 impl SimObserver for SloTracker {
+    fn fork(&self) -> Option<Self> {
+        Some(SloTracker::new(self.window))
+    }
+
+    /// Packet events (window counters) partition across lanes and sum
+    /// window-by-window; fault events are global — every fork records
+    /// the identical sequence, so the first non-empty one stands.
+    fn merge(&mut self, fork: Self) {
+        for w in fork.windows {
+            let mine = self.window_mut(w.start);
+            mine.injected += w.injected;
+            mine.delivered += w.delivered;
+            mine.dropped += w.dropped;
+            if mine.hist.len() < w.hist.len() {
+                mine.hist.resize(w.hist.len(), 0);
+            }
+            for (lat, c) in w.hist.into_iter().enumerate() {
+                mine.hist[lat] += c;
+            }
+        }
+        if self.fault_events.is_empty() {
+            self.fault_events = fork.fault_events;
+        } else {
+            debug_assert_eq!(
+                self.fault_events, fork.fault_events,
+                "fault events are global: every fork must see the same sequence"
+            );
+        }
+    }
+
     #[inline]
     fn on_inject(&mut self, cycle: u64, _src: u32, _dst: u32) {
         self.window_mut(cycle).injected += 1;

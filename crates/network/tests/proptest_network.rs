@@ -10,20 +10,24 @@ use fibcube_network::broadcast::{broadcast_all_port, broadcast_one_port, verify_
 use fibcube_network::fault::{
     fault_set_trial, ChurnEvent, ChurnTarget, ChurnTimeline, FaultSet, FaultSpec,
 };
+use fibcube_network::observer::{LatencyHistogram, LinkHeatmap, SloTracker};
 use fibcube_network::observer::{NoopObserver, SimObserver};
 use fibcube_network::router::{
     AdaptiveMinimal, CanonicalRouter, EcubeRouter, FaultMaskingRouter, NextHopRouter, NoLoad,
     Router,
 };
 use fibcube_network::simulator::{
-    simulate, simulate_churn, simulate_faulted, simulate_faulted_reference, simulate_reference,
-    simulate_with, simulate_wormhole, simulate_wormhole_faulted,
+    simulate, simulate_churn, simulate_collective, simulate_faulted, simulate_faulted_reference,
+    simulate_reference, simulate_request_reply, simulate_with, simulate_wormhole,
+    simulate_wormhole_faulted, RequestReplyLoad,
 };
 use fibcube_network::switching::{SwitchingSpec, PACKET_LENGTH_UNITS};
 use fibcube_network::topology::{FibonacciNet, Hypercube, Mesh, Ring, Topology};
 use fibcube_network::traffic::{Packet, TrafficSpec};
 use fibcube_network::{
-    simulate_parallel, simulate_parallel_churn, CollectiveSpec, DistanceTable, Experiment,
+    simulate_parallel, simulate_parallel_churn, simulate_parallel_churn_observed,
+    simulate_parallel_collective, simulate_parallel_observed, simulate_parallel_request_reply,
+    simulate_parallel_wormhole, CollectiveSpec, CopyPlan, DistanceTable, Experiment,
     ImplicitFibonacciNet, ImplicitRouter, Port, RouterSpec,
 };
 use proptest::prelude::*;
@@ -516,8 +520,8 @@ proptest! {
         // cycle makes the run a pure function of the workload — one, two,
         // four, or eight shards produce *identical* `SimStats` (histograms
         // included), healthy and faulted, across all five topology
-        // families. Wormhole runs take the documented serial fallback
-        // through the builder, so thread count must be invisible there too.
+        // families. Wormhole runs shard through the same pooled stepper
+        // via the builder, so thread count must be invisible there too.
         for topo in [
             &FibonacciNet::classical(7) as &dyn Topology,
             &Hypercube::new(4),
@@ -545,8 +549,9 @@ proptest! {
                     );
                 }
             }
-            // Wormhole through the builder: threads are accepted but the
-            // run stays serial — reports must be bit-identical anyway.
+            // Wormhole through the builder: a thread budget shards the
+            // flit engine under replicated arbitration — reports must be
+            // bit-identical to the serial run.
             let worm = |threads: usize| {
                 Experiment::on(topo)
                     .traffic(TrafficSpec::Uniform { count, window })
@@ -682,6 +687,255 @@ proptest! {
                 }
             }
             prop_assert_eq!(masked.distances().epoch(), step as u64 + 1);
+        }
+    }
+}
+
+// The sharded-determinism gates below run every policy combination at
+// four thread counts against its serial oracle — each case is ~40
+// simulation runs, so the case budget is smaller than the block above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn parallel_wormhole_is_thread_count_independent(count in 1usize..60, window in 0u64..40, seed in 0u64..10_000, faults in 0usize..4) {
+        // The flit-level extension of the sharded-engine determinism
+        // gate: under replicated arbitration every lane replays the
+        // global wormhole allocation in serial probe order, so one, two,
+        // four, or eight shards must produce `SimStats` identical to the
+        // serial flit engine — multi-flit packets, multiple virtual
+        // channels, healthy and statically faulted, across all five
+        // topology families.
+        let spec = SwitchingSpec::Wormhole {
+            flit_size: 4,
+            vcs: 1 + (seed % 3) as u32,
+            buf_flits: 1 + (seed % 4) as u32,
+        };
+        for topo in [
+            &FibonacciNet::classical(7) as &dyn Topology,
+            &Hypercube::new(4),
+            &Ring::new(11),
+            &Mesh::new(4, 3),
+            &ImplicitFibonacciNet::classical(7),
+        ] {
+            let pkts = uniform(topo.len(), count, window, seed);
+            let router = topo.router();
+            let fault_sets = [
+                FaultSet::default(),
+                FaultSpec::Nodes { count: faults.min(topo.len() - 2) }
+                    .sample(topo.graph(), seed ^ 0xBEEF)
+                    .expect("fault count below node count"),
+            ];
+            for set in &fault_sets {
+                let serial = simulate_wormhole_faulted(
+                    topo, &*router, &spec, set, &pkts, 1_000_000, &mut NoopObserver,
+                );
+                for t in [2usize, 4, 8] {
+                    let sharded = simulate_parallel_wormhole(
+                        topo, &*router, &spec, set, &pkts, 1_000_000, t, &mut NoopObserver,
+                    );
+                    prop_assert_eq!(
+                        &sharded, &serial,
+                        "wormhole {} with {} faults at {t} threads",
+                        topo.name(), set.failed_nodes().len()
+                    );
+                }
+            }
+        }
+        // Load-adaptive routing is the hard case: its next-hop choice
+        // reads live link loads, so bit-equality holds only because the
+        // sharded commit replay routes against the same mirror state the
+        // serial scan saw.
+        let net = FibonacciNet::classical(8);
+        let pkts = uniform(net.len(), count, window, seed);
+        let adaptive = AdaptiveMinimal::new(&net);
+        let healthy = FaultSet::default();
+        let serial = simulate_wormhole_faulted(
+            &net, &adaptive, &spec, &healthy, &pkts, 1_000_000, &mut NoopObserver,
+        );
+        for t in [2usize, 4, 8] {
+            let sharded = simulate_parallel_wormhole(
+                &net, &adaptive, &spec, &healthy, &pkts, 1_000_000, t, &mut NoopObserver,
+            );
+            prop_assert_eq!(&sharded, &serial, "adaptive wormhole at {} threads", t);
+        }
+    }
+
+    #[test]
+    fn parallel_request_reply_is_thread_count_independent(clients in 1usize..16, seed in 0u64..10_000) {
+        // Closed-loop traffic shards by replicating the session machine
+        // on every lane (identical RNG streams) and gating packet
+        // effects on node ownership — so the sharded run must reproduce
+        // the serial one exactly, healthy and under live churn.
+        for topo in [
+            &FibonacciNet::classical(7) as &dyn Topology,
+            &Hypercube::new(4),
+            &Ring::new(11),
+        ] {
+            let router = topo.router();
+            let load = RequestReplyLoad {
+                clients,
+                think: 3.0,
+                timeout: 64,
+                retries: 2,
+                seed,
+            };
+            let timelines = [
+                ChurnTimeline::generate(topo.graph(), 0.0, 0.0, 1.0, seed, 20_000),
+                ChurnTimeline::generate(topo.graph(), 0.005, 0.005, 60.0, seed, 20_000),
+            ];
+            for timeline in &timelines {
+                let serial = simulate_request_reply(
+                    topo, &*router, timeline, &load, 20_000, &mut NoopObserver,
+                );
+                for t in [2usize, 4, 8] {
+                    let sharded = simulate_parallel_request_reply(
+                        topo, &*router, timeline, &load, 20_000, t, &mut NoopObserver,
+                    );
+                    prop_assert_eq!(
+                        &sharded, &serial,
+                        "request/reply on {} with {} events at {t} threads",
+                        topo.name(), timeline.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_collective_is_thread_count_independent(source in 0u32..13, seed in 0u64..10_000, faults in 0usize..4) {
+        // Collectives shard too: tree replication spawns copies at the
+        // lane owning the spawning node, the personalized exchange runs
+        // as sharded unicasts. Reports (stats *and* collective outcome)
+        // must be bit-identical at any thread count, healthy and faulted,
+        // under both switching models where the grid allows.
+        for topo in [
+            &FibonacciNet::classical(7) as &dyn Topology,
+            &Hypercube::new(4),
+            &Mesh::new(4, 3),
+        ] {
+            let source = source % topo.len() as u32;
+            // Direct tree plan against the raw engines.
+            let schedule = broadcast_one_port(topo, source)
+                .expect("connected healthy network always schedules");
+            let plan = CopyPlan::from_schedule(topo.graph(), &schedule, true);
+            let serial = simulate_collective(topo, &plan, 1_000_000, &mut NoopObserver);
+            for t in [2usize, 4, 8] {
+                let sharded =
+                    simulate_parallel_collective(topo, &plan, 1_000_000, t, &mut NoopObserver);
+                prop_assert_eq!(&sharded, &serial, "tree collective {} at {t} threads", topo.name());
+            }
+            // Faulted broadcast and the personalized exchange through the
+            // builder — the full compile-and-dispatch path.
+            for (collective, fault_spec, switching) in [
+                (
+                    CollectiveSpec::Broadcast { source, port: Port::One },
+                    FaultSpec::Nodes { count: faults.min(topo.len() - 2) },
+                    SwitchingSpec::StoreAndForward,
+                ),
+                (
+                    CollectiveSpec::AllToAllPersonalized,
+                    FaultSpec::None,
+                    SwitchingSpec::StoreAndForward,
+                ),
+                (
+                    CollectiveSpec::AllToAllPersonalized,
+                    FaultSpec::None,
+                    SwitchingSpec::Wormhole { flit_size: 4, vcs: 2, buf_flits: 2 },
+                ),
+            ] {
+                let run = |threads: usize| {
+                    Experiment::on(topo)
+                        .collective(collective.clone())
+                        .faults(fault_spec.clone())
+                        .switching(switching.clone())
+                        .seed(seed)
+                        .cycles(1_000_000)
+                        .threads(threads)
+                        .run()
+                        .expect("valid collective configuration")
+                };
+                let serial = run(1);
+                for t in [2usize, 4, 8] {
+                    let sharded = run(t);
+                    prop_assert_eq!(
+                        &sharded.stats, &serial.stats,
+                        "{collective} on {} under {switching} at {t} threads",
+                        topo.name()
+                    );
+                    prop_assert_eq!(
+                        &sharded.collective, &serial.collective,
+                        "{collective} outcome on {} at {t} threads",
+                        topo.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observed_parallel_runs_merge_to_serial_output(count in 1usize..80, window in 0u64..60, seed in 0u64..10_000) {
+        // Observer fork/merge exactness: a sharded run gives every lane a
+        // fork and folds them back in lane order, and the merged output
+        // must equal the serial observer's bit for bit — latency
+        // histograms, link heatmaps, and SLO windows alike, on static
+        // faults, under churn, and through the flit engine.
+        for topo in [
+            &FibonacciNet::classical(7) as &dyn Topology,
+            &Hypercube::new(4),
+            &Mesh::new(4, 3),
+        ] {
+            let pkts = uniform(topo.len(), count, window, seed);
+            let router = topo.router();
+            let set = FaultSpec::Nodes { count: 2.min(topo.len() - 2) }
+                .sample(topo.graph(), seed ^ 0xF00D)
+                .expect("fault count below node count");
+
+            let mut serial_obs = (LatencyHistogram::new(), LinkHeatmap::new());
+            let serial =
+                simulate_faulted(topo, &*router, &set, &pkts, 1_000_000, &mut serial_obs);
+            for t in [2usize, 4, 8] {
+                let mut obs = (LatencyHistogram::new(), LinkHeatmap::new());
+                let sharded = simulate_parallel_observed(
+                    topo, &*router, &set, &pkts, 1_000_000, t, &mut obs,
+                );
+                prop_assert_eq!(&sharded, &serial, "faulted {} at {t} threads", topo.name());
+                prop_assert_eq!(obs.0.histogram(), serial_obs.0.histogram());
+                prop_assert_eq!(obs.0.delivered(), serial_obs.0.delivered());
+                prop_assert_eq!(obs.1.total_hops(), serial_obs.1.total_hops());
+                prop_assert_eq!(obs.1.hottest(4), serial_obs.1.hottest(4));
+            }
+
+            let timeline = ChurnTimeline::generate(topo.graph(), 0.01, 0.01, 40.0, seed, 500);
+            let mut serial_slo = SloTracker::new(100);
+            let churn_serial =
+                simulate_churn(topo, &*router, &timeline, &pkts, 100_000, &mut serial_slo);
+            for t in [2usize, 4, 8] {
+                let mut slo = SloTracker::new(100);
+                let sharded = simulate_parallel_churn_observed(
+                    topo, &*router, &timeline, &pkts, 100_000, t, &mut slo,
+                );
+                prop_assert_eq!(&sharded, &churn_serial, "churned {} at {t} threads", topo.name());
+                prop_assert_eq!(slo.windows(), serial_slo.windows());
+                prop_assert_eq!(slo.fault_events(), serial_slo.fault_events());
+                prop_assert_eq!(slo.recoveries(), serial_slo.recoveries());
+            }
+
+            let spec = SwitchingSpec::Wormhole { flit_size: 4, vcs: 2, buf_flits: 2 };
+            let mut serial_wh = (LatencyHistogram::new(), LinkHeatmap::new());
+            let wh_serial = simulate_wormhole_faulted(
+                topo, &*router, &spec, &set, &pkts, 1_000_000, &mut serial_wh,
+            );
+            for t in [2usize, 4, 8] {
+                let mut obs = (LatencyHistogram::new(), LinkHeatmap::new());
+                let sharded = simulate_parallel_wormhole(
+                    topo, &*router, &spec, &set, &pkts, 1_000_000, t, &mut obs,
+                );
+                prop_assert_eq!(&sharded, &wh_serial, "wormhole {} at {t} threads", topo.name());
+                prop_assert_eq!(obs.0.histogram(), serial_wh.0.histogram());
+                prop_assert_eq!(obs.1.total_hops(), serial_wh.1.total_hops());
+                prop_assert_eq!(obs.1.hottest(4), serial_wh.1.hottest(4));
+            }
         }
     }
 }
